@@ -1,0 +1,95 @@
+//! C2: speed control of a DC motor (electric-vehicle cruise control).
+//!
+//! Armature-controlled DC motor with both the electrical and the
+//! mechanical dynamics retained — the electrical time constant matters at
+//! millisecond sampling periods:
+//!
+//! ```text
+//! J ω̇ = K_t i − b ω
+//! L i̇ = −R i − K_e ω + u
+//! ```
+//!
+//! States `x = [ω, i]` (output shaft speed in round/s to match the
+//! paper's Fig. 6 axis, armature current in A), output `y = ω`.
+
+use cacs_control::ContinuousLti;
+use cacs_linalg::Matrix;
+
+/// Mechanical damping rate `b/J`, 1/s.
+const MECH_RATE: f64 = 25.0;
+/// Torque-to-speed gain `K_t/J`, (round/s)/s per A.
+const TORQUE_GAIN: f64 = 160.0;
+/// Electrical pole `R/L`, 1/s.
+const ELEC_RATE: f64 = 900.0;
+/// Back-EMF coupling `K_e/L`, A/s per (round/s).
+const BACK_EMF: f64 = 4.0;
+/// Voltage gain `1/L`, A/s per volt.
+const VOLT_GAIN: f64 = 1800.0;
+
+/// Figure 6 reference: 100 round/s cruise speed.
+pub const DC_MOTOR_REFERENCE: f64 = 100.0;
+
+/// Drive saturation, volts.
+pub const DC_MOTOR_UMAX: f64 = 40.0;
+
+/// Builds the C2 DC-motor speed plant.
+///
+/// ```text
+/// A = [−25     160]     B = [   0]     C = [1  0]
+///     [ −4    −900]         [1800]
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use cacs_apps::dc_motor_plant;
+///
+/// let plant = dc_motor_plant();
+/// assert!(plant.is_controllable().unwrap());
+/// ```
+pub fn dc_motor_plant() -> ContinuousLti {
+    ContinuousLti::new(
+        Matrix::from_rows(&[&[-MECH_RATE, TORQUE_GAIN], &[-BACK_EMF, -ELEC_RATE]])
+            .expect("static shape"),
+        Matrix::column(&[0.0, VOLT_GAIN]),
+        Matrix::row(&[1.0, 0.0]),
+    )
+    .expect("static plant is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacs_linalg::{eigenvalues, solve};
+
+    #[test]
+    fn motor_is_controllable_and_stable() {
+        let plant = dc_motor_plant();
+        assert!(plant.is_controllable().unwrap());
+        for e in eigenvalues(plant.a()).unwrap() {
+            assert!(e.re < 0.0, "open-loop pole {e} not stable");
+        }
+    }
+
+    #[test]
+    fn time_scales_fit_the_20ms_deadline() {
+        // Slowest open-loop pole must be fast enough that a 20 ms settling
+        // deadline is plausible with feedback.
+        let eigs = eigenvalues(dc_motor_plant().a()).unwrap();
+        let slowest = eigs.iter().map(|e| e.re.abs()).fold(f64::MAX, f64::min);
+        assert!(slowest > 5.0, "slowest pole {slowest}");
+    }
+
+    #[test]
+    fn dc_gain_reaches_reference_within_saturation() {
+        // Steady state: A x + B u = 0 → x = -A⁻¹ B u; y/u = DC gain.
+        let plant = dc_motor_plant();
+        let x = solve(plant.a(), &plant.b().scale(-1.0)).unwrap();
+        let dc_gain = plant.output(&x).unwrap();
+        let u_needed = DC_MOTOR_REFERENCE / dc_gain;
+        assert!(
+            u_needed.abs() < DC_MOTOR_UMAX * 0.6,
+            "steady input {u_needed} too close to saturation"
+        );
+    }
+}

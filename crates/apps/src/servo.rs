@@ -1,0 +1,90 @@
+//! C1: position control of a servo motor (steer-by-wire actuator).
+//!
+//! Standard armature-controlled DC servo with the electrical pole
+//! neglected (it is an order of magnitude faster than the sampling
+//! periods here): the motor torque is proportional to the applied
+//! voltage, and the shaft obeys
+//!
+//! ```text
+//! J θ̈ = −b θ̇ + K_t/R · u        (u in volts)
+//! ```
+//!
+//! States `x = [θ, θ̇]` (rad, rad/s), output `y = θ`.
+
+use cacs_control::ContinuousLti;
+use cacs_linalg::Matrix;
+
+/// Mechanical pole `b/J + K_t·K_e/(J·R)` of the representative servo, 1/s.
+const SERVO_POLE: f64 = 45.0;
+/// Input gain `K_t/(J·R)`, rad/s² per volt.
+const SERVO_GAIN: f64 = 150.0;
+
+/// The reference step used in Figure 6: 0.3 rad of steering actuator
+/// travel.
+pub const SERVO_REFERENCE: f64 = 0.3;
+
+/// Supply-rail saturation of the servo drive, volts.
+pub const SERVO_UMAX: f64 = 14.0;
+
+/// Builds the C1 servo position plant.
+///
+/// ```text
+/// A = [0    1  ]     B = [  0 ]     C = [1  0]
+///     [0  −45.0]         [150.]
+/// ```
+///
+/// The model is type-1 (an integrator from velocity to position), so
+/// position tracking needs no steady-state input — matching the zero
+/// steady-state control effort visible in the paper's Fig. 6 responses.
+///
+/// # Panics
+///
+/// Never panics; the constant matrices are statically well-formed.
+///
+/// # Example
+///
+/// ```
+/// use cacs_apps::servo_plant;
+///
+/// let plant = servo_plant();
+/// assert_eq!(plant.state_dim(), 2);
+/// assert!(plant.is_controllable().unwrap());
+/// ```
+pub fn servo_plant() -> ContinuousLti {
+    ContinuousLti::new(
+        Matrix::from_rows(&[&[0.0, 1.0], &[0.0, -SERVO_POLE]]).expect("static shape"),
+        Matrix::column(&[0.0, SERVO_GAIN]),
+        Matrix::row(&[1.0, 0.0]),
+    )
+    .expect("static plant is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacs_linalg::eigenvalues;
+
+    #[test]
+    fn servo_is_controllable() {
+        assert!(servo_plant().is_controllable().unwrap());
+    }
+
+    #[test]
+    fn servo_has_integrator_and_stable_mechanical_pole() {
+        let eigs = eigenvalues(servo_plant().a()).unwrap();
+        let mut res: Vec<f64> = eigs.iter().map(|e| e.re).collect();
+        res.sort_by(f64::total_cmp);
+        assert!((res[0] + SERVO_POLE).abs() < 1e-9); // mechanical pole
+        assert!(res[1].abs() < 1e-9); // integrator
+    }
+
+    #[test]
+    fn open_loop_velocity_gain_is_physical() {
+        // Steady-state velocity for 1 V: K/b' = 600/45 ≈ 13.3 rad/s.
+        let ss_velocity = SERVO_GAIN / SERVO_POLE;
+        assert!(ss_velocity > 0.5 && ss_velocity < 50.0);
+        // Crossing 0.3 rad within a few ms at U_max is therefore possible.
+        let t_cross = SERVO_REFERENCE / (ss_velocity * SERVO_UMAX);
+        assert!(t_cross < 45e-3, "deadline would be unreachable");
+    }
+}

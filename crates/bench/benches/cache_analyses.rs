@@ -1,0 +1,61 @@
+//! Microbenchmarks of the WCET analysis stack on the calibrated
+//! case-study programs: must (WCET), may (BCET), persistence, combined
+//! bound, and greedy lock selection.
+//!
+//! These quantify the cost of each abstract interpretation relative to
+//! plain must-analysis — relevant because the co-design pipeline runs the
+//! cache analysis once per (program, platform) pair, while lock selection
+//! re-runs it per candidate line.
+
+use cacs_apps::paper_case_study;
+use cacs_cache::{
+    analyze_consecutive, analyze_persistence, bcet_may, choose_locks_greedy, wcet_combined,
+    MayCache,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_analyses(c: &mut Criterion) {
+    let study = paper_case_study().expect("case study builds");
+    let platform = study.platform;
+
+    let mut group = c.benchmark_group("cache_analyses");
+    for (idx, app) in study.apps.iter().enumerate() {
+        let program = app.program.program().clone();
+        let name = format!("C{}", idx + 1);
+
+        group.bench_with_input(
+            BenchmarkId::new("must_cold_warm", &name),
+            &program,
+            |b, p| b.iter(|| analyze_consecutive(black_box(p), &platform)),
+        );
+        group.bench_with_input(BenchmarkId::new("may_bcet", &name), &program, |b, p| {
+            let cold = MayCache::empty(&platform).expect("state");
+            b.iter(|| bcet_may(black_box(p), &platform, &cold))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("persistence", &name),
+            &program,
+            |b, p| b.iter(|| analyze_persistence(black_box(p), &platform)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("combined_wcet", &name),
+            &program,
+            |b, p| b.iter(|| wcet_combined(black_box(p), &platform)),
+        );
+    }
+    group.finish();
+
+    // Lock selection is quadratic in candidate lines: bench one small
+    // budget on the largest program.
+    let mut group = c.benchmark_group("lock_selection");
+    group.sample_size(10);
+    let program = study.apps[0].program.program().clone();
+    group.bench_function("greedy_budget_8", |b| {
+        b.iter(|| choose_locks_greedy(black_box(&program), &platform, 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Substrate microbench: concrete cache simulation versus abstract
+//! must-analysis throughput.
+
+use cacs_apps::program_for_app;
+use cacs_cache::{wcet_must, Cache, CacheConfig, MustCache};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let config = CacheConfig::date18();
+    let program = program_for_app(&config, 0).expect("calibration succeeds");
+    let trace = program.program().trace_first_path();
+
+    let mut group = c.benchmark_group("cache_sim");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("concrete_trace", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(config).expect("config valid");
+            cache.run_trace(black_box(trace.iter().copied()))
+        })
+    });
+    group.bench_function("must_analysis", |b| {
+        let empty = MustCache::empty(&config).expect("config valid");
+        b.iter(|| wcet_must(black_box(program.program()), &config, &empty))
+    });
+    group.bench_function("warm_after_cold", |b| {
+        let empty = MustCache::empty(&config).expect("config valid");
+        b.iter(|| {
+            let (_, exit) = wcet_must(program.program(), &config, &empty).expect("analysis");
+            wcet_must(program.program(), &config, &exit)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Stage-1 bench behind Table III / Figure 6: holistic controller design
+//! and worst-case response simulation for one application under the
+//! baseline and the cache-aware schedule.
+
+use cacs_bench::bench_problem;
+use cacs_control::{settling_time, simulate_worst_case, SettlingSpec};
+use cacs_sched::Schedule;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_design(c: &mut Criterion) {
+    let problem = bench_problem();
+    let baseline = Schedule::round_robin(3).expect("rr");
+    let aware = Schedule::new(vec![1, 2, 2]).expect("aware");
+
+    let mut group = c.benchmark_group("table3_controller_design");
+    group.sample_size(10);
+    for (label, schedule) in [("round_robin", &baseline), ("cache_aware_122", &aware)] {
+        group.bench_function(format!("evaluate_schedule_{label}"), |b| {
+            b.iter(|| problem.evaluate_schedule(black_box(schedule)).expect("evaluates"))
+        });
+    }
+    group.finish();
+
+    // Figure 6 path: re-simulation of a designed controller.
+    let eval = problem.evaluate_schedule(&aware).expect("evaluates");
+    let outcome = &eval.apps[0];
+    let mut group = c.benchmark_group("fig6_response_simulation");
+    group.bench_function("simulate_50ms", |b| {
+        b.iter(|| {
+            simulate_worst_case(
+                black_box(&outcome.lifted),
+                black_box(&outcome.controller.gains),
+                black_box(&outcome.controller.feedforwards),
+                0.3,
+                50e-3,
+            )
+            .expect("simulates")
+        })
+    });
+    let response = outcome
+        .controller
+        .simulate(&outcome.lifted, 0.3, 50e-3)
+        .expect("simulates");
+    group.bench_function("settling_time", |b| {
+        b.iter(|| settling_time(black_box(&response), SettlingSpec::two_percent()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_design);
+criterion_main!(benches);

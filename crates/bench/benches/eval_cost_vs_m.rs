@@ -1,0 +1,45 @@
+//! Section V runtime-shape bench: the cost of evaluating one schedule
+//! grows steeply with the number of consecutive tasks `m` (the paper
+//! reports seconds for `m = 1` up to hours for `m > 5` on their host).
+//!
+//! Absolute numbers differ from the paper's MATLAB setup; the *shape*
+//! (superlinear growth in `m`) is the reproduced observation.
+
+use cacs_bench::case_study;
+use cacs_control::{synthesize, LiftedPlant, SynthesisConfig};
+use cacs_sched::{derive_timing, ExecTimes, Schedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_eval_cost(c: &mut Criterion) {
+    let study = case_study();
+    let exec: Vec<ExecTimes> = study
+        .apps
+        .iter()
+        .map(|_| ExecTimes::new(900e-6, 450e-6).expect("valid"))
+        .collect();
+
+    let mut group = c.benchmark_group("eval_cost_vs_m");
+    group.sample_size(10);
+    for m in [1u32, 2, 3, 4, 5] {
+        // Schedule (m, 1, 1): application C1 has m consecutive tasks.
+        let schedule = Schedule::new(vec![m, 1, 1]).expect("schedule");
+        let timing = derive_timing(&schedule.task_sequence(), &exec).expect("timing");
+        let at = &timing.apps[0];
+        let lifted =
+            LiftedPlant::new(study.apps[0].plant.clone(), &at.periods, &at.delays)
+                .expect("lifted");
+        let mut config = SynthesisConfig::new(study.apps[0].reference, 90e-3);
+        config.pso = config.pso.with_budget(8, 12).with_seed(3);
+        config.gain_bound = 2.5 * study.apps[0].umax / study.apps[0].reference;
+        config.max_input = Some(study.apps[0].umax);
+
+        group.bench_with_input(BenchmarkId::new("synthesize_m", m), &m, |b, _| {
+            b.iter(|| synthesize(black_box(&lifted), black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_cost);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table I bench: cache/WCET analysis of the three calibrated programs.
+//!
+//! Prints the regenerated Table I rows once, then measures the cost of
+//! the cold/warm must-analysis and of program calibration.
+
+use cacs_apps::{paper_wcet_targets, program_for_app};
+use cacs_cache::{analyze_consecutive, CacheConfig, SyntheticProgram};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_table1(config: &CacheConfig) {
+    println!("\n=== Table I (regenerated) ===");
+    for app in 0..3 {
+        let sp = program_for_app(config, app).expect("calibration succeeds");
+        let a = analyze_consecutive(sp.program(), config).expect("analysis succeeds");
+        println!(
+            "C{}: cold {:.2} us | reduction {:.2} us | warm {:.2} us",
+            app + 1,
+            config.cycles_to_micros(a.cold_cycles),
+            config.cycles_to_micros(a.guaranteed_reduction_cycles()),
+            config.cycles_to_micros(a.warm_cycles),
+        );
+    }
+    println!("paper:   907.55/455.40/452.15, 645.25/470.25/175.00, 749.15/514.80/234.35\n");
+}
+
+fn bench_wcet(c: &mut Criterion) {
+    let config = CacheConfig::date18();
+    print_table1(&config);
+
+    let programs: Vec<SyntheticProgram> = (0..3)
+        .map(|i| program_for_app(&config, i).expect("calibration succeeds"))
+        .collect();
+
+    let mut group = c.benchmark_group("table1_wcet_analysis");
+    for (i, sp) in programs.iter().enumerate() {
+        group.bench_function(format!("analyze_consecutive_c{}", i + 1), |b| {
+            b.iter(|| analyze_consecutive(black_box(sp.program()), black_box(&config)))
+        });
+    }
+    group.bench_function("calibrate_c1", |b| {
+        let target = paper_wcet_targets(&config, 0);
+        b.iter(|| SyntheticProgram::calibrate(black_box(target), black_box(&config), 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wcet);
+criterion_main!(benches);

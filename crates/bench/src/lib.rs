@@ -1,0 +1,39 @@
+//! Shared fixtures for the `cacs` benchmark harness.
+//!
+//! Each bench target regenerates one experiment of the paper (see
+//! DESIGN.md §4 for the experiment index):
+//!
+//! * `wcet_analysis` — Table I (cold/warm WCETs, guaranteed reduction),
+//! * `controller_design` — stage-1 holistic design cost behind Table III
+//!   and Figure 6,
+//! * `eval_cost_vs_m` — the Section V observation that evaluating one
+//!   schedule grows from seconds (`m = 1`) towards hours (`m > 5`),
+//! * `schedule_search` — hybrid vs exhaustive evaluation economy
+//!   (Section IV/V),
+//! * `search_ablation` — tolerance / multistart ablation and the
+//!   GA/tabu baseline economy comparison (DESIGN.md §6),
+//! * `cache_analyses` — cost of the may/persistence/locking analyses
+//!   relative to plain must-analysis,
+//! * `linalg_kernels`, `cache_sim` — substrate microbenchmarks.
+//!
+//! The `paper-tables` binary (`src/bin/paper_tables.rs`) regenerates
+//! every table as machine-readable CSV-ish lines plus the Figure 6 CSV
+//! files.
+
+use cacs_apps::{paper_case_study, CaseStudy};
+use cacs_core::{CodesignProblem, EvaluationConfig};
+
+/// The paper's case study, built once per bench target.
+pub fn case_study() -> CaseStudy {
+    paper_case_study().expect("paper case study builds")
+}
+
+/// A co-design problem with a benchmark-sized synthesis budget. The
+/// reduced `fast()` budget (24 particles × 80 iterations) is the smallest
+/// that reliably synthesises a feasible design for every case-study
+/// application — smaller budgets fail on the brake loop's tight
+/// saturation bound, and a bench that times failures measures nothing.
+pub fn bench_problem() -> CodesignProblem {
+    CodesignProblem::from_case_study(&case_study(), EvaluationConfig::fast())
+        .expect("problem builds")
+}

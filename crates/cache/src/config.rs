@@ -1,0 +1,213 @@
+//! Cache geometry and timing configuration.
+
+use crate::{CacheError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Replacement policy of a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used. For associativity 1 this degenerates to a
+    /// direct-mapped cache.
+    #[default]
+    Lru,
+    /// First-in-first-out (round-robin victim selection).
+    Fifo,
+    /// Tree-based pseudo-LRU, the policy of many real L1 instruction
+    /// caches. Requires a power-of-two associativity.
+    Plru,
+}
+
+/// Geometry and timing of an instruction cache.
+///
+/// The paper's experimental platform ([`CacheConfig::date18`]) is a 20 MHz
+/// microcontroller with 128 cache lines of 16 bytes, a 1-cycle hit latency
+/// and a 100-cycle miss penalty.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::CacheConfig;
+///
+/// let config = CacheConfig::date18();
+/// assert_eq!(config.total_bytes(), 2048);
+/// assert_eq!(config.sets(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total number of cache lines.
+    pub lines: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (1 = direct-mapped). Must divide `lines`.
+    pub associativity: u32,
+    /// Cycles consumed by a hit.
+    pub hit_cycles: u64,
+    /// Cycles consumed by a miss (total, not additional).
+    pub miss_cycles: u64,
+    /// Replacement policy within a set.
+    pub policy: ReplacementPolicy,
+    /// Processor clock frequency in Hz (converts cycles to seconds).
+    pub clock_hz: f64,
+}
+
+impl CacheConfig {
+    /// The configuration used in the paper's evaluation (Section V):
+    /// 20 MHz clock, 128 × 16-byte lines, direct-mapped, 1-cycle hit,
+    /// 100-cycle miss.
+    pub fn date18() -> Self {
+        CacheConfig {
+            lines: 128,
+            line_bytes: 16,
+            associativity: 1,
+            hit_cycles: 1,
+            miss_cycles: 100,
+            policy: ReplacementPolicy::Lru,
+            clock_hz: 20e6,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidGeometry`] if any field is zero, the
+    /// line size is not a power of two, the associativity does not divide
+    /// the line count, or the miss cost is below the hit cost.
+    pub fn validate(&self) -> Result<()> {
+        if self.lines == 0 {
+            return Err(CacheError::InvalidGeometry { parameter: "lines" });
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "line_bytes",
+            });
+        }
+        if self.associativity == 0 || !self.lines.is_multiple_of(self.associativity) {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "associativity",
+            });
+        }
+        if self.hit_cycles == 0 || self.miss_cycles < self.hit_cycles {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "hit/miss cycles",
+            });
+        }
+        if !self.clock_hz.is_finite() || self.clock_hz <= 0.0 {
+            return Err(CacheError::InvalidGeometry { parameter: "clock_hz" });
+        }
+        if self.policy == ReplacementPolicy::Plru
+            && (!self.associativity.is_power_of_two() || self.associativity > 32)
+        {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "PLRU requires power-of-two associativity of at most 32",
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of sets (`lines / associativity`).
+    pub fn sets(&self) -> u32 {
+        self.lines / self.associativity
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.lines) * u64::from(self.line_bytes)
+    }
+
+    /// Maps a byte address to its line number.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / u64::from(self.line_bytes)
+    }
+
+    /// Maps a line number to its set index.
+    pub fn set_of_line(&self, line: u64) -> u32 {
+        (line % u64::from(self.sets())) as u32
+    }
+
+    /// Converts a cycle count to seconds using the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+
+    /// Converts a cycle count to microseconds.
+    pub fn cycles_to_micros(&self, cycles: u64) -> f64 {
+        self.cycles_to_seconds(cycles) * 1e6
+    }
+
+    /// Miss penalty above a hit (`miss_cycles − hit_cycles`).
+    pub fn miss_penalty(&self) -> u64 {
+        self.miss_cycles - self.hit_cycles
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::date18()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date18_matches_paper_parameters() {
+        let c = CacheConfig::date18();
+        assert_eq!(c.lines, 128);
+        assert_eq!(c.line_bytes, 16);
+        assert_eq!(c.hit_cycles, 1);
+        assert_eq!(c.miss_cycles, 100);
+        assert_eq!(c.clock_hz, 20e6);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cycle_time_conversion() {
+        let c = CacheConfig::date18();
+        // 18151 cycles at 20 MHz = 907.55 µs (Table I, C1 cold WCET).
+        assert!((c.cycles_to_micros(18151) - 907.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn address_mapping() {
+        let c = CacheConfig::date18();
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(15), 0);
+        assert_eq!(c.line_of(16), 1);
+        assert_eq!(c.set_of_line(127), 127);
+        assert_eq!(c.set_of_line(128), 0);
+    }
+
+    #[test]
+    fn set_count_respects_associativity() {
+        let mut c = CacheConfig::date18();
+        c.associativity = 4;
+        assert_eq!(c.sets(), 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut c = CacheConfig::date18();
+        c.line_bytes = 12; // not a power of two
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::date18();
+        c.associativity = 3; // does not divide 128
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::date18();
+        c.miss_cycles = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::date18();
+        c.lines = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn miss_penalty() {
+        assert_eq!(CacheConfig::date18().miss_penalty(), 99);
+    }
+}

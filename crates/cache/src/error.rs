@@ -1,0 +1,60 @@
+//! Error type for cache modelling and WCET analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by cache/WCET operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// A cache geometry parameter was invalid (zero, or not a power of
+    /// two where required).
+    InvalidGeometry {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+    },
+    /// A program was structurally invalid (no blocks, bad block reference,
+    /// zero-instruction block, …).
+    InvalidProgram {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// Calibration could not find a synthetic program matching the
+    /// requested cycle targets.
+    CalibrationInfeasible {
+        /// Why the target cannot be met.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::InvalidGeometry { parameter } => {
+                write!(f, "invalid cache geometry parameter: {parameter}")
+            }
+            CacheError::InvalidProgram { reason } => write!(f, "invalid program: {reason}"),
+            CacheError::CalibrationInfeasible { reason } => {
+                write!(f, "calibration infeasible: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = CacheError::InvalidGeometry { parameter: "line_bytes" };
+        assert!(e.to_string().contains("line_bytes"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CacheError>();
+    }
+}

@@ -1,0 +1,472 @@
+//! Cache locking: the classic *alternative* to scheduling-based reuse.
+//!
+//! The paper shortens WCETs by executing tasks of one application
+//! consecutively so the instruction cache stays warm. The established
+//! competing technique is to **lock** selected lines into the cache: a
+//! locked line always hits, for every task, regardless of the schedule —
+//! at the price of shrinking the cache available to everything else
+//! (a locked line occupies one way of its set permanently; in a
+//! direct-mapped cache the whole set is gone).
+//!
+//! This module computes WCETs under a lock set ([`wcet_locked`]) and
+//! selects lock contents greedily ([`choose_locks_greedy`]), so the two
+//! mechanisms can be compared quantitatively on the paper's own programs
+//! (`examples/cache_locking.rs`).
+
+use crate::{CacheConfig, CacheError, Cfg, Program, ReplacementPolicy, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Must-cache state restricted to the ways left over by a lock set: each
+/// set keeps `associativity − locked_in_set` ways for unlocked lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LockedMust {
+    sets: u32,
+    /// Effective associativity per set after locking.
+    capacity: Vec<u32>,
+    /// Per set: unlocked line → upper bound on its age within the
+    /// remaining ways.
+    state: Vec<BTreeMap<u64, u32>>,
+    locked: BTreeSet<u64>,
+}
+
+impl LockedMust {
+    fn new(config: &CacheConfig, locked: &BTreeSet<u64>) -> Result<Self> {
+        config.validate()?;
+        if config.policy != ReplacementPolicy::Lru {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "locking analysis requires LRU replacement",
+            });
+        }
+        let sets = config.sets();
+        let mut capacity = vec![config.associativity; sets as usize];
+        for &line in locked {
+            let set = (line % u64::from(sets)) as usize;
+            if capacity[set] == 0 {
+                return Err(CacheError::InvalidGeometry {
+                    parameter: "lock set exceeds a set's associativity",
+                });
+            }
+            capacity[set] -= 1;
+        }
+        Ok(LockedMust {
+            sets,
+            capacity,
+            state: vec![BTreeMap::new(); sets as usize],
+            locked: locked.clone(),
+        })
+    }
+
+    /// Returns `true` if the access is a guaranteed hit.
+    fn access_line(&mut self, line: u64) -> bool {
+        if self.locked.contains(&line) {
+            return true;
+        }
+        let set_idx = (line % u64::from(self.sets)) as usize;
+        let cap = self.capacity[set_idx];
+        if cap == 0 {
+            // The whole set is locked away: unlocked lines always miss
+            // and are never cached.
+            return false;
+        }
+        let set = &mut self.state[set_idx];
+        match set.get(&line).copied() {
+            Some(age) => {
+                for (&l, a) in set.iter_mut() {
+                    if l != line && *a < age {
+                        *a += 1;
+                    }
+                }
+                set.insert(line, 0);
+                true
+            }
+            None => {
+                let mut next = BTreeMap::new();
+                for (&l, &a) in set.iter() {
+                    if a + 1 < cap {
+                        next.insert(l, a + 1);
+                    }
+                }
+                next.insert(line, 0);
+                *set = next;
+                false
+            }
+        }
+    }
+
+    fn join(&self, other: &LockedMust) -> Result<LockedMust> {
+        if self.sets != other.sets || self.capacity != other.capacity {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "join of incompatible locked-must states",
+            });
+        }
+        let mut out = LockedMust {
+            sets: self.sets,
+            capacity: self.capacity.clone(),
+            state: vec![BTreeMap::new(); self.sets as usize],
+            locked: self.locked.clone(),
+        };
+        for (idx, (a, b)) in self.state.iter().zip(&other.state).enumerate() {
+            for (&line, &age_a) in a {
+                if let Some(&age_b) = b.get(&line) {
+                    out.state[idx].insert(line, age_a.max(age_b));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Result of a locking analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockingAnalysis {
+    /// Lines chosen (or given) for locking, sorted.
+    pub locked_lines: Vec<u64>,
+    /// One-time cost of preloading the locked lines (one miss each).
+    pub preload_cycles: u64,
+    /// Per-execution WCET with the lock set in place, starting cold (for
+    /// the unlocked part).
+    pub wcet_cycles: u64,
+}
+
+impl LockingAnalysis {
+    /// Total cost of `executions` runs including the one-time preload.
+    pub fn total_cycles(&self, executions: u64) -> u64 {
+        self.preload_cycles + self.wcet_cycles * executions
+    }
+}
+
+/// Computes the cold-start WCET of `program` with `locked` lines pinned
+/// in the cache (they always hit; they shrink their set's capacity for
+/// everything else).
+///
+/// # Errors
+///
+/// * [`CacheError::InvalidGeometry`] for non-LRU configurations or a lock
+///   set that over-fills one cache set.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{wcet_locked, CacheConfig, Program};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let config = CacheConfig::date18();
+/// let program = Program::straight_line(0, 8, 8)?;
+/// // Locking all 8 lines makes every fetch a guaranteed hit.
+/// let locked: Vec<u64> = (0..8).collect();
+/// assert_eq!(wcet_locked(&program, &config, &locked)?, 64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn wcet_locked(program: &Program, config: &CacheConfig, locked: &[u64]) -> Result<u64> {
+    let locked: BTreeSet<u64> = locked.iter().copied().collect();
+    let initial = LockedMust::new(config, &locked)?;
+    let (cycles, _) = analyze(program, config, program.cfg(), initial)?;
+    Ok(cycles)
+}
+
+fn analyze(
+    program: &Program,
+    config: &CacheConfig,
+    cfg: &Cfg,
+    mut state: LockedMust,
+) -> Result<(u64, LockedMust)> {
+    match cfg {
+        Cfg::Block(i) => {
+            let mut cycles = 0;
+            for addr in program.blocks()[*i].fetch_addresses() {
+                let hit = state.access_line(config.line_of(addr));
+                cycles += if hit {
+                    config.hit_cycles
+                } else {
+                    config.miss_cycles
+                };
+            }
+            Ok((cycles, state))
+        }
+        Cfg::Seq(children) => {
+            let mut cycles = 0;
+            for c in children {
+                let (c_cycles, next) = analyze(program, config, c, state)?;
+                cycles += c_cycles;
+                state = next;
+            }
+            Ok((cycles, state))
+        }
+        Cfg::Loop { body, iterations } => {
+            if *iterations == 0 {
+                return Ok((0, state));
+            }
+            let (first, after_first) = analyze(program, config, body, state.clone())?;
+            if *iterations == 1 {
+                return Ok((first, after_first));
+            }
+            let mut fix = after_first.clone();
+            loop {
+                let (_, out) = analyze(program, config, body, fix.clone())?;
+                let next = fix.join(&out)?;
+                if next == fix {
+                    break;
+                }
+                fix = next;
+            }
+            let (steady, exit) = analyze(program, config, body, fix)?;
+            Ok((first + steady * u64::from(*iterations - 1), exit))
+        }
+        Cfg::Branch(alts) => {
+            let mut worst = 0;
+            let mut merged: Option<LockedMust> = None;
+            for alt in alts {
+                let (c, out) = analyze(program, config, alt, state.clone())?;
+                worst = worst.max(c);
+                merged = Some(match merged {
+                    None => out,
+                    Some(m) => m.join(&out)?,
+                });
+            }
+            Ok((worst, merged.expect("branch has at least one alternative")))
+        }
+    }
+}
+
+/// Greedily selects up to `budget` lines to lock, maximising the WCET
+/// reduction of `program`: each round locks the candidate line with the
+/// largest marginal WCET improvement, stopping early when no candidate
+/// helps.
+///
+/// # Errors
+///
+/// Same conditions as [`wcet_locked`].
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{choose_locks_greedy, CacheConfig, Program};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let config = CacheConfig::date18();
+/// let program = Program::straight_line(0, 4, 8)?;
+/// let plan = choose_locks_greedy(&program, &config, 2)?;
+/// assert_eq!(plan.locked_lines.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn choose_locks_greedy(
+    program: &Program,
+    config: &CacheConfig,
+    budget: usize,
+) -> Result<LockingAnalysis> {
+    let candidates = program.distinct_lines(config);
+    let mut locked: Vec<u64> = Vec::new();
+    let mut current = wcet_locked(program, config, &locked)?;
+
+    for _ in 0..budget {
+        let mut best: Option<(u64, u64)> = None; // (line, new_wcet)
+        for &line in &candidates {
+            if locked.contains(&line) {
+                continue;
+            }
+            let mut trial = locked.clone();
+            trial.push(line);
+            let Ok(wcet) = wcet_locked(program, config, &trial) else {
+                continue; // set over-filled: skip this candidate
+            };
+            if wcet < current && best.is_none_or(|(_, b)| wcet < b) {
+                best = Some((line, wcet));
+            }
+        }
+        match best {
+            Some((line, wcet)) => {
+                locked.push(line);
+                current = wcet;
+            }
+            None => break, // no candidate improves the WCET
+        }
+    }
+
+    locked.sort_unstable();
+    Ok(LockingAnalysis {
+        preload_cycles: locked.len() as u64 * config.miss_cycles,
+        locked_lines: locked,
+        wcet_cycles: current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BasicBlock, MustCache, wcet_must};
+
+    fn cfg(lines: u32, assoc: u32) -> CacheConfig {
+        CacheConfig {
+            lines,
+            line_bytes: 16,
+            associativity: assoc,
+            hit_cycles: 1,
+            miss_cycles: 10,
+            policy: ReplacementPolicy::Lru,
+            clock_hz: 1e6,
+        }
+    }
+
+    #[test]
+    fn empty_lock_set_matches_must_analysis() {
+        let config = cfg(8, 1);
+        let p = Program::straight_line(0, 12, 8).unwrap();
+        let plain = wcet_must(&p, &config, &MustCache::empty(&config).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(wcet_locked(&p, &config, &[]).unwrap(), plain);
+    }
+
+    #[test]
+    fn direct_mapped_locking_sacrifices_the_set() {
+        // Lines 0 and 8 conflict in an 8-set direct-mapped cache. Locking
+        // 0 makes its 16 fetches hit — but line 8 loses its only way and
+        // misses on every one of its 16 fetches. Here that is a net LOSS:
+        // without locks each block only misses on its first fetch.
+        let config = cfg(8, 1);
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),
+            BasicBlock::new(8 * 16, 8, 2).unwrap(),
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1), Cfg::Block(0), Cfg::Block(1)]),
+        )
+        .unwrap();
+        let unlocked = wcet_locked(&p, &config, &[]).unwrap();
+        let locked = wcet_locked(&p, &config, &[0]).unwrap();
+        // Unlocked: each of the 4 block runs misses once: 4 misses + 28 hits.
+        assert_eq!(unlocked, 4 * 10 + 28);
+        // Locked 0: 16 hits on line 0, 16 unavoidable misses on line 8.
+        assert_eq!(locked, 16 + 16 * 10);
+        assert!(
+            locked > unlocked,
+            "direct-mapped locking must be a net loss in this scenario"
+        );
+    }
+
+    #[test]
+    fn overfull_lock_set_rejected() {
+        let config = cfg(8, 1);
+        let p = Program::straight_line(0, 2, 8).unwrap();
+        // Lines 0 and 8 share a direct-mapped set: cannot both be locked.
+        assert!(wcet_locked(&p, &config, &[0, 8]).is_err());
+    }
+
+    #[test]
+    fn greedy_finds_thrashing_fix_in_set_associative_cache() {
+        // 2-way sets; lines 0, 4, 8 share set 0 and thrash under LRU
+        // (three lines in two ways, cyclic access: everything misses).
+        // Locking one line leaves a way for the other two and converts
+        // the locked line's accesses into hits — a strict win.
+        let config = cfg(8, 2);
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),
+            BasicBlock::new(4 * 16, 8, 2).unwrap(),
+            BasicBlock::new(8 * 16, 8, 2).unwrap(),
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Loop {
+                body: Box::new(Cfg::Seq(vec![
+                    Cfg::Block(0),
+                    Cfg::Block(1),
+                    Cfg::Block(2),
+                ])),
+                iterations: 10,
+            },
+        )
+        .unwrap();
+        let plan = choose_locks_greedy(&p, &config, 1).unwrap();
+        assert_eq!(plan.locked_lines.len(), 1);
+        let baseline = wcet_locked(&p, &config, &[]).unwrap();
+        assert!(plan.wcet_cycles < baseline);
+        assert_eq!(plan.preload_cycles, 10);
+    }
+
+    #[test]
+    fn greedy_declines_harmful_direct_mapped_locks() {
+        // The direct-mapped variant of the thrash: any lock hurts, so the
+        // greedy must lock nothing rather than make the WCET worse.
+        let config = cfg(8, 1);
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),
+            BasicBlock::new(8 * 16, 8, 2).unwrap(),
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Loop {
+                body: Box::new(Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1)])),
+                iterations: 10,
+            },
+        )
+        .unwrap();
+        let plan = choose_locks_greedy(&p, &config, 2).unwrap();
+        assert!(plan.locked_lines.is_empty(), "locks chosen: {:?}", plan.locked_lines);
+        assert_eq!(plan.wcet_cycles, wcet_locked(&p, &config, &[]).unwrap());
+    }
+
+    #[test]
+    fn greedy_stops_when_nothing_helps() {
+        // A program that fits: every line already hits after its first
+        // access, locking cannot shave the compulsory miss... it can!
+        // Locking converts the compulsory miss into a preload. The greedy
+        // should lock lines while each lock removes a miss.
+        let config = cfg(8, 1);
+        let p = Program::straight_line(0, 3, 8).unwrap();
+        let plan = choose_locks_greedy(&p, &config, 8).unwrap();
+        // All three lines get locked (each saves one compulsory miss);
+        // further budget is unused.
+        assert_eq!(plan.locked_lines, vec![0, 1, 2]);
+        assert_eq!(plan.wcet_cycles, 24); // all hits
+    }
+
+    #[test]
+    fn total_cycles_amortises_preload() {
+        let plan = LockingAnalysis {
+            locked_lines: vec![0, 1],
+            preload_cycles: 20,
+            wcet_cycles: 100,
+        };
+        assert_eq!(plan.total_cycles(1), 120);
+        assert_eq!(plan.total_cycles(10), 1020);
+    }
+
+    #[test]
+    fn two_way_set_allows_one_lock_plus_one_dynamic() {
+        let config = cfg(8, 2); // 4 sets, 2 ways
+        // Lines 0, 4, 8 all map to set 0: three-way thrash in a 2-way set.
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),
+            BasicBlock::new(4 * 16, 8, 2).unwrap(),
+            BasicBlock::new(8 * 16, 8, 2).unwrap(),
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Loop {
+                body: Box::new(Cfg::Seq(vec![
+                    Cfg::Block(0),
+                    Cfg::Block(1),
+                    Cfg::Block(2),
+                ])),
+                iterations: 5,
+            },
+        )
+        .unwrap();
+        let baseline = wcet_locked(&p, &config, &[]).unwrap();
+        let plan = choose_locks_greedy(&p, &config, 1).unwrap();
+        assert!(plan.wcet_cycles < baseline, "one lock should break the thrash");
+        // The remaining way still serves the other two lines (they
+        // alternate, so they keep missing — but the locked one hits).
+    }
+
+    #[test]
+    fn fifo_rejected() {
+        let mut config = cfg(8, 1);
+        config.policy = ReplacementPolicy::Fifo;
+        let p = Program::straight_line(0, 2, 8).unwrap();
+        assert!(wcet_locked(&p, &config, &[]).is_err());
+    }
+}

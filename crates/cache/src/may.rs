@@ -1,0 +1,565 @@
+//! Abstract may-cache analysis (Ferdinand-style abstract interpretation).
+//!
+//! A *may* cache state maps, per set, each possibly-resident line to a
+//! **lower bound on its LRU age**. A line *absent* from the abstract state
+//! is guaranteed to be absent from the concrete cache on every execution
+//! path reaching that point — so classifying its access as a miss is
+//! sound. This is the dual of [`crate::MustCache`]: must-analysis proves
+//! *always-hit*, may-analysis proves *always-miss*.
+//!
+//! Combined, the two bracket the execution time of a program: the
+//! must-analysis WCET ([`crate::wcet_must`]) charges a miss unless a hit
+//! is guaranteed, while the may-analysis BCET ([`bcet_may`]) charges a hit
+//! unless a miss is guaranteed.
+//!
+//! Only LRU replacement (including direct-mapped caches) is supported,
+//! matching [`crate::MustCache`].
+
+use crate::{CacheConfig, CacheError, Cfg, Program, ReplacementPolicy, Result};
+use std::collections::BTreeMap;
+
+/// Abstract may-cache state.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{CacheConfig, MayCache};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let config = CacheConfig::date18();
+/// let mut state = MayCache::empty(&config)?;
+/// assert!(state.guarantees_absent(7)); // cold cache: definite miss
+/// state.access_line(7);
+/// assert!(!state.guarantees_absent(7)); // now possibly resident
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MayCache {
+    sets: u32,
+    associativity: u32,
+    /// Per set: line → lower bound on LRU age (0 = youngest possible).
+    /// Invariant: every age is `< associativity`.
+    state: Vec<BTreeMap<u64, u32>>,
+}
+
+impl MayCache {
+    /// Creates the empty abstract state (nothing possibly resident: a cold
+    /// cache) for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// * [`CacheError::InvalidGeometry`] if the configuration is invalid or
+    ///   its policy is not LRU.
+    pub fn empty(config: &CacheConfig) -> Result<Self> {
+        config.validate()?;
+        if config.policy != ReplacementPolicy::Lru {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "may-analysis requires LRU replacement",
+            });
+        }
+        Ok(MayCache {
+            sets: config.sets(),
+            associativity: config.associativity,
+            state: vec![BTreeMap::new(); config.sets() as usize],
+        })
+    }
+
+    /// Number of sets in the modelled cache.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % u64::from(self.sets)) as usize
+    }
+
+    /// Returns `true` if `line` is guaranteed **not** resident on any path.
+    pub fn guarantees_absent(&self, line: u64) -> bool {
+        !self.state[self.set_of(line)].contains_key(&line)
+    }
+
+    /// Returns `true` if `line` may be resident on some path.
+    pub fn may_contain(&self, line: u64) -> bool {
+        !self.guarantees_absent(line)
+    }
+
+    /// Number of possibly-resident lines tracked.
+    pub fn possibly_resident_lines(&self) -> usize {
+        self.state.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Abstract transformer for an access to `line`.
+    ///
+    /// Returns `true` if the access was a *guaranteed miss* (the line was
+    /// provably absent before the access).
+    pub fn access_line(&mut self, line: u64) -> bool {
+        let assoc = self.associativity;
+        let set = &mut self.state[(line % u64::from(self.sets)) as usize];
+        let old_age = set.get(&line).copied();
+        // A line m ages when the accessed line may sit at a position no
+        // younger than m's lower bound (ages are distinct per concrete
+        // state, so `age(m) <= age(l)` guarantees m is pushed deeper in
+        // every consistent concrete state). On a definite miss everything
+        // ages.
+        let threshold = old_age.unwrap_or(assoc);
+        let mut next = BTreeMap::new();
+        for (&l, &a) in set.iter() {
+            if l == line {
+                continue;
+            }
+            let aged = if a <= threshold { a + 1 } else { a };
+            if aged < assoc {
+                next.insert(l, aged);
+            }
+        }
+        next.insert(line, 0);
+        *set = next;
+        old_age.is_none()
+    }
+
+    /// Join (control-flow merge): set **union** with the **minimum** (most
+    /// pessimistic, i.e. youngest) age bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidGeometry`] if the two states model
+    /// different geometries.
+    pub fn join(&self, other: &MayCache) -> Result<MayCache> {
+        if self.sets != other.sets || self.associativity != other.associativity {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "join of incompatible may-cache states",
+            });
+        }
+        let mut out = self.clone();
+        for (idx, b) in other.state.iter().enumerate() {
+            for (&line, &age_b) in b {
+                out.state[idx]
+                    .entry(line)
+                    .and_modify(|a| *a = (*a).min(age_b))
+                    .or_insert(age_b);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Partial order: `self` is *weaker or equal* (more conservative) than
+    /// `other` iff every possibility admitted by `other` is admitted by
+    /// `self` — `self`'s line set is a superset with ages no larger.
+    pub fn is_weaker_or_equal(&self, other: &MayCache) -> bool {
+        if self.sets != other.sets || self.associativity != other.associativity {
+            return false;
+        }
+        other.state.iter().zip(&self.state).all(|(o, s)| {
+            o.iter()
+                .all(|(&line, &age_o)| s.get(&line).is_some_and(|&age_s| age_s <= age_o))
+        })
+    }
+
+    /// All possibly-resident line numbers, sorted (for tests).
+    pub fn possibly_resident_line_numbers(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self
+            .state
+            .iter()
+            .flat_map(|s| s.keys().copied())
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+}
+
+/// Computes a may-analysis **best-case execution time** (BCET) lower bound
+/// of `program` starting from the abstract state `initial`, returning the
+/// cycle bound and the abstract state at program exit.
+///
+/// An access is charged `miss_cycles` only when the may-state proves the
+/// line absent; every other access is optimistically charged `hit_cycles`.
+/// Branches take the *cheapest* alternative; loops use a sound steady-state
+/// fixpoint. The result is a lower bound on the cycles of **every**
+/// concrete path, the dual of [`crate::wcet_must`].
+///
+/// # Errors
+///
+/// Propagates geometry errors from the may-cache operations.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{bcet_may, CacheConfig, MayCache, Program};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let config = CacheConfig::date18();
+/// let program = Program::straight_line(0, 10, 8)?;
+/// let cold = MayCache::empty(&config)?;
+/// let (bcet, _) = bcet_may(&program, &config, &cold)?;
+/// // 10 compulsory misses + 70 hits even in the best case.
+/// assert_eq!(bcet, 10 * 100 + 70);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bcet_may(
+    program: &Program,
+    config: &CacheConfig,
+    initial: &MayCache,
+) -> Result<(u64, MayCache)> {
+    analyze_cfg(program, config, program.cfg(), initial.clone())
+}
+
+fn analyze_cfg(
+    program: &Program,
+    config: &CacheConfig,
+    cfg: &Cfg,
+    mut state: MayCache,
+) -> Result<(u64, MayCache)> {
+    match cfg {
+        Cfg::Block(i) => {
+            let block = program.blocks()[*i];
+            let mut cycles = 0;
+            for addr in block.fetch_addresses() {
+                let line = config.line_of(addr);
+                let definite_miss = state.access_line(line);
+                cycles += if definite_miss {
+                    config.miss_cycles
+                } else {
+                    config.hit_cycles
+                };
+            }
+            Ok((cycles, state))
+        }
+        Cfg::Seq(children) => {
+            let mut cycles = 0;
+            for c in children {
+                let (c_cycles, next) = analyze_cfg(program, config, c, state)?;
+                cycles += c_cycles;
+                state = next;
+            }
+            Ok((cycles, state))
+        }
+        Cfg::Loop { body, iterations } => {
+            if *iterations == 0 {
+                return Ok((0, state));
+            }
+            let (first_cycles, after_first) = analyze_cfg(program, config, body, state.clone())?;
+            if *iterations == 1 {
+                return Ok((first_cycles, after_first));
+            }
+            // Steady state: weakest fixpoint covering every iteration entry
+            // j >= 2. The join chain is increasing in the finite may
+            // lattice (more lines, smaller ages), so this terminates.
+            let mut fix = after_first.clone();
+            loop {
+                let (_, out) = analyze_cfg(program, config, body, fix.clone())?;
+                let next = fix.join(&out)?;
+                if next == fix {
+                    break;
+                }
+                fix = next;
+            }
+            let (steady_cycles, steady_exit) = analyze_cfg(program, config, body, fix)?;
+            let total = first_cycles + steady_cycles * u64::from(*iterations - 1);
+            Ok((total, steady_exit))
+        }
+        Cfg::Branch(alts) => {
+            let mut best: Option<u64> = None;
+            let mut merged: Option<MayCache> = None;
+            for alt in alts {
+                let (c, out) = analyze_cfg(program, config, alt, state.clone())?;
+                best = Some(best.map_or(c, |b| b.min(c)));
+                merged = Some(match merged {
+                    None => out,
+                    Some(m) => m.join(&out)?,
+                });
+            }
+            Ok((
+                best.expect("branch has at least one alternative"),
+                merged.expect("branch has at least one alternative"),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessOutcome, BasicBlock, Cache, MustCache};
+
+    fn cfg(assoc: u32) -> CacheConfig {
+        CacheConfig {
+            lines: 8,
+            line_bytes: 16,
+            associativity: assoc,
+            hit_cycles: 1,
+            miss_cycles: 10,
+            policy: ReplacementPolicy::Lru,
+            clock_hz: 1e6,
+        }
+    }
+
+    #[test]
+    fn empty_state_guarantees_absence() {
+        let m = MayCache::empty(&cfg(1)).unwrap();
+        assert!(m.guarantees_absent(0));
+        assert_eq!(m.possibly_resident_lines(), 0);
+    }
+
+    #[test]
+    fn access_removes_absence_guarantee() {
+        let mut m = MayCache::empty(&cfg(1)).unwrap();
+        assert!(m.access_line(3)); // definite miss on cold cache
+        assert!(!m.access_line(3)); // possibly (here: certainly) resident
+        assert!(m.may_contain(3));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_restores_absence() {
+        let mut m = MayCache::empty(&cfg(1)).unwrap();
+        m.access_line(0);
+        m.access_line(8); // same set: definitely evicts 0
+        assert!(m.guarantees_absent(0));
+        assert!(m.may_contain(8));
+    }
+
+    #[test]
+    fn join_is_union_with_min_age() {
+        let mut a = MayCache::empty(&cfg(1)).unwrap();
+        let mut b = MayCache::empty(&cfg(1)).unwrap();
+        a.access_line(0);
+        b.access_line(8);
+        let j = a.join(&b).unwrap();
+        // Either line may be resident after the merge.
+        assert!(j.may_contain(0));
+        assert!(j.may_contain(8));
+    }
+
+    #[test]
+    fn join_rejects_mismatched_geometry() {
+        let a = MayCache::empty(&cfg(1)).unwrap();
+        let b = MayCache::empty(&cfg(2)).unwrap();
+        assert!(a.join(&b).is_err());
+    }
+
+    #[test]
+    fn partial_order() {
+        let mut weak = MayCache::empty(&cfg(2)).unwrap();
+        weak.access_line(0);
+        let strong = MayCache::empty(&cfg(2)).unwrap();
+        // `weak` admits more states (line 0 possibly resident) than the
+        // empty state, which admits only the empty cache.
+        assert!(weak.is_weaker_or_equal(&strong));
+        assert!(!strong.is_weaker_or_equal(&weak));
+        assert!(weak.is_weaker_or_equal(&weak));
+    }
+
+    #[test]
+    fn two_way_eviction_needs_two_conflicts() {
+        let mut m = MayCache::empty(&cfg(2)).unwrap(); // 4 sets
+        m.access_line(0);
+        m.access_line(4);
+        assert!(m.may_contain(0));
+        m.access_line(8); // 0 may now be evicted... and in fact must be
+        assert!(m.guarantees_absent(0));
+        assert!(m.may_contain(4));
+        assert!(m.may_contain(8));
+    }
+
+    #[test]
+    fn rejoining_access_keeps_others_young() {
+        // Re-access of a young line must not age unrelated possibilities
+        // past their sound bound.
+        let mut m = MayCache::empty(&cfg(2)).unwrap();
+        m.access_line(0); // age 0
+        m.access_line(4); // 4 age 0, 0 age 1
+        m.access_line(4); // re-access at age 0: 0 must NOT age to 2
+        assert!(m.may_contain(0));
+    }
+
+    #[test]
+    fn fifo_policy_rejected() {
+        let mut c = cfg(1);
+        c.policy = ReplacementPolicy::Fifo;
+        assert!(MayCache::empty(&c).is_err());
+    }
+
+    /// Soundness: on a random single-path access sequence, every access the
+    /// may-analysis classifies as a definite miss must also miss in the
+    /// concrete LRU cache.
+    #[test]
+    fn may_misses_are_concrete_misses() {
+        for assoc in [1u32, 2, 4] {
+            let config = cfg(assoc);
+            let mut concrete = Cache::new(config).unwrap();
+            let mut abstract_state = MayCache::empty(&config).unwrap();
+            let mut x: u64 = 0x9E3779B97F4A7C15;
+            for _ in 0..500 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let line = x % 24;
+                let definite_miss = abstract_state.access_line(line);
+                let outcome = concrete.access_line(line);
+                if definite_miss {
+                    assert!(
+                        outcome.is_miss(),
+                        "unsound absence guarantee for line {line} (assoc {assoc})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The may state over-approximates concrete residency throughout a run.
+    #[test]
+    fn may_state_covers_concrete_residency() {
+        let config = cfg(2);
+        let mut concrete = Cache::new(config).unwrap();
+        let mut abstract_state = MayCache::empty(&config).unwrap();
+        let mut x: u64 = 0xD1B54A32D192ED03;
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 16;
+            abstract_state.access_line(line);
+            concrete.access_line(line);
+            for resident in concrete.resident_line_numbers() {
+                assert!(
+                    abstract_state.may_contain(resident),
+                    "line {resident} resident but claimed absent"
+                );
+            }
+        }
+    }
+
+    /// Must-guaranteed lines are always may-possible (must ⊆ may).
+    #[test]
+    fn must_is_subset_of_may() {
+        let config = cfg(2);
+        let mut must = MustCache::empty(&config).unwrap();
+        let mut may = MayCache::empty(&config).unwrap();
+        let mut x: u64 = 0xA0761D6478BD642F;
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 16;
+            must.access_line(line);
+            may.access_line(line);
+            for l in must.guaranteed_line_numbers() {
+                assert!(may.may_contain(l), "line {l} must-guaranteed but may-absent");
+            }
+        }
+    }
+
+    #[test]
+    fn bcet_straight_line_counts_compulsory_misses() {
+        let config = cfg(1);
+        let p = Program::straight_line(0, 4, 8).unwrap();
+        let cold = MayCache::empty(&config).unwrap();
+        let (bcet, exit) = bcet_may(&p, &config, &cold).unwrap();
+        // 4 compulsory misses + 28 hits.
+        assert_eq!(bcet, 4 * 10 + 28);
+        assert!(exit.may_contain(0));
+    }
+
+    #[test]
+    fn bcet_branch_takes_cheapest_alternative() {
+        let blocks = vec![
+            BasicBlock::new(0, 2, 2).unwrap(),   // line 0, 2 fetches
+            BasicBlock::new(16, 16, 2).unwrap(), // lines 1..2, 16 fetches
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]),
+        )
+        .unwrap();
+        let config = cfg(1);
+        let cold = MayCache::empty(&config).unwrap();
+        let (bcet, _) = bcet_may(&p, &config, &cold).unwrap();
+        // Cheapest arm: 1 miss + 1 hit.
+        assert_eq!(bcet, 10 + 1);
+    }
+
+    #[test]
+    fn bcet_never_exceeds_any_concrete_path() {
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),
+            BasicBlock::new(64, 8, 2).unwrap(),
+            BasicBlock::new(128, 8, 2).unwrap(),
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Seq(vec![
+                Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]),
+                Cfg::Loop {
+                    body: Box::new(Cfg::Block(2)),
+                    iterations: 3,
+                },
+                Cfg::Branch(vec![Cfg::Block(1), Cfg::Block(0)]),
+            ]),
+        )
+        .unwrap();
+        let config = CacheConfig {
+            lines: 4,
+            ..cfg(1)
+        };
+        let cold = MayCache::empty(&config).unwrap();
+        let (bcet, _) = bcet_may(&p, &config, &cold).unwrap();
+        for choice in 0..4u32 {
+            let mut decisions = vec![(choice & 1) as usize, ((choice >> 1) & 1) as usize];
+            decisions.reverse();
+            let trace = p.trace_with(|_| decisions.pop().unwrap_or(0));
+            let mut cache = Cache::new(config).unwrap();
+            let cost = cache.run_trace(trace);
+            assert!(bcet <= cost, "bcet {bcet} > concrete {cost}");
+        }
+    }
+
+    #[test]
+    fn bcet_bracket_with_wcet() {
+        use crate::{wcet_must, MustCache};
+        let p = Program::straight_line(0, 12, 8).unwrap();
+        let config = CacheConfig {
+            lines: 8,
+            ..cfg(1)
+        };
+        let (bcet, _) = bcet_may(&p, &config, &MayCache::empty(&config).unwrap()).unwrap();
+        let (wcet, _) = wcet_must(&p, &config, &MustCache::empty(&config).unwrap()).unwrap();
+        assert!(bcet <= wcet);
+        let mut cache = Cache::new(config).unwrap();
+        let concrete = cache.run_trace(p.trace_first_path());
+        assert!(bcet <= concrete && concrete <= wcet);
+    }
+
+    #[test]
+    fn zero_iteration_loop_costs_nothing() {
+        let blocks = vec![BasicBlock::new(0, 8, 2).unwrap()];
+        let p = Program::new(
+            blocks,
+            Cfg::Loop {
+                body: Box::new(Cfg::Block(0)),
+                iterations: 0,
+            },
+        )
+        .unwrap();
+        let config = cfg(1);
+        let (bcet, _) = bcet_may(&p, &config, &MayCache::empty(&config).unwrap()).unwrap();
+        assert_eq!(bcet, 0);
+    }
+
+    #[test]
+    fn warm_bcet_is_all_hits_for_fitting_program() {
+        let config = cfg(1);
+        let p = Program::straight_line(0, 4, 8).unwrap();
+        let cold = MayCache::empty(&config).unwrap();
+        let (_, exit) = bcet_may(&p, &config, &cold).unwrap();
+        let (warm, _) = bcet_may(&p, &config, &exit).unwrap();
+        assert_eq!(warm, 32); // 32 fetches, all possibly hits
+    }
+
+    #[test]
+    fn outcome_helper_consistency() {
+        // Guard the AccessOutcome contract the soundness tests rely on.
+        assert!(AccessOutcome::MissFill.is_miss());
+        assert!(!AccessOutcome::Hit.is_miss());
+    }
+}

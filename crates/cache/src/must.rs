@@ -1,0 +1,309 @@
+//! Abstract must-cache analysis (Ferdinand-style abstract interpretation).
+//!
+//! A *must* cache state maps, per set, a resident line to an **upper bound
+//! on its LRU age**. A line present in the abstract state is guaranteed to
+//! be resident in the concrete cache on *every* execution path reaching
+//! that point — so classifying its access as a hit is sound. This is the
+//! analysis the paper cites for the *guaranteed* WCET reduction of a warm
+//! second execution ([13] in the paper).
+//!
+//! Only LRU replacement (including direct-mapped caches, associativity 1)
+//! is supported: FIFO must-analysis requires a different abstract domain
+//! and the paper's platform model is direct-mapped.
+
+use crate::{CacheConfig, CacheError, ReplacementPolicy, Result};
+use std::collections::BTreeMap;
+
+/// Abstract must-cache state.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{CacheConfig, MustCache};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let config = CacheConfig::date18();
+/// let mut state = MustCache::empty(&config)?;
+/// assert!(!state.guarantees_line(7));
+/// state.access_line(7);
+/// assert!(state.guarantees_line(7)); // now a guaranteed hit
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MustCache {
+    sets: u32,
+    associativity: u32,
+    /// Per set: line → upper bound on LRU age (0 = most recently used).
+    /// Invariant: every age is `< associativity`.
+    state: Vec<BTreeMap<u64, u32>>,
+}
+
+impl MustCache {
+    /// Creates the empty abstract state (no residency guarantees) for the
+    /// given geometry.
+    ///
+    /// # Errors
+    ///
+    /// * [`CacheError::InvalidGeometry`] if the configuration is invalid or
+    ///   its policy is not LRU.
+    pub fn empty(config: &CacheConfig) -> Result<Self> {
+        config.validate()?;
+        if config.policy != ReplacementPolicy::Lru {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "must-analysis requires LRU replacement",
+            });
+        }
+        Ok(MustCache {
+            sets: config.sets(),
+            associativity: config.associativity,
+            state: vec![BTreeMap::new(); config.sets() as usize],
+        })
+    }
+
+    /// Number of sets in the modelled cache.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % u64::from(self.sets)) as usize
+    }
+
+    /// Returns `true` if `line` is guaranteed resident.
+    pub fn guarantees_line(&self, line: u64) -> bool {
+        self.state[self.set_of(line)].contains_key(&line)
+    }
+
+    /// Total number of lines with a residency guarantee.
+    pub fn guaranteed_lines(&self) -> usize {
+        self.state.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Abstract transformer for an access to `line`.
+    ///
+    /// Returns `true` if the access was a *guaranteed hit* (the line was
+    /// already guaranteed resident).
+    pub fn access_line(&mut self, line: u64) -> bool {
+        let assoc = self.associativity;
+        let set = &mut self.state[(line % u64::from(self.sets)) as usize];
+        let old_age = set.get(&line).copied();
+        match old_age {
+            Some(age) => {
+                // Lines younger than the accessed one age by 1; the
+                // accessed line becomes the youngest.
+                for (&l, a) in set.iter_mut() {
+                    if l != line && *a < age {
+                        *a += 1;
+                    }
+                }
+                set.insert(line, 0);
+                true
+            }
+            None => {
+                // Every guaranteed line ages; those reaching the
+                // associativity bound lose their guarantee.
+                let mut next = BTreeMap::new();
+                for (&l, &a) in set.iter() {
+                    if a + 1 < assoc {
+                        next.insert(l, a + 1);
+                    }
+                }
+                next.insert(line, 0);
+                *set = next;
+                false
+            }
+        }
+    }
+
+    /// Join (control-flow merge): set intersection with the **maximum**
+    /// (most pessimistic) age bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidGeometry`] if the two states model
+    /// different geometries.
+    pub fn join(&self, other: &MustCache) -> Result<MustCache> {
+        if self.sets != other.sets || self.associativity != other.associativity {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "join of incompatible must-cache states",
+            });
+        }
+        let mut out = MustCache {
+            sets: self.sets,
+            associativity: self.associativity,
+            state: vec![BTreeMap::new(); self.sets as usize],
+        };
+        for (idx, (a, b)) in self.state.iter().zip(&other.state).enumerate() {
+            for (&line, &age_a) in a {
+                if let Some(&age_b) = b.get(&line) {
+                    out.state[idx].insert(line, age_a.max(age_b));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Partial order: `self ⊑ other` iff every guarantee of `self` is at
+    /// least as strong in... note the direction: `self` is *weaker or
+    /// equal* (fewer lines, or larger ages) than `other`.
+    pub fn is_weaker_or_equal(&self, other: &MustCache) -> bool {
+        if self.sets != other.sets || self.associativity != other.associativity {
+            return false;
+        }
+        // Every line guaranteed by self must be guaranteed by other with
+        // age no larger than self's bound — i.e. other refines self.
+        self.state.iter().zip(&other.state).all(|(s, o)| {
+            s.iter()
+                .all(|(&line, &age_s)| o.get(&line).is_some_and(|&age_o| age_o <= age_s))
+        })
+    }
+
+    /// All guaranteed line numbers, sorted (for tests).
+    pub fn guaranteed_line_numbers(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self
+            .state
+            .iter()
+            .flat_map(|s| s.keys().copied())
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessOutcome, Cache};
+
+    fn cfg(assoc: u32) -> CacheConfig {
+        CacheConfig {
+            lines: 8,
+            line_bytes: 16,
+            associativity: assoc,
+            hit_cycles: 1,
+            miss_cycles: 10,
+            policy: ReplacementPolicy::Lru,
+            clock_hz: 1e6,
+        }
+    }
+
+    #[test]
+    fn empty_state_has_no_guarantees() {
+        let m = MustCache::empty(&cfg(1)).unwrap();
+        assert_eq!(m.guaranteed_lines(), 0);
+        assert!(!m.guarantees_line(0));
+    }
+
+    #[test]
+    fn access_establishes_guarantee() {
+        let mut m = MustCache::empty(&cfg(1)).unwrap();
+        assert!(!m.access_line(3)); // first access: not guaranteed → miss
+        assert!(m.access_line(3)); // second: guaranteed hit
+    }
+
+    #[test]
+    fn direct_mapped_conflict_removes_guarantee() {
+        let mut m = MustCache::empty(&cfg(1)).unwrap();
+        m.access_line(0);
+        m.access_line(8); // same set in an 8-set cache
+        assert!(!m.guarantees_line(0));
+        assert!(m.guarantees_line(8));
+    }
+
+    #[test]
+    fn two_way_holds_two_lines() {
+        let mut m = MustCache::empty(&cfg(2)).unwrap(); // 4 sets
+        m.access_line(0);
+        m.access_line(4);
+        assert!(m.guarantees_line(0));
+        assert!(m.guarantees_line(4));
+        m.access_line(8); // third conflicting line evicts oldest (0)
+        assert!(!m.guarantees_line(0));
+        assert!(m.guarantees_line(4));
+        assert!(m.guarantees_line(8));
+    }
+
+    #[test]
+    fn join_is_intersection_with_max_age() {
+        let mut a = MustCache::empty(&cfg(2)).unwrap();
+        let mut b = MustCache::empty(&cfg(2)).unwrap();
+        a.access_line(0);
+        a.access_line(4); // a: 0 age 1, 4 age 0
+        b.access_line(4);
+        b.access_line(0); // b: 4 age 1, 0 age 0
+        let j = a.join(&b).unwrap();
+        assert!(j.guarantees_line(0));
+        assert!(j.guarantees_line(4));
+        // Both have pessimistic age 1 after the join; one more conflicting
+        // access evicts both guarantees.
+        let mut j2 = j.clone();
+        j2.access_line(8);
+        assert!(!j2.guarantees_line(0));
+        assert!(!j2.guarantees_line(4));
+    }
+
+    #[test]
+    fn join_drops_one_sided_guarantees() {
+        let mut a = MustCache::empty(&cfg(1)).unwrap();
+        let b = MustCache::empty(&cfg(1)).unwrap();
+        a.access_line(5);
+        let j = a.join(&b).unwrap();
+        assert_eq!(j.guaranteed_lines(), 0);
+    }
+
+    #[test]
+    fn join_rejects_mismatched_geometry() {
+        let a = MustCache::empty(&cfg(1)).unwrap();
+        let b = MustCache::empty(&cfg(2)).unwrap();
+        assert!(a.join(&b).is_err());
+    }
+
+    #[test]
+    fn partial_order() {
+        let mut strong = MustCache::empty(&cfg(2)).unwrap();
+        strong.access_line(0);
+        let weak = MustCache::empty(&cfg(2)).unwrap();
+        assert!(weak.is_weaker_or_equal(&strong));
+        assert!(!strong.is_weaker_or_equal(&weak));
+        assert!(strong.is_weaker_or_equal(&strong));
+    }
+
+    #[test]
+    fn fifo_policy_rejected() {
+        let mut c = cfg(1);
+        c.policy = ReplacementPolicy::Fifo;
+        assert!(MustCache::empty(&c).is_err());
+    }
+
+    /// Soundness: on a random single-path access sequence, every access the
+    /// must-analysis classifies as a guaranteed hit must also hit in the
+    /// concrete LRU cache.
+    #[test]
+    fn must_hits_are_concrete_hits() {
+        let config = cfg(2);
+        let mut concrete = Cache::new(config).unwrap();
+        let mut abstract_state = MustCache::empty(&config).unwrap();
+        // Deterministic pseudo-random line sequence.
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 24;
+            let guaranteed = abstract_state.access_line(line);
+            let outcome = concrete.access_line(line);
+            if guaranteed {
+                assert_eq!(outcome, AccessOutcome::Hit, "unsound guarantee for line {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn guaranteed_line_numbers_sorted() {
+        let mut m = MustCache::empty(&cfg(1)).unwrap();
+        m.access_line(6);
+        m.access_line(1);
+        assert_eq!(m.guaranteed_line_numbers(), vec![1, 6]);
+    }
+}

@@ -1,0 +1,611 @@
+//! Cache persistence analysis (younger-set formulation).
+//!
+//! A line is **persistent** within a program scope if, once loaded, it is
+//! never evicted again — so all its accesses together suffer **at most one
+//! miss**. Persistence complements must-analysis: inside a loop whose body
+//! branches over different lines, the must-join erases residency
+//! guarantees every iteration, while persistence still proves that each
+//! line misses only once.
+//!
+//! The classic age-based persistence analysis is known to be unsound; this
+//! module implements the corrected *younger-set* formulation (Cullmann,
+//! "Cache persistence analysis: theory and practice"): for every line we
+//! track an upper bound on the **set of distinct conflicting lines**
+//! accessed since it was last used. Under LRU, a line is evicted only
+//! after at least `associativity` distinct conflicting lines enter its
+//! set, so `|younger set| < associativity` at every program point proves
+//! persistence.
+
+use crate::{CacheConfig, CacheError, Cfg, Program, ReplacementPolicy, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Upper bound on the lines that may have entered a set since a tracked
+/// line was last accessed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum YoungerSet {
+    /// Bounded set of distinct younger lines.
+    Lines(BTreeSet<u64>),
+    /// The bound reached the associativity: the line may have been evicted.
+    Top,
+}
+
+impl YoungerSet {
+    fn add(&mut self, line: u64, associativity: u32) {
+        if let YoungerSet::Lines(set) = self {
+            set.insert(line);
+            if set.len() >= associativity as usize {
+                *self = YoungerSet::Top;
+            }
+        }
+    }
+
+    fn union(&self, other: &YoungerSet, associativity: u32) -> YoungerSet {
+        match (self, other) {
+            (YoungerSet::Top, _) | (_, YoungerSet::Top) => YoungerSet::Top,
+            (YoungerSet::Lines(a), YoungerSet::Lines(b)) => {
+                let merged: BTreeSet<u64> = a.union(b).copied().collect();
+                if merged.len() >= associativity as usize {
+                    YoungerSet::Top
+                } else {
+                    YoungerSet::Lines(merged)
+                }
+            }
+        }
+    }
+}
+
+/// Abstract persistence state over one program scope.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{CacheConfig, PersistenceState};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let config = CacheConfig::date18();
+/// let mut state = PersistenceState::empty(&config)?;
+/// state.access_line(0);
+/// state.access_line(1);
+/// // Distinct sets in a 128-set cache: both survive.
+/// assert!(state.is_persistent(0));
+/// assert!(state.is_persistent(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceState {
+    sets: u32,
+    associativity: u32,
+    /// Per set: every line accessed in the scope → its younger-set bound.
+    state: Vec<BTreeMap<u64, YoungerSet>>,
+}
+
+impl PersistenceState {
+    /// Creates the initial state of a scope (no lines tracked).
+    ///
+    /// # Errors
+    ///
+    /// * [`CacheError::InvalidGeometry`] if the configuration is invalid or
+    ///   its policy is not LRU.
+    pub fn empty(config: &CacheConfig) -> Result<Self> {
+        config.validate()?;
+        if config.policy != ReplacementPolicy::Lru {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "persistence analysis requires LRU replacement",
+            });
+        }
+        Ok(PersistenceState {
+            sets: config.sets(),
+            associativity: config.associativity,
+            state: vec![BTreeMap::new(); config.sets() as usize],
+        })
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % u64::from(self.sets)) as usize
+    }
+
+    /// Abstract transformer for an access to `line`.
+    pub fn access_line(&mut self, line: u64) {
+        let assoc = self.associativity;
+        let set = &mut self.state[(line % u64::from(self.sets)) as usize];
+        for (&l, younger) in set.iter_mut() {
+            if l != line {
+                younger.add(line, assoc);
+            }
+        }
+        // The accessed line restarts with an empty younger set (it is the
+        // most recently used line of its set right now) — unless it may
+        // already have been evicted: scope persistence means at most one
+        // miss over the *whole* scope, so `Top` is sticky.
+        match set.get(&line) {
+            Some(YoungerSet::Top) => {}
+            _ => {
+                set.insert(line, YoungerSet::Lines(BTreeSet::new()));
+            }
+        }
+    }
+
+    /// Returns `true` if `line` was accessed in the scope and is proven
+    /// persistent **so far** (its younger-set bound never reached the
+    /// associativity).
+    pub fn is_persistent(&self, line: u64) -> bool {
+        matches!(
+            self.state[self.set_of(line)].get(&line),
+            Some(YoungerSet::Lines(_))
+        )
+    }
+
+    /// Returns `true` if `line` was accessed anywhere in the scope.
+    pub fn is_tracked(&self, line: u64) -> bool {
+        self.state[self.set_of(line)].contains_key(&line)
+    }
+
+    /// Join (control-flow merge): tracked-line union; shared lines take the
+    /// union of their younger sets (`Top` absorbing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidGeometry`] if the two states model
+    /// different geometries.
+    pub fn join(&self, other: &PersistenceState) -> Result<PersistenceState> {
+        if self.sets != other.sets || self.associativity != other.associativity {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "join of incompatible persistence states",
+            });
+        }
+        let assoc = self.associativity;
+        let mut out = self.clone();
+        for (idx, b) in other.state.iter().enumerate() {
+            for (line, ys_b) in b {
+                match out.state[idx].get_mut(line) {
+                    Some(ys_a) => *ys_a = ys_a.union(ys_b, assoc),
+                    None => {
+                        out.state[idx].insert(*line, ys_b.clone());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All tracked lines proven persistent, sorted.
+    pub fn persistent_line_numbers(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self
+            .state
+            .iter()
+            .flat_map(|s| {
+                s.iter()
+                    .filter(|(_, ys)| matches!(ys, YoungerSet::Lines(_)))
+                    .map(|(&l, _)| l)
+            })
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// All tracked (accessed-in-scope) lines, sorted.
+    pub fn tracked_line_numbers(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self
+            .state
+            .iter()
+            .flat_map(|s| s.keys().copied())
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+}
+
+/// Outcome of the whole-program persistence analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceReport {
+    /// Lines proven persistent over the whole program scope.
+    pub persistent_lines: Vec<u64>,
+    /// All lines the program may touch.
+    pub tracked_lines: Vec<u64>,
+    /// Worst-case fetch count per line (upper bound, per-line independent).
+    pub worst_accesses: BTreeMap<u64, u64>,
+}
+
+impl PersistenceReport {
+    /// Fraction of touched lines proven persistent, in `[0, 1]`.
+    pub fn persistent_fraction(&self) -> f64 {
+        if self.tracked_lines.is_empty() {
+            return 0.0;
+        }
+        self.persistent_lines.len() as f64 / self.tracked_lines.len() as f64
+    }
+
+    /// WCET upper bound implied by persistence alone, in cycles: every
+    /// fetch is charged a hit, plus one miss penalty per persistent line
+    /// and one miss penalty per *access* to a non-persistent line.
+    pub fn wcet_cycles(&self, config: &CacheConfig, total_fetches: u64) -> u64 {
+        let persistent: BTreeSet<u64> = self.persistent_lines.iter().copied().collect();
+        let mut penalties = 0;
+        for (&line, &accesses) in &self.worst_accesses {
+            penalties += if persistent.contains(&line) {
+                1
+            } else {
+                accesses
+            };
+        }
+        total_fetches * config.hit_cycles + penalties * config.miss_penalty()
+    }
+}
+
+/// Runs the persistence analysis over a whole program starting from an
+/// untracked (cold) scope.
+///
+/// # Errors
+///
+/// Propagates geometry errors from the persistence-state operations.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{analyze_persistence, CacheConfig, Program};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let config = CacheConfig::date18();
+/// let program = Program::straight_line(0, 16, 8)?;
+/// let report = analyze_persistence(&program, &config)?;
+/// assert_eq!(report.persistent_lines.len(), 16); // fits: all persistent
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_persistence(program: &Program, config: &CacheConfig) -> Result<PersistenceReport> {
+    let initial = PersistenceState::empty(config)?;
+    let final_state = walk(program, config, program.cfg(), initial)?;
+    let mut worst_accesses = BTreeMap::new();
+    count_accesses(program, config, program.cfg(), 1, &mut worst_accesses);
+    Ok(PersistenceReport {
+        persistent_lines: final_state.persistent_line_numbers(),
+        tracked_lines: final_state.tracked_line_numbers(),
+        worst_accesses,
+    })
+}
+
+/// Combined WCET bound: the minimum of the must-analysis bound
+/// ([`crate::wcet_must`]) and the persistence bound — both are sound upper
+/// bounds, so their minimum is too. Persistence wins on loops whose body
+/// branches over different lines; must-analysis wins on straight-line code
+/// re-executed from a warm state.
+///
+/// # Errors
+///
+/// Propagates geometry errors from either analysis.
+pub fn wcet_combined(program: &Program, config: &CacheConfig) -> Result<u64> {
+    let empty = crate::MustCache::empty(config)?;
+    let (must_bound, _) = crate::wcet_must(program, config, &empty)?;
+    let report = analyze_persistence(program, config)?;
+    let persist_bound = report.wcet_cycles(config, program.worst_case_fetch_count());
+    Ok(must_bound.min(persist_bound))
+}
+
+fn walk(
+    program: &Program,
+    config: &CacheConfig,
+    cfg: &Cfg,
+    mut state: PersistenceState,
+) -> Result<PersistenceState> {
+    match cfg {
+        Cfg::Block(i) => {
+            for addr in program.blocks()[*i].fetch_addresses() {
+                state.access_line(config.line_of(addr));
+            }
+            Ok(state)
+        }
+        Cfg::Seq(children) => {
+            for c in children {
+                state = walk(program, config, c, state)?;
+            }
+            Ok(state)
+        }
+        Cfg::Loop { body, iterations } => {
+            if *iterations == 0 {
+                return Ok(state);
+            }
+            // Fixpoint over the loop body: younger sets only grow, and the
+            // per-scope domain is finite, so the chain terminates.
+            let mut fix = state;
+            loop {
+                let out = walk(program, config, body, fix.clone())?;
+                let next = fix.join(&out)?;
+                if next == fix {
+                    return Ok(fix);
+                }
+                fix = next;
+            }
+        }
+        Cfg::Branch(alts) => {
+            let mut merged: Option<PersistenceState> = None;
+            for alt in alts {
+                let out = walk(program, config, alt, state.clone())?;
+                merged = Some(match merged {
+                    None => out,
+                    Some(m) => m.join(&out)?,
+                });
+            }
+            Ok(merged.expect("branch has at least one alternative"))
+        }
+    }
+}
+
+fn count_accesses(
+    program: &Program,
+    config: &CacheConfig,
+    cfg: &Cfg,
+    multiplier: u64,
+    out: &mut BTreeMap<u64, u64>,
+) {
+    match cfg {
+        Cfg::Block(i) => {
+            for addr in program.blocks()[*i].fetch_addresses() {
+                *out.entry(config.line_of(addr)).or_insert(0) += multiplier;
+            }
+        }
+        Cfg::Seq(children) => {
+            for c in children {
+                count_accesses(program, config, c, multiplier, out);
+            }
+        }
+        Cfg::Loop { body, iterations } => {
+            count_accesses(program, config, body, multiplier * u64::from(*iterations), out);
+        }
+        Cfg::Branch(alts) => {
+            // Per-line worst case: the max over alternatives, line by line.
+            let mut worst: BTreeMap<u64, u64> = BTreeMap::new();
+            for alt in alts {
+                let mut one = BTreeMap::new();
+                count_accesses(program, config, alt, multiplier, &mut one);
+                for (line, count) in one {
+                    let w = worst.entry(line).or_insert(0);
+                    *w = (*w).max(count);
+                }
+            }
+            for (line, count) in worst {
+                *out.entry(line).or_insert(0) += count;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BasicBlock, Cache};
+
+    fn cfg(lines: u32, assoc: u32) -> CacheConfig {
+        CacheConfig {
+            lines,
+            line_bytes: 16,
+            associativity: assoc,
+            hit_cycles: 1,
+            miss_cycles: 10,
+            policy: ReplacementPolicy::Lru,
+            clock_hz: 1e6,
+        }
+    }
+
+    #[test]
+    fn fitting_program_is_fully_persistent() {
+        let config = cfg(8, 1);
+        let p = Program::straight_line(0, 8, 8).unwrap();
+        let r = analyze_persistence(&p, &config).unwrap();
+        assert_eq!(r.persistent_lines.len(), 8);
+        assert!((r.persistent_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_lines_are_not_persistent() {
+        // Lines 0 and 8 collide in an 8-set direct-mapped cache.
+        let config = cfg(8, 1);
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),       // line 0
+            BasicBlock::new(8 * 16, 8, 2).unwrap(),  // line 8
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1), Cfg::Block(0)]),
+        )
+        .unwrap();
+        let r = analyze_persistence(&p, &config).unwrap();
+        assert!(!r.persistent_lines.contains(&0));
+        assert!(!r.persistent_lines.contains(&8));
+    }
+
+    #[test]
+    fn two_way_set_holds_two_conflicting_lines() {
+        let config = cfg(8, 2); // 4 sets
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),       // line 0, set 0
+            BasicBlock::new(4 * 16, 8, 2).unwrap(),  // line 4, set 0
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Loop {
+                body: Box::new(Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1)])),
+                iterations: 5,
+            },
+        )
+        .unwrap();
+        let r = analyze_persistence(&p, &config).unwrap();
+        assert_eq!(r.persistent_lines, vec![0, 4]);
+    }
+
+    #[test]
+    fn loop_with_branch_beats_must_analysis() {
+        // Loop body branches between two conflicting-free lines: the
+        // must-join erases guarantees each iteration, but persistence
+        // proves one miss per line.
+        let config = cfg(8, 2);
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),      // line 0
+            BasicBlock::new(4 * 16, 8, 2).unwrap(), // line 4 (same set, 2 ways)
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Loop {
+                body: Box::new(Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)])),
+                iterations: 10,
+            },
+        )
+        .unwrap();
+        let combined = wcet_combined(&p, &config).unwrap();
+        let empty = crate::MustCache::empty(&config).unwrap();
+        let (must_only, _) = crate::wcet_must(&p, &config, &empty).unwrap();
+        assert!(
+            combined < must_only,
+            "persistence should tighten the bound: {combined} vs {must_only}"
+        );
+        // Persistence bound: 80 fetches * 1 + 2 persistent lines * 9.
+        assert_eq!(combined, 80 + 2 * 9);
+    }
+
+    #[test]
+    fn must_beats_persistence_on_repeated_straight_line() {
+        // A program that reuses one line many times: must analysis charges
+        // a single miss then hits; the persistence bound is identical here,
+        // and the combination must never be worse than either.
+        let config = cfg(8, 1);
+        let p = Program::straight_line(0, 2, 8).unwrap();
+        let combined = wcet_combined(&p, &config).unwrap();
+        let empty = crate::MustCache::empty(&config).unwrap();
+        let (must_only, _) = crate::wcet_must(&p, &config, &empty).unwrap();
+        assert!(combined <= must_only);
+    }
+
+    /// Soundness: a persistent line misses at most once on any concrete path.
+    #[test]
+    fn persistent_lines_miss_at_most_once_concretely() {
+        let config = cfg(8, 2);
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),
+            BasicBlock::new(4 * 16, 8, 2).unwrap(),
+            BasicBlock::new(16, 8, 2).unwrap(),
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Seq(vec![
+                Cfg::Loop {
+                    body: Box::new(Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)])),
+                    iterations: 6,
+                },
+                Cfg::Block(2),
+            ]),
+        )
+        .unwrap();
+        let r = analyze_persistence(&p, &config).unwrap();
+        // Enumerate a few concrete decision patterns.
+        for pattern in 0..64u32 {
+            let mut k = 0;
+            let trace = p.trace_with(|_| {
+                let pick = ((pattern >> k) & 1) as usize;
+                k += 1;
+                pick
+            });
+            let mut cache = Cache::new(config).unwrap();
+            let mut misses: BTreeMap<u64, u32> = BTreeMap::new();
+            for addr in trace {
+                let line = config.line_of(addr);
+                if cache.access(addr).is_miss() {
+                    *misses.entry(line).or_insert(0) += 1;
+                }
+            }
+            for &line in &r.persistent_lines {
+                assert!(
+                    misses.get(&line).copied().unwrap_or(0) <= 1,
+                    "persistent line {line} missed more than once (pattern {pattern})"
+                );
+            }
+        }
+    }
+
+    /// The persistence WCET bound is a true upper bound on concrete cost.
+    #[test]
+    fn persistence_bound_covers_concrete_paths() {
+        let config = cfg(4, 1);
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),
+            BasicBlock::new(4 * 16, 8, 2).unwrap(), // conflicts with line 0
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Loop {
+                body: Box::new(Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)])),
+                iterations: 4,
+            },
+        )
+        .unwrap();
+        let r = analyze_persistence(&p, &config).unwrap();
+        let bound = r.wcet_cycles(&config, p.worst_case_fetch_count());
+        for pattern in 0..16u32 {
+            let mut k = 0;
+            let trace = p.trace_with(|_| {
+                let pick = ((pattern >> k) & 1) as usize;
+                k += 1;
+                pick
+            });
+            let mut cache = Cache::new(config).unwrap();
+            let cost = cache.run_trace(trace);
+            assert!(bound >= cost, "persistence bound {bound} < concrete {cost}");
+        }
+    }
+
+    #[test]
+    fn join_merges_younger_sets() {
+        let config = cfg(8, 2);
+        let mut a = PersistenceState::empty(&config).unwrap();
+        let mut b = PersistenceState::empty(&config).unwrap();
+        a.access_line(0);
+        a.access_line(4); // a: YS(0) = {4}
+        b.access_line(0);
+        b.access_line(8); // b: YS(0) = {8}
+        let j = a.join(&b).unwrap();
+        // Union {4, 8} has size 2 = associativity → 0 may be evicted.
+        assert!(!j.is_persistent(0));
+        assert!(j.is_tracked(0));
+    }
+
+    #[test]
+    fn join_rejects_mismatched_geometry() {
+        let a = PersistenceState::empty(&cfg(8, 1)).unwrap();
+        let b = PersistenceState::empty(&cfg(8, 2)).unwrap();
+        assert!(a.join(&b).is_err());
+    }
+
+    #[test]
+    fn fifo_policy_rejected() {
+        let mut c = cfg(8, 1);
+        c.policy = ReplacementPolicy::Fifo;
+        assert!(PersistenceState::empty(&c).is_err());
+    }
+
+    #[test]
+    fn empty_report_fraction_is_zero() {
+        let r = PersistenceReport {
+            persistent_lines: vec![],
+            tracked_lines: vec![],
+            worst_accesses: BTreeMap::new(),
+        };
+        assert_eq!(r.persistent_fraction(), 0.0);
+    }
+
+    #[test]
+    fn worst_accesses_take_per_line_branch_max_not_sum() {
+        let config = cfg(8, 1);
+        let blocks = vec![
+            BasicBlock::new(0, 12, 2).unwrap(), // line 0: 8 fetches, line 1: 4
+            BasicBlock::new(16, 8, 2).unwrap(), // line 1: 8 fetches
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]),
+        )
+        .unwrap();
+        let r = analyze_persistence(&p, &config).unwrap();
+        assert_eq!(r.worst_accesses.get(&0), Some(&8));
+        // Per-line max over the arms (max(4, 8)), not their sum (12).
+        assert_eq!(r.worst_accesses.get(&1), Some(&8));
+    }
+}

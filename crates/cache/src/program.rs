@@ -1,0 +1,397 @@
+//! Structured program model: basic blocks and a control-flow tree.
+//!
+//! Control programs are small and loop-bounded, so instead of a general
+//! CFG + IPET formulation we model them as a *structured* tree of
+//! sequences, bounded loops and branches over basic blocks. This is enough
+//! to express the paper's workloads, keeps worst-case path analysis exact,
+//! and makes the abstract must-cache analysis straightforward.
+
+use crate::{CacheConfig, CacheError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A basic block: a run of straight-line instructions at a fixed address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Byte address of the first instruction.
+    pub start: u64,
+    /// Number of instructions executed in the block.
+    pub inst_count: u32,
+    /// Size of each instruction in bytes.
+    pub inst_bytes: u32,
+}
+
+impl BasicBlock {
+    /// Creates a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidProgram`] if `inst_count` or
+    /// `inst_bytes` is zero.
+    pub fn new(start: u64, inst_count: u32, inst_bytes: u32) -> Result<Self> {
+        if inst_count == 0 {
+            return Err(CacheError::InvalidProgram {
+                reason: "basic block must execute at least one instruction".into(),
+            });
+        }
+        if inst_bytes == 0 {
+            return Err(CacheError::InvalidProgram {
+                reason: "instruction size must be non-zero".into(),
+            });
+        }
+        Ok(BasicBlock {
+            start,
+            inst_count,
+            inst_bytes,
+        })
+    }
+
+    /// Iterator over the fetch addresses of the block, in program order.
+    pub fn fetch_addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        let start = self.start;
+        let stride = u64::from(self.inst_bytes);
+        (0..u64::from(self.inst_count)).map(move |i| start + i * stride)
+    }
+
+    /// Exclusive end address of the block.
+    pub fn end(&self) -> u64 {
+        self.start + u64::from(self.inst_count) * u64::from(self.inst_bytes)
+    }
+
+    /// Distinct cache lines the block touches under `config`.
+    pub fn lines_touched(&self, config: &CacheConfig) -> Vec<u64> {
+        let first = config.line_of(self.start);
+        let last = config.line_of(self.end() - 1);
+        (first..=last).collect()
+    }
+}
+
+/// Structured control flow over basic-block indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cfg {
+    /// Execute one basic block (index into [`Program::blocks`]).
+    Block(usize),
+    /// Execute children in order.
+    Seq(Vec<Cfg>),
+    /// Execute the body a fixed, bounded number of times.
+    Loop {
+        /// Loop body.
+        body: Box<Cfg>,
+        /// Loop bound (number of complete body executions).
+        iterations: u32,
+    },
+    /// Execute exactly one of the alternatives (data-dependent branch).
+    /// An empty alternative list means "skippable" is not allowed — use a
+    /// one-instruction block for a no-op arm instead.
+    Branch(Vec<Cfg>),
+}
+
+impl Cfg {
+    /// Number of branch nodes in the tree (each multiplies worst-case path
+    /// enumeration cost).
+    pub fn branch_count(&self) -> usize {
+        match self {
+            Cfg::Block(_) => 0,
+            Cfg::Seq(children) => children.iter().map(Cfg::branch_count).sum(),
+            Cfg::Loop { body, .. } => body.branch_count(),
+            Cfg::Branch(alts) => 1 + alts.iter().map(Cfg::branch_count).sum::<usize>(),
+        }
+    }
+}
+
+/// A complete program: a block table plus structured control flow.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{BasicBlock, Cfg, Program};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let blocks = vec![
+///     BasicBlock::new(0x0, 8, 2)?,
+///     BasicBlock::new(0x10, 8, 2)?,
+/// ];
+/// let cfg = Cfg::Seq(vec![
+///     Cfg::Block(0),
+///     Cfg::Loop { body: Box::new(Cfg::Block(1)), iterations: 3 },
+/// ]);
+/// let program = Program::new(blocks, cfg)?;
+/// assert_eq!(program.worst_case_fetch_count(), 8 + 3 * 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    blocks: Vec<BasicBlock>,
+    cfg: Cfg,
+}
+
+impl Program {
+    /// Creates a program, validating that every [`Cfg::Block`] index is in
+    /// range and the block table is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidProgram`] on a dangling block reference
+    /// or an empty block table / branch arm list.
+    pub fn new(blocks: Vec<BasicBlock>, cfg: Cfg) -> Result<Self> {
+        if blocks.is_empty() {
+            return Err(CacheError::InvalidProgram {
+                reason: "program must have at least one basic block".into(),
+            });
+        }
+        Self::validate_cfg(&cfg, blocks.len())?;
+        Ok(Program { blocks, cfg })
+    }
+
+    fn validate_cfg(cfg: &Cfg, block_count: usize) -> Result<()> {
+        match cfg {
+            Cfg::Block(i) => {
+                if *i >= block_count {
+                    return Err(CacheError::InvalidProgram {
+                        reason: format!("block index {i} out of range ({block_count} blocks)"),
+                    });
+                }
+            }
+            Cfg::Seq(children) => {
+                for c in children {
+                    Self::validate_cfg(c, block_count)?;
+                }
+            }
+            Cfg::Loop { body, .. } => Self::validate_cfg(body, block_count)?,
+            Cfg::Branch(alts) => {
+                if alts.is_empty() {
+                    return Err(CacheError::InvalidProgram {
+                        reason: "branch must have at least one alternative".into(),
+                    });
+                }
+                for a in alts {
+                    Self::validate_cfg(a, block_count)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience constructor: `n` consecutive full-line blocks starting
+    /// at `start`, each with `insts_per_block` two-byte instructions,
+    /// executed once in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidProgram`] if `n` or `insts_per_block`
+    /// is zero.
+    pub fn straight_line(start: u64, n: u32, insts_per_block: u32) -> Result<Self> {
+        if n == 0 {
+            return Err(CacheError::InvalidProgram {
+                reason: "straight-line program must have at least one block".into(),
+            });
+        }
+        let mut blocks = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            blocks.push(BasicBlock::new(
+                start + u64::from(i) * u64::from(insts_per_block) * 2,
+                insts_per_block,
+                2,
+            )?);
+        }
+        let cfg = Cfg::Seq((0..n as usize).map(Cfg::Block).collect());
+        Program::new(blocks, cfg)
+    }
+
+    /// The block table.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The control-flow tree.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// Maximum number of instruction fetches over all paths.
+    pub fn worst_case_fetch_count(&self) -> u64 {
+        self.fetches(&self.cfg)
+    }
+
+    fn fetches(&self, cfg: &Cfg) -> u64 {
+        match cfg {
+            Cfg::Block(i) => u64::from(self.blocks[*i].inst_count),
+            Cfg::Seq(children) => children.iter().map(|c| self.fetches(c)).sum(),
+            Cfg::Loop { body, iterations } => self.fetches(body) * u64::from(*iterations),
+            Cfg::Branch(alts) => alts.iter().map(|a| self.fetches(a)).max().unwrap_or(0),
+        }
+    }
+
+    /// Distinct cache lines touched on *any* path.
+    pub fn distinct_lines(&self, config: &CacheConfig) -> Vec<u64> {
+        let mut lines = Vec::new();
+        self.collect_lines(&self.cfg, config, &mut lines);
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    fn collect_lines(&self, cfg: &Cfg, config: &CacheConfig, out: &mut Vec<u64>) {
+        match cfg {
+            Cfg::Block(i) => out.extend(self.blocks[*i].lines_touched(config)),
+            Cfg::Seq(children) => {
+                for c in children {
+                    self.collect_lines(c, config, out);
+                }
+            }
+            Cfg::Loop { body, .. } => self.collect_lines(body, config, out),
+            Cfg::Branch(alts) => {
+                for a in alts {
+                    self.collect_lines(a, config, out);
+                }
+            }
+        }
+    }
+
+    /// Flattens one *concrete* path into a fetch-address trace. Branch
+    /// decisions are taken from `chooser`, called with the branch's
+    /// alternative count and returning the chosen index (clamped).
+    pub fn trace_with(&self, mut chooser: impl FnMut(usize) -> usize) -> Vec<u64> {
+        let mut trace = Vec::new();
+        self.walk(&self.cfg, &mut chooser, &mut trace);
+        trace
+    }
+
+    /// Flattens the program into a trace taking the first alternative of
+    /// every branch.
+    pub fn trace_first_path(&self) -> Vec<u64> {
+        self.trace_with(|_| 0)
+    }
+
+    fn walk(
+        &self,
+        cfg: &Cfg,
+        chooser: &mut impl FnMut(usize) -> usize,
+        out: &mut Vec<u64>,
+    ) {
+        match cfg {
+            Cfg::Block(i) => out.extend(self.blocks[*i].fetch_addresses()),
+            Cfg::Seq(children) => {
+                for c in children {
+                    self.walk(c, chooser, out);
+                }
+            }
+            Cfg::Loop { body, iterations } => {
+                for _ in 0..*iterations {
+                    self.walk(body, chooser, out);
+                }
+            }
+            Cfg::Branch(alts) => {
+                let pick = chooser(alts.len()).min(alts.len() - 1);
+                self.walk(&alts[pick], chooser, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_small() -> CacheConfig {
+        CacheConfig::date18()
+    }
+
+    #[test]
+    fn block_fetch_addresses() {
+        let b = BasicBlock::new(0x100, 4, 2).unwrap();
+        let addrs: Vec<u64> = b.fetch_addresses().collect();
+        assert_eq!(addrs, vec![0x100, 0x102, 0x104, 0x106]);
+        assert_eq!(b.end(), 0x108);
+    }
+
+    #[test]
+    fn block_lines_touched_spans_lines() {
+        // 8 two-byte instructions starting 4 bytes before a line boundary.
+        let b = BasicBlock::new(12, 8, 2).unwrap();
+        let lines = b.lines_touched(&cfg_small());
+        assert_eq!(lines, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_count_block_rejected() {
+        assert!(BasicBlock::new(0, 0, 2).is_err());
+        assert!(BasicBlock::new(0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn program_validates_block_indices() {
+        let blocks = vec![BasicBlock::new(0, 1, 2).unwrap()];
+        assert!(Program::new(blocks.clone(), Cfg::Block(1)).is_err());
+        assert!(Program::new(blocks.clone(), Cfg::Branch(vec![])).is_err());
+        assert!(Program::new(vec![], Cfg::Seq(vec![])).is_err());
+        assert!(Program::new(blocks, Cfg::Block(0)).is_ok());
+    }
+
+    #[test]
+    fn worst_case_fetches_take_max_branch() {
+        let blocks = vec![
+            BasicBlock::new(0, 2, 2).unwrap(),
+            BasicBlock::new(0x10, 10, 2).unwrap(),
+        ];
+        let cfg = Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]);
+        let p = Program::new(blocks, cfg).unwrap();
+        assert_eq!(p.worst_case_fetch_count(), 10);
+    }
+
+    #[test]
+    fn loop_multiplies_fetches() {
+        let p = Program::straight_line(0, 2, 8).unwrap();
+        assert_eq!(p.worst_case_fetch_count(), 16);
+        let looped = Program::new(
+            p.blocks().to_vec(),
+            Cfg::Loop {
+                body: Box::new(Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1)])),
+                iterations: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(looped.worst_case_fetch_count(), 80);
+    }
+
+    #[test]
+    fn distinct_lines_dedup() {
+        let p = Program::straight_line(0, 3, 8).unwrap(); // 3 full lines
+        assert_eq!(p.distinct_lines(&cfg_small()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trace_respects_chooser() {
+        let blocks = vec![
+            BasicBlock::new(0, 1, 2).unwrap(),
+            BasicBlock::new(0x20, 1, 2).unwrap(),
+        ];
+        let cfg = Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]);
+        let p = Program::new(blocks, cfg).unwrap();
+        assert_eq!(p.trace_with(|_| 1), vec![0x20]);
+        assert_eq!(p.trace_first_path(), vec![0]);
+    }
+
+    #[test]
+    fn branch_count() {
+        let blocks = vec![BasicBlock::new(0, 1, 2).unwrap()];
+        let cfg = Cfg::Seq(vec![
+            Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(0)]),
+            Cfg::Loop {
+                body: Box::new(Cfg::Branch(vec![Cfg::Block(0)])),
+                iterations: 2,
+            },
+        ]);
+        let p = Program::new(blocks, cfg).unwrap();
+        assert_eq!(p.cfg().branch_count(), 2);
+    }
+
+    #[test]
+    fn straight_line_layout_is_contiguous() {
+        let p = Program::straight_line(0x40, 4, 8).unwrap();
+        let trace = p.trace_first_path();
+        assert_eq!(trace.len(), 32);
+        assert_eq!(trace[0], 0x40);
+        assert_eq!(*trace.last().unwrap(), 0x40 + 31 * 2);
+    }
+}

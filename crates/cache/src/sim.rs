@@ -1,0 +1,473 @@
+//! Concrete set-associative cache simulator.
+
+use crate::{CacheConfig, ReplacementPolicy, Result};
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched into an empty way.
+    MissFill,
+    /// The line was fetched and evicted another line.
+    MissEvict {
+        /// The line number that was displaced.
+        victim: u64,
+    },
+}
+
+impl AccessOutcome {
+    /// Returns `true` for both miss variants.
+    pub fn is_miss(self) -> bool {
+        !matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+    /// Number of misses that displaced a resident line.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total number of recorded accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Total cycles under the given timing model.
+    pub fn cycles(&self, config: &CacheConfig) -> u64 {
+        self.hits * config.hit_cycles + self.misses * config.miss_cycles
+    }
+
+    /// Hit rate in `[0, 1]`; zero for an empty run.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// One way of a set: the resident line and its replacement metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    line: u64,
+    /// LRU: logical timestamp of last use. FIFO: timestamp of fill.
+    stamp: u64,
+}
+
+/// A concrete instruction-cache state.
+///
+/// Addresses are byte addresses; the cache tracks whole lines. The same
+/// structure serves direct-mapped (associativity 1) and set-associative
+/// LRU/FIFO configurations.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{Cache, CacheConfig, AccessOutcome};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let mut cache = Cache::new(CacheConfig::date18())?;
+/// assert!(cache.access(0x100).is_miss());
+/// assert_eq!(cache.access(0x100), AccessOutcome::Hit);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets()` rows of up to `associativity` ways each.
+    sets: Vec<Vec<Way>>,
+    /// Tree-PLRU direction bits per set (node `i`'s bit at position `i`;
+    /// root is node 1). Unused for LRU/FIFO.
+    plru: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CacheError::InvalidGeometry`] if the configuration
+    /// is invalid.
+    pub fn new(config: CacheConfig) -> Result<Self> {
+        config.validate()?;
+        let sets = vec![Vec::with_capacity(config.associativity as usize); config.sets() as usize];
+        Ok(Cache {
+            config,
+            plru: vec![0; sets.len()],
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated since construction or the last
+    /// [`Cache::reset_stats`].
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the statistics but keeps the cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache (cold state) and clears statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        for bits in &mut self.plru {
+            *bits = 0;
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+
+    /// Returns `true` if the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.config.line_of(addr);
+        let set = &self.sets[self.config.set_of_line(line) as usize];
+        set.iter().any(|w| w.line == line)
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Performs an instruction fetch at byte address `addr`.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        let line = self.config.line_of(addr);
+        self.access_line(line)
+    }
+
+    /// Performs an access by line number (bypassing address translation).
+    pub fn access_line(&mut self, line: u64) -> AccessOutcome {
+        self.clock += 1;
+        let assoc = self.config.associativity as usize;
+        let policy = self.config.policy;
+        let set_idx = self.config.set_of_line(line) as usize;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            match policy {
+                ReplacementPolicy::Lru => set[pos].stamp = self.clock,
+                ReplacementPolicy::Plru => plru_touch(&mut self.plru[set_idx], assoc, pos),
+                ReplacementPolicy::Fifo => {}
+            }
+            self.stats.hits += 1;
+            return AccessOutcome::Hit;
+        }
+
+        self.stats.misses += 1;
+        if set.len() < assoc {
+            set.push(Way {
+                line,
+                stamp: self.clock,
+            });
+            if policy == ReplacementPolicy::Plru {
+                plru_touch(&mut self.plru[set_idx], assoc, set.len() - 1);
+            }
+            return AccessOutcome::MissFill;
+        }
+
+        let victim_idx = match policy {
+            // Evict the way with the smallest stamp (oldest use for LRU,
+            // oldest fill for FIFO).
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("set is full, so non-empty"),
+            // Follow the tree bits to the pseudo-LRU way.
+            ReplacementPolicy::Plru => plru_select(self.plru[set_idx], assoc),
+        };
+        let victim = set[victim_idx].line;
+        set[victim_idx] = Way {
+            line,
+            stamp: self.clock,
+        };
+        if policy == ReplacementPolicy::Plru {
+            plru_touch(&mut self.plru[set_idx], assoc, victim_idx);
+        }
+        self.stats.evictions += 1;
+        AccessOutcome::MissEvict { victim }
+    }
+
+    /// Runs a sequence of byte-address fetches, returning the cycles they
+    /// consumed under the configured timing model.
+    pub fn run_trace(&mut self, addrs: impl IntoIterator<Item = u64>) -> u64 {
+        let mut cycles = 0;
+        for addr in addrs {
+            let outcome = self.access(addr);
+            cycles += if outcome.is_miss() {
+                self.config.miss_cycles
+            } else {
+                self.config.hit_cycles
+            };
+        }
+        cycles
+    }
+
+    /// Set of resident line numbers, sorted (for tests and debugging).
+    pub fn resident_line_numbers(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self
+            .sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| w.line))
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+}
+
+/// Marks `way` as most recently used in a tree-PLRU set of `assoc` ways:
+/// every node on the root-to-leaf path is pointed *away* from `way`.
+fn plru_touch(bits: &mut u64, assoc: usize, way: usize) {
+    debug_assert!(assoc.is_power_of_two() && way < assoc);
+    let levels = assoc.trailing_zeros();
+    let mut node = 1usize;
+    for i in (0..levels).rev() {
+        let dir = (way >> i) & 1;
+        if dir == 0 {
+            *bits |= 1 << node; // point right, away from the left child
+        } else {
+            *bits &= !(1 << node); // point left
+        }
+        node = node * 2 + dir;
+    }
+}
+
+/// Follows the tree-PLRU direction bits to the victim way index.
+fn plru_select(bits: u64, assoc: usize) -> usize {
+    debug_assert!(assoc.is_power_of_two());
+    let levels = assoc.trailing_zeros();
+    let mut node = 1usize;
+    for _ in 0..levels {
+        let dir = ((bits >> node) & 1) as usize;
+        node = node * 2 + dir;
+    }
+    node - assoc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheError;
+
+    fn small_config(assoc: u32) -> CacheConfig {
+        CacheConfig {
+            lines: 8,
+            line_bytes: 16,
+            associativity: assoc,
+            hit_cycles: 1,
+            miss_cycles: 10,
+            policy: ReplacementPolicy::Lru,
+            clock_hz: 1e6,
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(small_config(1)).unwrap();
+        assert_eq!(c.access(0), AccessOutcome::MissFill);
+        assert_eq!(c.access(4), AccessOutcome::Hit); // same 16-byte line
+        assert_eq!(c.access(16), AccessOutcome::MissFill); // next line
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = Cache::new(small_config(1)).unwrap();
+        // Lines 0 and 8 map to the same set in an 8-set cache.
+        c.access_line(0);
+        assert_eq!(c.access_line(8), AccessOutcome::MissEvict { victim: 0 });
+        assert_eq!(c.access_line(0), AccessOutcome::MissEvict { victim: 8 });
+    }
+
+    #[test]
+    fn two_way_lru_keeps_both() {
+        let mut c = Cache::new(small_config(2)).unwrap();
+        // 4 sets; lines 0 and 4 share set 0 and can co-reside.
+        c.access_line(0);
+        c.access_line(4);
+        assert_eq!(c.access_line(0), AccessOutcome::Hit);
+        assert_eq!(c.access_line(4), AccessOutcome::Hit);
+        // A third conflicting line evicts the least recently used (0 was
+        // touched before 4 in the last round → victim is 0).
+        c.access_line(0);
+        c.access_line(4);
+        assert_eq!(c.access_line(8), AccessOutcome::MissEvict { victim: 0 });
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_fill_not_oldest_use() {
+        let mut cfg = small_config(2);
+        cfg.policy = ReplacementPolicy::Fifo;
+        let mut c = Cache::new(cfg).unwrap();
+        c.access_line(0); // fill 0
+        c.access_line(4); // fill 4
+        c.access_line(0); // re-use 0; FIFO ignores this
+        assert_eq!(c.access_line(8), AccessOutcome::MissEvict { victim: 0 });
+    }
+
+    #[test]
+    fn lru_respects_recency() {
+        let mut c = Cache::new(small_config(2)).unwrap();
+        c.access_line(0);
+        c.access_line(4);
+        c.access_line(0); // 0 now most recent
+        assert_eq!(c.access_line(8), AccessOutcome::MissEvict { victim: 4 });
+    }
+
+    #[test]
+    fn run_trace_counts_cycles() {
+        let mut c = Cache::new(small_config(1)).unwrap();
+        // Two misses (lines 0, 1) + one hit (line 0 again).
+        let cycles = c.run_trace([0u64, 16, 0]);
+        assert_eq!(cycles, 10 + 10 + 1);
+        assert_eq!(c.stats().cycles(c.config()), 21);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = Cache::new(small_config(1)).unwrap();
+        c.access_line(3);
+        assert!(c.contains(3 * 16));
+        c.flush();
+        assert!(!c.contains(3 * 16));
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = Cache::new(small_config(2)).unwrap();
+        for line in 0..100 {
+            c.access_line(line);
+        }
+        assert!(c.resident_lines() <= 8);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mut cfg = small_config(1);
+        cfg.associativity = 3;
+        assert!(matches!(
+            Cache::new(cfg),
+            Err(CacheError::InvalidGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = Cache::new(small_config(1)).unwrap();
+        c.run_trace([0u64, 0, 0, 16]);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    fn plru_config(assoc: u32) -> CacheConfig {
+        CacheConfig {
+            policy: ReplacementPolicy::Plru,
+            ..small_config(assoc)
+        }
+    }
+
+    #[test]
+    fn plru_degenerates_to_lru_for_two_ways() {
+        // With 2 ways the PLRU tree has a single bit: identical to LRU.
+        let mut plru = Cache::new(plru_config(2)).unwrap();
+        let mut lru = Cache::new(small_config(2)).unwrap();
+        let mut x: u64 = 0x853C49E6748FEA9B;
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 12;
+            assert_eq!(
+                plru.access_line(line).is_miss(),
+                lru.access_line(line).is_miss(),
+                "2-way PLRU diverged from LRU on line {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn plru_never_evicts_most_recently_used() {
+        let mut c = Cache::new(plru_config(4)).unwrap();
+        // 2 sets; lines 0,2,4,6 map to set 0. Fill the set.
+        for line in [0u64, 2, 4, 6] {
+            c.access_line(line);
+        }
+        // Touch line 4, then force an eviction: 4 must survive.
+        c.access_line(4);
+        match c.access_line(8) {
+            AccessOutcome::MissEvict { victim } => assert_ne!(victim, 4),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(4 * 16));
+    }
+
+    #[test]
+    fn plru_tree_helpers_roundtrip() {
+        // After touching way w, the selector must not pick w.
+        for assoc in [2usize, 4, 8, 16] {
+            let mut bits = 0u64;
+            for w in 0..assoc {
+                plru_touch(&mut bits, assoc, w);
+                assert_ne!(plru_select(bits, assoc), w);
+            }
+        }
+    }
+
+    #[test]
+    fn plru_requires_power_of_two_associativity() {
+        let mut cfg = plru_config(2);
+        cfg.lines = 12;
+        cfg.associativity = 3;
+        assert!(matches!(
+            Cache::new(cfg),
+            Err(CacheError::InvalidGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn plru_flush_resets_tree_state() {
+        let mut c = Cache::new(plru_config(4)).unwrap();
+        for line in [0u64, 2, 4, 6, 8] {
+            c.access_line(line);
+        }
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        // After a flush the fill order must be deterministic again.
+        assert_eq!(c.access_line(0), AccessOutcome::MissFill);
+    }
+
+    #[test]
+    fn resident_line_numbers_sorted() {
+        let mut c = Cache::new(small_config(1)).unwrap();
+        c.access_line(5);
+        c.access_line(2);
+        assert_eq!(c.resident_line_numbers(), vec![2, 5]);
+    }
+}

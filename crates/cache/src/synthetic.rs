@@ -1,0 +1,554 @@
+//! Synthetic control-program construction calibrated to prescribed
+//! cold/warm WCET cycle counts.
+//!
+//! The paper's Table I reports, per application, the WCET without cache
+//! reuse, the guaranteed WCET reduction, and the WCET with reuse — numbers
+//! obtained from real binaries with an industrial analyser. We do not have
+//! those binaries, so this module constructs a synthetic program whose
+//! [`analyze_consecutive`](crate::analyze_consecutive) results hit the
+//! requested cycle counts *exactly* on the paper's platform model
+//! (direct-mapped cache, 1-cycle hit, 100-cycle miss).
+//!
+//! # Construction
+//!
+//! For a direct-mapped cache with `S` sets the program is laid out as:
+//!
+//! * a **hot loop** over `La` distinct lines (sets `0..La`), iterated `I`
+//!   times — models the control-law computation;
+//! * a **plain tail** of `Lt0` lines in otherwise unused sets — models
+//!   straight-line sensor conditioning / output code;
+//! * `k` **conflict lines** mapping onto the loop's first `k` sets —
+//!   models code that exceeds the cache capacity (each costs one cold miss
+//!   and *two* warm misses: it evicts a loop line, and the next execution's
+//!   loop evicts it back);
+//! * `p` **self-conflict pairs** — two lines sharing a set, both of which
+//!   miss in every execution (two cold and two warm misses each);
+//! * a **pad** re-executing resident lines to adjust the total fetch count
+//!   without changing the miss counts.
+//!
+//! Given target cycles, the calibrator solves for
+//! `(La, Lt0, k, p, I, pad)` in closed form plus a small search.
+
+use crate::{analyze_consecutive, BasicBlock, CacheConfig, CacheError, Cfg, Program, Result};
+
+/// Requested cold/warm cycle counts for a synthetic program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationTarget {
+    /// Target WCET (cycles) with a cold cache — Table I row 1.
+    pub cold_cycles: u64,
+    /// Target WCET (cycles) when re-executed immediately — Table I row 3.
+    pub warm_cycles: u64,
+}
+
+impl CalibrationTarget {
+    /// Creates a target from microsecond values at the configured clock,
+    /// rounding to the nearest cycle.
+    pub fn from_micros(config: &CacheConfig, cold_us: f64, warm_us: f64) -> Self {
+        let to_cycles = |us: f64| (us * 1e-6 * config.clock_hz).round() as u64;
+        CalibrationTarget {
+            cold_cycles: to_cycles(cold_us),
+            warm_cycles: to_cycles(warm_us),
+        }
+    }
+}
+
+/// A synthetic program together with the structural parameters the
+/// calibrator chose. Produced by [`SyntheticProgram::calibrate`].
+#[derive(Debug, Clone)]
+pub struct SyntheticProgram {
+    program: Program,
+    /// Number of hot-loop lines.
+    pub loop_lines: u32,
+    /// Loop iteration bound.
+    pub loop_iterations: u32,
+    /// Plain straight-line tail lines.
+    pub tail_lines: u32,
+    /// Lines conflicting with the loop (capacity overflow).
+    pub conflict_lines: u32,
+    /// Self-conflicting line pairs.
+    pub conflict_pairs: u32,
+    /// Extra padding fetches over resident lines.
+    pub pad_fetches: u64,
+    /// Instructions executed per line in the main sections (1 or full line).
+    pub insts_per_line: u32,
+}
+
+impl SyntheticProgram {
+    /// The calibrated program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Total distinct cache lines the program occupies.
+    pub fn distinct_lines(&self) -> u32 {
+        self.loop_lines + self.tail_lines + self.conflict_lines + 2 * self.conflict_pairs
+    }
+
+    /// Builds a program hitting `target` exactly under `config`, placed at
+    /// byte address `base_addr` (must be aligned to `sets * line_bytes`).
+    ///
+    /// # Errors
+    ///
+    /// * [`CacheError::InvalidGeometry`] if `config` is not a direct-mapped
+    ///   LRU cache or `base_addr` is misaligned.
+    /// * [`CacheError::CalibrationInfeasible`] if no structure matches the
+    ///   targets (e.g. the cold/warm difference is not a multiple of the
+    ///   miss penalty).
+    ///
+    /// The result is self-verified: the returned program's
+    /// [`analyze_consecutive`] output equals the target.
+    pub fn calibrate(
+        target: CalibrationTarget,
+        config: &CacheConfig,
+        base_addr: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        if config.associativity != 1 {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "calibration requires a direct-mapped cache",
+            });
+        }
+        let s = u64::from(config.sets());
+        let region = s * u64::from(config.line_bytes);
+        if !base_addr.is_multiple_of(region) {
+            return Err(CacheError::InvalidGeometry {
+                parameter: "base_addr must be aligned to sets * line_bytes",
+            });
+        }
+        if target.warm_cycles > target.cold_cycles {
+            return Err(CacheError::CalibrationInfeasible {
+                reason: "warm cycles exceed cold cycles".into(),
+            });
+        }
+        let penalty = config.miss_penalty();
+        if penalty == 0 {
+            return Err(CacheError::CalibrationInfeasible {
+                reason: "zero miss penalty cannot distinguish cold from warm".into(),
+            });
+        }
+        let diff = target.cold_cycles - target.warm_cycles;
+        if !diff.is_multiple_of(penalty) {
+            return Err(CacheError::CalibrationInfeasible {
+                reason: format!(
+                    "cold-warm difference {diff} is not a multiple of the miss penalty {penalty}"
+                ),
+            });
+        }
+        let m_delta = diff / penalty;
+        let h = config.hit_cycles;
+
+        // Search the smallest even warm-miss count m_warm such that the
+        // derived structure is consistent; prefer programs larger than the
+        // cache (m_cold > S), falling back to smaller ones.
+        let mut fallback: Option<Params> = None;
+        let mut w = 0u64;
+        // Upper bound for the scan: fetch count must stay >= m_cold.
+        while w <= m_delta + 4 * s + 64 {
+            if let Some(params) = Self::try_params(target, config, m_delta, w) {
+                if params.m_cold > s {
+                    return Self::build(params, config, base_addr, target);
+                }
+                if fallback.is_none() {
+                    fallback = Some(params);
+                }
+            }
+            w += 2;
+        }
+        if let Some(params) = fallback {
+            return Self::build(params, config, base_addr, target);
+        }
+        Err(CacheError::CalibrationInfeasible {
+            reason: format!(
+                "no structure found for cold={} warm={} (penalty {penalty}, hit {h})",
+                target.cold_cycles, target.warm_cycles
+            ),
+        })
+    }
+
+    fn try_params(
+        target: CalibrationTarget,
+        config: &CacheConfig,
+        m_delta: u64,
+        m_warm: u64,
+    ) -> Option<Params> {
+        let s = u64::from(config.sets());
+        let h = config.hit_cycles;
+        let penalty = config.miss_penalty();
+        let m_cold = m_warm + m_delta;
+        if m_cold == 0 {
+            return None;
+        }
+        // Total fetches n from: cold = n*h + penalty*m_cold.
+        let cost = penalty.checked_mul(m_cold)?;
+        if target.cold_cycles < cost {
+            return None;
+        }
+        let rem = target.cold_cycles - cost;
+        if !rem.is_multiple_of(h) {
+            return None;
+        }
+        let n = rem / h;
+        if n < m_cold {
+            return None; // fewer fetches than distinct lines
+        }
+        // Split warm misses into loop-conflicts k and self pairs p.
+        let half = m_warm / 2;
+        let k = m_cold.saturating_sub(s).min(half);
+        let p = half - k;
+        // Sets used: (La + Lt0) + p <= S with La + Lt0 = m_cold - k - 2p.
+        let body = m_cold.checked_sub(k + 2 * p)?;
+        if body == 0 || body + p > s {
+            return None;
+        }
+        // Loop must cover the conflicting sets: La >= max(k, 1).
+        let la_min = k.max(1);
+        if body < la_min {
+            return None;
+        }
+        // Choose instructions per line: prefer full lines if the fetch
+        // budget allows, else single-instruction ("jumpy") lines.
+        let full = u64::from(config.line_bytes) / 2; // 2-byte instructions
+        let ipl = if n >= full * m_cold { full } else { 1 };
+        // extra fetches absorbed by loop iterations and pad.
+        let extra = n - ipl * m_cold;
+        // Choose La as large as allowed to keep iteration counts small, but
+        // leave at least one line outside the conflict zone resident for
+        // padding when possible.
+        let la = body.min(s / 2).max(la_min);
+        let lt0 = body - la;
+        let per_iter = ipl * la;
+        let (iters, pad) = if extra == 0 {
+            (1u64, 0u64)
+        } else {
+            (1 + extra / per_iter, extra % per_iter)
+        };
+        // Pad needs a resident target line: plain tail, a non-conflicting
+        // loop line, or a pair's second line.
+        if pad > 0 && lt0 == 0 && la == k && p == 0 {
+            return None;
+        }
+        Some(Params {
+            m_cold,
+            la,
+            lt0,
+            k,
+            p,
+            ipl,
+            iters,
+            pad,
+        })
+    }
+
+    fn build(
+        params: Params,
+        config: &CacheConfig,
+        base_addr: u64,
+        target: CalibrationTarget,
+    ) -> Result<SyntheticProgram> {
+        let Params {
+            la,
+            lt0,
+            k,
+            p,
+            ipl,
+            iters,
+            pad,
+            ..
+        } = params;
+        let s = u64::from(config.sets());
+        let lb = u64::from(config.line_bytes);
+        let addr_of_line = |line: u64| base_addr + line * lb;
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut seq: Vec<Cfg> = Vec::new();
+        let push_line_block =
+            |blocks: &mut Vec<BasicBlock>, line: u64, count: u32| -> Result<usize> {
+                let b = BasicBlock::new(addr_of_line(line), count, 2)?;
+                blocks.push(b);
+                Ok(blocks.len() - 1)
+            };
+
+        // Hot loop: lines 0..la.
+        let mut loop_body = Vec::with_capacity(la as usize);
+        for line in 0..la {
+            let idx = push_line_block(&mut blocks, line, ipl as u32)?;
+            loop_body.push(Cfg::Block(idx));
+        }
+        if iters > 1 {
+            seq.push(Cfg::Loop {
+                body: Box::new(Cfg::Seq(loop_body)),
+                iterations: iters as u32,
+            });
+        } else {
+            seq.extend(loop_body);
+        }
+
+        // Plain tail: lines la..la+lt0.
+        for line in la..la + lt0 {
+            let idx = push_line_block(&mut blocks, line, ipl as u32)?;
+            seq.push(Cfg::Block(idx));
+        }
+
+        // Conflict lines: line numbers S..S+k (sets 0..k).
+        for j in 0..k {
+            let idx = push_line_block(&mut blocks, s + j, ipl as u32)?;
+            seq.push(Cfg::Block(idx));
+        }
+
+        // Self-conflict pairs in sets la+lt0 .. la+lt0+p.
+        for q in 0..p {
+            let set = la + lt0 + q;
+            let idx_a = push_line_block(&mut blocks, set, ipl as u32)?;
+            let idx_b = push_line_block(&mut blocks, s + set, ipl as u32)?;
+            seq.push(Cfg::Block(idx_a));
+            seq.push(Cfg::Block(idx_b));
+        }
+
+        // Pad: re-fetch resident lines. Targets in order of preference:
+        // plain tail, loop lines beyond the conflict zone, pair second
+        // lines.
+        if pad > 0 {
+            let targets: Vec<u64> = if lt0 > 0 {
+                (la..la + lt0).collect()
+            } else if la > k {
+                (k..la).collect()
+            } else {
+                (0..p).map(|q| s + la + lt0 + q).collect()
+            };
+            if targets.is_empty() {
+                return Err(CacheError::CalibrationInfeasible {
+                    reason: "no resident line available for padding".into(),
+                });
+            }
+            let full = u64::from(config.line_bytes) / 2;
+            let mut remaining = pad;
+            let mut t = 0usize;
+            while remaining > 0 {
+                let count = remaining.min(full) as u32;
+                let idx = push_line_block(&mut blocks, targets[t % targets.len()], count)?;
+                seq.push(Cfg::Block(idx));
+                remaining -= u64::from(count);
+                t += 1;
+            }
+        }
+
+        let program = Program::new(blocks, Cfg::Seq(seq))?;
+        let out = SyntheticProgram {
+            program,
+            loop_lines: la as u32,
+            loop_iterations: iters as u32,
+            tail_lines: lt0 as u32,
+            conflict_lines: k as u32,
+            conflict_pairs: p as u32,
+            pad_fetches: pad,
+            insts_per_line: ipl as u32,
+        };
+        // Self-verification: the analysis must reproduce the target.
+        let analysis = analyze_consecutive(out.program(), config)?;
+        if analysis.cold_cycles != target.cold_cycles
+            || analysis.warm_cycles != target.warm_cycles
+        {
+            return Err(CacheError::CalibrationInfeasible {
+                reason: format!(
+                    "self-check failed: built (cold={}, warm={}) for target (cold={}, warm={})",
+                    analysis.cold_cycles,
+                    analysis.warm_cycles,
+                    target.cold_cycles,
+                    target.warm_cycles
+                ),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Params {
+    m_cold: u64,
+    la: u64,
+    lt0: u64,
+    k: u64,
+    p: u64,
+    ipl: u64,
+    iters: u64,
+    pad: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_consecutive;
+
+    fn config() -> CacheConfig {
+        CacheConfig::date18()
+    }
+
+    /// Table I, application C1: 907.55 µs cold, 452.15 µs warm at 20 MHz.
+    #[test]
+    fn calibrates_paper_c1() {
+        let target = CalibrationTarget {
+            cold_cycles: 18151,
+            warm_cycles: 9043,
+        };
+        let sp = SyntheticProgram::calibrate(target, &config(), 0).unwrap();
+        let a = analyze_consecutive(sp.program(), &config()).unwrap();
+        assert_eq!(a.cold_cycles, 18151);
+        assert_eq!(a.warm_cycles, 9043);
+        assert_eq!(a.guaranteed_reduction_cycles(), 9108);
+        // Program exceeds the cache (paper assumption).
+        assert!(sp.distinct_lines() > 128);
+    }
+
+    /// Table I, application C2: 645.25 µs cold, 175.00 µs warm.
+    #[test]
+    fn calibrates_paper_c2() {
+        let target = CalibrationTarget {
+            cold_cycles: 12905,
+            warm_cycles: 3500,
+        };
+        let sp = SyntheticProgram::calibrate(target, &config(), 0x8000).unwrap();
+        let a = analyze_consecutive(sp.program(), &config()).unwrap();
+        assert_eq!(a.cold_cycles, 12905);
+        assert_eq!(a.warm_cycles, 3500);
+        assert_eq!(a.guaranteed_reduction_cycles(), 9405);
+    }
+
+    /// Table I, application C3: 749.15 µs cold, 234.35 µs warm.
+    #[test]
+    fn calibrates_paper_c3() {
+        let target = CalibrationTarget {
+            cold_cycles: 14983,
+            warm_cycles: 4687,
+        };
+        let sp = SyntheticProgram::calibrate(target, &config(), 0x10000).unwrap();
+        let a = analyze_consecutive(sp.program(), &config()).unwrap();
+        assert_eq!(a.cold_cycles, 14983);
+        assert_eq!(a.warm_cycles, 4687);
+        assert_eq!(a.guaranteed_reduction_cycles(), 10296);
+    }
+
+    #[test]
+    fn micros_round_trip_matches_table_one() {
+        let c = config();
+        let t = CalibrationTarget::from_micros(&c, 907.55, 452.15);
+        assert_eq!(t.cold_cycles, 18151);
+        assert_eq!(t.warm_cycles, 9043);
+    }
+
+    #[test]
+    fn rejects_non_multiple_difference() {
+        let target = CalibrationTarget {
+            cold_cycles: 1000,
+            warm_cycles: 950, // diff 50, penalty 99
+        };
+        assert!(matches!(
+            SyntheticProgram::calibrate(target, &config(), 0),
+            Err(CacheError::CalibrationInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_warm_above_cold() {
+        let target = CalibrationTarget {
+            cold_cycles: 100,
+            warm_cycles: 200,
+        };
+        assert!(SyntheticProgram::calibrate(target, &config(), 0).is_err());
+    }
+
+    #[test]
+    fn rejects_misaligned_base() {
+        let target = CalibrationTarget {
+            cold_cycles: 18151,
+            warm_cycles: 9043,
+        };
+        assert!(SyntheticProgram::calibrate(target, &config(), 8).is_err());
+    }
+
+    #[test]
+    fn rejects_set_associative_config() {
+        let mut c = config();
+        c.associativity = 2;
+        let target = CalibrationTarget {
+            cold_cycles: 18151,
+            warm_cycles: 9043,
+        };
+        assert!(matches!(
+            SyntheticProgram::calibrate(target, &c, 0),
+            Err(CacheError::InvalidGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn small_fully_cached_program() {
+        // Cold 10 lines * 100 + 70 hits = 1070; warm all hits = 80.
+        let target = CalibrationTarget {
+            cold_cycles: 1070,
+            warm_cycles: 80,
+        };
+        let sp = SyntheticProgram::calibrate(target, &config(), 0).unwrap();
+        let a = analyze_consecutive(sp.program(), &config()).unwrap();
+        assert_eq!(a.cold_cycles, 1070);
+        assert_eq!(a.warm_cycles, 80);
+    }
+
+    #[test]
+    fn calibration_sweep_random_targets() {
+        // Many feasible targets: cold = n + 99*mc, warm = n + 99*mw.
+        let c = config();
+        // Note: physically, warm misses can never be below
+        // `cold_misses - sets` (at most 128 lines survive to the second
+        // execution), so every case respects mw >= mc - 128.
+        let cases = [
+            (5000u64, 40u64, 10u64),
+            (2000, 150, 30),
+            (1500, 140, 12),
+            (4096, 200, 144),
+            (900, 129, 34),
+        ];
+        for (n, mc, mw) in cases {
+            if mw % 2 != 0 || mw > mc || n < mc {
+                continue;
+            }
+            let target = CalibrationTarget {
+                cold_cycles: n + 99 * mc,
+                warm_cycles: n + 99 * mw,
+            };
+            let sp = SyntheticProgram::calibrate(target, &c, 0).unwrap_or_else(|e| {
+                panic!("calibration failed for n={n} mc={mc} mw={mw}: {e}")
+            });
+            let a = analyze_consecutive(sp.program(), &c).unwrap();
+            assert_eq!(a.cold_cycles, target.cold_cycles, "cold n={n} mc={mc} mw={mw}");
+            assert_eq!(a.warm_cycles, target.warm_cycles, "warm n={n} mc={mc} mw={mw}");
+        }
+    }
+
+    #[test]
+    fn physically_impossible_target_is_rejected() {
+        // 200 distinct-line cold misses but only 60 warm misses is
+        // impossible on a 128-set cache: at least 200 - 128 = 72 lines
+        // cannot survive into the second execution.
+        let target = CalibrationTarget {
+            cold_cycles: 4096 + 99 * 200,
+            warm_cycles: 4096 + 99 * 60,
+        };
+        assert!(matches!(
+            SyntheticProgram::calibrate(target, &config(), 0),
+            Err(CacheError::CalibrationInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn concrete_simulation_agrees_with_calibrated_analysis() {
+        use crate::{simulate_trace, Cache};
+        let target = CalibrationTarget {
+            cold_cycles: 18151,
+            warm_cycles: 9043,
+        };
+        let sp = SyntheticProgram::calibrate(target, &config(), 0).unwrap();
+        let mut cache = Cache::new(config()).unwrap();
+        let cold = simulate_trace(sp.program(), &mut cache);
+        let warm = simulate_trace(sp.program(), &mut cache);
+        assert_eq!(cold, 18151);
+        assert_eq!(warm, 9043);
+    }
+}

@@ -1,0 +1,348 @@
+//! Worst-case execution time analysis over the structured program model.
+//!
+//! The core entry point is [`analyze_consecutive`], which computes the
+//! three quantities of the paper's Table I for a program:
+//!
+//! * the **cold** WCET (first task of a run, empty or clobbered cache),
+//! * the **guaranteed WCET reduction** when the same program runs again
+//!   immediately (cache still holds its instructions), and
+//! * the resulting **warm** WCET of the second and later consecutive
+//!   tasks: `E^wc(j ≥ 2) = E^wc(1) − E^gu` (paper eq. (5)).
+//!
+//! The analysis is abstract-interpretation based: an access costs
+//! `hit_cycles` only when the [`MustCache`] state *guarantees* residency,
+//! otherwise it is charged `miss_cycles`. This makes the bound sound for
+//! any branch outcome, and exact for branch-free programs.
+
+use crate::{Cache, CacheConfig, MustCache, Cfg, Program, Result};
+
+/// Result of the consecutive-execution WCET analysis (one Table I column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WcetAnalysis {
+    /// WCET in cycles with no useful cache contents (cold).
+    pub cold_cycles: u64,
+    /// WCET in cycles when re-executed immediately after itself (warm).
+    pub warm_cycles: u64,
+}
+
+impl WcetAnalysis {
+    /// Guaranteed WCET reduction in cycles (`cold − warm`).
+    pub fn guaranteed_reduction_cycles(&self) -> u64 {
+        self.cold_cycles - self.warm_cycles
+    }
+
+    /// Cold WCET in seconds under `config`'s clock.
+    pub fn cold_seconds(&self, config: &CacheConfig) -> f64 {
+        config.cycles_to_seconds(self.cold_cycles)
+    }
+
+    /// Warm WCET in seconds under `config`'s clock.
+    pub fn warm_seconds(&self, config: &CacheConfig) -> f64 {
+        config.cycles_to_seconds(self.warm_cycles)
+    }
+
+    /// Guaranteed reduction in seconds under `config`'s clock.
+    pub fn reduction_seconds(&self, config: &CacheConfig) -> f64 {
+        config.cycles_to_seconds(self.guaranteed_reduction_cycles())
+    }
+}
+
+/// Computes the must-analysis WCET of `program` starting from the abstract
+/// cache state `initial`, returning the cycle bound and the abstract state
+/// at program exit.
+///
+/// # Errors
+///
+/// Propagates geometry errors from the must-cache operations.
+pub fn wcet_must(
+    program: &Program,
+    config: &CacheConfig,
+    initial: &MustCache,
+) -> Result<(u64, MustCache)> {
+    analyze_cfg(program, config, program.cfg(), initial.clone())
+}
+
+fn analyze_cfg(
+    program: &Program,
+    config: &CacheConfig,
+    cfg: &Cfg,
+    mut state: MustCache,
+) -> Result<(u64, MustCache)> {
+    match cfg {
+        Cfg::Block(i) => {
+            let block = program.blocks()[*i];
+            let mut cycles = 0;
+            for addr in block.fetch_addresses() {
+                let line = config.line_of(addr);
+                let guaranteed = state.access_line(line);
+                cycles += if guaranteed {
+                    config.hit_cycles
+                } else {
+                    config.miss_cycles
+                };
+            }
+            Ok((cycles, state))
+        }
+        Cfg::Seq(children) => {
+            let mut cycles = 0;
+            for c in children {
+                let (c_cycles, next) = analyze_cfg(program, config, c, state)?;
+                cycles += c_cycles;
+                state = next;
+            }
+            Ok((cycles, state))
+        }
+        Cfg::Loop { body, iterations } => {
+            if *iterations == 0 {
+                return Ok((0, state));
+            }
+            // First iteration from the entry state.
+            let (first_cycles, after_first) = analyze_cfg(program, config, body, state.clone())?;
+            if *iterations == 1 {
+                return Ok((first_cycles, after_first));
+            }
+            // Steady state: a fixpoint F ⊑ body(entry) with F ⊑ body(F),
+            // which under-approximates the entry state of every iteration
+            // j ≥ 2 (those entries are body(entry), body²(entry), …). The
+            // chain is decreasing in the finite must lattice, so this
+            // terminates.
+            let mut fix = after_first.clone();
+            loop {
+                let (_, out) = analyze_cfg(program, config, body, fix.clone())?;
+                let next = fix.join(&out)?;
+                if next == fix {
+                    break;
+                }
+                fix = next;
+            }
+            // Steady-state iteration cost is sound for iterations 2..n.
+            let (steady_cycles, steady_exit) = analyze_cfg(program, config, body, fix)?;
+            let total = first_cycles + steady_cycles * u64::from(*iterations - 1);
+            Ok((total, steady_exit))
+        }
+        Cfg::Branch(alts) => {
+            let mut worst = 0;
+            let mut merged: Option<MustCache> = None;
+            for alt in alts {
+                let (c, out) = analyze_cfg(program, config, alt, state.clone())?;
+                worst = worst.max(c);
+                merged = Some(match merged {
+                    None => out,
+                    Some(m) => m.join(&out)?,
+                });
+            }
+            Ok((worst, merged.expect("branch has at least one alternative")))
+        }
+    }
+}
+
+/// Runs the full cold/warm analysis matching one Table I column.
+///
+/// The cold WCET starts from the empty must state (no residency
+/// guarantees — equivalent to a cache filled with other applications'
+/// instructions, Section II-B of the paper). The warm WCET starts from the
+/// abstract state guaranteed at the first execution's exit.
+///
+/// # Errors
+///
+/// Propagates geometry errors from the must-cache operations.
+///
+/// # Example
+///
+/// ```
+/// use cacs_cache::{analyze_consecutive, CacheConfig, Program};
+///
+/// # fn main() -> Result<(), cacs_cache::CacheError> {
+/// let config = CacheConfig::date18();
+/// // 64 full lines: fits in the 128-line cache, so the warm run is all hits.
+/// let program = Program::straight_line(0, 64, 8)?;
+/// let a = analyze_consecutive(&program, &config)?;
+/// assert_eq!(a.cold_cycles, 64 * 100 + 64 * 7 * 1);
+/// assert_eq!(a.warm_cycles, 64 * 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_consecutive(program: &Program, config: &CacheConfig) -> Result<WcetAnalysis> {
+    let empty = MustCache::empty(config)?;
+    let (cold_cycles, exit_state) = wcet_must(program, config, &empty)?;
+    let (warm_cycles, _) = wcet_must(program, config, &exit_state)?;
+    Ok(WcetAnalysis {
+        cold_cycles,
+        warm_cycles,
+    })
+}
+
+/// Concretely simulates the program's *first-alternative* path on `cache`,
+/// returning the cycles consumed. Useful to cross-check the abstract bound
+/// (for branch-free programs the two agree exactly).
+pub fn simulate_trace(program: &Program, cache: &mut Cache) -> u64 {
+    let trace = program.trace_first_path();
+    cache.run_trace(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BasicBlock, CacheError};
+
+    fn config() -> CacheConfig {
+        CacheConfig::date18()
+    }
+
+    fn tiny_config() -> CacheConfig {
+        CacheConfig {
+            lines: 4,
+            line_bytes: 16,
+            associativity: 1,
+            hit_cycles: 1,
+            miss_cycles: 10,
+            ..CacheConfig::date18()
+        }
+    }
+
+    #[test]
+    fn straight_line_cold_warm_exact() {
+        // 10 full lines in a 128-line cache.
+        let p = Program::straight_line(0, 10, 8).unwrap();
+        let a = analyze_consecutive(&p, &config()).unwrap();
+        // Cold: 10 misses + 70 hits; warm: all 80 hits.
+        assert_eq!(a.cold_cycles, 10 * 100 + 70);
+        assert_eq!(a.warm_cycles, 80);
+        assert_eq!(a.guaranteed_reduction_cycles(), 990);
+    }
+
+    #[test]
+    fn abstract_matches_concrete_on_branch_free_program() {
+        let p = Program::straight_line(0x200, 30, 8).unwrap();
+        let cfg = config();
+        let a = analyze_consecutive(&p, &cfg).unwrap();
+        let mut cache = Cache::new(cfg).unwrap();
+        let cold_sim = simulate_trace(&p, &mut cache);
+        let warm_sim = simulate_trace(&p, &mut cache);
+        assert_eq!(a.cold_cycles, cold_sim);
+        assert_eq!(a.warm_cycles, warm_sim);
+    }
+
+    #[test]
+    fn loop_reuses_cache_within_execution() {
+        // 2 full lines looped 5 times in a tiny 4-line cache.
+        let p = Program::straight_line(0, 2, 8).unwrap();
+        let looped = Program::new(
+            p.blocks().to_vec(),
+            Cfg::Loop {
+                body: Box::new(Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1)])),
+                iterations: 5,
+            },
+        )
+        .unwrap();
+        let a = analyze_consecutive(&looped, &tiny_config()).unwrap();
+        // Cold: iteration 1 = 2 misses + 14 hits; iterations 2-5 all hits.
+        assert_eq!(a.cold_cycles, (2 * 10 + 14) + 4 * 16);
+        // Warm: everything hits.
+        assert_eq!(a.warm_cycles, 5 * 16);
+    }
+
+    #[test]
+    fn zero_iteration_loop_costs_nothing() {
+        let blocks = vec![BasicBlock::new(0, 8, 2).unwrap()];
+        let p = Program::new(
+            blocks,
+            Cfg::Loop {
+                body: Box::new(Cfg::Block(0)),
+                iterations: 0,
+            },
+        )
+        .unwrap();
+        let a = analyze_consecutive(&p, &tiny_config()).unwrap();
+        assert_eq!(a.cold_cycles, 0);
+        assert_eq!(a.warm_cycles, 0);
+    }
+
+    #[test]
+    fn branch_takes_worst_alternative_and_joins_state() {
+        // Two branch arms touching different lines; worst arm is the longer
+        // one, and after the branch neither line is guaranteed.
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),        // line 0
+            BasicBlock::new(16, 16, 2).unwrap(),      // lines 1..2
+            BasicBlock::new(0, 8, 2).unwrap(),        // line 0 again
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Seq(vec![
+                Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]),
+                Cfg::Block(2),
+            ]),
+            )
+        .unwrap();
+        let cfg = tiny_config();
+        let a = analyze_consecutive(&p, &cfg).unwrap();
+        // Cold: branch worst = arm 1 (2 misses + 14 hits = 34); then block 2
+        // is NOT guaranteed (must-join dropped line 0) → 8 fetches worst
+        // case: 1 miss + 7 hits = 17.
+        assert_eq!(a.cold_cycles, 34 + 17);
+    }
+
+    #[test]
+    fn program_larger_than_cache_keeps_missing_when_wrapping() {
+        // 6 full lines in a 4-line direct-mapped cache: lines 4,5 conflict
+        // with 0,1. Warm run still misses on the conflicting sets.
+        let p = Program::straight_line(0, 6, 8).unwrap();
+        let a = analyze_consecutive(&p, &tiny_config()).unwrap();
+        // Cold: 6 misses + 42 hits.
+        assert_eq!(a.cold_cycles, 6 * 10 + 42);
+        // After exit, lines 4,5 own sets 0,1; lines 2,3 still guaranteed.
+        // Warm: line 0 miss (evicts 4), line 1 miss (evicts 5), lines 2,3
+        // hit, lines 4,5 miss again — 4 misses and 44 hits.
+        assert_eq!(a.warm_cycles, 4 * 10 + 44);
+    }
+
+    #[test]
+    fn warm_never_exceeds_cold() {
+        let p = Program::straight_line(0, 200, 8).unwrap();
+        let a = analyze_consecutive(&p, &config()).unwrap();
+        assert!(a.warm_cycles <= a.cold_cycles);
+    }
+
+    #[test]
+    fn must_analysis_is_sound_vs_concrete_with_branches() {
+        // Abstract bound must be >= any concrete path cost.
+        let blocks = vec![
+            BasicBlock::new(0, 8, 2).unwrap(),
+            BasicBlock::new(64, 8, 2).unwrap(),
+            BasicBlock::new(128, 8, 2).unwrap(),
+        ];
+        let p = Program::new(
+            blocks,
+            Cfg::Seq(vec![
+                Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]),
+                Cfg::Block(2),
+                Cfg::Branch(vec![Cfg::Block(1), Cfg::Block(0)]),
+            ]),
+        )
+        .unwrap();
+        let cfg = tiny_config();
+        let empty = MustCache::empty(&cfg).unwrap();
+        let (bound, _) = wcet_must(&p, &cfg, &empty).unwrap();
+        // Enumerate all four concrete paths.
+        for choice in 0..4u32 {
+            let mut decisions = vec![(choice & 1) as usize, ((choice >> 1) & 1) as usize];
+            decisions.reverse();
+            let trace = p.trace_with(|_| decisions.pop().unwrap_or(0));
+            let mut cache = Cache::new(cfg).unwrap();
+            let cost = cache.run_trace(trace);
+            assert!(bound >= cost, "bound {bound} < concrete {cost}");
+        }
+    }
+
+    #[test]
+    fn fifo_config_is_rejected_by_must_analysis() {
+        let mut cfg = config();
+        cfg.policy = crate::ReplacementPolicy::Fifo;
+        let p = Program::straight_line(0, 4, 8).unwrap();
+        assert!(matches!(
+            analyze_consecutive(&p, &cfg),
+            Err(CacheError::InvalidGeometry { .. })
+        ));
+    }
+}

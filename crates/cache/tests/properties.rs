@@ -1,0 +1,363 @@
+//! Property-based tests: cache simulator invariants and must-analysis
+//! soundness on randomly generated programs.
+
+use cacs_cache::{
+    analyze_consecutive, analyze_persistence, bcet_may, wcet_combined, wcet_must, AccessOutcome,
+    BasicBlock, Cache, CacheConfig, Cfg, MayCache, MustCache, Program, ReplacementPolicy,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn config(lines: u32, assoc: u32) -> CacheConfig {
+    CacheConfig {
+        lines,
+        line_bytes: 16,
+        associativity: assoc,
+        hit_cycles: 1,
+        miss_cycles: 10,
+        policy: ReplacementPolicy::Lru,
+        clock_hz: 1e6,
+    }
+}
+
+/// Strategy: a random structured, branch-free program over a small address
+/// space (so conflicts actually happen).
+fn random_program() -> impl Strategy<Value = Program> {
+    let block = (0u64..24, 1u32..9).prop_map(|(line, count)| {
+        BasicBlock::new(line * 16, count, 2).expect("valid block")
+    });
+    (
+        prop::collection::vec(block, 1..12),
+        prop::collection::vec((0usize..12, 1u32..4), 1..8),
+    )
+        .prop_map(|(blocks, shape)| {
+            let n = blocks.len();
+            let seq: Vec<Cfg> = shape
+                .into_iter()
+                .map(|(idx, iters)| {
+                    let b = Cfg::Block(idx % n);
+                    if iters > 1 {
+                        Cfg::Loop {
+                            body: Box::new(b),
+                            iterations: iters,
+                        }
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            Program::new(blocks, Cfg::Seq(seq)).expect("valid program")
+        })
+}
+
+/// Strategy: a random program that may contain branches.
+fn random_branchy_program() -> impl Strategy<Value = Program> {
+    let block = (0u64..16, 1u32..9).prop_map(|(line, count)| {
+        BasicBlock::new(line * 16, count, 2).expect("valid block")
+    });
+    (
+        prop::collection::vec(block, 2..10),
+        prop::collection::vec((0usize..10, 0usize..10, prop::bool::ANY), 1..6),
+    )
+        .prop_map(|(blocks, shape)| {
+            let n = blocks.len();
+            let seq: Vec<Cfg> = shape
+                .into_iter()
+                .map(|(a, b, is_branch)| {
+                    if is_branch {
+                        Cfg::Branch(vec![Cfg::Block(a % n), Cfg::Block(b % n)])
+                    } else {
+                        Cfg::Block(a % n)
+                    }
+                })
+                .collect();
+            Program::new(blocks, Cfg::Seq(seq)).expect("valid program")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The simulator never holds more lines than its capacity.
+    #[test]
+    fn capacity_invariant(lines in prop::collection::vec(0u64..64, 1..200)) {
+        let mut cache = Cache::new(config(8, 2)).unwrap();
+        for l in lines {
+            cache.access_line(l);
+        }
+        prop_assert!(cache.resident_lines() <= 8);
+    }
+
+    /// Hits + misses always equals the number of accesses.
+    #[test]
+    fn stats_are_consistent(lines in prop::collection::vec(0u64..32, 1..100)) {
+        let mut cache = Cache::new(config(16, 4)).unwrap();
+        let n = lines.len() as u64;
+        for l in lines {
+            cache.access_line(l);
+        }
+        prop_assert_eq!(cache.stats().accesses(), n);
+        prop_assert!(cache.stats().evictions <= cache.stats().misses);
+    }
+
+    /// LRU inclusion (stack) property: a larger-associativity LRU cache
+    /// with the same set count hits whenever the smaller one hits.
+    #[test]
+    fn lru_inclusion_property(lines in prop::collection::vec(0u64..48, 1..200)) {
+        // 8 sets in both; 2-way vs 4-way.
+        let mut small = Cache::new(config(16, 2)).unwrap();
+        let mut large = Cache::new(config(32, 4)).unwrap();
+        for l in lines {
+            let s = small.access_line(l);
+            let b = large.access_line(l);
+            if s == AccessOutcome::Hit {
+                prop_assert_eq!(b, AccessOutcome::Hit, "inclusion violated for line {}", l);
+            }
+        }
+    }
+
+    /// Re-running an identical trace can only improve (or equal) the cycle
+    /// count: warm never exceeds cold.
+    #[test]
+    fn warm_trace_never_slower(lines in prop::collection::vec(0u64..40, 1..150)) {
+        let mut cache = Cache::new(config(8, 1)).unwrap();
+        let trace: Vec<u64> = lines.iter().map(|l| l * 16).collect();
+        let cold = cache.run_trace(trace.iter().copied());
+        let warm = cache.run_trace(trace.iter().copied());
+        prop_assert!(warm <= cold, "warm {} > cold {}", warm, cold);
+    }
+
+    /// Must-analysis agrees exactly with concrete simulation on branch-free
+    /// programs (single path ⇒ no precision loss).
+    #[test]
+    fn must_analysis_exact_on_branch_free(program in random_program()) {
+        let cfg = config(8, 1);
+        let analysis = analyze_consecutive(&program, &cfg).unwrap();
+        let mut cache = Cache::new(cfg).unwrap();
+        let cold = cache.run_trace(program.trace_first_path());
+        let warm = cache.run_trace(program.trace_first_path());
+        prop_assert_eq!(analysis.cold_cycles, cold);
+        prop_assert_eq!(analysis.warm_cycles, warm);
+    }
+
+    /// Must-analysis WCET is a sound upper bound on every concrete path of
+    /// a branchy program.
+    #[test]
+    fn must_analysis_sound_on_branches(program in random_branchy_program(), seed in 0u64..1024) {
+        let cfg = config(8, 1);
+        let empty = MustCache::empty(&cfg).unwrap();
+        let (bound, _) = wcet_must(&program, &cfg, &empty).unwrap();
+        // Random concrete path from the seed.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let trace = program.trace_with(|alts| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as usize) % alts
+        });
+        let mut cache = Cache::new(cfg).unwrap();
+        let cost = cache.run_trace(trace);
+        prop_assert!(bound >= cost, "bound {} < concrete path cost {}", bound, cost);
+    }
+
+    /// Guaranteed warm-execution reduction is sound: warm bound from the
+    /// first execution's exit state is never below a concrete warm run.
+    #[test]
+    fn warm_bound_sound(program in random_branchy_program(), seed in 0u64..256) {
+        let cfg = config(8, 1);
+        let analysis = analyze_consecutive(&program, &cfg).unwrap();
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut chooser = move |alts: usize| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as usize) % alts
+        };
+        let mut cache = Cache::new(cfg).unwrap();
+        cache.run_trace(program.trace_with(&mut chooser));
+        let warm_concrete = cache.run_trace(program.trace_with(&mut chooser));
+        prop_assert!(
+            analysis.warm_cycles >= warm_concrete,
+            "warm bound {} < concrete {}",
+            analysis.warm_cycles,
+            warm_concrete
+        );
+    }
+
+    /// Flushing restores the cold behaviour exactly.
+    #[test]
+    fn flush_restores_cold(program in random_program()) {
+        let cfg = config(8, 1);
+        let mut cache = Cache::new(cfg).unwrap();
+        let cold1 = cache.run_trace(program.trace_first_path());
+        cache.flush();
+        let cold2 = cache.run_trace(program.trace_first_path());
+        prop_assert_eq!(cold1, cold2);
+    }
+
+    /// May-analysis BCET is a sound lower bound on every concrete path.
+    #[test]
+    fn may_bcet_sound_on_branches(program in random_branchy_program(), seed in 0u64..1024) {
+        let cfg = config(8, 1);
+        let cold = MayCache::empty(&cfg).unwrap();
+        let (bcet, _) = bcet_may(&program, &cfg, &cold).unwrap();
+        let mut s = seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(3);
+        let trace = program.trace_with(|alts| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as usize) % alts
+        });
+        let mut cache = Cache::new(cfg).unwrap();
+        let cost = cache.run_trace(trace);
+        prop_assert!(bcet <= cost, "bcet {} > concrete path cost {}", bcet, cost);
+    }
+
+    /// The BCET/WCET bracket always holds: bcet <= wcet on any program.
+    #[test]
+    fn bcet_wcet_bracket(program in random_branchy_program()) {
+        let cfg = config(8, 1);
+        let (bcet, _) = bcet_may(&program, &cfg, &MayCache::empty(&cfg).unwrap()).unwrap();
+        let (wcet, _) = wcet_must(&program, &cfg, &MustCache::empty(&cfg).unwrap()).unwrap();
+        prop_assert!(bcet <= wcet, "bcet {} > wcet {}", bcet, wcet);
+    }
+
+    /// May-analysis over-approximates residency along any concrete path:
+    /// a line resident in the concrete cache is never claimed absent.
+    #[test]
+    fn may_state_covers_concrete(lines in prop::collection::vec(0u64..24, 1..150)) {
+        let cfg = config(8, 2);
+        let mut concrete = Cache::new(cfg).unwrap();
+        let mut abstract_state = MayCache::empty(&cfg).unwrap();
+        for l in lines {
+            abstract_state.access_line(l);
+            concrete.access_line(l);
+        }
+        for resident in concrete.resident_line_numbers() {
+            prop_assert!(abstract_state.may_contain(resident));
+        }
+    }
+
+    /// Persistence soundness: a line classified persistent misses at most
+    /// once on any concrete path through the program.
+    #[test]
+    fn persistent_lines_miss_at_most_once(program in random_branchy_program(), seed in 0u64..512) {
+        let cfg = config(8, 2);
+        let report = analyze_persistence(&program, &cfg).unwrap();
+        let mut s = seed.wrapping_mul(0xA0761D6478BD642F).wrapping_add(11);
+        let trace = program.trace_with(|alts| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as usize) % alts
+        });
+        let mut cache = Cache::new(cfg).unwrap();
+        let mut misses: BTreeMap<u64, u32> = BTreeMap::new();
+        for addr in trace {
+            let line = cfg.line_of(addr);
+            if cache.access(addr).is_miss() {
+                *misses.entry(line).or_insert(0) += 1;
+            }
+        }
+        for &line in &report.persistent_lines {
+            prop_assert!(
+                misses.get(&line).copied().unwrap_or(0) <= 1,
+                "persistent line {} missed more than once", line
+            );
+        }
+    }
+
+    /// The combined (must ∧ persistence) WCET stays a sound upper bound.
+    #[test]
+    fn combined_wcet_sound(program in random_branchy_program(), seed in 0u64..512) {
+        let cfg = config(8, 1);
+        let bound = wcet_combined(&program, &cfg).unwrap();
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
+        let trace = program.trace_with(|alts| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as usize) % alts
+        });
+        let mut cache = Cache::new(cfg).unwrap();
+        let cost = cache.run_trace(trace);
+        prop_assert!(bound >= cost, "combined bound {} < concrete {}", bound, cost);
+    }
+
+    /// The combined bound never exceeds the plain must-analysis bound.
+    #[test]
+    fn combined_wcet_at_most_must(program in random_branchy_program()) {
+        let cfg = config(8, 2);
+        let combined = wcet_combined(&program, &cfg).unwrap();
+        let (must_only, _) =
+            wcet_must(&program, &cfg, &MustCache::empty(&cfg).unwrap()).unwrap();
+        prop_assert!(combined <= must_only);
+    }
+
+    /// PLRU capacity and stats invariants mirror the LRU ones.
+    #[test]
+    fn plru_capacity_and_stats(lines in prop::collection::vec(0u64..48, 1..200)) {
+        let mut cfg = config(16, 4);
+        cfg.policy = ReplacementPolicy::Plru;
+        let mut cache = Cache::new(cfg).unwrap();
+        let n = lines.len() as u64;
+        for l in lines {
+            cache.access_line(l);
+        }
+        prop_assert!(cache.resident_lines() <= 16);
+        prop_assert_eq!(cache.stats().accesses(), n);
+    }
+
+    /// With an empty lock set, the locking analysis degenerates exactly
+    /// to the plain must-analysis WCET.
+    #[test]
+    fn empty_lock_set_is_plain_must(program in random_branchy_program()) {
+        let cfg = config(8, 2);
+        let plain = wcet_must(&program, &cfg, &MustCache::empty(&cfg).unwrap()).unwrap().0;
+        let locked = cacs_cache::wcet_locked(&program, &cfg, &[]).unwrap();
+        prop_assert_eq!(locked, plain);
+    }
+
+    /// The greedy lock selection never returns a WCET above the unlocked
+    /// baseline (it declines harmful locks), and its preload cost is one
+    /// miss per chosen line.
+    #[test]
+    fn greedy_locking_never_hurts(program in random_branchy_program(), budget in 0usize..5) {
+        let cfg = config(8, 2);
+        let baseline = cacs_cache::wcet_locked(&program, &cfg, &[]).unwrap();
+        let plan = cacs_cache::choose_locks_greedy(&program, &cfg, budget).unwrap();
+        prop_assert!(plan.wcet_cycles <= baseline);
+        prop_assert!(plan.locked_lines.len() <= budget);
+        prop_assert_eq!(plan.preload_cycles,
+            plan.locked_lines.len() as u64 * cfg.miss_cycles);
+    }
+
+    /// Locked WCET is a sound upper bound on a concrete cache where the
+    /// locked lines are modelled as always-hit and the rest run in the
+    /// shrunken sets. (We check the weaker, implementation-independent
+    /// property: the bound never drops below the all-hit floor.)
+    #[test]
+    fn locked_wcet_at_least_all_hit_floor(
+        program in random_branchy_program(),
+        budget in 0usize..4,
+    ) {
+        let cfg = config(8, 2);
+        let plan = cacs_cache::choose_locks_greedy(&program, &cfg, budget).unwrap();
+        // Cheapest conceivable execution: every worst-case fetch hits.
+        let floor = program.worst_case_fetch_count() * cfg.hit_cycles;
+        prop_assert!(plan.wcet_cycles >= floor);
+    }
+
+    /// 2-way PLRU is exactly LRU on any trace.
+    #[test]
+    fn two_way_plru_equals_lru(lines in prop::collection::vec(0u64..24, 1..200)) {
+        let lru_cfg = config(8, 2);
+        let mut plru_cfg = lru_cfg;
+        plru_cfg.policy = ReplacementPolicy::Plru;
+        let mut lru = Cache::new(lru_cfg).unwrap();
+        let mut plru = Cache::new(plru_cfg).unwrap();
+        for l in lines {
+            prop_assert_eq!(lru.access_line(l).is_miss(), plru.access_line(l).is_miss());
+        }
+    }
+}

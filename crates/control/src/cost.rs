@@ -1,0 +1,206 @@
+//! Quadratic control cost — the alternative performance metric the paper
+//! contrasts settling time with (Section I notes settling time is "more
+//! difficult to optimize than quadratic cost").
+//!
+//! For a sampled response on a non-uniform grid the cost integrates
+//! tracking error and control effort, weighting each sample by its
+//! interval length:
+//!
+//! ```text
+//! J = Σ_k h_k · ( q·(y_k − r)² + ρ·u_k² )
+//! ```
+
+use crate::{ControlError, Response, Result};
+use serde::{Deserialize, Serialize};
+
+/// Weights of the quadratic cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuadraticCostSpec {
+    /// Weight on the squared tracking error.
+    pub error_weight: f64,
+    /// Weight on the squared control input.
+    pub input_weight: f64,
+}
+
+impl QuadraticCostSpec {
+    /// Error-only cost (`ρ = 0`): the discrete ISE criterion.
+    pub fn error_only() -> Self {
+        QuadraticCostSpec {
+            error_weight: 1.0,
+            input_weight: 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !self.error_weight.is_finite()
+            || !self.input_weight.is_finite()
+            || self.error_weight < 0.0
+            || self.input_weight < 0.0
+        {
+            return Err(ControlError::InvalidPlant {
+                reason: "quadratic cost weights must be finite and non-negative".into(),
+            });
+        }
+        if self.error_weight == 0.0 && self.input_weight == 0.0 {
+            return Err(ControlError::InvalidPlant {
+                reason: "quadratic cost needs at least one positive weight".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for QuadraticCostSpec {
+    fn default() -> Self {
+        QuadraticCostSpec {
+            error_weight: 1.0,
+            input_weight: 1e-3,
+        }
+    }
+}
+
+/// Evaluates the quadratic cost of a recorded response. Lower is better.
+///
+/// Intervals are taken from consecutive sample times; the final sample
+/// reuses the last interval length. Non-finite responses cost `+∞`.
+///
+/// # Errors
+///
+/// Returns [`ControlError::InvalidPlant`] for invalid weights or an empty
+/// response.
+///
+/// # Example
+///
+/// ```
+/// use cacs_control::{quadratic_cost, QuadraticCostSpec, Response};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let perfect = Response {
+///     times: vec![0.0, 1.0, 2.0],
+///     outputs: vec![1.0, 1.0, 1.0],
+///     inputs: vec![0.0, 0.0, 0.0],
+///     reference: 1.0,
+/// };
+/// assert_eq!(quadratic_cost(&perfect, QuadraticCostSpec::error_only())?, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn quadratic_cost(response: &Response, spec: QuadraticCostSpec) -> Result<f64> {
+    spec.validate()?;
+    let n = response.times.len();
+    if n == 0 || response.outputs.len() != n || response.inputs.len() != n {
+        return Err(ControlError::InvalidPlant {
+            reason: "response must have matching, non-empty samples".into(),
+        });
+    }
+    if !response.is_finite() {
+        return Ok(f64::INFINITY);
+    }
+    let mut cost = 0.0;
+    for k in 0..n {
+        let h = if k + 1 < n {
+            response.times[k + 1] - response.times[k]
+        } else if n >= 2 {
+            response.times[n - 1] - response.times[n - 2]
+        } else {
+            1.0
+        };
+        let err = response.outputs[k] - response.reference;
+        cost += h * (spec.error_weight * err * err
+            + spec.input_weight * response.inputs[k] * response.inputs[k]);
+    }
+    Ok(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(outputs: Vec<f64>, inputs: Vec<f64>) -> Response {
+        let times = (0..outputs.len()).map(|i| i as f64).collect();
+        Response {
+            times,
+            outputs,
+            inputs,
+            reference: 1.0,
+        }
+    }
+
+    #[test]
+    fn perfect_tracking_costs_nothing() {
+        let r = response(vec![1.0; 5], vec![0.0; 5]);
+        assert_eq!(quadratic_cost(&r, QuadraticCostSpec::error_only()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn larger_errors_cost_more() {
+        let small = response(vec![0.9, 1.0, 1.0], vec![0.0; 3]);
+        let large = response(vec![0.5, 1.0, 1.0], vec![0.0; 3]);
+        let spec = QuadraticCostSpec::error_only();
+        assert!(
+            quadratic_cost(&large, spec).unwrap() > quadratic_cost(&small, spec).unwrap()
+        );
+    }
+
+    #[test]
+    fn input_weight_charges_effort() {
+        let idle = response(vec![1.0; 3], vec![0.0; 3]);
+        let busy = response(vec![1.0; 3], vec![2.0; 3]);
+        let spec = QuadraticCostSpec {
+            error_weight: 1.0,
+            input_weight: 0.5,
+        };
+        assert_eq!(quadratic_cost(&idle, spec).unwrap(), 0.0);
+        // 3 samples × h=1 × 0.5 × 4 = 6.
+        assert!((quadratic_cost(&busy, spec).unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_uniform_intervals_weight_samples() {
+        let r = Response {
+            times: vec![0.0, 0.1, 1.1],
+            outputs: vec![0.0, 0.0, 1.0],
+            inputs: vec![0.0; 3],
+            reference: 1.0,
+        };
+        // First sample held 0.1 s (err 1), second held 1.0 s (err 1),
+        // third held 1.0 s (err 0): J = 0.1 + 1.0.
+        let j = quadratic_cost(&r, QuadraticCostSpec::error_only()).unwrap();
+        assert!((j - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergent_response_costs_infinity() {
+        let r = response(vec![1.0, f64::INFINITY], vec![0.0, 0.0]);
+        assert_eq!(
+            quadratic_cost(&r, QuadraticCostSpec::default()).unwrap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn weight_validation() {
+        let r = response(vec![1.0], vec![0.0]);
+        let bad = QuadraticCostSpec {
+            error_weight: -1.0,
+            input_weight: 0.0,
+        };
+        assert!(quadratic_cost(&r, bad).is_err());
+        let zero = QuadraticCostSpec {
+            error_weight: 0.0,
+            input_weight: 0.0,
+        };
+        assert!(quadratic_cost(&r, zero).is_err());
+    }
+
+    #[test]
+    fn empty_response_rejected() {
+        let r = Response {
+            times: vec![],
+            outputs: vec![],
+            inputs: vec![],
+            reference: 1.0,
+        };
+        assert!(quadratic_cost(&r, QuadraticCostSpec::default()).is_err());
+    }
+}

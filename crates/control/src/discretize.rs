@@ -1,0 +1,237 @@
+//! Zero-order-hold discretisation with intra-period input delay.
+//!
+//! Over a sampling interval of length `h` during which the input computed
+//! from the sample at the interval start is actuated `τ` seconds later
+//! (`τ ≤ h`, the sensing-to-actuation delay), the exact sampled dynamics
+//! are
+//!
+//! ```text
+//! x[k+1] = A_d x[k] + B_prev u_prev + B_new u_k
+//! A_d    = e^{A h}
+//! B_prev = e^{A (h−τ)} Ψ(τ) B        (input still held from before)
+//! B_new  = Ψ(h−τ) B                  (newly actuated input)
+//! Ψ(t)   = ∫₀ᵗ e^{A s} ds
+//! ```
+//!
+//! For `τ = h` (every non-final task of a consecutive run, paper eq. (8))
+//! `B_new = 0`: the new input only takes effect in the next interval —
+//! exactly the structure of the paper's eq. (12).
+
+use crate::{ContinuousLti, ControlError, Result};
+use cacs_linalg::{expm_with_integral, Matrix};
+
+/// The exact discretisation of one sampling interval with input delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayedStep {
+    /// State transition `A_d = e^{A h}`.
+    pub a_d: Matrix,
+    /// Input matrix of the *previously* actuated input (column).
+    pub b_prev: Matrix,
+    /// Input matrix of the input computed at this interval's start
+    /// (column). Zero when `τ = h`.
+    pub b_new: Matrix,
+    /// Interval length `h`, seconds.
+    pub h: f64,
+    /// Sensing-to-actuation delay `τ`, seconds.
+    pub tau: f64,
+}
+
+impl DelayedStep {
+    /// Total steady-state input matrix `B_prev + B_new` (what a constant
+    /// input sees over the whole interval) — used for the feedforward
+    /// gain, paper eq. (17).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a step built by [`discretize_delayed`]; the
+    /// `Result` covers the (impossible) shape mismatch defensively.
+    pub fn b_total(&self) -> Result<Matrix> {
+        Ok(self.b_prev.add_matrix(&self.b_new)?)
+    }
+}
+
+/// Discretises `plant` over an interval of `h` seconds with
+/// sensing-to-actuation delay `tau`.
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidTiming`] if `h <= 0`, `tau < 0`, `tau > h`, or
+///   either is non-finite.
+/// * Linear-algebra errors from the matrix exponential.
+///
+/// # Example
+///
+/// ```
+/// use cacs_control::{discretize_delayed, ContinuousLti};
+/// use cacs_linalg::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plant = ContinuousLti::new(
+///     Matrix::zeros(1, 1),            // integrator: ẋ = u
+///     Matrix::column(&[1.0]),
+///     Matrix::row(&[1.0]),
+/// )?;
+/// let s = discretize_delayed(&plant, 1.0, 0.25)?;
+/// // Old input acts 0.25 s, new input 0.75 s.
+/// assert!((s.b_prev.get(0, 0) - 0.25).abs() < 1e-12);
+/// assert!((s.b_new.get(0, 0) - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn discretize_delayed(plant: &ContinuousLti, h: f64, tau: f64) -> Result<DelayedStep> {
+    if !h.is_finite() || h <= 0.0 {
+        return Err(ControlError::InvalidTiming {
+            reason: format!("sampling period must be positive, got {h}"),
+        });
+    }
+    if !tau.is_finite() || tau < 0.0 || tau > h * (1.0 + 1e-12) {
+        return Err(ControlError::InvalidTiming {
+            reason: format!("delay must satisfy 0 <= tau <= h, got tau={tau}, h={h}"),
+        });
+    }
+    let tau = tau.min(h);
+    let a = plant.a();
+    let b = plant.b();
+
+    // Φ(h), and the two partial integrals.
+    let (a_d, _) = expm_with_integral(a, h)?;
+    let (phi_rest, psi_rest) = expm_with_integral(a, h - tau)?;
+    let (_, psi_tau) = expm_with_integral(a, tau)?;
+
+    let b_prev = phi_rest.matmul(&psi_tau)?.matmul(b)?;
+    let b_new = psi_rest.matmul(b)?;
+    Ok(DelayedStep {
+        a_d,
+        b_prev,
+        b_new,
+        h,
+        tau,
+    })
+}
+
+/// Classic zero-order-hold discretisation without delay (`τ = 0`):
+/// `x[k+1] = A_d x[k] + B_d u[k]` with `B_d = Ψ(h) B`.
+///
+/// # Errors
+///
+/// Same conditions as [`discretize_delayed`].
+pub fn discretize_zoh(plant: &ContinuousLti, h: f64) -> Result<(Matrix, Matrix)> {
+    let step = discretize_delayed(plant, h, 0.0)?;
+    Ok((step.a_d, step.b_new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrator() -> ContinuousLti {
+        ContinuousLti::new(
+            Matrix::zeros(1, 1),
+            Matrix::column(&[1.0]),
+            Matrix::row(&[1.0]),
+        )
+        .unwrap()
+    }
+
+    fn first_order(lambda: f64) -> ContinuousLti {
+        ContinuousLti::new(
+            Matrix::from_rows(&[&[lambda]]).unwrap(),
+            Matrix::column(&[1.0]),
+            Matrix::row(&[1.0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zoh_matches_closed_form_first_order() {
+        // ẋ = λx + u with λ = -2, h = 0.1:
+        // A_d = e^{λh}, B_d = (e^{λh} - 1)/λ.
+        let p = first_order(-2.0);
+        let h = 0.1;
+        let (a_d, b_d) = discretize_zoh(&p, h).unwrap();
+        let expected_a = (-0.2f64).exp();
+        assert!((a_d.get(0, 0) - expected_a).abs() < 1e-12);
+        assert!((b_d.get(0, 0) - (expected_a - 1.0) / -2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_delay_moves_all_weight_to_prev() {
+        let p = first_order(-1.0);
+        let s = discretize_delayed(&p, 0.5, 0.5).unwrap();
+        assert!(s.b_new.max_abs() < 1e-15);
+        // b_prev equals the full ZOH input matrix.
+        let (_, b_zoh) = discretize_zoh(&p, 0.5).unwrap();
+        assert!(s.b_prev.approx_eq(&b_zoh, 1e-12));
+    }
+
+    #[test]
+    fn zero_delay_moves_all_weight_to_new() {
+        let p = first_order(-1.0);
+        let s = discretize_delayed(&p, 0.5, 0.0).unwrap();
+        assert!(s.b_prev.max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn split_weights_sum_to_zoh_input_matrix() {
+        // For ANY tau, b_prev + b_new = Ψ(h)B (a constant input cannot
+        // tell when it was actuated).
+        let p = ContinuousLti::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[-4.0, -0.8]]).unwrap(),
+            Matrix::column(&[0.0, 2.0]),
+            Matrix::row(&[1.0, 0.0]),
+        )
+        .unwrap();
+        let h = 0.05;
+        let (_, b_zoh) = discretize_zoh(&p, h).unwrap();
+        for tau in [0.0, 0.01, 0.025, 0.049, 0.05] {
+            let s = discretize_delayed(&p, h, tau).unwrap();
+            let total = s.b_total().unwrap();
+            assert!(total.approx_eq(&b_zoh, 1e-12), "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn integrator_delay_splits_linearly() {
+        // For ẋ = u: contribution is proportional to how long each input
+        // is active.
+        let s = discretize_delayed(&integrator(), 2.0, 0.5).unwrap();
+        assert!((s.b_prev.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((s.b_new.get(0, 0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_recursion_matches_continuous_solution() {
+        // Simulate ẋ = -x + u, u switching at τ inside the interval, and
+        // compare against the discretised map.
+        let p = first_order(-1.0);
+        let (h, tau) = (0.3, 0.1);
+        let s = discretize_delayed(&p, h, tau).unwrap();
+        let (x0, u_prev, u_new) = (0.7, -0.4, 1.2);
+        // Continuous: x(τ) = e^{-τ}x0 + (1-e^{-τ})u_prev, then
+        // x(h) = e^{-(h-τ)}x(τ) + (1-e^{-(h-τ)})u_new.
+        let x_tau = (-tau).exp() * x0 + (1.0 - (-tau).exp()) * u_prev;
+        let x_h = (-(h - tau)).exp() * x_tau + (1.0 - (-(h - tau)).exp()) * u_new;
+        let x_disc = s.a_d.get(0, 0) * x0 + s.b_prev.get(0, 0) * u_prev + s.b_new.get(0, 0) * u_new;
+        assert!((x_h - x_disc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_timing_rejected() {
+        let p = integrator();
+        assert!(discretize_delayed(&p, 0.0, 0.0).is_err());
+        assert!(discretize_delayed(&p, -1.0, 0.0).is_err());
+        assert!(discretize_delayed(&p, 1.0, -0.1).is_err());
+        assert!(discretize_delayed(&p, 1.0, 1.5).is_err());
+        assert!(discretize_delayed(&p, f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn tau_slightly_above_h_is_clamped() {
+        // Floating-point noise from the timing derivation may push τ a
+        // hair above h; that must still work.
+        let p = first_order(-1.0);
+        let h = 0.25;
+        let s = discretize_delayed(&p, h, h * (1.0 + 1e-13)).unwrap();
+        assert!(s.b_new.max_abs() < 1e-15);
+    }
+}

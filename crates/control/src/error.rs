@@ -1,0 +1,79 @@
+//! Error type for the control substrate.
+
+use cacs_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by control-design operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// Plant matrices had inconsistent shapes or invalid entries.
+    InvalidPlant {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// Timing parameters were invalid (non-positive period, delay above
+    /// the period, …).
+    InvalidTiming {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// The plant is not controllable, so pole placement is impossible.
+    Uncontrollable,
+    /// Gain synthesis failed to find a stabilising controller within its
+    /// budget.
+    SynthesisFailed {
+        /// Human-readable description (best value reached, etc.).
+        reason: String,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::InvalidPlant { reason } => write!(f, "invalid plant: {reason}"),
+            ControlError::InvalidTiming { reason } => write!(f, "invalid timing: {reason}"),
+            ControlError::Uncontrollable => write!(f, "plant is not controllable"),
+            ControlError::SynthesisFailed { reason } => {
+                write!(f, "controller synthesis failed: {reason}")
+            }
+            ControlError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ControlError {
+    fn from(e: LinalgError) -> Self {
+        ControlError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ControlError::Linalg(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        assert!(ControlError::Uncontrollable.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ControlError>();
+    }
+}

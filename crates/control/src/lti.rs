@@ -1,0 +1,174 @@
+//! Continuous-time SISO LTI plant description.
+
+use crate::{ControlError, Result};
+use cacs_linalg::{is_controllable, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A continuous-time single-input single-output LTI plant
+/// `ẋ = A·x + B·u`, `y = C·x`.
+///
+/// The paper considers SISO plants (Section II-A); `B` is a column vector
+/// and `C` a row vector.
+///
+/// # Example
+///
+/// ```
+/// use cacs_control::ContinuousLti;
+/// use cacs_linalg::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plant = ContinuousLti::new(
+///     Matrix::from_rows(&[&[0.0, 1.0], &[0.0, -2.0]])?,
+///     Matrix::column(&[0.0, 1.0]),
+///     Matrix::row(&[1.0, 0.0]),
+/// )?;
+/// assert_eq!(plant.state_dim(), 2);
+/// assert!(plant.is_controllable()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousLti {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+}
+
+impl ContinuousLti {
+    /// Creates a plant, validating shapes: `A` is `l × l`, `B` is `l × 1`,
+    /// `C` is `1 × l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidPlant`] on shape mismatch or
+    /// non-finite entries.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(ControlError::InvalidPlant {
+                reason: format!("A must be square, got {:?}", a.shape()),
+            });
+        }
+        let l = a.rows();
+        if b.shape() != (l, 1) {
+            return Err(ControlError::InvalidPlant {
+                reason: format!("B must be {l}x1, got {:?}", b.shape()),
+            });
+        }
+        if c.shape() != (1, l) {
+            return Err(ControlError::InvalidPlant {
+                reason: format!("C must be 1x{l}, got {:?}", c.shape()),
+            });
+        }
+        if !(a.is_finite() && b.is_finite() && c.is_finite()) {
+            return Err(ControlError::InvalidPlant {
+                reason: "plant matrices must be finite".into(),
+            });
+        }
+        Ok(ContinuousLti { a, b, c })
+    }
+
+    /// The state matrix `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The input column `B`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The output row `C`.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Number of states `l`.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Kalman controllability test on the continuous pair `(A, B)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical errors from the rank computation.
+    pub fn is_controllable(&self) -> Result<bool> {
+        Ok(is_controllable(&self.a, &self.b)?)
+    }
+
+    /// Output `y = C·x` for a state (column) vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `x` is not `l × 1`.
+    pub fn output(&self, x: &Matrix) -> Result<f64> {
+        let y = self.c.matmul(x)?;
+        Ok(y.get(0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_integrator() -> ContinuousLti {
+        ContinuousLti::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap(),
+            Matrix::column(&[0.0, 1.0]),
+            Matrix::row(&[1.0, 0.0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = double_integrator();
+        assert_eq!(p.state_dim(), 2);
+        assert_eq!(p.a().get(0, 1), 1.0);
+        assert_eq!(p.b().get(1, 0), 1.0);
+        assert_eq!(p.c().get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = Matrix::identity(2);
+        let b = Matrix::column(&[1.0, 0.0]);
+        let c = Matrix::row(&[1.0, 0.0]);
+        assert!(ContinuousLti::new(Matrix::zeros(2, 3), b.clone(), c.clone()).is_err());
+        assert!(ContinuousLti::new(a.clone(), Matrix::column(&[1.0]), c.clone()).is_err());
+        assert!(ContinuousLti::new(a.clone(), b.clone(), Matrix::row(&[1.0])).is_err());
+        assert!(ContinuousLti::new(a, b, c).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut a = Matrix::identity(2);
+        a.set(0, 0, f64::INFINITY);
+        assert!(ContinuousLti::new(
+            a,
+            Matrix::column(&[1.0, 0.0]),
+            Matrix::row(&[1.0, 0.0])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn controllability() {
+        assert!(double_integrator().is_controllable().unwrap());
+        let p = ContinuousLti::new(
+            Matrix::diagonal(&[1.0, 2.0]),
+            Matrix::column(&[1.0, 0.0]),
+            Matrix::row(&[1.0, 1.0]),
+        )
+        .unwrap();
+        assert!(!p.is_controllable().unwrap());
+    }
+
+    #[test]
+    fn output_computation() {
+        let p = double_integrator();
+        let x = Matrix::column(&[3.0, -1.0]);
+        assert_eq!(p.output(&x).unwrap(), 3.0);
+        assert!(p.output(&Matrix::column(&[1.0])).is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! Luenberger state observers for output feedback.
+//!
+//! The paper assumes the full state `x[k]` is measurable (Section II-A).
+//! On real ECUs only the output `y = Cx` is usually sensed; this module
+//! relaxes the assumption with a prediction-form Luenberger observer
+//!
+//! ```text
+//! x̂[k+1] = A_j x̂[k] + B_j^prev u[k−1] + B_j^new u[k] + L_j (y[k] − C x̂[k])
+//! ```
+//!
+//! designed per interval of the lifted timing pattern by duality with
+//! Ackermann pole placement: `eig(A_j − L_j C)` are placed at prescribed
+//! locations. The estimation error then obeys `e[k+1] = (A_j − L_j C) e[k]`
+//! regardless of the control input (separation principle), so a
+//! state-feedback design from [`crate::synthesize`] or
+//! [`crate::synthesize_lqr`] can be deployed on output feedback unchanged.
+
+use crate::{ackermann, ControlError, LiftedPlant, Response, Result};
+use cacs_linalg::{spectral_radius, Complex, Matrix};
+
+/// Designs an observer gain `L` placing the eigenvalues of `A − LC` at
+/// `poles`, by duality with [`ackermann`].
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidPlant`] for shape mismatches (C must be a row
+///   vector matching A).
+/// * [`ControlError::Uncontrollable`] if `(A, C)` is not observable.
+///
+/// # Example
+///
+/// ```
+/// use cacs_control::design_observer;
+/// use cacs_linalg::{spectral_radius, Complex, Matrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?;
+/// let c = Matrix::row(&[1.0, 0.0]);
+/// let l = design_observer(&a, &c, &[Complex::from_real(0.1), Complex::from_real(0.2)])?;
+/// let a_err = a.sub_matrix(&l.matmul(&c)?)?;
+/// assert!((spectral_radius(&a_err)? - 0.2).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn design_observer(a: &Matrix, c: &Matrix, poles: &[Complex]) -> Result<Matrix> {
+    if !a.is_square() || c.shape() != (1, a.rows()) {
+        return Err(ControlError::InvalidPlant {
+            reason: format!(
+                "observer design needs square A and row C, got {:?} and {:?}",
+                a.shape(),
+                c.shape()
+            ),
+        });
+    }
+    // Duality: ackermann on (Aᵀ, Cᵀ) returns K with eig(Aᵀ + CᵀK) = poles;
+    // transposing gives eig(A + KᵀC) = poles, so L = −Kᵀ.
+    let k = ackermann(&a.transpose(), &c.transpose(), poles)?;
+    Ok(k.transpose().scale(-1.0))
+}
+
+/// A closed-loop simulation under output feedback through an observer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserverResponse {
+    /// The plant-side response (same convention as
+    /// [`crate::simulate_worst_case`]).
+    pub response: Response,
+    /// Norm of the estimation error `‖x − x̂‖₂` at each sampling instant.
+    pub estimation_errors: Vec<f64>,
+}
+
+impl ObserverResponse {
+    /// Largest estimation error after the first `skip` samples (to check
+    /// convergence excluding the transient).
+    pub fn tail_error(&self, skip: usize) -> f64 {
+        self.estimation_errors
+            .iter()
+            .skip(skip)
+            .fold(0.0, |acc, e| acc.max(*e))
+    }
+}
+
+/// Simulates the worst-case step response with the controller fed by an
+/// observer estimate instead of the true state.
+///
+/// `observer_gains` holds one `L_j` per task (designed for that interval's
+/// `A_j`). The plant starts at rest; the observer starts at
+/// `initial_estimate` (pass a non-zero vector to exercise the estimation
+/// transient). Phasing follows the same worst-case convention as
+/// [`crate::simulate_worst_case`].
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidPlant`] for malformed gain/feedforward/observer
+///   counts or shapes.
+/// * [`ControlError::InvalidTiming`] for a non-positive horizon.
+pub fn simulate_with_observer(
+    lifted: &LiftedPlant,
+    gains: &[Matrix],
+    feedforwards: &[f64],
+    observer_gains: &[Matrix],
+    initial_estimate: &Matrix,
+    reference: f64,
+    horizon: f64,
+) -> Result<ObserverResponse> {
+    let m = lifted.tasks();
+    let l = lifted.state_dim();
+    if gains.len() != m || feedforwards.len() != m || observer_gains.len() != m {
+        return Err(ControlError::InvalidPlant {
+            reason: format!(
+                "need {m} gains, feedforwards and observer gains, got {}, {} and {}",
+                gains.len(),
+                feedforwards.len(),
+                observer_gains.len()
+            ),
+        });
+    }
+    if let Some(bad) = gains.iter().find(|k| k.shape() != (1, l)) {
+        return Err(ControlError::InvalidPlant {
+            reason: format!("gain must be 1x{l}, got {:?}", bad.shape()),
+        });
+    }
+    if let Some(bad) = observer_gains.iter().find(|ob| ob.shape() != (l, 1)) {
+        return Err(ControlError::InvalidPlant {
+            reason: format!("observer gain must be {l}x1, got {:?}", bad.shape()),
+        });
+    }
+    if initial_estimate.shape() != (l, 1) {
+        return Err(ControlError::InvalidPlant {
+            reason: format!(
+                "initial estimate must be {l}x1, got {:?}",
+                initial_estimate.shape()
+            ),
+        });
+    }
+    if !horizon.is_finite() || horizon <= 0.0 {
+        return Err(ControlError::InvalidTiming {
+            reason: format!("horizon must be positive, got {horizon}"),
+        });
+    }
+
+    let c = lifted.plant().c();
+    let mut x = Matrix::zeros(l, 1);
+    let mut x_hat = initial_estimate.clone();
+    let mut u_prev = 0.0;
+    let mut t = 0.0;
+
+    let mut times = Vec::new();
+    let mut outputs = Vec::new();
+    let mut inputs = Vec::new();
+    let mut estimation_errors = Vec::new();
+
+    let mut first_sample = true;
+    let mut j = m - 1;
+    while t < horizon || times.len() < 2 {
+        let r_visible = if first_sample { 0.0 } else { reference };
+        first_sample = false;
+
+        // The controller only sees the observer's estimate.
+        let u = gains[j].matmul(&x_hat)?.get(0, 0) + feedforwards[j] * r_visible;
+        let y = lifted.plant().output(&x)?;
+
+        times.push(t);
+        outputs.push(y);
+        inputs.push(u);
+        let err = x.sub_matrix(&x_hat)?;
+        estimation_errors.push(err.frobenius_norm());
+
+        let iv = &lifted.intervals()[j];
+        // True plant.
+        let x_next = iv
+            .a_d
+            .matmul(&x)?
+            .add_matrix(&iv.b_prev.scale(u_prev))?
+            .add_matrix(&iv.b_new.scale(u))?;
+        // Observer: same model plus output-injection correction.
+        let innovation = y - c.matmul(&x_hat)?.get(0, 0);
+        let x_hat_next = iv
+            .a_d
+            .matmul(&x_hat)?
+            .add_matrix(&iv.b_prev.scale(u_prev))?
+            .add_matrix(&iv.b_new.scale(u))?
+            .add_matrix(&observer_gains[j].scale(innovation))?;
+
+        x = x_next;
+        x_hat = x_hat_next;
+        u_prev = u;
+        t += iv.h;
+        j = (j + 1) % m;
+
+        if !x.is_finite() || !x_hat.is_finite() {
+            times.push(t);
+            outputs.push(f64::INFINITY);
+            inputs.push(u);
+            estimation_errors.push(f64::INFINITY);
+            break;
+        }
+    }
+
+    Ok(ObserverResponse {
+        response: Response {
+            times,
+            outputs,
+            inputs,
+            reference,
+        },
+        estimation_errors,
+    })
+}
+
+/// Designs one observer per interval of the lifted pattern, all placing
+/// their error poles at `poles` for that interval's `A_j`.
+///
+/// # Errors
+///
+/// Propagates [`design_observer`] failures (e.g. an unobservable
+/// interval).
+pub fn design_periodic_observer(lifted: &LiftedPlant, poles: &[Complex]) -> Result<Vec<Matrix>> {
+    let c = lifted.plant().c();
+    let mut gains = Vec::with_capacity(lifted.tasks());
+    for iv in lifted.intervals() {
+        gains.push(design_observer(&iv.a_d, c, poles)?);
+    }
+    Ok(gains)
+}
+
+/// Spectral radius of the periodic estimation-error map
+/// `Π_j (A_j − L_j C)` — the cyclic analogue of `ρ(A − LC)`; below one the
+/// observer converges for any input sequence.
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidPlant`] for a wrong observer-gain count or
+///   shape.
+pub fn observer_error_spectral_radius(
+    lifted: &LiftedPlant,
+    observer_gains: &[Matrix],
+) -> Result<f64> {
+    let m = lifted.tasks();
+    if observer_gains.len() != m {
+        return Err(ControlError::InvalidPlant {
+            reason: format!("need {m} observer gains, got {}", observer_gains.len()),
+        });
+    }
+    let c = lifted.plant().c();
+    let l = lifted.state_dim();
+    let mut map = Matrix::identity(l);
+    for (iv, gain) in lifted.intervals().iter().zip(observer_gains) {
+        let a_err = iv.a_d.sub_matrix(&gain.matmul(c)?)?;
+        map = a_err.matmul(&map)?;
+    }
+    Ok(spectral_radius(&map)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ContinuousLti, LiftedPlant};
+
+    fn lifted_second_order() -> LiftedPlant {
+        let plant = ContinuousLti::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[-200.0, -30.0]]).unwrap(),
+            Matrix::column(&[0.0, 200.0]),
+            Matrix::row(&[1.0, 0.0]),
+        )
+        .unwrap();
+        LiftedPlant::new(plant, &[1e-3, 3e-3], &[1e-3, 0.5e-3]).unwrap()
+    }
+
+    /// Moderate observer poles. NOTE: very aggressive per-interval poles
+    /// (e.g. 0.05) make each `A_j − L_j C` highly non-normal; although
+    /// every factor has a tiny spectral radius, their *product* around the
+    /// cycle can be expanding (ρ > 1). See
+    /// [`aggressive_periodic_observer_can_diverge`].
+    fn fast_poles() -> Vec<Complex> {
+        vec![Complex::from_real(0.40), Complex::from_real(0.45)]
+    }
+
+    #[test]
+    fn observer_places_error_poles() {
+        let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap();
+        let c = Matrix::row(&[1.0, 0.0]);
+        let l = design_observer(&a, &c, &fast_poles()).unwrap();
+        let a_err = a.sub_matrix(&l.matmul(&c).unwrap()).unwrap();
+        assert!((spectral_radius(&a_err).unwrap() - 0.45).abs() < 1e-6);
+    }
+
+    /// Documents the periodic-systems pitfall: per-interval deadbeat-style
+    /// observer poles give factors with tiny spectral radius but large
+    /// transient growth, and the cyclic product can be *expanding*. The
+    /// library exposes [`observer_error_spectral_radius`] precisely so
+    /// users can catch this.
+    #[test]
+    fn aggressive_periodic_observer_can_diverge() {
+        let lifted = lifted_second_order();
+        let aggressive = vec![Complex::from_real(0.05), Complex::from_real(0.1)];
+        let obs = design_periodic_observer(&lifted, &aggressive).unwrap();
+        let rho = observer_error_spectral_radius(&lifted, &obs).unwrap();
+        assert!(
+            rho > 1.0,
+            "expected the non-normal product to expand, got rho = {rho}"
+        );
+    }
+
+    #[test]
+    fn unobservable_pair_is_rejected() {
+        // C sees only the first state and A is diagonal: second state is
+        // unobservable.
+        let a = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.7]]).unwrap();
+        let c = Matrix::row(&[1.0, 0.0]);
+        assert!(matches!(
+            design_observer(&a, &c, &fast_poles()),
+            Err(ControlError::Uncontrollable)
+        ));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = Matrix::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]]).unwrap();
+        let c_col = Matrix::column(&[1.0, 0.0]);
+        assert!(design_observer(&a, &c_col, &fast_poles()).is_err());
+    }
+
+    #[test]
+    fn periodic_observer_error_converges() {
+        let lifted = lifted_second_order();
+        let obs = design_periodic_observer(&lifted, &fast_poles()).unwrap();
+        assert_eq!(obs.len(), 2);
+        let rho = observer_error_spectral_radius(&lifted, &obs).unwrap();
+        assert!(rho < 1.0, "error map not contracting: rho = {rho}");
+    }
+
+    #[test]
+    fn output_feedback_recovers_state_feedback_tracking() {
+        let lifted = lifted_second_order();
+        let gains = vec![
+            Matrix::row(&[-0.4, -0.02]),
+            Matrix::row(&[-0.4, -0.02]),
+        ];
+        // Feedforwards from the crate's eq.-(17) helper per interval.
+        let mut ffs = Vec::new();
+        for iv in lifted.intervals() {
+            ffs.push(
+                crate::feedforward_gain(
+                    &iv.a_d,
+                    &iv.b_total().unwrap(),
+                    lifted.plant().c(),
+                    &gains[0],
+                )
+                .unwrap(),
+            );
+        }
+        let obs = design_periodic_observer(&lifted, &fast_poles()).unwrap();
+        // Start with a deliberately wrong estimate.
+        let x0_hat = Matrix::column(&[0.5, -0.5]);
+        let out = simulate_with_observer(
+            &lifted, &gains, &ffs, &obs, &x0_hat, 1.0, 0.3,
+        )
+        .unwrap();
+        assert!(out.response.is_finite());
+        // Estimation error decays to (near) zero.
+        let half = out.estimation_errors.len() / 2;
+        assert!(out.tail_error(half) < 1e-3, "tail error {}", out.tail_error(half));
+        // And the plant still tracks the reference.
+        assert!((out.response.outputs.last().unwrap() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn estimation_error_independent_of_reference() {
+        // Separation principle: the error trajectory must not depend on r.
+        let lifted = lifted_second_order();
+        let gains = vec![
+            Matrix::row(&[-0.4, -0.02]),
+            Matrix::row(&[-0.4, -0.02]),
+        ];
+        let ffs = vec![1.0, 1.0];
+        let obs = design_periodic_observer(&lifted, &fast_poles()).unwrap();
+        let x0_hat = Matrix::column(&[0.3, 0.0]);
+        let run = |r: f64| {
+            simulate_with_observer(&lifted, &gains, &ffs, &obs, &x0_hat, r, 0.1)
+                .unwrap()
+                .estimation_errors
+        };
+        let e1 = run(1.0);
+        let e2 = run(5.0);
+        for (a, b) in e1.iter().zip(&e2) {
+            assert!((a - b).abs() < 1e-9, "error depends on reference: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let lifted = lifted_second_order();
+        let gains = vec![Matrix::row(&[-0.4, -0.02]); 2];
+        let ffs = vec![1.0, 1.0];
+        let obs = design_periodic_observer(&lifted, &fast_poles()).unwrap();
+        let x0 = Matrix::column(&[0.0, 0.0]);
+        // Wrong observer count.
+        assert!(simulate_with_observer(&lifted, &gains, &ffs, &obs[..1], &x0, 1.0, 0.1).is_err());
+        // Wrong initial-estimate shape.
+        let x0_bad = Matrix::column(&[0.0]);
+        assert!(simulate_with_observer(&lifted, &gains, &ffs, &obs, &x0_bad, 1.0, 0.1).is_err());
+        // Bad horizon.
+        assert!(simulate_with_observer(&lifted, &gains, &ffs, &obs, &x0, 1.0, -1.0).is_err());
+        // Wrong observer-gain count in the spectral-radius helper.
+        assert!(observer_error_spectral_radius(&lifted, &obs[..1]).is_err());
+    }
+}

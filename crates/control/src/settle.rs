@@ -1,0 +1,165 @@
+//! Settling-time measurement (the paper's control performance metric).
+
+use crate::Response;
+use serde::{Deserialize, Serialize};
+
+/// Settling criterion: the output must enter and stay within
+/// `band × |reference|` of the reference (paper Section II-A uses the
+/// `0.98 r … 1.02 r` band, i.e. `band = 0.02`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SettlingSpec {
+    /// Relative band half-width (e.g. `0.02` for ±2 %).
+    pub band: f64,
+}
+
+impl SettlingSpec {
+    /// The paper's ±2 % band.
+    pub fn two_percent() -> Self {
+        SettlingSpec { band: 0.02 }
+    }
+
+    /// Absolute tolerance for a given reference magnitude.
+    pub fn tolerance(&self, reference: f64) -> f64 {
+        self.band * reference.abs()
+    }
+}
+
+impl Default for SettlingSpec {
+    fn default() -> Self {
+        SettlingSpec::two_percent()
+    }
+}
+
+/// Computes the settling time of a step response: the first sampling
+/// instant from which the output remains inside the band until the end of
+/// the recorded horizon.
+///
+/// Returns `None` if the response never settles within the horizon (e.g.
+/// an unstable design), if it contains non-finite samples, or if the last
+/// sample itself is outside the band.
+///
+/// The settling clock starts at the reference step (`t = 0`), so the
+/// controller's dead time — one idle gap under the worst-case phasing —
+/// is *included*, exactly as in the paper's conservative measurement.
+///
+/// # Example
+///
+/// ```
+/// use cacs_control::{settling_time, Response, SettlingSpec};
+///
+/// let response = Response {
+///     times: vec![0.0, 1.0, 2.0, 3.0],
+///     outputs: vec![0.0, 0.9, 1.01, 1.0],
+///     inputs: vec![0.0; 4],
+///     reference: 1.0,
+/// };
+/// // Enters the ±2 % band at t = 2 and stays.
+/// assert_eq!(settling_time(&response, SettlingSpec::two_percent()), Some(2.0));
+/// ```
+pub fn settling_time(response: &Response, spec: SettlingSpec) -> Option<f64> {
+    if response.outputs.is_empty() || !response.is_finite() {
+        return None;
+    }
+    let tol = spec.tolerance(response.reference);
+    let in_band =
+        |y: f64| (y - response.reference).abs() <= tol;
+
+    // Walk backwards to the last out-of-band sample.
+    let mut last_violation: Option<usize> = None;
+    for (i, &y) in response.outputs.iter().enumerate().rev() {
+        if !in_band(y) {
+            last_violation = Some(i);
+            break;
+        }
+    }
+    match last_violation {
+        None => Some(response.times[0]), // in band from the very start
+        Some(i) if i + 1 < response.outputs.len() => Some(response.times[i + 1]),
+        Some(_) => None, // still outside the band at the horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(outputs: Vec<f64>, reference: f64) -> Response {
+        let times = (0..outputs.len()).map(|i| i as f64 * 0.5).collect();
+        Response {
+            inputs: vec![0.0; outputs.len()],
+            times,
+            outputs,
+            reference,
+        }
+    }
+
+    #[test]
+    fn simple_settling() {
+        let r = response(vec![0.0, 0.5, 0.99, 1.0, 1.0], 1.0);
+        assert_eq!(settling_time(&r, SettlingSpec::two_percent()), Some(1.0));
+    }
+
+    #[test]
+    fn overshoot_delays_settling() {
+        // Leaves the band again at index 3 → settles at index 4.
+        let r = response(vec![0.0, 0.99, 1.0, 1.05, 1.0, 1.0], 1.0);
+        assert_eq!(settling_time(&r, SettlingSpec::two_percent()), Some(2.0));
+    }
+
+    #[test]
+    fn never_settles() {
+        let r = response(vec![0.0, 0.5, 0.7, 0.8], 1.0);
+        assert_eq!(settling_time(&r, SettlingSpec::two_percent()), None);
+    }
+
+    #[test]
+    fn last_sample_out_of_band_is_unsettled() {
+        let r = response(vec![0.0, 1.0, 1.0, 0.9], 1.0);
+        assert_eq!(settling_time(&r, SettlingSpec::two_percent()), None);
+    }
+
+    #[test]
+    fn settled_from_start() {
+        let r = response(vec![1.0, 1.0, 1.01], 1.0);
+        assert_eq!(settling_time(&r, SettlingSpec::two_percent()), Some(0.0));
+    }
+
+    #[test]
+    fn non_finite_response_never_settles() {
+        let r = response(vec![0.0, f64::INFINITY, 1.0], 1.0);
+        assert_eq!(settling_time(&r, SettlingSpec::two_percent()), None);
+    }
+
+    #[test]
+    fn band_scales_with_reference() {
+        let spec = SettlingSpec::two_percent();
+        assert!((spec.tolerance(2000.0) - 40.0).abs() < 1e-12);
+        // 1960 is inside ±2 % of 2000.
+        let r = response(vec![0.0, 1960.0, 1990.0], 2000.0);
+        assert_eq!(settling_time(&r, spec), Some(0.5));
+    }
+
+    #[test]
+    fn custom_band() {
+        let r = response(vec![0.0, 0.9, 0.95, 0.96], 1.0);
+        // ±10 % band: settles at the 0.9 sample already.
+        assert_eq!(settling_time(&r, SettlingSpec { band: 0.10 }), Some(0.5));
+    }
+
+    #[test]
+    fn negative_reference() {
+        let r = response(vec![0.0, -0.99, -1.0], -1.0);
+        assert_eq!(settling_time(&r, SettlingSpec::two_percent()), Some(0.5));
+    }
+
+    #[test]
+    fn empty_response() {
+        let r = Response {
+            times: vec![],
+            outputs: vec![],
+            inputs: vec![],
+            reference: 1.0,
+        };
+        assert_eq!(settling_time(&r, SettlingSpec::two_percent()), None);
+    }
+}

@@ -1,0 +1,260 @@
+//! Closed-loop step-response simulation under the paper's worst-case
+//! phasing convention.
+//!
+//! Section V: *"the reference tracking for an application starts after its
+//! last consecutive task in a schedule"*. The worst case is a reference
+//! step arriving immediately **after** the last consecutive task sensed the
+//! plant: the controller only sees the new reference at its next sampling
+//! instant, which is one full idle gap later. Cache-aware schedules have
+//! longer idle gaps, so this convention is deliberately pessimistic for
+//! them (the paper makes the same point).
+
+use crate::{ControlError, LiftedPlant, Result};
+use cacs_linalg::Matrix;
+
+/// A simulated closed-loop step response on the application's (generally
+/// non-uniform) sampling grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Sampling instants, seconds, starting at the reference step (t = 0).
+    pub times: Vec<f64>,
+    /// Plant output `y = Cx` at each sampling instant.
+    pub outputs: Vec<f64>,
+    /// Control input computed at each sampling instant.
+    pub inputs: Vec<f64>,
+    /// The reference value being tracked.
+    pub reference: f64,
+}
+
+impl Response {
+    /// Largest input magnitude over the simulation (for the `u ≤ U_max`
+    /// constraint, paper Section II-A).
+    pub fn max_input_magnitude(&self) -> f64 {
+        self.inputs.iter().fold(0.0, |acc, u| acc.max(u.abs()))
+    }
+
+    /// Tracking error `|y − r|` at the final sample.
+    pub fn final_error(&self) -> f64 {
+        match self.outputs.last() {
+            Some(y) => (y - self.reference).abs(),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// `true` if every recorded quantity is finite.
+    pub fn is_finite(&self) -> bool {
+        self.outputs.iter().all(|v| v.is_finite()) && self.inputs.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Simulates the worst-case step response of a designed controller.
+///
+/// The plant starts at rest (`x = 0`, previous input 0). The reference
+/// steps from 0 to `reference` just after the **last** task of the
+/// application's consecutive run has sensed — so that task still computes
+/// `u` for reference 0, and the first reactive sample happens after the
+/// long idle-gap period. Simulation proceeds on the cyclic interval
+/// pattern until at least `horizon` seconds have been recorded.
+///
+/// `gains` and `feedforwards` are per task (length `m`).
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidPlant`] for malformed gains/feedforward
+///   counts.
+/// * [`ControlError::InvalidTiming`] for a non-positive horizon.
+///
+/// # Example
+///
+/// ```
+/// use cacs_control::{simulate_worst_case, ContinuousLti, LiftedPlant};
+/// use cacs_linalg::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let plant = ContinuousLti::new(
+///     Matrix::from_rows(&[&[-100.0]])?,
+///     Matrix::column(&[100.0]),
+///     Matrix::row(&[1.0]),
+/// )?;
+/// let lifted = LiftedPlant::new(plant, &[1e-3, 3e-3], &[1e-3, 0.4e-3])?;
+/// let gains = vec![Matrix::row(&[-0.5]), Matrix::row(&[-0.5])];
+/// let response = simulate_worst_case(&lifted, &gains, &[1.5, 1.5], 1.0, 0.05)?;
+/// assert!(response.is_finite());
+/// assert!((response.outputs.last().unwrap() - 1.0).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_worst_case(
+    lifted: &LiftedPlant,
+    gains: &[Matrix],
+    feedforwards: &[f64],
+    reference: f64,
+    horizon: f64,
+) -> Result<Response> {
+    let m = lifted.tasks();
+    let l = lifted.state_dim();
+    if gains.len() != m || feedforwards.len() != m {
+        return Err(ControlError::InvalidPlant {
+            reason: format!(
+                "need {m} gains and feedforwards, got {} and {}",
+                gains.len(),
+                feedforwards.len()
+            ),
+        });
+    }
+    if let Some(bad) = gains.iter().find(|k| k.shape() != (1, l)) {
+        return Err(ControlError::InvalidPlant {
+            reason: format!("gain must be 1x{l}, got {:?}", bad.shape()),
+        });
+    }
+    if !horizon.is_finite() || horizon <= 0.0 {
+        return Err(ControlError::InvalidTiming {
+            reason: format!("horizon must be positive, got {horizon}"),
+        });
+    }
+
+    let mut x = Matrix::zeros(l, 1);
+    let mut u_prev = 0.0;
+    let mut t = 0.0;
+
+    let mut times = Vec::new();
+    let mut outputs = Vec::new();
+    let mut inputs = Vec::new();
+
+    // Start at the application's LAST consecutive task (interval m−1): the
+    // reference steps right after this task's sensing, so it still tracks
+    // the old reference 0.
+    let mut first_sample = true;
+    let mut j = m - 1;
+    while t < horizon || times.len() < 2 {
+        let r_visible = if first_sample { 0.0 } else { reference };
+        first_sample = false;
+
+        let u = gains[j].matmul(&x)?.get(0, 0) + feedforwards[j] * r_visible;
+
+        times.push(t);
+        outputs.push(lifted.plant().output(&x)?);
+        inputs.push(u);
+
+        let iv = &lifted.intervals()[j];
+        x = iv
+            .a_d
+            .matmul(&x)?
+            .add_matrix(&iv.b_prev.scale(u_prev))?
+            .add_matrix(&iv.b_new.scale(u))?;
+        u_prev = u;
+        t += iv.h;
+        j = (j + 1) % m;
+
+        if !x.is_finite() {
+            // Unstable loop: record one diverged sample and stop early so
+            // callers can penalise without waiting out the horizon.
+            times.push(t);
+            outputs.push(f64::INFINITY);
+            inputs.push(u);
+            break;
+        }
+    }
+
+    Ok(Response {
+        times,
+        outputs,
+        inputs,
+        reference,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContinuousLti;
+
+    fn fast_first_order() -> LiftedPlant {
+        let plant = ContinuousLti::new(
+            Matrix::from_rows(&[&[-200.0]]).unwrap(),
+            Matrix::column(&[200.0]),
+            Matrix::row(&[1.0]),
+        )
+        .unwrap();
+        LiftedPlant::new(plant, &[1e-3, 3e-3], &[1e-3, 0.4e-3]).unwrap()
+    }
+
+    #[test]
+    fn tracks_reference_with_stable_design() {
+        let lifted = fast_first_order();
+        let gains = vec![Matrix::row(&[-0.3]), Matrix::row(&[-0.3])];
+        let r = simulate_worst_case(&lifted, &gains, &[1.3, 1.3], 2.0, 0.08).unwrap();
+        assert!(r.is_finite());
+        assert!((r.outputs.last().unwrap() - 2.0).abs() < 0.1);
+        assert_eq!(r.reference, 2.0);
+    }
+
+    #[test]
+    fn first_sample_sees_old_reference() {
+        let lifted = fast_first_order();
+        let gains = vec![Matrix::row(&[-0.3]), Matrix::row(&[-0.3])];
+        let r = simulate_worst_case(&lifted, &gains, &[1.3, 1.3], 2.0, 0.05).unwrap();
+        // At t = 0 the plant is at rest and the controller still tracks 0.
+        assert_eq!(r.inputs[0], 0.0);
+        assert_eq!(r.outputs[0], 0.0);
+        // The second sample reacts to the new reference.
+        assert!(r.inputs[1] != 0.0);
+    }
+
+    #[test]
+    fn worst_case_phase_starts_with_idle_gap() {
+        let lifted = fast_first_order();
+        let gains = vec![Matrix::row(&[-0.3]), Matrix::row(&[-0.3])];
+        let r = simulate_worst_case(&lifted, &gains, &[1.3, 1.3], 1.0, 0.05).unwrap();
+        // The first interval is the LAST task's (3 ms, includes the idle
+        // gap), so the second sample is 3 ms after the step.
+        assert!((r.times[1] - 3e-3).abs() < 1e-12);
+        // After that the 1 ms interval follows.
+        assert!((r.times[2] - 4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_design_is_cut_short_with_infinite_output() {
+        let plant = ContinuousLti::new(
+            Matrix::from_rows(&[&[5.0]]).unwrap(), // unstable pole
+            Matrix::column(&[1.0]),
+            Matrix::row(&[1.0]),
+        )
+        .unwrap();
+        let lifted = LiftedPlant::new(plant, &[1e-3, 3e-3], &[1e-3, 0.4e-3]).unwrap();
+        // Positive feedback (plus feedforward excitation) makes it explode.
+        let gains = vec![Matrix::row(&[500.0]), Matrix::row(&[500.0])];
+        let r = simulate_worst_case(&lifted, &gains, &[1.0, 1.0], 1.0, 10.0).unwrap();
+        assert!(!r.is_finite());
+        assert!(r.times.len() < 10_000, "should stop early on divergence");
+    }
+
+    #[test]
+    fn horizon_is_covered() {
+        let lifted = fast_first_order();
+        let gains = vec![Matrix::row(&[-0.3]), Matrix::row(&[-0.3])];
+        let r = simulate_worst_case(&lifted, &gains, &[1.3, 1.3], 1.0, 0.1).unwrap();
+        assert!(*r.times.last().unwrap() >= 0.1 - 4e-3);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let lifted = fast_first_order();
+        let gains = vec![Matrix::row(&[-0.3])]; // wrong count
+        assert!(simulate_worst_case(&lifted, &gains, &[1.0], 1.0, 0.1).is_err());
+        let gains = vec![Matrix::row(&[-0.3]), Matrix::row(&[-0.3])];
+        assert!(simulate_worst_case(&lifted, &gains, &[1.0], 1.0, 0.1).is_err()); // ff count
+        assert!(simulate_worst_case(&lifted, &gains, &[1.0, 1.0], 1.0, -0.1).is_err());
+        let wide = vec![Matrix::row(&[-0.3, 0.0]), Matrix::row(&[-0.3, 0.0])];
+        assert!(simulate_worst_case(&lifted, &wide, &[1.0, 1.0], 1.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn max_input_and_final_error() {
+        let lifted = fast_first_order();
+        let gains = vec![Matrix::row(&[-0.3]), Matrix::row(&[-0.3])];
+        let r = simulate_worst_case(&lifted, &gains, &[1.3, 1.3], 2.0, 0.08).unwrap();
+        assert!(r.max_input_magnitude() > 0.0);
+        assert!(r.final_error() < 0.2);
+    }
+}

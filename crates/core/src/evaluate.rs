@@ -1,0 +1,242 @@
+//! Stage 1: full evaluation of one schedule (timing derivation + holistic
+//! controller design + overall performance).
+
+use crate::{CodesignProblem, CoreError, Result};
+use cacs_control::{synthesize, DesignedController, LiftedPlant, SynthesisConfig};
+use cacs_sched::{check_idle_times, derive_timing, AppParams, Schedule, ScheduleTiming};
+use cacs_search::ScheduleEvaluator;
+
+/// Per-application outcome of a schedule evaluation.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// Worst-case settling time achieved, seconds.
+    pub settling_time: f64,
+    /// Control performance `P_i = 1 − s_i/s_i^max` (negative = deadline
+    /// violated, paper constraint (3)).
+    pub performance: f64,
+    /// The synthesised controller.
+    pub controller: DesignedController,
+    /// The lifted plant used (kept for re-simulation, e.g. Fig. 6).
+    pub lifted: LiftedPlant,
+}
+
+/// The complete stage-1 result for one schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleEvaluation {
+    /// The evaluated schedule.
+    pub schedule: Schedule,
+    /// Derived timing (periods, delays, offsets).
+    pub timing: ScheduleTiming,
+    /// Per-application outcomes, in application order.
+    pub apps: Vec<AppOutcome>,
+    /// `P_all = Σ w_i P_i` when every constraint holds, `None` when any
+    /// application violates its settling deadline (constraint (3)).
+    pub overall_performance: Option<f64>,
+}
+
+impl ScheduleEvaluation {
+    /// Weighted sum of performances regardless of feasibility (useful for
+    /// reporting near-misses).
+    pub fn raw_overall(&self, params: &[AppParams]) -> f64 {
+        self.apps
+            .iter()
+            .zip(params)
+            .map(|(o, p)| p.weight * o.performance)
+            .sum()
+    }
+}
+
+impl CodesignProblem {
+    /// Evaluates one schedule end-to-end (paper Section III applied to
+    /// every application, then eq. (2)).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidProblem`] if the schedule's application count
+    ///   differs from the problem's, or the schedule violates the
+    ///   idle-time constraint (use
+    ///   [`CodesignProblem::idle_feasible_schedule`] to pre-check).
+    /// * Substrate errors (timing, synthesis) are propagated; a synthesis
+    ///   that finds no stabilising design is reported as an error rather
+    ///   than silently treated as infeasible.
+    pub fn evaluate_schedule(&self, schedule: &Schedule) -> Result<ScheduleEvaluation> {
+        if schedule.app_count() != self.app_count() {
+            return Err(CoreError::InvalidProblem {
+                reason: format!(
+                    "schedule has {} applications, problem has {}",
+                    schedule.app_count(),
+                    self.app_count()
+                ),
+            });
+        }
+        let timing = derive_timing(&schedule.task_sequence(), self.exec_times())?;
+        let params: Vec<AppParams> = self.apps().iter().map(|a| a.params.clone()).collect();
+        let violations = check_idle_times(&timing, &params)?;
+        if !violations.is_empty() {
+            return Err(CoreError::InvalidProblem {
+                reason: format!("schedule {schedule} violates idle-time constraints: {violations:?}"),
+            });
+        }
+
+        let mut apps = Vec::with_capacity(self.app_count());
+        for (i, app) in self.apps().iter().enumerate() {
+            let at = &timing.apps[i];
+            let lifted = LiftedPlant::new(app.plant.clone(), &at.periods, &at.delays)?;
+            let config = self.synthesis_config_for(i, schedule);
+            let controller = synthesize(&lifted, &config)?;
+            let performance = app.params.performance(controller.settling_time);
+            apps.push(AppOutcome {
+                settling_time: controller.settling_time,
+                performance,
+                controller,
+                lifted,
+            });
+        }
+
+        // Constraint (3): P_i >= 0 for every application.
+        let feasible = apps.iter().all(|o| o.performance >= 0.0);
+        let overall_performance = if feasible {
+            Some(
+                apps.iter()
+                    .zip(self.apps())
+                    .map(|(o, a)| a.params.weight * o.performance)
+                    .sum(),
+            )
+        } else {
+            None
+        };
+
+        Ok(ScheduleEvaluation {
+            schedule: schedule.clone(),
+            timing,
+            apps,
+            overall_performance,
+        })
+    }
+
+    /// The synthesis configuration used for application `app` under
+    /// `schedule` (deterministic seeding, per-application bounds).
+    pub fn synthesis_config_for(&self, app: usize, schedule: &Schedule) -> SynthesisConfig {
+        let spec = &self.apps()[app];
+        let mut config = SynthesisConfig::new(
+            spec.reference,
+            spec.params.settling_deadline * self.config().horizon_factor,
+        );
+        config.strategy = self.config().strategy;
+        config.pso = self.config().pso_for(app, schedule.counts());
+        config.max_input = Some(spec.umax);
+        config.settling = self.config().settling;
+        config.gain_bound =
+            self.config().gain_bound_factor * spec.umax / spec.reference.abs().max(1e-12);
+        config
+    }
+
+    /// Cheap a-priori feasibility: the idle-time constraint (4).
+    pub fn idle_feasible_schedule(&self, schedule: &Schedule) -> bool {
+        if schedule.app_count() != self.app_count() {
+            return false;
+        }
+        let Ok(timing) = derive_timing(&schedule.task_sequence(), self.exec_times()) else {
+            return false;
+        };
+        let params: Vec<AppParams> = self.apps().iter().map(|a| a.params.clone()).collect();
+        matches!(check_idle_times(&timing, &params), Ok(v) if v.is_empty())
+    }
+}
+
+/// The search-facing adapter: full evaluations mapped to `Option<f64>`.
+///
+/// * Idle-infeasible schedules are rejected a priori via
+///   [`ScheduleEvaluator::idle_feasible`].
+/// * Settling-deadline violations and synthesis failures both yield
+///   `None` (the paper's constraint (3) is only checkable after the
+///   evaluation).
+impl ScheduleEvaluator for CodesignProblem {
+    fn app_count(&self) -> usize {
+        CodesignProblem::app_count(self)
+    }
+
+    fn idle_feasible(&self, schedule: &Schedule) -> bool {
+        self.idle_feasible_schedule(schedule)
+    }
+
+    fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
+        match self.evaluate_schedule(schedule) {
+            Ok(eval) => eval.overall_performance,
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvaluationConfig;
+    use cacs_apps::paper_case_study;
+
+    fn fast_problem() -> CodesignProblem {
+        let study = paper_case_study().unwrap();
+        CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn round_robin_evaluates_feasibly() {
+        let problem = fast_problem();
+        let eval = problem
+            .evaluate_schedule(&Schedule::round_robin(3).unwrap())
+            .unwrap();
+        assert_eq!(eval.apps.len(), 3);
+        for (o, app) in eval.apps.iter().zip(problem.apps()) {
+            assert!(
+                o.settling_time < app.params.settling_deadline,
+                "{} missed its deadline: {} >= {}",
+                app.params.name,
+                o.settling_time,
+                app.params.settling_deadline
+            );
+            assert!(o.controller.spectral_radius < 1.0);
+            assert!(o.controller.max_input <= app.umax * (1.0 + 1e-9));
+        }
+        let p_all = eval.overall_performance.expect("feasible");
+        assert!(p_all > 0.0 && p_all < 1.0, "P_all = {p_all}");
+    }
+
+    #[test]
+    fn idle_feasibility_matches_constraint() {
+        let problem = fast_problem();
+        assert!(problem.idle_feasible_schedule(&Schedule::round_robin(3).unwrap()));
+        assert!(problem.idle_feasible_schedule(&Schedule::new(vec![3, 2, 3]).unwrap()));
+        // Starving C1 beyond 3.4 ms.
+        assert!(!problem.idle_feasible_schedule(&Schedule::new(vec![1, 1, 9]).unwrap()));
+        // Wrong app count.
+        assert!(!problem.idle_feasible_schedule(&Schedule::new(vec![1, 1]).unwrap()));
+    }
+
+    #[test]
+    fn idle_infeasible_schedule_errors_in_full_evaluation() {
+        let problem = fast_problem();
+        let r = problem.evaluate_schedule(&Schedule::new(vec![1, 1, 9]).unwrap());
+        assert!(matches!(r, Err(CoreError::InvalidProblem { .. })));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let problem = fast_problem();
+        let s = Schedule::new(vec![2, 2, 2]).unwrap();
+        let a = problem.evaluate_schedule(&s).unwrap();
+        let b = problem.evaluate_schedule(&s).unwrap();
+        assert_eq!(a.overall_performance, b.overall_performance);
+        for (x, y) in a.apps.iter().zip(&b.apps) {
+            assert_eq!(x.settling_time, y.settling_time);
+        }
+    }
+
+    #[test]
+    fn evaluator_adapter_reports_idle_feasibility() {
+        let problem = fast_problem();
+        let adapter: &dyn ScheduleEvaluator = &problem;
+        assert_eq!(adapter.app_count(), 3);
+        assert!(adapter.idle_feasible(&Schedule::round_robin(3).unwrap()));
+        assert!(!adapter.idle_feasible(&Schedule::new(vec![9, 1, 1]).unwrap()));
+    }
+}

@@ -1,0 +1,242 @@
+//! Interleaved-schedule evaluation — the paper's §VI future-work item.
+//!
+//! An interleaved schedule such as `(m1(1), m2, m1(2), m3)` splits an
+//! application's tasks into several per-period segments. Only the first
+//! task of each segment is cold; the timing derivation is the same
+//! timeline construction as for periodic schedules, so stage 1 carries
+//! over unchanged. The search space, however, is no longer a box — this
+//! module provides evaluation plus a bounded enumeration helper.
+
+use crate::{AppOutcome, CodesignProblem, CoreError, Result};
+use cacs_control::{synthesize, LiftedPlant};
+use cacs_sched::{
+    check_idle_times, derive_timing, AppParams, InterleavedSchedule, Schedule, ScheduleTiming,
+    Segment,
+};
+
+/// Stage-1 result for an interleaved schedule.
+#[derive(Debug, Clone)]
+pub struct InterleavedEvaluation {
+    /// The evaluated schedule.
+    pub schedule: InterleavedSchedule,
+    /// Derived timing.
+    pub timing: ScheduleTiming,
+    /// Per-application outcomes.
+    pub apps: Vec<AppOutcome>,
+    /// `P_all` when all constraints hold.
+    pub overall_performance: Option<f64>,
+}
+
+impl CodesignProblem {
+    /// Evaluates an interleaved schedule end-to-end (same pipeline as
+    /// [`CodesignProblem::evaluate_schedule`], different task sequence).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the periodic evaluation: app-count mismatch,
+    /// idle-constraint violation, synthesis failure.
+    pub fn evaluate_interleaved(
+        &self,
+        schedule: &InterleavedSchedule,
+    ) -> Result<InterleavedEvaluation> {
+        if schedule.app_count() != self.app_count() {
+            return Err(CoreError::InvalidProblem {
+                reason: format!(
+                    "schedule has {} applications, problem has {}",
+                    schedule.app_count(),
+                    self.app_count()
+                ),
+            });
+        }
+        let timing = derive_timing(&schedule.task_sequence(), self.exec_times())?;
+        let params: Vec<AppParams> = self.apps().iter().map(|a| a.params.clone()).collect();
+        let violations = check_idle_times(&timing, &params)?;
+        if !violations.is_empty() {
+            return Err(CoreError::InvalidProblem {
+                reason: format!(
+                    "interleaved schedule {schedule} violates idle constraints: {violations:?}"
+                ),
+            });
+        }
+
+        // Deterministic seed key from the segment structure.
+        let key: Vec<u32> = schedule
+            .segments()
+            .iter()
+            .flat_map(|s| [s.app as u32 + 1000, s.count])
+            .collect();
+
+        let mut apps = Vec::with_capacity(self.app_count());
+        for (i, app) in self.apps().iter().enumerate() {
+            let at = &timing.apps[i];
+            let lifted = LiftedPlant::new(app.plant.clone(), &at.periods, &at.delays)?;
+            // Reuse the periodic configuration builder with the segment key.
+            let mut config = self.synthesis_config_for(i, &Schedule::round_robin(self.app_count()).expect("n >= 1"));
+            config.pso = self.config().pso_for(i, &key);
+            let controller = synthesize(&lifted, &config)?;
+            let performance = app.params.performance(controller.settling_time);
+            apps.push(AppOutcome {
+                settling_time: controller.settling_time,
+                performance,
+                controller,
+                lifted,
+            });
+        }
+        let feasible = apps.iter().all(|o| o.performance >= 0.0);
+        let overall_performance = if feasible {
+            Some(
+                apps.iter()
+                    .zip(self.apps())
+                    .map(|(o, a)| a.params.weight * o.performance)
+                    .sum(),
+            )
+        } else {
+            None
+        };
+        Ok(InterleavedEvaluation {
+            schedule: schedule.clone(),
+            timing,
+            apps,
+            overall_performance,
+        })
+    }
+
+    /// Returns whether an interleaved schedule passes the idle-time
+    /// constraint (cheap a-priori check).
+    pub fn idle_feasible_interleaved(&self, schedule: &InterleavedSchedule) -> bool {
+        if schedule.app_count() != self.app_count() {
+            return false;
+        }
+        let Ok(timing) = derive_timing(&schedule.task_sequence(), self.exec_times()) else {
+            return false;
+        };
+        let params: Vec<AppParams> = self.apps().iter().map(|a| a.params.clone()).collect();
+        matches!(check_idle_times(&timing, &params), Ok(v) if v.is_empty())
+    }
+}
+
+/// Enumerates interleavings that split exactly one application of a
+/// periodic schedule into two segments, inserting the second segment at
+/// every possible position — the smallest superset of the periodic space
+/// the paper's §VI suggests exploring.
+///
+/// Returns only structurally valid schedules (no adjacent same-app
+/// segments); idle feasibility is *not* checked here.
+pub fn one_split_interleavings(base: &Schedule) -> Vec<InterleavedSchedule> {
+    let n = base.app_count();
+    let mut out = Vec::new();
+    for split_app in 0..n {
+        let m = base.count_of(split_app);
+        if m < 2 {
+            continue;
+        }
+        // Split m into (first, second), both >= 1.
+        for first in 1..m {
+            let second = m - first;
+            // Base segment order with the split applied; insert the
+            // second part after each later segment.
+            let mut segments: Vec<Segment> = Vec::new();
+            for app in 0..n {
+                let count = if app == split_app {
+                    first
+                } else {
+                    base.count_of(app)
+                };
+                segments.push(Segment { app, count });
+            }
+            for insert_after in (split_app + 1)..n {
+                let mut candidate = segments.clone();
+                candidate.insert(
+                    insert_after + 1,
+                    Segment {
+                        app: split_app,
+                        count: second,
+                    },
+                );
+                if let Ok(schedule) = InterleavedSchedule::new(candidate, n) {
+                    out.push(schedule);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvaluationConfig;
+    use cacs_apps::paper_case_study;
+
+    fn fast_problem() -> CodesignProblem {
+        let study = paper_case_study().unwrap();
+        CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn one_split_enumeration_is_structurally_valid() {
+        let base = Schedule::new(vec![3, 2, 3]).unwrap();
+        let candidates = one_split_interleavings(&base);
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            // Same total tasks per app as the base.
+            let seq = c.task_sequence();
+            for app in 0..3 {
+                assert_eq!(seq.tasks_of(app) as u32, base.count_of(app), "{c}");
+            }
+        }
+        // Splitting an m=1 application is impossible.
+        let rr = Schedule::round_robin(3).unwrap();
+        assert!(one_split_interleavings(&rr).is_empty());
+    }
+
+    #[test]
+    fn interleaved_idle_feasibility() {
+        let problem = fast_problem();
+        // Splitting C2's two tasks around C3 spreads its samples:
+        // (C1:1, C2:1, C3:1, C2:1) — cyclically valid.
+        let s = InterleavedSchedule::new(
+            vec![
+                Segment { app: 0, count: 1 },
+                Segment { app: 1, count: 1 },
+                Segment { app: 2, count: 1 },
+                Segment { app: 1, count: 1 },
+            ],
+            3,
+        )
+        .unwrap();
+        assert!(problem.idle_feasible_interleaved(&s));
+    }
+
+    #[test]
+    fn interleaved_evaluation_runs_end_to_end() {
+        let problem = fast_problem();
+        let s = InterleavedSchedule::new(
+            vec![
+                Segment { app: 0, count: 1 },
+                Segment { app: 1, count: 1 },
+                Segment { app: 2, count: 1 },
+                Segment { app: 1, count: 1 },
+            ],
+            3,
+        )
+        .unwrap();
+        let eval = problem.evaluate_interleaved(&s).unwrap();
+        assert_eq!(eval.apps.len(), 3);
+        // C2 runs twice per period but in two cold segments.
+        assert_eq!(eval.timing.apps[1].tasks(), 2);
+        let exec = problem.exec_times();
+        for &d in &eval.timing.apps[1].delays {
+            assert!((d - exec[1].cold).abs() < 1e-12, "both C2 tasks are cold");
+        }
+        assert!(eval.overall_performance.is_some());
+    }
+
+    #[test]
+    fn mismatched_app_count_rejected() {
+        let problem = fast_problem();
+        let s = InterleavedSchedule::new(vec![Segment { app: 0, count: 1 }], 1).unwrap();
+        assert!(problem.evaluate_interleaved(&s).is_err());
+        assert!(!problem.idle_feasible_interleaved(&s));
+    }
+}

@@ -1,0 +1,173 @@
+//! Multi-core extension (paper Section VI): each core has its own private
+//! cache and runs a subset of the applications, so the co-design
+//! decomposes into one independent schedule optimisation per core.
+
+use crate::{AppSpec, CodesignProblem, CoreError, EvaluationConfig, Result};
+use cacs_sched::{AppParams, Schedule};
+use cacs_search::{exhaustive_search, ExhaustiveReport};
+
+/// Assignment of applications to cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorePartition {
+    /// `core_of_app[i]` = core index of application `i`.
+    pub core_of_app: Vec<usize>,
+    /// Number of cores.
+    pub cores: usize,
+}
+
+impl CorePartition {
+    /// Creates and validates a partition: every core must receive at
+    /// least one application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidProblem`] for empty partitions,
+    /// out-of-range core indices or empty cores.
+    pub fn new(core_of_app: Vec<usize>, cores: usize) -> Result<Self> {
+        if core_of_app.is_empty() || cores == 0 {
+            return Err(CoreError::InvalidProblem {
+                reason: "partition needs at least one application and one core".into(),
+            });
+        }
+        if let Some(&bad) = core_of_app.iter().find(|&&c| c >= cores) {
+            return Err(CoreError::InvalidProblem {
+                reason: format!("core index {bad} out of range ({cores} cores)"),
+            });
+        }
+        for c in 0..cores {
+            if !core_of_app.contains(&c) {
+                return Err(CoreError::InvalidProblem {
+                    reason: format!("core {c} has no applications"),
+                });
+            }
+        }
+        Ok(CorePartition { core_of_app, cores })
+    }
+
+    /// Application indices assigned to `core`.
+    pub fn apps_on(&self, core: usize) -> Vec<usize> {
+        self.core_of_app
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == core)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Result of the per-core optimisation.
+#[derive(Debug, Clone)]
+pub struct MulticoreOutcome {
+    /// Per core: the application indices, the best schedule over those
+    /// applications, and the core's weighted performance contribution
+    /// (already scaled by the original weights).
+    pub per_core: Vec<(Vec<usize>, Option<Schedule>, f64)>,
+    /// Total `P_all` across cores (sum of contributions), `None` if any
+    /// core found no feasible schedule.
+    pub overall: Option<f64>,
+    /// Exhaustive reports per core (for evaluation-count accounting).
+    pub reports: Vec<ExhaustiveReport>,
+}
+
+/// Optimises each core's schedule independently by exhaustive search over
+/// its (much smaller) per-core space, and combines the weighted
+/// performances.
+///
+/// Each sub-problem renormalises its applications' weights to sum to one
+/// (as [`CodesignProblem::new`] requires); the contributions are scaled
+/// back by the core's total original weight so that the combined value is
+/// comparable with single-core `P_all`.
+///
+/// # Errors
+///
+/// Propagates partition/sub-problem construction errors.
+pub fn optimize_multicore(
+    problem: &CodesignProblem,
+    partition: &CorePartition,
+    config: EvaluationConfig,
+) -> Result<MulticoreOutcome> {
+    if partition.core_of_app.len() != problem.app_count() {
+        return Err(CoreError::InvalidProblem {
+            reason: format!(
+                "partition covers {} applications, problem has {}",
+                partition.core_of_app.len(),
+                problem.app_count()
+            ),
+        });
+    }
+    let mut per_core = Vec::with_capacity(partition.cores);
+    let mut reports = Vec::with_capacity(partition.cores);
+    let mut overall = Some(0.0f64);
+
+    for core in 0..partition.cores {
+        let app_indices = partition.apps_on(core);
+        let core_weight: f64 = app_indices
+            .iter()
+            .map(|&i| problem.apps()[i].params.weight)
+            .sum();
+        if core_weight <= 0.0 {
+            return Err(CoreError::InvalidProblem {
+                reason: format!("core {core} has zero total weight"),
+            });
+        }
+        // Build the sub-problem with renormalised weights.
+        let sub_apps: Vec<AppSpec> = app_indices
+            .iter()
+            .map(|&i| {
+                let a = &problem.apps()[i];
+                AppSpec {
+                    params: AppParams::new(
+                        a.params.name.clone(),
+                        a.params.weight / core_weight,
+                        a.params.settling_deadline,
+                        a.params.max_idle_time,
+                    )
+                    .expect("rescaled weight stays valid"),
+                    plant: a.plant.clone(),
+                    reference: a.reference,
+                    umax: a.umax,
+                    program: a.program.clone(),
+                }
+            })
+            .collect();
+        let sub_problem = CodesignProblem::new(*problem.platform(), sub_apps, config)?;
+        let space = sub_problem.schedule_space()?;
+        let report = exhaustive_search(&sub_problem, &space)?;
+
+        let contribution = report.best.as_ref().map(|_| core_weight * report.best_value);
+        match (overall, contribution) {
+            (Some(acc), Some(c)) => overall = Some(acc + c),
+            _ => overall = None,
+        }
+        per_core.push((
+            app_indices,
+            report.best.clone(),
+            contribution.unwrap_or(f64::NEG_INFINITY),
+        ));
+        reports.push(report);
+    }
+
+    Ok(MulticoreOutcome {
+        per_core,
+        overall,
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_validation() {
+        assert!(CorePartition::new(vec![], 1).is_err());
+        assert!(CorePartition::new(vec![0, 2], 2).is_err()); // index 2 out of range
+        assert!(CorePartition::new(vec![0, 0], 2).is_err()); // core 1 empty
+        let p = CorePartition::new(vec![0, 1, 0], 2).unwrap();
+        assert_eq!(p.apps_on(0), vec![0, 2]);
+        assert_eq!(p.apps_on(1), vec![1]);
+    }
+
+    // The end-to-end multicore optimisation runs in the integration tests
+    // (it performs many full evaluations).
+}

@@ -1,0 +1,136 @@
+//! Stage 2: schedule optimisation (hybrid search + exhaustive
+//! verification).
+
+use crate::{CodesignProblem, Result};
+use cacs_sched::Schedule;
+use cacs_search::{
+    exhaustive_search, hybrid_search_multistart, ExhaustiveReport, HybridConfig, ScheduleSpace,
+    SearchReport,
+};
+
+/// One hybrid search run with its start point.
+#[derive(Debug, Clone)]
+pub struct SearchSummary {
+    /// Where the search started.
+    pub start: Schedule,
+    /// What it found and how much it cost.
+    pub report: SearchReport,
+}
+
+/// Outcome of the stage-2 optimisation.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// Best schedule over all searches with its `P_all` (`None` if every
+    /// search failed to find a feasible schedule).
+    pub best: Option<(Schedule, f64)>,
+    /// Every individual search run.
+    pub searches: Vec<SearchSummary>,
+}
+
+impl CodesignProblem {
+    /// Derives the schedule decision space: each `m_i` ranges from 1 up to
+    /// the largest value appearing in **any** idle-feasible schedule of
+    /// the capped box (`EvaluationConfig::max_tasks_per_app` per
+    /// dimension). The exact scan matters because the idle constraint is
+    /// not monotone per dimension — raising `m_i` shortens `C_i`'s own
+    /// last (warm) task.
+    ///
+    /// Falls back to the conservative axis-wise bound when the box is too
+    /// large to scan (many applications).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cacs_search::SearchError::InvalidSpace`] when even
+    /// round-robin is infeasible.
+    pub fn schedule_space(&self) -> Result<ScheduleSpace> {
+        let scan = ScheduleSpace::from_feasibility_scan(
+            self.app_count(),
+            self.config().max_tasks_per_app,
+            |s| self.idle_feasible_schedule(s),
+        );
+        match scan {
+            Ok(space) => Ok(space),
+            Err(cacs_search::SearchError::InvalidSpace { reason })
+                if reason.contains("too large") =>
+            {
+                Ok(ScheduleSpace::from_feasibility(
+                    self.app_count(),
+                    self.config().max_tasks_per_app,
+                    |s| self.idle_feasible_schedule(s),
+                )?)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Runs the hybrid search from the given start points in parallel
+    /// (paper Section IV / Section V: two random starts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates search errors (e.g. a start outside the space).
+    pub fn optimize(
+        &self,
+        starts: &[Schedule],
+        config: &HybridConfig,
+    ) -> Result<OptimizeOutcome> {
+        let space = self.schedule_space()?;
+        let reports = hybrid_search_multistart(self, &space, starts, config)?;
+        let mut best: Option<(Schedule, f64)> = None;
+        let mut searches = Vec::with_capacity(reports.len());
+        for (start, report) in starts.iter().zip(reports) {
+            if let Some(s) = &report.best {
+                let better = match &best {
+                    Some((_, v)) => report.best_value > *v,
+                    None => true,
+                };
+                if better && report.best_value.is_finite() {
+                    best = Some((s.clone(), report.best_value));
+                }
+            }
+            searches.push(SearchSummary {
+                start: start.clone(),
+                report,
+            });
+        }
+        Ok(OptimizeOutcome { best, searches })
+    }
+
+    /// Brute-force verification over the whole space (paper Section V's
+    /// "76 schedules").
+    ///
+    /// # Errors
+    ///
+    /// Propagates search errors.
+    pub fn optimize_exhaustive(&self) -> Result<ExhaustiveReport> {
+        let space = self.schedule_space()?;
+        Ok(exhaustive_search(self, &space)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvaluationConfig;
+    use cacs_apps::paper_case_study;
+
+    #[test]
+    fn schedule_space_bounds_are_sane() {
+        let study = paper_case_study().unwrap();
+        let problem =
+            CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).unwrap();
+        let space = problem.schedule_space().unwrap();
+        // Three applications; every dimension allows at least 2 and at
+        // most the configured cap.
+        assert_eq!(space.app_count(), 3);
+        for &m in space.max_counts() {
+            assert!(m >= 2, "space unexpectedly tight: {:?}", space.max_counts());
+            assert!(m <= 12);
+        }
+        // The paper's optimum (3,2,3) must lie inside the space.
+        assert!(space.contains(&Schedule::new(vec![3, 2, 3]).unwrap()));
+    }
+
+    // Full optimisation runs are exercised by the integration tests and
+    // the paper_case_study example (they are too slow for unit tests).
+}

@@ -1,0 +1,199 @@
+//! Regeneration of the paper's tables and figures from pipeline results.
+
+use crate::{CodesignProblem, Result, ScheduleEvaluation};
+use cacs_cache::analyze_consecutive;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I (WCET results with and without cache reuse).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: String,
+    /// WCET without cache reuse, µs.
+    pub cold_us: f64,
+    /// Guaranteed WCET reduction, µs.
+    pub reduction_us: f64,
+    /// WCET with cache reuse, µs.
+    pub warm_us: f64,
+}
+
+/// Regenerates Table I by running the cache/WCET analysis on every
+/// application's program.
+///
+/// # Errors
+///
+/// Propagates cache-analysis errors.
+pub fn table1_rows(problem: &CodesignProblem) -> Result<Vec<Table1Row>> {
+    let platform = problem.platform();
+    problem
+        .apps()
+        .iter()
+        .map(|app| {
+            let a = analyze_consecutive(&app.program, platform)?;
+            Ok(Table1Row {
+                app: app.params.name.clone(),
+                cold_us: platform.cycles_to_micros(a.cold_cycles),
+                reduction_us: platform.cycles_to_micros(a.guaranteed_reduction_cycles()),
+                warm_us: platform.cycles_to_micros(a.warm_cycles),
+            })
+        })
+        .collect()
+}
+
+/// One row of Table III (settling-time comparison between the
+/// cache-oblivious baseline and the optimal cache-aware schedule).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: String,
+    /// Settling time under the baseline schedule, ms.
+    pub baseline_ms: f64,
+    /// Settling time under the optimised schedule, ms.
+    pub optimized_ms: f64,
+    /// Control-performance improvement, percent of the settling deadline
+    /// (the paper's `ΔP_i = (s_base − s_opt)/s_max`).
+    pub improvement_percent: f64,
+}
+
+/// Regenerates Table III from two schedule evaluations.
+///
+/// # Panics
+///
+/// Panics if the two evaluations cover different application counts than
+/// the problem (cannot happen when both came from `problem`).
+pub fn table3_rows(
+    problem: &CodesignProblem,
+    baseline: &ScheduleEvaluation,
+    optimized: &ScheduleEvaluation,
+) -> Vec<Table3Row> {
+    assert_eq!(baseline.apps.len(), problem.app_count());
+    assert_eq!(optimized.apps.len(), problem.app_count());
+    problem
+        .apps()
+        .iter()
+        .zip(baseline.apps.iter().zip(&optimized.apps))
+        .map(|(app, (b, o))| Table3Row {
+            app: app.params.name.clone(),
+            baseline_ms: b.settling_time * 1e3,
+            optimized_ms: o.settling_time * 1e3,
+            improvement_percent: (b.settling_time - o.settling_time)
+                / app.params.settling_deadline
+                * 100.0,
+        })
+        .collect()
+}
+
+/// One response series of Figure 6 (system output over time for one
+/// application under one schedule).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Series {
+    /// Application name.
+    pub app: String,
+    /// Schedule label, e.g. `"(1, 1, 1)"`.
+    pub schedule: String,
+    /// Sampling instants, seconds.
+    pub times: Vec<f64>,
+    /// System outputs at the sampling instants.
+    pub outputs: Vec<f64>,
+    /// The tracked reference.
+    pub reference: f64,
+}
+
+impl Fig6Series {
+    /// Renders the series as CSV lines (`time,output`), with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,output\n");
+        for (t, y) in self.times.iter().zip(&self.outputs) {
+            out.push_str(&format!("{t},{y}\n"));
+        }
+        out
+    }
+}
+
+/// Regenerates the Figure 6 series for every application of one evaluated
+/// schedule, simulating `horizon` seconds (the paper plots 0–50 ms).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig6_series(
+    problem: &CodesignProblem,
+    evaluation: &ScheduleEvaluation,
+    horizon: f64,
+) -> Result<Vec<Fig6Series>> {
+    let mut series = Vec::with_capacity(evaluation.apps.len());
+    for (app, outcome) in problem.apps().iter().zip(&evaluation.apps) {
+        let response = outcome
+            .controller
+            .simulate(&outcome.lifted, app.reference, horizon)?;
+        series.push(Fig6Series {
+            app: app.params.name.clone(),
+            schedule: evaluation.schedule.to_string(),
+            times: response.times,
+            outputs: response.outputs,
+            reference: app.reference,
+        });
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvaluationConfig;
+    use cacs_apps::paper_case_study;
+    use cacs_sched::Schedule;
+
+    fn fast_problem() -> CodesignProblem {
+        let study = paper_case_study().unwrap();
+        CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let rows = table1_rows(&fast_problem()).unwrap();
+        let expected = [
+            (907.55, 455.40, 452.15),
+            (645.25, 470.25, 175.00),
+            (749.15, 514.80, 234.35),
+        ];
+        for (row, (cold, red, warm)) in rows.iter().zip(expected) {
+            assert!((row.cold_us - cold).abs() < 1e-9, "{}: {}", row.app, row.cold_us);
+            assert!((row.reduction_us - red).abs() < 1e-9);
+            assert!((row.warm_us - warm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table3_and_fig6_from_one_evaluation() {
+        let problem = fast_problem();
+        let eval = problem
+            .evaluate_schedule(&Schedule::round_robin(3).unwrap())
+            .unwrap();
+        // Using the same evaluation for both columns: zero improvement.
+        let rows = table3_rows(&problem, &eval, &eval);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!((r.improvement_percent).abs() < 1e-12);
+            assert!(r.baseline_ms > 0.0);
+        }
+
+        let series = fig6_series(&problem, &eval, 50e-3).unwrap();
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert_eq!(s.times.len(), s.outputs.len());
+            assert!(*s.times.last().unwrap() >= 45e-3);
+            // Response ends near the reference (it settled).
+            let last = *s.outputs.last().unwrap();
+            assert!(
+                (last - s.reference).abs() <= 0.05 * s.reference.abs(),
+                "{}: {last} vs {}",
+                s.app,
+                s.reference
+            );
+            let csv = s.to_csv();
+            assert!(csv.starts_with("time_s,output\n"));
+            assert!(csv.lines().count() > 10);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal complex-number type used for polynomial roots and eigenvalues.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// Only the operations needed by the Durand–Kerner root finder and pole
+/// handling are implemented; this is intentionally not a general-purpose
+/// complex arithmetic library.
+///
+/// # Example
+///
+/// ```
+/// use cacs_linalg::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * z.conj(), Complex::new(25.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cacs_linalg::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15);
+    /// assert!((z.im - 2.0).abs() < 1e-15);
+    /// ```
+    pub fn from_polar(radius: f64, angle: f64) -> Self {
+        Complex::new(radius * angle.cos(), radius * angle.sin())
+    }
+
+    /// Magnitude (modulus) of the number.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude; cheaper than [`Complex::abs`] when only
+    /// comparisons are needed.
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Returns `true` if either component is NaN.
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut exp: u32) -> Self {
+        let mut base = self;
+        let mut acc = Complex::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        // Smith's algorithm avoids overflow for widely scaled components.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(1.5, -2.5);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert_eq!(-z + z, Complex::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_textbook() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(2.0, -7.0);
+        let b = Complex::new(-0.5, 3.0);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < EPS);
+    }
+
+    #[test]
+    fn division_is_stable_for_small_denominator_components() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(1e-300, 1.0);
+        let q = a / b;
+        assert!(q.is_finite());
+        // a/b ≈ a * conj(b) since |b| ≈ 1 → ≈ (1+1i)(0-1i)/1 = 1 - 1i.
+        assert!((q - Complex::new(1.0, -1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(3.0, 0.7);
+        assert!((z.abs() - 3.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex::new(0.9, 0.3);
+        let mut manual = Complex::ONE;
+        for _ in 0..7 {
+            manual = manual * z;
+        }
+        assert!((z.powi(7) - manual).abs() < EPS);
+        assert_eq!(z.powi(0), Complex::ONE);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

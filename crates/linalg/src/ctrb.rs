@@ -1,0 +1,116 @@
+//! Controllability analysis (Kalman rank test).
+
+use crate::qr::QrDecomposition;
+use crate::{LinalgError, Matrix, Result};
+
+/// Builds the controllability matrix `[B, AB, A²B, …, A^{n−1}B]`.
+///
+/// `a` must be `n × n` and `b` must be `n × m`.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is rectangular.
+/// * [`LinalgError::DimensionMismatch`] if `b.rows() != a.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use cacs_linalg::{controllability_matrix, Matrix};
+///
+/// # fn main() -> Result<(), cacs_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]])?;
+/// let b = Matrix::column(&[0.0, 1.0]);
+/// let c = controllability_matrix(&a, &b)?;
+/// assert_eq!(c.shape(), (2, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn controllability_matrix(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if b.rows() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "controllability matrix",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut block = b.clone();
+    let mut ctrb = b.clone();
+    for _ in 1..n {
+        block = a.matmul(&block)?;
+        ctrb = ctrb.hstack(&block)?;
+    }
+    Ok(ctrb)
+}
+
+/// Kalman rank test: returns `true` if `(A, B)` is controllable.
+///
+/// The rank is computed through a Householder QR of the controllability
+/// matrix (transposed if wide) with relative tolerance `1e-9`.
+///
+/// # Errors
+///
+/// Same conditions as [`controllability_matrix`].
+pub fn is_controllable(a: &Matrix, b: &Matrix) -> Result<bool> {
+    let n = a.rows();
+    let c = controllability_matrix(a, b)?;
+    // QR needs rows >= cols; transpose the (typically wide) n × nm matrix.
+    let tall = if c.rows() >= c.cols() { c } else { c.transpose() };
+    let qr = QrDecomposition::new(&tall)?;
+    Ok(qr.rank(1e-9) == n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_integrator_is_controllable() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let b = Matrix::column(&[0.0, 1.0]);
+        assert!(is_controllable(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn decoupled_state_is_uncontrollable() {
+        // Second state unaffected by input and by the first state.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let b = Matrix::column(&[1.0, 0.0]);
+        assert!(!is_controllable(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn controllability_matrix_layout() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let b = Matrix::column(&[1.0, 2.0]);
+        let c = controllability_matrix(&a, &b).unwrap();
+        // [B, AB] with AB = (3, 2).
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(1, 0), 2.0);
+        assert_eq!(c.get(0, 1), 3.0);
+        assert_eq!(c.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn multi_input_controllability() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        // A = 0 but B spans the state space.
+        assert!(is_controllable(&a, &b).unwrap());
+        let c = controllability_matrix(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 4));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::column(&[1.0, 0.0]);
+        assert!(controllability_matrix(&a, &b).is_err());
+        let a = Matrix::identity(2);
+        let b3 = Matrix::column(&[1.0, 0.0, 0.0]);
+        assert!(controllability_matrix(&a, &b3).is_err());
+    }
+}

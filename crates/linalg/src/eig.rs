@@ -1,0 +1,168 @@
+//! Eigenvalues via the characteristic polynomial (Faddeev–LeVerrier) and
+//! the Durand–Kerner root finder.
+//!
+//! The matrices handled by this crate are closed-loop system matrices with
+//! at most a couple of dozen rows, where this O(n⁴) approach is both simple
+//! and accurate enough; the spectral radius is what the stability checks
+//! consume.
+
+use crate::{Complex, LinalgError, Matrix, Polynomial, Result};
+
+/// Computes the characteristic polynomial `det(xI − A)` of a square matrix
+/// using the Faddeev–LeVerrier recursion.
+///
+/// The returned polynomial is monic of degree `n`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input.
+///
+/// # Example
+///
+/// ```
+/// use cacs_linalg::{characteristic_polynomial, Matrix, Polynomial};
+///
+/// # fn main() -> Result<(), cacs_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]])?;
+/// let p = characteristic_polynomial(&a)?;
+/// // (x-2)(x-3) = 6 - 5x + x²
+/// assert!(p.approx_eq(&Polynomial::new(vec![6.0, -5.0, 1.0]), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+pub fn characteristic_polynomial(a: &Matrix) -> Result<Polynomial> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    // Faddeev–LeVerrier: M₀ = 0, c_n = 1;
+    // M_k = A·M_{k−1} + c_{n−k+1}·I,  c_{n−k} = −tr(A·M_k)/k.
+    let mut coeffs = vec![0.0; n + 1];
+    coeffs[n] = 1.0;
+    let mut m = Matrix::zeros(n, n);
+    for k in 1..=n {
+        // M_k = A M_{k-1} + c_{n-k+1} I
+        m = a.matmul(&m)?;
+        for i in 0..n {
+            m.set(i, i, m.get(i, i) + coeffs[n - k + 1]);
+        }
+        let am = a.matmul(&m)?;
+        coeffs[n - k] = -am.trace()? / k as f64;
+    }
+    Ok(Polynomial::new(coeffs))
+}
+
+/// Computes all eigenvalues of a square matrix.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for rectangular input.
+/// * [`LinalgError::NotConverged`] if the root finder fails (pathological
+///   spectra).
+///
+/// # Example
+///
+/// ```
+/// use cacs_linalg::{eigenvalues, Matrix};
+///
+/// # fn main() -> Result<(), cacs_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[-1.0, 0.0]])?;
+/// let eigs = eigenvalues(&a)?; // ±i
+/// assert!(eigs.iter().all(|e| (e.abs() - 1.0).abs() < 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>> {
+    characteristic_polynomial(a)?.roots()
+}
+
+/// Spectral radius `max |λ_i(A)|`.
+///
+/// A discrete-time closed loop is asymptotically stable iff its spectral
+/// radius is strictly below one.
+///
+/// # Errors
+///
+/// Same conditions as [`eigenvalues`].
+pub fn spectral_radius(a: &Matrix) -> Result<f64> {
+    Ok(eigenvalues(a)?
+        .iter()
+        .map(|e| e.abs())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_poly_of_companion_matrix() {
+        // Companion of x³ - 6x² + 11x - 6 = (x-1)(x-2)(x-3).
+        let a = Matrix::from_rows(&[
+            &[0.0, 0.0, 6.0],
+            &[1.0, 0.0, -11.0],
+            &[0.0, 1.0, 6.0],
+        ])
+        .unwrap();
+        let p = characteristic_polynomial(&a).unwrap();
+        assert!(p.approx_eq(&Polynomial::new(vec![-6.0, 11.0, -6.0, 1.0]), 1e-10));
+    }
+
+    #[test]
+    fn eigenvalues_of_triangular_matrix_are_diagonal() {
+        let a = Matrix::from_rows(&[
+            &[0.5, 3.0, -1.0],
+            &[0.0, -0.25, 2.0],
+            &[0.0, 0.0, 0.75],
+        ])
+        .unwrap();
+        let mut eigs: Vec<f64> = eigenvalues(&a).unwrap().iter().map(|e| e.re).collect();
+        eigs.sort_by(f64::total_cmp);
+        let expected = [-0.25, 0.5, 0.75];
+        for (e, x) in eigs.iter().zip(expected) {
+            assert!((e - x).abs() < 1e-8, "eig {e} vs {x}");
+        }
+    }
+
+    #[test]
+    fn spectral_radius_of_rotation_scaled() {
+        let rho = 0.9;
+        let theta: f64 = 0.8;
+        let a = Matrix::from_rows(&[
+            &[rho * theta.cos(), -rho * theta.sin()],
+            &[rho * theta.sin(), rho * theta.cos()],
+        ])
+        .unwrap();
+        assert!((spectral_radius(&a).unwrap() - rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn char_poly_constant_term_is_det_sign() {
+        // det(xI - A) at x=0 equals det(-A) = (-1)^n det(A).
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let p = characteristic_polynomial(&a).unwrap();
+        let det = crate::lu::LuDecomposition::new(&a).unwrap().determinant();
+        assert!((p.eval_real(0.0) - det).abs() < 1e-10);
+    }
+
+    #[test]
+    fn char_poly_x_coefficient_matches_trace() {
+        // For monic char poly, coefficient of x^{n-1} is -tr(A).
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.5, -3.0]]).unwrap();
+        let p = characteristic_polynomial(&a).unwrap();
+        assert!((p.coeffs()[1] + a.trace().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(characteristic_polynomial(&a).is_err());
+        assert!(eigenvalues(&a).is_err());
+    }
+
+    #[test]
+    fn nilpotent_matrix_spectral_radius_zero() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        assert!(spectral_radius(&a).unwrap() < 1e-6);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by every fallible operation in the crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// What was being attempted, e.g. `"matrix multiply"`.
+        operation: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be
+    /// factorised/inverted.
+    Singular,
+    /// An iterative algorithm failed to converge within its budget.
+    NotConverged {
+        /// Which algorithm failed, e.g. `"durand-kerner"`.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was empty or otherwise structurally invalid.
+    InvalidArgument {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "square matrix required, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotConverged {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LinalgError::DimensionMismatch {
+            operation: "matrix multiply",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let text = err.to_string();
+        assert!(text.contains("matrix multiply"));
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn not_converged_mentions_algorithm() {
+        let err = LinalgError::NotConverged {
+            algorithm: "durand-kerner",
+            iterations: 500,
+        };
+        assert!(err.to_string().contains("durand-kerner"));
+        assert!(err.to_string().contains("500"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Matrix exponential by scaling and squaring with a Padé(13) approximant,
+//! and the zero-order-hold integral used in sampled-data discretisation.
+
+use crate::lu::LuDecomposition;
+use crate::{LinalgError, Matrix, Result};
+
+/// Padé(13) numerator coefficients (Higham, *Functions of Matrices*, 2008).
+const PADE13: [f64; 14] = [
+    64764752532480000.0,
+    32382376266240000.0,
+    7771770303897600.0,
+    1187353796428800.0,
+    129060195264000.0,
+    10559470521600.0,
+    670442572800.0,
+    33522128640.0,
+    1323241920.0,
+    40840800.0,
+    960960.0,
+    16380.0,
+    182.0,
+    1.0,
+];
+
+/// Computes the matrix exponential `e^A`.
+///
+/// Uses the scaling-and-squaring method with a degree-13 Padé approximant,
+/// which is accurate to machine precision for the small, well-scaled
+/// matrices that arise when discretising control plants over millisecond
+/// sampling periods.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is rectangular.
+/// * [`LinalgError::InvalidArgument`] if `a` contains non-finite entries.
+///
+/// # Example
+///
+/// ```
+/// use cacs_linalg::{expm, Matrix};
+///
+/// # fn main() -> Result<(), cacs_linalg::LinalgError> {
+/// // exp of a nilpotent matrix: e^[[0,1],[0,0]] = [[1,1],[0,1]].
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]])?;
+/// let e = expm(&a)?;
+/// assert!((e.get(0, 1) - 1.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::InvalidArgument {
+            reason: "matrix exponential of non-finite matrix",
+        });
+    }
+    let n = a.rows();
+    // Scaling: bring ‖A/2^s‖∞ under the Padé(13) threshold θ₁₃ ≈ 5.37.
+    let norm = a.norm_inf();
+    let theta13 = 5.371920351148152;
+    let s = if norm > theta13 {
+        ((norm / theta13).log2().ceil()) as u32
+    } else {
+        0
+    };
+    let a_scaled = a.scale(0.5_f64.powi(s as i32));
+
+    // Padé(13): split into even/odd powers.
+    let a2 = a_scaled.matmul(&a_scaled)?;
+    let a4 = a2.matmul(&a2)?;
+    let a6 = a2.matmul(&a4)?;
+    let ident = Matrix::identity(n);
+
+    // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+    let mut inner = a6.scale(PADE13[13]);
+    inner = inner.add_matrix(&a4.scale(PADE13[11]))?;
+    inner = inner.add_matrix(&a2.scale(PADE13[9]))?;
+    let mut u = a6.matmul(&inner)?;
+    u = u.add_matrix(&a6.scale(PADE13[7]))?;
+    u = u.add_matrix(&a4.scale(PADE13[5]))?;
+    u = u.add_matrix(&a2.scale(PADE13[3]))?;
+    u = u.add_matrix(&ident.scale(PADE13[1]))?;
+    u = a_scaled.matmul(&u)?;
+
+    // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+    let mut inner_v = a6.scale(PADE13[12]);
+    inner_v = inner_v.add_matrix(&a4.scale(PADE13[10]))?;
+    inner_v = inner_v.add_matrix(&a2.scale(PADE13[8]))?;
+    let mut v = a6.matmul(&inner_v)?;
+    v = v.add_matrix(&a6.scale(PADE13[6]))?;
+    v = v.add_matrix(&a4.scale(PADE13[4]))?;
+    v = v.add_matrix(&a2.scale(PADE13[2]))?;
+    v = v.add_matrix(&ident.scale(PADE13[0]))?;
+
+    // (V - U) X = (V + U)  →  X ≈ e^{A/2^s}
+    let vm_u = v.sub_matrix(&u)?;
+    let vp_u = v.add_matrix(&u)?;
+    let mut x = LuDecomposition::new(&vm_u)?.solve(&vp_u)?;
+
+    // Undo the scaling by repeated squaring.
+    for _ in 0..s {
+        x = x.matmul(&x)?;
+    }
+    Ok(x)
+}
+
+/// Computes the pair `(Φ, Ψ)` with `Φ = e^{A t}` and
+/// `Ψ = ∫₀ᵗ e^{A s} ds`.
+///
+/// `Ψ·B` is the zero-order-hold input matrix of a sampled-data system and
+/// is exactly what the cache-aware timing model of the paper needs for the
+/// delayed-input discretisation (DESIGN.md §5).
+///
+/// Implementation: exponential of the augmented block matrix
+///
+/// ```text
+/// exp([[A, I],[0, 0]] t) = [[e^{A t}, ∫₀ᵗ e^{A s} ds],[0, I]]
+/// ```
+///
+/// which avoids inverting `A` and therefore also works for singular `A`
+/// (e.g. plants with integrators, like the servo position model).
+///
+/// # Errors
+///
+/// Same conditions as [`expm`].
+///
+/// # Example
+///
+/// ```
+/// use cacs_linalg::{expm_with_integral, Matrix};
+///
+/// # fn main() -> Result<(), cacs_linalg::LinalgError> {
+/// let a = Matrix::zeros(1, 1); // scalar A = 0 → Ψ(t) = t
+/// let (phi, psi) = expm_with_integral(&a, 0.25)?;
+/// assert!((phi.get(0, 0) - 1.0).abs() < 1e-14);
+/// assert!((psi.get(0, 0) - 0.25).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm_with_integral(a: &Matrix, t: f64) -> Result<(Matrix, Matrix)> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if !t.is_finite() {
+        return Err(LinalgError::InvalidArgument {
+            reason: "integration time must be finite",
+        });
+    }
+    let n = a.rows();
+    let mut aug = Matrix::zeros(2 * n, 2 * n);
+    aug.set_block(0, 0, &a.scale(t))?;
+    aug.set_block(0, n, &Matrix::identity(n).scale(t))?;
+    let e = expm(&aug)?;
+    let phi = e.block(0, 0, n, n)?;
+    let psi = e.block(0, n, n, n)?;
+    Ok((phi, psi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        assert!(expm(&z).unwrap().approx_eq(&Matrix::identity(3), 1e-15));
+    }
+
+    #[test]
+    fn expm_of_diagonal_matrix() {
+        let a = Matrix::diagonal(&[1.0, -2.0, 0.5]);
+        let e = expm(&a).unwrap();
+        assert!((e.get(0, 0) - 1.0_f64.exp()).abs() < 1e-12);
+        assert!((e.get(1, 1) - (-2.0_f64).exp()).abs() < 1e-12);
+        assert!((e.get(2, 2) - 0.5_f64.exp()).abs() < 1e-12);
+        assert!(e.get(0, 1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_rotation_matrix() {
+        // exp([[0, -w],[w, 0]] t) is a rotation by w t.
+        let w = 3.0;
+        let t = 0.4;
+        let a = Matrix::from_rows(&[&[0.0, -w], &[w, 0.0]]).unwrap().scale(t);
+        let e = expm(&a).unwrap();
+        let angle = w * t;
+        assert!((e.get(0, 0) - angle.cos()).abs() < 1e-12);
+        assert!((e.get(1, 0) - angle.sin()).abs() < 1e-12);
+        assert!((e.get(0, 1) + angle.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_inverse_property() {
+        let a = Matrix::from_rows(&[&[0.3, 1.2], &[-0.7, -0.1]]).unwrap();
+        let e = expm(&a).unwrap();
+        let e_neg = expm(&a.scale(-1.0)).unwrap();
+        let prod = e.matmul(&e_neg).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn expm_handles_large_norm_via_scaling() {
+        // Norm far above the Padé threshold forces several squarings.
+        let a = Matrix::from_rows(&[&[-40.0, 10.0], &[5.0, -60.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        // Compare against e^{A} = (e^{A/2})².
+        let half = expm(&a.scale(0.5)).unwrap();
+        let squared = half.matmul(&half).unwrap();
+        assert!(e.approx_eq(&squared, 1e-9 * e.max_abs().max(1.0)));
+    }
+
+    #[test]
+    fn expm_semigroup_property() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[-2.0, -0.5]]).unwrap();
+        let e1 = expm(&a.scale(0.3)).unwrap();
+        let e2 = expm(&a.scale(0.7)).unwrap();
+        let e_sum = expm(&a.scale(1.0)).unwrap();
+        let prod = e1.matmul(&e2).unwrap();
+        assert!(prod.approx_eq(&e_sum, 1e-12));
+    }
+
+    #[test]
+    fn integral_for_invertible_a_matches_closed_form() {
+        // For invertible A: Ψ = A⁻¹ (e^{A t} − I).
+        let a = Matrix::from_rows(&[&[-1.0, 0.4], &[0.2, -2.0]]).unwrap();
+        let t = 0.37;
+        let (phi, psi) = expm_with_integral(&a, t).unwrap();
+        let inv = crate::lu::inverse(&a).unwrap();
+        let closed = inv
+            .matmul(&phi.sub_matrix(&Matrix::identity(2)).unwrap())
+            .unwrap();
+        assert!(psi.approx_eq(&closed, 1e-12));
+    }
+
+    #[test]
+    fn integral_for_singular_a() {
+        // Double integrator: A = [[0,1],[0,0]], e^{At} = [[1,t],[0,1]],
+        // Ψ(t) = [[t, t²/2],[0, t]].
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let t = 0.6;
+        let (phi, psi) = expm_with_integral(&a, t).unwrap();
+        assert!((phi.get(0, 1) - t).abs() < 1e-14);
+        assert!((psi.get(0, 0) - t).abs() < 1e-14);
+        assert!((psi.get(0, 1) - t * t / 2.0).abs() < 1e-14);
+        assert!((psi.get(1, 1) - t).abs() < 1e-14);
+    }
+
+    #[test]
+    fn integral_at_zero_time_is_zero() {
+        let a = Matrix::from_rows(&[&[0.1, 0.2], &[0.3, 0.4]]).unwrap();
+        let (phi, psi) = expm_with_integral(&a, 0.0).unwrap();
+        assert!(phi.approx_eq(&Matrix::identity(2), 1e-14));
+        assert!(psi.approx_eq(&Matrix::zeros(2, 2), 1e-14));
+    }
+
+    #[test]
+    fn integral_additivity() {
+        // Ψ(t1 + t2) = Ψ(t1) + Φ(t1) Ψ(t2).
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[-3.0, -0.2]]).unwrap();
+        let (phi1, psi1) = expm_with_integral(&a, 0.2).unwrap();
+        let (_, psi2) = expm_with_integral(&a, 0.5).unwrap();
+        let (_, psi_total) = expm_with_integral(&a, 0.7).unwrap();
+        let combined = psi1
+            .add_matrix(&phi1.matmul(&psi2).unwrap())
+            .unwrap();
+        assert!(combined.approx_eq(&psi_total, 1e-12));
+    }
+
+    #[test]
+    fn non_finite_input_rejected() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, f64::NAN);
+        assert!(expm(&a).is_err());
+    }
+}

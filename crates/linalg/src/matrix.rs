@@ -1,0 +1,661 @@
+//! Owned, row-major dense matrix of `f64`.
+
+use crate::{LinalgError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// Matrices in this crate are small (control systems with a handful of
+/// states), so all operations allocate freely and favour clarity over
+/// cache-blocking tricks.
+///
+/// # Example
+///
+/// ```
+/// use cacs_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cacs_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = (&a * &b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `rows` is empty, any row
+    /// is empty, or the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::InvalidArgument {
+                reason: "matrix must have at least one row and one column",
+            });
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::InvalidArgument {
+                reason: "all rows must have the same length",
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `data.len() != rows * cols`
+    /// or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidArgument {
+                reason: "matrix dimensions must be non-zero",
+            });
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument {
+                reason: "data length must equal rows * cols",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a column vector (an `n × 1` matrix) from a slice.
+    pub fn column(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "column vector must be non-empty");
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a row vector (a `1 × n` matrix) from a slice.
+    pub fn row(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "row vector must be non-empty");
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a square matrix with `values` on the diagonal.
+    pub fn diagonal(values: &[f64]) -> Self {
+        let n = values.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            m.data[i * n + i] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_slice(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Multiplies every entry by `factor`.
+    pub fn scale(&self, factor: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix multiply",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let lhs_row = i * rhs.cols;
+                let rhs_row = k * rhs.cols;
+                for j in 0..rhs.cols {
+                    out.data[lhs_row + j] += aik * rhs.data[rhs_row + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn add_matrix(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix add",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn sub_matrix(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix subtract",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Extracts the contiguous block starting at `(row, col)` of size
+    /// `rows × cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if the block exceeds the
+    /// matrix bounds or has a zero dimension.
+    pub fn block(&self, row: usize, col: usize, rows: usize, cols: usize) -> Result<Matrix> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidArgument {
+                reason: "block dimensions must be non-zero",
+            });
+        }
+        if row + rows > self.rows || col + cols > self.cols {
+            return Err(LinalgError::InvalidArgument {
+                reason: "block exceeds matrix bounds",
+            });
+        }
+        Ok(Matrix::from_fn(rows, cols, |i, j| {
+            self.get(row + i, col + j)
+        }))
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at
+    /// `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if the block does not fit.
+    pub fn set_block(&mut self, row: usize, col: usize, block: &Matrix) -> Result<()> {
+        if row + block.rows > self.rows || col + block.cols > self.cols {
+            return Err(LinalgError::InvalidArgument {
+                reason: "block exceeds matrix bounds",
+            });
+        }
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self.set(row + i, col + j, block.get(i, j));
+            }
+        }
+        Ok(())
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the row counts differ.
+    pub fn hstack(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "horizontal stack",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        out.set_block(0, 0, self)?;
+        out.set_block(0, self.cols, rhs)?;
+        Ok(out)
+    }
+
+    /// Vertical concatenation `[self; rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the column counts
+    /// differ.
+    pub fn vstack(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "vertical stack",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows + rhs.rows, self.cols);
+        out.set_block(0, 0, self)?;
+        out.set_block(self.rows, 0, rhs)?;
+        Ok(out)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute row sum (the induced ∞-norm).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row_slice(i).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        Ok((0..self.rows).map(|i| self.get(i, i)).sum())
+    }
+
+    /// Integer matrix power by repeated squaring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn powi(&self, mut exp: u32) -> Result<Matrix> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        let mut base = self.clone();
+        let mut acc = Matrix::identity(self.rows);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.matmul(&base)?;
+            }
+            base = base.matmul(&base)?;
+            exp >>= 1;
+        }
+        Ok(acc)
+    }
+
+    /// Returns `true` if every entry differs from `other` by at most `tol`.
+    ///
+    /// Shapes must match exactly, otherwise `false` is returned.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Result<Matrix>;
+    fn add(self, rhs: &Matrix) -> Result<Matrix> {
+        self.add_matrix(rhs)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Result<Matrix>;
+    fn sub(self, rhs: &Matrix) -> Result<Matrix> {
+        self.sub_matrix(rhs)
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Result<Matrix>;
+    fn mul(self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:12.6}", self.get(i, j))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidArgument { .. }));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_vec(0, 2, vec![]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let m = Matrix::from_rows(&[&[2.0, -1.0], &[0.5, 3.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = sample();
+        let err = a.matmul(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = sample();
+        let b = sample().scale(0.25);
+        let sum = a.add_matrix(&b).unwrap();
+        let back = sum.sub_matrix(&b).unwrap();
+        assert!(back.approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn block_and_set_block() {
+        let m = sample();
+        let b = m.block(0, 1, 2, 2).unwrap();
+        assert_eq!(b, Matrix::from_rows(&[&[2.0, 3.0], &[5.0, 6.0]]).unwrap());
+        let mut z = Matrix::zeros(3, 3);
+        z.set_block(1, 1, &b).unwrap();
+        assert_eq!(z.get(1, 1), 2.0);
+        assert_eq!(z.get(2, 2), 6.0);
+        assert_eq!(z.get(0, 0), 0.0);
+        assert!(z.set_block(2, 2, &b).is_err());
+        assert!(m.block(1, 2, 2, 2).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::row(&[1.0, 2.0]);
+        let b = Matrix::row(&[3.0, 4.0]);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap());
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h, Matrix::row(&[1.0, 2.0, 3.0, 4.0]));
+        assert!(a.vstack(&Matrix::row(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[&[3.0, -4.0], &[0.0, 0.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(m.norm_inf(), 7.0);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn trace_requires_square() {
+        assert!(sample().trace().is_err());
+        let m = Matrix::diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.trace().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let m = Matrix::from_rows(&[&[0.5, 0.1], &[-0.2, 0.8]]).unwrap();
+        let p3 = m.powi(3).unwrap();
+        let manual = m.matmul(&m).unwrap().matmul(&m).unwrap();
+        assert!(p3.approx_eq(&manual, 1e-14));
+        assert_eq!(m.powi(0).unwrap(), Matrix::identity(2));
+    }
+
+    #[test]
+    fn operators_delegate() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        assert_eq!((&a + &b).unwrap(), Matrix::identity(2).scale(2.0));
+        assert_eq!((&a - &b).unwrap(), Matrix::zeros(2, 2));
+        assert_eq!((&a * &b).unwrap(), Matrix::identity(2));
+        assert_eq!(-&a, a.scale(-1.0));
+    }
+
+    #[test]
+    fn display_shows_all_entries() {
+        let text = sample().to_string();
+        assert!(text.contains("1.000000"));
+        assert!(text.contains("6.000000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_get_panics() {
+        sample().get(2, 0);
+    }
+}

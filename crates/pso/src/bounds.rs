@@ -1,0 +1,166 @@
+//! Box bounds for the search space.
+
+use crate::{PsoError, Result};
+
+/// Per-dimension box bounds `lower[i] <= x[i] <= upper[i]`.
+///
+/// # Example
+///
+/// ```
+/// use cacs_pso::Bounds;
+///
+/// # fn main() -> Result<(), cacs_pso::PsoError> {
+/// let b = Bounds::new(vec![-1.0, 0.0], vec![1.0, 10.0])?;
+/// assert_eq!(b.dim(), 2);
+/// assert_eq!(b.clamp_value(0, 3.0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds from matching lower/upper vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsoError::InvalidBounds`] if the vectors are empty, have
+    /// different lengths, contain non-finite values, or any
+    /// `lower[i] > upper[i]`.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Result<Self> {
+        if lower.is_empty() {
+            return Err(PsoError::InvalidBounds {
+                reason: "bounds must have at least one dimension",
+            });
+        }
+        if lower.len() != upper.len() {
+            return Err(PsoError::InvalidBounds {
+                reason: "lower and upper must have the same length",
+            });
+        }
+        if lower
+            .iter()
+            .zip(&upper)
+            .any(|(l, u)| !l.is_finite() || !u.is_finite() || l > u)
+        {
+            return Err(PsoError::InvalidBounds {
+                reason: "bounds must be finite with lower <= upper",
+            });
+        }
+        Ok(Bounds { lower, upper })
+    }
+
+    /// Symmetric bounds `[-half_width, half_width]` in every dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsoError::InvalidBounds`] if `dim` is zero or
+    /// `half_width` is negative/non-finite.
+    pub fn symmetric(dim: usize, half_width: f64) -> Result<Self> {
+        if dim == 0 {
+            return Err(PsoError::InvalidBounds {
+                reason: "bounds must have at least one dimension",
+            });
+        }
+        if !half_width.is_finite() || half_width < 0.0 {
+            return Err(PsoError::InvalidBounds {
+                reason: "half width must be finite and non-negative",
+            });
+        }
+        Ok(Bounds {
+            lower: vec![-half_width; dim],
+            upper: vec![half_width; dim],
+        })
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Width of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn width(&self, i: usize) -> f64 {
+        self.upper[i] - self.lower[i]
+    }
+
+    /// Clamps `value` into dimension `i`'s range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn clamp_value(&self, i: usize, value: f64) -> f64 {
+        value.clamp(self.lower[i], self.upper[i])
+    }
+
+    /// Returns `true` if `x` lies inside the box (inclusive).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .enumerate()
+                .all(|(i, &v)| v >= self.lower[i] && v <= self.upper[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_bounds() {
+        let b = Bounds::new(vec![0.0, -1.0], vec![1.0, 1.0]).unwrap();
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.width(1), 2.0);
+        assert!(b.contains(&[0.5, 0.0]));
+        assert!(!b.contains(&[2.0, 0.0]));
+        assert!(!b.contains(&[0.5]));
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Bounds::new(vec![], vec![]).is_err());
+        assert!(Bounds::new(vec![0.0], vec![0.0, 1.0]).is_err());
+        assert!(Bounds::new(vec![2.0], vec![1.0]).is_err());
+        assert!(Bounds::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(Bounds::symmetric(0, 1.0).is_err());
+        assert!(Bounds::symmetric(2, -1.0).is_err());
+    }
+
+    #[test]
+    fn symmetric_bounds() {
+        let b = Bounds::symmetric(3, 2.5).unwrap();
+        assert_eq!(b.lower(), &[-2.5, -2.5, -2.5]);
+        assert_eq!(b.upper(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn clamping() {
+        let b = Bounds::symmetric(1, 1.0).unwrap();
+        assert_eq!(b.clamp_value(0, 5.0), 1.0);
+        assert_eq!(b.clamp_value(0, -5.0), -1.0);
+        assert_eq!(b.clamp_value(0, 0.3), 0.3);
+    }
+
+    #[test]
+    fn degenerate_point_bounds_allowed() {
+        let b = Bounds::new(vec![1.0], vec![1.0]).unwrap();
+        assert_eq!(b.width(0), 0.0);
+        assert!(b.contains(&[1.0]));
+    }
+}

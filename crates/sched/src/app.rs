@@ -1,0 +1,119 @@
+//! Application-level parameters (paper Table II).
+
+use crate::{Result, SchedError};
+use serde::{Deserialize, Serialize};
+
+/// Control-application parameters used by the feasibility constraints and
+/// the overall performance index (paper Section II-A, Table II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppParams {
+    /// Human-readable name (e.g. `"C1: servo position"`).
+    pub name: String,
+    /// Weight `w_i` in the overall control performance (eq. (2)).
+    pub weight: f64,
+    /// Settling deadline `s_i^max`, seconds — also the normalisation
+    /// reference `s_i^0` (Section II-A).
+    pub settling_deadline: f64,
+    /// Maximum allowed idle time `t_i^idle`, seconds (eq. (4)); an upper
+    /// bound on every sampling period.
+    pub max_idle_time: f64,
+}
+
+impl AppParams {
+    /// Creates and validates application parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidSchedule`] if the weight is negative,
+    /// or the deadline / idle limit are non-positive or non-finite.
+    pub fn new(
+        name: impl Into<String>,
+        weight: f64,
+        settling_deadline: f64,
+        max_idle_time: f64,
+    ) -> Result<Self> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(SchedError::InvalidSchedule {
+                reason: format!("weight must be finite and non-negative, got {weight}"),
+            });
+        }
+        if !settling_deadline.is_finite() || settling_deadline <= 0.0 {
+            return Err(SchedError::InvalidSchedule {
+                reason: format!("settling deadline must be positive, got {settling_deadline}"),
+            });
+        }
+        if !max_idle_time.is_finite() || max_idle_time <= 0.0 {
+            return Err(SchedError::InvalidSchedule {
+                reason: format!("max idle time must be positive, got {max_idle_time}"),
+            });
+        }
+        Ok(AppParams {
+            name: name.into(),
+            weight,
+            settling_deadline,
+            max_idle_time,
+        })
+    }
+
+    /// Control performance `P_i = 1 − s_i / s_i^max` of a measured settling
+    /// time (paper eq. (2) with `s_i^0 = s_i^max`). Negative values signal
+    /// a deadline violation (constraint (3)).
+    pub fn performance(&self, settling_time: f64) -> f64 {
+        1.0 - settling_time / self.settling_deadline
+    }
+}
+
+/// Validates that a set of weights sums to one (the paper's convention).
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidSchedule`] if the sum deviates from 1 by
+/// more than `1e-9`.
+pub fn validate_weights(apps: &[AppParams]) -> Result<()> {
+    let sum: f64 = apps.iter().map(|a| a.weight).sum();
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(SchedError::InvalidSchedule {
+            reason: format!("application weights must sum to 1, got {sum}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let a = AppParams::new("C1", 0.4, 45e-3, 3.4e-3).unwrap();
+        assert_eq!(a.name, "C1");
+        assert!((a.performance(43.2e-3) - (1.0 - 43.2 / 45.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn performance_negative_past_deadline() {
+        let a = AppParams::new("C", 1.0, 10e-3, 1e-3).unwrap();
+        assert!(a.performance(11e-3) < 0.0);
+        assert_eq!(a.performance(10e-3), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(AppParams::new("x", -0.1, 1.0, 1.0).is_err());
+        assert!(AppParams::new("x", 0.5, 0.0, 1.0).is_err());
+        assert!(AppParams::new("x", 0.5, 1.0, -1.0).is_err());
+        assert!(AppParams::new("x", 0.5, f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn weights_must_sum_to_one() {
+        let apps = vec![
+            AppParams::new("a", 0.4, 1.0, 1.0).unwrap(),
+            AppParams::new("b", 0.4, 1.0, 1.0).unwrap(),
+            AppParams::new("c", 0.2, 1.0, 1.0).unwrap(),
+        ];
+        assert!(validate_weights(&apps).is_ok());
+        let bad = vec![AppParams::new("a", 0.5, 1.0, 1.0).unwrap()];
+        assert!(validate_weights(&bad).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Schedule feasibility constraints (paper eqs. (3) and (4)).
+//!
+//! The idle-time constraint (4) — every sampling period of `C_i` must stay
+//! below `t_i^idle` — is checkable from timing alone and prunes the search
+//! space a priori. The settling-deadline constraint (3) requires a full
+//! controller design and is checked downstream (in `cacs-core`) after the
+//! performance evaluation.
+
+use crate::{AppParams, Result, ScheduleTiming, SchedError};
+
+/// A violation of the maximum-allowed-idle-time constraint (paper eq. (4)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdleViolation {
+    /// Index of the violating application.
+    pub app: usize,
+    /// Its longest sampling period `h_i^max`, seconds.
+    pub max_period: f64,
+    /// Its allowed idle time `t_i^idle`, seconds.
+    pub limit: f64,
+}
+
+/// Checks the idle-time constraint for every application.
+///
+/// Returns the list of violations (empty = feasible).
+///
+/// # Errors
+///
+/// Returns [`SchedError::AppCountMismatch`] if `apps` and the timing
+/// disagree on the application count.
+///
+/// # Example
+///
+/// ```
+/// use cacs_sched::{check_idle_times, derive_timing, AppParams, ExecTimes, Schedule};
+///
+/// # fn main() -> Result<(), cacs_sched::SchedError> {
+/// let exec = vec![ExecTimes::new(1e-3, 0.4e-3)?, ExecTimes::new(1e-3, 0.4e-3)?];
+/// let timing = derive_timing(&Schedule::new(vec![1, 1])?.task_sequence(), &exec)?;
+/// let apps = vec![
+///     AppParams::new("a", 0.5, 10e-3, 3e-3)?,
+///     AppParams::new("b", 0.5, 10e-3, 3e-3)?,
+/// ];
+/// assert!(check_idle_times(&timing, &apps)?.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_idle_times(
+    timing: &ScheduleTiming,
+    apps: &[AppParams],
+) -> Result<Vec<IdleViolation>> {
+    if apps.len() != timing.apps.len() {
+        return Err(SchedError::AppCountMismatch {
+            expected: timing.apps.len(),
+            actual: apps.len(),
+        });
+    }
+    Ok(timing
+        .apps
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            let max_period = t.max_period();
+            // Strict comparison with a tiny tolerance: h_i^max <= t_i^idle.
+            if max_period > apps[i].max_idle_time * (1.0 + 1e-12) {
+                Some(IdleViolation {
+                    app: i,
+                    max_period,
+                    limit: apps[i].max_idle_time,
+                })
+            } else {
+                None
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{derive_timing, ExecTimes, Schedule};
+
+    fn paper_exec() -> Vec<ExecTimes> {
+        vec![
+            ExecTimes::new(907.55e-6, 452.15e-6).unwrap(),
+            ExecTimes::new(645.25e-6, 175.00e-6).unwrap(),
+            ExecTimes::new(749.15e-6, 234.35e-6).unwrap(),
+        ]
+    }
+
+    fn paper_apps() -> Vec<AppParams> {
+        vec![
+            AppParams::new("C1", 0.4, 45e-3, 3.4e-3).unwrap(),
+            AppParams::new("C2", 0.4, 20e-3, 3.9e-3).unwrap(),
+            AppParams::new("C3", 0.2, 17.5e-3, 3.5e-3).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn paper_optimum_schedule_is_idle_feasible() {
+        let timing = derive_timing(
+            &Schedule::new(vec![3, 2, 3]).unwrap().task_sequence(),
+            &paper_exec(),
+        )
+        .unwrap();
+        let v = check_idle_times(&timing, &paper_apps()).unwrap();
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn round_robin_is_idle_feasible() {
+        let timing = derive_timing(
+            &Schedule::round_robin(3).unwrap().task_sequence(),
+            &paper_exec(),
+        )
+        .unwrap();
+        assert!(check_idle_times(&timing, &paper_apps()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversized_schedule_violates_idle_time() {
+        // Many consecutive C3 tasks starve C1 beyond its 3.4 ms idle limit.
+        let timing = derive_timing(
+            &Schedule::new(vec![1, 1, 8]).unwrap().task_sequence(),
+            &paper_exec(),
+        )
+        .unwrap();
+        let v = check_idle_times(&timing, &paper_apps()).unwrap();
+        assert!(!v.is_empty());
+        assert!(v.iter().any(|x| x.app == 0), "C1 should be starved: {v:?}");
+        for violation in &v {
+            assert!(violation.max_period > violation.limit);
+        }
+    }
+
+    #[test]
+    fn mismatched_app_count_rejected() {
+        let timing = derive_timing(
+            &Schedule::round_robin(3).unwrap().task_sequence(),
+            &paper_exec(),
+        )
+        .unwrap();
+        let two_apps = &paper_apps()[..2];
+        assert!(matches!(
+            check_idle_times(&timing, two_apps),
+            Err(SchedError::AppCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn boundary_exactly_at_limit_is_feasible() {
+        let exec = vec![ExecTimes::new(1e-3, 1e-3).unwrap(), ExecTimes::new(1e-3, 1e-3).unwrap()];
+        let timing = derive_timing(
+            &Schedule::round_robin(2).unwrap().task_sequence(),
+            &exec,
+        )
+        .unwrap();
+        // Period is exactly 2 ms; limit of exactly 2 ms passes.
+        let apps = vec![
+            AppParams::new("a", 0.5, 1.0, 2e-3).unwrap(),
+            AppParams::new("b", 0.5, 1.0, 2e-3).unwrap(),
+        ];
+        assert!(check_idle_times(&timing, &apps).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for schedule construction and timing derivation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by schedule/timing operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A schedule was structurally invalid (empty, zero task count, …).
+    InvalidSchedule {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// Execution times were invalid (non-positive, warm above cold, …).
+    InvalidExecTimes {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// Application counts of two collaborating structures disagree.
+    AppCountMismatch {
+        /// Applications expected.
+        expected: usize,
+        /// Applications provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            SchedError::InvalidExecTimes { reason } => {
+                write!(f, "invalid execution times: {reason}")
+            }
+            SchedError::AppCountMismatch { expected, actual } => write!(
+                f,
+                "application count mismatch: expected {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SchedError::AppCountMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SchedError>();
+    }
+}

@@ -1,0 +1,357 @@
+//! Control timing parameter derivation (paper Section II-C).
+//!
+//! Given a task sequence and per-application cold/warm WCETs, this module
+//! lays out one schedule period on the timeline and extracts, for every
+//! application, its cyclic sequence of sampling periods `h_i(j)` and
+//! sensing-to-actuation delays `τ_i(j)`.
+//!
+//! The closed forms of the paper (eqs. (5)–(8)) fall out as a special
+//! case and are asserted in the tests.
+
+use crate::{Result, SchedError, TaskSequence};
+use serde::{Deserialize, Serialize};
+
+/// Cold/warm worst-case execution times of one application's control task,
+/// in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecTimes {
+    /// WCET with a cold (or clobbered) instruction cache — `E_i^wc(1)`.
+    pub cold: f64,
+    /// WCET when re-executed immediately after itself — `E_i^wc(j ≥ 2)`.
+    pub warm: f64,
+}
+
+impl ExecTimes {
+    /// Creates and validates execution times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidExecTimes`] unless
+    /// `0 < warm <= cold` and both are finite.
+    pub fn new(cold: f64, warm: f64) -> Result<Self> {
+        if !cold.is_finite() || !warm.is_finite() || warm <= 0.0 || cold < warm {
+            return Err(SchedError::InvalidExecTimes {
+                reason: format!("need 0 < warm <= cold, got cold={cold}, warm={warm}"),
+            });
+        }
+        Ok(ExecTimes { cold, warm })
+    }
+
+    /// Guaranteed WCET reduction `E_i^gu = cold − warm` (paper eq. (5)).
+    pub fn guaranteed_reduction(&self) -> f64 {
+        self.cold - self.warm
+    }
+
+    /// Execution time of a task given its cache warmness.
+    pub fn of(&self, warm: bool) -> f64 {
+        if warm {
+            self.warm
+        } else {
+            self.cold
+        }
+    }
+}
+
+/// Timing parameters of one application under a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppTiming {
+    /// Start times of the application's tasks within the period, seconds.
+    pub offsets: Vec<f64>,
+    /// Sampling periods `h_i(j)`: time from task `j`'s start (= sensing
+    /// instant) to the next task's start, wrapping cyclically. Repeats
+    /// periodically.
+    pub periods: Vec<f64>,
+    /// Sensing-to-actuation delays `τ_i(j) = E_i^wc(j)` (paper eq. (8)).
+    pub delays: Vec<f64>,
+}
+
+impl AppTiming {
+    /// Number of tasks of this application per schedule period.
+    pub fn tasks(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// The longest sampling period `h_i^max` (constrained by the maximum
+    /// allowed idle time, paper eq. (4)).
+    pub fn max_period(&self) -> f64 {
+        self.periods.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum of all sampling periods — equals the schedule period.
+    pub fn total(&self) -> f64 {
+        self.periods.iter().sum()
+    }
+}
+
+/// Timing of a complete schedule: the period plus per-application timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleTiming {
+    /// Length of one schedule period, seconds.
+    pub period: f64,
+    /// Per-application timing, indexed like the applications.
+    pub apps: Vec<AppTiming>,
+}
+
+/// Derives sampling periods and sensing-to-actuation delays for every
+/// application (paper Section II-C, generalised to arbitrary task
+/// sequences).
+///
+/// # Errors
+///
+/// Returns [`SchedError::AppCountMismatch`] if `exec.len()` differs from
+/// the sequence's application count.
+///
+/// # Example
+///
+/// ```
+/// use cacs_sched::{derive_timing, ExecTimes, Schedule};
+///
+/// # fn main() -> Result<(), cacs_sched::SchedError> {
+/// let exec = vec![ExecTimes::new(10e-6, 4e-6)?, ExecTimes::new(8e-6, 3e-6)?];
+/// let t = derive_timing(&Schedule::new(vec![2, 1])?.task_sequence(), &exec)?;
+/// // Period: 10 + 4 + 8 µs.
+/// assert!((t.period - 22e-6).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+pub fn derive_timing(sequence: &TaskSequence, exec: &[ExecTimes]) -> Result<ScheduleTiming> {
+    if exec.len() != sequence.app_count() {
+        return Err(SchedError::AppCountMismatch {
+            expected: sequence.app_count(),
+            actual: exec.len(),
+        });
+    }
+    // Lay the tasks on the timeline.
+    let mut starts = Vec::with_capacity(sequence.slots().len());
+    let mut durations = Vec::with_capacity(sequence.slots().len());
+    let mut t = 0.0;
+    for slot in sequence.slots() {
+        starts.push(t);
+        let e = exec[slot.app].of(slot.warm);
+        durations.push(e);
+        t += e;
+    }
+    let period = t;
+
+    let mut apps = Vec::with_capacity(sequence.app_count());
+    for app in 0..sequence.app_count() {
+        let indices: Vec<usize> = sequence
+            .slots()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.app == app)
+            .map(|(i, _)| i)
+            .collect();
+        let offsets: Vec<f64> = indices.iter().map(|&i| starts[i]).collect();
+        let delays: Vec<f64> = indices.iter().map(|&i| durations[i]).collect();
+        let m = indices.len();
+        let periods: Vec<f64> = (0..m)
+            .map(|j| {
+                if j + 1 < m {
+                    offsets[j + 1] - offsets[j]
+                } else {
+                    // Wrap to the first task of the next schedule period.
+                    period - offsets[m - 1] + offsets[0]
+                }
+            })
+            .collect();
+        apps.push(AppTiming {
+            offsets,
+            periods,
+            delays,
+        });
+    }
+    Ok(ScheduleTiming { period, apps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schedule;
+
+    const EPS: f64 = 1e-12;
+
+    /// Paper Table I execution times in seconds.
+    fn paper_exec() -> Vec<ExecTimes> {
+        vec![
+            ExecTimes::new(907.55e-6, 452.15e-6).unwrap(),
+            ExecTimes::new(645.25e-6, 175.00e-6).unwrap(),
+            ExecTimes::new(749.15e-6, 234.35e-6).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn exec_times_validation() {
+        assert!(ExecTimes::new(1.0, 2.0).is_err()); // warm > cold
+        assert!(ExecTimes::new(1.0, 0.0).is_err());
+        assert!(ExecTimes::new(f64::NAN, 1.0).is_err());
+        let e = ExecTimes::new(3.0, 1.0).unwrap();
+        assert_eq!(e.guaranteed_reduction(), 2.0);
+        assert_eq!(e.of(true), 1.0);
+        assert_eq!(e.of(false), 3.0);
+    }
+
+    /// Checks eqs. (6)–(8) of the paper on the (2,2,2) example.
+    #[test]
+    fn matches_paper_closed_form_for_222() {
+        let exec = paper_exec();
+        let t = derive_timing(
+            &Schedule::new(vec![2, 2, 2]).unwrap().task_sequence(),
+            &exec,
+        )
+        .unwrap();
+
+        // Δ = Σ_{i=2,3} Σ_j E_i^wc(j) (paper eq. (7)).
+        let delta: f64 =
+            exec[1].cold + exec[1].warm + exec[2].cold + exec[2].warm;
+
+        let c1 = &t.apps[0];
+        // h1(1) = E1^wc(1); h1(2) = E1^wc(2) + Δ (paper eq. (6)).
+        assert!((c1.periods[0] - exec[0].cold).abs() < EPS);
+        assert!((c1.periods[1] - (exec[0].warm + delta)).abs() < EPS);
+        // τ1(j) = E1^wc(j) (paper eq. (8)).
+        assert!((c1.delays[0] - exec[0].cold).abs() < EPS);
+        assert!((c1.delays[1] - exec[0].warm).abs() < EPS);
+
+        // Schedule period = sum over all tasks.
+        let expected_period: f64 = exec.iter().map(|e| e.cold + e.warm).sum();
+        assert!((t.period - expected_period).abs() < EPS);
+    }
+
+    #[test]
+    fn round_robin_has_uniform_periods() {
+        let exec = paper_exec();
+        let t = derive_timing(
+            &Schedule::round_robin(3).unwrap().task_sequence(),
+            &exec,
+        )
+        .unwrap();
+        let period: f64 = exec.iter().map(|e| e.cold).sum();
+        for app in &t.apps {
+            assert_eq!(app.tasks(), 1);
+            assert!((app.periods[0] - period).abs() < EPS);
+        }
+        // Delay of each app = its own cold WCET, strictly below the period.
+        assert!((t.apps[1].delays[0] - exec[1].cold).abs() < EPS);
+        assert!(t.apps[1].delays[0] < t.apps[1].periods[0]);
+    }
+
+    #[test]
+    fn periods_sum_to_schedule_period_for_every_app() {
+        let exec = paper_exec();
+        for counts in [vec![3, 2, 3], vec![1, 5, 2], vec![4, 1, 1]] {
+            let t = derive_timing(
+                &Schedule::new(counts).unwrap().task_sequence(),
+                &exec,
+            )
+            .unwrap();
+            for app in &t.apps {
+                assert!(
+                    (app.total() - t.period).abs() < EPS,
+                    "per-app periods must tile the schedule period"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delays_equal_own_wcet_and_never_exceed_period() {
+        let exec = paper_exec();
+        let t = derive_timing(
+            &Schedule::new(vec![3, 2, 3]).unwrap().task_sequence(),
+            &exec,
+        )
+        .unwrap();
+        for (i, app) in t.apps.iter().enumerate() {
+            for (j, (&d, &h)) in app.delays.iter().zip(&app.periods).enumerate() {
+                let expected = if j == 0 { exec[i].cold } else { exec[i].warm };
+                assert!((d - expected).abs() < EPS);
+                assert!(d <= h + EPS, "delay exceeds its sampling period");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_tasks_have_delay_equal_to_period() {
+        // For consecutive tasks, τ_i(j) = h_i(j) (j < m_i): the next sample
+        // happens exactly when the previous input is actuated.
+        let exec = paper_exec();
+        let t = derive_timing(
+            &Schedule::new(vec![3, 1, 1]).unwrap().task_sequence(),
+            &exec,
+        )
+        .unwrap();
+        let c1 = &t.apps[0];
+        assert!((c1.periods[0] - c1.delays[0]).abs() < EPS);
+        assert!((c1.periods[1] - c1.delays[1]).abs() < EPS);
+        assert!(c1.periods[2] > c1.delays[2]); // last one has the idle gap
+    }
+
+    #[test]
+    fn app_count_mismatch_rejected() {
+        let exec = vec![ExecTimes::new(1.0, 0.5).unwrap()];
+        let seq = Schedule::new(vec![1, 1]).unwrap().task_sequence();
+        assert!(matches!(
+            derive_timing(&seq, &exec),
+            Err(SchedError::AppCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn offsets_are_increasing_and_start_at_zero() {
+        let exec = paper_exec();
+        let t = derive_timing(
+            &Schedule::new(vec![2, 2, 2]).unwrap().task_sequence(),
+            &exec,
+        )
+        .unwrap();
+        assert_eq!(t.apps[0].offsets[0], 0.0);
+        for app in &t.apps {
+            for w in app.offsets.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_timing() {
+        use crate::{InterleavedSchedule, Segment};
+        let exec = vec![
+            ExecTimes::new(10.0, 4.0).unwrap(),
+            ExecTimes::new(8.0, 3.0).unwrap(),
+        ];
+        // (0:2, 1:1, 0:1, 1:1): app 0 runs twice then once more later.
+        let s = InterleavedSchedule::new(
+            vec![
+                Segment { app: 0, count: 2 },
+                Segment { app: 1, count: 1 },
+                Segment { app: 0, count: 1 },
+                Segment { app: 1, count: 1 },
+            ],
+            2,
+        )
+        .unwrap();
+        let t = derive_timing(&s.task_sequence(), &exec).unwrap();
+        // Timeline: A0 cold (10), A0 warm (4), B cold (8), A0 cold (10), B cold (8).
+        assert!((t.period - 40.0).abs() < EPS);
+        assert_eq!(t.apps[0].tasks(), 3);
+        // App 0 periods: 10 (to warm task), 12 (4+8 to the third), 18 (10+8 wrap).
+        assert!((t.apps[0].periods[0] - 10.0).abs() < EPS);
+        assert!((t.apps[0].periods[1] - 12.0).abs() < EPS);
+        assert!((t.apps[0].periods[2] - 18.0).abs() < EPS);
+    }
+
+    #[test]
+    fn max_period_is_max() {
+        let exec = paper_exec();
+        let t = derive_timing(
+            &Schedule::new(vec![3, 2, 3]).unwrap().task_sequence(),
+            &exec,
+        )
+        .unwrap();
+        for app in &t.apps {
+            let max = app.periods.iter().copied().fold(0.0, f64::max);
+            assert_eq!(app.max_period(), max);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for schedule/timing invariants.
+
+use cacs_sched::{
+    check_idle_times, derive_timing, AppParams, ExecTimes, InterleavedSchedule, Schedule,
+    Segment,
+};
+use proptest::prelude::*;
+
+fn random_exec(n: usize) -> impl Strategy<Value = Vec<ExecTimes>> {
+    prop::collection::vec(
+        (1e-4f64..1e-3, 0.1f64..=1.0).prop_map(|(cold, frac)| {
+            ExecTimes::new(cold, cold * frac).expect("warm <= cold")
+        }),
+        n..=n,
+    )
+}
+
+fn random_schedule(n: usize) -> impl Strategy<Value = Schedule> {
+    prop::collection::vec(1u32..6, n..=n).prop_map(|c| Schedule::new(c).expect("positive"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every application's sampling periods tile the schedule period.
+    #[test]
+    fn periods_tile_the_schedule_period(
+        schedule in random_schedule(3),
+        exec in random_exec(3),
+    ) {
+        let t = derive_timing(&schedule.task_sequence(), &exec).unwrap();
+        for app in &t.apps {
+            prop_assert!((app.total() - t.period).abs() < 1e-12 * t.period.max(1e-9));
+        }
+    }
+
+    /// The schedule period equals the sum of all task execution times
+    /// (cold for first-of-run, warm otherwise).
+    #[test]
+    fn period_is_sum_of_task_wcets(
+        schedule in random_schedule(4),
+        exec in random_exec(4),
+    ) {
+        let seq = schedule.task_sequence();
+        let t = derive_timing(&seq, &exec).unwrap();
+        let direct: f64 = seq.slots().iter().map(|s| exec[s.app].of(s.warm)).sum();
+        prop_assert!((t.period - direct).abs() < 1e-15 + 1e-12 * direct);
+    }
+
+    /// Delays equal each task's own WCET and never exceed the sampling
+    /// period that starts at the same instant.
+    #[test]
+    fn delays_bounded_by_periods(
+        schedule in random_schedule(3),
+        exec in random_exec(3),
+    ) {
+        let t = derive_timing(&schedule.task_sequence(), &exec).unwrap();
+        for (i, app) in t.apps.iter().enumerate() {
+            for (j, (&d, &h)) in app.delays.iter().zip(&app.periods).enumerate() {
+                let expected = if j == 0 { exec[i].cold } else { exec[i].warm };
+                prop_assert!((d - expected).abs() < 1e-15);
+                prop_assert!(d <= h + 1e-15);
+            }
+        }
+    }
+
+    /// Warm execution times never increase the schedule period: the
+    /// cache-aware schedule (m_i > 1) always has a shorter period than
+    /// running the same task count all-cold.
+    #[test]
+    fn warm_tasks_shorten_the_period(
+        schedule in random_schedule(3),
+        exec in random_exec(3),
+    ) {
+        let t = derive_timing(&schedule.task_sequence(), &exec).unwrap();
+        let all_cold: f64 = schedule
+            .counts()
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| exec[i].cold * f64::from(m))
+            .sum();
+        prop_assert!(t.period <= all_cold + 1e-15);
+    }
+
+    /// Increasing one m_i never shrinks any OTHER application's maximum
+    /// sampling period (their idle gaps only grow).
+    #[test]
+    fn others_gaps_grow_with_m(
+        schedule in random_schedule(3),
+        exec in random_exec(3),
+        dim in 0usize..3,
+    ) {
+        let bigger = schedule.step(dim, 1).expect("step up always possible");
+        let t0 = derive_timing(&schedule.task_sequence(), &exec).unwrap();
+        let t1 = derive_timing(&bigger.task_sequence(), &exec).unwrap();
+        for i in 0..3 {
+            if i != dim {
+                prop_assert!(
+                    t1.apps[i].max_period() >= t0.apps[i].max_period() - 1e-15,
+                    "app {i} gap shrank when m_{dim} grew"
+                );
+            }
+        }
+    }
+
+    /// Idle-constraint check agrees with a direct comparison on max
+    /// periods.
+    #[test]
+    fn idle_check_matches_direct_comparison(
+        schedule in random_schedule(3),
+        exec in random_exec(3),
+        limits in prop::collection::vec(5e-4f64..6e-3, 3),
+    ) {
+        let t = derive_timing(&schedule.task_sequence(), &exec).unwrap();
+        let apps: Vec<AppParams> = limits
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| AppParams::new(format!("a{i}"), 1.0 / 3.0, 1.0, l).unwrap())
+            .collect();
+        let violations = check_idle_times(&t, &apps).unwrap();
+        for i in 0..3 {
+            let violated = violations.iter().any(|v| v.app == i);
+            let direct = t.apps[i].max_period() > limits[i] * (1.0 + 1e-12);
+            prop_assert_eq!(violated, direct, "app {}", i);
+        }
+    }
+
+    /// A periodic schedule and its single-segment interleaved form derive
+    /// identical timing.
+    #[test]
+    fn interleaved_of_periodic_matches(
+        schedule in random_schedule(3),
+        exec in random_exec(3),
+    ) {
+        let inter = InterleavedSchedule::from_periodic(&schedule);
+        let t0 = derive_timing(&schedule.task_sequence(), &exec).unwrap();
+        let t1 = derive_timing(&inter.task_sequence(), &exec).unwrap();
+        prop_assert_eq!(t0, t1);
+    }
+
+    /// Splitting a run into two cold segments never shortens the period
+    /// (the second segment's first task loses its warm cache).
+    #[test]
+    fn splitting_runs_lengthens_the_period(
+        m_split in 2u32..6,
+        exec in random_exec(3),
+    ) {
+        // Base: (m_split, 1, 1). Split C1 around C2: (C1:first, C2:1,
+        // C1:rest, C3:1) — cyclically valid because C3 ends the period.
+        let base = Schedule::new(vec![m_split, 1, 1]).unwrap();
+        let t_base = derive_timing(&base.task_sequence(), &exec).unwrap();
+        for first in 1..m_split {
+            let split = InterleavedSchedule::new(
+                vec![
+                    Segment { app: 0, count: first },
+                    Segment { app: 1, count: 1 },
+                    Segment { app: 0, count: m_split - first },
+                    Segment { app: 2, count: 1 },
+                ],
+                3,
+            )
+            .expect("structurally valid split");
+            let t_split = derive_timing(&split.task_sequence(), &exec).unwrap();
+            prop_assert!(t_split.period >= t_base.period - 1e-15);
+            // Strictly longer whenever the warm saving is non-zero.
+            if exec[0].guaranteed_reduction() > 1e-12 {
+                prop_assert!(t_split.period > t_base.period);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the schedule-space search algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by search operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// The schedule space was empty or malformed.
+    InvalidSpace {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A search configuration parameter was out of range.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+    },
+    /// The starting point lies outside the schedule space.
+    StartOutOfSpace,
+    /// Evaluator and space/start disagree on the number of applications.
+    AppCountMismatch {
+        /// Applications expected by the evaluator.
+        expected: usize,
+        /// Applications provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::InvalidSpace { reason } => write!(f, "invalid schedule space: {reason}"),
+            SearchError::InvalidConfig { parameter } => {
+                write!(f, "invalid search configuration: {parameter}")
+            }
+            SearchError::StartOutOfSpace => write!(f, "start point outside the schedule space"),
+            SearchError::AppCountMismatch { expected, actual } => write!(
+                f,
+                "application count mismatch: expected {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for SearchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SearchError::StartOutOfSpace.to_string().contains("start"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SearchError>();
+    }
+}

@@ -1,0 +1,261 @@
+//! The schedule-evaluation abstraction and its memoising wrapper.
+
+use cacs_sched::Schedule;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The objective of the schedule optimisation: the overall control
+/// performance `P_all` of a schedule (paper eq. (2)), or `None` when the
+/// schedule is infeasible.
+///
+/// Implementations distinguish two feasibility layers, mirroring the
+/// paper:
+///
+/// * [`ScheduleEvaluator::idle_feasible`] — the cheap a-priori check of
+///   the idle-time constraint (4); infeasible schedules are *excluded*
+///   from the search space and not counted as evaluations;
+/// * [`ScheduleEvaluator::evaluate`] — the expensive holistic controller
+///   design; it may still return `None` when the settling-deadline
+///   constraint (3) is violated (known "only after the control
+///   performance evaluation", Section V).
+pub trait ScheduleEvaluator: Sync {
+    /// Number of applications the evaluator models.
+    fn app_count(&self) -> usize;
+
+    /// Cheap a-priori feasibility (idle-time constraint). Defaults to
+    /// accepting everything.
+    fn idle_feasible(&self, schedule: &Schedule) -> bool {
+        let _ = schedule;
+        true
+    }
+
+    /// Full evaluation: overall control performance (higher is better),
+    /// `None` if infeasible.
+    fn evaluate(&self, schedule: &Schedule) -> Option<f64>;
+}
+
+/// A [`ScheduleEvaluator`] built from closures — handy for tests and toy
+/// objectives.
+pub struct FnEvaluator<F, G = fn(&Schedule) -> bool>
+where
+    F: Fn(&Schedule) -> Option<f64> + Sync,
+    G: Fn(&Schedule) -> bool + Sync,
+{
+    apps: usize,
+    eval: F,
+    idle: Option<G>,
+}
+
+impl<F> FnEvaluator<F>
+where
+    F: Fn(&Schedule) -> Option<f64> + Sync,
+{
+    /// Creates an evaluator from an objective closure (everything is
+    /// idle-feasible).
+    pub fn new(apps: usize, eval: F) -> Self {
+        FnEvaluator {
+            apps,
+            eval,
+            idle: None,
+        }
+    }
+}
+
+impl<F, G> FnEvaluator<F, G>
+where
+    F: Fn(&Schedule) -> Option<f64> + Sync,
+    G: Fn(&Schedule) -> bool + Sync,
+{
+    /// Creates an evaluator with a separate idle-feasibility predicate.
+    pub fn with_idle_check(apps: usize, eval: F, idle: G) -> Self {
+        FnEvaluator {
+            apps,
+            eval,
+            idle: Some(idle),
+        }
+    }
+}
+
+impl<F, G> std::fmt::Debug for FnEvaluator<F, G>
+where
+    F: Fn(&Schedule) -> Option<f64> + Sync,
+    G: Fn(&Schedule) -> bool + Sync,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnEvaluator")
+            .field("apps", &self.apps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F, G> ScheduleEvaluator for FnEvaluator<F, G>
+where
+    F: Fn(&Schedule) -> Option<f64> + Sync,
+    G: Fn(&Schedule) -> bool + Sync,
+{
+    fn app_count(&self) -> usize {
+        self.apps
+    }
+
+    fn idle_feasible(&self, schedule: &Schedule) -> bool {
+        match &self.idle {
+            Some(g) => g(schedule),
+            None => true,
+        }
+    }
+
+    fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
+        (self.eval)(schedule)
+    }
+}
+
+/// Caching wrapper around a [`ScheduleEvaluator`].
+///
+/// Repeated evaluations of the same schedule are served from the cache;
+/// [`MemoizedEvaluator::unique_evaluations`] counts how many *distinct*
+/// schedules were fully evaluated — the cost metric of the paper's
+/// Section V (9 resp. 18 of 76 schedules).
+///
+/// # Example
+///
+/// ```
+/// use cacs_search::{FnEvaluator, MemoizedEvaluator, ScheduleEvaluator};
+/// use cacs_sched::Schedule;
+///
+/// let inner = FnEvaluator::new(1, |_s: &Schedule| Some(1.0));
+/// let memo = MemoizedEvaluator::new(&inner);
+/// let s = Schedule::new(vec![2]).unwrap();
+/// memo.evaluate(&s);
+/// memo.evaluate(&s); // served from cache
+/// assert_eq!(memo.unique_evaluations(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MemoizedEvaluator<'a, E: ScheduleEvaluator + ?Sized> {
+    inner: &'a E,
+    cache: Mutex<HashMap<Vec<u32>, Option<f64>>>,
+}
+
+impl<'a, E: ScheduleEvaluator + ?Sized> MemoizedEvaluator<'a, E> {
+    /// Wraps an evaluator.
+    pub fn new(inner: &'a E) -> Self {
+        MemoizedEvaluator {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of distinct schedules fully evaluated so far.
+    pub fn unique_evaluations(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Snapshot of all cached results (for reports).
+    pub fn snapshot(&self) -> Vec<(Schedule, Option<f64>)> {
+        self.cache
+            .lock()
+            .iter()
+            .map(|(counts, v)| (Schedule::new(counts.clone()).expect("cached key valid"), *v))
+            .collect()
+    }
+}
+
+impl<E: ScheduleEvaluator + ?Sized> ScheduleEvaluator for MemoizedEvaluator<'_, E> {
+    fn app_count(&self) -> usize {
+        self.inner.app_count()
+    }
+
+    fn idle_feasible(&self, schedule: &Schedule) -> bool {
+        self.inner.idle_feasible(schedule)
+    }
+
+    fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
+        let key = schedule.counts().to_vec();
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return *hit;
+        }
+        // Deliberately evaluate outside the lock: full evaluations take
+        // seconds and parallel searches must not serialise on the cache.
+        // A rare duplicate evaluation of the same schedule is acceptable.
+        let value = self.inner.evaluate(schedule);
+        self.cache.lock().insert(key, value);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingEvaluator {
+        calls: AtomicUsize,
+    }
+
+    impl ScheduleEvaluator for CountingEvaluator {
+        fn app_count(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let s: u32 = schedule.counts().iter().sum();
+            if s > 5 {
+                None
+            } else {
+                Some(f64::from(s))
+            }
+        }
+    }
+
+    #[test]
+    fn memo_caches_and_counts() {
+        let inner = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let memo = MemoizedEvaluator::new(&inner);
+        let a = Schedule::new(vec![1, 2]).unwrap();
+        let b = Schedule::new(vec![2, 2]).unwrap();
+        assert_eq!(memo.evaluate(&a), Some(3.0));
+        assert_eq!(memo.evaluate(&a), Some(3.0));
+        assert_eq!(memo.evaluate(&b), Some(4.0));
+        assert_eq!(inner.calls.load(Ordering::SeqCst), 2);
+        assert_eq!(memo.unique_evaluations(), 2);
+    }
+
+    #[test]
+    fn memo_caches_infeasible_results_too() {
+        let inner = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let memo = MemoizedEvaluator::new(&inner);
+        let bad = Schedule::new(vec![3, 3]).unwrap();
+        assert_eq!(memo.evaluate(&bad), None);
+        assert_eq!(memo.evaluate(&bad), None);
+        assert_eq!(inner.calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fn_evaluator_with_idle_check() {
+        let e = FnEvaluator::with_idle_check(
+            2,
+            |_s: &Schedule| Some(0.0),
+            |s: &Schedule| s.counts()[0] <= 2,
+        );
+        assert!(e.idle_feasible(&Schedule::new(vec![2, 9]).unwrap()));
+        assert!(!e.idle_feasible(&Schedule::new(vec![3, 1]).unwrap()));
+        assert_eq!(e.app_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_returns_cached_entries() {
+        let inner = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let memo = MemoizedEvaluator::new(&inner);
+        memo.evaluate(&Schedule::new(vec![1, 1]).unwrap());
+        memo.evaluate(&Schedule::new(vec![4, 4]).unwrap());
+        let snap = memo.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().any(|(s, v)| s.counts() == [1, 1] && *v == Some(2.0)));
+        assert!(snap.iter().any(|(s, v)| s.counts() == [4, 4] && v.is_none()));
+    }
+}

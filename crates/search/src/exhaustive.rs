@@ -1,0 +1,162 @@
+//! Brute-force schedule search (the paper's verification baseline).
+
+use crate::{MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace, SearchError};
+use cacs_sched::Schedule;
+
+/// Outcome of an exhaustive sweep over the schedule space.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveReport {
+    /// Best feasible schedule (`None` if every schedule was infeasible).
+    pub best: Option<Schedule>,
+    /// Objective at [`ExhaustiveReport::best`].
+    pub best_value: f64,
+    /// Schedules enumerated in the box.
+    pub enumerated: u64,
+    /// Schedules passing the a-priori idle-time check — these are the
+    /// ones that had to be *evaluated* (the paper's "76 schedules").
+    pub evaluated: usize,
+    /// Evaluated schedules that were fully feasible (the paper's "74").
+    pub feasible: usize,
+    /// Every evaluated schedule with its objective (`None` = violated the
+    /// settling-deadline constraint).
+    pub results: Vec<(Schedule, Option<f64>)>,
+}
+
+/// Evaluates every idle-feasible schedule in the space and returns the
+/// best (paper Section V's brute-force verification).
+///
+/// # Errors
+///
+/// Returns [`SearchError::AppCountMismatch`] if evaluator and space
+/// disagree on the application count.
+///
+/// # Example
+///
+/// ```
+/// use cacs_search::{exhaustive_search, FnEvaluator, ScheduleSpace};
+/// use cacs_sched::Schedule;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let eval = FnEvaluator::new(1, |s: &Schedule| Some(-(s.counts()[0] as f64 - 2.0).abs()));
+/// let space = ScheduleSpace::new(vec![5])?;
+/// let report = exhaustive_search(&eval, &space)?;
+/// assert_eq!(report.best.as_ref().unwrap().counts(), &[2]);
+/// assert_eq!(report.enumerated, 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exhaustive_search<E: ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &ScheduleSpace,
+) -> Result<ExhaustiveReport> {
+    if evaluator.app_count() != space.app_count() {
+        return Err(SearchError::AppCountMismatch {
+            expected: evaluator.app_count(),
+            actual: space.app_count(),
+        });
+    }
+    let memo = MemoizedEvaluator::new(evaluator);
+    let mut best: Option<Schedule> = None;
+    let mut best_value = f64::NEG_INFINITY;
+    let mut enumerated = 0u64;
+    let mut results = Vec::new();
+
+    for schedule in space.iter() {
+        enumerated += 1;
+        if !memo.idle_feasible(&schedule) {
+            continue;
+        }
+        let value = memo.evaluate(&schedule);
+        if let Some(v) = value {
+            if v > best_value {
+                best_value = v;
+                best = Some(schedule.clone());
+            }
+        }
+        results.push((schedule, value));
+    }
+
+    let feasible = results.iter().filter(|(_, v)| v.is_some()).count();
+    Ok(ExhaustiveReport {
+        best,
+        best_value,
+        enumerated,
+        evaluated: results.len(),
+        feasible,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnEvaluator;
+
+    #[test]
+    fn sweeps_the_whole_box() {
+        let eval = FnEvaluator::new(2, |s: &Schedule| {
+            let c = s.counts();
+            Some(-((c[0] as f64 - 3.0).powi(2) + (c[1] as f64 - 2.0).powi(2)))
+        });
+        let space = ScheduleSpace::new(vec![4, 4]).unwrap();
+        let r = exhaustive_search(&eval, &space).unwrap();
+        assert_eq!(r.enumerated, 16);
+        assert_eq!(r.evaluated, 16);
+        assert_eq!(r.feasible, 16);
+        assert_eq!(r.best.unwrap().counts(), &[3, 2]);
+    }
+
+    #[test]
+    fn idle_infeasible_schedules_are_not_evaluated() {
+        let eval = FnEvaluator::with_idle_check(
+            2,
+            |s: &Schedule| Some(f64::from(s.counts().iter().sum::<u32>())),
+            |s: &Schedule| s.counts().iter().sum::<u32>() <= 4,
+        );
+        let space = ScheduleSpace::new(vec![3, 3]).unwrap();
+        let r = exhaustive_search(&eval, &space).unwrap();
+        assert_eq!(r.enumerated, 9);
+        // Sums <= 4: (1,1),(1,2),(1,3),(2,1),(2,2),(3,1) = 6 schedules.
+        assert_eq!(r.evaluated, 6);
+        assert_eq!(r.best.unwrap().counts(), &[1, 3]); // ties broken by iteration order
+    }
+
+    #[test]
+    fn deadline_violations_counted_separately() {
+        // Evaluation returns None for the two corner schedules.
+        let eval = FnEvaluator::new(2, |s: &Schedule| {
+            let c = s.counts();
+            if c[0] == 2 && c[1] == 2 {
+                None
+            } else {
+                Some(f64::from(c[0] + c[1]))
+            }
+        });
+        let space = ScheduleSpace::new(vec![2, 2]).unwrap();
+        let r = exhaustive_search(&eval, &space).unwrap();
+        assert_eq!(r.evaluated, 4);
+        assert_eq!(r.feasible, 3);
+        // (1,2) and (2,1) tie at 3; iteration order visits (1,2) first.
+        assert_eq!(r.best.unwrap().counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn all_infeasible_yields_none() {
+        let eval = FnEvaluator::new(1, |_: &Schedule| None);
+        let space = ScheduleSpace::new(vec![3]).unwrap();
+        let r = exhaustive_search(&eval, &space).unwrap();
+        assert!(r.best.is_none());
+        assert_eq!(r.feasible, 0);
+        assert_eq!(r.evaluated, 3);
+    }
+
+    #[test]
+    fn app_count_mismatch() {
+        let eval = FnEvaluator::new(2, |_: &Schedule| Some(0.0));
+        let space = ScheduleSpace::new(vec![3]).unwrap();
+        assert!(matches!(
+            exhaustive_search(&eval, &space),
+            Err(SearchError::AppCountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,470 @@
+//! The paper's hybrid search algorithm (Section IV).
+//!
+//! Gradient-based searches need few objective evaluations but get trapped
+//! in local optima; simulated annealing escapes them but is evaluation-
+//! hungry. The hybrid: build a **1-D quadratic model per dimension** from
+//! the two unit neighbours, step (size 1) along the feasible direction
+//! with the best positive gradient, and borrow two annealing features —
+//! a *tolerance* that accepts bounded worsening, and *parallel
+//! multistart*.
+
+use crate::{MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace, SearchError};
+use cacs_sched::Schedule;
+use std::collections::HashSet;
+
+/// Configuration of the hybrid search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Accept a move that worsens the objective by at most this much
+    /// (the simulated-annealing feature; `0.0` = strict ascent).
+    pub tolerance: f64,
+    /// Hard cap on the number of moves (defensive; the visited-set guard
+    /// normally stops much earlier).
+    pub max_steps: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            tolerance: 0.02,
+            max_steps: 100,
+        }
+    }
+}
+
+impl HybridConfig {
+    fn validate(&self) -> Result<()> {
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err(SearchError::InvalidConfig {
+                parameter: "tolerance must be finite and non-negative",
+            });
+        }
+        if self.max_steps == 0 {
+            return Err(SearchError::InvalidConfig {
+                parameter: "max_steps must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Best feasible schedule found (`None` when every evaluated schedule
+    /// was infeasible).
+    pub best: Option<Schedule>,
+    /// Objective value at [`SearchReport::best`].
+    pub best_value: f64,
+    /// Distinct schedules fully evaluated by this search — the paper's
+    /// cost metric.
+    pub evaluations: usize,
+    /// The sequence of accepted points, starting with the start schedule.
+    pub trajectory: Vec<Schedule>,
+}
+
+/// Runs one hybrid search from `start`.
+///
+/// # Errors
+///
+/// * [`SearchError::StartOutOfSpace`] if `start` is outside `space`.
+/// * [`SearchError::AppCountMismatch`] if the evaluator's application
+///   count differs from the space's.
+/// * [`SearchError::InvalidConfig`] for bad configuration values.
+///
+/// # Example
+///
+/// ```
+/// use cacs_search::{hybrid_search, FnEvaluator, HybridConfig, ScheduleSpace};
+/// use cacs_sched::Schedule;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let eval = FnEvaluator::new(2, |s: &Schedule| {
+///     let (a, b) = (s.counts()[0] as f64, s.counts()[1] as f64);
+///     Some(-(a - 3.0).powi(2) - (b - 2.0).powi(2))
+/// });
+/// let space = ScheduleSpace::new(vec![6, 6])?;
+/// let start = Schedule::new(vec![1, 1])?;
+/// let report = hybrid_search(&eval, &space, &start, &HybridConfig::default())?;
+/// assert_eq!(report.best.as_ref().unwrap().counts(), &[3, 2]);
+/// // Far fewer evaluations than the 36-schedule box.
+/// assert!(report.evaluations < 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hybrid_search<E: ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &ScheduleSpace,
+    start: &Schedule,
+    config: &HybridConfig,
+) -> Result<SearchReport> {
+    config.validate()?;
+    if evaluator.app_count() != space.app_count() {
+        return Err(SearchError::AppCountMismatch {
+            expected: evaluator.app_count(),
+            actual: space.app_count(),
+        });
+    }
+    if !space.contains(start) || !evaluator.idle_feasible(start) {
+        return Err(SearchError::StartOutOfSpace);
+    }
+
+    let memo = MemoizedEvaluator::new(evaluator);
+    let n = space.app_count();
+
+    // Objective as a total function: -inf marks infeasible points so the
+    // gradient model can still be built next to them.
+    let score = |s: &Schedule| -> f64 {
+        if !space.contains(s) || !memo.idle_feasible(s) {
+            return f64::NEG_INFINITY;
+        }
+        memo.evaluate(s).unwrap_or(f64::NEG_INFINITY)
+    };
+
+    let mut current = start.clone();
+    let mut current_value = score(&current);
+    let mut best = current.clone();
+    let mut best_value = current_value;
+    let mut trajectory = vec![current.clone()];
+    let mut visited: HashSet<Vec<u32>> = HashSet::new();
+    visited.insert(current.counts().to_vec());
+
+    for _ in 0..config.max_steps {
+        // Build the 1-D quadratic model per dimension: evaluate both unit
+        // neighbours (≤ 2n evaluations, fewer thanks to the memo) and take
+        // the model's gradient at the centre, (f₊ − f₋)/2.
+        let mut moves: Vec<(f64, Schedule, f64)> = Vec::new(); // (gradient, candidate, value)
+        for dim in 0..n {
+            let up = current.step(dim, 1);
+            let down = current.step(dim, -1);
+            let f_up = up.as_ref().map_or(f64::NEG_INFINITY, &score);
+            let f_down = down.as_ref().map_or(f64::NEG_INFINITY, &score);
+
+            // Gradient of the quadratic fit at the centre. Infeasible
+            // neighbours degrade to one-sided differences.
+            let gradient = match (f_up.is_finite(), f_down.is_finite()) {
+                (true, true) => (f_up - f_down) / 2.0,
+                (true, false) => f_up - current_value,
+                (false, true) => current_value - f_down,
+                (false, false) => continue,
+            };
+            // The actual move goes towards the better neighbour.
+            let (candidate, value) = if f_up >= f_down {
+                match up {
+                    Some(s) if f_up.is_finite() => (s, f_up),
+                    _ => continue,
+                }
+            } else {
+                match down {
+                    Some(s) if f_down.is_finite() => (s, f_down),
+                    _ => continue,
+                }
+            };
+            moves.push((gradient, candidate, value));
+        }
+
+        // Best positive gradient first; feasibility is already encoded
+        // (infeasible candidates never enter `moves`).
+        moves.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        let mut stepped = false;
+        for (_, candidate, value) in moves {
+            // Accept improvement, or tolerated worsening onto a fresh
+            // point (the annealing feature that escapes local optima).
+            let improves = value > current_value;
+            let tolerated =
+                value > current_value - config.tolerance && !visited.contains(candidate.counts());
+            if improves || tolerated {
+                visited.insert(candidate.counts().to_vec());
+                current = candidate;
+                current_value = value;
+                trajectory.push(current.clone());
+                if current_value > best_value {
+                    best_value = current_value;
+                    best = current.clone();
+                }
+                stepped = true;
+                break;
+            }
+        }
+        if !stepped {
+            break; // no improvement achievable: converged
+        }
+    }
+
+    Ok(SearchReport {
+        best: if best_value.is_finite() { Some(best) } else { None },
+        best_value,
+        evaluations: memo.unique_evaluations(),
+        trajectory,
+    })
+}
+
+/// Runs independent hybrid searches from several start points in parallel
+/// (crossbeam scoped threads), one report per start — the paper's
+/// "parallel searches" feature.
+///
+/// Each search keeps its own memo, so its `evaluations` count is exactly
+/// what that search would have cost on its own (the numbers reported in
+/// Section V).
+///
+/// # Errors
+///
+/// Returns the first error any search produced (e.g. a start point
+/// outside the space); `starts` must be non-empty.
+pub fn hybrid_search_multistart<E: ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &ScheduleSpace,
+    starts: &[Schedule],
+    config: &HybridConfig,
+) -> Result<Vec<SearchReport>> {
+    if starts.is_empty() {
+        return Err(SearchError::InvalidConfig {
+            parameter: "multistart needs at least one start point",
+        });
+    }
+    let mut results: Vec<Option<Result<SearchReport>>> = Vec::new();
+    results.resize_with(starts.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, start) in starts.iter().enumerate() {
+            handles.push((
+                i,
+                scope.spawn(move |_| hybrid_search(evaluator, space, start, config)),
+            ));
+        }
+        for (i, handle) in handles {
+            results[i] = Some(handle.join().expect("search thread panicked"));
+        }
+    })
+    .expect("crossbeam scope panicked");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnEvaluator;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Concave paraboloid peaking at (3, 2, 3) — loosely the paper's
+    /// optimal schedule shape.
+    fn paraboloid() -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync> {
+        FnEvaluator::new(3, |s: &Schedule| {
+            let c = s.counts();
+            let (a, b, d) = (c[0] as f64, c[1] as f64, c[2] as f64);
+            Some(0.2 - 0.01 * ((a - 3.0).powi(2) + (b - 2.0).powi(2) + (d - 3.0).powi(2)))
+        })
+    }
+
+    #[test]
+    fn finds_global_peak_of_concave_objective() {
+        let eval = paraboloid();
+        let space = ScheduleSpace::new(vec![6, 6, 6]).unwrap();
+        for start in [vec![4, 2, 2], vec![1, 2, 1], vec![6, 6, 6]] {
+            let report = hybrid_search(
+                &eval,
+                &space,
+                &Schedule::new(start.clone()).unwrap(),
+                &HybridConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                report.best.as_ref().unwrap().counts(),
+                &[3, 2, 3],
+                "from start {start:?}"
+            );
+            assert!((report.best_value - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uses_far_fewer_evaluations_than_exhaustive() {
+        let eval = paraboloid();
+        let space = ScheduleSpace::new(vec![6, 6, 6]).unwrap();
+        let report = hybrid_search(
+            &eval,
+            &space,
+            &Schedule::new(vec![4, 2, 2]).unwrap(),
+            &HybridConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            report.evaluations < 40,
+            "hybrid used {} of 216 evaluations",
+            report.evaluations
+        );
+    }
+
+    #[test]
+    fn tolerance_escapes_a_local_optimum() {
+        // 1-D objective with a local peak at 2 (value 1.0), a dip at 3
+        // (0.95) and the global peak at 5 (2.0).
+        let values = [0.0, 0.5, 1.0, 0.95, 1.2, 2.0, 0.1];
+        let eval = FnEvaluator::new(1, move |s: &Schedule| {
+            Some(values[s.counts()[0] as usize])
+        });
+        let space = ScheduleSpace::new(vec![6]).unwrap();
+        let start = Schedule::new(vec![1]).unwrap();
+
+        // Strict ascent gets stuck on the local peak at 2.
+        let strict = hybrid_search(
+            &eval,
+            &space,
+            &start,
+            &HybridConfig {
+                tolerance: 0.0,
+                max_steps: 50,
+            },
+        )
+        .unwrap();
+        assert_eq!(strict.best.as_ref().unwrap().counts(), &[2]);
+
+        // A tolerance of 0.1 crosses the 0.05-deep dip and reaches 5.
+        let tolerant = hybrid_search(
+            &eval,
+            &space,
+            &start,
+            &HybridConfig {
+                tolerance: 0.1,
+                max_steps: 50,
+            },
+        )
+        .unwrap();
+        assert_eq!(tolerant.best.as_ref().unwrap().counts(), &[5]);
+        assert!((tolerant.best_value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_idle_feasibility() {
+        // Objective grows with m1 but idle feasibility caps m1 at 3.
+        let eval = FnEvaluator::with_idle_check(
+            2,
+            |s: &Schedule| Some(f64::from(s.counts()[0])),
+            |s: &Schedule| s.counts()[0] <= 3,
+        );
+        let space = ScheduleSpace::new(vec![8, 2]).unwrap();
+        let report = hybrid_search(
+            &eval,
+            &space,
+            &Schedule::new(vec![1, 1]).unwrap(),
+            &HybridConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.best.as_ref().unwrap().counts()[0], 3);
+    }
+
+    #[test]
+    fn reports_trajectory_from_start() {
+        let eval = paraboloid();
+        let space = ScheduleSpace::new(vec![6, 6, 6]).unwrap();
+        let start = Schedule::new(vec![1, 2, 1]).unwrap();
+        let report =
+            hybrid_search(&eval, &space, &start, &HybridConfig::default()).unwrap();
+        assert_eq!(report.trajectory[0], start);
+        // Consecutive trajectory points differ by exactly one unit step.
+        for w in report.trajectory.windows(2) {
+            let diff: u32 = w[0]
+                .counts()
+                .iter()
+                .zip(w[1].counts())
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn start_out_of_space_rejected() {
+        let eval = paraboloid();
+        let space = ScheduleSpace::new(vec![2, 2, 2]).unwrap();
+        let start = Schedule::new(vec![3, 1, 1]).unwrap();
+        assert!(matches!(
+            hybrid_search(&eval, &space, &start, &HybridConfig::default()),
+            Err(SearchError::StartOutOfSpace)
+        ));
+    }
+
+    #[test]
+    fn config_validation() {
+        let eval = paraboloid();
+        let space = ScheduleSpace::new(vec![2, 2, 2]).unwrap();
+        let start = Schedule::new(vec![1, 1, 1]).unwrap();
+        assert!(hybrid_search(
+            &eval,
+            &space,
+            &start,
+            &HybridConfig {
+                tolerance: -1.0,
+                max_steps: 10
+            }
+        )
+        .is_err());
+        assert!(hybrid_search(
+            &eval,
+            &space,
+            &start,
+            &HybridConfig {
+                tolerance: 0.0,
+                max_steps: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multistart_runs_all_searches() {
+        let eval = paraboloid();
+        let space = ScheduleSpace::new(vec![6, 6, 6]).unwrap();
+        let starts = vec![
+            Schedule::new(vec![4, 2, 2]).unwrap(),
+            Schedule::new(vec![1, 2, 1]).unwrap(),
+        ];
+        let reports =
+            hybrid_search_multistart(&eval, &space, &starts, &HybridConfig::default()).unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.best.as_ref().unwrap().counts(), &[3, 2, 3]);
+        }
+        assert!(hybrid_search_multistart(&eval, &space, &[], &HybridConfig::default()).is_err());
+    }
+
+    #[test]
+    fn multistart_searches_run_concurrently_on_shared_evaluator() {
+        // The evaluator records the maximum number of in-flight calls.
+        struct Concurrent {
+            in_flight: AtomicUsize,
+            max_seen: AtomicUsize,
+        }
+        impl ScheduleEvaluator for Concurrent {
+            fn app_count(&self) -> usize {
+                1
+            }
+            fn evaluate(&self, s: &Schedule) -> Option<f64> {
+                let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                self.max_seen.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                Some(-(f64::from(s.counts()[0]) - 3.0).powi(2))
+            }
+        }
+        let eval = Concurrent {
+            in_flight: AtomicUsize::new(0),
+            max_seen: AtomicUsize::new(0),
+        };
+        let space = ScheduleSpace::new(vec![8]).unwrap();
+        let starts: Vec<Schedule> = (1..=4)
+            .map(|m| Schedule::new(vec![m]).unwrap())
+            .collect();
+        let reports =
+            hybrid_search_multistart(&eval, &space, &starts, &HybridConfig::default()).unwrap();
+        assert_eq!(reports.len(), 4);
+        // At least two searches overlapped in time.
+        assert!(eval.max_seen.load(Ordering::SeqCst) >= 2);
+    }
+}

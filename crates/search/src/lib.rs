@@ -1,0 +1,65 @@
+//! Discrete schedule-space optimisers (paper Section IV).
+//!
+//! Finding the schedule `(m1, …, mn)` that maximises the overall control
+//! performance is a nonlinear discrete optimisation whose objective — a
+//! full holistic controller design per application — is expensive. This
+//! crate provides:
+//!
+//! * [`ScheduleEvaluator`] — the objective abstraction (implemented by
+//!   `cacs-core` on top of the full pipeline, and by cheap synthetic
+//!   functions in tests),
+//! * [`MemoizedEvaluator`] — caching wrapper counting *unique* full
+//!   evaluations (the cost metric the paper reports),
+//! * [`ScheduleSpace`] — the bounded box of candidate schedules, with
+//!   bounds derived from the idle-time constraint,
+//! * [`hybrid_search`] / [`hybrid_search_multistart`] — the paper's
+//!   hybrid algorithm: per-dimension 1-D quadratic gradient models,
+//!   unit steps along the best feasible direction, a simulated-annealing
+//!   style tolerance that accepts bounded worsening, and parallel
+//!   multistart (via crossbeam),
+//! * [`exhaustive_search`] — the brute-force baseline, and
+//! * [`simulated_annealing`] / [`genetic_search`] / [`tabu_search`] —
+//!   classical metaheuristic baselines for evaluation-count comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use cacs_search::{exhaustive_search, FnEvaluator, ScheduleSpace};
+//! use cacs_sched::Schedule;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A toy concave objective with its peak at (3, 2).
+//! let eval = FnEvaluator::new(2, |s: &Schedule| {
+//!     let (a, b) = (s.counts()[0] as f64, s.counts()[1] as f64);
+//!     Some(-(a - 3.0).powi(2) - (b - 2.0).powi(2))
+//! });
+//! let space = ScheduleSpace::new(vec![5, 5])?;
+//! let report = exhaustive_search(&eval, &space)?;
+//! assert_eq!(report.best.as_ref().unwrap().counts(), &[3, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod anneal;
+mod error;
+mod evaluator;
+mod exhaustive;
+mod genetic;
+mod hybrid;
+mod space;
+mod tabu;
+
+pub use anneal::{simulated_annealing, AnnealConfig};
+pub use error::SearchError;
+pub use evaluator::{FnEvaluator, MemoizedEvaluator, ScheduleEvaluator};
+pub use exhaustive::{exhaustive_search, ExhaustiveReport};
+pub use genetic::{genetic_search, GeneticConfig};
+pub use hybrid::{hybrid_search, hybrid_search_multistart, HybridConfig, SearchReport};
+pub use space::ScheduleSpace;
+pub use tabu::{tabu_search, TabuConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SearchError>;

@@ -1,0 +1,291 @@
+//! The bounded box of candidate periodic schedules.
+
+use crate::{Result, SearchError};
+use cacs_sched::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// The discrete decision space `{1..max_1} × … × {1..max_n}` of periodic
+/// schedules (paper Section IV: `m_i ∈ N⁺` with upper bounds induced by
+/// the idle-time constraint).
+///
+/// # Example
+///
+/// ```
+/// use cacs_search::ScheduleSpace;
+///
+/// # fn main() -> Result<(), cacs_search::SearchError> {
+/// let space = ScheduleSpace::new(vec![4, 9, 7])?;
+/// assert_eq!(space.len(), 4 * 9 * 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleSpace {
+    max_counts: Vec<u32>,
+}
+
+impl ScheduleSpace {
+    /// Creates a space with per-application maxima (each at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::InvalidSpace`] if `max_counts` is empty or
+    /// contains a zero.
+    pub fn new(max_counts: Vec<u32>) -> Result<Self> {
+        if max_counts.is_empty() {
+            return Err(SearchError::InvalidSpace {
+                reason: "space must have at least one application".into(),
+            });
+        }
+        if max_counts.contains(&0) {
+            return Err(SearchError::InvalidSpace {
+                reason: "every application needs max count >= 1".into(),
+            });
+        }
+        Ok(ScheduleSpace { max_counts })
+    }
+
+    /// Derives per-dimension maxima by scanning the **entire** `capⁿ` box
+    /// with the feasibility predicate and recording, per dimension, the
+    /// largest `m_i` of any feasible schedule.
+    ///
+    /// Feasibility of the idle-time constraint (4) is *not* monotone per
+    /// dimension (raising `m_i` turns `C_i`'s own last task warm,
+    /// shortening it), so the cheap axis-wise bound of
+    /// [`ScheduleSpace::from_feasibility`] can miss feasible corners; this
+    /// scan is exact. The predicate must be cheap: it is called `capⁿ`
+    /// times.
+    ///
+    /// # Errors
+    ///
+    /// * [`SearchError::InvalidSpace`] if `apps` is zero, no schedule in
+    ///   the box is feasible, or the box exceeds 2 million points.
+    pub fn from_feasibility_scan(
+        apps: usize,
+        cap: u32,
+        mut feasible: impl FnMut(&Schedule) -> bool,
+    ) -> Result<Self> {
+        if apps == 0 {
+            return Err(SearchError::InvalidSpace {
+                reason: "space must have at least one application".into(),
+            });
+        }
+        let box_size = (u64::from(cap)).checked_pow(apps as u32);
+        if box_size.is_none_or(|s| s > 2_000_000) {
+            return Err(SearchError::InvalidSpace {
+                reason: format!("scan box cap^apps = {cap}^{apps} too large"),
+            });
+        }
+        let full = ScheduleSpace::new(vec![cap; apps])?;
+        let mut max_counts = vec![0u32; apps];
+        for schedule in full.iter() {
+            if feasible(&schedule) {
+                for (max, &m) in max_counts.iter_mut().zip(schedule.counts()) {
+                    *max = (*max).max(m);
+                }
+            }
+        }
+        if max_counts.contains(&0) {
+            return Err(SearchError::InvalidSpace {
+                reason: "no feasible schedule in the scanned box".into(),
+            });
+        }
+        ScheduleSpace::new(max_counts)
+    }
+
+    /// Derives per-dimension maxima from a feasibility predicate: for each
+    /// application `i`, the largest `m ≤ cap` such that the schedule with
+    /// `m_i = m` and all other counts at 1 satisfies the predicate.
+    ///
+    /// This is a fast, conservative approximation (see
+    /// [`ScheduleSpace::from_feasibility_scan`] for the exact variant and
+    /// why the difference matters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::InvalidSpace`] if `apps` is zero or even
+    /// `m_i = 1` is infeasible for some dimension (the workload cannot be
+    /// scheduled at all).
+    pub fn from_feasibility(
+        apps: usize,
+        cap: u32,
+        mut feasible: impl FnMut(&Schedule) -> bool,
+    ) -> Result<Self> {
+        if apps == 0 {
+            return Err(SearchError::InvalidSpace {
+                reason: "space must have at least one application".into(),
+            });
+        }
+        let mut max_counts = Vec::with_capacity(apps);
+        for i in 0..apps {
+            let mut best = 0;
+            for m in 1..=cap {
+                let mut counts = vec![1u32; apps];
+                counts[i] = m;
+                let s = Schedule::new(counts).expect("positive counts");
+                if feasible(&s) {
+                    best = m;
+                } else if best > 0 {
+                    break; // feasibility is monotone in m_i
+                }
+            }
+            if best == 0 {
+                return Err(SearchError::InvalidSpace {
+                    reason: format!("application {i} infeasible even at m = 1"),
+                });
+            }
+            max_counts.push(best);
+        }
+        ScheduleSpace::new(max_counts)
+    }
+
+    /// Number of applications.
+    pub fn app_count(&self) -> usize {
+        self.max_counts.len()
+    }
+
+    /// Per-application maxima.
+    pub fn max_counts(&self) -> &[u32] {
+        &self.max_counts
+    }
+
+    /// Total number of schedules in the box.
+    pub fn len(&self) -> u64 {
+        self.max_counts.iter().map(|&m| u64::from(m)).product()
+    }
+
+    /// `false` — a valid space is never empty (maxima are ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if the schedule lies inside the box.
+    pub fn contains(&self, schedule: &Schedule) -> bool {
+        schedule.app_count() == self.app_count()
+            && schedule
+                .counts()
+                .iter()
+                .zip(&self.max_counts)
+                .all(|(&m, &max)| m >= 1 && m <= max)
+    }
+
+    /// Iterates over every schedule in the box, in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = Schedule> + '_ {
+        let n = self.app_count();
+        let mut current: Option<Vec<u32>> = Some(vec![1; n]);
+        std::iter::from_fn(move || {
+            let counts = current.take()?;
+            let result = Schedule::new(counts.clone()).expect("in-range counts");
+            // Advance odometer.
+            let mut next = counts;
+            for i in (0..n).rev() {
+                if next[i] < self.max_counts[i] {
+                    next[i] += 1;
+                    current = Some(next);
+                    return Some(result);
+                }
+                next[i] = 1;
+            }
+            // Odometer wrapped: this was the last element.
+            Some(result)
+        })
+    }
+
+    /// Clamps a schedule into the box (used by random restarts).
+    pub fn clamp(&self, schedule: &Schedule) -> Schedule {
+        let counts = schedule
+            .counts()
+            .iter()
+            .zip(&self.max_counts)
+            .map(|(&m, &max)| m.clamp(1, max))
+            .collect();
+        Schedule::new(counts).expect("clamped counts are positive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert!(ScheduleSpace::new(vec![]).is_err());
+        assert!(ScheduleSpace::new(vec![2, 0]).is_err());
+        let s = ScheduleSpace::new(vec![2, 3]).unwrap();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.app_count(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn contains() {
+        let s = ScheduleSpace::new(vec![2, 3]).unwrap();
+        assert!(s.contains(&Schedule::new(vec![1, 1]).unwrap()));
+        assert!(s.contains(&Schedule::new(vec![2, 3]).unwrap()));
+        assert!(!s.contains(&Schedule::new(vec![3, 1]).unwrap()));
+        assert!(!s.contains(&Schedule::new(vec![1]).unwrap()));
+    }
+
+    #[test]
+    fn iteration_covers_all_unique() {
+        let s = ScheduleSpace::new(vec![2, 3]).unwrap();
+        let all: Vec<Schedule> = s.iter().collect();
+        assert_eq!(all.len(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for sch in &all {
+            assert!(s.contains(sch));
+            assert!(seen.insert(sch.counts().to_vec()), "duplicate {sch}");
+        }
+    }
+
+    #[test]
+    fn iteration_single_dim() {
+        let s = ScheduleSpace::new(vec![4]).unwrap();
+        let all: Vec<u32> = s.iter().map(|x| x.counts()[0]).collect();
+        assert_eq!(all, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_feasibility_derives_bounds() {
+        // Feasible iff sum of counts <= 6: with others at 1, dim max = 4
+        // for 3 apps.
+        let space = ScheduleSpace::from_feasibility(3, 10, |s| {
+            s.counts().iter().sum::<u32>() <= 6
+        })
+        .unwrap();
+        assert_eq!(space.max_counts(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn from_feasibility_rejects_impossible_workload() {
+        assert!(ScheduleSpace::from_feasibility(2, 5, |_| false).is_err());
+        assert!(ScheduleSpace::from_feasibility_scan(2, 5, |_| false).is_err());
+    }
+
+    #[test]
+    fn scan_finds_non_monotone_corners() {
+        // Feasible iff (m1 <= 2) OR (m1 <= 4 AND m2 >= 2): the axis-wise
+        // bound (others at 1) caps m1 at 2, the exact scan finds 4.
+        let pred = |s: &Schedule| {
+            let c = s.counts();
+            c[0] <= 2 || (c[0] <= 4 && c[1] >= 2)
+        };
+        let axis = ScheduleSpace::from_feasibility(2, 8, pred).unwrap();
+        assert_eq!(axis.max_counts()[0], 2);
+        let scan = ScheduleSpace::from_feasibility_scan(2, 8, pred).unwrap();
+        assert_eq!(scan.max_counts()[0], 4);
+        assert_eq!(scan.max_counts()[1], 8);
+    }
+
+    #[test]
+    fn scan_rejects_oversized_boxes() {
+        assert!(ScheduleSpace::from_feasibility_scan(8, 20, |_| true).is_err());
+    }
+
+    #[test]
+    fn clamp() {
+        let s = ScheduleSpace::new(vec![3, 3]).unwrap();
+        let big = Schedule::new(vec![9, 2]).unwrap();
+        assert_eq!(s.clamp(&big).counts(), &[3, 2]);
+    }
+}

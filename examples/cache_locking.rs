@@ -1,0 +1,70 @@
+//! Cache locking vs. cache-aware scheduling: the two ways to buy WCET
+//! reduction from the same instruction cache.
+//!
+//! The paper shortens WCETs by *scheduling* — consecutive tasks of one
+//! application keep the cache warm, but only the 2nd..m-th task of a run
+//! benefits, and the gain evaporates whenever another application runs.
+//! The established alternative is *locking*: pin chosen lines so they hit
+//! in **every** task of **every** run, at the price of shrinking the
+//! cache for everything else (on the paper's direct-mapped platform a
+//! locked line removes its whole set from dynamic use).
+//!
+//! For each case-study application this example reports, as a function of
+//! the lock budget:
+//!
+//! * the locked per-task WCET (greedy lock selection), next to
+//! * the paper's cold / warm WCET pair from consecutive execution.
+//!
+//! Run with: `cargo run --release --example cache_locking`
+
+use cacs::apps::paper_case_study;
+use cacs::cache::{analyze_consecutive, choose_locks_greedy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = paper_case_study()?;
+    let platform = study.platform;
+
+    println!(
+        "platform: {} lines x {} B, direct-mapped, hit {} / miss {} cycles\n",
+        platform.lines, platform.line_bytes, platform.hit_cycles, platform.miss_cycles
+    );
+
+    for app in &study.apps {
+        let program = app.program.program();
+        let consec = analyze_consecutive(program, &platform)?;
+        println!("== {} ==", app.params.name);
+        println!(
+            "scheduling (paper): cold {:.2} us, warm {:.2} us ({} distinct lines)",
+            platform.cycles_to_micros(consec.cold_cycles),
+            platform.cycles_to_micros(consec.warm_cycles),
+            program.distinct_lines(&platform).len()
+        );
+        println!(
+            "{:>12} {:>14} {:>14} {:>16}",
+            "lock budget", "locked lines", "WCET (every task)", "preload"
+        );
+        for budget in [8usize, 16, 32, 64, 128] {
+            let plan = choose_locks_greedy(program, &platform, budget)?;
+            println!(
+                "{:>12} {:>14} {:>13.2} us {:>13.2} us",
+                budget,
+                plan.locked_lines.len(),
+                platform.cycles_to_micros(plan.wcet_cycles),
+                platform.cycles_to_micros(plan.preload_cycles),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Reading the comparison: locking lowers the WCET of EVERY task (no\n\
+         schedule cooperation needed) but competes for the same scarce sets —\n\
+         the budget where locking matches the paper's warm WCET is roughly the\n\
+         program's own line count, i.e. most of the cache, which a multi-\n\
+         application system cannot grant to one task. Cache-aware scheduling\n\
+         gets the same warm WCET by *time-multiplexing* the whole cache, which\n\
+         is exactly the paper's point; locking remains attractive when the\n\
+         schedule cannot be chosen (e.g. event-driven dispatch)."
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Stability of *dynamic* schedules via joint-spectral-radius bounds —
+//! the paper's second §VI future-work item.
+//!
+//! A static periodic schedule applies each application's closed-loop step
+//! matrices `S_1, …, S_m` in a fixed cyclic order, so stability is just
+//! `ρ(S_m···S_1) < 1`. With a **dynamic** scheduling policy (slot
+//! reordering under transient overload, event-triggered slot selection)
+//! the same matrices may be applied in *any* order; the paper notes that
+//! then only "basic properties (such as stability)" can be guaranteed.
+//!
+//! This example takes the controllers designed for the case study under a
+//! cache-aware schedule and computes the classical joint-spectral-radius
+//! bracket (`cacs::control::jsr_bounds`) over each application's step
+//! matrices:
+//!
+//! * upper bound < 1 → the design survives **every** reordering;
+//! * lower bound ≥ 1 → some periodic reordering provably diverges (the
+//!   witness sequence is printed).
+//!
+//! Run with: `cargo run --release --example dynamic_schedules`
+
+use cacs::apps::paper_case_study;
+use cacs::control::jsr_bounds;
+use cacs::core::{CodesignProblem, EvaluationConfig};
+use cacs::sched::Schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = paper_case_study()?;
+    let fast = std::env::args().any(|a| a == "--fast");
+    let config = if fast {
+        EvaluationConfig::fast()
+    } else {
+        EvaluationConfig::default()
+    };
+    let problem = CodesignProblem::from_case_study(&study, config)?;
+
+    for schedule in [Schedule::new(vec![3, 2, 3])?, Schedule::new(vec![2, 2, 2])?] {
+        println!("== schedule {schedule} (controllers designed for this cyclic order) ==");
+        let evaluation = problem.evaluate_schedule(&schedule)?;
+        println!(
+            "{:<45} {:>8} {:>10} {:>10} {:>22}",
+            "Application", "m", "JSR lower", "JSR upper", "arbitrary reordering?"
+        );
+        for (app, outcome) in problem.apps().iter().zip(&evaluation.apps) {
+            // The per-interval closed-loop step matrices the runtime may
+            // permute.
+            let m = outcome.lifted.tasks();
+            let mut steps = Vec::with_capacity(m);
+            for j in 0..m {
+                steps.push(outcome.lifted.step_matrix(j, &outcome.controller.gains)?);
+            }
+            // k^depth products: keep the enumeration around ~10^5.
+            let depth = match m {
+                1 => 16,
+                2 => 14,
+                _ => 9,
+            };
+            let bounds = jsr_bounds(&steps, depth)?;
+            let verdict = if bounds.certified_stable() {
+                "stable for ALL orders".to_string()
+            } else if bounds.certified_unstable() {
+                format!("UNSTABLE, witness {:?}", bounds.witness)
+            } else {
+                "inconclusive at this depth".to_string()
+            };
+            println!(
+                "{:<45} {:>8} {:>10.4} {:>10.4} {:>22}",
+                app.params.name, m, bounds.lower, bounds.upper, verdict
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Interpretation: the holistic design only fixes the *cyclic* product's\n\
+         spectral radius; the JSR bracket asks more — contraction under every\n\
+         interleaving of the step maps. Where the upper bound certifies < 1 the\n\
+         schedule can be dispatched dynamically without re-verification; an\n\
+         inconclusive bracket calls for a deeper enumeration or a redesign with\n\
+         a stronger stability margin."
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Settling-time synthesis vs. the periodic-LQR baseline.
+//!
+//! The paper argues that settling time — "the key metric for many
+//! real-time control applications" — is harder to optimise than the
+//! quadratic cost usually minimised in the co-design literature. This
+//! example quantifies that claim on the paper's own case study: for the
+//! round-robin schedule (1,1,1) and the cache-aware optimum (3,2,3), each
+//! application's controller is designed twice —
+//!
+//! 1. with the paper's synthesis (PSO directly minimising worst-case
+//!    settling time, Section III), and
+//! 2. with a periodic LQR over the same non-uniform timing pattern
+//!    (`cacs::control::synthesize_lqr`, output-weighted `Q`),
+//!
+//! and both designs are judged by the *paper's* metric (worst-case
+//! settling time on the true delayed dynamics).
+//!
+//! Run with: `cargo run --release --example lqr_comparison`
+
+use cacs::apps::paper_case_study;
+use cacs::control::{synthesize_lqr, LqrConfig};
+use cacs::core::{CodesignProblem, EvaluationConfig};
+use cacs::linalg::Matrix;
+use cacs::sched::Schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = paper_case_study()?;
+    let fast = std::env::args().any(|a| a == "--fast");
+    let config = if fast {
+        EvaluationConfig::fast()
+    } else {
+        EvaluationConfig::default()
+    };
+    let problem = CodesignProblem::from_case_study(&study, config)?;
+
+    for schedule in [Schedule::round_robin(3)?, Schedule::new(vec![3, 2, 3])?] {
+        println!("== schedule {schedule} ==");
+        let evaluation = problem.evaluate_schedule(&schedule)?;
+
+        println!(
+            "{:<45} {:>12} {:>14} {:>11} {:>10}",
+            "Application", "settling-PSO", "LQR(feasible)", "LQR/PSO", "R retries"
+        );
+        for (app, outcome) in problem.apps().iter().zip(&evaluation.apps) {
+            // Output-projected state weight Q = w·CᵀC + ridge: the LQR cost
+            // then measures tracking of the same output the settling-time
+            // metric watches. (A naive diagonal Q silently weights the
+            // unscaled derivative states of the brake plant 10^5 times more
+            // than the output, and value iteration creeps for 10^4+ sweeps.)
+            let l = outcome.lifted.state_dim();
+            let c = outcome.lifted.plant().c().clone();
+            let w = 100.0 / (app.reference * app.reference);
+            let q = c
+                .transpose()
+                .matmul(&c)?
+                .scale(w)
+                .add_matrix(&Matrix::identity(l).scale(w * 1e-9))?;
+
+            // LQR has no saturation constraint: escalate R until the
+            // worst-case input respects U_max — the hand-tuning a designer
+            // would do, automated.
+            let mut r = 1.0 / (app.umax * app.umax);
+            let mut design = None;
+            let mut retries = 0;
+            for _ in 0..12 {
+                let lqr_config = LqrConfig {
+                    q: q.clone(),
+                    r,
+                    reference: app.reference,
+                    settling: cacs::control::SettlingSpec::two_percent(),
+                    horizon: 4.0 * app.params.settling_deadline,
+                };
+                match synthesize_lqr(&outcome.lifted, &lqr_config) {
+                    Ok(d) if d.max_input <= app.umax => {
+                        design = Some(d);
+                        break;
+                    }
+                    Ok(_) | Err(_) => {
+                        r *= 4.0;
+                        retries += 1;
+                    }
+                }
+            }
+
+            match design {
+                Some(lqr) => println!(
+                    "{:<45} {:>9.1} ms {:>11.1} ms {:>10.2}x {:>10}",
+                    app.params.name,
+                    outcome.settling_time * 1e3,
+                    lqr.settling_time * 1e3,
+                    lqr.settling_time / outcome.settling_time,
+                    retries
+                ),
+                None => println!(
+                    "{:<45} {:>9.1} ms   no feasible LQR within the R sweep",
+                    app.params.name,
+                    outcome.settling_time * 1e3
+                ),
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "The LQR baseline needs no search (one periodic Riccati solve per try)\n\
+         but optimises the wrong metric and has no constraint handling: R must\n\
+         be escalated until |u| <= U_max, and the saturation-feasible LQR is\n\
+         left well behind the paper's direct settling-time synthesis — the\n\
+         quantitative version of the paper's remark that settling time is the\n\
+         harder objective."
+    );
+    Ok(())
+}

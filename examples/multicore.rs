@@ -1,0 +1,56 @@
+//! §VI extension: multi-core deployment with private caches.
+//!
+//! Each core runs a subset of the applications with its own instruction
+//! cache, so the co-design decomposes into independent per-core schedule
+//! optimisations. Compares all 2-core partitions of the case study
+//! against the best single-core schedule.
+//!
+//! Run with: `cargo run --release --example multicore`
+
+use cacs::apps::paper_case_study;
+use cacs::core::{optimize_multicore, CodesignProblem, CorePartition, EvaluationConfig};
+use cacs::sched::Schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = paper_case_study()?;
+    let config = EvaluationConfig::fast();
+    let problem = CodesignProblem::from_case_study(&study, config)?;
+
+    // Single-core reference: a known good schedule (use the optimiser for
+    // the fully faithful number; this keeps the example quick).
+    let single = problem
+        .evaluate_schedule(&Schedule::new(vec![1, 2, 2])?)?
+        .overall_performance
+        .ok_or("single-core reference infeasible")?;
+    println!("single core, schedule (1, 2, 2): P_all = {single:.3}\n");
+
+    // All ways to split three applications over two cores.
+    let partitions = [
+        (vec![0, 1, 1], "C1 | C2 C3"),
+        (vec![1, 0, 1], "C2 | C1 C3"),
+        (vec![1, 1, 0], "C3 | C1 C2"),
+    ];
+    for (assignment, label) in partitions {
+        let partition = CorePartition::new(assignment, 2)?;
+        let outcome = optimize_multicore(&problem, &partition, config)?;
+        print!("two cores ({label}): ");
+        match outcome.overall {
+            Some(p) => println!("P_all = {p:.3} ({:+.1}% vs single core)", (p / single - 1.0) * 100.0),
+            None => println!("no feasible per-core schedules"),
+        }
+        for (core, (apps, best, _)) in outcome.per_core.iter().enumerate() {
+            let label = best
+                .as_ref()
+                .map_or("<infeasible>".to_string(), |b| b.to_string());
+            println!(
+                "    core {core}: apps {apps:?}, best schedule {label}, {} evaluations",
+                outcome.reports[core].evaluated
+            );
+        }
+    }
+
+    println!("\nPrivate caches remove cross-application idle gaps, so every");
+    println!("partition should dominate the shared-core deployment — the effect");
+    println!("the paper's concluding remarks anticipate.");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Does the cache-aware advantage survive noisy output feedback?
+//!
+//! The paper assumes the full state `x[k]` is measured exactly. Real ECUs
+//! sense one noisy output. This example re-evaluates the case study's DC
+//! motor under the round-robin schedule (1,1,1) and the cache-aware
+//! (1,5,2): the synthesised state-feedback gains are deployed behind a
+//! steady-state Kalman filter (`cacs::control::design_periodic_kalman`)
+//! and the loop runs with seeded Gaussian process and measurement noise.
+//!
+//! For each measurement-noise level the table reports, averaged over
+//! seeds, the RMS tracking error in the settled phase — if the
+//! cache-aware schedule keeps a lower tracking error as noise grows, the
+//! co-design survives the broken assumption.
+//!
+//! Run with: `cargo run --release --example noisy_sensing [--fast]`
+
+use cacs::apps::paper_case_study;
+use cacs::control::{design_periodic_kalman, simulate_with_kalman};
+use cacs::core::{CodesignProblem, EvaluationConfig};
+use cacs::linalg::Matrix;
+use cacs::sched::Schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = paper_case_study()?;
+    let fast = std::env::args().any(|a| a == "--fast");
+    let config = if fast {
+        EvaluationConfig::fast()
+    } else {
+        EvaluationConfig::default()
+    };
+    let problem = CodesignProblem::from_case_study(&study, config)?;
+
+    const APP: usize = 1; // DC motor (second-order, speed output)
+    let app = &problem.apps()[APP];
+    let horizon = 6.0 * app.params.settling_deadline;
+    let seeds: Vec<u64> = (0..16).collect();
+
+    println!(
+        "DC motor, reference {} r/s, horizon {:.0} ms, {} seeds\n",
+        app.reference,
+        horizon * 1e3,
+        seeds.len()
+    );
+    println!(
+        "{:>18} {:>16} {:>16} {:>16} {:>16}",
+        "sensor noise (std)",
+        "entry (1,1,1)",
+        "entry (1,5,2)",
+        "RMS (1,1,1)",
+        "RMS (1,5,2)"
+    );
+
+    // Compare against this reproduction's measured optimum (1,5,2) — see
+    // EXPERIMENTS.md; the paper's plants are unpublished, so its (3,2,3)
+    // is not the optimum of our tuned plants.
+    let schedules = [Schedule::round_robin(3)?, Schedule::new(vec![1, 5, 2])?];
+    let evaluations: Vec<_> = schedules
+        .iter()
+        .map(|s| problem.evaluate_schedule(s))
+        .collect::<Result<_, _>>()?;
+
+    for noise_pct in [0.0, 0.5, 1.0, 2.0, 5.0] {
+        let measurement_std = noise_pct / 100.0 * app.reference;
+        let mut rms = [0.0f64; 2];
+        let mut entry = [0.0f64; 2];
+        for (which, evaluation) in evaluations.iter().enumerate() {
+            let outcome = &evaluation.apps[APP];
+            let l = outcome.lifted.state_dim();
+            // Covariances: modest process noise, the swept sensor noise.
+            let w = Matrix::identity(l).scale((0.002 * app.reference).powi(2));
+            let v_std = measurement_std.max(1e-6 * app.reference);
+            let v = Matrix::from_rows(&[&[v_std * v_std]])?;
+            let filters = design_periodic_kalman(&outcome.lifted, &w, &v)?;
+            let process_std = vec![0.002 * app.reference; l];
+
+            let mut total = 0.0;
+            let mut total_entry = 0.0;
+            for &seed in &seeds {
+                let run = simulate_with_kalman(
+                    &outcome.lifted,
+                    &outcome.controller.gains,
+                    &outcome.controller.feedforwards,
+                    &filters,
+                    &process_std,
+                    measurement_std,
+                    app.reference,
+                    horizon,
+                    seed,
+                )?;
+                // Transient metric: first time the output enters the
+                // ±2 % band (the noisy analogue of settling time).
+                let band = 0.02 * app.reference.abs();
+                let entered = run
+                    .response
+                    .times
+                    .iter()
+                    .zip(&run.response.outputs)
+                    .find(|(_, y)| (*y - app.reference).abs() <= band)
+                    .map_or(horizon, |(t, _)| *t);
+                total_entry += entered;
+                // Steady-state metric: RMS tracking error, second half.
+                let half = run.response.outputs.len() / 2;
+                let tail = &run.response.outputs[half..];
+                let mse = tail
+                    .iter()
+                    .map(|y| (y - app.reference).powi(2))
+                    .sum::<f64>()
+                    / tail.len() as f64;
+                total += mse.sqrt();
+            }
+            rms[which] = total / seeds.len() as f64;
+            entry[which] = total_entry / seeds.len() as f64;
+        }
+        println!(
+            "{:>15.1} % {:>13.1} ms {:>13.1} ms {:>16.3} {:>16.3}",
+            noise_pct,
+            entry[0] * 1e3,
+            entry[1] * 1e3,
+            rms[0],
+            rms[1],
+        );
+    }
+
+    println!(
+        "\nReading the table: the two schedules optimise different things. The\n\
+         cache-aware (1,5,2) keeps its *transient* advantage (earlier band\n\
+         entry) under noise — that is what the paper's settling-time objective\n\
+         buys. The *steady-state* RMS error, however, mildly favours round-robin\n\
+         and the gap widens with sensor noise: denser sampling feeds the loop\n\
+         more measurement noise per second. The co-design trade-off acquires a\n\
+         noise-bandwidth axis the paper's noise-free model cannot see."
+    );
+    Ok(())
+}

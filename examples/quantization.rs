@@ -1,0 +1,97 @@
+//! Fixed-point precision sweep for the synthesised controller gains.
+//!
+//! The paper's platform class (low-cost automotive MCUs) often executes
+//! control laws in fixed-point arithmetic: the `f64` gains from the
+//! holistic synthesis get stored as Qm.n integers. This example sweeps
+//! the fractional precision for every case-study application under the
+//! cache-aware schedule (3,2,3) and reports when the quantized design
+//! stops being acceptable — per application, the settling time and the
+//! stability of the quantized loop.
+//!
+//! Run with: `cargo run --release --example quantization [--fast]`
+
+use cacs::apps::paper_case_study;
+use cacs::control::{quantization_impact, FixedPointFormat, SettlingSpec};
+use cacs::core::{CodesignProblem, EvaluationConfig};
+use cacs::sched::Schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let study = paper_case_study()?;
+    let fast = std::env::args().any(|a| a == "--fast");
+    let config = if fast {
+        EvaluationConfig::fast()
+    } else {
+        EvaluationConfig::default()
+    };
+    let problem = CodesignProblem::from_case_study(&study, config)?;
+
+    let schedule = Schedule::new(vec![3, 2, 3])?;
+    let evaluation = problem.evaluate_schedule(&schedule)?;
+    println!("schedule {schedule}; settling band +/-2 %, worst-case phasing\n");
+
+    for (app, outcome) in problem.apps().iter().zip(&evaluation.apps) {
+        println!(
+            "== {} (f64 design settles in {:.1} ms, deadline {:.1} ms) ==",
+            app.params.name,
+            outcome.settling_time * 1e3,
+            app.params.settling_deadline * 1e3
+        );
+        println!(
+            "{:>8} {:>14} {:>12} {:>12} {:>10}",
+            "format", "gain error", "rho(Phi)", "settling", "verdict"
+        );
+        for frac_bits in [2u32, 4, 6, 8, 10, 12, 16] {
+            // Integer bits sized to the design's largest gain magnitude.
+            let max_gain = outcome
+                .controller
+                .gains
+                .iter()
+                .map(cacs::linalg::Matrix::max_abs)
+                .fold(0.0f64, f64::max)
+                .max(outcome.controller.feedforwards.iter().fold(0.0f64, |a, f| a.max(f.abs())));
+            let int_bits = (max_gain.log2().ceil().max(0.0) as u32) + 1;
+            let format = FixedPointFormat::new(int_bits, frac_bits)?;
+
+            let impact = quantization_impact(
+                &outcome.lifted,
+                &outcome.controller.gains,
+                &outcome.controller.feedforwards,
+                format,
+                app.reference,
+                SettlingSpec::two_percent(),
+                4.0 * app.params.settling_deadline,
+            )?;
+
+            let (settle_txt, verdict) = match impact.settling_time {
+                Some(s) if impact.is_stable() && s <= app.params.settling_deadline => {
+                    (format!("{:.1} ms", s * 1e3), "ok")
+                }
+                Some(s) if impact.is_stable() => {
+                    (format!("{:.1} ms", s * 1e3), "misses deadline")
+                }
+                _ if impact.is_stable() => ("no settle".to_string(), "degraded"),
+                _ => ("-".to_string(), "UNSTABLE"),
+            };
+            println!(
+                "{:>8} {:>14.6} {:>12.4} {:>12} {:>10}",
+                format!("Q{}.{}", format.int_bits, format.frac_bits),
+                impact.max_gain_error,
+                impact.spectral_radius,
+                settle_txt,
+                verdict
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Reading the sweep: no design destabilises — rho stays well below 1 even\n\
+         at Q.2 — but the settling metric is far more demanding. The servo is\n\
+         comfortable from ~6 fractional bits; the brake needs ~16, because its\n\
+         feedforward gain is of order 1e-2 (u ~ 16 A drives a 2000 N reference)\n\
+         and a shared Qm.n grid spends almost all its bits on the much larger\n\
+         feedback entries. The classic remedy applies: scale coefficients per\n\
+         entry (block floating point) instead of sharing one format."
+    );
+    Ok(())
+}

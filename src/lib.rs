@@ -1,0 +1,61 @@
+//! # cacs — Cache-Aware Control Scheduling
+//!
+//! A full Rust reproduction of **"Cache-Aware Task Scheduling for
+//! Maximizing Control Performance"** (W. Chang, D. Roy, X. S. Hu,
+//! S. Chakraborty — DATE 2018).
+//!
+//! Multiple feedback-control applications share one microcontroller with
+//! a small instruction cache. Executing several tasks of one application
+//! back-to-back lets the later tasks reuse the cache, shortening their
+//! WCET and producing *non-uniform* sampling patterns that a holistic
+//! controller design can exploit. This crate re-exports the complete
+//! framework:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`linalg`] | dense matrices, LU/QR, matrix exponential, polynomials, eigenvalues, spectral norm |
+//! | [`cache`] | instruction-cache simulator (LRU/FIFO/PLRU), CFG programs, WCET via must-analysis, may-analysis (BCET), persistence analysis, cache locking, Table I calibration |
+//! | [`control`] | delayed ZOH discretisation, lifted periodic closed loops, PSO synthesis, settling time, DARE/periodic LQR, Luenberger observers, Kalman filtering, JSR stability certificates, fixed-point quantization |
+//! | [`pso`] | generic bounded particle swarm optimiser |
+//! | [`sched`] | schedules (periodic + interleaved), Section II-C timing derivation, feasibility constraints |
+//! | [`search`] | hybrid discrete search (Section IV), exhaustive, annealing, genetic and tabu baselines |
+//! | [`apps`] | the automotive case study (Tables I, II; Figure 6 plants) |
+//! | [`core`] | the two-stage co-design framework (Sections III–IV), multicore/interleaved extensions, report generation |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cacs::apps::paper_case_study;
+//! use cacs::core::{CodesignProblem, EvaluationConfig};
+//! use cacs::sched::Schedule;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let study = paper_case_study()?;
+//! let problem = CodesignProblem::from_case_study(&study, EvaluationConfig::fast())?;
+//!
+//! // Stage 1: evaluate the conventional round-robin schedule.
+//! let baseline = problem.evaluate_schedule(&Schedule::round_robin(3)?)?;
+//! println!("P_all(1,1,1) = {:?}", baseline.overall_performance);
+//!
+//! // Stage 2: find a better cache-aware schedule.
+//! let outcome = problem.optimize(
+//!     &[Schedule::new(vec![4, 2, 2])?, Schedule::new(vec![1, 2, 1])?],
+//!     &cacs::search::HybridConfig::default(),
+//! )?;
+//! if let Some((best, p_all)) = outcome.best {
+//!     println!("optimal schedule {best} with P_all = {p_all:.3}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cacs_apps as apps;
+pub use cacs_cache as cache;
+pub use cacs_control as control;
+pub use cacs_core as core;
+pub use cacs_linalg as linalg;
+pub use cacs_pso as pso;
+pub use cacs_sched as sched;
+pub use cacs_search as search;

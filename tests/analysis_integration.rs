@@ -1,0 +1,212 @@
+//! Integration tests for the analysis extensions, exercised through the
+//! `cacs` facade on the paper's case study: may/persistence WCET
+//! analyses, the LQR baseline, output feedback, joint-spectral-radius
+//! certification and fixed-point quantization.
+
+use cacs::apps::paper_case_study;
+use cacs::cache::{analyze_persistence, bcet_may, wcet_combined, wcet_must, MayCache, MustCache};
+use cacs::control::{
+    design_periodic_observer, jsr_bounds, observer_error_spectral_radius, quantization_impact,
+    simulate_with_observer, synthesize_lqr, FixedPointFormat, LqrConfig, SettlingSpec,
+};
+use cacs::core::{CodesignProblem, EvaluationConfig};
+use cacs::linalg::{Complex, Matrix};
+use cacs::sched::Schedule;
+
+fn fast_problem() -> CodesignProblem {
+    let study = paper_case_study().expect("case study builds");
+    CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).expect("problem builds")
+}
+
+/// On every calibrated case-study program, the analysis stack is
+/// internally consistent: BCET ≤ combined WCET ≤ must WCET, and the
+/// persistence report covers every touched line.
+#[test]
+fn wcet_bracket_holds_on_calibrated_programs() {
+    let study = paper_case_study().unwrap();
+    let platform = study.platform;
+    for app in &study.apps {
+        let program = app.program.program();
+        let (bcet, _) = bcet_may(program, &platform, &MayCache::empty(&platform).unwrap())
+            .unwrap();
+        let (wcet, _) = wcet_must(program, &platform, &MustCache::empty(&platform).unwrap())
+            .unwrap();
+        let combined = wcet_combined(program, &platform).unwrap();
+        assert!(bcet <= combined, "{}: bcet {bcet} > combined {combined}", app.params.name);
+        assert!(combined <= wcet, "{}: combined {combined} > must {wcet}", app.params.name);
+
+        let report = analyze_persistence(program, &platform).unwrap();
+        assert!(!report.tracked_lines.is_empty());
+        for line in &report.persistent_lines {
+            assert!(report.tracked_lines.contains(line));
+        }
+    }
+}
+
+/// The LQR baseline designs a stable controller for every case-study
+/// application under the cache-aware schedule, and the settling-time
+/// synthesis beats it once the LQR is forced to respect saturation.
+#[test]
+fn lqr_baseline_runs_on_case_study() {
+    let problem = fast_problem();
+    let eval = problem
+        .evaluate_schedule(&Schedule::new(vec![3, 2, 3]).unwrap())
+        .unwrap();
+    for (app, outcome) in problem.apps().iter().zip(&eval.apps) {
+        let l = outcome.lifted.state_dim();
+        let c = outcome.lifted.plant().c().clone();
+        let w = 100.0 / (app.reference * app.reference);
+        let q = c
+            .transpose()
+            .matmul(&c)
+            .unwrap()
+            .scale(w)
+            .add_matrix(&Matrix::identity(l).scale(w * 1e-9))
+            .unwrap();
+        // Escalate R until the input constraint holds.
+        let mut r = 1.0 / (app.umax * app.umax);
+        let mut feasible = None;
+        for _ in 0..12 {
+            let cfg = LqrConfig {
+                q: q.clone(),
+                r,
+                reference: app.reference,
+                settling: SettlingSpec::two_percent(),
+                horizon: 4.0 * app.params.settling_deadline,
+            };
+            match synthesize_lqr(&outcome.lifted, &cfg) {
+                Ok(d) if d.max_input <= app.umax => {
+                    feasible = Some(d);
+                    break;
+                }
+                _ => r *= 4.0,
+            }
+        }
+        let lqr = feasible.unwrap_or_else(|| {
+            panic!("{}: no saturation-feasible LQR found", app.params.name)
+        });
+        assert!(lqr.spectral_radius < 1.0);
+        assert!(
+            lqr.settling_time >= outcome.settling_time,
+            "{}: LQR {} beat the settling synthesis {}",
+            app.params.name,
+            lqr.settling_time,
+            outcome.settling_time
+        );
+    }
+}
+
+/// Output feedback through per-interval observers tracks the reference on
+/// the real case-study plants, starting from a wrong state estimate.
+#[test]
+fn output_feedback_tracks_on_case_study() {
+    let problem = fast_problem();
+    let eval = problem
+        .evaluate_schedule(&Schedule::new(vec![1, 2, 2]).unwrap())
+        .unwrap();
+    // DC motor: second-order, observable through its speed output.
+    let app = &problem.apps()[1];
+    let outcome = &eval.apps[1];
+    let l = outcome.lifted.state_dim();
+    let poles: Vec<Complex> = (0..l)
+        .map(|i| Complex::from_real(0.35 + 0.05 * i as f64))
+        .collect();
+    let obs = design_periodic_observer(&outcome.lifted, &poles).unwrap();
+    let rho = observer_error_spectral_radius(&outcome.lifted, &obs).unwrap();
+    assert!(rho < 1.0, "observer error map must contract, got {rho}");
+
+    let mut x0_hat = Matrix::zeros(l, 1);
+    x0_hat.set(0, 0, 0.2 * app.reference); // deliberately wrong estimate
+    let run = simulate_with_observer(
+        &outcome.lifted,
+        &outcome.controller.gains,
+        &outcome.controller.feedforwards,
+        &obs,
+        &x0_hat,
+        app.reference,
+        4.0 * app.params.settling_deadline,
+    )
+    .unwrap();
+    assert!(run.response.is_finite());
+    let final_y = *run.response.outputs.last().unwrap();
+    assert!(
+        (final_y - app.reference).abs() <= 0.05 * app.reference.abs(),
+        "output feedback did not track: {final_y} vs {}",
+        app.reference
+    );
+    let half = run.estimation_errors.len() / 2;
+    assert!(run.tail_error(half) < 1e-3 * app.reference.abs());
+}
+
+/// The JSR bracket is ordered and consistent with the cyclic period map:
+/// the cyclic spectral radius can never exceed the certified JSR upper
+/// bound (any cyclic order is one admissible switching sequence).
+#[test]
+fn jsr_bracket_consistent_with_cyclic_stability() {
+    let problem = fast_problem();
+    let eval = problem
+        .evaluate_schedule(&Schedule::new(vec![2, 2, 2]).unwrap())
+        .unwrap();
+    for outcome in &eval.apps {
+        let m = outcome.lifted.tasks();
+        let mut steps = Vec::with_capacity(m);
+        for j in 0..m {
+            steps.push(
+                outcome
+                    .lifted
+                    .step_matrix(j, &outcome.controller.gains)
+                    .unwrap(),
+            );
+        }
+        let bounds = jsr_bounds(&steps, 6).unwrap();
+        assert!(bounds.lower <= bounds.upper + 1e-12);
+        // The cyclic design is stable, so the JSR lower bound over
+        // products includes the cyclic one: rho_cyclic^(1/m) <= upper.
+        let rho_cyclic = outcome
+            .lifted
+            .closed_loop_spectral_radius(&outcome.controller.gains)
+            .unwrap();
+        assert!(
+            rho_cyclic.powf(1.0 / m as f64) <= bounds.upper + 1e-9,
+            "cyclic radius {rho_cyclic} escapes the JSR bracket {}",
+            bounds.upper
+        );
+    }
+}
+
+/// Quantization with generous precision reproduces the f64 design on the
+/// case study; the impact report stays internally consistent across a
+/// precision sweep (gain error shrinks monotonically with more bits).
+#[test]
+fn quantization_sweep_is_consistent_on_case_study() {
+    let problem = fast_problem();
+    let eval = problem
+        .evaluate_schedule(&Schedule::new(vec![1, 2, 2]).unwrap())
+        .unwrap();
+    let app = &problem.apps()[0];
+    let outcome = &eval.apps[0];
+    let mut last_error = f64::INFINITY;
+    for frac_bits in [4u32, 8, 12, 16, 20] {
+        let impact = quantization_impact(
+            &outcome.lifted,
+            &outcome.controller.gains,
+            &outcome.controller.feedforwards,
+            FixedPointFormat::new(7, frac_bits).unwrap(),
+            app.reference,
+            SettlingSpec::two_percent(),
+            4.0 * app.params.settling_deadline,
+        )
+        .unwrap();
+        assert!(impact.max_gain_error <= last_error + 1e-15);
+        last_error = impact.max_gain_error;
+        if frac_bits >= 16 {
+            assert!(impact.is_stable());
+            let s = impact.settling_time.expect("high precision settles");
+            assert!(
+                (s - outcome.settling_time).abs() <= 0.1 * outcome.settling_time,
+                "Q7.{frac_bits} settling {s} vs f64 {}",
+                outcome.settling_time
+            );
+        }
+    }
+}
