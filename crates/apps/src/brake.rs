@@ -49,8 +49,7 @@ pub const BRAKE_UMAX: f64 = 16.5;
 /// ```
 pub fn wedge_brake_plant() -> ContinuousLti {
     ContinuousLti::new(
-        Matrix::from_rows(&[&[0.0, 1.0], &[-STIFFNESS_RATE, -DAMPING_RATE]])
-            .expect("static shape"),
+        Matrix::from_rows(&[&[0.0, 1.0], &[-STIFFNESS_RATE, -DAMPING_RATE]]).expect("static shape"),
         Matrix::column(&[0.0, FORCE_GAIN]),
         Matrix::row(&[1.0, 0.0]),
     )

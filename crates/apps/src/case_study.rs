@@ -2,9 +2,9 @@
 //! saturation limits and calibrated programs.
 
 use crate::{
-    brake, dcmotor, extended_program_for_app, program_for_app, servo, throttle,
-    BRAKE_REFERENCE, BRAKE_UMAX, DC_MOTOR_REFERENCE, DC_MOTOR_UMAX, SERVO_REFERENCE,
-    SERVO_UMAX, THROTTLE_REFERENCE, THROTTLE_UMAX,
+    brake, dcmotor, extended_program_for_app, program_for_app, servo, throttle, BRAKE_REFERENCE,
+    BRAKE_UMAX, DC_MOTOR_REFERENCE, DC_MOTOR_UMAX, SERVO_REFERENCE, SERVO_UMAX, THROTTLE_REFERENCE,
+    THROTTLE_UMAX,
 };
 use cacs_cache::{CacheConfig, SyntheticProgram};
 use cacs_control::ContinuousLti;
@@ -76,8 +76,13 @@ pub fn paper_case_study() -> cacs_cache::Result<CaseStudy> {
             program: program_for_app(&platform, 1)?,
         },
         CaseStudyApp {
-            params: AppParams::new("C3: electronic wedge brake (brake-by-wire)", 0.2, 17.5e-3, 3.5e-3)
-                .expect("paper Table II values are valid"),
+            params: AppParams::new(
+                "C3: electronic wedge brake (brake-by-wire)",
+                0.2,
+                17.5e-3,
+                3.5e-3,
+            )
+            .expect("paper Table II values are valid"),
             plant: brake::wedge_brake_plant(),
             reference: BRAKE_REFERENCE,
             umax: BRAKE_UMAX,
@@ -124,15 +129,25 @@ pub fn extended_case_study() -> cacs_cache::Result<CaseStudy> {
     let renegotiated = [
         ("C1: servo position (steer-by-wire)", 0.3, 50e-3, 4.6e-3),
         ("C2: DC motor speed (EV cruise)", 0.3, 25e-3, 4.8e-3),
-        ("C3: electronic wedge brake (brake-by-wire)", 0.2, 22e-3, 4.5e-3),
+        (
+            "C3: electronic wedge brake (brake-by-wire)",
+            0.2,
+            22e-3,
+            4.5e-3,
+        ),
     ];
     for (app, (name, weight, deadline, idle)) in study.apps.iter_mut().zip(renegotiated) {
-        app.params = AppParams::new(name, weight, deadline, idle)
-            .expect("extended parameters are valid");
+        app.params =
+            AppParams::new(name, weight, deadline, idle).expect("extended parameters are valid");
     }
     study.apps.push(CaseStudyApp {
-        params: AppParams::new("C4: electronic throttle (drive-by-wire)", 0.2, 40e-3, 4.7e-3)
-            .expect("extended parameters are valid"),
+        params: AppParams::new(
+            "C4: electronic throttle (drive-by-wire)",
+            0.2,
+            40e-3,
+            4.7e-3,
+        )
+        .expect("extended parameters are valid"),
         plant: throttle::throttle_plant(),
         reference: THROTTLE_REFERENCE,
         umax: THROTTLE_UMAX,

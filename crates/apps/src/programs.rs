@@ -11,11 +11,7 @@
 use cacs_cache::{CacheConfig, CalibrationTarget, Result, SyntheticProgram};
 
 /// Table I targets in microseconds: `(cold, warm)` per application.
-pub const TABLE1_MICROS: [(f64, f64); 3] = [
-    (907.55, 452.15),
-    (645.25, 175.00),
-    (749.15, 234.35),
-];
+pub const TABLE1_MICROS: [(f64, f64); 3] = [(907.55, 452.15), (645.25, 175.00), (749.15, 234.35)];
 
 /// The Table I calibration targets (in cycles) for application `app`
 /// (0-based: C1, C2, C3) under the given platform clock.
@@ -50,7 +46,10 @@ pub fn extended_program_for_app(config: &CacheConfig, app: usize) -> Result<Synt
     if app < 3 {
         return program_for_app(config, app);
     }
-    assert!(app < 4, "the extended case study has exactly four applications");
+    assert!(
+        app < 4,
+        "the extended case study has exactly four applications"
+    );
     let region = u64::from(config.sets()) * u64::from(config.line_bytes);
     let base = region * 16 * app as u64;
     let (cold_us, warm_us) = THROTTLE_WCET_MICROS;

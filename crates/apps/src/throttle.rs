@@ -47,8 +47,7 @@ pub const THROTTLE_UMAX: f64 = 12.0;
 /// ```
 pub fn throttle_plant() -> ContinuousLti {
     ContinuousLti::new(
-        Matrix::from_rows(&[&[0.0, 1.0], &[-SPRING_RATE, -DAMPING_RATE]])
-            .expect("static shape"),
+        Matrix::from_rows(&[&[0.0, 1.0], &[-SPRING_RATE, -DAMPING_RATE]]).expect("static shape"),
         Matrix::column(&[0.0, DRIVE_GAIN]),
         Matrix::row(&[1.0, 0.0]),
     )
@@ -74,7 +73,10 @@ mod tests {
         // ζ = 40 / (2·√1600) = 0.5: the plate rings without control —
         // the reason ETC needs active damping.
         let eigs = eigenvalues(throttle_plant().a()).unwrap();
-        assert!(eigs.iter().any(|e| e.im.abs() > 1.0), "expected complex poles");
+        assert!(
+            eigs.iter().any(|e| e.im.abs() > 1.0),
+            "expected complex poles"
+        );
     }
 
     #[test]

@@ -33,11 +33,9 @@ fn bench_analyses(c: &mut Criterion) {
             let cold = MayCache::empty(&platform).expect("state");
             b.iter(|| bcet_may(black_box(p), &platform, &cold))
         });
-        group.bench_with_input(
-            BenchmarkId::new("persistence", &name),
-            &program,
-            |b, p| b.iter(|| analyze_persistence(black_box(p), &platform)),
-        );
+        group.bench_with_input(BenchmarkId::new("persistence", &name), &program, |b, p| {
+            b.iter(|| analyze_persistence(black_box(p), &platform))
+        });
         group.bench_with_input(
             BenchmarkId::new("combined_wcet", &name),
             &program,

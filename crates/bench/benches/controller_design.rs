@@ -17,7 +17,11 @@ fn bench_design(c: &mut Criterion) {
     group.sample_size(10);
     for (label, schedule) in [("round_robin", &baseline), ("cache_aware_122", &aware)] {
         group.bench_function(format!("evaluate_schedule_{label}"), |b| {
-            b.iter(|| problem.evaluate_schedule(black_box(schedule)).expect("evaluates"))
+            b.iter(|| {
+                problem
+                    .evaluate_schedule(black_box(schedule))
+                    .expect("evaluates")
+            })
         });
     }
     group.finish();

@@ -27,8 +27,7 @@ fn bench_eval_cost(c: &mut Criterion) {
         let timing = derive_timing(&schedule.task_sequence(), &exec).expect("timing");
         let at = &timing.apps[0];
         let lifted =
-            LiftedPlant::new(study.apps[0].plant.clone(), &at.periods, &at.delays)
-                .expect("lifted");
+            LiftedPlant::new(study.apps[0].plant.clone(), &at.periods, &at.delays).expect("lifted");
         let mut config = SynthesisConfig::new(study.apps[0].reference, 90e-3);
         config.pso = config.pso.with_budget(8, 12).with_seed(3);
         config.gain_bound = 2.5 * study.apps[0].umax / study.apps[0].reference;

@@ -3,8 +3,8 @@
 //! objective evaluation).
 
 use cacs_linalg::{
-    characteristic_polynomial, expm, expm_with_integral, spectral_radius, LuDecomposition,
-    Matrix, Polynomial, QrDecomposition,
+    characteristic_polynomial, expm, expm_with_integral, spectral_radius, LuDecomposition, Matrix,
+    Polynomial, QrDecomposition,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

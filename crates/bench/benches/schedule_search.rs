@@ -5,8 +5,8 @@
 
 use cacs_sched::Schedule;
 use cacs_search::{
-    exhaustive_search, hybrid_search, simulated_annealing, AnnealConfig, FnEvaluator,
-    HybridConfig, ScheduleSpace,
+    exhaustive_search, hybrid_search, simulated_annealing, AnnealConfig, FnEvaluator, HybridConfig,
+    ScheduleSpace,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -11,7 +11,8 @@
 use cacs_sched::Schedule;
 use cacs_search::{
     exhaustive_search, genetic_search, hybrid_search, hybrid_search_multistart, tabu_search,
-    FnEvaluator, GeneticConfig, HybridConfig, MemoizedEvaluator, ScheduleSpace, TabuConfig,
+    CountingScheduleEvaluator, FnEvaluator, GeneticConfig, HybridConfig, MemoizedEvaluator,
+    ScheduleSpace, TabuConfig,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -101,7 +102,10 @@ fn print_baseline_comparison() {
     let eval = surrogate();
     let space = space();
     let ex = exhaustive_search(&eval, &space).expect("exhaustive");
-    println!("\n=== Baseline economy (exhaustive: {} evaluations) ===", ex.evaluated);
+    println!(
+        "\n=== Baseline economy (exhaustive: {} evaluations) ===",
+        ex.evaluated
+    );
     let start = Schedule::new(vec![1, 2, 1]).expect("start");
     let hybrid = hybrid_search(&eval, &space, &start, &HybridConfig::default()).expect("runs");
     println!(

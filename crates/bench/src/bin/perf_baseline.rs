@@ -1,0 +1,186 @@
+//! `perf-baseline`: measures the co-design pipeline's hot paths on the
+//! paper case study and writes the machine-readable baselines that the
+//! perf-trajectory tracker consumes:
+//!
+//! * `BENCH_schedule_search.json` — wall-clock of the stage-2 searches
+//!   (parallel vs forced-sequential exhaustive sweep, hybrid
+//!   multistart), plus the cross-check that both paths select the same
+//!   best schedule with bit-identical `P_all`;
+//! * `BENCH_eval_cost.json` — per-schedule stage-1 evaluation cost (the
+//!   Section-V observation that cost grows with the task counts `m_i`).
+//!
+//! ```text
+//! cargo run --release -p cacs-bench --bin perf-baseline [--full] [--out DIR]
+//! ```
+//!
+//! `--fast` (default) uses the reduced synthesis budget; `--full` uses
+//! the paper-accuracy budget (slow). `CACS_THREADS` caps the worker
+//! threads; the file records the count used.
+
+use cacs_apps::paper_case_study;
+use cacs_core::{CodesignProblem, EvaluationConfig};
+use cacs_sched::Schedule;
+use cacs_search::HybridConfig;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+
+    let config = if full {
+        EvaluationConfig::default()
+    } else {
+        EvaluationConfig::fast()
+    };
+    let study = paper_case_study()?;
+    let problem = CodesignProblem::from_case_study(&study, config)?;
+    let threads = cacs_par::thread_budget();
+    let budget = format!("{}x{}", config.pso_particles, config.pso_iterations);
+
+    // ----- schedule-search baseline ---------------------------------
+    eprintln!("perf-baseline: exhaustive sweep (parallel, {threads} threads)…");
+    let t = Instant::now();
+    let par = problem.optimize_exhaustive()?;
+    let par_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("perf-baseline: exhaustive sweep (forced sequential)…");
+    let t = Instant::now();
+    let seq = cacs_par::sequential(|| problem.optimize_exhaustive())?;
+    let seq_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let results_identical = par.best == seq.best
+        && par.results.len() == seq.results.len()
+        && par
+            .results
+            .iter()
+            .zip(&seq.results)
+            .all(|((sa, va), (sb, vb))| sa == sb && va.map(f64::to_bits) == vb.map(f64::to_bits));
+
+    eprintln!("perf-baseline: hybrid multistart…");
+    let starts = [Schedule::new(vec![4, 2, 2])?, Schedule::new(vec![1, 2, 1])?];
+    let t = Instant::now();
+    let outcome = problem.optimize(&starts, &HybridConfig::default())?;
+    let hybrid_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let best = par
+        .best
+        .clone()
+        .ok_or("exhaustive sweep found nothing feasible")?;
+    let mut search_json = String::new();
+    writeln!(search_json, "{{")?;
+    writeln!(search_json, "  \"bench\": \"schedule_search\",")?;
+    writeln!(search_json, "  \"budget\": \"{}\",", json_escape(&budget))?;
+    writeln!(search_json, "  \"threads\": {threads},")?;
+    writeln!(search_json, "  \"exhaustive\": {{")?;
+    writeln!(search_json, "    \"wall_ms_parallel\": {par_ms:.1},")?;
+    writeln!(search_json, "    \"wall_ms_sequential\": {seq_ms:.1},")?;
+    writeln!(
+        search_json,
+        "    \"speedup\": {:.3},",
+        seq_ms / par_ms.max(1e-9)
+    )?;
+    writeln!(search_json, "    \"enumerated\": {},", par.enumerated)?;
+    writeln!(search_json, "    \"evaluated\": {},", par.evaluated)?;
+    writeln!(search_json, "    \"feasible\": {},", par.feasible)?;
+    writeln!(search_json, "    \"best_schedule\": \"{best}\",")?;
+    writeln!(search_json, "    \"best_p_all\": {:.12},", par.best_value)?;
+    writeln!(
+        search_json,
+        "    \"parallel_matches_sequential_bitwise\": {results_identical}"
+    )?;
+    writeln!(search_json, "  }},")?;
+    writeln!(search_json, "  \"hybrid_multistart\": {{")?;
+    writeln!(search_json, "    \"wall_ms\": {hybrid_ms:.1},")?;
+    writeln!(search_json, "    \"searches\": [")?;
+    for (i, s) in outcome.searches.iter().enumerate() {
+        let sep = if i + 1 == outcome.searches.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(
+            search_json,
+            "      {{ \"start\": \"{}\", \"best\": \"{}\", \"best_p_all\": {:.12}, \"evaluations\": {} }}{sep}",
+            s.start,
+            s.report
+                .best
+                .as_ref()
+                .map_or("<none>".to_string(), ToString::to_string),
+            s.report.best_value,
+            s.report.evaluations,
+        )?;
+    }
+    writeln!(search_json, "    ]")?;
+    writeln!(search_json, "  }}")?;
+    writeln!(search_json, "}}")?;
+    let search_path = out_dir.join("BENCH_schedule_search.json");
+    std::fs::write(&search_path, &search_json)?;
+    eprintln!("perf-baseline: wrote {}", search_path.display());
+
+    // ----- per-schedule evaluation-cost baseline --------------------
+    // Section V: evaluating one schedule grows with the task counts.
+    let cost_schedules = [
+        vec![1u32, 1, 1],
+        vec![2, 1, 1],
+        vec![1, 2, 1],
+        vec![2, 2, 2],
+        vec![3, 2, 3],
+        vec![4, 2, 2],
+    ];
+    let mut rows = Vec::new();
+    for counts in &cost_schedules {
+        let schedule = Schedule::new(counts.clone())?;
+        if !problem.idle_feasible_schedule(&schedule) {
+            continue;
+        }
+        eprintln!("perf-baseline: evaluating {schedule}…");
+        let t = Instant::now();
+        let eval = problem.evaluate_schedule(&schedule)?;
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let pso_evals: usize = eval.apps.iter().map(|a| a.controller.evaluations).sum();
+        rows.push((
+            schedule.to_string(),
+            counts.iter().sum::<u32>(),
+            wall_ms,
+            pso_evals,
+            eval.overall_performance,
+        ));
+    }
+
+    let mut cost_json = String::new();
+    writeln!(cost_json, "{{")?;
+    writeln!(cost_json, "  \"bench\": \"eval_cost\",")?;
+    writeln!(cost_json, "  \"budget\": \"{}\",", json_escape(&budget))?;
+    writeln!(cost_json, "  \"threads\": {threads},")?;
+    writeln!(cost_json, "  \"schedules\": [")?;
+    for (i, (name, total_m, wall_ms, pso_evals, p_all)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let p = p_all.map_or("null".to_string(), |v| format!("{v:.12}"));
+        writeln!(
+            cost_json,
+            "    {{ \"schedule\": \"{}\", \"total_tasks\": {total_m}, \"wall_ms\": {wall_ms:.1}, \"pso_evaluations\": {pso_evals}, \"p_all\": {p} }}{sep}",
+            json_escape(name),
+        )?;
+    }
+    writeln!(cost_json, "  ]")?;
+    writeln!(cost_json, "}}")?;
+    let cost_path = out_dir.join("BENCH_eval_cost.json");
+    std::fs::write(&cost_path, &cost_json)?;
+    eprintln!("perf-baseline: wrote {}", cost_path.display());
+
+    if !results_identical {
+        return Err("parallel exhaustive sweep diverged from sequential".into());
+    }
+    Ok(())
+}

@@ -93,7 +93,9 @@ impl CacheConfig {
             });
         }
         if !self.clock_hz.is_finite() || self.clock_hz <= 0.0 {
-            return Err(CacheError::InvalidGeometry { parameter: "clock_hz" });
+            return Err(CacheError::InvalidGeometry {
+                parameter: "clock_hz",
+            });
         }
         if self.policy == ReplacementPolicy::Plru
             && (!self.associativity.is_power_of_two() || self.associativity > 32)

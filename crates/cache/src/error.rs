@@ -48,7 +48,9 @@ mod tests {
 
     #[test]
     fn display_mentions_parameter() {
-        let e = CacheError::InvalidGeometry { parameter: "line_bytes" };
+        let e = CacheError::InvalidGeometry {
+            parameter: "line_bytes",
+        };
         assert!(e.to_string().contains("line_bytes"));
     }
 

@@ -295,7 +295,7 @@ pub fn choose_locks_greedy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BasicBlock, MustCache, wcet_must};
+    use crate::{wcet_must, BasicBlock, MustCache};
 
     fn cfg(lines: u32, assoc: u32) -> CacheConfig {
         CacheConfig {
@@ -332,7 +332,12 @@ mod tests {
         ];
         let p = Program::new(
             blocks,
-            Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1), Cfg::Block(0), Cfg::Block(1)]),
+            Cfg::Seq(vec![
+                Cfg::Block(0),
+                Cfg::Block(1),
+                Cfg::Block(0),
+                Cfg::Block(1),
+            ]),
         )
         .unwrap();
         let unlocked = wcet_locked(&p, &config, &[]).unwrap();
@@ -370,11 +375,7 @@ mod tests {
         let p = Program::new(
             blocks,
             Cfg::Loop {
-                body: Box::new(Cfg::Seq(vec![
-                    Cfg::Block(0),
-                    Cfg::Block(1),
-                    Cfg::Block(2),
-                ])),
+                body: Box::new(Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1), Cfg::Block(2)])),
                 iterations: 10,
             },
         )
@@ -404,7 +405,11 @@ mod tests {
         )
         .unwrap();
         let plan = choose_locks_greedy(&p, &config, 2).unwrap();
-        assert!(plan.locked_lines.is_empty(), "locks chosen: {:?}", plan.locked_lines);
+        assert!(
+            plan.locked_lines.is_empty(),
+            "locks chosen: {:?}",
+            plan.locked_lines
+        );
         assert_eq!(plan.wcet_cycles, wcet_locked(&p, &config, &[]).unwrap());
     }
 
@@ -437,7 +442,7 @@ mod tests {
     #[test]
     fn two_way_set_allows_one_lock_plus_one_dynamic() {
         let config = cfg(8, 2); // 4 sets, 2 ways
-        // Lines 0, 4, 8 all map to set 0: three-way thrash in a 2-way set.
+                                // Lines 0, 4, 8 all map to set 0: three-way thrash in a 2-way set.
         let blocks = vec![
             BasicBlock::new(0, 8, 2).unwrap(),
             BasicBlock::new(4 * 16, 8, 2).unwrap(),
@@ -446,18 +451,17 @@ mod tests {
         let p = Program::new(
             blocks,
             Cfg::Loop {
-                body: Box::new(Cfg::Seq(vec![
-                    Cfg::Block(0),
-                    Cfg::Block(1),
-                    Cfg::Block(2),
-                ])),
+                body: Box::new(Cfg::Seq(vec![Cfg::Block(0), Cfg::Block(1), Cfg::Block(2)])),
                 iterations: 5,
             },
         )
         .unwrap();
         let baseline = wcet_locked(&p, &config, &[]).unwrap();
         let plan = choose_locks_greedy(&p, &config, 1).unwrap();
-        assert!(plan.wcet_cycles < baseline, "one lock should break the thrash");
+        assert!(
+            plan.wcet_cycles < baseline,
+            "one lock should break the thrash"
+        );
         // The remaining way still serves the other two lines (they
         // alternate, so they keep missing — but the locked one hits).
     }

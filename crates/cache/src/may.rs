@@ -158,11 +158,7 @@ impl MayCache {
 
     /// All possibly-resident line numbers, sorted (for tests).
     pub fn possibly_resident_line_numbers(&self) -> Vec<u64> {
-        let mut lines: Vec<u64> = self
-            .state
-            .iter()
-            .flat_map(|s| s.keys().copied())
-            .collect();
+        let mut lines: Vec<u64> = self.state.iter().flat_map(|s| s.keys().copied()).collect();
         lines.sort_unstable();
         lines
     }
@@ -445,7 +441,10 @@ mod tests {
             must.access_line(line);
             may.access_line(line);
             for l in must.guaranteed_line_numbers() {
-                assert!(may.may_contain(l), "line {l} must-guaranteed but may-absent");
+                assert!(
+                    may.may_contain(l),
+                    "line {l} must-guaranteed but may-absent"
+                );
             }
         }
     }
@@ -467,11 +466,7 @@ mod tests {
             BasicBlock::new(0, 2, 2).unwrap(),   // line 0, 2 fetches
             BasicBlock::new(16, 16, 2).unwrap(), // lines 1..2, 16 fetches
         ];
-        let p = Program::new(
-            blocks,
-            Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]),
-        )
-        .unwrap();
+        let p = Program::new(blocks, Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)])).unwrap();
         let config = cfg(1);
         let cold = MayCache::empty(&config).unwrap();
         let (bcet, _) = bcet_may(&p, &config, &cold).unwrap();
@@ -498,10 +493,7 @@ mod tests {
             ]),
         )
         .unwrap();
-        let config = CacheConfig {
-            lines: 4,
-            ..cfg(1)
-        };
+        let config = CacheConfig { lines: 4, ..cfg(1) };
         let cold = MayCache::empty(&config).unwrap();
         let (bcet, _) = bcet_may(&p, &config, &cold).unwrap();
         for choice in 0..4u32 {
@@ -518,10 +510,7 @@ mod tests {
     fn bcet_bracket_with_wcet() {
         use crate::{wcet_must, MustCache};
         let p = Program::straight_line(0, 12, 8).unwrap();
-        let config = CacheConfig {
-            lines: 8,
-            ..cfg(1)
-        };
+        let config = CacheConfig { lines: 8, ..cfg(1) };
         let (bcet, _) = bcet_may(&p, &config, &MayCache::empty(&config).unwrap()).unwrap();
         let (wcet, _) = wcet_must(&p, &config, &MustCache::empty(&config).unwrap()).unwrap();
         assert!(bcet <= wcet);

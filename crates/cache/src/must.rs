@@ -161,11 +161,7 @@ impl MustCache {
 
     /// All guaranteed line numbers, sorted (for tests).
     pub fn guaranteed_line_numbers(&self) -> Vec<u64> {
-        let mut lines: Vec<u64> = self
-            .state
-            .iter()
-            .flat_map(|s| s.keys().copied())
-            .collect();
+        let mut lines: Vec<u64> = self.state.iter().flat_map(|s| s.keys().copied()).collect();
         lines.sort_unstable();
         lines
     }
@@ -294,7 +290,11 @@ mod tests {
             let guaranteed = abstract_state.access_line(line);
             let outcome = concrete.access_line(line);
             if guaranteed {
-                assert_eq!(outcome, AccessOutcome::Hit, "unsound guarantee for line {line}");
+                assert_eq!(
+                    outcome,
+                    AccessOutcome::Hit,
+                    "unsound guarantee for line {line}"
+                );
             }
         }
     }

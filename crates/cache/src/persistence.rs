@@ -186,11 +186,7 @@ impl PersistenceState {
 
     /// All tracked (accessed-in-scope) lines, sorted.
     pub fn tracked_line_numbers(&self) -> Vec<u64> {
-        let mut lines: Vec<u64> = self
-            .state
-            .iter()
-            .flat_map(|s| s.keys().copied())
-            .collect();
+        let mut lines: Vec<u64> = self.state.iter().flat_map(|s| s.keys().copied()).collect();
         lines.sort_unstable();
         lines
     }
@@ -350,7 +346,13 @@ fn count_accesses(
             }
         }
         Cfg::Loop { body, iterations } => {
-            count_accesses(program, config, body, multiplier * u64::from(*iterations), out);
+            count_accesses(
+                program,
+                config,
+                body,
+                multiplier * u64::from(*iterations),
+                out,
+            );
         }
         Cfg::Branch(alts) => {
             // Per-line worst case: the max over alternatives, line by line.
@@ -401,8 +403,8 @@ mod tests {
         // Lines 0 and 8 collide in an 8-set direct-mapped cache.
         let config = cfg(8, 1);
         let blocks = vec![
-            BasicBlock::new(0, 8, 2).unwrap(),       // line 0
-            BasicBlock::new(8 * 16, 8, 2).unwrap(),  // line 8
+            BasicBlock::new(0, 8, 2).unwrap(),      // line 0
+            BasicBlock::new(8 * 16, 8, 2).unwrap(), // line 8
         ];
         let p = Program::new(
             blocks,
@@ -418,8 +420,8 @@ mod tests {
     fn two_way_set_holds_two_conflicting_lines() {
         let config = cfg(8, 2); // 4 sets
         let blocks = vec![
-            BasicBlock::new(0, 8, 2).unwrap(),       // line 0, set 0
-            BasicBlock::new(4 * 16, 8, 2).unwrap(),  // line 4, set 0
+            BasicBlock::new(0, 8, 2).unwrap(),      // line 0, set 0
+            BasicBlock::new(4 * 16, 8, 2).unwrap(), // line 4, set 0
         ];
         let p = Program::new(
             blocks,
@@ -598,11 +600,7 @@ mod tests {
             BasicBlock::new(0, 12, 2).unwrap(), // line 0: 8 fetches, line 1: 4
             BasicBlock::new(16, 8, 2).unwrap(), // line 1: 8 fetches
         ];
-        let p = Program::new(
-            blocks,
-            Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]),
-        )
-        .unwrap();
+        let p = Program::new(blocks, Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)])).unwrap();
         let r = analyze_persistence(&p, &config).unwrap();
         assert_eq!(r.worst_accesses.get(&0), Some(&8));
         // Per-line max over the arms (max(4, 8)), not their sum (12).

@@ -263,12 +263,7 @@ impl Program {
         self.trace_with(|_| 0)
     }
 
-    fn walk(
-        &self,
-        cfg: &Cfg,
-        chooser: &mut impl FnMut(usize) -> usize,
-        out: &mut Vec<u64>,
-    ) {
+    fn walk(&self, cfg: &Cfg, chooser: &mut impl FnMut(usize) -> usize, out: &mut Vec<u64>) {
         match cfg {
             Cfg::Block(i) => out.extend(self.blocks[*i].fetch_addresses()),
             Cfg::Seq(children) => {

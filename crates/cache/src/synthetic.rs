@@ -344,8 +344,7 @@ impl SyntheticProgram {
         };
         // Self-verification: the analysis must reproduce the target.
         let analysis = analyze_consecutive(out.program(), config)?;
-        if analysis.cold_cycles != target.cold_cycles
-            || analysis.warm_cycles != target.warm_cycles
+        if analysis.cold_cycles != target.cold_cycles || analysis.warm_cycles != target.warm_cycles
         {
             return Err(CacheError::CalibrationInfeasible {
                 reason: format!(
@@ -513,12 +512,17 @@ mod tests {
                 cold_cycles: n + 99 * mc,
                 warm_cycles: n + 99 * mw,
             };
-            let sp = SyntheticProgram::calibrate(target, &c, 0).unwrap_or_else(|e| {
-                panic!("calibration failed for n={n} mc={mc} mw={mw}: {e}")
-            });
+            let sp = SyntheticProgram::calibrate(target, &c, 0)
+                .unwrap_or_else(|e| panic!("calibration failed for n={n} mc={mc} mw={mw}: {e}"));
             let a = analyze_consecutive(sp.program(), &c).unwrap();
-            assert_eq!(a.cold_cycles, target.cold_cycles, "cold n={n} mc={mc} mw={mw}");
-            assert_eq!(a.warm_cycles, target.warm_cycles, "warm n={n} mc={mc} mw={mw}");
+            assert_eq!(
+                a.cold_cycles, target.cold_cycles,
+                "cold n={n} mc={mc} mw={mw}"
+            );
+            assert_eq!(
+                a.warm_cycles, target.warm_cycles,
+                "warm n={n} mc={mc} mw={mw}"
+            );
         }
     }
 

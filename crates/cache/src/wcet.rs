@@ -14,7 +14,7 @@
 //! otherwise it is charged `miss_cycles`. This makes the bound sound for
 //! any branch outcome, and exact for branch-free programs.
 
-use crate::{Cache, CacheConfig, MustCache, Cfg, Program, Result};
+use crate::{Cache, CacheConfig, Cfg, MustCache, Program, Result};
 
 /// Result of the consecutive-execution WCET analysis (one Table I column).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -263,9 +263,9 @@ mod tests {
         // Two branch arms touching different lines; worst arm is the longer
         // one, and after the branch neither line is guaranteed.
         let blocks = vec![
-            BasicBlock::new(0, 8, 2).unwrap(),        // line 0
-            BasicBlock::new(16, 16, 2).unwrap(),      // lines 1..2
-            BasicBlock::new(0, 8, 2).unwrap(),        // line 0 again
+            BasicBlock::new(0, 8, 2).unwrap(),   // line 0
+            BasicBlock::new(16, 16, 2).unwrap(), // lines 1..2
+            BasicBlock::new(0, 8, 2).unwrap(),   // line 0 again
         ];
         let p = Program::new(
             blocks,
@@ -273,7 +273,7 @@ mod tests {
                 Cfg::Branch(vec![Cfg::Block(0), Cfg::Block(1)]),
                 Cfg::Block(2),
             ]),
-            )
+        )
         .unwrap();
         let cfg = tiny_config();
         let a = analyze_consecutive(&p, &cfg).unwrap();

@@ -23,9 +23,8 @@ fn config(lines: u32, assoc: u32) -> CacheConfig {
 /// Strategy: a random structured, branch-free program over a small address
 /// space (so conflicts actually happen).
 fn random_program() -> impl Strategy<Value = Program> {
-    let block = (0u64..24, 1u32..9).prop_map(|(line, count)| {
-        BasicBlock::new(line * 16, count, 2).expect("valid block")
-    });
+    let block = (0u64..24, 1u32..9)
+        .prop_map(|(line, count)| BasicBlock::new(line * 16, count, 2).expect("valid block"));
     (
         prop::collection::vec(block, 1..12),
         prop::collection::vec((0usize..12, 1u32..4), 1..8),
@@ -52,9 +51,8 @@ fn random_program() -> impl Strategy<Value = Program> {
 
 /// Strategy: a random program that may contain branches.
 fn random_branchy_program() -> impl Strategy<Value = Program> {
-    let block = (0u64..16, 1u32..9).prop_map(|(line, count)| {
-        BasicBlock::new(line * 16, count, 2).expect("valid block")
-    });
+    let block = (0u64..16, 1u32..9)
+        .prop_map(|(line, count)| BasicBlock::new(line * 16, count, 2).expect("valid block"));
     (
         prop::collection::vec(block, 2..10),
         prop::collection::vec((0usize..10, 0usize..10, prop::bool::ANY), 1..6),

@@ -106,8 +106,9 @@ pub fn quadratic_cost(response: &Response, spec: QuadraticCostSpec) -> Result<f6
             1.0
         };
         let err = response.outputs[k] - response.reference;
-        cost += h * (spec.error_weight * err * err
-            + spec.input_weight * response.inputs[k] * response.inputs[k]);
+        cost += h
+            * (spec.error_weight * err * err
+                + spec.input_weight * response.inputs[k] * response.inputs[k]);
     }
     Ok(cost)
 }
@@ -129,7 +130,10 @@ mod tests {
     #[test]
     fn perfect_tracking_costs_nothing() {
         let r = response(vec![1.0; 5], vec![0.0; 5]);
-        assert_eq!(quadratic_cost(&r, QuadraticCostSpec::error_only()).unwrap(), 0.0);
+        assert_eq!(
+            quadratic_cost(&r, QuadraticCostSpec::error_only()).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -137,9 +141,7 @@ mod tests {
         let small = response(vec![0.9, 1.0, 1.0], vec![0.0; 3]);
         let large = response(vec![0.5, 1.0, 1.0], vec![0.0; 3]);
         let spec = QuadraticCostSpec::error_only();
-        assert!(
-            quadratic_cost(&large, spec).unwrap() > quadratic_cost(&small, spec).unwrap()
-        );
+        assert!(quadratic_cost(&large, spec).unwrap() > quadratic_cost(&small, spec).unwrap());
     }
 
     #[test]

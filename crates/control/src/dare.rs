@@ -180,11 +180,7 @@ pub fn dlqr(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix) -> Result<(Matrix, M
 /// * [`ControlError::InvalidPlant`] for an empty cycle or shape mismatches.
 /// * [`ControlError::SynthesisFailed`] if the recursion diverges or fails
 ///   to converge.
-pub fn periodic_dlqr(
-    systems: &[(Matrix, Matrix)],
-    q: &Matrix,
-    r: &Matrix,
-) -> Result<Vec<Matrix>> {
+pub fn periodic_dlqr(systems: &[(Matrix, Matrix)], q: &Matrix, r: &Matrix) -> Result<Vec<Matrix>> {
     if systems.is_empty() {
         return Err(ControlError::InvalidPlant {
             reason: "periodic LQR needs at least one interval".into(),
@@ -265,14 +261,7 @@ mod tests {
         let rhs = q
             .add_matrix(&a.transpose().matmul(&p).unwrap().matmul(&a).unwrap())
             .unwrap()
-            .sub_matrix(
-                &bt_p
-                    .matmul(&a)
-                    .unwrap()
-                    .transpose()
-                    .matmul(&k)
-                    .unwrap(),
-            )
+            .sub_matrix(&bt_p.matmul(&a).unwrap().transpose().matmul(&k).unwrap())
             .unwrap();
         assert!(p.approx_eq(&rhs, 1e-8), "DARE residual too large");
     }
@@ -297,9 +286,8 @@ mod tests {
         let q = Matrix::identity(2);
         let (k_cheap, _) = dlqr(&a, &b, &q, &scalar(1e-6)).unwrap();
         let (k_dear, _) = dlqr(&a, &b, &q, &scalar(1e3)).unwrap();
-        let rho = |k: &Matrix| {
-            spectral_radius(&a.sub_matrix(&b.matmul(k).unwrap()).unwrap()).unwrap()
-        };
+        let rho =
+            |k: &Matrix| spectral_radius(&a.sub_matrix(&b.matmul(k).unwrap()).unwrap()).unwrap();
         assert!(rho(&k_cheap) < rho(&k_dear));
     }
 

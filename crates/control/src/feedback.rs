@@ -2,8 +2,7 @@
 
 use crate::{ControlError, Result};
 use cacs_linalg::{
-    characteristic_polynomial, controllability_matrix, Complex, LuDecomposition, Matrix,
-    Polynomial,
+    characteristic_polynomial, controllability_matrix, Complex, LuDecomposition, Matrix, Polynomial,
 };
 
 /// Ackermann's formula for SISO pole placement.
@@ -191,12 +190,7 @@ mod tests {
 
     #[test]
     fn third_order_placement() {
-        let a = Matrix::from_rows(&[
-            &[0.9, 0.1, 0.0],
-            &[0.0, 0.8, 0.2],
-            &[0.1, 0.0, 0.7],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[0.9, 0.1, 0.0], &[0.0, 0.8, 0.2], &[0.1, 0.0, 0.7]]).unwrap();
         let b = Matrix::column(&[0.0, 0.0, 1.0]);
         let poles = [
             Complex::from_real(0.1),

@@ -46,12 +46,7 @@ use rand::{Rng, SeedableRng};
 /// # Ok(())
 /// # }
 /// ```
-pub fn kalman_gain(
-    a: &Matrix,
-    c: &Matrix,
-    w: &Matrix,
-    v: &Matrix,
-) -> Result<(Matrix, Matrix)> {
+pub fn kalman_gain(a: &Matrix, c: &Matrix, w: &Matrix, v: &Matrix) -> Result<(Matrix, Matrix)> {
     // Duality: the filter DARE for (A, C, W, V) is the control DARE for
     // (Aᵀ, Cᵀ, W, V); dlqr returns K = (V + CPCᵀ)⁻¹CPAᵀ, so L = Kᵀ.
     let (k, p) = dlqr(&a.transpose(), &c.transpose(), w, v)?;
@@ -66,11 +61,7 @@ pub fn kalman_gain(
 /// # Errors
 ///
 /// Propagates [`kalman_gain`] failures.
-pub fn design_periodic_kalman(
-    lifted: &LiftedPlant,
-    w: &Matrix,
-    v: &Matrix,
-) -> Result<Vec<Matrix>> {
+pub fn design_periodic_kalman(lifted: &LiftedPlant, w: &Matrix, v: &Matrix) -> Result<Vec<Matrix>> {
     let c = lifted.plant().c();
     let mut gains = Vec::with_capacity(lifted.tasks());
     for iv in lifted.intervals() {
@@ -275,7 +266,11 @@ mod tests {
             .unwrap();
         let apat = a.matmul(&p).unwrap().matmul(&a.transpose()).unwrap();
         let correction = l.matmul(&s).unwrap().matmul(&l.transpose()).unwrap();
-        let rhs = apat.add_matrix(&w).unwrap().sub_matrix(&correction).unwrap();
+        let rhs = apat
+            .add_matrix(&w)
+            .unwrap()
+            .sub_matrix(&correction)
+            .unwrap();
         assert!(p.approx_eq(&rhs, 1e-8), "filter DARE residual too large");
         // The error dynamics contract.
         let a_err = a.sub_matrix(&l.matmul(&c).unwrap()).unwrap();
@@ -327,7 +322,15 @@ mod tests {
         let v = Matrix::from_rows(&[&[1e-4]]).unwrap();
         let filters = design_periodic_kalman(&lifted, &w, &v).unwrap();
         let run = simulate_with_kalman(
-            &lifted, &gains, &ffs, &filters, &[0.0, 0.0], 0.0, 1.0, 0.3, 7,
+            &lifted,
+            &gains,
+            &ffs,
+            &filters,
+            &[0.0, 0.0],
+            0.0,
+            1.0,
+            0.3,
+            7,
         )
         .unwrap();
         assert!(run.response.is_finite());
@@ -386,16 +389,40 @@ mod tests {
         let v = Matrix::from_rows(&[&[1e-3]]).unwrap();
         let filters = design_periodic_kalman(&lifted, &w, &v).unwrap();
         let a = simulate_with_kalman(
-            &lifted, &gains, &ffs, &filters, &[1e-3, 1e-3], 0.05, 1.0, 0.1, 42,
+            &lifted,
+            &gains,
+            &ffs,
+            &filters,
+            &[1e-3, 1e-3],
+            0.05,
+            1.0,
+            0.1,
+            42,
         )
         .unwrap();
         let b = simulate_with_kalman(
-            &lifted, &gains, &ffs, &filters, &[1e-3, 1e-3], 0.05, 1.0, 0.1, 42,
+            &lifted,
+            &gains,
+            &ffs,
+            &filters,
+            &[1e-3, 1e-3],
+            0.05,
+            1.0,
+            0.1,
+            42,
         )
         .unwrap();
         assert_eq!(a, b);
         let c = simulate_with_kalman(
-            &lifted, &gains, &ffs, &filters, &[1e-3, 1e-3], 0.05, 1.0, 0.1, 43,
+            &lifted,
+            &gains,
+            &ffs,
+            &filters,
+            &[1e-3, 1e-3],
+            0.05,
+            1.0,
+            0.1,
+            43,
         )
         .unwrap();
         assert_ne!(a.measurements, c.measurements);
@@ -411,22 +438,46 @@ mod tests {
         let filters = design_periodic_kalman(&lifted, &w, &v).unwrap();
         // Wrong filter count.
         assert!(simulate_with_kalman(
-            &lifted, &gains, &ffs, &filters[..1], &[0.0, 0.0], 0.0, 1.0, 0.1, 0
+            &lifted,
+            &gains,
+            &ffs,
+            &filters[..1],
+            &[0.0, 0.0],
+            0.0,
+            1.0,
+            0.1,
+            0
         )
         .is_err());
         // Wrong process_std length.
-        assert!(simulate_with_kalman(
-            &lifted, &gains, &ffs, &filters, &[0.0], 0.0, 1.0, 0.1, 0
-        )
-        .is_err());
+        assert!(
+            simulate_with_kalman(&lifted, &gains, &ffs, &filters, &[0.0], 0.0, 1.0, 0.1, 0)
+                .is_err()
+        );
         // Negative measurement noise.
         assert!(simulate_with_kalman(
-            &lifted, &gains, &ffs, &filters, &[0.0, 0.0], -1.0, 1.0, 0.1, 0
+            &lifted,
+            &gains,
+            &ffs,
+            &filters,
+            &[0.0, 0.0],
+            -1.0,
+            1.0,
+            0.1,
+            0
         )
         .is_err());
         // Bad horizon.
         assert!(simulate_with_kalman(
-            &lifted, &gains, &ffs, &filters, &[0.0, 0.0], 0.0, 1.0, -0.1, 0
+            &lifted,
+            &gains,
+            &ffs,
+            &filters,
+            &[0.0, 0.0],
+            0.0,
+            1.0,
+            -0.1,
+            0
         )
         .is_err());
     }

@@ -59,8 +59,8 @@ mod lti;
 mod observer;
 mod quantize;
 mod settle;
-mod switched;
 mod simulate;
+mod switched;
 mod synthesis;
 
 pub use cost::{quadratic_cost, QuadraticCostSpec};
@@ -78,8 +78,8 @@ pub use observer::{
 };
 pub use quantize::{quantization_impact, FixedPointFormat, QuantizationImpact};
 pub use settle::{settling_time, SettlingSpec};
-pub use switched::{jsr_bounds, JsrBounds};
 pub use simulate::{simulate_worst_case, Response};
+pub use switched::{jsr_bounds, JsrBounds};
 pub use synthesis::{synthesize, DesignedController, SynthesisConfig, SynthesisStrategy};
 
 /// Crate-wide result alias.

@@ -134,33 +134,71 @@ impl LiftedPlant {
             });
         }
         let l = self.state_dim();
+        let mut s = Matrix::zeros(2 * l, 2 * l);
+        let mut scratch = Matrix::zeros(l, l);
+        self.step_matrix_into(j, gains, &mut s, &mut scratch)?;
+        Ok(s)
+    }
+
+    /// Allocation-free kernel behind [`LiftedPlant::step_matrix`]: writes
+    /// `S_j` into `out` (2l × 2l) using `scratch` (l × l) for the
+    /// intermediate products. Gains and `j` are assumed validated.
+    fn step_matrix_into(
+        &self,
+        j: usize,
+        gains: &[Matrix],
+        out: &mut Matrix,
+        scratch: &mut Matrix,
+    ) -> Result<()> {
+        let m = self.tasks();
+        let l = self.state_dim();
         let prev = (j + m - 1) % m;
         let iv = &self.intervals[j];
 
-        let mut s = Matrix::zeros(2 * l, 2 * l);
+        out.fill(0.0);
         // Top: [0, I] — the new x_prev is the old x.
-        s.set_block(0, l, &Matrix::identity(l))?;
+        for i in 0..l {
+            out.set(i, l + i, 1.0);
+        }
         // Bottom-left: P_j K_{j−1} (the in-flight input was computed from
         // the previous sample).
-        s.set_block(l, 0, &iv.b_prev.matmul(&gains[prev])?)?;
+        iv.b_prev.matmul_into(&gains[prev], scratch)?;
+        out.set_block(l, 0, scratch)?;
         // Bottom-right: A_j + Q_j K_j.
-        let lower_right = iv.a_d.add_matrix(&iv.b_new.matmul(&gains[j])?)?;
-        s.set_block(l, l, &lower_right)?;
-        Ok(s)
+        iv.b_new.matmul_into(&gains[j], scratch)?;
+        scratch.add_assign_matrix(&iv.a_d)?;
+        out.set_block(l, l, scratch)?;
+        Ok(())
     }
 
     /// The closed-loop period map `Φ = S_{m−1} ··· S_0` — the holistic
     /// system matrix whose eigenvalues the paper places (general-`m`
     /// `A_hol`).
     ///
+    /// This is the innermost kernel of every PSO objective evaluation,
+    /// so the product chain runs on four fixed buffers (step, two
+    /// ping-pong accumulators, one l×l scratch) instead of allocating
+    /// per interval.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`LiftedPlant::step_matrix`].
     pub fn period_map(&self, gains: &[Matrix]) -> Result<Matrix> {
+        self.check_gains(gains)?;
         let m = self.tasks();
-        let mut phi = self.step_matrix(0, gains)?;
+        let l = self.state_dim();
+        let mut scratch = Matrix::zeros(l, l);
+        let mut step = Matrix::zeros(2 * l, 2 * l);
+        self.step_matrix_into(0, gains, &mut step, &mut scratch)?;
+        if m == 1 {
+            return Ok(step);
+        }
+        let mut phi = step.clone();
+        let mut next = Matrix::zeros(2 * l, 2 * l);
         for j in 1..m {
-            phi = self.step_matrix(j, gains)?.matmul(&phi)?;
+            self.step_matrix_into(j, gains, &mut step, &mut scratch)?;
+            step.matmul_into(&phi, &mut next)?;
+            std::mem::swap(&mut phi, &mut next);
         }
         Ok(phi)
     }
@@ -317,7 +355,11 @@ mod tests {
         let ahol = lifted.paper_ahol_two_tasks(&gains).unwrap();
         // A_hol = S_0 · S_1, Φ = S_1 · S_0: similar products, same spectrum.
         let mut e1: Vec<f64> = eigenvalues(&phi).unwrap().iter().map(|z| z.abs()).collect();
-        let mut e2: Vec<f64> = eigenvalues(&ahol).unwrap().iter().map(|z| z.abs()).collect();
+        let mut e2: Vec<f64> = eigenvalues(&ahol)
+            .unwrap()
+            .iter()
+            .map(|z| z.abs())
+            .collect();
         e1.sort_by(f64::total_cmp);
         e2.sort_by(f64::total_cmp);
         for (a, b) in e1.iter().zip(&e2) {
@@ -382,15 +424,9 @@ mod tests {
         assert!(lifted.period_map(&small_gains(1)).is_err()); // wrong count
         let bad = vec![Matrix::row(&[1.0]); 2]; // wrong width
         assert!(lifted.period_map(&bad).is_err());
-        assert!(lifted
-            .paper_ahol_two_tasks(&small_gains(2))
-            .is_ok());
-        let three = LiftedPlant::new(
-            servo_like(),
-            &[1e-3, 1e-3, 2e-3],
-            &[1e-3, 1e-3, 0.4e-3],
-        )
-        .unwrap();
+        assert!(lifted.paper_ahol_two_tasks(&small_gains(2)).is_ok());
+        let three =
+            LiftedPlant::new(servo_like(), &[1e-3, 1e-3, 2e-3], &[1e-3, 1e-3, 0.4e-3]).unwrap();
         assert!(three.paper_ahol_two_tasks(&small_gains(3)).is_err());
     }
 

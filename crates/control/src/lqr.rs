@@ -126,15 +126,14 @@ pub fn synthesize_lqr(lifted: &LiftedPlant, config: &LqrConfig) -> Result<Design
         config.reference,
         config.horizon,
     )?;
-    let settling = settling_time(&response, config.settling).ok_or_else(|| {
-        ControlError::SynthesisFailed {
+    let settling =
+        settling_time(&response, config.settling).ok_or_else(|| ControlError::SynthesisFailed {
             reason: format!(
                 "LQR design did not settle within the {} s horizon; \
                  increase the horizon or rebalance Q/R",
                 config.horizon
             ),
-        }
-    })?;
+        })?;
 
     Ok(DesignedController {
         gains,

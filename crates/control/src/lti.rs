@@ -102,8 +102,7 @@ impl ContinuousLti {
     ///
     /// Returns a dimension-mismatch error if `x` is not `l × 1`.
     pub fn output(&self, x: &Matrix) -> Result<f64> {
-        let y = self.c.matmul(x)?;
-        Ok(y.get(0, 0))
+        Ok(self.c.row_dot(0, x)?)
     }
 }
 
@@ -144,12 +143,9 @@ mod tests {
     fn rejects_non_finite() {
         let mut a = Matrix::identity(2);
         a.set(0, 0, f64::INFINITY);
-        assert!(ContinuousLti::new(
-            a,
-            Matrix::column(&[1.0, 0.0]),
-            Matrix::row(&[1.0, 0.0])
-        )
-        .is_err());
+        assert!(
+            ContinuousLti::new(a, Matrix::column(&[1.0, 0.0]), Matrix::row(&[1.0, 0.0])).is_err()
+        );
     }
 
     #[test]

@@ -332,10 +332,7 @@ mod tests {
     #[test]
     fn output_feedback_recovers_state_feedback_tracking() {
         let lifted = lifted_second_order();
-        let gains = vec![
-            Matrix::row(&[-0.4, -0.02]),
-            Matrix::row(&[-0.4, -0.02]),
-        ];
+        let gains = vec![Matrix::row(&[-0.4, -0.02]), Matrix::row(&[-0.4, -0.02])];
         // Feedforwards from the crate's eq.-(17) helper per interval.
         let mut ffs = Vec::new();
         for iv in lifted.intervals() {
@@ -352,14 +349,15 @@ mod tests {
         let obs = design_periodic_observer(&lifted, &fast_poles()).unwrap();
         // Start with a deliberately wrong estimate.
         let x0_hat = Matrix::column(&[0.5, -0.5]);
-        let out = simulate_with_observer(
-            &lifted, &gains, &ffs, &obs, &x0_hat, 1.0, 0.3,
-        )
-        .unwrap();
+        let out = simulate_with_observer(&lifted, &gains, &ffs, &obs, &x0_hat, 1.0, 0.3).unwrap();
         assert!(out.response.is_finite());
         // Estimation error decays to (near) zero.
         let half = out.estimation_errors.len() / 2;
-        assert!(out.tail_error(half) < 1e-3, "tail error {}", out.tail_error(half));
+        assert!(
+            out.tail_error(half) < 1e-3,
+            "tail error {}",
+            out.tail_error(half)
+        );
         // And the plant still tracks the reference.
         assert!((out.response.outputs.last().unwrap() - 1.0).abs() < 0.05);
     }
@@ -368,10 +366,7 @@ mod tests {
     fn estimation_error_independent_of_reference() {
         // Separation principle: the error trajectory must not depend on r.
         let lifted = lifted_second_order();
-        let gains = vec![
-            Matrix::row(&[-0.4, -0.02]),
-            Matrix::row(&[-0.4, -0.02]),
-        ];
+        let gains = vec![Matrix::row(&[-0.4, -0.02]), Matrix::row(&[-0.4, -0.02])];
         let ffs = vec![1.0, 1.0];
         let obs = design_periodic_observer(&lifted, &fast_poles()).unwrap();
         let x0_hat = Matrix::column(&[0.3, 0.0]);
@@ -383,7 +378,10 @@ mod tests {
         let e1 = run(1.0);
         let e2 = run(5.0);
         for (a, b) in e1.iter().zip(&e2) {
-            assert!((a - b).abs() < 1e-9, "error depends on reference: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "error depends on reference: {a} vs {b}"
+            );
         }
     }
 

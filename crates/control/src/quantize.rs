@@ -9,9 +9,7 @@
 //! precision/performance trade-off can be measured instead of guessed
 //! (see `examples/quantization.rs` and EXPERIMENTS.md).
 
-use crate::{
-    settling_time, simulate_worst_case, ControlError, LiftedPlant, Result, SettlingSpec,
-};
+use crate::{settling_time, simulate_worst_case, ControlError, LiftedPlant, Result, SettlingSpec};
 use cacs_linalg::Matrix;
 
 /// A signed fixed-point format Qm.n: `int_bits` integer bits (excluding
@@ -34,9 +32,7 @@ impl FixedPointFormat {
     pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self> {
         if int_bits + frac_bits >= 64 {
             return Err(ControlError::InvalidPlant {
-                reason: format!(
-                    "fixed-point format Q{int_bits}.{frac_bits} exceeds 64 bits"
-                ),
+                reason: format!("fixed-point format Q{int_bits}.{frac_bits} exceeds 64 bits"),
             });
         }
         Ok(FixedPointFormat {

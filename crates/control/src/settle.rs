@@ -61,8 +61,7 @@ pub fn settling_time(response: &Response, spec: SettlingSpec) -> Option<f64> {
         return None;
     }
     let tol = spec.tolerance(response.reference);
-    let in_band =
-        |y: f64| (y - response.reference).abs() <= tol;
+    let in_band = |y: f64| (y - response.reference).abs() <= tol;
 
     // Walk backwards to the last out-of-band sample.
     let mut last_violation: Option<usize> = None;

@@ -117,9 +117,26 @@ pub fn simulate_worst_case(
     let mut u_prev = 0.0;
     let mut t = 0.0;
 
-    let mut times = Vec::new();
-    let mut outputs = Vec::new();
-    let mut inputs = Vec::new();
+    // Rough sample-count estimate so the recording vectors allocate
+    // once; the state update runs entirely on two reused column buffers
+    // and scalar dot products (this loop is the innermost cost of every
+    // PSO objective evaluation).
+    let min_period = lifted
+        .intervals()
+        .iter()
+        .map(|iv| iv.h)
+        .fold(f64::INFINITY, f64::min);
+    let estimated = if min_period.is_finite() && min_period > 0.0 {
+        ((horizon / min_period).ceil() as usize)
+            .saturating_add(2)
+            .min(1 << 20)
+    } else {
+        16
+    };
+    let mut times = Vec::with_capacity(estimated);
+    let mut outputs = Vec::with_capacity(estimated);
+    let mut inputs = Vec::with_capacity(estimated);
+    let mut x_next = Matrix::zeros(l, 1);
 
     // Start at the application's LAST consecutive task (interval m−1): the
     // reference steps right after this task's sensing, so it still tracks
@@ -130,18 +147,17 @@ pub fn simulate_worst_case(
         let r_visible = if first_sample { 0.0 } else { reference };
         first_sample = false;
 
-        let u = gains[j].matmul(&x)?.get(0, 0) + feedforwards[j] * r_visible;
+        let u = gains[j].row_dot(0, &x)? + feedforwards[j] * r_visible;
 
         times.push(t);
         outputs.push(lifted.plant().output(&x)?);
         inputs.push(u);
 
         let iv = &lifted.intervals()[j];
-        x = iv
-            .a_d
-            .matmul(&x)?
-            .add_matrix(&iv.b_prev.scale(u_prev))?
-            .add_matrix(&iv.b_new.scale(u))?;
+        iv.a_d.matmul_into(&x, &mut x_next)?;
+        x_next.add_scaled_assign(&iv.b_prev, u_prev)?;
+        x_next.add_scaled_assign(&iv.b_new, u)?;
+        std::mem::swap(&mut x, &mut x_next);
         u_prev = u;
         t += iv.h;
         j = (j + 1) % m;

@@ -117,8 +117,7 @@ pub fn jsr_bounds(matrices: &[Matrix], depth: usize) -> Result<JsrBounds> {
     // Current frontier: every product of length t with its index sequence.
     // Memory is k^depth products of n×n — fine for the intended sizes; the
     // depth guard above keeps this explicit and predictable.
-    let mut frontier: Vec<(Matrix, Vec<usize>)> =
-        vec![(Matrix::identity(n), Vec::new())];
+    let mut frontier: Vec<(Matrix, Vec<usize>)> = vec![(Matrix::identity(n), Vec::new())];
     for t in 1..=depth {
         let mut next = Vec::with_capacity(frontier.len() * matrices.len());
         let mut level_norm_max = 0.0f64;

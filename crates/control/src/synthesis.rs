@@ -31,6 +31,17 @@ use cacs_pso::{Bounds, Pso, PsoConfig};
 /// times are fractions of a second, so anything at this scale dominates.
 const PENALTY: f64 = 1.0e4;
 
+/// How many deterministic restarts [`synthesize`] attempts when a PSO
+/// run ends without a feasible design. Each retry re-seeds the swarm
+/// with a fixed stride, so the whole retry chain is a pure function of
+/// the configuration — successful first attempts are bit-identical to a
+/// retry-free implementation.
+const MAX_SYNTHESIS_ATTEMPTS: u64 = 3;
+
+/// Seed stride between synthesis attempts (golden-ratio increment, the
+/// same constant the core crate uses for per-app seed derivation).
+const ATTEMPT_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Which synthesis algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SynthesisStrategy {
@@ -82,7 +93,10 @@ impl SynthesisConfig {
     fn validate(&self) -> Result<()> {
         if !self.reference.is_finite() || self.reference == 0.0 {
             return Err(ControlError::SynthesisFailed {
-                reason: format!("reference must be finite and non-zero, got {}", self.reference),
+                reason: format!(
+                    "reference must be finite and non-zero, got {}",
+                    self.reference
+                ),
             });
         }
         if !self.horizon.is_finite() || self.horizon <= 0.0 {
@@ -132,12 +146,7 @@ impl DesignedController {
     /// # Errors
     ///
     /// Propagates simulation errors.
-    pub fn simulate(
-        &self,
-        lifted: &LiftedPlant,
-        reference: f64,
-        horizon: f64,
-    ) -> Result<Response> {
+    pub fn simulate(&self, lifted: &LiftedPlant, reference: f64, horizon: f64) -> Result<Response> {
         simulate_worst_case(lifted, &self.gains, &self.feedforwards, reference, horizon)
     }
 }
@@ -152,11 +161,7 @@ struct Evaluation {
 }
 
 /// Scores one gain set. Always returns a finite score (penalty-based).
-fn evaluate_gains(
-    lifted: &LiftedPlant,
-    gains: &[Matrix],
-    config: &SynthesisConfig,
-) -> Evaluation {
+fn evaluate_gains(lifted: &LiftedPlant, gains: &[Matrix], config: &SynthesisConfig) -> Evaluation {
     let infeasible = |score: f64| Evaluation {
         score,
         settling: f64::INFINITY,
@@ -257,10 +262,17 @@ fn params_to_gains(params: &[f64], m: usize, l: usize) -> Vec<Matrix> {
 
 /// Synthesises the holistic controller for `lifted` under `config`.
 ///
+/// A swarm that exhausts its budget without a feasible design is
+/// restarted with a deterministically derived seed (up to two retries),
+/// so marginal budget/plant combinations degrade into "slightly more
+/// evaluations" instead of a hard failure; runs that succeed on the
+/// first attempt are unaffected.
+///
 /// # Errors
 ///
 /// * [`ControlError::SynthesisFailed`] if the configuration is invalid or
-///   no stabilising, feasible design was found within the PSO budget.
+///   no stabilising, feasible design was found within the PSO budget on
+///   any attempt.
 ///
 /// # Example
 ///
@@ -286,19 +298,63 @@ fn params_to_gains(params: &[f64], m: usize, l: usize) -> Vec<Matrix> {
 /// ```
 pub fn synthesize(lifted: &LiftedPlant, config: &SynthesisConfig) -> Result<DesignedController> {
     config.validate()?;
-    match config.strategy {
-        SynthesisStrategy::DirectGain => synthesize_direct(lifted, config),
-        SynthesisStrategy::PolePlacement => synthesize_poles(lifted, config),
+    let mut last_err = None;
+    for attempt in 0..MAX_SYNTHESIS_ATTEMPTS {
+        let mut attempt_config = config.clone();
+        attempt_config.pso.seed = config
+            .pso
+            .seed
+            .wrapping_add(attempt.wrapping_mul(ATTEMPT_SEED_STRIDE));
+        let result = match attempt_config.strategy {
+            SynthesisStrategy::DirectGain => synthesize_direct(lifted, &attempt_config),
+            SynthesisStrategy::PolePlacement => synthesize_poles(lifted, &attempt_config),
+        };
+        match result {
+            Ok(design) => return Ok(design),
+            // Only design infeasibility is seed-dependent; configuration
+            // and PSO-mechanics errors fail identically on every seed,
+            // so retrying them would just multiply the cost.
+            Err(AttemptError {
+                error,
+                retryable: false,
+            }) => return Err(error),
+            Err(AttemptError { error, .. }) => last_err = Some(error),
+        }
+    }
+    Err(last_err.expect("at least one synthesis attempt ran"))
+}
+
+/// A failed synthesis attempt, classified by whether a fresh PSO seed
+/// could plausibly change the outcome.
+struct AttemptError {
+    error: ControlError,
+    retryable: bool,
+}
+
+impl AttemptError {
+    fn fatal(error: ControlError) -> Self {
+        AttemptError {
+            error,
+            retryable: false,
+        }
+    }
+
+    fn seed_dependent(error: ControlError) -> Self {
+        AttemptError {
+            error,
+            retryable: true,
+        }
     }
 }
 
-fn synthesize_direct(
-    lifted: &LiftedPlant,
-    config: &SynthesisConfig,
-) -> Result<DesignedController> {
+type AttemptResult = std::result::Result<DesignedController, AttemptError>;
+
+fn synthesize_direct(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptResult {
     let (m, l) = (lifted.tasks(), lifted.state_dim());
-    let map_err = |e: cacs_pso::PsoError| ControlError::SynthesisFailed {
-        reason: format!("PSO failed: {e}"),
+    let map_err = |e: cacs_pso::PsoError| {
+        AttemptError::fatal(ControlError::SynthesisFailed {
+            reason: format!("PSO failed: {e}"),
+        })
     };
     let mut evaluations = 0usize;
 
@@ -309,12 +365,16 @@ fn synthesize_direct(
     // plants with long idle gaps.
     let mut guesses: Vec<Vec<f64>> = Vec::new();
     if m > 1 {
-        let shared_bounds =
-            Bounds::symmetric(l, config.gain_bound).map_err(|e| ControlError::SynthesisFailed {
+        let shared_bounds = Bounds::symmetric(l, config.gain_bound).map_err(|e| {
+            AttemptError::fatal(ControlError::SynthesisFailed {
                 reason: format!("bad gain bounds: {e}"),
-            })?;
+            })
+        })?;
+        // The objective is a pure function of the candidate gains, so
+        // the particle batch evaluates in parallel (bit-identical to the
+        // sequential path; see cacs-pso's crate docs).
         let shared = Pso::new(config.pso)
-            .minimize(&shared_bounds, |params| {
+            .minimize_parallel(&shared_bounds, |params| {
                 let gains = vec![Matrix::row(params); m];
                 evaluate_gains(lifted, &gains, config).score
             })
@@ -332,51 +392,64 @@ fn synthesize_direct(
     // also why the paper reports evaluation cost growing from seconds
     // (m = 1) to hours (m > 5).
     let bounds = Bounds::symmetric(m * l, config.gain_bound).map_err(|e| {
-        ControlError::SynthesisFailed {
+        AttemptError::fatal(ControlError::SynthesisFailed {
             reason: format!("bad gain bounds: {e}"),
-        }
+        })
     })?;
     let mut pso_b = config.pso;
     pso_b.iterations = pso_b.iterations.saturating_mul(m.max(1));
     let result = Pso::new(pso_b)
-        .minimize_with_guesses(&bounds, &guesses, |params| {
+        .minimize_with_guesses_parallel(&bounds, &guesses, |params| {
             evaluate_gains(lifted, &params_to_gains(params, m, l), config).score
         })
         .map_err(map_err)?;
     evaluations += result.evaluations;
 
-    finish(lifted, config, &params_to_gains(&result.best_position, m, l), evaluations)
+    finish(
+        lifted,
+        config,
+        &params_to_gains(&result.best_position, m, l),
+        evaluations,
+    )
 }
 
 /// Recomputes the winning design's details and validates feasibility.
+/// All failures here mean the swarm ended on an infeasible design —
+/// exactly the seed-dependent case worth retrying.
 fn finish(
     lifted: &LiftedPlant,
     config: &SynthesisConfig,
     gains: &[Matrix],
     evaluations: usize,
-) -> Result<DesignedController> {
+) -> AttemptResult {
     let eval = evaluate_gains(lifted, gains, config);
     if !eval.rho.is_finite() || eval.rho >= config.stability_margin {
-        return Err(ControlError::SynthesisFailed {
-            reason: format!(
-                "no stabilising design found (best spectral radius {:.4})",
-                eval.rho
-            ),
-        });
+        return Err(AttemptError::seed_dependent(
+            ControlError::SynthesisFailed {
+                reason: format!(
+                    "no stabilising design found (best spectral radius {:.4})",
+                    eval.rho
+                ),
+            },
+        ));
     }
     if !eval.settling.is_finite() {
-        return Err(ControlError::SynthesisFailed {
-            reason: "best design does not settle within the horizon".into(),
-        });
+        return Err(AttemptError::seed_dependent(
+            ControlError::SynthesisFailed {
+                reason: "best design does not settle within the horizon".into(),
+            },
+        ));
     }
     if let Some(umax) = config.max_input {
         if eval.max_input > umax * (1.0 + 1e-9) {
-            return Err(ControlError::SynthesisFailed {
-                reason: format!(
-                    "best design saturates the input ({:.3} > {umax})",
-                    eval.max_input
-                ),
-            });
+            return Err(AttemptError::seed_dependent(
+                ControlError::SynthesisFailed {
+                    reason: format!(
+                        "best design saturates the input ({:.3} > {umax})",
+                        eval.max_input
+                    ),
+                },
+            ));
         }
     }
     Ok(DesignedController {
@@ -412,12 +485,7 @@ fn desired_charpoly(params: &[f64]) -> Vec<f64> {
 
 /// Characteristic-polynomial coefficients of the closed-loop period map
 /// for a flat gain vector (ascending, without the leading 1).
-fn charpoly_of_gains(
-    lifted: &LiftedPlant,
-    params: &[f64],
-    m: usize,
-    l: usize,
-) -> Result<Vec<f64>> {
+fn charpoly_of_gains(lifted: &LiftedPlant, params: &[f64], m: usize, l: usize) -> Result<Vec<f64>> {
     let phi = lifted.period_map(&params_to_gains(params, m, l))?;
     let p = characteristic_polynomial(&phi)?;
     let mut coeffs = p.coeffs().to_vec();
@@ -511,10 +579,7 @@ fn newton_match_gains(
     }
 }
 
-fn synthesize_poles(
-    lifted: &LiftedPlant,
-    config: &SynthesisConfig,
-) -> Result<DesignedController> {
+fn synthesize_poles(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptResult {
     let (m, l) = (lifted.tasks(), lifted.state_dim());
     // l pole pairs: (radius, angle) each, radius below the margin.
     let mut lower = Vec::with_capacity(2 * l);
@@ -525,14 +590,15 @@ fn synthesize_poles(
         lower.push(0.0);
         upper.push(std::f64::consts::PI);
     }
-    let bounds =
-        Bounds::new(lower, upper).map_err(|e| ControlError::SynthesisFailed {
+    let bounds = Bounds::new(lower, upper).map_err(|e| {
+        AttemptError::fatal(ControlError::SynthesisFailed {
             reason: format!("bad pole bounds: {e}"),
-        })?;
+        })
+    })?;
 
     let pso = Pso::new(config.pso);
     let result = pso
-        .minimize(&bounds, |pole_params| {
+        .minimize_parallel(&bounds, |pole_params| {
             let target = desired_charpoly(pole_params);
             match newton_match_gains(lifted, &target, m, l) {
                 Some(k) => {
@@ -545,17 +611,24 @@ fn synthesize_poles(
                 None => PENALTY * 3.0,
             }
         })
-        .map_err(|e| ControlError::SynthesisFailed {
-            reason: format!("PSO failed: {e}"),
+        .map_err(|e| {
+            AttemptError::fatal(ControlError::SynthesisFailed {
+                reason: format!("PSO failed: {e}"),
+            })
         })?;
 
     let target = desired_charpoly(&result.best_position);
     let k = newton_match_gains(lifted, &target, m, l).ok_or_else(|| {
-        ControlError::SynthesisFailed {
+        AttemptError::seed_dependent(ControlError::SynthesisFailed {
             reason: "pole-placement gain matching failed for the best pole set".into(),
-        }
+        })
     })?;
-    finish(lifted, config, &params_to_gains(&k, m, l), result.evaluations)
+    finish(
+        lifted,
+        config,
+        &params_to_gains(&k, m, l),
+        result.evaluations,
+    )
 }
 
 #[cfg(test)]

@@ -2,8 +2,8 @@
 //! identities, lifted-map consistency, and settling-time invariants.
 
 use cacs_control::{
-    discretize_delayed, discretize_zoh, quadratic_cost, settling_time, ContinuousLti,
-    LiftedPlant, QuadraticCostSpec, Response, SettlingSpec,
+    discretize_delayed, discretize_zoh, quadratic_cost, settling_time, ContinuousLti, LiftedPlant,
+    QuadraticCostSpec, Response, SettlingSpec,
 };
 use cacs_linalg::Matrix;
 use proptest::prelude::*;

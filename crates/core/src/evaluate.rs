@@ -74,24 +74,29 @@ impl CodesignProblem {
         let violations = check_idle_times(&timing, &params)?;
         if !violations.is_empty() {
             return Err(CoreError::InvalidProblem {
-                reason: format!("schedule {schedule} violates idle-time constraints: {violations:?}"),
+                reason: format!(
+                    "schedule {schedule} violates idle-time constraints: {violations:?}"
+                ),
             });
         }
 
-        let mut apps = Vec::with_capacity(self.app_count());
-        for (i, app) in self.apps().iter().enumerate() {
+        // Every application's holistic design is independent (its own
+        // lifted plant, its own deterministic PSO seed), so the synthesis
+        // loop fans out in parallel; `try_par_map` reports the first
+        // error in application order, exactly like the sequential loop.
+        let apps = cacs_par::try_par_map(self.apps(), |i, app| {
             let at = &timing.apps[i];
             let lifted = LiftedPlant::new(app.plant.clone(), &at.periods, &at.delays)?;
             let config = self.synthesis_config_for(i, schedule);
             let controller = synthesize(&lifted, &config)?;
             let performance = app.params.performance(controller.settling_time);
-            apps.push(AppOutcome {
+            Ok::<AppOutcome, CoreError>(AppOutcome {
                 settling_time: controller.settling_time,
                 performance,
                 controller,
                 lifted,
-            });
-        }
+            })
+        })?;
 
         // Constraint (3): P_i >= 0 for every application.
         let feasible = apps.iter().all(|o| o.performance >= 0.0);
@@ -228,6 +233,25 @@ mod tests {
         assert_eq!(a.overall_performance, b.overall_performance);
         for (x, y) in a.apps.iter().zip(&b.apps) {
             assert_eq!(x.settling_time, y.settling_time);
+        }
+    }
+
+    #[test]
+    fn parallel_app_synthesis_is_bit_identical_to_sequential() {
+        let problem = fast_problem();
+        let s = Schedule::new(vec![1, 2, 2]).unwrap();
+        let par = problem.evaluate_schedule(&s).unwrap();
+        let seq = cacs_par::sequential(|| problem.evaluate_schedule(&s)).unwrap();
+        assert_eq!(
+            par.overall_performance.map(f64::to_bits),
+            seq.overall_performance.map(f64::to_bits)
+        );
+        for (a, b) in par.apps.iter().zip(&seq.apps) {
+            assert_eq!(a.settling_time.to_bits(), b.settling_time.to_bits());
+            assert_eq!(a.performance.to_bits(), b.performance.to_bits());
+            for (ka, kb) in a.controller.gains.iter().zip(&b.controller.gains) {
+                assert!(ka.approx_eq(kb, 0.0), "gains must match exactly");
+            }
         }
     }
 

@@ -71,7 +71,8 @@ impl CodesignProblem {
             let at = &timing.apps[i];
             let lifted = LiftedPlant::new(app.plant.clone(), &at.periods, &at.delays)?;
             // Reuse the periodic configuration builder with the segment key.
-            let mut config = self.synthesis_config_for(i, &Schedule::round_robin(self.app_count()).expect("n >= 1"));
+            let mut config = self
+                .synthesis_config_for(i, &Schedule::round_robin(self.app_count()).expect("n >= 1"));
             config.pso = self.config().pso_for(i, &key);
             let controller = synthesize(&lifted, &config)?;
             let performance = app.params.performance(controller.settling_time);

@@ -134,7 +134,10 @@ pub fn optimize_multicore(
         let space = sub_problem.schedule_space()?;
         let report = exhaustive_search(&sub_problem, &space)?;
 
-        let contribution = report.best.as_ref().map(|_| core_weight * report.best_value);
+        let contribution = report
+            .best
+            .as_ref()
+            .map(|_| core_weight * report.best_value);
         match (overall, contribution) {
             (Some(acc), Some(c)) => overall = Some(acc + c),
             _ => overall = None,

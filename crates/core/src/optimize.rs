@@ -50,9 +50,7 @@ impl CodesignProblem {
         );
         match scan {
             Ok(space) => Ok(space),
-            Err(cacs_search::SearchError::InvalidSpace { reason })
-                if reason.contains("too large") =>
-            {
+            Err(cacs_search::SearchError::SpaceTooLarge { .. }) => {
                 Ok(ScheduleSpace::from_feasibility(
                     self.app_count(),
                     self.config().max_tasks_per_app,
@@ -69,11 +67,7 @@ impl CodesignProblem {
     /// # Errors
     ///
     /// Propagates search errors (e.g. a start outside the space).
-    pub fn optimize(
-        &self,
-        starts: &[Schedule],
-        config: &HybridConfig,
-    ) -> Result<OptimizeOutcome> {
+    pub fn optimize(&self, starts: &[Schedule], config: &HybridConfig) -> Result<OptimizeOutcome> {
         let space = self.schedule_space()?;
         let reports = hybrid_search_multistart(self, &space, starts, config)?;
         let mut best: Option<(Schedule, f64)> = None;
@@ -117,8 +111,7 @@ mod tests {
     #[test]
     fn schedule_space_bounds_are_sane() {
         let study = paper_case_study().unwrap();
-        let problem =
-            CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).unwrap();
+        let problem = CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).unwrap();
         let space = problem.schedule_space().unwrap();
         // Three applications; every dimension allows at least 2 and at
         // most the configured cap.

@@ -239,8 +239,7 @@ mod tests {
     #[test]
     fn case_study_problem_derives_table_one_exec_times() {
         let study = paper_case_study().unwrap();
-        let problem =
-            CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).unwrap();
+        let problem = CodesignProblem::from_case_study(&study, EvaluationConfig::fast()).unwrap();
         let e = problem.exec_times();
         assert!((e[0].cold - 907.55e-6).abs() < 1e-12);
         assert!((e[0].warm - 452.15e-6).abs() < 1e-12);
@@ -252,11 +251,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_apps() {
-        let r = CodesignProblem::new(
-            CacheConfig::date18(),
-            vec![],
-            EvaluationConfig::default(),
-        );
+        let r = CodesignProblem::new(CacheConfig::date18(), vec![], EvaluationConfig::default());
         assert!(matches!(r, Err(CoreError::InvalidProblem { .. })));
     }
 
@@ -275,25 +270,26 @@ mod tests {
             })
             .collect();
         apps[0].params = AppParams::new("bad", 0.9, 45e-3, 3.4e-3).unwrap();
-        assert!(CodesignProblem::new(
-            study.platform,
-            apps,
-            EvaluationConfig::default()
-        )
-        .is_err());
+        assert!(CodesignProblem::new(study.platform, apps, EvaluationConfig::default()).is_err());
     }
 
     #[test]
     fn rejects_bad_config() {
         let study = paper_case_study().unwrap();
-        let mut config = EvaluationConfig::default();
-        config.pso_particles = 1;
+        let config = EvaluationConfig {
+            pso_particles: 1,
+            ..EvaluationConfig::default()
+        };
         assert!(CodesignProblem::from_case_study(&study, config).is_err());
-        let mut config = EvaluationConfig::default();
-        config.horizon_factor = 0.5;
+        let config = EvaluationConfig {
+            horizon_factor: 0.5,
+            ..EvaluationConfig::default()
+        };
         assert!(CodesignProblem::from_case_study(&study, config).is_err());
-        let mut config = EvaluationConfig::default();
-        config.max_tasks_per_app = 0;
+        let config = EvaluationConfig {
+            max_tasks_per_app: 0,
+            ..EvaluationConfig::default()
+        };
         assert!(CodesignProblem::from_case_study(&study, config).is_err());
     }
 

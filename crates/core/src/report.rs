@@ -76,8 +76,7 @@ pub fn table3_rows(
             app: app.params.name.clone(),
             baseline_ms: b.settling_time * 1e3,
             optimized_ms: o.settling_time * 1e3,
-            improvement_percent: (b.settling_time - o.settling_time)
-                / app.params.settling_deadline
+            improvement_percent: (b.settling_time - o.settling_time) / app.params.settling_deadline
                 * 100.0,
         })
         .collect()
@@ -158,7 +157,12 @@ mod tests {
             (749.15, 514.80, 234.35),
         ];
         for (row, (cold, red, warm)) in rows.iter().zip(expected) {
-            assert!((row.cold_us - cold).abs() < 1e-9, "{}: {}", row.app, row.cold_us);
+            assert!(
+                (row.cold_us - cold).abs() < 1e-9,
+                "{}: {}",
+                row.app,
+                row.cold_us
+            );
             assert!((row.reduction_us - red).abs() < 1e-9);
             assert!((row.warm_us - warm).abs() < 1e-9);
         }

@@ -58,7 +58,11 @@ pub fn is_controllable(a: &Matrix, b: &Matrix) -> Result<bool> {
     let n = a.rows();
     let c = controllability_matrix(a, b)?;
     // QR needs rows >= cols; transpose the (typically wide) n × nm matrix.
-    let tall = if c.rows() >= c.cols() { c } else { c.transpose() };
+    let tall = if c.rows() >= c.cols() {
+        c
+    } else {
+        c.transpose()
+    };
     let qr = QrDecomposition::new(&tall)?;
     Ok(qr.rank(1e-9) == n)
 }

@@ -85,10 +85,7 @@ pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>> {
 ///
 /// Same conditions as [`eigenvalues`].
 pub fn spectral_radius(a: &Matrix) -> Result<f64> {
-    Ok(eigenvalues(a)?
-        .iter()
-        .map(|e| e.abs())
-        .fold(0.0, f64::max))
+    Ok(eigenvalues(a)?.iter().map(|e| e.abs()).fold(0.0, f64::max))
 }
 
 #[cfg(test)]
@@ -98,24 +95,16 @@ mod tests {
     #[test]
     fn char_poly_of_companion_matrix() {
         // Companion of x³ - 6x² + 11x - 6 = (x-1)(x-2)(x-3).
-        let a = Matrix::from_rows(&[
-            &[0.0, 0.0, 6.0],
-            &[1.0, 0.0, -11.0],
-            &[0.0, 1.0, 6.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[0.0, 0.0, 6.0], &[1.0, 0.0, -11.0], &[0.0, 1.0, 6.0]]).unwrap();
         let p = characteristic_polynomial(&a).unwrap();
         assert!(p.approx_eq(&Polynomial::new(vec![-6.0, 11.0, -6.0, 1.0]), 1e-10));
     }
 
     #[test]
     fn eigenvalues_of_triangular_matrix_are_diagonal() {
-        let a = Matrix::from_rows(&[
-            &[0.5, 3.0, -1.0],
-            &[0.0, -0.25, 2.0],
-            &[0.0, 0.0, 0.75],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[0.5, 3.0, -1.0], &[0.0, -0.25, 2.0], &[0.0, 0.0, 0.75]]).unwrap();
         let mut eigs: Vec<f64> = eigenvalues(&a).unwrap().iter().map(|e| e.re).collect();
         eigs.sort_by(f64::total_cmp);
         let expected = [-0.25, 0.5, 0.75];

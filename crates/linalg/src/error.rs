@@ -56,7 +56,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NotConverged {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             LinalgError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
         }
     }

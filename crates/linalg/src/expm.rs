@@ -67,41 +67,54 @@ pub fn expm(a: &Matrix) -> Result<Matrix> {
     };
     let a_scaled = a.scale(0.5_f64.powi(s as i32));
 
-    // Padé(13): split into even/odd powers.
+    // Padé(13): split into even/odd powers. Everything below works on a
+    // fixed set of n×n buffers — accumulation happens in place (axpy)
+    // and the identity terms land directly on the diagonals, so no
+    // temporary matrices are allocated per term.
     let a2 = a_scaled.matmul(&a_scaled)?;
     let a4 = a2.matmul(&a2)?;
     let a6 = a2.matmul(&a4)?;
-    let ident = Matrix::identity(n);
 
     // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
     let mut inner = a6.scale(PADE13[13]);
-    inner = inner.add_matrix(&a4.scale(PADE13[11]))?;
-    inner = inner.add_matrix(&a2.scale(PADE13[9]))?;
+    inner.add_scaled_assign(&a4, PADE13[11])?;
+    inner.add_scaled_assign(&a2, PADE13[9])?;
     let mut u = a6.matmul(&inner)?;
-    u = u.add_matrix(&a6.scale(PADE13[7]))?;
-    u = u.add_matrix(&a4.scale(PADE13[5]))?;
-    u = u.add_matrix(&a2.scale(PADE13[3]))?;
-    u = u.add_matrix(&ident.scale(PADE13[1]))?;
-    u = a_scaled.matmul(&u)?;
+    u.add_scaled_assign(&a6, PADE13[7])?;
+    u.add_scaled_assign(&a4, PADE13[5])?;
+    u.add_scaled_assign(&a2, PADE13[3])?;
+    for i in 0..n {
+        u[(i, i)] += PADE13[1];
+    }
+    let u = a_scaled.matmul(&u)?;
 
     // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
-    let mut inner_v = a6.scale(PADE13[12]);
-    inner_v = inner_v.add_matrix(&a4.scale(PADE13[10]))?;
-    inner_v = inner_v.add_matrix(&a2.scale(PADE13[8]))?;
-    let mut v = a6.matmul(&inner_v)?;
-    v = v.add_matrix(&a6.scale(PADE13[6]))?;
-    v = v.add_matrix(&a4.scale(PADE13[4]))?;
-    v = v.add_matrix(&a2.scale(PADE13[2]))?;
-    v = v.add_matrix(&ident.scale(PADE13[0]))?;
+    // (`inner` is reused as the accumulator).
+    inner.copy_from(&a6)?;
+    inner.scale_in_place(PADE13[12]);
+    inner.add_scaled_assign(&a4, PADE13[10])?;
+    inner.add_scaled_assign(&a2, PADE13[8])?;
+    let mut v = a6.matmul(&inner)?;
+    v.add_scaled_assign(&a6, PADE13[6])?;
+    v.add_scaled_assign(&a4, PADE13[4])?;
+    v.add_scaled_assign(&a2, PADE13[2])?;
+    for i in 0..n {
+        v[(i, i)] += PADE13[0];
+    }
 
     // (V - U) X = (V + U)  →  X ≈ e^{A/2^s}
-    let vm_u = v.sub_matrix(&u)?;
-    let vp_u = v.add_matrix(&u)?;
-    let mut x = LuDecomposition::new(&vm_u)?.solve(&vp_u)?;
+    // `inner` becomes V − U; `v` becomes V + U.
+    inner.copy_from(&v)?;
+    inner.add_scaled_assign(&u, -1.0)?;
+    v.add_assign_matrix(&u)?;
+    let mut x = LuDecomposition::new(&inner)?.solve(&v)?;
 
-    // Undo the scaling by repeated squaring.
+    // Undo the scaling by repeated squaring (ping-pong through one
+    // scratch buffer; `inner` is recycled once more).
+    let mut scratch = inner;
     for _ in 0..s {
-        x = x.matmul(&x)?;
+        x.matmul_into(&x, &mut scratch)?;
+        std::mem::swap(&mut x, &mut scratch);
     }
     Ok(x)
 }
@@ -183,7 +196,9 @@ mod tests {
         // exp([[0, -w],[w, 0]] t) is a rotation by w t.
         let w = 3.0;
         let t = 0.4;
-        let a = Matrix::from_rows(&[&[0.0, -w], &[w, 0.0]]).unwrap().scale(t);
+        let a = Matrix::from_rows(&[&[0.0, -w], &[w, 0.0]])
+            .unwrap()
+            .scale(t);
         let e = expm(&a).unwrap();
         let angle = w * t;
         assert!((e.get(0, 0) - angle.cos()).abs() < 1e-12);
@@ -262,9 +277,7 @@ mod tests {
         let (phi1, psi1) = expm_with_integral(&a, 0.2).unwrap();
         let (_, psi2) = expm_with_integral(&a, 0.5).unwrap();
         let (_, psi_total) = expm_with_integral(&a, 0.7).unwrap();
-        let combined = psi1
-            .add_matrix(&phi1.matmul(&psi2).unwrap())
-            .unwrap();
+        let combined = psi1.add_matrix(&phi1.matmul(&psi2).unwrap()).unwrap();
         assert!(combined.approx_eq(&psi_total, 1e-12));
     }
 

@@ -208,12 +208,8 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[3.0, 6.0, -4.0],
-            &[2.0, 1.0, 8.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[3.0, 6.0, -4.0], &[2.0, 1.0, 8.0]]).unwrap();
         let inv = inverse(&a).unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.approx_eq(&Matrix::identity(3), 1e-12));

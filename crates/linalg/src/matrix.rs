@@ -8,8 +8,13 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// A dense, row-major matrix of `f64` values.
 ///
 /// Matrices in this crate are small (control systems with a handful of
-/// states), so all operations allocate freely and favour clarity over
-/// cache-blocking tricks.
+/// states), so the value-returning operations allocate freely and
+/// favour clarity. The hot kernels of the evaluation pipeline (matrix
+/// exponential, period maps, closed-loop simulation) additionally get
+/// allocation-free in-place counterparts — [`Matrix::matmul_into`],
+/// [`Matrix::add_assign_matrix`], [`Matrix::add_scaled_assign`],
+/// [`Matrix::scale_in_place`], [`Matrix::copy_from`] and
+/// [`Matrix::fill`] — that write into caller-provided scratch buffers.
 ///
 /// # Example
 ///
@@ -232,6 +237,21 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] if
     /// `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs` written into `out` (which is fully
+    /// overwritten). The allocation-free kernel behind [`Matrix::matmul`]
+    /// — reuse `out` across iterations of a hot loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()` or `out` is not `self.rows() ×
+    /// rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 operation: "matrix multiply",
@@ -239,21 +259,28 @@ impl Matrix {
                 right: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix multiply output",
+                left: (self.rows, rhs.cols),
+                right: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self.data[i * self.cols + k];
                 if aik == 0.0 {
                     continue;
                 }
-                let lhs_row = i * rhs.cols;
+                let out_row = i * rhs.cols;
                 let rhs_row = k * rhs.cols;
                 for j in 0..rhs.cols {
-                    out.data[lhs_row + j] += aik * rhs.data[rhs_row + j];
+                    out.data[out_row + j] += aik * rhs.data[rhs_row + j];
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Element-wise sum.
@@ -306,6 +333,101 @@ impl Matrix {
             cols: self.cols,
             data,
         })
+    }
+
+    /// Dot product of row `row` with the column vector `vec` — the
+    /// allocation-free form of `self.block(row, 0, 1, n).matmul(vec)`
+    /// for the `u = K x` inner products of the simulation loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] unless `vec` is a
+    /// `self.cols() × 1` column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_dot(&self, row: usize, vec: &Matrix) -> Result<f64> {
+        if vec.shape() != (self.cols, 1) {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "row-vector dot product",
+                left: self.shape(),
+                right: vec.shape(),
+            });
+        }
+        Ok(self
+            .row_slice(row)
+            .iter()
+            .zip(&vec.data)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Element-wise in-place sum `self += rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn add_assign_matrix(&mut self, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix add-assign",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scaled accumulation `self += factor * rhs` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn add_scaled_assign(&mut self, rhs: &Matrix, factor: f64) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix scaled add-assign",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += factor * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every entry by `factor` in place.
+    pub fn scale_in_place(&mut self, factor: f64) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Sets every entry to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Overwrites `self` with the entries of `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn copy_from(&mut self, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "matrix copy",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        self.data.copy_from_slice(&rhs.data);
+        Ok(())
     }
 
     /// Extracts the contiguous block starting at `(row, col)` of size
@@ -414,7 +536,9 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self.get(i, i)).sum())
     }
@@ -426,15 +550,24 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
     pub fn powi(&self, mut exp: u32) -> Result<Matrix> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
+        // Three fixed buffers ping-pong through the squaring chain; no
+        // per-step allocation.
         let mut base = self.clone();
         let mut acc = Matrix::identity(self.rows);
+        let mut scratch = Matrix::zeros(self.rows, self.rows);
         while exp > 0 {
             if exp & 1 == 1 {
-                acc = acc.matmul(&base)?;
+                acc.matmul_into(&base, &mut scratch)?;
+                std::mem::swap(&mut acc, &mut scratch);
             }
-            base = base.matmul(&base)?;
+            if exp > 1 {
+                base.matmul_into(&base, &mut scratch)?;
+                std::mem::swap(&mut base, &mut scratch);
+            }
             exp >>= 1;
         }
         Ok(acc)
@@ -634,6 +767,54 @@ mod tests {
         let manual = m.matmul(&m).unwrap().matmul(&m).unwrap();
         assert!(p3.approx_eq(&manual, 1e-14));
         assert_eq!(m.powi(0).unwrap(), Matrix::identity(2));
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_validates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let mut out = Matrix::from_rows(&[&[9.0, 9.0], &[9.0, 9.0]]).unwrap(); // stale data
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Aliased rhs (self * self) is allowed.
+        let mut sq = Matrix::zeros(2, 2);
+        a.matmul_into(&a, &mut sq).unwrap();
+        assert_eq!(sq, a.matmul(&a).unwrap());
+        // Wrong output shape is rejected.
+        let mut bad = Matrix::zeros(2, 3);
+        assert!(a.matmul_into(&b, &mut bad).is_err());
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let a = sample();
+        let b = sample().scale(0.5);
+
+        let mut x = a.clone();
+        x.add_assign_matrix(&b).unwrap();
+        assert_eq!(x, a.add_matrix(&b).unwrap());
+
+        let mut y = a.clone();
+        y.add_scaled_assign(&b, -2.0).unwrap();
+        assert_eq!(y, a.add_matrix(&b.scale(-2.0)).unwrap());
+
+        let mut z = a.clone();
+        z.scale_in_place(3.0);
+        assert_eq!(z, a.scale(3.0));
+
+        let mut f = a.clone();
+        f.fill(1.25);
+        assert!(f.as_slice().iter().all(|&v| v == 1.25));
+
+        let mut c = Matrix::zeros(2, 3);
+        c.copy_from(&a).unwrap();
+        assert_eq!(c, a);
+
+        // Shape mismatches are rejected everywhere.
+        let wide = Matrix::zeros(2, 2);
+        assert!(x.add_assign_matrix(&wide).is_err());
+        assert!(y.add_scaled_assign(&wide, 1.0).is_err());
+        assert!(c.copy_from(&wide).is_err());
     }
 
     #[test]

@@ -203,12 +203,7 @@ mod tests {
     #[test]
     fn rank_detects_deficiency() {
         // Third column = first + second.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 1.0],
-            &[1.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 2.0]]).unwrap();
         let qr = QrDecomposition::new(&a).unwrap();
         assert_eq!(qr.rank(1e-10), 2);
     }

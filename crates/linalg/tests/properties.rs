@@ -1,8 +1,8 @@
 //! Property-based tests for algebraic invariants of the linalg kernels.
 
 use cacs_linalg::{
-    characteristic_polynomial, expm, expm_with_integral, spectral_radius, Complex,
-    LuDecomposition, Matrix, Polynomial, QrDecomposition,
+    characteristic_polynomial, expm, expm_with_integral, spectral_radius, Complex, LuDecomposition,
+    Matrix, Polynomial, QrDecomposition,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,235 @@
+//! Deterministic scoped-thread parallelism for the co-design pipeline.
+//!
+//! The evaluation engine fans out at four independent levels (per-app
+//! synthesis, PSO particles, exhaustive sweeps, hybrid neighbour
+//! probes). This crate provides the one primitive they all share:
+//! [`par_map`], an order-preserving parallel map over a slice built on
+//! `std::thread::scope` — no external dependencies, no unsafe code.
+//!
+//! # Determinism
+//!
+//! `par_map(items, f)` returns results in **item order** regardless of
+//! which thread computed what, so any caller whose `f` is a pure
+//! function of `(index, item)` produces bit-identical output to the
+//! sequential loop it replaced. All parallel call sites in this
+//! workspace are structured that way (seeded PSO draws its random
+//! numbers *before* the parallel objective batch, etc.).
+//!
+//! # Knobs
+//!
+//! * `CACS_THREADS=N` — cap worker threads (default: available
+//!   parallelism). `CACS_THREADS=1` forces every parallel region
+//!   sequential, which is the recommended setting when bisecting a
+//!   numerical difference or profiling single-core behaviour.
+//! * [`sequential`] — scoped version of the same: forces every
+//!   `par_map` inside the closure to run inline on the calling thread.
+//!
+//! # Nesting
+//!
+//! Parallel regions do not nest: a `par_map` issued from inside a
+//! worker of another `par_map` runs inline on that worker. The
+//! outermost fan-out (the widest, most profitable one — e.g. the
+//! exhaustive schedule sweep) gets the threads; inner levels (per-app
+//! synthesis, PSO particles) parallelise only when they are the
+//! outermost active region. This bounds the total thread count at
+//! `thread_budget()` no matter how deeply the pipeline composes.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while the current thread is inside a parallel region (either
+    /// a worker, or a caller that opted into [`sequential`]).
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker-thread budget for parallel regions.
+///
+/// Reads `CACS_THREADS` (`0` is treated as 1; a non-numeric value is
+/// ignored); falls back to [`std::thread::available_parallelism`].
+pub fn thread_budget() -> usize {
+    let fallback = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("CACS_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_or_else(|_| fallback(), |n| n.max(1)),
+        Err(_) => fallback(),
+    }
+}
+
+/// Returns `true` when the calling thread is already inside a parallel
+/// region (so a nested `par_map` would run inline).
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(Cell::get)
+}
+
+/// Runs `f` with every [`par_map`] inside it forced sequential on the
+/// calling thread. The debugging/bisection knob: wrap any pipeline
+/// entry point to get the exact sequential execution order.
+pub fn sequential<R>(f: impl FnOnce() -> R) -> R {
+    IN_PARALLEL_REGION.with(|flag| {
+        let was = flag.replace(true);
+        let result = f();
+        flag.set(was);
+        result
+    })
+}
+
+/// Order-preserving parallel map: returns `f(i, &items[i])` for every
+/// `i`, in index order.
+///
+/// Work is distributed dynamically (an atomic cursor) across at most
+/// `min(thread_budget(), items.len())` scoped threads. Falls back to a
+/// plain sequential loop when the budget is 1, the input has fewer than
+/// 2 items, or the caller is already inside a parallel region (see the
+/// crate docs on nesting).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (workers are joined by the
+/// scope; the panic surfaces on the calling thread).
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let workers = thread_budget().min(items.len());
+    if workers <= 1 || in_parallel_region() {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    // Workers drain the cursor; each keeps a local buffer
+                    // so the shared lock is touched once per worker, not
+                    // once per item.
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    if !local.is_empty() {
+                        collected
+                            .lock()
+                            .expect("par_map results poisoned")
+                            .extend(local);
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload surfaces verbatim
+        // on the calling thread (the scope's implicit join would replace
+        // it with a generic "scoped thread panicked" message).
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    let mut pairs = collected.into_inner().expect("par_map results poisoned");
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Fallible order-preserving parallel map: like [`par_map`] but stops
+/// at the first error **in index order** — exactly the error a
+/// sequential `?`-loop over `items` would have returned (later items
+/// may still have been evaluated speculatively).
+pub fn try_par_map<T: Sync, R: Send, E: Send>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E> {
+    par_map(items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_bitwise() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.7).collect();
+        let par: Vec<f64> = par_map(&items, |_, &x| (x.sin() * x.cos()).exp());
+        let seq: Vec<f64> = sequential(|| par_map(&items, |_, &x| (x.sin() * x.cos()).exp()));
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let items: Vec<usize> = (0..8).collect();
+        let saw_nested_parallel = AtomicUsize::new(0);
+        par_map(&items, |_, _| {
+            if in_parallel_region() {
+                // A nested par_map must not spawn: it runs inline.
+                let inner = par_map(&items, |i, _| i);
+                assert_eq!(inner.len(), items.len());
+            } else {
+                saw_nested_parallel.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        // Either the budget was 1 (everything inline, flag never set) or
+        // all workers saw the flag.
+        if thread_budget() > 1 {
+            assert_eq!(saw_nested_parallel.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn sequential_scope_forces_inline() {
+        sequential(|| {
+            assert!(in_parallel_region());
+            let out = par_map(&[1, 2, 3], |_, &x| x * 2);
+            assert_eq!(out, vec![2, 4, 6]);
+        });
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_in_index_order() {
+        let items: Vec<u32> = (0..64).collect();
+        let r: Result<Vec<u32>, u32> =
+            try_par_map(&items, |_, &x| if x % 10 == 7 { Err(x) } else { Ok(x) });
+        assert_eq!(r.unwrap_err(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic propagates")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map(&items, |_, &x| {
+            if x == 5 {
+                panic!("worker panic propagates");
+            }
+            x
+        });
+    }
+}

@@ -5,6 +5,21 @@
 //! box-bounded PSO minimiser that the control crate uses both for
 //! pole-location search and for direct gain synthesis.
 //!
+//! # Parallel objective evaluation
+//!
+//! Each iteration updates every particle's velocity/position first (in
+//! fixed particle order, consuming the RNG stream deterministically) and
+//! only then evaluates the whole batch of positions. Because no
+//! particle's update depends on another particle's *fresh* objective
+//! value, the batch may be evaluated in any order — so
+//! [`Pso::minimize_parallel`] / [`Pso::minimize_with_guesses_parallel`]
+//! fan the batch out across threads (`cacs_par::par_map`) and still
+//! produce **bit-identical** results to the sequential entry points at
+//! any thread count. Set `CACS_THREADS=1` (or wrap the call in
+//! `cacs_par::sequential`) to force sequential execution when
+//! debugging; nested parallel regions (e.g. PSO inside a parallel
+//! schedule sweep) automatically degrade to inline evaluation.
+//!
 //! # Example
 //!
 //! ```

@@ -6,7 +6,7 @@
 //! controller design and is checked downstream (in `cacs-core`) after the
 //! performance evaluation.
 
-use crate::{AppParams, Result, ScheduleTiming, SchedError};
+use crate::{AppParams, Result, SchedError, ScheduleTiming};
 
 /// A violation of the maximum-allowed-idle-time constraint (paper eq. (4)).
 #[derive(Debug, Clone, PartialEq)]
@@ -44,10 +44,7 @@ pub struct IdleViolation {
 /// # Ok(())
 /// # }
 /// ```
-pub fn check_idle_times(
-    timing: &ScheduleTiming,
-    apps: &[AppParams],
-) -> Result<Vec<IdleViolation>> {
+pub fn check_idle_times(timing: &ScheduleTiming, apps: &[AppParams]) -> Result<Vec<IdleViolation>> {
     if apps.len() != timing.apps.len() {
         return Err(SchedError::AppCountMismatch {
             expected: timing.apps.len(),
@@ -148,12 +145,12 @@ mod tests {
 
     #[test]
     fn boundary_exactly_at_limit_is_feasible() {
-        let exec = vec![ExecTimes::new(1e-3, 1e-3).unwrap(), ExecTimes::new(1e-3, 1e-3).unwrap()];
-        let timing = derive_timing(
-            &Schedule::round_robin(2).unwrap().task_sequence(),
-            &exec,
-        )
-        .unwrap();
+        let exec = vec![
+            ExecTimes::new(1e-3, 1e-3).unwrap(),
+            ExecTimes::new(1e-3, 1e-3).unwrap(),
+        ];
+        let timing =
+            derive_timing(&Schedule::round_robin(2).unwrap().task_sequence(), &exec).unwrap();
         // Period is exactly 2 ms; limit of exactly 2 ms passes.
         let apps = vec![
             AppParams::new("a", 0.5, 1.0, 2e-3).unwrap(),

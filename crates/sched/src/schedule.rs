@@ -59,10 +59,7 @@ impl TaskSequence {
                 warm: order[t] == order[(t + n - 1) % n],
             })
             .collect();
-        Ok(TaskSequence {
-            slots,
-            app_count,
-        })
+        Ok(TaskSequence { slots, app_count })
     }
 
     /// The task slots in execution order.
@@ -360,7 +357,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Schedule::new(vec![2, 2, 2]).unwrap().to_string(), "(2, 2, 2)");
+        assert_eq!(
+            Schedule::new(vec![2, 2, 2]).unwrap().to_string(),
+            "(2, 2, 2)"
+        );
     }
 
     #[test]
@@ -398,22 +398,10 @@ mod tests {
     #[test]
     fn interleaved_validation() {
         assert!(InterleavedSchedule::new(vec![], 1).is_err());
-        assert!(InterleavedSchedule::new(
-            vec![Segment { app: 0, count: 0 }],
-            1
-        )
-        .is_err());
-        assert!(InterleavedSchedule::new(
-            vec![Segment { app: 2, count: 1 }],
-            1
-        )
-        .is_err());
+        assert!(InterleavedSchedule::new(vec![Segment { app: 0, count: 0 }], 1).is_err());
+        assert!(InterleavedSchedule::new(vec![Segment { app: 2, count: 1 }], 1).is_err());
         // App 1 never runs.
-        assert!(InterleavedSchedule::new(
-            vec![Segment { app: 0, count: 1 }],
-            2
-        )
-        .is_err());
+        assert!(InterleavedSchedule::new(vec![Segment { app: 0, count: 1 }], 2).is_err());
         // Adjacent same-app segments (cyclically).
         assert!(InterleavedSchedule::new(
             vec![

@@ -202,8 +202,7 @@ mod tests {
         .unwrap();
 
         // Δ = Σ_{i=2,3} Σ_j E_i^wc(j) (paper eq. (7)).
-        let delta: f64 =
-            exec[1].cold + exec[1].warm + exec[2].cold + exec[2].warm;
+        let delta: f64 = exec[1].cold + exec[1].warm + exec[2].cold + exec[2].warm;
 
         let c1 = &t.apps[0];
         // h1(1) = E1^wc(1); h1(2) = E1^wc(2) + Δ (paper eq. (6)).
@@ -221,11 +220,7 @@ mod tests {
     #[test]
     fn round_robin_has_uniform_periods() {
         let exec = paper_exec();
-        let t = derive_timing(
-            &Schedule::round_robin(3).unwrap().task_sequence(),
-            &exec,
-        )
-        .unwrap();
+        let t = derive_timing(&Schedule::round_robin(3).unwrap().task_sequence(), &exec).unwrap();
         let period: f64 = exec.iter().map(|e| e.cold).sum();
         for app in &t.apps {
             assert_eq!(app.tasks(), 1);
@@ -240,11 +235,7 @@ mod tests {
     fn periods_sum_to_schedule_period_for_every_app() {
         let exec = paper_exec();
         for counts in [vec![3, 2, 3], vec![1, 5, 2], vec![4, 1, 1]] {
-            let t = derive_timing(
-                &Schedule::new(counts).unwrap().task_sequence(),
-                &exec,
-            )
-            .unwrap();
+            let t = derive_timing(&Schedule::new(counts).unwrap().task_sequence(), &exec).unwrap();
             for app in &t.apps {
                 assert!(
                     (app.total() - t.period).abs() < EPS,

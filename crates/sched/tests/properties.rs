@@ -1,16 +1,14 @@
 //! Property-based tests for schedule/timing invariants.
 
 use cacs_sched::{
-    check_idle_times, derive_timing, AppParams, ExecTimes, InterleavedSchedule, Schedule,
-    Segment,
+    check_idle_times, derive_timing, AppParams, ExecTimes, InterleavedSchedule, Schedule, Segment,
 };
 use proptest::prelude::*;
 
 fn random_exec(n: usize) -> impl Strategy<Value = Vec<ExecTimes>> {
     prop::collection::vec(
-        (1e-4f64..1e-3, 0.1f64..=1.0).prop_map(|(cold, frac)| {
-            ExecTimes::new(cold, cold * frac).expect("warm <= cold")
-        }),
+        (1e-4f64..1e-3, 0.1f64..=1.0)
+            .prop_map(|(cold, frac)| ExecTimes::new(cold, cold * frac).expect("warm <= cold")),
         n..=n,
     )
 }
@@ -118,9 +116,9 @@ proptest! {
             .map(|(i, &l)| AppParams::new(format!("a{i}"), 1.0 / 3.0, 1.0, l).unwrap())
             .collect();
         let violations = check_idle_times(&t, &apps).unwrap();
-        for i in 0..3 {
+        for (i, limit) in limits.iter().enumerate() {
             let violated = violations.iter().any(|v| v.app == i);
-            let direct = t.apps[i].max_period() > limits[i] * (1.0 + 1e-12);
+            let direct = t.apps[i].max_period() > limit * (1.0 + 1e-12);
             prop_assert_eq!(violated, direct, "app {}", i);
         }
     }

@@ -1,7 +1,10 @@
 //! Classical simulated annealing — the baseline the paper's hybrid
 //! algorithm borrows its tolerance feature from (Section IV).
 
-use crate::{MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace, SearchError, SearchReport};
+use crate::{
+    CountingScheduleEvaluator, MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace,
+    SearchError, SearchReport,
+};
 use cacs_sched::Schedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -133,7 +136,11 @@ pub fn simulated_annealing<E: ScheduleEvaluator + ?Sized>(
     }
 
     Ok(SearchReport {
-        best: if best_value.is_finite() { Some(best) } else { None },
+        best: if best_value.is_finite() {
+            Some(best)
+        } else {
+            None
+        },
         best_value,
         evaluations: memo.unique_evaluations(),
         trajectory,
@@ -168,9 +175,7 @@ mod tests {
     #[test]
     fn escapes_local_optimum_with_high_temperature() {
         let values = [0.0, 0.5, 1.0, 0.2, 1.1, 2.0, 0.1];
-        let eval = FnEvaluator::new(1, move |s: &Schedule| {
-            Some(values[s.counts()[0] as usize])
-        });
+        let eval = FnEvaluator::new(1, move |s: &Schedule| Some(values[s.counts()[0] as usize]));
         let space = ScheduleSpace::new(vec![6]).unwrap();
         let report = simulated_annealing(
             &eval,
@@ -192,8 +197,11 @@ mod tests {
         use crate::{hybrid_search, HybridConfig};
         let eval = FnEvaluator::new(3, |s: &Schedule| {
             let c = s.counts();
-            Some(-((c[0] as f64 - 3.0).powi(2) + (c[1] as f64 - 2.0).powi(2)
-                + (c[2] as f64 - 3.0).powi(2)))
+            Some(
+                -((c[0] as f64 - 3.0).powi(2)
+                    + (c[1] as f64 - 2.0).powi(2)
+                    + (c[2] as f64 - 3.0).powi(2)),
+            )
         });
         let space = ScheduleSpace::new(vec![6, 6, 6]).unwrap();
         let start = Schedule::new(vec![1, 1, 1]).unwrap();
@@ -231,8 +239,10 @@ mod tests {
         let eval = FnEvaluator::new(1, |_: &Schedule| Some(0.0));
         let space = ScheduleSpace::new(vec![3]).unwrap();
         let start = Schedule::new(vec![1]).unwrap();
-        let mut c = AnnealConfig::default();
-        c.cooling = 1.5;
+        let mut c = AnnealConfig {
+            cooling: 1.5,
+            ..AnnealConfig::default()
+        };
         assert!(simulated_annealing(&eval, &space, &start, &c).is_err());
         c = AnnealConfig::default();
         c.initial_temperature = 0.0;

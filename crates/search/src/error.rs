@@ -11,6 +11,17 @@ pub enum SearchError {
         /// Human-readable description of the defect.
         reason: String,
     },
+    /// An exact feasibility scan was requested over a box too large to
+    /// enumerate; callers should fall back to the conservative axis-wise
+    /// bound.
+    SpaceTooLarge {
+        /// Per-dimension cap of the requested box.
+        cap: u32,
+        /// Number of applications (box dimensions).
+        apps: usize,
+        /// Maximum number of points the scan is willing to enumerate.
+        limit: u64,
+    },
     /// A search configuration parameter was out of range.
     InvalidConfig {
         /// Which parameter was rejected.
@@ -31,6 +42,10 @@ impl fmt::Display for SearchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SearchError::InvalidSpace { reason } => write!(f, "invalid schedule space: {reason}"),
+            SearchError::SpaceTooLarge { cap, apps, limit } => write!(
+                f,
+                "scan box cap^apps = {cap}^{apps} exceeds the {limit}-point enumeration limit"
+            ),
             SearchError::InvalidConfig { parameter } => {
                 write!(f, "invalid search configuration: {parameter}")
             }

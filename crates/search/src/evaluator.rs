@@ -1,8 +1,9 @@
-//! The schedule-evaluation abstraction and its memoising wrapper.
+//! The schedule-evaluation abstraction, its memoising wrapper, and the
+//! shared concurrent evaluation cache used by parallel searches.
 
 use cacs_sched::Schedule;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Condvar, Mutex};
 
 /// The objective of the schedule optimisation: the overall control
 /// performance `P_all` of a schedule (paper eq. (2)), or `None` when the
@@ -32,6 +33,17 @@ pub trait ScheduleEvaluator: Sync {
     /// Full evaluation: overall control performance (higher is better),
     /// `None` if infeasible.
     fn evaluate(&self, schedule: &Schedule) -> Option<f64>;
+}
+
+/// A [`ScheduleEvaluator`] that additionally reports how many *distinct*
+/// schedules it has fully evaluated — the paper's Section-V cost metric
+/// (9 resp. 18 of 76 schedules).
+///
+/// Implemented by [`MemoizedEvaluator`] (per-search cache) and
+/// [`CacheSession`] (per-search view of a shared cache).
+pub trait CountingScheduleEvaluator: ScheduleEvaluator {
+    /// Number of distinct schedules fully evaluated so far.
+    fn unique_evaluations(&self) -> usize;
 }
 
 /// A [`ScheduleEvaluator`] built from closures — handy for tests and toy
@@ -109,6 +121,141 @@ where
     }
 }
 
+// ---------------------------------------------------------------------
+// Slot cache: the shared machinery behind MemoizedEvaluator and
+// SharedEvalCache.
+// ---------------------------------------------------------------------
+
+/// One cache entry: either a completed result or a marker that some
+/// thread is currently computing it.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// A thread is evaluating this schedule; waiters block on the shard's
+    /// condvar instead of redundantly evaluating.
+    InFlight,
+    /// Completed evaluation.
+    Ready(Option<f64>),
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<Vec<u32>, Slot>>,
+    ready: Condvar,
+}
+
+/// Removes an in-flight marker if the evaluation panicked, so waiters
+/// retry instead of blocking forever.
+struct InFlightGuard<'a> {
+    shard: &'a Shard,
+    key: &'a [u32],
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut map = self.shard.map.lock().expect("cache shard poisoned");
+            map.remove(self.key);
+            self.shard.ready.notify_all();
+        }
+    }
+}
+
+/// Sharded concurrent map from schedule counts to evaluation results,
+/// with in-flight deduplication: when two threads race on the same key,
+/// exactly one evaluates and the other waits for its result.
+#[derive(Debug)]
+struct SlotCache {
+    shards: Vec<Shard>,
+}
+
+impl SlotCache {
+    fn new(shard_count: usize) -> Self {
+        SlotCache {
+            shards: (0..shard_count.max(1)).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    fn shard_for(&self, key: &[u32]) -> &Shard {
+        // FNV-1a over the counts.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &m in key {
+            h ^= u64::from(m);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Returns the cached value for `key`, evaluating `eval` (outside the
+    /// lock) at most once across all racing threads.
+    fn get_or_evaluate(&self, key: &[u32], eval: impl FnOnce() -> Option<f64>) -> Option<f64> {
+        let shard = self.shard_for(key);
+        {
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            loop {
+                match map.get(key) {
+                    Some(Slot::Ready(v)) => return *v,
+                    Some(Slot::InFlight) => {
+                        map = shard.ready.wait(map).expect("cache shard poisoned");
+                    }
+                    None => break,
+                }
+            }
+            map.insert(key.to_vec(), Slot::InFlight);
+        }
+
+        let mut guard = InFlightGuard {
+            shard,
+            key,
+            armed: true,
+        };
+        // The expensive full evaluation happens outside the lock so
+        // parallel searches never serialise on the cache; the in-flight
+        // marker keeps racing threads from duplicating the work.
+        let value = eval();
+        guard.armed = false;
+
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        map.insert(key.to_vec(), Slot::Ready(value));
+        shard.ready.notify_all();
+        value
+    }
+
+    /// Number of completed evaluations.
+    fn completed(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// All completed entries in deterministic (lexicographically sorted)
+    /// order.
+    fn entries_sorted(&self) -> Vec<(Vec<u32>, Option<f64>)> {
+        let mut entries: Vec<(Vec<u32>, Option<f64>)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.lock().expect("cache shard poisoned");
+            entries.extend(map.iter().filter_map(|(k, slot)| match slot {
+                Slot::Ready(v) => Some((k.clone(), *v)),
+                Slot::InFlight => None,
+            }));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+}
+
+// ---------------------------------------------------------------------
+// MemoizedEvaluator: per-search cache (public API unchanged).
+// ---------------------------------------------------------------------
+
 /// Caching wrapper around a [`ScheduleEvaluator`].
 ///
 /// Repeated evaluations of the same schedule are served from the cache;
@@ -116,10 +263,15 @@ where
 /// schedules were fully evaluated — the cost metric of the paper's
 /// Section V (9 resp. 18 of 76 schedules).
 ///
+/// Concurrent lookups of the same uncached schedule are deduplicated:
+/// one thread evaluates (outside the lock) while the others wait for its
+/// result, so the expensive evaluation runs exactly once per distinct
+/// schedule even under parallel neighbour probing.
+///
 /// # Example
 ///
 /// ```
-/// use cacs_search::{FnEvaluator, MemoizedEvaluator, ScheduleEvaluator};
+/// use cacs_search::{CountingScheduleEvaluator, FnEvaluator, MemoizedEvaluator, ScheduleEvaluator};
 /// use cacs_sched::Schedule;
 ///
 /// let inner = FnEvaluator::new(1, |_s: &Schedule| Some(1.0));
@@ -132,7 +284,7 @@ where
 #[derive(Debug)]
 pub struct MemoizedEvaluator<'a, E: ScheduleEvaluator + ?Sized> {
     inner: &'a E,
-    cache: Mutex<HashMap<Vec<u32>, Option<f64>>>,
+    cache: SlotCache,
 }
 
 impl<'a, E: ScheduleEvaluator + ?Sized> MemoizedEvaluator<'a, E> {
@@ -140,21 +292,17 @@ impl<'a, E: ScheduleEvaluator + ?Sized> MemoizedEvaluator<'a, E> {
     pub fn new(inner: &'a E) -> Self {
         MemoizedEvaluator {
             inner,
-            cache: Mutex::new(HashMap::new()),
+            cache: SlotCache::new(1),
         }
     }
 
-    /// Number of distinct schedules fully evaluated so far.
-    pub fn unique_evaluations(&self) -> usize {
-        self.cache.lock().len()
-    }
-
-    /// Snapshot of all cached results (for reports).
+    /// Snapshot of all cached results, in deterministic (lexicographic)
+    /// order of the schedule counts.
     pub fn snapshot(&self) -> Vec<(Schedule, Option<f64>)> {
         self.cache
-            .lock()
-            .iter()
-            .map(|(counts, v)| (Schedule::new(counts.clone()).expect("cached key valid"), *v))
+            .entries_sorted()
+            .into_iter()
+            .map(|(counts, v)| (Schedule::new(counts).expect("cached key valid"), v))
             .collect()
     }
 }
@@ -169,16 +317,138 @@ impl<E: ScheduleEvaluator + ?Sized> ScheduleEvaluator for MemoizedEvaluator<'_, 
     }
 
     fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
-        let key = schedule.counts().to_vec();
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return *hit;
+        self.cache
+            .get_or_evaluate(schedule.counts(), || self.inner.evaluate(schedule))
+    }
+}
+
+impl<E: ScheduleEvaluator + ?Sized> CountingScheduleEvaluator for MemoizedEvaluator<'_, E> {
+    fn unique_evaluations(&self) -> usize {
+        self.cache.completed()
+    }
+}
+
+// ---------------------------------------------------------------------
+// SharedEvalCache: one concurrent cache shared by many searches.
+// ---------------------------------------------------------------------
+
+/// How many shards the shared cache uses. Schedules hash cheaply and
+/// evaluations are seconds-long, so a small fixed shard count is plenty
+/// to keep lock contention negligible.
+const SHARED_CACHE_SHARDS: usize = 16;
+
+/// A concurrent, sharded evaluation cache shared by several searches
+/// (e.g. every start of [`crate::hybrid_search_multistart`]).
+///
+/// Distinct searches probing the same schedule pay for it **once**
+/// globally (with in-flight deduplication), while each search's
+/// Section-V cost metric stays exact via per-search [`CacheSession`]
+/// views: a session counts the distinct schedules *it* requested — the
+/// number that search would have evaluated had it run alone.
+///
+/// # Example
+///
+/// ```
+/// use cacs_search::{CountingScheduleEvaluator, FnEvaluator, ScheduleEvaluator, SharedEvalCache};
+/// use cacs_sched::Schedule;
+///
+/// let inner = FnEvaluator::new(1, |s: &Schedule| Some(f64::from(s.counts()[0])));
+/// let shared = SharedEvalCache::new(&inner);
+/// let (a, b) = (shared.session(), shared.session());
+/// let s = Schedule::new(vec![3]).unwrap();
+/// a.evaluate(&s);
+/// b.evaluate(&s); // cache hit: no second inner evaluation …
+/// assert_eq!(shared.unique_evaluations(), 1);
+/// // … but each session still reports its own cost.
+/// assert_eq!(a.unique_evaluations(), 1);
+/// assert_eq!(b.unique_evaluations(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedEvalCache<'a, E: ScheduleEvaluator + ?Sized> {
+    inner: &'a E,
+    cache: SlotCache,
+}
+
+impl<'a, E: ScheduleEvaluator + ?Sized> SharedEvalCache<'a, E> {
+    /// Wraps an evaluator in a shared concurrent cache.
+    pub fn new(inner: &'a E) -> Self {
+        SharedEvalCache {
+            inner,
+            cache: SlotCache::new(SHARED_CACHE_SHARDS),
         }
-        // Deliberately evaluate outside the lock: full evaluations take
-        // seconds and parallel searches must not serialise on the cache.
-        // A rare duplicate evaluation of the same schedule is acceptable.
-        let value = self.inner.evaluate(schedule);
-        self.cache.lock().insert(key, value);
-        value
+    }
+
+    /// Opens a per-search view with its own unique-evaluation counter.
+    pub fn session(&self) -> CacheSession<'_, 'a, E> {
+        CacheSession {
+            shared: self,
+            requested: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Total distinct schedules evaluated across all sessions.
+    pub fn unique_evaluations(&self) -> usize {
+        self.cache.completed()
+    }
+
+    /// All cached results, in deterministic (lexicographic) order of the
+    /// schedule counts.
+    pub fn snapshot(&self) -> Vec<(Schedule, Option<f64>)> {
+        self.cache
+            .entries_sorted()
+            .into_iter()
+            .map(|(counts, v)| (Schedule::new(counts).expect("cached key valid"), v))
+            .collect()
+    }
+}
+
+impl<E: ScheduleEvaluator + ?Sized> ScheduleEvaluator for SharedEvalCache<'_, E> {
+    fn app_count(&self) -> usize {
+        self.inner.app_count()
+    }
+
+    fn idle_feasible(&self, schedule: &Schedule) -> bool {
+        self.inner.idle_feasible(schedule)
+    }
+
+    fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
+        self.cache
+            .get_or_evaluate(schedule.counts(), || self.inner.evaluate(schedule))
+    }
+}
+
+/// One search's view of a [`SharedEvalCache`]: evaluations are served
+/// from (and populate) the shared cache, while
+/// [`CacheSession::unique_evaluations`] counts only the distinct
+/// schedules **this** session requested — the paper's per-search cost
+/// metric.
+#[derive(Debug)]
+pub struct CacheSession<'c, 'a, E: ScheduleEvaluator + ?Sized> {
+    shared: &'c SharedEvalCache<'a, E>,
+    requested: Mutex<HashSet<Vec<u32>>>,
+}
+
+impl<E: ScheduleEvaluator + ?Sized> ScheduleEvaluator for CacheSession<'_, '_, E> {
+    fn app_count(&self) -> usize {
+        self.shared.app_count()
+    }
+
+    fn idle_feasible(&self, schedule: &Schedule) -> bool {
+        self.shared.idle_feasible(schedule)
+    }
+
+    fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
+        self.requested
+            .lock()
+            .expect("session set poisoned")
+            .insert(schedule.counts().to_vec());
+        self.shared.evaluate(schedule)
+    }
+}
+
+impl<E: ScheduleEvaluator + ?Sized> CountingScheduleEvaluator for CacheSession<'_, '_, E> {
+    fn unique_evaluations(&self) -> usize {
+        self.requested.lock().expect("session set poisoned").len()
     }
 }
 
@@ -246,16 +516,118 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_returns_cached_entries() {
+    fn snapshot_returns_cached_entries_sorted() {
         let inner = CountingEvaluator {
             calls: AtomicUsize::new(0),
         };
         let memo = MemoizedEvaluator::new(&inner);
-        memo.evaluate(&Schedule::new(vec![1, 1]).unwrap());
         memo.evaluate(&Schedule::new(vec![4, 4]).unwrap());
+        memo.evaluate(&Schedule::new(vec![1, 1]).unwrap());
+        memo.evaluate(&Schedule::new(vec![1, 3]).unwrap());
         let snap = memo.snapshot();
-        assert_eq!(snap.len(), 2);
-        assert!(snap.iter().any(|(s, v)| s.counts() == [1, 1] && *v == Some(2.0)));
-        assert!(snap.iter().any(|(s, v)| s.counts() == [4, 4] && v.is_none()));
+        let keys: Vec<&[u32]> = snap.iter().map(|(s, _)| s.counts()).collect();
+        assert_eq!(keys, vec![&[1, 1][..], &[1, 3][..], &[4, 4][..]]);
+        assert_eq!(snap[0].1, Some(2.0));
+        assert!(snap[2].1.is_none());
+    }
+
+    #[test]
+    fn racing_threads_evaluate_each_schedule_once() {
+        // A slow evaluator makes the race window wide: all threads ask
+        // for the same schedule; exactly one inner call must happen.
+        struct Slow {
+            calls: AtomicUsize,
+        }
+        impl ScheduleEvaluator for Slow {
+            fn app_count(&self) -> usize {
+                1
+            }
+            fn evaluate(&self, s: &Schedule) -> Option<f64> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                Some(f64::from(s.counts()[0]))
+            }
+        }
+        let inner = Slow {
+            calls: AtomicUsize::new(0),
+        };
+        let memo = MemoizedEvaluator::new(&inner);
+        let s = Schedule::new(vec![3]).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| assert_eq!(memo.evaluate(&s), Some(3.0)));
+            }
+        });
+        assert_eq!(inner.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(memo.unique_evaluations(), 1);
+    }
+
+    #[test]
+    fn shared_cache_sessions_count_their_own_requests() {
+        let inner = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let shared = SharedEvalCache::new(&inner);
+        let first = shared.session();
+        let second = shared.session();
+        let a = Schedule::new(vec![1, 2]).unwrap();
+        let b = Schedule::new(vec![2, 2]).unwrap();
+
+        assert_eq!(first.evaluate(&a), Some(3.0));
+        assert_eq!(second.evaluate(&a), Some(3.0)); // shared hit
+        assert_eq!(second.evaluate(&b), Some(4.0));
+
+        // Globally two inner evaluations …
+        assert_eq!(inner.calls.load(Ordering::SeqCst), 2);
+        assert_eq!(shared.unique_evaluations(), 2);
+        // … but the sessions report the paper's per-search costs.
+        assert_eq!(first.unique_evaluations(), 1);
+        assert_eq!(second.unique_evaluations(), 2);
+    }
+
+    #[test]
+    fn shared_cache_snapshot_sorted() {
+        let inner = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let shared = SharedEvalCache::new(&inner);
+        let session = shared.session();
+        for counts in [vec![2, 3], vec![1, 1], vec![2, 1]] {
+            session.evaluate(&Schedule::new(counts).unwrap());
+        }
+        let keys: Vec<Vec<u32>> = shared
+            .snapshot()
+            .into_iter()
+            .map(|(s, _)| s.counts().to_vec())
+            .collect();
+        assert_eq!(keys, vec![vec![1, 1], vec![2, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn panicking_evaluation_releases_in_flight_marker() {
+        struct Fragile {
+            calls: AtomicUsize,
+        }
+        impl ScheduleEvaluator for Fragile {
+            fn app_count(&self) -> usize {
+                1
+            }
+            fn evaluate(&self, s: &Schedule) -> Option<f64> {
+                if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("first evaluation fails");
+                }
+                Some(f64::from(s.counts()[0]))
+            }
+        }
+        let inner = Fragile {
+            calls: AtomicUsize::new(0),
+        };
+        let memo = MemoizedEvaluator::new(&inner);
+        let s = Schedule::new(vec![2]).unwrap();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| memo.evaluate(&s)));
+        assert!(panicked.is_err());
+        // The key is free again: a retry evaluates (no deadlock) and
+        // succeeds.
+        assert_eq!(memo.evaluate(&s), Some(2.0));
     }
 }

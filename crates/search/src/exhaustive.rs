@@ -1,6 +1,14 @@
 //! Brute-force schedule search (the paper's verification baseline).
+//!
+//! The sweep is embarrassingly parallel: every idle-feasible schedule is
+//! an independent full evaluation. [`exhaustive_search`] fans the batch
+//! out through [`cacs_par::par_map`] and then reduces **sequentially in
+//! lexicographic enumeration order**, so the selected best schedule (and
+//! its tie-breaking) is bit-identical to the historical sequential
+//! sweep at any thread count. `CACS_THREADS=1` forces the sequential
+//! path entirely.
 
-use crate::{MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace, SearchError};
+use crate::{Result, ScheduleEvaluator, ScheduleSpace, SearchError};
 use cacs_sched::Schedule;
 
 /// Outcome of an exhaustive sweep over the schedule space.
@@ -55,26 +63,32 @@ pub fn exhaustive_search<E: ScheduleEvaluator + ?Sized>(
             actual: space.app_count(),
         });
     }
-    let memo = MemoizedEvaluator::new(evaluator);
+    // Enumerate and pre-filter cheaply (idle feasibility is a few
+    // arithmetic checks), then fan the expensive evaluations out. The
+    // box iterator yields each schedule exactly once, so no memo layer
+    // is needed — every evaluation is unique by construction.
+    let mut enumerated = 0u64;
+    let candidates: Vec<Schedule> = space
+        .iter()
+        .inspect(|_| enumerated += 1)
+        .filter(|s| evaluator.idle_feasible(s))
+        .collect();
+
+    let values = cacs_par::par_map(&candidates, |_, schedule| evaluator.evaluate(schedule));
+
+    // Deterministic reduction in enumeration order: strict improvement
+    // keeps the first-seen best, matching the sequential tie-breaking.
     let mut best: Option<Schedule> = None;
     let mut best_value = f64::NEG_INFINITY;
-    let mut enumerated = 0u64;
-    let mut results = Vec::new();
-
-    for schedule in space.iter() {
-        enumerated += 1;
-        if !memo.idle_feasible(&schedule) {
-            continue;
-        }
-        let value = memo.evaluate(&schedule);
-        if let Some(v) = value {
+    for (schedule, value) in candidates.iter().zip(&values) {
+        if let Some(v) = *value {
             if v > best_value {
                 best_value = v;
                 best = Some(schedule.clone());
             }
         }
-        results.push((schedule, value));
     }
+    let results: Vec<(Schedule, Option<f64>)> = candidates.into_iter().zip(values).collect();
 
     let feasible = results.iter().filter(|(_, v)| v.is_some()).count();
     Ok(ExhaustiveReport {

@@ -9,7 +9,8 @@
 //! (Section IV: each evaluation costs seconds to hours).
 
 use crate::{
-    MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace, SearchError, SearchReport,
+    CountingScheduleEvaluator, MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace,
+    SearchError, SearchReport,
 };
 use cacs_sched::Schedule;
 use rand::rngs::StdRng;
@@ -230,11 +231,7 @@ pub fn genetic_search<E: ScheduleEvaluator + ?Sized>(
     })
 }
 
-fn tournament<'a>(
-    population: &'a [Individual],
-    size: usize,
-    rng: &mut StdRng,
-) -> &'a Individual {
+fn tournament<'a>(population: &'a [Individual], size: usize, rng: &mut StdRng) -> &'a Individual {
     let mut winner = &population[rng.gen_range(0..population.len())];
     for _ in 1..size {
         let challenger = &population[rng.gen_range(0..population.len())];

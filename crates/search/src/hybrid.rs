@@ -7,8 +7,28 @@
 //! with the best positive gradient, and borrow two annealing features —
 //! a *tolerance* that accepts bounded worsening, and *parallel
 //! multistart*.
+//!
+//! # Parallelism
+//!
+//! Two independent levels, both deterministic:
+//!
+//! * within one search, the ≤ 2n unit-neighbour probes of each step are
+//!   evaluated in parallel (`cacs_par::par_map`); the memo cache
+//!   deduplicates against earlier steps, so the set of evaluated
+//!   schedules — and hence the Section-V cost metric — is identical to
+//!   the sequential order;
+//! * across starts, [`hybrid_search_multistart`] runs one OS thread per
+//!   start over a [`SharedEvalCache`], so schedules probed by several
+//!   searches are evaluated once globally while each report still
+//!   carries that search's own unique-evaluation count.
+//!
+//! Set `CACS_THREADS=1` (or wrap the call in [`cacs_par::sequential`])
+//! to force the exact sequential execution order when debugging.
 
-use crate::{MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace, SearchError};
+use crate::{
+    CountingScheduleEvaluator, MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace,
+    SearchError, SharedEvalCache,
+};
 use cacs_sched::Schedule;
 use std::collections::HashSet;
 
@@ -98,18 +118,30 @@ pub fn hybrid_search<E: ScheduleEvaluator + ?Sized>(
     start: &Schedule,
     config: &HybridConfig,
 ) -> Result<SearchReport> {
+    let memo = MemoizedEvaluator::new(evaluator);
+    hybrid_search_core(&memo, space, start, config)
+}
+
+/// The search proper, generic over the caching layer so one search can
+/// run against its own memo ([`hybrid_search`]) or a per-search session
+/// of a shared cache ([`hybrid_search_multistart`]).
+fn hybrid_search_core<E: CountingScheduleEvaluator>(
+    memo: &E,
+    space: &ScheduleSpace,
+    start: &Schedule,
+    config: &HybridConfig,
+) -> Result<SearchReport> {
     config.validate()?;
-    if evaluator.app_count() != space.app_count() {
+    if memo.app_count() != space.app_count() {
         return Err(SearchError::AppCountMismatch {
-            expected: evaluator.app_count(),
+            expected: memo.app_count(),
             actual: space.app_count(),
         });
     }
-    if !space.contains(start) || !evaluator.idle_feasible(start) {
+    if !space.contains(start) || !memo.idle_feasible(start) {
         return Err(SearchError::StartOutOfSpace);
     }
 
-    let memo = MemoizedEvaluator::new(evaluator);
     let n = space.app_count();
 
     // Objective as a total function: -inf marks infeasible points so the
@@ -130,15 +162,22 @@ pub fn hybrid_search<E: ScheduleEvaluator + ?Sized>(
     visited.insert(current.counts().to_vec());
 
     for _ in 0..config.max_steps {
-        // Build the 1-D quadratic model per dimension: evaluate both unit
-        // neighbours (≤ 2n evaluations, fewer thanks to the memo) and take
-        // the model's gradient at the centre, (f₊ − f₋)/2.
+        // Build the 1-D quadratic model per dimension from the two unit
+        // neighbours. All ≤ 2n probes are independent full evaluations,
+        // so they run as one parallel batch; the memo deduplicates
+        // against earlier steps, keeping the evaluation *set* (and the
+        // cost metric) identical to the sequential order.
+        let neighbours: Vec<Option<Schedule>> = (0..n)
+            .flat_map(|dim| [current.step(dim, 1), current.step(dim, -1)])
+            .collect();
+        let scores: Vec<f64> = cacs_par::par_map(&neighbours, |_, cand| {
+            cand.as_ref().map_or(f64::NEG_INFINITY, score)
+        });
+
         let mut moves: Vec<(f64, Schedule, f64)> = Vec::new(); // (gradient, candidate, value)
-        for dim in 0..n {
-            let up = current.step(dim, 1);
-            let down = current.step(dim, -1);
-            let f_up = up.as_ref().map_or(f64::NEG_INFINITY, &score);
-            let f_down = down.as_ref().map_or(f64::NEG_INFINITY, &score);
+        for (dim, pair) in neighbours.chunks_exact(2).enumerate() {
+            let (up, down) = (&pair[0], &pair[1]);
+            let (f_up, f_down) = (scores[2 * dim], scores[2 * dim + 1]);
 
             // Gradient of the quadratic fit at the centre. Infeasible
             // neighbours degrade to one-sided differences.
@@ -151,12 +190,12 @@ pub fn hybrid_search<E: ScheduleEvaluator + ?Sized>(
             // The actual move goes towards the better neighbour.
             let (candidate, value) = if f_up >= f_down {
                 match up {
-                    Some(s) if f_up.is_finite() => (s, f_up),
+                    Some(s) if f_up.is_finite() => (s.clone(), f_up),
                     _ => continue,
                 }
             } else {
                 match down {
-                    Some(s) if f_down.is_finite() => (s, f_down),
+                    Some(s) if f_down.is_finite() => (s.clone(), f_down),
                     _ => continue,
                 }
             };
@@ -193,20 +232,32 @@ pub fn hybrid_search<E: ScheduleEvaluator + ?Sized>(
     }
 
     Ok(SearchReport {
-        best: if best_value.is_finite() { Some(best) } else { None },
+        best: if best_value.is_finite() {
+            Some(best)
+        } else {
+            None
+        },
         best_value,
         evaluations: memo.unique_evaluations(),
         trajectory,
     })
 }
 
-/// Runs independent hybrid searches from several start points in parallel
-/// (crossbeam scoped threads), one report per start — the paper's
-/// "parallel searches" feature.
+/// Runs independent hybrid searches from several start points in
+/// parallel (one scoped OS thread per start), one report per start — the
+/// paper's "parallel searches" feature.
 ///
-/// Each search keeps its own memo, so its `evaluations` count is exactly
-/// what that search would have cost on its own (the numbers reported in
-/// Section V).
+/// All searches share one [`SharedEvalCache`]: a schedule probed by
+/// several starts is fully evaluated **once** globally (with in-flight
+/// deduplication when two searches race on the same schedule). Each
+/// report's `evaluations` still counts the distinct schedules *that*
+/// search requested — exactly what it would have cost on its own (the
+/// numbers reported in Section V).
+///
+/// Within each start's thread the per-step neighbour probes run
+/// sequentially (the cross-start fan-out already owns the thread
+/// budget); a single [`hybrid_search`] call parallelises its probes
+/// instead.
 ///
 /// # Errors
 ///
@@ -223,29 +274,34 @@ pub fn hybrid_search_multistart<E: ScheduleEvaluator + ?Sized>(
             parameter: "multistart needs at least one start point",
         });
     }
+    let shared = SharedEvalCache::new(evaluator);
     let mut results: Vec<Option<Result<SearchReport>>> = Vec::new();
     results.resize_with(starts.len(), || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
+        let shared = &shared;
         let mut handles = Vec::new();
         for (i, start) in starts.iter().enumerate() {
             handles.push((
                 i,
-                scope.spawn(move |_| hybrid_search(evaluator, space, start, config)),
+                scope.spawn(move || {
+                    let session = shared.session();
+                    // Probes stay sequential inside each search thread;
+                    // the start-level fan-out is the parallelism here.
+                    cacs_par::sequential(|| hybrid_search_core(&session, space, start, config))
+                }),
             ));
         }
         for (i, handle) in handles {
             results[i] = Some(handle.join().expect("search thread panicked"));
         }
-    })
-    .expect("crossbeam scope panicked");
+    });
 
     results
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,9 +362,7 @@ mod tests {
         // 1-D objective with a local peak at 2 (value 1.0), a dip at 3
         // (0.95) and the global peak at 5 (2.0).
         let values = [0.0, 0.5, 1.0, 0.95, 1.2, 2.0, 0.1];
-        let eval = FnEvaluator::new(1, move |s: &Schedule| {
-            Some(values[s.counts()[0] as usize])
-        });
+        let eval = FnEvaluator::new(1, move |s: &Schedule| Some(values[s.counts()[0] as usize]));
         let space = ScheduleSpace::new(vec![6]).unwrap();
         let start = Schedule::new(vec![1]).unwrap();
 
@@ -364,8 +418,7 @@ mod tests {
         let eval = paraboloid();
         let space = ScheduleSpace::new(vec![6, 6, 6]).unwrap();
         let start = Schedule::new(vec![1, 2, 1]).unwrap();
-        let report =
-            hybrid_search(&eval, &space, &start, &HybridConfig::default()).unwrap();
+        let report = hybrid_search(&eval, &space, &start, &HybridConfig::default()).unwrap();
         assert_eq!(report.trajectory[0], start);
         // Consecutive trajectory points differ by exactly one unit step.
         for w in report.trajectory.windows(2) {
@@ -458,9 +511,7 @@ mod tests {
             max_seen: AtomicUsize::new(0),
         };
         let space = ScheduleSpace::new(vec![8]).unwrap();
-        let starts: Vec<Schedule> = (1..=4)
-            .map(|m| Schedule::new(vec![m]).unwrap())
-            .collect();
+        let starts: Vec<Schedule> = (1..=4).map(|m| Schedule::new(vec![m]).unwrap()).collect();
         let reports =
             hybrid_search_multistart(&eval, &space, &starts, &HybridConfig::default()).unwrap();
         assert_eq!(reports.len(), 4);

@@ -9,17 +9,30 @@
 //!   `cacs-core` on top of the full pipeline, and by cheap synthetic
 //!   functions in tests),
 //! * [`MemoizedEvaluator`] — caching wrapper counting *unique* full
-//!   evaluations (the cost metric the paper reports),
+//!   evaluations (the cost metric the paper reports), with in-flight
+//!   deduplication so racing threads never evaluate a schedule twice,
+//! * [`SharedEvalCache`] — one concurrent evaluation cache shared by
+//!   several searches, with per-search [`CacheSession`] views that keep
+//!   the paper's per-start cost metric exact,
 //! * [`ScheduleSpace`] — the bounded box of candidate schedules, with
 //!   bounds derived from the idle-time constraint,
 //! * [`hybrid_search`] / [`hybrid_search_multistart`] — the paper's
 //!   hybrid algorithm: per-dimension 1-D quadratic gradient models,
 //!   unit steps along the best feasible direction, a simulated-annealing
-//!   style tolerance that accepts bounded worsening, and parallel
-//!   multistart (via crossbeam),
-//! * [`exhaustive_search`] — the brute-force baseline, and
+//!   style tolerance that accepts bounded worsening, parallel neighbour
+//!   probes and parallel multistart (std scoped threads),
+//! * [`exhaustive_search`] — the brute-force baseline, evaluated in
+//!   parallel with a deterministic lexicographic-order reduction, and
 //! * [`simulated_annealing`] / [`genetic_search`] / [`tabu_search`] —
 //!   classical metaheuristic baselines for evaluation-count comparisons.
+//!
+//! # Parallelism knobs
+//!
+//! All parallel fan-outs go through [`cacs_par::par_map`]: set
+//! `CACS_THREADS=N` to cap the worker count, `CACS_THREADS=1` (or wrap
+//! the call in [`cacs_par::sequential`]) to force the exact sequential
+//! execution order when debugging. Results are deterministic at every
+//! thread count.
 //!
 //! # Example
 //!
@@ -54,7 +67,10 @@ mod tabu;
 
 pub use anneal::{simulated_annealing, AnnealConfig};
 pub use error::SearchError;
-pub use evaluator::{FnEvaluator, MemoizedEvaluator, ScheduleEvaluator};
+pub use evaluator::{
+    CacheSession, CountingScheduleEvaluator, FnEvaluator, MemoizedEvaluator, ScheduleEvaluator,
+    SharedEvalCache,
+};
 pub use exhaustive::{exhaustive_search, ExhaustiveReport};
 pub use genetic::{genetic_search, GeneticConfig};
 pub use hybrid::{hybrid_search, hybrid_search_multistart, HybridConfig, SearchReport};

@@ -25,6 +25,11 @@ pub struct ScheduleSpace {
 }
 
 impl ScheduleSpace {
+    /// Largest box [`ScheduleSpace::from_feasibility_scan`] will
+    /// enumerate exactly; beyond it the scan reports
+    /// [`SearchError::SpaceTooLarge`].
+    pub const SCAN_LIMIT: u64 = 2_000_000;
+
     /// Creates a space with per-application maxima (each at least 1).
     ///
     /// # Errors
@@ -58,8 +63,11 @@ impl ScheduleSpace {
     ///
     /// # Errors
     ///
-    /// * [`SearchError::InvalidSpace`] if `apps` is zero, no schedule in
-    ///   the box is feasible, or the box exceeds 2 million points.
+    /// * [`SearchError::InvalidSpace`] if `apps` is zero or no schedule
+    ///   in the box is feasible.
+    /// * [`SearchError::SpaceTooLarge`] if the box exceeds
+    ///   [`ScheduleSpace::SCAN_LIMIT`] points — callers should fall back
+    ///   to [`ScheduleSpace::from_feasibility`].
     pub fn from_feasibility_scan(
         apps: usize,
         cap: u32,
@@ -71,9 +79,11 @@ impl ScheduleSpace {
             });
         }
         let box_size = (u64::from(cap)).checked_pow(apps as u32);
-        if box_size.is_none_or(|s| s > 2_000_000) {
-            return Err(SearchError::InvalidSpace {
-                reason: format!("scan box cap^apps = {cap}^{apps} too large"),
+        if box_size.is_none_or(|s| s > Self::SCAN_LIMIT) {
+            return Err(SearchError::SpaceTooLarge {
+                cap,
+                apps,
+                limit: Self::SCAN_LIMIT,
             });
         }
         let full = ScheduleSpace::new(vec![cap; apps])?;
@@ -249,10 +259,8 @@ mod tests {
     fn from_feasibility_derives_bounds() {
         // Feasible iff sum of counts <= 6: with others at 1, dim max = 4
         // for 3 apps.
-        let space = ScheduleSpace::from_feasibility(3, 10, |s| {
-            s.counts().iter().sum::<u32>() <= 6
-        })
-        .unwrap();
+        let space = ScheduleSpace::from_feasibility(3, 10, |s| s.counts().iter().sum::<u32>() <= 6)
+            .unwrap();
         assert_eq!(space.max_counts(), &[4, 4, 4]);
     }
 

@@ -9,7 +9,8 @@
 //! without the annealing lottery.
 
 use crate::{
-    MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace, SearchError, SearchReport,
+    CountingScheduleEvaluator, MemoizedEvaluator, Result, ScheduleEvaluator, ScheduleSpace,
+    SearchError, SearchReport,
 };
 use cacs_sched::Schedule;
 use std::collections::HashMap;
@@ -179,7 +180,11 @@ pub fn tabu_search<E: ScheduleEvaluator + ?Sized>(
     }
 
     Ok(SearchReport {
-        best: if best_value.is_finite() { Some(best) } else { None },
+        best: if best_value.is_finite() {
+            Some(best)
+        } else {
+            None
+        },
         best_value,
         evaluations: memo.unique_evaluations(),
         trajectory,
@@ -213,9 +218,7 @@ mod tests {
         // Objective with a local peak at 2 and the global peak at 5;
         // plain hill climbing from 0 stops at 2.
         let values = [0.0, 0.5, 1.0, 0.2, 1.1, 2.0, 0.1];
-        let eval = FnEvaluator::new(1, move |s: &Schedule| {
-            Some(values[s.counts()[0] as usize])
-        });
+        let eval = FnEvaluator::new(1, move |s: &Schedule| Some(values[s.counts()[0] as usize]));
         let space = ScheduleSpace::new(vec![6]).unwrap();
         let report = tabu_search(
             &eval,
@@ -252,13 +255,8 @@ mod tests {
             tenure: 3,
             stall_limit: 4,
         };
-        let report = tabu_search(
-            &eval,
-            &space,
-            &Schedule::new(vec![15]).unwrap(),
-            &config,
-        )
-        .unwrap();
+        let report =
+            tabu_search(&eval, &space, &Schedule::new(vec![15]).unwrap(), &config).unwrap();
         // Start + at most stall_limit accepted moves.
         assert!(report.trajectory.len() <= 1 + 4 + 1);
     }

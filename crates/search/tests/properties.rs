@@ -4,8 +4,8 @@
 use cacs_sched::Schedule;
 use cacs_search::{
     exhaustive_search, genetic_search, hybrid_search, simulated_annealing, tabu_search,
-    AnnealConfig, FnEvaluator, GeneticConfig, HybridConfig, MemoizedEvaluator,
-    ScheduleEvaluator, ScheduleSpace, TabuConfig,
+    AnnealConfig, CountingScheduleEvaluator, FnEvaluator, GeneticConfig, HybridConfig,
+    MemoizedEvaluator, ScheduleEvaluator, ScheduleSpace, TabuConfig,
 };
 use proptest::prelude::*;
 
@@ -20,8 +20,8 @@ fn objective(seed: u64) -> impl Fn(&Schedule) -> Option<f64> + Sync {
         let peak = (1.5 + 3.0 * sx, 2.0 + 2.0 * (1.0 - sx), 1.5 + 2.5 * sx);
         let bump =
             0.25 - 0.01 * ((a - peak.0).powi(2) + (b - peak.1).powi(2) + (d - peak.2).powi(2));
-        let ripple = 0.002
-            * ((a * (3.1 + sx) + b * 7.7 + d * (5.3 - sx) + seed as f64 * 0.37).sin());
+        let ripple =
+            0.002 * ((a * (3.1 + sx) + b * 7.7 + d * (5.3 - sx) + seed as f64 * 0.37).sin());
         Some(bump + ripple)
     }
 }

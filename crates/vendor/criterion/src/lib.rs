@@ -1,0 +1,265 @@
+//! Offline subset of `criterion`: wall-clock micro-benchmarking with the
+//! familiar `criterion_group!` / `criterion_main!` entry points.
+//!
+//! Each benchmark is warmed up briefly, then timed for a fixed number of
+//! batches; median and min batch times are printed as ns/iteration.
+//! No statistics beyond that, no plots, no baselines — enough to compare
+//! hot paths before/after a change in this offline environment.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings and sink for benchmark registrations.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 12,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+/// Throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing context passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher<'a> {
+    settings: &'a Criterion,
+    label: String,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, printing median/min ns per iteration.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up + calibration: find an iteration count that fills
+        // roughly one sample's worth of time.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(40) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_nanos().max(1) / u128::from(calib_iters.max(1));
+        let sample_time =
+            self.settings.measurement_time.as_nanos() / self.settings.sample_size.max(1) as u128;
+        let iters_per_sample = (sample_time / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() / u128::from(iters_per_sample));
+        }
+        samples_ns.sort_unstable();
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        println!(
+            "bench {:<48} median {:>12} ns/iter   min {:>12} ns/iter   ({} samples x {} iters)",
+            self.label, median, min, self.settings.sample_size, iters_per_sample
+        );
+    }
+}
+
+/// A named group of benchmarks sharing settings. Setting overrides are
+/// scoped to the group — they never leak back into the parent
+/// [`Criterion`] (matching real criterion's per-group semantics).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    // Held only to tie the group's lifetime to the Criterion, like the
+    // real API; the group runs on its own settings copy.
+    _criterion: &'a mut Criterion,
+    settings: Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the target measurement time per benchmark in this
+    /// group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Annotates throughput (echoed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        println!("bench group {}: throughput {t:?}", self.name);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&self.settings, format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Registers and runs one parameterised benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        run_one(&self.settings, format!("{}/{id}", self.name), |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (no-op; benchmarks already ran).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(settings: &Criterion, label: String, mut f: impl FnMut(&mut Bencher<'_>)) {
+    let mut bencher = Bencher { settings, label };
+    f(&mut bencher);
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(self, id.to_string(), f);
+        self
+    }
+
+    /// Opens a named benchmark group (settings overrides stay scoped to
+    /// the group).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            settings,
+            name: name.into(),
+        }
+    }
+}
+
+/// Declares a benchmark group function (compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut criterion = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(4),
+        };
+        let mut count = 0u64;
+        criterion.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_settings_do_not_leak_into_later_groups() {
+        let mut criterion = Criterion::default();
+        let default_samples = criterion.sample_size;
+        {
+            let mut group = criterion.benchmark_group("tuned");
+            group.sample_size(3);
+        }
+        assert_eq!(
+            criterion.sample_size, default_samples,
+            "group overrides must stay scoped to the group"
+        );
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

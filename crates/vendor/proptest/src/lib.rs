@@ -1,0 +1,339 @@
+//! Offline subset of `proptest`: deterministic property testing without
+//! shrinking.
+//!
+//! Implements the surface the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]` headers),
+//! [`Strategy`] with `prop_map`, range strategies, tuple strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from crates-io proptest: cases are generated from a fixed
+//! per-test seed (fully deterministic runs), failures report the drawn
+//! case number but perform **no shrinking**, and `prop_assume!` simply
+//! skips the current case without replacement draws.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The RNG handed to strategies while generating one case.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`ProptestConfig::with_cases` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test values (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy yielding one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategy combinators namespace (`proptest::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Element count specification: a fixed size or a `usize` range.
+        pub trait IntoSize {
+            /// Draws the concrete length for one case.
+            fn draw(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoSize for usize {
+            fn draw(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSize for Range<usize> {
+            fn draw(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl IntoSize for std::ops::RangeInclusive<usize> {
+            fn draw(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy for `Vec`s of `element` with length drawn from `size`.
+        pub fn vec<S: Strategy, Z: IntoSize>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy produced by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        impl<S: Strategy, Z: IntoSize> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.draw(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Uniform `bool` strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform `bool` strategy value (`prop::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+}
+
+/// Outcome of one generated case (used by the [`proptest!`] expansion).
+#[derive(Debug)]
+pub enum CaseResult {
+    /// All assertions held.
+    Pass,
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Discard,
+}
+
+/// Derives the deterministic RNG for one (test, case) pair.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// The common imports property tests expect.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a standard `#[test]` running `cases` generated inputs.
+///
+/// An optional `#![proptest_config(expr)]` header sets the
+/// [`ProptestConfig`]; the default runs 64 cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg); $($rest)*);
+    };
+    (@expand ($cfg:expr); $(
+        $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut proptest_case_rng =
+                        $crate::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut proptest_case_rng);
+                    )+
+                    // The closure gives `prop_assume!` an early-exit
+                    // scope without ending the whole case loop.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> $crate::CaseResult {
+                        $body
+                        $crate::CaseResult::Pass
+                    })();
+                    let _ = outcome;
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::CaseResult::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..50).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn mapped_values_hold_invariant(v in small_even()) {
+            prop_assert!(v.is_multiple_of(2));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(xs in prop::collection::vec(0u64..10, 3..7)) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_bools(pair in (0usize..4, prop::bool::ANY)) {
+            let (n, _b) = pair;
+            prop_assert!(n < 4);
+        }
+
+        #[test]
+        fn assume_discards_without_failing(n in 0u32..10) {
+            prop_assume!(n >= 5);
+            prop_assert!(n >= 5);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        let sa = (0f64..1.0).generate(&mut a);
+        let sb = (0f64..1.0).generate(&mut b);
+        assert_eq!(sa.to_bits(), sb.to_bits());
+    }
+}

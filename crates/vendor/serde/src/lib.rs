@@ -1,0 +1,8 @@
+//! Offline subset of `serde`: re-exports the no-op derive macros.
+//!
+//! `use serde::{Deserialize, Serialize}` resolves to the derive macros
+//! from the sibling `serde_derive` stub, which expand to nothing — the
+//! workspace serialises via its own JSON writers. See
+//! `crates/vendor/README.md` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

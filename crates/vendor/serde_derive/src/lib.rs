@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derives for offline builds.
+//!
+//! The workspace derives these traits on its data types for
+//! forward-compatibility with the real `serde`, but serialises through
+//! its own hand-written JSON writers, so the derives can safely expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same attribute surface as serde's
+/// derive so annotated types keep compiling.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the same attribute surface as serde's
+/// derive so annotated types keep compiling.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -24,10 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "lines", "C1 warm (us)", "C2 warm (us)", "C3 warm (us)", "mean reuse gain"
     );
     for lines in [32u32, 64, 128, 256, 512] {
-        let config = CacheConfig {
-            lines,
-            ..reference
-        };
+        let config = CacheConfig { lines, ..reference };
         let mut warm_us = Vec::new();
         let mut gain = 0.0;
         for program in &programs {
@@ -75,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== Sweep 3: associativity (2 KiB total, LRU) ==");
-    println!("{:>8} {:>14} {:>14} {:>14}", "ways", "C1 warm", "C2 warm", "C3 warm");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "ways", "C1 warm", "C2 warm", "C3 warm"
+    );
     for ways in [1u32, 2, 4, 8] {
         let config = CacheConfig {
             associativity: ways,

@@ -54,10 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Hybrid search from round-robin plus one dense start.
     println!("\n== hybrid search on the 4-app problem (fast budget) ==");
-    let starts = [
-        Schedule::round_robin(4)?,
-        Schedule::new(vec![3, 2, 3, 2])?,
-    ];
+    let starts = [Schedule::round_robin(4)?, Schedule::new(vec![3, 2, 3, 2])?];
     let t0 = Instant::now();
     let outcome = problem.optimize(&starts, &HybridConfig::default())?;
     for s in &outcome.searches {
@@ -100,15 +97,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "  hybrid found {hybrid_best} ({hybrid_value:.3}) vs exhaustive {ex_best} \
                  ({:.3}) at {:.1}% of the evaluations",
                 exhaustive.best_value,
-                100.0 * outcome.searches.iter().map(|s| s.report.evaluations).sum::<usize>()
-                    as f64
+                100.0
+                    * outcome
+                        .searches
+                        .iter()
+                        .map(|s| s.report.evaluations)
+                        .sum::<usize>() as f64
                     / exhaustive.evaluated as f64
             );
         }
     } else {
-        println!(
-            "\n(pass --exhaustive to verify against full enumeration of the 4-D space)"
-        );
+        println!("\n(pass --exhaustive to verify against full enumeration of the 4-D space)");
     }
 
     Ok(())

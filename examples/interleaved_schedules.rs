@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let base_eval = problem.evaluate_schedule(&base)?;
         println!(
             "periodic {base}: P_all = {:?}",
-            base_eval.overall_performance.map(|v| (v * 1e3).round() / 1e3)
+            base_eval
+                .overall_performance
+                .map(|v| (v * 1e3).round() / 1e3)
         );
 
         let candidates = one_split_interleavings(&base);

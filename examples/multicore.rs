@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = optimize_multicore(&problem, &partition, config)?;
         print!("two cores ({label}): ");
         match outcome.overall {
-            Some(p) => println!("P_all = {p:.3} ({:+.1}% vs single core)", (p / single - 1.0) * 100.0),
+            Some(p) => println!(
+                "P_all = {p:.3} ({:+.1}% vs single core)",
+                (p / single - 1.0) * 100.0
+            ),
             None => println!("no feasible per-core schedules"),
         }
         for (core, (apps, best, _)) in outcome.per_core.iter().enumerate() {

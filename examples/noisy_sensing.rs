@@ -43,11 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:>18} {:>16} {:>16} {:>16} {:>16}",
-        "sensor noise (std)",
-        "entry (1,1,1)",
-        "entry (1,5,2)",
-        "RMS (1,1,1)",
-        "RMS (1,5,2)"
+        "sensor noise (std)", "entry (1,1,1)", "entry (1,5,2)", "RMS (1,1,1)", "RMS (1,5,2)"
     );
 
     // Compare against this reproduction's measured optimum (1,5,2) — see

@@ -7,9 +7,7 @@
 //! slightly noisier settling times).
 
 use cacs::apps::paper_case_study;
-use cacs::core::{
-    fig6_series, table1_rows, table3_rows, CodesignProblem, EvaluationConfig,
-};
+use cacs::core::{fig6_series, table1_rows, table3_rows, CodesignProblem, EvaluationConfig};
 use cacs::sched::Schedule;
 use cacs::search::HybridConfig;
 use std::fs;
@@ -27,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ------------------------------------------------------- Table I --
     println!("== Table I: WCET results with and without cache reuse ==");
-    println!("{:<45} {:>12} {:>12} {:>12}", "Application", "w/o reuse", "reduction", "w/ reuse");
+    println!(
+        "{:<45} {:>12} {:>12} {:>12}",
+        "Application", "w/o reuse", "reduction", "w/ reuse"
+    );
     for row in table1_rows(&problem)? {
         println!(
             "{:<45} {:>9.2} us {:>9.2} us {:>9.2} us",
@@ -87,7 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t0.elapsed().as_secs_f64()
     );
 
-    println!("\n== Exhaustive verification (paper: 76 schedules, optimum (3,2,3), P_all = 0.195) ==");
+    println!(
+        "\n== Exhaustive verification (paper: 76 schedules, optimum (3,2,3), P_all = 0.195) =="
+    );
     let t0 = Instant::now();
     let exhaustive = problem.optimize_exhaustive()?;
     println!(
@@ -106,9 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|(_, v)| v.is_none())
         .count();
-    println!(
-        "  settling-deadline violations among evaluated: {deadline_violations} (paper: 2)"
-    );
+    println!("  settling-deadline violations among evaluated: {deadline_violations} (paper: 2)");
 
     // ----------------------------------------------------- Table III --
     println!("\n== Table III: control performance comparison ==");
@@ -139,7 +140,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (i, series) in fig6_series(&problem, eval, 50e-3)?.iter().enumerate() {
             let path = format!("target/fig6/fig6_c{}_{label}.csv", i + 1);
             fs::write(&path, series.to_csv())?;
-            println!("  wrote {path} ({} samples, schedule {})", series.times.len(), series.schedule);
+            println!(
+                "  wrote {path} ({} samples, schedule {})",
+                series.times.len(),
+                series.schedule
+            );
         }
     }
     Ok(())

@@ -48,7 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(cacs::linalg::Matrix::max_abs)
                 .fold(0.0f64, f64::max)
-                .max(outcome.controller.feedforwards.iter().fold(0.0f64, |a, f| a.max(f.abs())));
+                .max(
+                    outcome
+                        .controller
+                        .feedforwards
+                        .iter()
+                        .fold(0.0f64, |a, f| a.max(f.abs())),
+                );
             let int_bits = (max_gain.log2().ceil().max(0.0) as u32) + 1;
             let format = FixedPointFormat::new(int_bits, frac_bits)?;
 
@@ -66,9 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some(s) if impact.is_stable() && s <= app.params.settling_deadline => {
                     (format!("{:.1} ms", s * 1e3), "ok")
                 }
-                Some(s) if impact.is_stable() => {
-                    (format!("{:.1} ms", s * 1e3), "misses deadline")
-                }
+                Some(s) if impact.is_stable() => (format!("{:.1} ms", s * 1e3), "misses deadline"),
                 _ if impact.is_stable() => ("no settle".to_string(), "degraded"),
                 _ => ("-".to_string(), "UNSTABLE"),
             };

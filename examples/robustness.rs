@@ -33,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{:>12} {:>12} {:>10} {:>12} {:>12} {:>10} {}",
-        "miss cycles", "C1 cold us", "feasible", "P(1,1,1)", "P(3,2,3)", "winner",
+        "miss cycles",
+        "C1 cold us",
+        "feasible",
+        "P(1,1,1)",
+        "P(3,2,3)",
+        "winner",
         if with_search { "hybrid best" } else { "" }
     );
 
@@ -68,16 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let round_robin = Schedule::round_robin(3)?;
         let cache_aware = Schedule::new(vec![3, 2, 3])?;
         let p_rr = if problem.idle_feasible_schedule(&round_robin) {
-            problem
-                .evaluate_schedule(&round_robin)?
-                .overall_performance
+            problem.evaluate_schedule(&round_robin)?.overall_performance
         } else {
             None
         };
         let p_ca = if problem.idle_feasible_schedule(&cache_aware) {
-            problem
-                .evaluate_schedule(&cache_aware)?
-                .overall_performance
+            problem.evaluate_schedule(&cache_aware)?.overall_performance
         } else {
             None
         };

@@ -8,8 +8,8 @@ use cacs::apps::paper_case_study;
 use cacs::core::{CodesignProblem, EvaluationConfig};
 use cacs::sched::Schedule;
 use cacs::search::{
-    exhaustive_search, hybrid_search, simulated_annealing, AnnealConfig, HybridConfig,
-    MemoizedEvaluator,
+    exhaustive_search, hybrid_search, simulated_annealing, AnnealConfig, CountingScheduleEvaluator,
+    HybridConfig, MemoizedEvaluator,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

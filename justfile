@@ -1,0 +1,25 @@
+# Developer entry points for the cacs workspace.
+
+# Full tier-1 verification: release build + complete test suite.
+verify:
+    cargo build --release
+    cargo test -q
+
+# Lint exactly like CI does.
+lint:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Regenerate the perf-trajectory baselines (BENCH_*.json at the repo
+# root). Uses the reduced synthesis budget; pass FLAGS="--full" for the
+# paper-accuracy budget. CACS_THREADS caps the worker threads.
+bench FLAGS="":
+    cargo run --release -p cacs-bench --bin perf-baseline -- {{FLAGS}}
+
+# Regenerate the paper's tables/figures as machine-readable output.
+tables FLAGS="--fast":
+    cargo run --release -p cacs-bench --bin paper-tables -- {{FLAGS}}
+
+# Criterion-style microbenchmarks (vendored harness, wall-clock only).
+microbench:
+    cargo bench -p cacs-bench

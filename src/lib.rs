@@ -48,6 +48,26 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Parallel evaluation engine
+//!
+//! The expensive layers of the pipeline — per-application controller
+//! synthesis inside one schedule evaluation, the PSO particle batches
+//! inside one synthesis, the exhaustive schedule sweep, and the hybrid
+//! search's unit-neighbour probes — all fan out through
+//! [`par::par_map`], an order-preserving scoped-thread map. Results are
+//! **deterministic at any thread count**: seeded runs are bit-identical
+//! whether they execute on one thread or many.
+//!
+//! Knobs: `CACS_THREADS=N` caps the worker threads (`CACS_THREADS=1`
+//! forces everything sequential — the recommended setting when
+//! bisecting a numerical question); [`par::sequential`] does the same
+//! for one closure. Parallel regions never nest (inner fan-outs run
+//! inline on the outer region's workers), so composed pipelines stay
+//! bounded at the thread budget. Searches that share work use
+//! [`search::SharedEvalCache`], which deduplicates in-flight
+//! evaluations across threads while keeping the paper's per-search
+//! evaluation counts exact.
 
 #![warn(missing_docs)]
 
@@ -56,6 +76,7 @@ pub use cacs_cache as cache;
 pub use cacs_control as control;
 pub use cacs_core as core;
 pub use cacs_linalg as linalg;
+pub use cacs_par as par;
 pub use cacs_pso as pso;
 pub use cacs_sched as sched;
 pub use cacs_search as search;

@@ -27,13 +27,20 @@ fn wcet_bracket_holds_on_calibrated_programs() {
     let platform = study.platform;
     for app in &study.apps {
         let program = app.program.program();
-        let (bcet, _) = bcet_may(program, &platform, &MayCache::empty(&platform).unwrap())
-            .unwrap();
-        let (wcet, _) = wcet_must(program, &platform, &MustCache::empty(&platform).unwrap())
-            .unwrap();
+        let (bcet, _) = bcet_may(program, &platform, &MayCache::empty(&platform).unwrap()).unwrap();
+        let (wcet, _) =
+            wcet_must(program, &platform, &MustCache::empty(&platform).unwrap()).unwrap();
         let combined = wcet_combined(program, &platform).unwrap();
-        assert!(bcet <= combined, "{}: bcet {bcet} > combined {combined}", app.params.name);
-        assert!(combined <= wcet, "{}: combined {combined} > must {wcet}", app.params.name);
+        assert!(
+            bcet <= combined,
+            "{}: bcet {bcet} > combined {combined}",
+            app.params.name
+        );
+        assert!(
+            combined <= wcet,
+            "{}: combined {combined} > must {wcet}",
+            app.params.name
+        );
 
         let report = analyze_persistence(program, &platform).unwrap();
         assert!(!report.tracked_lines.is_empty());
@@ -82,9 +89,8 @@ fn lqr_baseline_runs_on_case_study() {
                 _ => r *= 4.0,
             }
         }
-        let lqr = feasible.unwrap_or_else(|| {
-            panic!("{}: no saturation-feasible LQR found", app.params.name)
-        });
+        let lqr = feasible
+            .unwrap_or_else(|| panic!("{}: no saturation-feasible LQR found", app.params.name));
         assert!(lqr.spectral_radius < 1.0);
         assert!(
             lqr.settling_time >= outcome.settling_time,

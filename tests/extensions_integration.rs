@@ -3,9 +3,7 @@
 
 use cacs::apps::paper_case_study;
 use cacs::control::{quadratic_cost, QuadraticCostSpec};
-use cacs::core::{
-    fig6_series, one_split_interleavings, CodesignProblem, EvaluationConfig,
-};
+use cacs::core::{fig6_series, one_split_interleavings, CodesignProblem, EvaluationConfig};
 use cacs::sched::{InterleavedSchedule, Schedule, Segment};
 
 fn fast_problem() -> CodesignProblem {
@@ -40,11 +38,7 @@ fn interleaved_equivalent_of_periodic_matches() {
 fn one_split_interleavings_evaluate() {
     let problem = fast_problem();
     let base = Schedule::new(vec![2, 2, 2]).unwrap();
-    let base_timing_period = problem
-        .evaluate_schedule(&base)
-        .unwrap()
-        .timing
-        .period;
+    let base_timing_period = problem.evaluate_schedule(&base).unwrap().timing.period;
     let mut evaluated = 0;
     for candidate in one_split_interleavings(&base) {
         if !problem.idle_feasible_interleaved(&candidate) {

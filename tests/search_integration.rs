@@ -3,11 +3,9 @@
 //! evaluation-count economy, multicore decomposition.
 
 use cacs::apps::paper_case_study;
-use cacs::core::{
-    optimize_multicore, CodesignProblem, CorePartition, EvaluationConfig,
-};
+use cacs::core::{optimize_multicore, CodesignProblem, CorePartition, EvaluationConfig};
 use cacs::sched::Schedule;
-use cacs::search::{HybridConfig, MemoizedEvaluator, ScheduleEvaluator};
+use cacs::search::{CountingScheduleEvaluator, HybridConfig, MemoizedEvaluator, ScheduleEvaluator};
 
 fn fast_problem() -> CodesignProblem {
     let study = paper_case_study().expect("case study builds");
@@ -34,7 +32,10 @@ fn hybrid_search_on_real_pipeline_is_frugal() {
         .unwrap()
         .overall_performance
         .unwrap();
-    assert!(value >= start_value - 1e-12, "{value} < start {start_value}");
+    assert!(
+        value >= start_value - 1e-12,
+        "{value} < start {start_value}"
+    );
     assert!(value > 0.0);
     // Economy: the space has ~77 idle-feasible schedules; the search must
     // touch well under half of them.
