@@ -46,7 +46,7 @@ fn print_eval_counts() {
         println!(
             "hybrid from {start:?}: {} evaluations ({}% of exhaustive), best {}",
             report.evaluations,
-            100 * report.evaluations / ex.evaluated,
+            100 * report.evaluations as u64 / ex.evaluated,
             report.best.as_ref().expect("feasible")
         );
     }

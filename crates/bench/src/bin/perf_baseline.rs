@@ -7,7 +7,10 @@
 //!   multistart), plus the cross-check that both paths select the same
 //!   best schedule with bit-identical `P_all`;
 //! * `BENCH_eval_cost.json` — per-schedule stage-1 evaluation cost (the
-//!   Section-V observation that cost grows with the task counts `m_i`).
+//!   Section-V observation that cost grows with the task counts `m_i`);
+//! * `BENCH_streaming_sweep.json` — the streaming exhaustive engine on a
+//!   synthetic 2,097,152-schedule box: wall-clock, throughput, and the
+//!   peak-RSS delta proving constant-memory operation.
 //!
 //! ```text
 //! cargo run --release -p cacs-bench --bin perf-baseline [--full] [--out DIR]
@@ -16,17 +19,74 @@
 //! `--fast` (default) uses the reduced synthesis budget; `--full` uses
 //! the paper-accuracy budget (slow). `CACS_THREADS` caps the worker
 //! threads; the file records the count used.
+//!
+//! The binary is also CI's perf self-check: it exits non-zero when the
+//! parallel sweep diverges bitwise from the forced-sequential path, or
+//! when the streaming sweep's peak-RSS growth exceeds its bound.
 
 use cacs_apps::paper_case_study;
 use cacs_core::{CodesignProblem, EvaluationConfig};
 use cacs_sched::Schedule;
-use cacs_search::HybridConfig;
+use cacs_search::{
+    exhaustive_search_with, ExhaustiveReport, FnEvaluator, HybridConfig, ScheduleSpace, SweepConfig,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Process peak resident-set size (`VmHWM`) in KiB; `None` off Linux.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Peak-RSS growth allowed across the streaming sweep. Materialising the
+/// 2M-schedule box costs hundreds of MiB; the streaming path's chunk
+/// buffers are a few MiB, so 64 MiB is generous headroom.
+const STREAMING_RSS_LIMIT_KIB: u64 = 64 * 1024;
+
+/// Dimensions of the synthetic streaming box: 128³ = 2,097,152
+/// schedules, the scale the paper's 77-schedule sweep grows into.
+const STREAMING_BOX: [u32; 3] = [128, 128, 128];
+
+/// A µs-scale synthetic objective with plateaus (exact ties), deadline
+/// violations and an idle filter, so the streaming reduction's
+/// tie-breaking and every result class are exercised at scale.
+fn streaming_surrogate(
+) -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync, impl Fn(&Schedule) -> bool + Sync> {
+    FnEvaluator::with_idle_check(
+        STREAMING_BOX.len(),
+        |s: &Schedule| {
+            let c = s.counts();
+            let mix = u64::from(c[0]) * 2_654_435_761
+                + u64::from(c[1]) * 40_503
+                + u64::from(c[2]) * 2_246_822_519;
+            if mix % 97 == 0 {
+                None // "deadline violation"
+            } else {
+                Some((mix % 4096) as f64 / 4096.0)
+            }
+        },
+        |s: &Schedule| s.counts().iter().sum::<u32>() % 16 != 0,
+    )
+}
+
+fn reports_bitwise_identical(a: &ExhaustiveReport, b: &ExhaustiveReport) -> bool {
+    a.best == b.best
+        && a.best_value.to_bits() == b.best_value.to_bits()
+        && a.enumerated == b.enumerated
+        && a.evaluated == b.evaluated
+        && a.feasible == b.feasible
+        && a.results.len() == b.results.len()
+        && a.results
+            .iter()
+            .zip(&b.results)
+            .all(|((sa, va), (sb, vb))| sa == sb && va.map(f64::to_bits) == vb.map(f64::to_bits))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,13 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seq = cacs_par::sequential(|| problem.optimize_exhaustive())?;
     let seq_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    let results_identical = par.best == seq.best
-        && par.results.len() == seq.results.len()
-        && par
-            .results
-            .iter()
-            .zip(&seq.results)
-            .all(|((sa, va), (sb, vb))| sa == sb && va.map(f64::to_bits) == vb.map(f64::to_bits));
+    let results_identical = reports_bitwise_identical(&par, &seq);
 
     eprintln!("perf-baseline: hybrid multistart…");
     let starts = [Schedule::new(vec![4, 2, 2])?, Schedule::new(vec![1, 2, 1])?];
@@ -179,8 +233,120 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&cost_path, &cost_json)?;
     eprintln!("perf-baseline: wrote {}", cost_path.display());
 
+    // ----- streaming-sweep baseline ---------------------------------
+    // The multi-million-schedule engine: a 128³ synthetic box streamed
+    // at constant memory, cross-checked bitwise against the forced
+    // sequential path and against a peak-RSS growth bound.
+    let eval = streaming_surrogate();
+    let space = ScheduleSpace::new(STREAMING_BOX.to_vec())?;
+    let sweep = SweepConfig {
+        chunk_size: 65_536,
+        // µs-scale objective: amortise the per-claim dispatch overhead.
+        dispatch_grain: 1024,
+        ..SweepConfig::constant_memory()
+    };
+
+    eprintln!(
+        "perf-baseline: streaming sweep of {} schedules (parallel, {threads} threads)…",
+        space.len()
+    );
+    let rss_before_kib = peak_rss_kib();
+    let t = Instant::now();
+    let stream_par = exhaustive_search_with(&eval, &space, &sweep)?;
+    let stream_par_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rss_after_kib = peak_rss_kib();
+
+    eprintln!("perf-baseline: streaming sweep (forced sequential)…");
+    let t = Instant::now();
+    let stream_seq = cacs_par::sequential(|| exhaustive_search_with(&eval, &space, &sweep))?;
+    let stream_seq_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let stream_identical = reports_bitwise_identical(&stream_par, &stream_seq);
+    let rss_delta_kib = match (rss_before_kib, rss_after_kib) {
+        (Some(before), Some(after)) => Some(after.saturating_sub(before)),
+        _ => None,
+    };
+    let constant_memory_ok = rss_delta_kib.is_none_or(|d| d <= STREAMING_RSS_LIMIT_KIB);
+    let stream_best = stream_par
+        .best
+        .clone()
+        .ok_or("streaming sweep found nothing feasible")?;
+
+    let mut stream_json = String::new();
+    writeln!(stream_json, "{{")?;
+    writeln!(stream_json, "  \"bench\": \"streaming_sweep\",")?;
+    writeln!(stream_json, "  \"threads\": {threads},")?;
+    writeln!(
+        stream_json,
+        "  \"pool_workers\": {},",
+        cacs_par::pool_workers()
+    )?;
+    writeln!(
+        stream_json,
+        "  \"box\": \"{}x{}x{}\",",
+        STREAMING_BOX[0], STREAMING_BOX[1], STREAMING_BOX[2]
+    )?;
+    writeln!(stream_json, "  \"chunk_size\": {},", sweep.chunk_size)?;
+    writeln!(
+        stream_json,
+        "  \"dispatch_grain\": {},",
+        sweep.dispatch_grain
+    )?;
+    writeln!(stream_json, "  \"enumerated\": {},", stream_par.enumerated)?;
+    writeln!(stream_json, "  \"evaluated\": {},", stream_par.evaluated)?;
+    writeln!(stream_json, "  \"feasible\": {},", stream_par.feasible)?;
+    writeln!(stream_json, "  \"best_schedule\": \"{stream_best}\",")?;
+    writeln!(
+        stream_json,
+        "  \"best_value\": {:.12},",
+        stream_par.best_value
+    )?;
+    writeln!(stream_json, "  \"wall_ms_parallel\": {stream_par_ms:.1},")?;
+    writeln!(stream_json, "  \"wall_ms_sequential\": {stream_seq_ms:.1},")?;
+    writeln!(
+        stream_json,
+        "  \"speedup\": {:.3},",
+        stream_seq_ms / stream_par_ms.max(1e-9)
+    )?;
+    writeln!(
+        stream_json,
+        "  \"schedules_per_sec_parallel\": {:.0},",
+        stream_par.enumerated as f64 / (stream_par_ms / 1e3).max(1e-9)
+    )?;
+    match rss_delta_kib {
+        Some(d) => writeln!(stream_json, "  \"peak_rss_delta_kib\": {d},")?,
+        None => writeln!(stream_json, "  \"peak_rss_delta_kib\": null,")?,
+    }
+    writeln!(
+        stream_json,
+        "  \"peak_rss_limit_kib\": {STREAMING_RSS_LIMIT_KIB},"
+    )?;
+    writeln!(
+        stream_json,
+        "  \"constant_memory_ok\": {constant_memory_ok},"
+    )?;
+    writeln!(
+        stream_json,
+        "  \"parallel_matches_sequential_bitwise\": {stream_identical}"
+    )?;
+    writeln!(stream_json, "}}")?;
+    let stream_path = out_dir.join("BENCH_streaming_sweep.json");
+    std::fs::write(&stream_path, &stream_json)?;
+    eprintln!("perf-baseline: wrote {}", stream_path.display());
+
     if !results_identical {
         return Err("parallel exhaustive sweep diverged from sequential".into());
+    }
+    if !stream_identical {
+        return Err("streaming parallel sweep diverged from sequential".into());
+    }
+    if !constant_memory_ok {
+        return Err(format!(
+            "streaming sweep peak RSS grew by {} KiB (limit {} KiB) — not constant-memory",
+            rss_delta_kib.unwrap_or(0),
+            STREAMING_RSS_LIMIT_KIB
+        )
+        .into());
     }
     Ok(())
 }

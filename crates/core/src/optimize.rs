@@ -4,8 +4,8 @@
 use crate::{CodesignProblem, Result};
 use cacs_sched::Schedule;
 use cacs_search::{
-    exhaustive_search, hybrid_search_multistart, ExhaustiveReport, HybridConfig, ScheduleSpace,
-    SearchReport,
+    exhaustive_search_with, hybrid_search_multistart, ExhaustiveReport, HybridConfig,
+    ScheduleSpace, SearchReport, SweepConfig,
 };
 
 /// One hybrid search run with its start point.
@@ -35,17 +35,21 @@ impl CodesignProblem {
     /// not monotone per dimension — raising `m_i` shortens `C_i`'s own
     /// last (warm) task.
     ///
-    /// Falls back to the conservative axis-wise bound when the box is too
-    /// large to scan (many applications).
+    /// The scan streams the box in parallel chunks at constant memory, so
+    /// it runs up to [`ScheduleSpace::STREAM_SCAN_LIMIT`] points (well
+    /// past the default [`ScheduleSpace::SCAN_LIMIT`] — the idle check is
+    /// a few arithmetic operations); only beyond that does it fall back to
+    /// the conservative axis-wise bound (many applications).
     ///
     /// # Errors
     ///
     /// Propagates [`cacs_search::SearchError::InvalidSpace`] when even
     /// round-robin is infeasible.
     pub fn schedule_space(&self) -> Result<ScheduleSpace> {
-        let scan = ScheduleSpace::from_feasibility_scan(
+        let scan = ScheduleSpace::from_feasibility_scan_with_limit(
             self.app_count(),
             self.config().max_tasks_per_app,
+            ScheduleSpace::STREAM_SCAN_LIMIT,
             |s| self.idle_feasible_schedule(s),
         );
         match scan {
@@ -91,14 +95,27 @@ impl CodesignProblem {
     }
 
     /// Brute-force verification over the whole space (paper Section V's
-    /// "76 schedules").
+    /// "76 schedules"), with the default streaming configuration (full
+    /// per-schedule result retention — fine at paper scale).
     ///
     /// # Errors
     ///
     /// Propagates search errors.
     pub fn optimize_exhaustive(&self) -> Result<ExhaustiveReport> {
+        self.optimize_exhaustive_with(&SweepConfig::default())
+    }
+
+    /// [`CodesignProblem::optimize_exhaustive`] with explicit streaming
+    /// knobs: chunk size and per-schedule result retention. Huge spaces
+    /// should pass [`SweepConfig::constant_memory`] so neither the sweep
+    /// nor the report materialises the box.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search errors.
+    pub fn optimize_exhaustive_with(&self, sweep: &SweepConfig) -> Result<ExhaustiveReport> {
         let space = self.schedule_space()?;
-        Ok(exhaustive_search(self, &space)?)
+        Ok(exhaustive_search_with(self, &space, sweep)?)
     }
 }
 

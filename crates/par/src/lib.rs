@@ -1,26 +1,50 @@
-//! Deterministic scoped-thread parallelism for the co-design pipeline.
+//! Deterministic parallelism for the co-design pipeline, built on a
+//! lazily-initialised **persistent worker pool**.
 //!
 //! The evaluation engine fans out at four independent levels (per-app
 //! synthesis, PSO particles, exhaustive sweeps, hybrid neighbour
-//! probes). This crate provides the one primitive they all share:
-//! [`par_map`], an order-preserving parallel map over a slice built on
-//! `std::thread::scope` — no external dependencies, no unsafe code.
+//! probes). This crate provides the primitives they all share:
+//! [`par_map`], an order-preserving parallel map over a slice, and
+//! [`par_map_chunked`], the same primitive with coarser dispatch
+//! granularity for µs-scale work items.
 //!
-//! # Determinism
+//! # Pool lifecycle
+//!
+//! The first parallel region spawns the worker threads; they live for
+//! the rest of the process, parked on a job queue. This replaces the
+//! per-call `std::thread::scope` spawning of earlier versions: a
+//! schedule sweep streaming millions of cheap batches pays the
+//! thread-creation cost **once**, not once per batch. The pool grows on
+//! demand up to the largest `min(thread_budget(), batch)` ever
+//! requested and never shrinks; [`pool_workers`] reports the current
+//! size. Forced-sequential runs (`CACS_THREADS=1`, [`sequential`], or a
+//! nested region) never touch the pool, so the purely sequential
+//! configuration spawns no threads at all.
+//!
+//! Callers participate in their own batches: a `par_map` with a budget
+//! of `N` runs on `N - 1` pool workers plus the calling thread, and the
+//! call returns as soon as the batch's items are done — queued claims
+//! that no worker picked up in time are retired without blocking on
+//! unrelated jobs.
+//!
+//! # Determinism contract
 //!
 //! `par_map(items, f)` returns results in **item order** regardless of
 //! which thread computed what, so any caller whose `f` is a pure
 //! function of `(index, item)` produces bit-identical output to the
-//! sequential loop it replaced. All parallel call sites in this
-//! workspace are structured that way (seeded PSO draws its random
-//! numbers *before* the parallel objective batch, etc.).
+//! sequential loop it replaced — at any thread count, any pool size and
+//! any dispatch granularity. All parallel call sites in this workspace
+//! are structured that way (seeded PSO draws its random numbers
+//! *before* the parallel objective batch, the exhaustive sweep reduces
+//! in lexicographic enumeration order, etc.).
 //!
 //! # Knobs
 //!
 //! * `CACS_THREADS=N` — cap worker threads (default: available
-//!   parallelism). `CACS_THREADS=1` forces every parallel region
-//!   sequential, which is the recommended setting when bisecting a
-//!   numerical difference or profiling single-core behaviour.
+//!   parallelism), re-read at every parallel region. `CACS_THREADS=1`
+//!   forces every parallel region sequential, which is the recommended
+//!   setting when bisecting a numerical difference or profiling
+//!   single-core behaviour.
 //! * [`sequential`] — scoped version of the same: forces every
 //!   `par_map` inside the closure to run inline on the calling thread.
 //!
@@ -31,16 +55,25 @@
 //! outermost fan-out (the widest, most profitable one — e.g. the
 //! exhaustive schedule sweep) gets the threads; inner levels (per-app
 //! synthesis, PSO particles) parallelise only when they are the
-//! outermost active region. This bounds the total thread count at
-//! `thread_budget()` no matter how deeply the pipeline composes.
+//! outermost active region. This bounds the concurrency of one region
+//! at `thread_budget()` no matter how deeply the pipeline composes.
+//!
+//! # Panics
+//!
+//! A panic raised by `f` is caught on the worker, the batch is drained,
+//! and the payload is re-raised on the calling thread — the pool
+//! itself survives and later regions keep working.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 thread_local! {
-    /// Set while the current thread is inside a parallel region (either
-    /// a worker, or a caller that opted into [`sequential`]).
+    /// Set while the current thread is inside a parallel region (a pool
+    /// worker, a caller participating in its own batch, or a caller
+    /// that opted into [`sequential`]).
     static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -77,67 +110,271 @@ pub fn sequential<R>(f: impl FnOnce() -> R) -> R {
     })
 }
 
-/// Order-preserving parallel map: returns `f(i, &items[i])` for every
-/// `i`, in index order.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A poisoned lock only means some worker panicked inside `f`; the
+    // payload is propagated separately, the protected state stays valid.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Type-erased pointer to a batch's drain closure. The pointee lives on
+/// the submitting caller's stack; see the safety argument on
+/// [`run_on_pool`].
+struct TaskPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from several threads are
+// fine) and the submitting caller keeps it alive until the job retires,
+// so sending/sharing the raw pointer across worker threads is sound.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct JobState {
+    /// Workers currently executing the drain closure. The caller's
+    /// retire path waits on exactly one condition: `running == 0`.
+    running: usize,
+    /// Set by the caller once the batch is complete: late claims must
+    /// not touch the (about to be released) borrows.
+    retired: bool,
+}
+
+/// One submitted parallel region. `task` borrows the caller's stack;
+/// everything else is owned so late-arriving workers can observe
+/// `retired` without touching freed memory.
+struct Job {
+    task: TaskPtr,
+    state: Mutex<JobState>,
+    progress: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct Pool {
+    queue_tx: Sender<Arc<Job>>,
+    queue_rx: Arc<Mutex<Receiver<Arc<Job>>>>,
+    spawned: Mutex<usize>,
+}
+
+impl Pool {
+    fn ensure_workers(&self, n: usize) {
+        let mut spawned = relock(self.spawned.lock());
+        while *spawned < n {
+            let rx = Arc::clone(&self.queue_rx);
+            std::thread::Builder::new()
+                .name(format!("cacs-par-{spawned}"))
+                .spawn(move || worker_loop(&rx))
+                .expect("spawn cacs-par worker");
+            *spawned += 1;
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (queue_tx, queue_rx) = channel();
+        Pool {
+            queue_tx,
+            queue_rx: Arc::new(Mutex::new(queue_rx)),
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+/// Number of persistent worker threads currently alive (0 until the
+/// first parallel region runs).
+pub fn pool_workers() -> usize {
+    *relock(pool().spawned.lock())
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Arc<Job>>>) {
+    // Workers are permanently "inside a parallel region": any par_map
+    // issued from within a job runs inline (see crate docs on nesting).
+    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let queue = relock(rx.lock());
+            match queue.recv() {
+                Ok(job) => job,
+                // The global pool's sender is never dropped while the
+                // process lives; disconnection means shutdown.
+                Err(_) => return,
+            }
+        };
+        let claimed = {
+            let mut state = relock(job.state.lock());
+            if state.retired {
+                // A retired claim is dropped without touching `task`;
+                // nobody waits on this transition.
+                false
+            } else {
+                state.running += 1;
+                true
+            }
+        };
+        if !claimed {
+            continue;
+        }
+        // SAFETY: `running` was incremented above, and the submitting
+        // caller blocks until `running` returns to zero before the
+        // stack frame `task` borrows from can unwind, so the pointee is
+        // alive for the whole call.
+        let task = unsafe { &*job.task.0 };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+            let mut slot = relock(job.panic.lock());
+            slot.get_or_insert(payload);
+        }
+        let mut state = relock(job.state.lock());
+        state.running -= 1;
+        job.progress.notify_all();
+    }
+}
+
+/// Runs `task` on `extra` pool workers plus the calling thread, and
+/// returns the first captured panic payload (caller's own panic takes
+/// precedence) once every participant is done.
 ///
-/// Work is distributed dynamically (an atomic cursor) across at most
-/// `min(thread_budget(), items.len())` scoped threads. Falls back to a
-/// plain sequential loop when the budget is 1, the input has fewer than
-/// 2 items, or the caller is already inside a parallel region (see the
-/// crate docs on nesting).
+/// # Safety argument
 ///
-/// # Panics
+/// `task` borrows the caller's stack frame, but is type-erased to
+/// `'static` so it can sit in the persistent pool's queue. Soundness
+/// rests on two invariants:
 ///
-/// Propagates the first panic raised by `f` (workers are joined by the
-/// scope; the panic surfaces on the calling thread).
-pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
-    let workers = thread_budget().min(items.len());
+/// 1. this function does not return (or unwind) until `running == 0`
+///    and the caller's own participation has finished, so no worker
+///    holds a reference into the frame once it can be popped;
+/// 2. a claim popped *after* the caller retires the job observes
+///    `retired == true` under the job's lock and never dereferences
+///    `task`.
+fn run_on_pool(extra: usize, task: &(dyn Fn() + Sync)) -> Option<Box<dyn std::any::Any + Send>> {
+    let pool = pool();
+    pool.ensure_workers(extra);
+
+    let erased: *const (dyn Fn() + Sync) = task;
+    // SAFETY: only erases the pointee's lifetime; see the safety
+    // argument above for why the pointee outlives every dereference.
+    let erased: *const (dyn Fn() + Sync + 'static) = unsafe { std::mem::transmute(erased) };
+    let job = Arc::new(Job {
+        task: TaskPtr(erased),
+        state: Mutex::new(JobState {
+            running: 0,
+            retired: false,
+        }),
+        progress: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    for _ in 0..extra {
+        pool.queue_tx
+            .send(Arc::clone(&job))
+            .expect("cacs-par pool queue lives for the whole process");
+    }
+
+    // The caller participates in its own batch (so a budget of N means
+    // N concurrent lanes, and a batch never waits on an empty pool).
+    let caller_result = IN_PARALLEL_REGION.with(|flag| {
+        let was = flag.replace(true);
+        let result = catch_unwind(AssertUnwindSafe(task));
+        flag.set(was);
+        result
+    });
+
+    // Retire the job: claims still in the queue will be dropped without
+    // touching `task`, and we only wait for workers actually inside it.
+    {
+        let mut state = relock(job.state.lock());
+        state.retired = true;
+        while state.running > 0 {
+            state = relock(job.progress.wait(state));
+        }
+    }
+
+    match caller_result {
+        Err(payload) => Some(payload),
+        Ok(()) => relock(job.panic.lock()).take(),
+    }
+}
+
+fn par_map_impl<T: Sync, R: Send>(
+    items: &[T],
+    grain: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let grain = grain.max(1);
+    let chunks = items.len().div_ceil(grain);
+    let workers = thread_budget().min(chunks);
     if workers <= 1 || in_parallel_region() {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
-                    // Workers drain the cursor; each keeps a local buffer
-                    // so the shared lock is touched once per worker, not
-                    // once per item.
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    if !local.is_empty() {
-                        collected
-                            .lock()
-                            .expect("par_map results poisoned")
-                            .extend(local);
-                    }
-                })
-            })
-            .collect();
-        // Join explicitly so a worker's panic payload surfaces verbatim
-        // on the calling thread (the scope's implicit join would replace
-        // it with a generic "scoped thread panicked" message).
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
+    let drain = || {
+        // Each participant keeps a local buffer so the shared lock is
+        // touched once per participant, not once per item.
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let start = cursor.fetch_add(grain, Ordering::Relaxed);
+            if start >= items.len() {
+                break;
+            }
+            let end = (start + grain).min(items.len());
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                local.push((i, f(i, item)));
             }
         }
-    });
+        if !local.is_empty() {
+            relock(collected.lock()).extend(local);
+        }
+    };
 
-    let mut pairs = collected.into_inner().expect("par_map results poisoned");
+    if let Some(payload) = run_on_pool(workers - 1, &drain) {
+        resume_unwind(payload);
+    }
+
+    let mut pairs = collected
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     debug_assert_eq!(pairs.len(), items.len());
     pairs.sort_unstable_by_key(|(i, _)| *i);
     pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Order-preserving parallel map: returns `f(i, &items[i])` for every
+/// `i`, in index order.
+///
+/// Work is distributed dynamically (an atomic cursor, one item per
+/// claim) across at most `min(thread_budget(), items.len())` lanes of
+/// the persistent pool. Falls back to a plain sequential loop when the
+/// budget is 1, the input has fewer than 2 items, or the caller is
+/// already inside a parallel region (see the crate docs on nesting).
+/// Per-item dispatch suits expensive items (full schedule evaluations);
+/// for µs-scale items use [`par_map_chunked`].
+///
+/// # Panics
+///
+/// Propagates a panic raised by `f` (the batch is drained, the payload
+/// surfaces on the calling thread, and the pool stays usable).
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    par_map_impl(items, 1, f)
+}
+
+/// [`par_map`] with coarse dispatch: participants claim `chunk_size`
+/// consecutive items per cursor step, so the per-claim overhead is
+/// amortised over the chunk. Results are still returned in item order
+/// and are identical to [`par_map`]'s at any chunk size — only the
+/// load-balancing granularity changes.
+///
+/// The primitive for cheap, uniform items: feasibility predicates,
+/// synthetic objectives, streaming sweep batches.
+///
+/// # Panics
+///
+/// Propagates a panic raised by `f`, like [`par_map`].
+pub fn par_map_chunked<T: Sync, R: Send>(
+    items: &[T],
+    chunk_size: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    par_map_impl(items, chunk_size, f)
 }
 
 /// Fallible order-preserving parallel map: like [`par_map`] but stops
@@ -177,10 +414,41 @@ mod tests {
     }
 
     #[test]
+    fn chunked_matches_per_item_at_any_granularity() {
+        let items: Vec<u64> = (0..1000).collect();
+        let reference = par_map(&items, |i, &x| x * 31 + i as u64);
+        for chunk in [1, 3, 7, 64, 1000, 5000] {
+            let chunked = par_map_chunked(&items, chunk, |i, &x| x * 31 + i as u64);
+            assert_eq!(chunked, reference, "chunk_size {chunk}");
+        }
+    }
+
+    #[test]
     fn empty_and_single() {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, |_, &x| x).is_empty());
         assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+        assert!(par_map_chunked(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map_chunked(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pool_persists_across_many_small_batches() {
+        // The regression the pool exists for: thousands of µs-scale
+        // batches must reuse the same workers, not spawn per call.
+        let items: Vec<u32> = (0..64).collect();
+        for round in 0..2000u32 {
+            let out = par_map_chunked(&items, 8, |_, &x| x ^ round);
+            assert_eq!(out.len(), items.len());
+        }
+        if thread_budget() > 1 {
+            let after = pool_workers();
+            assert!(after >= 1, "pool should have spawned workers");
+            assert!(
+                after <= thread_budget(),
+                "pool must not exceed the budget: {after}"
+            );
+        }
     }
 
     #[test]
@@ -197,7 +465,7 @@ mod tests {
             }
         });
         // Either the budget was 1 (everything inline, flag never set) or
-        // all workers saw the flag.
+        // every lane (workers and the participating caller) saw the flag.
         if thread_budget() > 1 {
             assert_eq!(saw_nested_parallel.load(Ordering::Relaxed), 0);
         }
@@ -231,5 +499,22 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("poisoned batch");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // Later regions on the same pool keep working and stay ordered.
+        let out = par_map(&items, |_, &x| x + 1);
+        assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
     }
 }

@@ -1,15 +1,64 @@
-//! Brute-force schedule search (the paper's verification baseline).
+//! Brute-force schedule search (the paper's verification baseline),
+//! streamed over the box in bounded chunks.
 //!
 //! The sweep is embarrassingly parallel: every idle-feasible schedule is
-//! an independent full evaluation. [`exhaustive_search`] fans the batch
-//! out through [`cacs_par::par_map`] and then reduces **sequentially in
-//! lexicographic enumeration order**, so the selected best schedule (and
-//! its tie-breaking) is bit-identical to the historical sequential
-//! sweep at any thread count. `CACS_THREADS=1` forces the sequential
-//! path entirely.
+//! an independent full evaluation. [`exhaustive_search`] walks the box
+//! in lexicographic order **one chunk at a time** — idle-filter the
+//! chunk, fan its evaluations out through [`cacs_par::par_map_chunked`]
+//! (dispatch granularity is a [`SweepConfig`] knob), reduce
+//! into the running best, drop the chunk — so memory stays constant no
+//! matter how many million schedules the box holds. The reduction is
+//! strict-improvement in enumeration order, which makes the selected
+//! best schedule (and its tie-breaking) bit-identical to the historical
+//! materialise-everything sequential sweep at any thread count and any
+//! chunk size. `CACS_THREADS=1` forces the sequential path entirely.
 
 use crate::{Result, ScheduleEvaluator, ScheduleSpace, SearchError};
 use cacs_sched::Schedule;
+
+/// Tuning knobs for a streaming exhaustive sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Idle-feasible candidates buffered per evaluate/reduce batch. The
+    /// memory high-water mark of a sweep is `O(chunk_size)`, independent
+    /// of the box size; the value never affects the selected best or any
+    /// counter.
+    pub chunk_size: usize,
+    /// Cap on how many evaluated `(schedule, objective)` pairs
+    /// [`ExhaustiveReport::results`] retains (first-come in enumeration
+    /// order). `None` keeps everything — fine for paper-sized boxes,
+    /// an OOM for multi-million-schedule sweeps, which should pass
+    /// `Some(0)` (counters and the best are always exact regardless).
+    pub max_results: Option<usize>,
+    /// Consecutive evaluations claimed per worker dispatch inside a
+    /// chunk ([`cacs_par::par_map_chunked`]'s granularity). The default
+    /// of 1 load-balances expensive evaluators (full co-design runs);
+    /// µs-scale synthetic objectives should raise it so the per-claim
+    /// overhead is amortised. Never affects the outcome, only the
+    /// work-distribution granularity.
+    pub dispatch_grain: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            chunk_size: 4096,
+            max_results: None,
+            dispatch_grain: 1,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A constant-memory configuration for huge boxes: default chunking,
+    /// no per-schedule result retention.
+    pub fn constant_memory() -> Self {
+        SweepConfig {
+            max_results: Some(0),
+            ..SweepConfig::default()
+        }
+    }
+}
 
 /// Outcome of an exhaustive sweep over the schedule space.
 #[derive(Debug, Clone)]
@@ -22,16 +71,22 @@ pub struct ExhaustiveReport {
     pub enumerated: u64,
     /// Schedules passing the a-priori idle-time check — these are the
     /// ones that had to be *evaluated* (the paper's "76 schedules").
-    pub evaluated: usize,
+    pub evaluated: u64,
     /// Evaluated schedules that were fully feasible (the paper's "74").
-    pub feasible: usize,
-    /// Every evaluated schedule with its objective (`None` = violated the
-    /// settling-deadline constraint).
+    pub feasible: u64,
+    /// Evaluated schedules with their objectives (`None` = violated the
+    /// settling-deadline constraint), in enumeration order, truncated to
+    /// [`SweepConfig::max_results`]. [`ExhaustiveReport::results_truncated`]
+    /// says whether anything was dropped.
     pub results: Vec<(Schedule, Option<f64>)>,
+    /// `true` when [`ExhaustiveReport::results`] holds fewer entries than
+    /// were evaluated (retention was capped).
+    pub results_truncated: bool,
 }
 
 /// Evaluates every idle-feasible schedule in the space and returns the
-/// best (paper Section V's brute-force verification).
+/// best (paper Section V's brute-force verification), using the default
+/// [`SweepConfig`] — chunked streaming, full result retention.
 ///
 /// # Errors
 ///
@@ -57,47 +112,118 @@ pub fn exhaustive_search<E: ScheduleEvaluator + ?Sized>(
     evaluator: &E,
     space: &ScheduleSpace,
 ) -> Result<ExhaustiveReport> {
+    exhaustive_search_with(evaluator, space, &SweepConfig::default())
+}
+
+/// [`exhaustive_search`] with explicit streaming knobs.
+///
+/// The box is enumerated lexicographically and consumed in batches of
+/// [`SweepConfig::chunk_size`] idle-feasible candidates: each batch is
+/// evaluated in parallel and folded into the running best before the
+/// next batch is generated, so peak memory is bounded by the chunk size
+/// (plus retained results, see [`SweepConfig::max_results`]) at any box
+/// size. Chunk boundaries and thread count provably cannot change the
+/// outcome: the reduction keeps the first-seen strict improvement in
+/// enumeration order, exactly like a sequential loop over the whole box.
+///
+/// # Errors
+///
+/// Returns [`SearchError::AppCountMismatch`] if evaluator and space
+/// disagree on the application count.
+pub fn exhaustive_search_with<E: ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &ScheduleSpace,
+    config: &SweepConfig,
+) -> Result<ExhaustiveReport> {
     if evaluator.app_count() != space.app_count() {
         return Err(SearchError::AppCountMismatch {
             expected: evaluator.app_count(),
             actual: space.app_count(),
         });
     }
-    // Enumerate and pre-filter cheaply (idle feasibility is a few
-    // arithmetic checks), then fan the expensive evaluations out. The
-    // box iterator yields each schedule exactly once, so no memo layer
-    // is needed — every evaluation is unique by construction.
-    let mut enumerated = 0u64;
-    let candidates: Vec<Schedule> = space
-        .iter()
-        .inspect(|_| enumerated += 1)
-        .filter(|s| evaluator.idle_feasible(s))
-        .collect();
+    let chunk_size = config.chunk_size.max(1);
+    let retain = config.max_results.unwrap_or(usize::MAX);
 
-    let values = cacs_par::par_map(&candidates, |_, schedule| evaluator.evaluate(schedule));
-
-    // Deterministic reduction in enumeration order: strict improvement
-    // keeps the first-seen best, matching the sequential tie-breaking.
     let mut best: Option<Schedule> = None;
     let mut best_value = f64::NEG_INFINITY;
-    for (schedule, value) in candidates.iter().zip(&values) {
-        if let Some(v) = *value {
-            if v > best_value {
-                best_value = v;
-                best = Some(schedule.clone());
+    let mut enumerated = 0u64;
+    let mut evaluated = 0u64;
+    let mut feasible = 0u64;
+    let mut results: Vec<(Schedule, Option<f64>)> = Vec::new();
+    let mut results_truncated = false;
+
+    // Enumerate and pre-filter cheaply (idle feasibility is a few
+    // arithmetic checks), buffering only one chunk of candidates at a
+    // time. The box iterator yields each schedule exactly once, so no
+    // memo layer is needed — every evaluation is unique by construction.
+    let mut iter = space.iter();
+    // Pre-size for the chunk, but never pre-reserve an absurd request
+    // (a "whole box" chunk on a huge space still grows incrementally).
+    let mut candidates: Vec<Schedule> = Vec::with_capacity(chunk_size.min(65_536));
+    let mut exhausted = false;
+    while !exhausted {
+        candidates.clear();
+        while candidates.len() < chunk_size {
+            match iter.next() {
+                Some(schedule) => {
+                    enumerated += 1;
+                    if evaluator.idle_feasible(&schedule) {
+                        candidates.push(schedule);
+                    }
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
             }
         }
-    }
-    let results: Vec<(Schedule, Option<f64>)> = candidates.into_iter().zip(values).collect();
+        if candidates.is_empty() {
+            continue;
+        }
 
-    let feasible = results.iter().filter(|(_, v)| v.is_some()).count();
+        let values =
+            cacs_par::par_map_chunked(&candidates, config.dispatch_grain.max(1), |_, s| {
+                evaluator.evaluate(s)
+            });
+
+        // Deterministic reduction in enumeration order: strict
+        // improvement keeps the first-seen best, so chunk boundaries are
+        // invisible in the outcome.
+        evaluated += candidates.len() as u64;
+        for (schedule, value) in candidates.iter().zip(&values) {
+            if let Some(v) = *value {
+                feasible += 1;
+                if v > best_value {
+                    best_value = v;
+                    best = Some(schedule.clone());
+                }
+            }
+        }
+        if results.len() < retain {
+            let room = retain - results.len();
+            if candidates.len() > room {
+                results_truncated = true;
+            }
+            results.extend(
+                candidates
+                    .iter()
+                    .cloned()
+                    .zip(values.iter().copied())
+                    .take(room),
+            );
+        } else if !candidates.is_empty() && retain < usize::MAX {
+            results_truncated = true;
+        }
+    }
+
     Ok(ExhaustiveReport {
         best,
         best_value,
         enumerated,
-        evaluated: results.len(),
+        evaluated,
         feasible,
         results,
+        results_truncated,
     })
 }
 
@@ -117,6 +243,8 @@ mod tests {
         assert_eq!(r.enumerated, 16);
         assert_eq!(r.evaluated, 16);
         assert_eq!(r.feasible, 16);
+        assert!(!r.results_truncated);
+        assert_eq!(r.results.len(), 16);
         assert_eq!(r.best.unwrap().counts(), &[3, 2]);
     }
 
@@ -162,6 +290,91 @@ mod tests {
         assert!(r.best.is_none());
         assert_eq!(r.feasible, 0);
         assert_eq!(r.evaluated, 3);
+    }
+
+    #[test]
+    fn chunk_size_is_invisible_in_the_outcome() {
+        let eval = FnEvaluator::with_idle_check(
+            2,
+            |s: &Schedule| {
+                let c = s.counts();
+                // Plateaus force tie-breaking through the reduction.
+                Some(f64::from((c[0] + 2 * c[1]) % 5))
+            },
+            |s: &Schedule| s.counts().iter().sum::<u32>() % 7 != 0,
+        );
+        let space = ScheduleSpace::new(vec![6, 6]).unwrap();
+        let reference = exhaustive_search_with(
+            &eval,
+            &space,
+            &SweepConfig {
+                chunk_size: usize::MAX,
+                max_results: None,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        for chunk_size in [1, 2, 3, 7, 36] {
+            let r = exhaustive_search_with(
+                &eval,
+                &space,
+                &SweepConfig {
+                    chunk_size,
+                    max_results: None,
+                    ..SweepConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.best, reference.best, "chunk {chunk_size}");
+            assert_eq!(r.best_value.to_bits(), reference.best_value.to_bits());
+            assert_eq!(r.enumerated, reference.enumerated);
+            assert_eq!(r.evaluated, reference.evaluated);
+            assert_eq!(r.feasible, reference.feasible);
+            assert_eq!(r.results, reference.results);
+        }
+    }
+
+    #[test]
+    fn result_retention_is_bounded() {
+        let eval = FnEvaluator::new(2, |s: &Schedule| Some(f64::from(s.counts()[0])));
+        let space = ScheduleSpace::new(vec![4, 4]).unwrap();
+        let full = exhaustive_search(&eval, &space).unwrap();
+
+        let capped = exhaustive_search_with(
+            &eval,
+            &space,
+            &SweepConfig {
+                chunk_size: 3,
+                max_results: Some(5),
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.results.len(), 5);
+        assert!(capped.results_truncated);
+        assert_eq!(capped.results[..], full.results[..5]);
+        assert_eq!(capped.best, full.best);
+        assert_eq!(capped.evaluated, full.evaluated);
+        assert_eq!(capped.feasible, full.feasible);
+
+        let none = exhaustive_search_with(&eval, &space, &SweepConfig::constant_memory()).unwrap();
+        assert!(none.results.is_empty());
+        assert!(none.results_truncated);
+        assert_eq!(none.best, full.best);
+
+        // A cap that happens to cover everything is not "truncated".
+        let roomy = exhaustive_search_with(
+            &eval,
+            &space,
+            &SweepConfig {
+                chunk_size: 4,
+                max_results: Some(100),
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(roomy.results, full.results);
+        assert!(!roomy.results_truncated);
     }
 
     #[test]

@@ -15,14 +15,17 @@
 //!   several searches, with per-search [`CacheSession`] views that keep
 //!   the paper's per-start cost metric exact,
 //! * [`ScheduleSpace`] — the bounded box of candidate schedules, with
-//!   bounds derived from the idle-time constraint,
+//!   bounds derived from the idle-time constraint and indexed access
+//!   (`unrank` / `iter_from`) into its lexicographic enumeration,
 //! * [`hybrid_search`] / [`hybrid_search_multistart`] — the paper's
 //!   hybrid algorithm: per-dimension 1-D quadratic gradient models,
 //!   unit steps along the best feasible direction, a simulated-annealing
 //!   style tolerance that accepts bounded worsening, parallel neighbour
 //!   probes and parallel multistart (std scoped threads),
-//! * [`exhaustive_search`] — the brute-force baseline, evaluated in
-//!   parallel with a deterministic lexicographic-order reduction, and
+//! * [`exhaustive_search`] / [`exhaustive_search_with`] — the
+//!   brute-force baseline, streamed chunk-by-chunk at constant memory
+//!   with a deterministic lexicographic-order reduction (see
+//!   [`SweepConfig`] for the chunking and result-retention knobs), and
 //! * [`simulated_annealing`] / [`genetic_search`] / [`tabu_search`] —
 //!   classical metaheuristic baselines for evaluation-count comparisons.
 //!
@@ -71,7 +74,7 @@ pub use evaluator::{
     CacheSession, CountingScheduleEvaluator, FnEvaluator, MemoizedEvaluator, ScheduleEvaluator,
     SharedEvalCache,
 };
-pub use exhaustive::{exhaustive_search, ExhaustiveReport};
+pub use exhaustive::{exhaustive_search, exhaustive_search_with, ExhaustiveReport, SweepConfig};
 pub use genetic::{genetic_search, GeneticConfig};
 pub use hybrid::{hybrid_search, hybrid_search_multistart, HybridConfig, SearchReport};
 pub use space::ScheduleSpace;

@@ -8,6 +8,11 @@ use serde::{Deserialize, Serialize};
 /// schedules (paper Section IV: `m_i ∈ N⁺` with upper bounds induced by
 /// the idle-time constraint).
 ///
+/// Schedules are ordered lexicographically (last dimension fastest);
+/// [`ScheduleSpace::unrank`] and [`ScheduleSpace::iter_from`] give
+/// indexed access into that order, which is what lets sweeps stream the
+/// box in bounded chunks instead of materialising it.
+///
 /// # Example
 ///
 /// ```
@@ -16,6 +21,8 @@ use serde::{Deserialize, Serialize};
 /// # fn main() -> Result<(), cacs_search::SearchError> {
 /// let space = ScheduleSpace::new(vec![4, 9, 7])?;
 /// assert_eq!(space.len(), 4 * 9 * 7);
+/// assert_eq!(space.unrank(0).unwrap().counts(), &[1, 1, 1]);
+/// assert_eq!(space.unrank(7).unwrap().counts(), &[1, 2, 1]);
 /// # Ok(())
 /// # }
 /// ```
@@ -25,10 +32,20 @@ pub struct ScheduleSpace {
 }
 
 impl ScheduleSpace {
-    /// Largest box [`ScheduleSpace::from_feasibility_scan`] will
-    /// enumerate exactly; beyond it the scan reports
-    /// [`SearchError::SpaceTooLarge`].
+    /// Default box-size limit for [`ScheduleSpace::from_feasibility_scan`];
+    /// beyond it the scan reports [`SearchError::SpaceTooLarge`]. The
+    /// limit guards *time*, not memory — the scan streams at constant
+    /// memory, so callers that accept the predicate cost can raise it via
+    /// [`ScheduleSpace::from_feasibility_scan_with_limit`].
     pub const SCAN_LIMIT: u64 = 2_000_000;
+
+    /// A generous streaming-scan budget (`8^8` points) for callers with
+    /// cheap predicates — e.g. `cacs-core`'s idle-time feasibility check,
+    /// a few arithmetic operations per schedule.
+    pub const STREAM_SCAN_LIMIT: u64 = 16_777_216;
+
+    /// Schedules buffered per chunk while streaming a feasibility scan.
+    const SCAN_CHUNK: usize = 8_192;
 
     /// Creates a space with per-application maxima (each at least 1).
     ///
@@ -58,20 +75,42 @@ impl ScheduleSpace {
     /// dimension (raising `m_i` turns `C_i`'s own last task warm,
     /// shortening it), so the cheap axis-wise bound of
     /// [`ScheduleSpace::from_feasibility`] can miss feasible corners; this
-    /// scan is exact. The predicate must be cheap: it is called `capⁿ`
-    /// times.
+    /// scan is exact. The box is streamed in chunks of a few thousand
+    /// schedules with the predicate evaluated in parallel
+    /// ([`cacs_par::par_map_chunked`]), so memory stays constant and the
+    /// per-dimension max reduction is order-independent. The predicate
+    /// must be cheap: it is called `capⁿ` times.
     ///
     /// # Errors
     ///
     /// * [`SearchError::InvalidSpace`] if `apps` is zero or no schedule
     ///   in the box is feasible.
     /// * [`SearchError::SpaceTooLarge`] if the box exceeds
-    ///   [`ScheduleSpace::SCAN_LIMIT`] points — callers should fall back
-    ///   to [`ScheduleSpace::from_feasibility`].
+    ///   [`ScheduleSpace::SCAN_LIMIT`] points — callers should raise the
+    ///   budget via [`ScheduleSpace::from_feasibility_scan_with_limit`]
+    ///   or fall back to [`ScheduleSpace::from_feasibility`].
     pub fn from_feasibility_scan(
         apps: usize,
         cap: u32,
-        mut feasible: impl FnMut(&Schedule) -> bool,
+        feasible: impl Fn(&Schedule) -> bool + Sync,
+    ) -> Result<Self> {
+        Self::from_feasibility_scan_with_limit(apps, cap, Self::SCAN_LIMIT, feasible)
+    }
+
+    /// [`ScheduleSpace::from_feasibility_scan`] with an explicit box-size
+    /// budget: scans up to `limit` points before reporting
+    /// [`SearchError::SpaceTooLarge`]. The scan streams at constant
+    /// memory, so the budget is purely a bound on predicate evaluations.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduleSpace::from_feasibility_scan`], with `limit` in place
+    /// of [`ScheduleSpace::SCAN_LIMIT`].
+    pub fn from_feasibility_scan_with_limit(
+        apps: usize,
+        cap: u32,
+        limit: u64,
+        feasible: impl Fn(&Schedule) -> bool + Sync,
     ) -> Result<Self> {
         if apps == 0 {
             return Err(SearchError::InvalidSpace {
@@ -79,19 +118,28 @@ impl ScheduleSpace {
             });
         }
         let box_size = (u64::from(cap)).checked_pow(apps as u32);
-        if box_size.is_none_or(|s| s > Self::SCAN_LIMIT) {
-            return Err(SearchError::SpaceTooLarge {
-                cap,
-                apps,
-                limit: Self::SCAN_LIMIT,
-            });
+        if box_size.is_none_or(|s| s > limit) {
+            return Err(SearchError::SpaceTooLarge { cap, apps, limit });
         }
         let full = ScheduleSpace::new(vec![cap; apps])?;
         let mut max_counts = vec![0u32; apps];
-        for schedule in full.iter() {
-            if feasible(&schedule) {
-                for (max, &m) in max_counts.iter_mut().zip(schedule.counts()) {
-                    *max = (*max).max(m);
+        let mut chunk: Vec<Schedule> = Vec::with_capacity(Self::SCAN_CHUNK);
+        let mut iter = full.iter();
+        loop {
+            chunk.clear();
+            chunk.extend(iter.by_ref().take(Self::SCAN_CHUNK));
+            if chunk.is_empty() {
+                break;
+            }
+            // The reduction (per-dimension max over feasible points) is
+            // commutative, so chunking and parallel evaluation cannot
+            // change the result.
+            let verdicts = cacs_par::par_map_chunked(&chunk, 64, |_, s| feasible(s));
+            for (schedule, ok) in chunk.iter().zip(verdicts) {
+                if ok {
+                    for (max, &m) in max_counts.iter_mut().zip(schedule.counts()) {
+                        *max = (*max).max(m);
+                    }
                 }
             }
         }
@@ -106,6 +154,12 @@ impl ScheduleSpace {
     /// Derives per-dimension maxima from a feasibility predicate: for each
     /// application `i`, the largest `m ≤ cap` such that the schedule with
     /// `m_i = m` and all other counts at 1 satisfies the predicate.
+    ///
+    /// The whole `1..=cap` range is probed for every dimension — the idle
+    /// constraint is **not** monotone in `m_i` (see
+    /// [`ScheduleSpace::from_feasibility_scan`]), so an early break at the
+    /// first infeasible `m` could silently shrink the search box past
+    /// feasible corners.
     ///
     /// This is a fast, conservative approximation (see
     /// [`ScheduleSpace::from_feasibility_scan`] for the exact variant and
@@ -135,8 +189,6 @@ impl ScheduleSpace {
                 let s = Schedule::new(counts).expect("positive counts");
                 if feasible(&s) {
                     best = m;
-                } else if best > 0 {
-                    break; // feasibility is monotone in m_i
                 }
             }
             if best == 0 {
@@ -159,9 +211,21 @@ impl ScheduleSpace {
         &self.max_counts
     }
 
-    /// Total number of schedules in the box.
+    /// Total number of schedules in the box, saturating at `u64::MAX`
+    /// when the true product overflows (use
+    /// [`ScheduleSpace::checked_len`] to detect that case). Saturation
+    /// keeps size guards sound: an astronomically large box reports
+    /// "huge", never a small wrapped value.
     pub fn len(&self) -> u64 {
-        self.max_counts.iter().map(|&m| u64::from(m)).product()
+        self.checked_len().unwrap_or(u64::MAX)
+    }
+
+    /// Total number of schedules in the box, or `None` if the product
+    /// overflows `u64`.
+    pub fn checked_len(&self) -> Option<u64> {
+        self.max_counts
+            .iter()
+            .try_fold(1u64, |acc, &m| acc.checked_mul(u64::from(m)))
     }
 
     /// `false` — a valid space is never empty (maxima are ≥ 1).
@@ -179,10 +243,40 @@ impl ScheduleSpace {
                 .all(|(&m, &max)| m >= 1 && m <= max)
     }
 
+    /// The schedule at position `rank` of the lexicographic enumeration
+    /// (the inverse of the enumeration order: `unrank(k)` equals the
+    /// `k`-th element yielded by [`ScheduleSpace::iter`]). Returns
+    /// `None` when `rank >= len()`.
+    ///
+    /// Mixed-radix decode with the **last** dimension least significant,
+    /// matching the odometer order of [`ScheduleSpace::iter`].
+    pub fn unrank(&self, rank: u64) -> Option<Schedule> {
+        let n = self.app_count();
+        let mut counts = vec![1u32; n];
+        let mut r = rank;
+        for i in (0..n).rev() {
+            let radix = u64::from(self.max_counts[i]);
+            counts[i] = 1 + (r % radix) as u32;
+            r /= radix;
+        }
+        if r > 0 {
+            return None; // rank beyond the end of the box
+        }
+        Some(Schedule::new(counts).expect("in-range counts"))
+    }
+
     /// Iterates over every schedule in the box, in lexicographic order.
     pub fn iter(&self) -> impl Iterator<Item = Schedule> + '_ {
+        self.iter_from(0)
+    }
+
+    /// Iterates from the schedule at `rank` (inclusive) to the end of the
+    /// box, in lexicographic order; empty when `rank >= len()`. This is
+    /// `iter().skip(rank)` at O(n) cost, the primitive behind chunked
+    /// streaming and resumable sweeps.
+    pub fn iter_from(&self, rank: u64) -> impl Iterator<Item = Schedule> + '_ {
         let n = self.app_count();
-        let mut current: Option<Vec<u32>> = Some(vec![1; n]);
+        let mut current: Option<Vec<u32>> = self.unrank(rank).map(|s| s.counts().to_vec());
         std::iter::from_fn(move || {
             let counts = current.take()?;
             let result = Schedule::new(counts.clone()).expect("in-range counts");
@@ -228,6 +322,21 @@ mod tests {
     }
 
     #[test]
+    fn len_saturates_instead_of_wrapping() {
+        // 2^32 × 2^32 = 2^64 overflows u64; the unchecked product would
+        // wrap to 0 and defeat every "space too large" guard.
+        let huge = ScheduleSpace::new(vec![u32::MAX, u32::MAX, u32::MAX]).unwrap();
+        assert_eq!(huge.checked_len(), None);
+        assert_eq!(huge.len(), u64::MAX);
+
+        // Just below the edge: (2^32 - 1)^2 < 2^64 still computes exactly.
+        let edge = ScheduleSpace::new(vec![u32::MAX, u32::MAX]).unwrap();
+        let exact = u64::from(u32::MAX) * u64::from(u32::MAX);
+        assert_eq!(edge.checked_len(), Some(exact));
+        assert_eq!(edge.len(), exact);
+    }
+
+    #[test]
     fn contains() {
         let s = ScheduleSpace::new(vec![2, 3]).unwrap();
         assert!(s.contains(&Schedule::new(vec![1, 1]).unwrap()));
@@ -256,12 +365,47 @@ mod tests {
     }
 
     #[test]
+    fn unrank_matches_enumeration_order() {
+        let s = ScheduleSpace::new(vec![3, 1, 4]).unwrap();
+        for (rank, schedule) in s.iter().enumerate() {
+            assert_eq!(s.unrank(rank as u64).unwrap(), schedule, "rank {rank}");
+        }
+        assert_eq!(s.unrank(s.len()), None);
+        assert_eq!(s.unrank(u64::MAX), None);
+    }
+
+    #[test]
+    fn iter_from_is_suffix_of_iter() {
+        let s = ScheduleSpace::new(vec![2, 3, 2]).unwrap();
+        let all: Vec<Schedule> = s.iter().collect();
+        for rank in 0..=s.len() {
+            let suffix: Vec<Schedule> = s.iter_from(rank).collect();
+            assert_eq!(suffix, all[rank as usize..], "rank {rank}");
+        }
+        assert_eq!(s.iter_from(s.len() + 5).count(), 0);
+    }
+
+    #[test]
     fn from_feasibility_derives_bounds() {
         // Feasible iff sum of counts <= 6: with others at 1, dim max = 4
         // for 3 apps.
         let space = ScheduleSpace::from_feasibility(3, 10, |s| s.counts().iter().sum::<u32>() <= 6)
             .unwrap();
         assert_eq!(space.max_counts(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn from_feasibility_scans_past_infeasible_holes() {
+        // Regression: feasibility non-monotone along the scanned axis
+        // itself — feasible at m ∈ {1, 4} with a hole at {2, 3}. The old
+        // early break ("monotone in m_i") stopped at the hole and capped
+        // the dimension at 1, silently shrinking the box.
+        let pred = |s: &Schedule| {
+            let m = s.counts()[0];
+            s.counts()[1..].iter().all(|&c| c == 1) && (m == 1 || m == 4)
+        };
+        let space = ScheduleSpace::from_feasibility(3, 8, pred).unwrap();
+        assert_eq!(space.max_counts()[0], 4);
     }
 
     #[test]
@@ -286,8 +430,31 @@ mod tests {
     }
 
     #[test]
+    fn scan_streams_across_chunk_boundaries() {
+        // 25^4 = 390,625 points: dozens of SCAN_CHUNK batches. The only
+        // feasible corner sits at the very end of the enumeration, so a
+        // scan that mishandled chunk boundaries would miss it.
+        let pred = |s: &Schedule| {
+            let c = s.counts();
+            c == [1, 1, 1, 1] || c == [25, 25, 25, 25]
+        };
+        let scan = ScheduleSpace::from_feasibility_scan(4, 25, pred).unwrap();
+        assert_eq!(scan.max_counts(), &[25, 25, 25, 25]);
+    }
+
+    #[test]
     fn scan_rejects_oversized_boxes() {
         assert!(ScheduleSpace::from_feasibility_scan(8, 20, |_| true).is_err());
+        // 40^4 = 2,560,000 exceeds the default SCAN_LIMIT…
+        assert!(ScheduleSpace::from_feasibility_scan(4, 40, |_| true).is_err());
+        // …but a raised streaming budget admits it.
+        let r = ScheduleSpace::from_feasibility_scan_with_limit(
+            4,
+            40,
+            ScheduleSpace::STREAM_SCAN_LIMIT,
+            |s| s.counts().iter().all(|&c| c <= 2),
+        );
+        assert_eq!(r.unwrap().max_counts(), &[2; 4]);
     }
 
     #[test]

@@ -146,7 +146,7 @@ proptest! {
             .iter()
             .filter(|s| s.counts().iter().sum::<u32>() <= budget)
             .count();
-        prop_assert_eq!(report.evaluated, expected);
+        prop_assert_eq!(report.evaluated, expected as u64);
         prop_assert_eq!(report.enumerated, 64);
     }
 

@@ -1,0 +1,212 @@
+//! Streaming-sweep equivalence: chunked streaming `exhaustive_search`
+//! must be **bit-identical** to the materialised sequential sweep for
+//! every chunk size and thread count — best schedule, tie-breaking,
+//! objective bits, counters and retained results alike.
+//!
+//! Thread counts are exercised both via `cacs_par::sequential` (forced
+//! inline) and by temporarily pinning `CACS_THREADS` to 1 and 4 around
+//! the sweep. The env fiddling is serialised by a local mutex; it is
+//! harmless to concurrent tests because every parallel region in the
+//! workspace is deterministic at any thread count.
+
+use cacs_sched::Schedule;
+use cacs_search::{
+    exhaustive_search_with, ExhaustiveReport, FnEvaluator, ScheduleEvaluator, ScheduleSpace,
+    SweepConfig,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `CACS_THREADS` pinned to `threads`, restoring the
+/// previous value afterwards.
+fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved = std::env::var("CACS_THREADS").ok();
+    std::env::set_var("CACS_THREADS", threads);
+    let result = f();
+    match saved {
+        Some(v) => std::env::set_var("CACS_THREADS", v),
+        None => std::env::remove_var("CACS_THREADS"),
+    }
+    result
+}
+
+/// Objective with plateaus (ties), deadline violations and an idle
+/// filter, so every result class and the tie-breaking rule participate.
+fn gnarly(
+    seed: u64,
+) -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync, impl Fn(&Schedule) -> bool + Sync> {
+    FnEvaluator::with_idle_check(
+        3,
+        move |s: &Schedule| {
+            let c = s.counts();
+            let mix = u64::from(c[0]) * 31 + u64::from(c[1]) * 17 + u64::from(c[2]) * 3 + seed;
+            if mix.is_multiple_of(13) {
+                None // "deadline violation"
+            } else {
+                // Quantised to a handful of levels: many exact ties, so
+                // a wrong reduction order is actually observable.
+                Some((mix % 7) as f64 * 0.125)
+            }
+        },
+        move |s: &Schedule| !(u64::from(s.counts().iter().sum::<u32>()) + seed).is_multiple_of(11),
+    )
+}
+
+fn assert_reports_identical(a: &ExhaustiveReport, b: &ExhaustiveReport, context: &str) {
+    assert_eq!(a.best, b.best, "{context}: best schedule");
+    assert_eq!(
+        a.best_value.to_bits(),
+        b.best_value.to_bits(),
+        "{context}: best value bits"
+    );
+    assert_eq!(a.enumerated, b.enumerated, "{context}: enumerated");
+    assert_eq!(a.evaluated, b.evaluated, "{context}: evaluated");
+    assert_eq!(a.feasible, b.feasible, "{context}: feasible");
+    assert_eq!(a.results.len(), b.results.len(), "{context}: result count");
+    for ((sa, va), (sb, vb)) in a.results.iter().zip(&b.results) {
+        assert_eq!(sa, sb, "{context}: result order");
+        assert_eq!(
+            va.map(f64::to_bits),
+            vb.map(f64::to_bits),
+            "{context}: objective bits for {sa}"
+        );
+    }
+}
+
+/// The cross-product the issue asks for: chunk sizes {1, 7, whole box}
+/// × `CACS_THREADS` {1, 4}, against the materialised forced-sequential
+/// sweep as the reference.
+fn check_streaming_grid<E: ScheduleEvaluator>(eval: &E, space: &ScheduleSpace) {
+    let whole_box = usize::try_from(space.len()).expect("test boxes are small");
+    let reference = cacs_par::sequential(|| {
+        exhaustive_search_with(
+            eval,
+            space,
+            &SweepConfig {
+                chunk_size: whole_box.max(1),
+                max_results: None,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap()
+    });
+    for chunk_size in [1, 7, whole_box.max(1)] {
+        let config = SweepConfig {
+            chunk_size,
+            max_results: None,
+            ..SweepConfig::default()
+        };
+        for threads in ["1", "4"] {
+            let report = with_threads(threads, || {
+                exhaustive_search_with(eval, space, &config).unwrap()
+            });
+            assert_reports_identical(
+                &report,
+                &reference,
+                &format!("chunk {chunk_size}, {threads} threads"),
+            );
+        }
+        // And under the scoped sequential escape hatch.
+        let inline = cacs_par::sequential(|| exhaustive_search_with(eval, space, &config).unwrap());
+        assert_reports_identical(&inline, &reference, &format!("chunk {chunk_size}, inline"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn streaming_matches_materialised_sequential(
+        seed in 0u64..1000,
+        maxes in prop::collection::vec(1u32..6, 3),
+    ) {
+        let eval = gnarly(seed);
+        let space = ScheduleSpace::new(maxes).unwrap();
+        check_streaming_grid(&eval, &space);
+    }
+
+    #[test]
+    fn bounded_retention_is_a_prefix_at_any_chunk_size(
+        seed in 0u64..1000,
+        cap in 0usize..20,
+    ) {
+        let eval = gnarly(seed);
+        let space = ScheduleSpace::new(vec![4, 3, 4]).unwrap();
+        let full = cacs_par::sequential(|| {
+            exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap()
+        });
+        for chunk_size in [1, 7, 48] {
+            let capped = exhaustive_search_with(
+                &eval,
+                &space,
+                &SweepConfig {
+                    chunk_size,
+                    max_results: Some(cap),
+                    ..SweepConfig::default()
+                },
+            )
+            .unwrap();
+            let kept = full.results.len().min(cap);
+            prop_assert_eq!(&capped.results[..], &full.results[..kept]);
+            prop_assert_eq!(capped.results_truncated, full.results.len() > cap);
+            prop_assert_eq!(&capped.best, &full.best);
+            prop_assert_eq!(capped.best_value.to_bits(), full.best_value.to_bits());
+            prop_assert_eq!(capped.evaluated, full.evaluated);
+            prop_assert_eq!(capped.feasible, full.feasible);
+        }
+    }
+}
+
+#[test]
+fn all_infeasible_box_is_identical_across_chunkings() {
+    // Idle filter admits schedules, evaluation rejects every one.
+    let eval = FnEvaluator::new(3, |_: &Schedule| None);
+    let space = ScheduleSpace::new(vec![3, 4, 3]).unwrap();
+    check_streaming_grid(&eval, &space);
+    let report = exhaustive_search_with(
+        &eval,
+        &space,
+        &SweepConfig {
+            chunk_size: 5,
+            max_results: None,
+            ..SweepConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(report.best.is_none());
+    assert_eq!(report.feasible, 0);
+    assert_eq!(report.evaluated, 36);
+
+    // Idle filter rejects everything: nothing is ever evaluated.
+    let filtered = FnEvaluator::with_idle_check(3, |_: &Schedule| Some(1.0), |_: &Schedule| false);
+    check_streaming_grid(&filtered, &space);
+    let report = exhaustive_search_with(&filtered, &space, &SweepConfig::default()).unwrap();
+    assert_eq!(report.evaluated, 0);
+    assert_eq!(report.enumerated, 36);
+    assert!(report.best.is_none());
+}
+
+#[test]
+fn tie_breaking_keeps_first_in_enumeration_order_across_chunkings() {
+    // A constant objective ties everywhere: the winner must always be
+    // the first enumerated schedule, whatever the chunk/thread split.
+    let eval = FnEvaluator::new(3, |_: &Schedule| Some(0.25));
+    let space = ScheduleSpace::new(vec![3, 3, 3]).unwrap();
+    check_streaming_grid(&eval, &space);
+    for chunk_size in [1, 2, 7, 27] {
+        let report = exhaustive_search_with(
+            &eval,
+            &space,
+            &SweepConfig {
+                chunk_size,
+                max_results: None,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.best.unwrap().counts(), &[1, 1, 1]);
+    }
+}
