@@ -9,8 +9,13 @@
 //! * `BENCH_eval_cost.json` — per-schedule stage-1 evaluation cost (the
 //!   Section-V observation that cost grows with the task counts `m_i`);
 //! * `BENCH_streaming_sweep.json` — the streaming exhaustive engine on a
-//!   synthetic 2,097,152-schedule box: wall-clock, throughput, and the
-//!   peak-RSS delta proving constant-memory operation.
+//!   synthetic 2,097,152-schedule box: wall-clock, throughput, the
+//!   peak-RSS delta proving constant-memory operation, and a sharded
+//!   run of the same box through the `cacs-distrib` coordinator whose
+//!   merged report must be byte-identical to the single-process sweep.
+//!
+//! Every file also records a `host` block (hostname, logical cores, raw
+//! `CACS_THREADS`) so baselines from different machines are diffable.
 //!
 //! ```text
 //! cargo run --release -p cacs-bench --bin perf-baseline [--full] [--out DIR]
@@ -25,11 +30,11 @@
 //! when the streaming sweep's peak-RSS growth exceeds its bound.
 
 use cacs_apps::paper_case_study;
+use cacs_bench::host_metadata_json;
 use cacs_core::{CodesignProblem, EvaluationConfig};
+use cacs_distrib::{sweep_in_process, CoordinatorConfig};
 use cacs_sched::Schedule;
-use cacs_search::{
-    exhaustive_search_with, ExhaustiveReport, FnEvaluator, HybridConfig, ScheduleSpace, SweepConfig,
-};
+use cacs_search::{exhaustive_search_with, HybridConfig, ScheduleSpace, SweepConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -54,40 +59,11 @@ const STREAMING_RSS_LIMIT_KIB: u64 = 64 * 1024;
 /// schedules, the scale the paper's 77-schedule sweep grows into.
 const STREAMING_BOX: [u32; 3] = [128, 128, 128];
 
-/// A µs-scale synthetic objective with plateaus (exact ties), deadline
-/// violations and an idle filter, so the streaming reduction's
-/// tie-breaking and every result class are exercised at scale.
-fn streaming_surrogate(
-) -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync, impl Fn(&Schedule) -> bool + Sync> {
-    FnEvaluator::with_idle_check(
-        STREAMING_BOX.len(),
-        |s: &Schedule| {
-            let c = s.counts();
-            let mix = u64::from(c[0]) * 2_654_435_761
-                + u64::from(c[1]) * 40_503
-                + u64::from(c[2]) * 2_246_822_519;
-            if mix % 97 == 0 {
-                None // "deadline violation"
-            } else {
-                Some((mix % 4096) as f64 / 4096.0)
-            }
-        },
-        |s: &Schedule| s.counts().iter().sum::<u32>() % 16 != 0,
-    )
-}
-
-fn reports_bitwise_identical(a: &ExhaustiveReport, b: &ExhaustiveReport) -> bool {
-    a.best == b.best
-        && a.best_value.to_bits() == b.best_value.to_bits()
-        && a.enumerated == b.enumerated
-        && a.evaluated == b.evaluated
-        && a.feasible == b.feasible
-        && a.results.len() == b.results.len()
-        && a.results
-            .iter()
-            .zip(&b.results)
-            .all(|((sa, va), (sb, vb))| sa == sb && va.map(f64::to_bits) == vb.map(f64::to_bits))
-}
+/// Workers and shard size of the sharded coordinator run over the
+/// streaming box (32 leases of 65,536 ranks across 2 in-process
+/// workers — full wire protocol, bit-identical merge).
+const SHARDED_WORKERS: usize = 2;
+const SHARDED_SHARD_SIZE: u64 = 65_536;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -119,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seq = cacs_par::sequential(|| problem.optimize_exhaustive())?;
     let seq_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    let results_identical = reports_bitwise_identical(&par, &seq);
+    let results_identical = par.bit_identical(&seq);
 
     eprintln!("perf-baseline: hybrid multistart…");
     let starts = [Schedule::new(vec![4, 2, 2])?, Schedule::new(vec![1, 2, 1])?];
@@ -131,11 +107,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .best
         .clone()
         .ok_or("exhaustive sweep found nothing feasible")?;
+    let host = host_metadata_json();
     let mut search_json = String::new();
     writeln!(search_json, "{{")?;
     writeln!(search_json, "  \"bench\": \"schedule_search\",")?;
     writeln!(search_json, "  \"budget\": \"{}\",", json_escape(&budget))?;
     writeln!(search_json, "  \"threads\": {threads},")?;
+    writeln!(search_json, "  \"host\": {host},")?;
     writeln!(search_json, "  \"exhaustive\": {{")?;
     writeln!(search_json, "    \"wall_ms_parallel\": {par_ms:.1},")?;
     writeln!(search_json, "    \"wall_ms_sequential\": {seq_ms:.1},")?;
@@ -217,6 +195,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(cost_json, "  \"bench\": \"eval_cost\",")?;
     writeln!(cost_json, "  \"budget\": \"{}\",", json_escape(&budget))?;
     writeln!(cost_json, "  \"threads\": {threads},")?;
+    writeln!(cost_json, "  \"host\": {host},")?;
     writeln!(cost_json, "  \"schedules\": [")?;
     for (i, (name, total_m, wall_ms, pso_evals, p_all)) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
@@ -237,7 +216,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The multi-million-schedule engine: a 128³ synthetic box streamed
     // at constant memory, cross-checked bitwise against the forced
     // sequential path and against a peak-RSS growth bound.
-    let eval = streaming_surrogate();
+    let eval = cacs_distrib::synthetic::surrogate(STREAMING_BOX.len());
     let space = ScheduleSpace::new(STREAMING_BOX.to_vec())?;
     let sweep = SweepConfig {
         chunk_size: 65_536,
@@ -261,7 +240,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stream_seq = cacs_par::sequential(|| exhaustive_search_with(&eval, &space, &sweep))?;
     let stream_seq_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    let stream_identical = reports_bitwise_identical(&stream_par, &stream_seq);
+    let stream_identical = stream_par.bit_identical(&stream_seq);
+
+    // The next scaling rung: the same box sharded into rank-range leases
+    // across in-process workers through the full cacs-distrib wire
+    // protocol. Byte-equality is checked on the wire digest — exactly
+    // what a multi-process deployment exchanges.
+    eprintln!(
+        "perf-baseline: sharded sweep ({SHARDED_WORKERS} workers × {SHARDED_SHARD_SIZE}-rank leases)…"
+    );
+    let coord = CoordinatorConfig {
+        shard_size: SHARDED_SHARD_SIZE,
+        sweep: sweep.clone(),
+        ..CoordinatorConfig::default()
+    };
+    let t = Instant::now();
+    let sharded = sweep_in_process(&eval, &space, SHARDED_WORKERS, &coord)?;
+    let sharded_ms = t.elapsed().as_secs_f64() * 1e3;
+    let sharded_digest = cacs_distrib::wire::report_to_lines(&space, 0, &sharded.report)?;
+    let single_digest = cacs_distrib::wire::report_to_lines(&space, 0, &stream_seq)?;
+    let sharded_identical =
+        sharded_digest == single_digest && sharded.report.bit_identical(&stream_seq);
+
     let rss_delta_kib = match (rss_before_kib, rss_after_kib) {
         (Some(before), Some(after)) => Some(after.saturating_sub(before)),
         _ => None,
@@ -276,6 +276,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(stream_json, "{{")?;
     writeln!(stream_json, "  \"bench\": \"streaming_sweep\",")?;
     writeln!(stream_json, "  \"threads\": {threads},")?;
+    writeln!(stream_json, "  \"host\": {host},")?;
     writeln!(
         stream_json,
         "  \"pool_workers\": {},",
@@ -327,8 +328,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     writeln!(
         stream_json,
-        "  \"parallel_matches_sequential_bitwise\": {stream_identical}"
+        "  \"parallel_matches_sequential_bitwise\": {stream_identical},"
     )?;
+    writeln!(stream_json, "  \"sharded\": {{")?;
+    writeln!(stream_json, "    \"workers\": {SHARDED_WORKERS},")?;
+    writeln!(stream_json, "    \"shard_size\": {SHARDED_SHARD_SIZE},")?;
+    writeln!(
+        stream_json,
+        "    \"leases_completed\": {},",
+        sharded.stats.leases_completed
+    )?;
+    writeln!(stream_json, "    \"wall_ms\": {sharded_ms:.1},")?;
+    writeln!(
+        stream_json,
+        "    \"matches_single_process_bytes\": {sharded_identical}"
+    )?;
+    writeln!(stream_json, "  }}")?;
     writeln!(stream_json, "}}")?;
     let stream_path = out_dir.join("BENCH_streaming_sweep.json");
     std::fs::write(&stream_path, &stream_json)?;
@@ -339,6 +354,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if !stream_identical {
         return Err("streaming parallel sweep diverged from sequential".into());
+    }
+    if !sharded_identical {
+        return Err("sharded coordinator sweep diverged from the single-process sweep".into());
     }
     if !constant_memory_ok {
         return Err(format!(

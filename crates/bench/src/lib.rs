@@ -28,6 +28,36 @@ pub fn case_study() -> CaseStudy {
     paper_case_study().expect("paper case study builds")
 }
 
+/// The machine's hostname, for the host-metadata block: kernel value on
+/// Linux, `HOSTNAME` elsewhere, `"unknown"` as last resort.
+pub fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .map(|s| s.trim().to_string())
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The host-metadata JSON object recorded in every `BENCH_*.json`, so
+/// baselines from different machines are diffable (the committed
+/// baselines were recorded on a 1-core container — a multi-core number
+/// next to them must be recognisable as a different host): hostname,
+/// logical core count, and the raw `CACS_THREADS` setting (distinct
+/// from the *effective* thread count, which each bench reports
+/// separately as `threads`).
+pub fn host_metadata_json() -> String {
+    let logical_cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+    let cacs_threads = match std::env::var("CACS_THREADS") {
+        Ok(v) => format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")),
+        Err(_) => "null".to_string(),
+    };
+    format!(
+        "{{ \"hostname\": \"{}\", \"logical_cores\": {logical_cores}, \"cacs_threads_env\": {cacs_threads} }}",
+        hostname().replace('\\', "\\\\").replace('"', "\\\"")
+    )
+}
+
 /// A co-design problem with a benchmark-sized synthesis budget. The
 /// reduced `fast()` budget (24 particles × 80 iterations) is the smallest
 /// that reliably synthesises a feasible design for every case-study

@@ -1,0 +1,419 @@
+//! Coordinator checkpoint: completed coverage + running merged report,
+//! durable across coordinator crashes.
+//!
+//! The file is a line-oriented text format sharing the wire protocol's
+//! primitive encodings (ranks, 16-hex-digit `f64` bit patterns — see
+//! [`crate::wire`] for the stability guarantee) under its own header:
+//!
+//! ```text
+//! CACS-SWEEP-CHECKPOINT 1
+//! SPACE <n> <m1> … <mn>
+//! RETAIN all|<cap>
+//! DONE <start> <end>            (per coalesced completed range)
+//! COUNTERS <enumerated> <evaluated> <feasible>
+//! BEST none|<rank>:<bits>
+//! TRUNCATED 0|1
+//! NRESULTS <k>
+//! R <rank> <bits|none>          (× k)
+//! END
+//! ```
+//!
+//! Writes go through a sibling temp file and an atomic rename, and loads
+//! refuse files without the `END` trailer, so a coordinator killed
+//! mid-write can never resume from a half-written state. Because the
+//! running report is stored with exact bit patterns and merged via
+//! [`ExhaustiveReport::merge`], a resumed sweep remains bit-identical to
+//! an uninterrupted one.
+
+use crate::shard::{coalesce, RankRange};
+use crate::wire::{ReportAssembler, WorkerMsg};
+use crate::{DistribError, Result};
+use cacs_search::{ExhaustiveReport, ScheduleSpace};
+use std::io::Write as _;
+use std::path::Path;
+
+const HEADER: &str = "CACS-SWEEP-CHECKPOINT 1";
+
+/// The durable state of a partially completed sharded sweep.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Per-dimension maxima of the swept space (resume validates these).
+    pub space_maxes: Vec<u32>,
+    /// The retention cap the sweep runs under (resume validates it —
+    /// shards completed under a different cap would not merge
+    /// bit-identically).
+    pub retain: Option<usize>,
+    /// Completed rank ranges, coalesced and sorted.
+    pub completed: Vec<RankRange>,
+    /// Merge of every completed shard's report.
+    pub report: ExhaustiveReport,
+}
+
+impl Checkpoint {
+    /// A fresh checkpoint with nothing completed.
+    pub fn new(space: &ScheduleSpace, retain: Option<usize>) -> Self {
+        Checkpoint {
+            space_maxes: space.max_counts().to_vec(),
+            retain,
+            completed: Vec::new(),
+            report: ExhaustiveReport::empty(),
+        }
+    }
+
+    /// Ranks covered by the completed ranges.
+    pub fn completed_ranks(&self) -> u64 {
+        self.completed.iter().map(RankRange::len).sum()
+    }
+
+    /// Folds one completed shard into the checkpoint. Uses the by-value
+    /// [`ExhaustiveReport::merge_owned`] so the running report's
+    /// accumulated results are moved, not re-cloned, on every lease.
+    pub fn record(&mut self, space: &ScheduleSpace, range: RankRange, shard: &ExhaustiveReport) {
+        let running = std::mem::replace(&mut self.report, ExhaustiveReport::empty());
+        self.report = running.merge_owned(shard, space);
+        self.completed.push(range);
+        self.completed = coalesce(&self.completed);
+    }
+
+    /// Serialises the checkpoint to its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::Protocol`] if the report references
+    /// schedules outside the space (cannot be encoded as ranks).
+    pub fn to_text(&self, space: &ScheduleSpace) -> Result<String> {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("SPACE {}", self.space_maxes.len()));
+        for m in &self.space_maxes {
+            out.push_str(&format!(" {m}"));
+        }
+        out.push('\n');
+        match self.retain {
+            Some(k) => out.push_str(&format!("RETAIN {k}\n")),
+            None => out.push_str("RETAIN all\n"),
+        }
+        for r in &self.completed {
+            out.push_str(&format!("DONE {} {}\n", r.start, r.end));
+        }
+        // The report body reuses the wire encoding: REPORT header fields
+        // split over named lines, then the R lines verbatim.
+        let lines = crate::wire::report_to_lines(space, 0, &self.report)?;
+        let WorkerMsg::Report {
+            enumerated,
+            evaluated,
+            feasible,
+            best,
+            truncated,
+            nresults,
+            ..
+        } = WorkerMsg::decode(&lines[0])?
+        else {
+            unreachable!("report_to_lines starts with a REPORT header");
+        };
+        out.push_str(&format!("COUNTERS {enumerated} {evaluated} {feasible}\n"));
+        match best {
+            Some((rank, bits)) => out.push_str(&format!("BEST {rank}:{bits:016x}\n")),
+            None => out.push_str("BEST none\n"),
+        }
+        out.push_str(&format!("TRUNCATED {}\n", u8::from(truncated)));
+        out.push_str(&format!("NRESULTS {nresults}\n"));
+        for line in &lines[1..lines.len() - 1] {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("END\n");
+        Ok(out)
+    }
+
+    /// Parses a checkpoint and validates it against the space being
+    /// resumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::Checkpoint`] on malformed or truncated
+    /// text, or when the checkpoint's space/retention disagree with the
+    /// resumed sweep's.
+    pub fn from_text(text: &str, space: &ScheduleSpace, retain: Option<usize>) -> Result<Self> {
+        let bad = |reason: &str| DistribError::Checkpoint {
+            reason: reason.to_string(),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(bad("missing or unsupported header"));
+        }
+        let space_line = lines.next().ok_or_else(|| bad("missing SPACE line"))?;
+        let space_maxes = match crate::wire::CoordMsg::decode(space_line) {
+            Ok(crate::wire::CoordMsg::Space(maxes)) => maxes,
+            _ => return Err(bad("malformed SPACE line")),
+        };
+        if space_maxes != space.max_counts() {
+            return Err(bad(&format!(
+                "checkpoint space {space_maxes:?} != resumed space {:?}",
+                space.max_counts()
+            )));
+        }
+        let retain_line = lines.next().ok_or_else(|| bad("missing RETAIN line"))?;
+        let saved_retain = match retain_line.strip_prefix("RETAIN ") {
+            Some("all") => None,
+            Some(k) => Some(k.parse().map_err(|_| bad("malformed RETAIN cap"))?),
+            None => return Err(bad("missing RETAIN line")),
+        };
+        if saved_retain != retain {
+            return Err(bad(&format!(
+                "checkpoint retention {saved_retain:?} != configured {retain:?}"
+            )));
+        }
+
+        let mut completed = Vec::new();
+        let mut line = lines.next();
+        while let Some(l) = line {
+            let Some(rest) = l.strip_prefix("DONE ") else {
+                break;
+            };
+            let mut f = rest.split_whitespace();
+            let start: u64 = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("malformed DONE start"))?;
+            let end: u64 = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("malformed DONE end"))?;
+            if end > space.len() || start > end {
+                return Err(bad(&format!(
+                    "DONE range [{start}, {end}) outside the space"
+                )));
+            }
+            completed.push(RankRange::new(start, end));
+            line = lines.next();
+        }
+
+        let counters = line.ok_or_else(|| bad("missing COUNTERS line"))?;
+        let rest = counters
+            .strip_prefix("COUNTERS ")
+            .ok_or_else(|| bad("missing COUNTERS line"))?;
+        let mut f = rest.split_whitespace();
+        let mut counter = || -> Result<u64> {
+            f.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("malformed COUNTERS line"))
+        };
+        let (enumerated, evaluated, feasible) = (counter()?, counter()?, counter()?);
+
+        let best_line = lines.next().ok_or_else(|| bad("missing BEST line"))?;
+        let best = match best_line.strip_prefix("BEST ") {
+            Some("none") => None,
+            Some(pair) => {
+                let (rank, bits) = pair.split_once(':').ok_or_else(|| bad("malformed BEST"))?;
+                let rank = rank.parse().map_err(|_| bad("malformed BEST rank"))?;
+                let bits = u64::from_str_radix(bits, 16).map_err(|_| bad("malformed BEST bits"))?;
+                Some((rank, bits))
+            }
+            None => return Err(bad("missing BEST line")),
+        };
+        let truncated_line = lines.next().ok_or_else(|| bad("missing TRUNCATED line"))?;
+        let truncated = match truncated_line.strip_prefix("TRUNCATED ") {
+            Some("0") => false,
+            Some("1") => true,
+            _ => return Err(bad("malformed TRUNCATED line")),
+        };
+        let nresults_line = lines.next().ok_or_else(|| bad("missing NRESULTS line"))?;
+        let nresults: u64 = nresults_line
+            .strip_prefix("NRESULTS ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("malformed NRESULTS line"))?;
+
+        // Reassemble the report body through the wire decoder.
+        let header = WorkerMsg::Report {
+            lease: 0,
+            enumerated,
+            evaluated,
+            feasible,
+            best,
+            truncated,
+            nresults,
+        };
+        let mut assembler =
+            ReportAssembler::new(space, &header).map_err(|e| DistribError::Checkpoint {
+                reason: format!("report header: {e}"),
+            })?;
+        for _ in 0..nresults {
+            let l = lines.next().ok_or_else(|| bad("truncated result list"))?;
+            let msg = WorkerMsg::decode(l).map_err(|e| DistribError::Checkpoint {
+                reason: format!("result line: {e}"),
+            })?;
+            assembler.push(msg).map_err(|e| DistribError::Checkpoint {
+                reason: format!("result line: {e}"),
+            })?;
+        }
+        let (_, report) = assembler
+            .push(WorkerMsg::Done { lease: 0 })
+            .map_err(|e| DistribError::Checkpoint {
+                reason: format!("closing report: {e}"),
+            })?
+            .expect("DONE closes the report");
+        if lines.next() != Some("END") {
+            return Err(bad("missing END trailer (truncated write?)"));
+        }
+        Ok(Checkpoint {
+            space_maxes,
+            retain,
+            completed: coalesce(&completed),
+            report,
+        })
+    }
+
+    /// Atomically writes the checkpoint: serialise to `<path>.tmp`, then
+    /// rename over `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and filesystem errors.
+    pub fn save(&self, space: &ScheduleSpace, path: &Path) -> Result<()> {
+        let text = self.to_text(space)?;
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and [`DistribError::Checkpoint`] parse
+    /// failures.
+    pub fn load(path: &Path, space: &ScheduleSpace, retain: Option<usize>) -> Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_text(&text, space, retain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacs_sched::Schedule;
+    use cacs_search::{exhaustive_search_range, FnEvaluator, SweepConfig};
+
+    fn eval(
+    ) -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync, impl Fn(&Schedule) -> bool + Sync>
+    {
+        FnEvaluator::with_idle_check(
+            2,
+            |s: &Schedule| {
+                let mix = u64::from(s.counts()[0]) * 31 + u64::from(s.counts()[1]) * 17;
+                if mix % 13 == 0 {
+                    None
+                } else {
+                    Some((mix % 5) as f64 * 0.25)
+                }
+            },
+            |s: &Schedule| s.counts().iter().sum::<u32>() % 7 != 0,
+        )
+    }
+
+    fn sample() -> (ScheduleSpace, Checkpoint) {
+        let space = ScheduleSpace::new(vec![6, 7]).unwrap();
+        let mut ck = Checkpoint::new(&space, None);
+        let e = eval();
+        for (lo, hi) in [(0u64, 11u64), (30, 42)] {
+            let shard =
+                exhaustive_search_range(&e, &space, lo, hi, &SweepConfig::default()).unwrap();
+            ck.record(&space, RankRange::new(lo, hi), &shard);
+        }
+        (space, ck)
+    }
+
+    fn assert_reports_identical(a: &ExhaustiveReport, b: &ExhaustiveReport) {
+        // Best first for a readable diagnostic; the full bit-for-bit
+        // comparison is centralised in ExhaustiveReport::bit_identical.
+        assert_eq!(a.best, b.best, "best schedule");
+        assert!(
+            a.bit_identical(b),
+            "reports differ bitwise:\n{a:?}\nvs\n{b:?}"
+        );
+    }
+
+    #[test]
+    fn text_round_trip_is_bit_exact() {
+        let (space, ck) = sample();
+        let text = ck.to_text(&space).unwrap();
+        let back = Checkpoint::from_text(&text, &space, None).unwrap();
+        assert_eq!(back.space_maxes, ck.space_maxes);
+        assert_eq!(back.completed, ck.completed);
+        assert_eq!(back.completed_ranks(), 23);
+        assert_reports_identical(&back.report, &ck.report);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (space, ck) = sample();
+        let dir = std::env::temp_dir().join(format!("cacs-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        ck.save(&space, &path).unwrap();
+        let back = Checkpoint::load(&path, &space, None).unwrap();
+        assert_reports_identical(&back.report, &ck.report);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_refused() {
+        let (space, ck) = sample();
+        let text = ck.to_text(&space).unwrap();
+        // Drop the END trailer → refused.
+        let cut = text.trim_end().strip_suffix("END").unwrap();
+        assert!(Checkpoint::from_text(cut, &space, None).is_err());
+        // Drop half the lines → refused.
+        let half: String = text
+            .lines()
+            .take(text.lines().count() / 2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(Checkpoint::from_text(&half, &space, None).is_err());
+    }
+
+    #[test]
+    fn mismatched_space_or_retention_refused() {
+        let (space, ck) = sample();
+        let text = ck.to_text(&space).unwrap();
+        let other = ScheduleSpace::new(vec![6, 8]).unwrap();
+        assert!(Checkpoint::from_text(&text, &other, None).is_err());
+        assert!(Checkpoint::from_text(&text, &space, Some(5)).is_err());
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce_in_the_checkpoint() {
+        let space = ScheduleSpace::new(vec![5, 5]).unwrap();
+        let mut ck = Checkpoint::new(&space, Some(0));
+        let e = eval();
+        for (lo, hi) in [(0u64, 5u64), (5, 10), (20, 25)] {
+            let shard = exhaustive_search_range(
+                &e,
+                &space,
+                lo,
+                hi,
+                &SweepConfig {
+                    max_results: Some(0),
+                    ..SweepConfig::default()
+                },
+            )
+            .unwrap();
+            ck.record(&space, RankRange::new(lo, hi), &shard);
+        }
+        assert_eq!(
+            ck.completed,
+            vec![RankRange::new(0, 10), RankRange::new(20, 25)]
+        );
+        let text = ck.to_text(&space).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("DONE")).count(), 2);
+        let back = Checkpoint::from_text(&text, &space, Some(0)).unwrap();
+        assert_eq!(back.completed, ck.completed);
+    }
+}

@@ -1,0 +1,643 @@
+//! The sweep coordinator: leases rank ranges to workers, re-issues them
+//! on worker death or timeout, merges shard reports bit-identically, and
+//! checkpoints progress after every completed lease.
+//!
+//! # Fault model
+//!
+//! A worker is trusted only while it keeps producing protocol lines. A
+//! connection that hangs up, times out ([`CoordinatorConfig::lease_timeout`]
+//! between lines), or sends a malformed line is dropped and its
+//! outstanding range goes back to the lease queue for another worker —
+//! evaluations are pure functions of `(schedule, evaluator)`, so
+//! re-running a range on a different worker reproduces the same bits.
+//! The sweep fails with [`DistribError::WorkersExhausted`] only when
+//! every worker is gone while coverage is incomplete.
+//!
+//! Because shard merges are commutative/associative
+//! ([`ExhaustiveReport::merge`]) and tie-breaking is rank-based, none of
+//! this scheduling nondeterminism — which worker got which range, in
+//! what order reports arrived, how often leases were re-issued — can
+//! change a single bit of the final report.
+
+use crate::checkpoint::Checkpoint;
+use crate::link::{LinkRecv, WorkerLink};
+use crate::shard::{Lease, RankRange, ShardPlan};
+use crate::wire::{CoordMsg, ReportAssembler, WorkerMsg, PROTOCOL_VERSION};
+use crate::{DistribError, Result};
+use cacs_search::{ExhaustiveReport, ScheduleSpace, SweepConfig};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Tuning and durability knobs for a sharded sweep.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Ranks per lease. Smaller shards mean finer-grained fault
+    /// recovery and steadier checkpoints; larger shards amortise
+    /// protocol overhead. Never affects the merged result.
+    pub shard_size: u64,
+    /// Streaming knobs each worker sweeps its shard under.
+    /// `max_results` is the *global* retention cap: workers retain at
+    /// most that many results per shard and the coordinator re-applies
+    /// the cap after the final merge, which reproduces a single capped
+    /// sweep exactly (the global first-`k` results are each within the
+    /// first `k` of their own shard).
+    pub sweep: SweepConfig,
+    /// Longest silence tolerated between protocol lines of one worker
+    /// (in effect: how long one shard may compute) before its lease is
+    /// re-issued elsewhere.
+    pub lease_timeout: Duration,
+    /// Checkpoint file, rewritten atomically after every completed
+    /// lease; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from [`CoordinatorConfig::checkpoint`] if it exists
+    /// (missing file = fresh start). Completed ranges are skipped and
+    /// the saved partial merge is continued — bit-identically, even if
+    /// `shard_size` changed in between.
+    pub resume: bool,
+    /// Stop issuing leases after this many have completed **this run**
+    /// (the sweep returns partial with `halted = true`). Test/ops hook
+    /// for exercising checkpoint/resume; `None` runs to completion.
+    pub halt_after_leases: Option<u64>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            shard_size: 65_536,
+            sweep: SweepConfig::default(),
+            lease_timeout: Duration::from_secs(120),
+            checkpoint: None,
+            resume: false,
+            halt_after_leases: None,
+        }
+    }
+}
+
+/// Bookkeeping of one coordinator run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Leases completed this run (excludes ranges resumed from a
+    /// checkpoint).
+    pub leases_completed: u64,
+    /// Ranges returned to the queue after a worker died, timed out or
+    /// spoke garbage.
+    pub leases_reissued: u64,
+    /// Worker connections dropped.
+    pub workers_lost: usize,
+    /// Ranks skipped because a resumed checkpoint had already swept
+    /// them.
+    pub resumed_ranks: u64,
+    /// `true` when [`CoordinatorConfig::halt_after_leases`] stopped the
+    /// run early — the report covers only the completed ranges.
+    pub halted: bool,
+}
+
+/// A finished (or deliberately halted) sharded sweep.
+#[derive(Debug, Clone)]
+pub struct ShardedSweep {
+    /// The merged report. Unless [`SweepStats::halted`], this is
+    /// bit-identical to the single-process sweep over the same space and
+    /// [`SweepConfig`].
+    pub report: ExhaustiveReport,
+    /// What it took to produce.
+    pub stats: SweepStats,
+}
+
+struct CoordState {
+    pending: VecDeque<RankRange>,
+    /// Ranks not yet merged (pending + leased out).
+    remaining_ranks: u64,
+    checkpoint: Checkpoint,
+    stats: SweepStats,
+    /// A checkpoint write failed: abort the run (progress durability was
+    /// requested and cannot be provided).
+    fatal: Option<String>,
+}
+
+struct Shared<'a> {
+    state: Mutex<CoordState>,
+    wake: Condvar,
+    space: &'a ScheduleSpace,
+    config: &'a CoordinatorConfig,
+    lease_ids: AtomicU64,
+}
+
+impl Shared<'_> {
+    fn requeue(&self, range: RankRange, why: &str, label: &str) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        eprintln!("cacs-sweep-coord: worker {label} lost ({why}); re-issuing range {range}");
+        st.pending.push_back(range);
+        st.stats.leases_reissued += 1;
+        st.stats.workers_lost += 1;
+        self.wake.notify_all();
+    }
+
+    fn drop_worker(&self, why: &str, label: &str) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        eprintln!("cacs-sweep-coord: worker {label} lost ({why})");
+        st.stats.workers_lost += 1;
+        self.wake.notify_all();
+    }
+}
+
+/// Runs a sharded sweep over the given worker connections and returns
+/// the merged report. See the module docs for the fault model; see
+/// [`sweep_in_process`] for the zero-setup entry point.
+///
+/// # Errors
+///
+/// * [`DistribError::Config`] on an empty worker set or zero shard size,
+/// * [`DistribError::Checkpoint`] / [`DistribError::Io`] on resume or
+///   checkpoint-write failures,
+/// * [`DistribError::WorkersExhausted`] when every worker died with
+///   coverage incomplete.
+pub fn run_coordinator(
+    space: &ScheduleSpace,
+    workers: Vec<WorkerLink>,
+    config: &CoordinatorConfig,
+) -> Result<ShardedSweep> {
+    let retain = config.sweep.max_results;
+    let mut checkpoint = match (&config.checkpoint, config.resume) {
+        (Some(path), true) if path.exists() => Checkpoint::load(path, space, retain)?,
+        _ => Checkpoint::new(space, retain),
+    };
+    // Re-validate resumed coverage against this space.
+    let resumed_ranks = checkpoint.completed_ranks();
+    let plan = ShardPlan::for_gaps(space.len(), &checkpoint.completed, config.shard_size)?;
+    let remaining = plan.total_ranks();
+    if remaining > 0 && workers.is_empty() {
+        return Err(DistribError::Config {
+            parameter: "at least one worker is required",
+        });
+    }
+    checkpoint.retain = retain;
+
+    let shared = Shared {
+        state: Mutex::new(CoordState {
+            pending: plan.ranges().iter().copied().collect(),
+            remaining_ranks: remaining,
+            checkpoint,
+            stats: SweepStats {
+                resumed_ranks,
+                ..SweepStats::default()
+            },
+            fatal: None,
+        }),
+        wake: Condvar::new(),
+        space,
+        config,
+        lease_ids: AtomicU64::new(1),
+    };
+
+    std::thread::scope(|s| {
+        for link in workers {
+            let shared = &shared;
+            s.spawn(move || drive_worker(link, shared));
+        }
+    });
+
+    let st = shared.state.into_inner().unwrap_or_else(|e| e.into_inner());
+    if let Some(reason) = st.fatal {
+        return Err(DistribError::Checkpoint { reason });
+    }
+    let stats = st.stats;
+    if st.remaining_ranks > 0 && !stats.halted {
+        return Err(DistribError::WorkersExhausted {
+            remaining_ranks: st.remaining_ranks,
+        });
+    }
+    let mut report = st.checkpoint.report;
+    if !stats.halted {
+        report.apply_retention(retain);
+    }
+    Ok(ShardedSweep { report, stats })
+}
+
+/// Why a worker thread stopped driving its connection.
+enum WorkerExit {
+    /// Clean shutdown (sweep done or halted).
+    Finished,
+    /// The connection failed; the given range (if any) was re-queued.
+    Lost,
+}
+
+fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>) -> WorkerExit {
+    let timeout = shared.config.lease_timeout;
+    // Handshake: HELLO, then SPACE.
+    match link.recv_deadline(timeout) {
+        LinkRecv::Line(line) => match WorkerMsg::decode(&line) {
+            Ok(WorkerMsg::Hello { version }) if version == PROTOCOL_VERSION => {}
+            Ok(WorkerMsg::Hello { version }) => {
+                shared.drop_worker(
+                    &format!("protocol version {version}, expected {PROTOCOL_VERSION}"),
+                    link.label(),
+                );
+                return WorkerExit::Lost;
+            }
+            _ => {
+                shared.drop_worker("bad handshake", link.label());
+                return WorkerExit::Lost;
+            }
+        },
+        LinkRecv::Closed => {
+            shared.drop_worker("hung up before handshake", link.label());
+            return WorkerExit::Lost;
+        }
+        LinkRecv::TimedOut => {
+            shared.drop_worker("handshake timeout", link.label());
+            return WorkerExit::Lost;
+        }
+    }
+    if link
+        .send(&CoordMsg::Space(shared.space.max_counts().to_vec()).encode())
+        .is_err()
+    {
+        shared.drop_worker("failed to send SPACE", link.label());
+        return WorkerExit::Lost;
+    }
+
+    loop {
+        // Claim the next range, or wait for one to be re-queued.
+        let range = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.fatal.is_some() || st.stats.halted || st.remaining_ranks == 0 {
+                    drop(st);
+                    let _ = link.send(&CoordMsg::Exit.encode());
+                    return WorkerExit::Finished;
+                }
+                if let Some(range) = st.pending.pop_front() {
+                    break range;
+                }
+                st = shared.wake.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        let lease = Lease {
+            id: shared.lease_ids.fetch_add(1, Ordering::Relaxed),
+            range,
+        };
+        let sweep = &shared.config.sweep;
+        let msg = CoordMsg::Sweep {
+            lease: lease.id,
+            start: range.start,
+            end: range.end,
+            chunk: sweep.chunk_size,
+            grain: sweep.dispatch_grain,
+            retain: sweep.max_results,
+        };
+        if link.send(&msg.encode()).is_err() {
+            shared.requeue(range, "failed to send SWEEP", link.label());
+            return WorkerExit::Lost;
+        }
+
+        match collect_report(&mut link, shared, &lease) {
+            Ok(report) => {
+                let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                let space = shared.space;
+                st.checkpoint.record(space, range, &report);
+                st.remaining_ranks -= range.len();
+                st.stats.leases_completed += 1;
+                if let Some(path) = &shared.config.checkpoint {
+                    if let Err(e) = st.checkpoint.save(space, path) {
+                        st.fatal = Some(format!(
+                            "failed to write checkpoint {}: {e}",
+                            path.display()
+                        ));
+                    }
+                }
+                if let Some(halt_after) = shared.config.halt_after_leases {
+                    if st.stats.leases_completed >= halt_after {
+                        st.stats.halted = true;
+                    }
+                }
+                shared.wake.notify_all();
+            }
+            Err(why) => {
+                shared.requeue(range, &why, link.label());
+                return WorkerExit::Lost;
+            }
+        }
+    }
+}
+
+/// Reads one full shard report (`REPORT`, `R`…, `DONE`) off the link,
+/// enforcing the per-line deadline. Any failure is described as a string
+/// so the caller can requeue the lease.
+fn collect_report(
+    link: &mut WorkerLink,
+    shared: &Shared<'_>,
+    lease: &Lease,
+) -> std::result::Result<ExhaustiveReport, String> {
+    let timeout = shared.config.lease_timeout;
+    let mut assembler: Option<ReportAssembler> = None;
+    loop {
+        match link.recv_deadline(timeout) {
+            LinkRecv::Line(line) => {
+                let msg = WorkerMsg::decode(&line).map_err(|e| e.to_string())?;
+                match assembler.as_mut() {
+                    None => {
+                        let a =
+                            ReportAssembler::new(shared.space, &msg).map_err(|e| e.to_string())?;
+                        if a.lease() != lease.id {
+                            return Err(format!(
+                                "report for lease {}, expected {lease}",
+                                a.lease()
+                            ));
+                        }
+                        assembler = Some(a);
+                    }
+                    Some(a) => {
+                        if let Some((_, report)) = a.push(msg).map_err(|e| e.to_string())? {
+                            return Ok(report);
+                        }
+                    }
+                }
+            }
+            LinkRecv::Closed => return Err("connection closed mid-lease".to_string()),
+            LinkRecv::TimedOut => return Err(format!("no line within {}s", timeout.as_secs_f64())),
+        }
+    }
+}
+
+/// Runs a sharded sweep entirely inside the current process: `workers`
+/// threads each serve the full wire protocol over an in-process channel
+/// transport — the same lease/merge/requeue machinery as a multi-process
+/// deployment, with zero setup. The result is bit-identical to
+/// [`cacs_search::exhaustive_search_with`] under the same [`SweepConfig`].
+///
+/// # Errors
+///
+/// As [`run_coordinator`].
+pub fn sweep_in_process<E: cacs_search::ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &ScheduleSpace,
+    workers: usize,
+    config: &CoordinatorConfig,
+) -> Result<ShardedSweep> {
+    if workers == 0 {
+        return Err(DistribError::Config {
+            parameter: "at least one worker is required",
+        });
+    }
+    std::thread::scope(|s| {
+        let mut links = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (link, endpoint) = WorkerLink::channel_pair(format!("in-process-{i}"));
+            s.spawn(move || {
+                // Serve errors surface on the coordinator side as a lost
+                // worker; a clean EXIT returns Ok.
+                let _ = endpoint.serve(evaluator, crate::worker::FaultPlan::default());
+            });
+            links.push(link);
+        }
+        run_coordinator(space, links, config)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::FaultPlan;
+    use cacs_sched::Schedule;
+    use cacs_search::{exhaustive_search_with, FnEvaluator};
+
+    fn gnarly(
+    ) -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync, impl Fn(&Schedule) -> bool + Sync>
+    {
+        FnEvaluator::with_idle_check(
+            3,
+            |s: &Schedule| {
+                let c = s.counts();
+                let mix = u64::from(c[0]) * 31 + u64::from(c[1]) * 17 + u64::from(c[2]) * 3;
+                if mix % 13 == 0 {
+                    None
+                } else {
+                    Some((mix % 7) as f64 * 0.125)
+                }
+            },
+            |s: &Schedule| s.counts().iter().sum::<u32>() % 11 != 0,
+        )
+    }
+
+    fn assert_identical(a: &ExhaustiveReport, b: &ExhaustiveReport, context: &str) {
+        // Best first for a readable diagnostic; the full bit-for-bit
+        // comparison is centralised in ExhaustiveReport::bit_identical.
+        assert_eq!(a.best, b.best, "{context}: best schedule");
+        assert!(
+            a.bit_identical(b),
+            "{context}: reports differ bitwise:\n{a:?}\nvs\n{b:?}"
+        );
+    }
+
+    #[test]
+    fn in_process_sweep_matches_single_process_bitwise() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 6, 5]).unwrap();
+        let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+        for (workers, shard_size) in [(1, 7), (2, 13), (3, 150), (2, 1000)] {
+            let sharded = sweep_in_process(
+                &eval,
+                &space,
+                workers,
+                &CoordinatorConfig {
+                    shard_size,
+                    ..CoordinatorConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(!sharded.stats.halted);
+            assert_eq!(sharded.stats.leases_reissued, 0);
+            assert_identical(
+                &sharded.report,
+                &single,
+                &format!("{workers} workers, shard {shard_size}"),
+            );
+        }
+    }
+
+    #[test]
+    fn capped_retention_matches_single_process() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![4, 5, 4]).unwrap();
+        for cap in [0usize, 5, 500] {
+            let sweep = SweepConfig {
+                max_results: Some(cap),
+                ..SweepConfig::default()
+            };
+            let single = exhaustive_search_with(&eval, &space, &sweep).unwrap();
+            let sharded = sweep_in_process(
+                &eval,
+                &space,
+                2,
+                &CoordinatorConfig {
+                    shard_size: 9,
+                    sweep,
+                    ..CoordinatorConfig::default()
+                },
+            )
+            .unwrap();
+            assert_identical(&sharded.report, &single, &format!("cap {cap}"));
+        }
+    }
+
+    #[test]
+    fn dead_worker_lease_is_reissued() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
+        let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+        let config = CoordinatorConfig {
+            shard_size: 10,
+            lease_timeout: Duration::from_secs(30),
+            ..CoordinatorConfig::default()
+        };
+        let sharded = std::thread::scope(|s| {
+            let eval = &eval;
+            let mut links = Vec::new();
+            // The flaky worker dies while handling its first lease; the
+            // steady worker deliberately withholds its handshake until
+            // that death is certain, so exactly one lease is re-issued.
+            let (died_tx, died_rx) = std::sync::mpsc::channel::<()>();
+            let (link, endpoint) = WorkerLink::channel_pair("flaky");
+            s.spawn(move || {
+                let _ = endpoint.serve(
+                    eval,
+                    FaultPlan {
+                        die_mid_lease: Some(1),
+                    },
+                );
+                let _ = died_tx.send(());
+            });
+            links.push(link);
+            let (link, endpoint) = WorkerLink::channel_pair("steady");
+            s.spawn(move || {
+                died_rx.recv().expect("flaky worker reports its death");
+                let _ = endpoint.serve(eval, FaultPlan::default());
+            });
+            links.push(link);
+            run_coordinator(&space, links, &config)
+        })
+        .unwrap();
+        assert_eq!(sharded.stats.leases_reissued, 1);
+        assert_eq!(sharded.stats.workers_lost, 1);
+        assert_identical(&sharded.report, &single, "after worker death");
+    }
+
+    #[test]
+    fn all_workers_dying_exhausts_the_sweep() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
+        let config = CoordinatorConfig {
+            shard_size: 10,
+            ..CoordinatorConfig::default()
+        };
+        let result = std::thread::scope(|s| {
+            let eval = &eval;
+            let mut links = Vec::new();
+            for i in 0..2 {
+                let (link, endpoint) = WorkerLink::channel_pair(format!("doomed-{i}"));
+                s.spawn(move || {
+                    let _ = endpoint.serve(
+                        eval,
+                        FaultPlan {
+                            die_mid_lease: Some(1),
+                        },
+                    );
+                });
+                links.push(link);
+            }
+            run_coordinator(&space, links, &config)
+        });
+        assert!(matches!(result, Err(DistribError::WorkersExhausted { .. })));
+    }
+
+    #[test]
+    fn checkpoint_halt_and_resume_is_bit_identical() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 6, 5]).unwrap();
+        let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+        let dir = std::env::temp_dir().join(format!("cacs-coord-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("resume.ckpt");
+
+        // Phase 1: halt after 4 leases.
+        let partial = sweep_in_process(
+            &eval,
+            &space,
+            2,
+            &CoordinatorConfig {
+                shard_size: 11,
+                checkpoint: Some(ckpt.clone()),
+                halt_after_leases: Some(4),
+                ..CoordinatorConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(partial.stats.halted);
+        assert!(partial.stats.leases_completed >= 4);
+        assert!(partial.report.enumerated < single.enumerated);
+        assert!(ckpt.exists());
+
+        // Phase 2: resume with a *different* shard size and finish.
+        let resumed = sweep_in_process(
+            &eval,
+            &space,
+            2,
+            &CoordinatorConfig {
+                shard_size: 17,
+                checkpoint: Some(ckpt.clone()),
+                resume: true,
+                ..CoordinatorConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!resumed.stats.halted);
+        // At least 4 leases completed before the halt; the shortest
+        // possible lease under shard_size 11 on a 150-rank box is 7.
+        assert!(resumed.stats.resumed_ranks >= 40);
+        assert_identical(&resumed.report, &single, "after resume");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_file_starts_fresh() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![4, 4, 4]).unwrap();
+        let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+        let ckpt =
+            std::env::temp_dir().join(format!("cacs-coord-fresh-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&ckpt);
+        let sharded = sweep_in_process(
+            &eval,
+            &space,
+            2,
+            &CoordinatorConfig {
+                shard_size: 8,
+                checkpoint: Some(ckpt.clone()),
+                resume: true,
+                ..CoordinatorConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sharded.stats.resumed_ranks, 0);
+        assert_identical(&sharded.report, &single, "fresh resume");
+        std::fs::remove_file(&ckpt).unwrap();
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![3, 3, 3]).unwrap();
+        assert!(matches!(
+            sweep_in_process(&eval, &space, 0, &CoordinatorConfig::default()),
+            Err(DistribError::Config { .. })
+        ));
+        assert!(matches!(
+            run_coordinator(&space, Vec::new(), &CoordinatorConfig::default()),
+            Err(DistribError::Config { .. })
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for the distributed-sweep subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by coordinator, worker and wire-format operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistribError {
+    /// An I/O operation on a transport, checkpoint file or child process
+    /// failed. Stored as kind + rendered message so the error stays
+    /// `Clone`/`PartialEq` (it crosses crate boundaries into
+    /// `cacs_core::CoreError`).
+    Io {
+        /// The failed operation's [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// The rendered I/O error.
+        message: String,
+    },
+    /// A peer sent a line the wire protocol cannot parse, or spoke an
+    /// incompatible protocol version.
+    Protocol {
+        /// What was being parsed and why it was rejected.
+        context: String,
+    },
+    /// The underlying sweep failed.
+    Search(cacs_search::SearchError),
+    /// A checkpoint file was malformed, truncated, or inconsistent with
+    /// the sweep being resumed.
+    Checkpoint {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// Every worker died (or timed out) while rank ranges were still
+    /// unswept; the sweep cannot complete.
+    WorkersExhausted {
+        /// Ranks still missing from the sweep's coverage.
+        remaining_ranks: u64,
+    },
+    /// A coordinator configuration parameter was out of range.
+    Config {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+    },
+    /// Fault injection (`FaultPlan::die_mid_lease`) triggered — test-only
+    /// by construction, never produced by a production configuration.
+    InjectedFault,
+}
+
+impl fmt::Display for DistribError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistribError::Io { message, .. } => write!(f, "distributed sweep I/O: {message}"),
+            DistribError::Protocol { context } => write!(f, "wire protocol: {context}"),
+            DistribError::Search(e) => write!(f, "shard sweep: {e}"),
+            DistribError::Checkpoint { reason } => write!(f, "checkpoint: {reason}"),
+            DistribError::WorkersExhausted { remaining_ranks } => write!(
+                f,
+                "all workers lost with {remaining_ranks} ranks still unswept"
+            ),
+            DistribError::Config { parameter } => {
+                write!(f, "invalid coordinator configuration: {parameter}")
+            }
+            DistribError::InjectedFault => write!(f, "injected worker fault"),
+        }
+    }
+}
+
+impl Error for DistribError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DistribError::Search(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DistribError {
+    fn from(e: std::io::Error) -> Self {
+        DistribError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<cacs_search::SearchError> for DistribError {
+    fn from(e: cacs_search::SearchError) -> Self {
+        DistribError::Search(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DistribError::WorkersExhausted { remaining_ranks: 7 };
+        assert!(e.to_string().contains("7 ranks"));
+        assert!(e.source().is_none());
+        let io = DistribError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DistribError>();
+    }
+}

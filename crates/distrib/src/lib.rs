@@ -1,0 +1,69 @@
+//! Sharded multi-process exhaustive sweeps with checkpoint/resume — the
+//! scaling rung above `cacs-search`'s in-process streaming engine.
+//!
+//! A sweep over a [`cacs_search::ScheduleSpace`] is partitioned into
+//! **rank-range leases** ([`ShardPlan`]): contiguous intervals of the
+//! box's lexicographic enumeration, addressed purely by rank via
+//! `ScheduleSpace::unrank`/`rank`. A coordinator farms leases to worker
+//! processes (child stdio or TCP — see [`wire`] for the line protocol
+//! and its stability guarantee), each worker sweeps its range with
+//! [`cacs_search::exhaustive_search_range`], and the coordinator folds
+//! shard reports together with [`cacs_search::ExhaustiveReport::merge`].
+//!
+//! # The contract: bit-identical, not approximately aggregated
+//!
+//! Like multi-stream detection statistics that must recover the global
+//! optimum exactly from independently processed streams, the subsystem's
+//! invariant is that sharding is **invisible in the result**: for any
+//! worker count, shard size, lease re-issue history or
+//! checkpoint/resume cycle, the merged [`cacs_search::ExhaustiveReport`]
+//! is bit-identical — best schedule, objective bit patterns, counters,
+//! retained results and tie-breaking — to the single-process sequential
+//! sweep over the same box. Objectives travel as raw IEEE-754 bit
+//! patterns, schedules as ranks, and the merge algebra (commutative,
+//! associative, rank-based tie-breaking) is property-tested in
+//! `cacs-search`.
+//!
+//! # Fault tolerance
+//!
+//! Workers hold *leases*, not assignments: a worker that dies, hangs
+//! past [`CoordinatorConfig::lease_timeout`], or speaks garbage is
+//! dropped and its range re-queued for the survivors
+//! ([`coordinator`] module docs describe the model). The coordinator
+//! checkpoints completed coverage plus the running merged report after
+//! every lease ([`checkpoint`]), atomically, so a killed coordinator
+//! resumes where it left off — even under a different shard size.
+//!
+//! # Entry points
+//!
+//! * [`sweep_in_process`] — the full protocol over in-process channel
+//!   transports; what `CodesignProblem::optimize_exhaustive_sharded`
+//!   uses.
+//! * [`run_coordinator`] + [`WorkerLink::spawn_process`] /
+//!   [`accept_workers`] — multi-process and cross-host deployments (the
+//!   `cacs-sweep-coord` / `cacs-sweep-worker` binaries).
+//! * [`worker::serve_stream`] / [`connect_and_serve`] — the worker side.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checkpoint;
+pub mod coordinator;
+mod error;
+pub mod link;
+pub mod shard;
+pub mod synthetic;
+pub mod wire;
+pub mod worker;
+
+pub use checkpoint::Checkpoint;
+pub use coordinator::{
+    run_coordinator, sweep_in_process, CoordinatorConfig, ShardedSweep, SweepStats,
+};
+pub use error::DistribError;
+pub use link::{accept_workers, connect_and_serve, ChannelEndpoint, LinkRecv, WorkerLink};
+pub use shard::{coalesce, Lease, RankRange, ShardPlan};
+pub use worker::FaultPlan;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DistribError>;

@@ -1,0 +1,345 @@
+//! Coordinator-side worker connections over three transports: in-process
+//! channels, child-process stdio, and TCP.
+//!
+//! Every transport reduces to the same shape — a line sender plus an
+//! [`mpsc`] receiver fed by a dedicated reader thread — so the
+//! coordinator gets uniform deadline-based receives
+//! ([`WorkerLink::recv_deadline`]) without per-transport timeout quirks:
+//! a hung worker simply stops producing lines and the lease times out.
+
+use crate::Result;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// What a deadline-bounded receive produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LinkRecv {
+    /// One protocol line.
+    Line(String),
+    /// The worker hung up (EOF / process exit / socket close).
+    Closed,
+    /// No line arrived before the deadline.
+    TimedOut,
+}
+
+/// The boxed line-sender half of a worker connection.
+type LineSender = Box<dyn FnMut(&str) -> std::io::Result<()> + Send>;
+
+/// One connected worker, as the coordinator sees it.
+pub struct WorkerLink {
+    label: String,
+    sender: LineSender,
+    receiver: Receiver<String>,
+    /// Cleanup to run when the link is dropped (kill + reap the child,
+    /// shut the socket down). The reader thread exits on its own once
+    /// the stream closes.
+    reaper: Option<Box<dyn FnMut() + Send>>,
+}
+
+impl std::fmt::Debug for WorkerLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerLink")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerLink {
+    /// Builds a link from raw parts (used by the transport constructors
+    /// and by tests that script a fake worker).
+    pub fn from_parts(
+        label: impl Into<String>,
+        sender: impl FnMut(&str) -> std::io::Result<()> + Send + 'static,
+        receiver: Receiver<String>,
+    ) -> Self {
+        WorkerLink {
+            label: label.into(),
+            sender: Box::new(sender),
+            receiver,
+            reaper: None,
+        }
+    }
+
+    /// Attaches a cleanup closure run when the link is dropped.
+    #[must_use]
+    pub fn with_reaper(mut self, reaper: impl FnMut() + Send + 'static) -> Self {
+        self.reaper = Some(Box::new(reaper));
+        self
+    }
+
+    /// Human-readable name for logs and error messages.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Sends one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures (a dead worker surfaces as a
+    /// broken pipe here or as [`LinkRecv::Closed`] on the next receive).
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        (self.sender)(line)
+    }
+
+    /// Waits up to `timeout` for the next line.
+    pub fn recv_deadline(&mut self, timeout: Duration) -> LinkRecv {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(line) => LinkRecv::Line(line),
+            Err(RecvTimeoutError::Disconnected) => LinkRecv::Closed,
+            Err(RecvTimeoutError::Timeout) => LinkRecv::TimedOut,
+        }
+    }
+
+    /// Creates an in-process link pair: the coordinator half and the
+    /// worker-side endpoint to run [`crate::worker::serve_lines`] over.
+    pub fn channel_pair(label: impl Into<String>) -> (Self, ChannelEndpoint) {
+        let (to_worker, from_coord) = mpsc::channel::<String>();
+        let (to_coord, from_worker) = mpsc::channel::<String>();
+        let link = WorkerLink::from_parts(
+            label,
+            move |line: &str| {
+                to_worker
+                    .send(line.to_string())
+                    .map_err(|_| std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            },
+            from_worker,
+        );
+        (
+            link,
+            ChannelEndpoint {
+                incoming: from_coord,
+                outgoing: to_coord,
+            },
+        )
+    }
+
+    /// Spawns `command` as a child process speaking the protocol on its
+    /// stdin/stdout; stderr is inherited so worker diagnostics reach the
+    /// operator. Dropping the link kills and reaps the child.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures.
+    pub fn spawn_process(label: impl Into<String>, command: &mut Command) -> Result<Self> {
+        let mut child = command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let mut stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let receiver = spawn_reader(stdout);
+        let child = std::sync::Arc::new(std::sync::Mutex::new(child));
+        let reaper_child = std::sync::Arc::clone(&child);
+        Ok(WorkerLink::from_parts(
+            label,
+            move |line: &str| {
+                stdin.write_all(line.as_bytes())?;
+                stdin.write_all(b"\n")?;
+                stdin.flush()
+            },
+            receiver,
+        )
+        .with_reaper(move || {
+            let mut child = reaper_child.lock().unwrap_or_else(|e| e.into_inner());
+            // A worker that honoured EXIT is already gone; the kill then
+            // fails harmlessly and wait() only reaps.
+            let _ = child.kill();
+            let _ = child.wait();
+        }))
+    }
+
+    /// Wraps an accepted TCP stream. Dropping the link shuts the socket
+    /// down, which unblocks the reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failures.
+    pub fn from_tcp(label: impl Into<String>, stream: TcpStream) -> Result<Self> {
+        let mut writer = stream.try_clone()?;
+        let reader_stream = stream.try_clone()?;
+        let receiver = spawn_reader(reader_stream);
+        Ok(WorkerLink::from_parts(
+            label,
+            move |line: &str| {
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()
+            },
+            receiver,
+        )
+        .with_reaper(move || {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }))
+    }
+}
+
+impl Drop for WorkerLink {
+    fn drop(&mut self) {
+        if let Some(reaper) = &mut self.reaper {
+            reaper();
+        }
+    }
+}
+
+/// The worker half of [`WorkerLink::channel_pair`].
+#[derive(Debug)]
+pub struct ChannelEndpoint {
+    /// Lines from the coordinator.
+    pub incoming: Receiver<String>,
+    /// Lines to the coordinator.
+    pub outgoing: Sender<String>,
+}
+
+impl ChannelEndpoint {
+    /// Runs a worker serve loop over this endpoint.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::worker::serve_lines`].
+    pub fn serve<E: cacs_search::ScheduleEvaluator + ?Sized>(
+        self,
+        evaluator: &E,
+        fault: crate::worker::FaultPlan,
+    ) -> Result<()> {
+        let incoming = self.incoming;
+        let outgoing = self.outgoing;
+        crate::worker::serve_lines(
+            evaluator,
+            move || incoming.recv().ok(),
+            move |line| {
+                outgoing
+                    .send(line.to_string())
+                    .map_err(|_| std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            },
+            fault,
+        )
+    }
+}
+
+/// Spawns the reader thread shared by the stream transports: lines go
+/// into a channel, EOF/read errors close it (the coordinator sees
+/// [`LinkRecv::Closed`]).
+fn spawn_reader(stream: impl std::io::Read + Send + 'static) -> Receiver<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::Builder::new()
+        .name("cacs-distrib-reader".to_string())
+        .spawn(move || {
+            for line in BufReader::new(stream).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break; // link dropped: stop reading
+                }
+            }
+        })
+        .expect("spawn reader thread");
+    rx
+}
+
+/// Accepts exactly `n` workers on `listener`, each bounded by
+/// `accept_timeout`, and wraps them as links.
+///
+/// # Errors
+///
+/// Returns an I/O timeout error if too few workers connect in time.
+pub fn accept_workers(
+    listener: &TcpListener,
+    n: usize,
+    accept_timeout: Duration,
+) -> Result<Vec<WorkerLink>> {
+    let deadline = std::time::Instant::now() + accept_timeout;
+    listener.set_nonblocking(true)?;
+    let mut links = Vec::with_capacity(n);
+    while links.len() < n {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nodelay(true).ok();
+                links.push(WorkerLink::from_tcp(format!("tcp:{peer}"), stream)?);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("only {} of {n} workers connected", links.len()),
+                    )
+                    .into());
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    listener.set_nonblocking(false)?;
+    Ok(links)
+}
+
+/// Connects to a coordinator at `addr` and serves the sweep protocol
+/// over the socket (the TCP worker side).
+///
+/// # Errors
+///
+/// Propagates connection failures and [`crate::worker::serve_stream`]
+/// errors.
+pub fn connect_and_serve<E: cacs_search::ScheduleEvaluator + ?Sized>(
+    addr: &str,
+    evaluator: &E,
+    fault: crate::worker::FaultPlan,
+) -> Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    crate::worker::serve_stream(evaluator, reader, stream, fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_carries_lines_both_ways() {
+        let (mut link, endpoint) = WorkerLink::channel_pair("test");
+        link.send("ping").unwrap();
+        assert_eq!(endpoint.incoming.recv().unwrap(), "ping");
+        endpoint.outgoing.send("pong".to_string()).unwrap();
+        assert_eq!(
+            link.recv_deadline(Duration::from_millis(100)),
+            LinkRecv::Line("pong".to_string())
+        );
+    }
+
+    #[test]
+    fn dropped_endpoint_reads_as_closed() {
+        let (mut link, endpoint) = WorkerLink::channel_pair("test");
+        drop(endpoint);
+        assert_eq!(
+            link.recv_deadline(Duration::from_millis(50)),
+            LinkRecv::Closed
+        );
+        assert!(link.send("ping").is_err());
+    }
+
+    #[test]
+    fn silent_endpoint_times_out() {
+        let (mut link, _endpoint) = WorkerLink::channel_pair("test");
+        assert_eq!(
+            link.recv_deadline(Duration::from_millis(20)),
+            LinkRecv::TimedOut
+        );
+    }
+
+    #[test]
+    fn reaper_runs_on_drop() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let hit = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&hit);
+        let (_tx, rx) = mpsc::channel();
+        let link = WorkerLink::from_parts("test", |_| Ok(()), rx)
+            .with_reaper(move || flag.store(true, Ordering::SeqCst));
+        drop(link);
+        assert!(hit.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,272 @@
+//! Rank-range sharding of a schedule space's lexicographic enumeration.
+//!
+//! A shard is nothing but a half-open interval `[start, end)` of ranks
+//! into `ScheduleSpace`'s enumeration order ([`cacs_search::ScheduleSpace::unrank`]
+//! gives indexed access). A [`ShardPlan`] partitions `[0, space.len())`
+//! into such ranges; the coordinator hands them out as leases, re-issues
+//! them when a worker dies, and [`cacs_search::ExhaustiveReport::merge`]
+//! folds the per-range reports back together bit-identically — so the
+//! plan's granularity is a pure throughput/fault-tolerance knob that can
+//! never change the swept result.
+
+use crate::{DistribError, Result};
+
+/// A half-open interval `[start, end)` of enumeration ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RankRange {
+    /// First rank of the range (inclusive).
+    pub start: u64,
+    /// One past the last rank of the range (exclusive).
+    pub end: u64,
+}
+
+impl RankRange {
+    /// Creates a range; `start > end` is normalised to the empty range at
+    /// `start`.
+    pub fn new(start: u64, end: u64) -> Self {
+        RankRange {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Number of ranks covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` if the range covers no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl std::fmt::Display for RankRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// One issued unit of work: a rank range under a coordinator-unique id.
+/// The id is what reports echo back, so a coordinator can tell a
+/// current answer from a stale one; the range is what gets re-queued
+/// when the holder dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lease {
+    /// Coordinator-unique lease identifier.
+    pub id: u64,
+    /// The leased rank range.
+    pub range: RankRange,
+}
+
+impl std::fmt::Display for Lease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lease {} over {}", self.id, self.range)
+    }
+}
+
+/// A partition of `[0, space_len)` into disjoint, covering, ordered rank
+/// ranges — the unit of work distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    ranges: Vec<RankRange>,
+}
+
+impl ShardPlan {
+    /// Partitions `[0, space_len)` into consecutive ranges of at most
+    /// `shard_size` ranks (the last range may be shorter). An empty space
+    /// yields an empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::Config`] if `shard_size` is zero.
+    pub fn with_shard_size(space_len: u64, shard_size: u64) -> Result<Self> {
+        if shard_size == 0 {
+            return Err(DistribError::Config {
+                parameter: "shard_size must be at least 1",
+            });
+        }
+        Ok(ShardPlan {
+            ranges: split_range(RankRange::new(0, space_len), shard_size),
+        })
+    }
+
+    /// Re-plans the *gaps* left by already-completed ranges: subtracts
+    /// `completed` from `[0, space_len)` and splits what remains into
+    /// ranges of at most `shard_size` ranks. This is how a resumed
+    /// coordinator rebuilds its lease queue from a checkpoint, even when
+    /// the checkpoint was written under a different shard size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistribError::Config`] if `shard_size` is zero.
+    pub fn for_gaps(space_len: u64, completed: &[RankRange], shard_size: u64) -> Result<Self> {
+        if shard_size == 0 {
+            return Err(DistribError::Config {
+                parameter: "shard_size must be at least 1",
+            });
+        }
+        let mut done: Vec<RankRange> = completed
+            .iter()
+            .copied()
+            .filter(|r| !r.is_empty())
+            .collect();
+        done.sort_unstable();
+        let mut ranges = Vec::new();
+        let mut cursor = 0u64;
+        for r in done {
+            if r.start > cursor {
+                ranges.extend(split_range(
+                    RankRange::new(cursor, r.start.min(space_len)),
+                    shard_size,
+                ));
+            }
+            cursor = cursor.max(r.end);
+        }
+        if cursor < space_len {
+            ranges.extend(split_range(RankRange::new(cursor, space_len), shard_size));
+        }
+        Ok(ShardPlan { ranges })
+    }
+
+    /// The planned ranges, in ascending rank order.
+    pub fn ranges(&self) -> &[RankRange] {
+        &self.ranges
+    }
+
+    /// Number of planned ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// `true` when nothing is left to sweep.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total ranks covered by the plan.
+    pub fn total_ranks(&self) -> u64 {
+        self.ranges.iter().map(RankRange::len).sum()
+    }
+}
+
+fn split_range(range: RankRange, shard_size: u64) -> Vec<RankRange> {
+    let mut out = Vec::new();
+    let mut start = range.start;
+    while start < range.end {
+        let end = range.end.min(start.saturating_add(shard_size));
+        out.push(RankRange::new(start, end));
+        start = end;
+    }
+    out
+}
+
+/// Coalesces a set of disjoint ranges: sorts them and fuses adjacent
+/// neighbours, so checkpoints stay small no matter how many leases
+/// completed.
+pub fn coalesce(ranges: &[RankRange]) -> Vec<RankRange> {
+    let mut sorted: Vec<RankRange> = ranges.iter().copied().filter(|r| !r.is_empty()).collect();
+    sorted.sort_unstable();
+    let mut out: Vec<RankRange> = Vec::new();
+    for r in sorted {
+        match out.last_mut() {
+            Some(last) if last.end >= r.start => last.end = last.end.max(r.end),
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_partitions_exactly() {
+        let plan = ShardPlan::with_shard_size(100, 33).unwrap();
+        assert_eq!(
+            plan.ranges(),
+            &[
+                RankRange::new(0, 33),
+                RankRange::new(33, 66),
+                RankRange::new(66, 99),
+                RankRange::new(99, 100),
+            ]
+        );
+        assert_eq!(plan.total_ranks(), 100);
+    }
+
+    #[test]
+    fn oversized_shard_yields_one_range() {
+        let plan = ShardPlan::with_shard_size(7, 1000).unwrap();
+        assert_eq!(plan.ranges(), &[RankRange::new(0, 7)]);
+    }
+
+    #[test]
+    fn zero_shard_size_rejected() {
+        assert!(ShardPlan::with_shard_size(10, 0).is_err());
+        assert!(ShardPlan::for_gaps(10, &[], 0).is_err());
+    }
+
+    #[test]
+    fn empty_space_yields_empty_plan() {
+        let plan = ShardPlan::with_shard_size(0, 8).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.total_ranks(), 0);
+    }
+
+    #[test]
+    fn gaps_replan_around_completed_ranges() {
+        let completed = [RankRange::new(10, 20), RankRange::new(40, 45)];
+        let plan = ShardPlan::for_gaps(50, &completed, 8).unwrap();
+        assert_eq!(
+            plan.ranges(),
+            &[
+                RankRange::new(0, 8),
+                RankRange::new(8, 10),
+                RankRange::new(20, 28),
+                RankRange::new(28, 36),
+                RankRange::new(36, 40),
+                RankRange::new(45, 50),
+            ]
+        );
+        assert_eq!(plan.total_ranks(), 50 - 10 - 5);
+    }
+
+    #[test]
+    fn gaps_with_unsorted_and_empty_completed() {
+        let completed = [
+            RankRange::new(30, 30), // empty, ignored
+            RankRange::new(20, 30),
+            RankRange::new(0, 10),
+        ];
+        let plan = ShardPlan::for_gaps(30, &completed, 100).unwrap();
+        assert_eq!(plan.ranges(), &[RankRange::new(10, 20)]);
+    }
+
+    #[test]
+    fn fully_completed_space_leaves_nothing() {
+        let plan = ShardPlan::for_gaps(30, &[RankRange::new(0, 30)], 4).unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn coalesce_fuses_adjacent_ranges() {
+        let ranges = [
+            RankRange::new(10, 20),
+            RankRange::new(0, 10),
+            RankRange::new(25, 30),
+            RankRange::new(20, 25),
+            RankRange::new(40, 50),
+        ];
+        assert_eq!(
+            coalesce(&ranges),
+            vec![RankRange::new(0, 30), RankRange::new(40, 50)]
+        );
+    }
+
+    #[test]
+    fn display_reads_as_interval() {
+        assert_eq!(RankRange::new(3, 9).to_string(), "[3, 9)");
+    }
+}

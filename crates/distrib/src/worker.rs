@@ -1,0 +1,273 @@
+//! The worker side of the sweep protocol: a serve loop generic over any
+//! [`ScheduleEvaluator`] and any line transport (child stdio, TCP, or
+//! in-process channels).
+
+use crate::wire::{report_to_lines, CoordMsg, WorkerMsg, PROTOCOL_VERSION};
+use crate::{DistribError, Result};
+use cacs_search::{exhaustive_search_range, ScheduleEvaluator, ScheduleSpace, SweepConfig};
+
+/// Deterministic fault injection for tests and the CI chaos smoke run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Die (return [`DistribError::InjectedFault`] without replying)
+    /// while handling the `n`-th `SWEEP` request this worker receives
+    /// (1-based) — simulating a worker lost mid-shard, after the lease
+    /// was issued but before any report line went out.
+    pub die_mid_lease: Option<u64>,
+}
+
+/// Serves the sweep protocol over a pair of line callbacks until the
+/// coordinator sends `EXIT` or hangs up: sends `HELLO`, expects `SPACE`,
+/// then answers each `SWEEP` with a shard report produced by
+/// [`exhaustive_search_range`] — bit-identical to what a single-process
+/// sweep computes over the same ranks.
+///
+/// `next_line` returns `None` on end-of-stream; `send_line` must deliver
+/// (and flush) one protocol line.
+///
+/// # Errors
+///
+/// Returns [`DistribError::Protocol`] on malformed coordinator lines,
+/// [`DistribError::Io`] when the transport fails, and
+/// [`DistribError::InjectedFault`] when the fault plan triggers.
+pub fn serve_lines<E: ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    mut next_line: impl FnMut() -> Option<String>,
+    mut send_line: impl FnMut(&str) -> std::io::Result<()>,
+    fault: FaultPlan,
+) -> Result<()> {
+    send_line(
+        &WorkerMsg::Hello {
+            version: PROTOCOL_VERSION,
+        }
+        .encode(),
+    )?;
+    let Some(space_line) = next_line() else {
+        return Ok(()); // coordinator hung up before the handshake
+    };
+    let CoordMsg::Space(maxes) = CoordMsg::decode(&space_line)? else {
+        return Err(DistribError::Protocol {
+            context: format!("expected SPACE after HELLO, got {space_line:?}"),
+        });
+    };
+    let space = ScheduleSpace::new(maxes)?;
+    if space.app_count() != evaluator.app_count() {
+        return Err(DistribError::Protocol {
+            context: format!(
+                "coordinator space has {} dimensions, evaluator models {}",
+                space.app_count(),
+                evaluator.app_count()
+            ),
+        });
+    }
+
+    let mut sweeps_handled = 0u64;
+    while let Some(line) = next_line() {
+        match CoordMsg::decode(&line)? {
+            CoordMsg::Sweep {
+                lease,
+                start,
+                end,
+                chunk,
+                grain,
+                retain,
+            } => {
+                sweeps_handled += 1;
+                if fault.die_mid_lease == Some(sweeps_handled) {
+                    return Err(DistribError::InjectedFault);
+                }
+                let config = SweepConfig {
+                    chunk_size: chunk,
+                    max_results: retain,
+                    dispatch_grain: grain,
+                };
+                let report = exhaustive_search_range(evaluator, &space, start, end, &config)?;
+                for l in report_to_lines(&space, lease, &report)? {
+                    send_line(&l)?;
+                }
+            }
+            CoordMsg::Exit => return Ok(()),
+            CoordMsg::Space(_) => {
+                return Err(DistribError::Protocol {
+                    context: "SPACE sent twice".to_string(),
+                })
+            }
+        }
+    }
+    Ok(()) // coordinator hung up: treated as shutdown
+}
+
+/// [`serve_lines`] over buffered reader/writer halves — the shape the
+/// stdio and TCP worker binaries use.
+///
+/// # Errors
+///
+/// As [`serve_lines`].
+pub fn serve_stream<E: ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    reader: impl std::io::BufRead,
+    mut writer: impl std::io::Write,
+    fault: FaultPlan,
+) -> Result<()> {
+    let mut lines = reader.lines();
+    serve_lines(
+        evaluator,
+        move || lines.next().and_then(|l| l.ok()),
+        move |l| {
+            writer.write_all(l.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()
+        },
+        fault,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacs_sched::Schedule;
+    use cacs_search::{exhaustive_search, FnEvaluator};
+
+    fn eval() -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync> {
+        FnEvaluator::new(2, |s: &Schedule| {
+            Some(f64::from(s.counts()[0] * 10 + s.counts()[1]))
+        })
+    }
+
+    fn drive(input: &[String]) -> (Result<()>, Vec<String>) {
+        let mut sent = Vec::new();
+        let mut it = input.iter().cloned();
+        let result = serve_lines(
+            &eval(),
+            move || it.next(),
+            |l| {
+                sent.push(l.to_string());
+                Ok(())
+            },
+            FaultPlan::default(),
+        );
+        (result, sent)
+    }
+
+    #[test]
+    fn serves_a_sweep_and_exits() {
+        let space = ScheduleSpace::new(vec![3, 4]).unwrap();
+        let input = vec![
+            CoordMsg::Space(vec![3, 4]).encode(),
+            CoordMsg::Sweep {
+                lease: 1,
+                start: 2,
+                end: 9,
+                chunk: 3,
+                grain: 1,
+                retain: None,
+            }
+            .encode(),
+            CoordMsg::Exit.encode(),
+        ];
+        let (result, sent) = drive(&input);
+        result.unwrap();
+        assert_eq!(
+            WorkerMsg::decode(&sent[0]).unwrap(),
+            WorkerMsg::Hello { version: 1 }
+        );
+        let WorkerMsg::Report {
+            lease,
+            enumerated,
+            evaluated,
+            nresults,
+            ..
+        } = WorkerMsg::decode(&sent[1]).unwrap()
+        else {
+            panic!("expected REPORT, got {:?}", sent[1]);
+        };
+        assert_eq!((lease, enumerated, evaluated, nresults), (1, 7, 7, 7));
+        assert_eq!(
+            WorkerMsg::decode(sent.last().unwrap()).unwrap(),
+            WorkerMsg::Done { lease: 1 }
+        );
+        // The reported range matches a direct range sweep.
+        let direct = exhaustive_search_range(
+            &eval(),
+            &space,
+            2,
+            9,
+            &cacs_search::SweepConfig {
+                chunk_size: 3,
+                max_results: None,
+                dispatch_grain: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(direct.evaluated, 7);
+        let _ = exhaustive_search(&eval(), &space).unwrap();
+    }
+
+    #[test]
+    fn hangup_before_handshake_is_clean() {
+        let (result, sent) = drive(&[]);
+        result.unwrap();
+        assert_eq!(sent.len(), 1); // just the HELLO
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let input = vec![CoordMsg::Space(vec![3, 4, 5]).encode()];
+        let (result, _) = drive(&input);
+        assert!(matches!(result, Err(DistribError::Protocol { .. })));
+    }
+
+    #[test]
+    fn rejects_double_space() {
+        let input = vec![
+            CoordMsg::Space(vec![3, 4]).encode(),
+            CoordMsg::Space(vec![3, 4]).encode(),
+        ];
+        let (result, _) = drive(&input);
+        assert!(matches!(result, Err(DistribError::Protocol { .. })));
+    }
+
+    #[test]
+    fn fault_plan_kills_the_requested_lease() {
+        let mut sent = Vec::new();
+        let input = [
+            CoordMsg::Space(vec![3, 4]).encode(),
+            CoordMsg::Sweep {
+                lease: 1,
+                start: 0,
+                end: 4,
+                chunk: 8,
+                grain: 1,
+                retain: None,
+            }
+            .encode(),
+            CoordMsg::Sweep {
+                lease: 2,
+                start: 4,
+                end: 8,
+                chunk: 8,
+                grain: 1,
+                retain: None,
+            }
+            .encode(),
+        ];
+        let mut it = input.iter().cloned();
+        let result = serve_lines(
+            &eval(),
+            move || it.next(),
+            |l| {
+                sent.push(l.to_string());
+                Ok(())
+            },
+            FaultPlan {
+                die_mid_lease: Some(2),
+            },
+        );
+        assert!(matches!(result, Err(DistribError::InjectedFault)));
+        // Lease 1 answered fully, lease 2 not at all.
+        assert!(sent
+            .iter()
+            .any(|l| matches!(WorkerMsg::decode(l), Ok(WorkerMsg::Done { lease: 1 }))));
+        assert!(!sent.iter().any(|l| l.contains("DONE 2")));
+    }
+}

@@ -60,7 +60,9 @@ impl SweepConfig {
     }
 }
 
-/// Outcome of an exhaustive sweep over the schedule space.
+/// Outcome of an exhaustive sweep over the schedule space (or, for a
+/// sharded sweep, over one rank range of it — see
+/// [`exhaustive_search_range`] and [`ExhaustiveReport::merge`]).
 #[derive(Debug, Clone)]
 pub struct ExhaustiveReport {
     /// Best feasible schedule (`None` if every schedule was infeasible).
@@ -82,6 +84,151 @@ pub struct ExhaustiveReport {
     /// `true` when [`ExhaustiveReport::results`] holds fewer entries than
     /// were evaluated (retention was capped).
     pub results_truncated: bool,
+}
+
+impl ExhaustiveReport {
+    /// The identity of [`ExhaustiveReport::merge`]: a report over zero
+    /// schedules — no best, zero counters, no results. Also exactly what
+    /// [`exhaustive_search_range`] returns for an empty range.
+    pub fn empty() -> Self {
+        ExhaustiveReport {
+            best: None,
+            best_value: f64::NEG_INFINITY,
+            enumerated: 0,
+            evaluated: 0,
+            feasible: 0,
+            results: Vec::new(),
+            results_truncated: false,
+        }
+    }
+
+    /// Merges two partial reports over **disjoint** rank ranges of the
+    /// same `space` into the report a single sweep over their union would
+    /// have produced — bit-identically: the merged best keeps the
+    /// sequential sweep's tie-breaking (equal objectives go to the
+    /// lower-ranked schedule, i.e. the one a sequential sweep would have
+    /// seen first), counters add, and retained results interleave back
+    /// into enumeration order.
+    ///
+    /// The operation is **commutative** and **associative**, with
+    /// [`ExhaustiveReport::empty`] as identity — shards can arrive in any
+    /// order, be merged in any grouping (coordinator trees, checkpoint
+    /// resume), and still reduce to the exact sequential result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a best/retained schedule of either report lies outside
+    /// `space` — the reports being merged must come from sweeps over
+    /// (ranges of) this very space.
+    #[must_use = "merge returns the combined report without modifying its inputs"]
+    pub fn merge(&self, other: &ExhaustiveReport, space: &ScheduleSpace) -> ExhaustiveReport {
+        self.clone().merge_owned(other, space)
+    }
+
+    /// [`ExhaustiveReport::merge`] consuming the left operand: the
+    /// accumulator's own results are *moved* into the merged report
+    /// instead of deep-cloned, so folding many shards into a running
+    /// report (the coordinator's per-lease path) costs one traversal per
+    /// merge rather than re-cloning everything accumulated so far. Only
+    /// `other`'s (per-shard, small) results are cloned.
+    ///
+    /// # Panics
+    ///
+    /// As [`ExhaustiveReport::merge`].
+    #[must_use = "merge_owned returns the combined report"]
+    pub fn merge_owned(self, other: &ExhaustiveReport, space: &ScheduleSpace) -> ExhaustiveReport {
+        let rank_of = |s: &Schedule| {
+            space
+                .rank(s)
+                .expect("merged reports must cover ranges of the given space")
+        };
+        // Best selection replicates the sequential reduction ("first
+        // strict improvement in enumeration order"): the greater value
+        // wins; an exact tie goes to the lower rank. Shard-local sweeps
+        // never select a NaN best (NaN loses every strict comparison), so
+        // the comparison below is total over the values that can occur.
+        let (best, best_value) = match (self.best, &other.best) {
+            (None, None) => (None, f64::NEG_INFINITY),
+            (Some(a), None) => (Some(a), self.best_value),
+            (None, Some(b)) => (Some(b.clone()), other.best_value),
+            (Some(a), Some(b)) => {
+                if self.best_value > other.best_value {
+                    (Some(a), self.best_value)
+                } else if other.best_value > self.best_value {
+                    (Some(b.clone()), other.best_value)
+                } else if rank_of(&a) <= rank_of(b) {
+                    (Some(a), self.best_value)
+                } else {
+                    (Some(b.clone()), other.best_value)
+                }
+            }
+        };
+        // Each report's results are already sorted by rank (enumeration
+        // order within its range); a two-way merge restores global order.
+        let mut results = Vec::with_capacity(self.results.len() + other.results.len());
+        let mut mine = self.results.into_iter().peekable();
+        let mut j = 0;
+        while let Some((schedule, _)) = mine.peek() {
+            if j >= other.results.len() {
+                break;
+            }
+            if rank_of(schedule) <= rank_of(&other.results[j].0) {
+                results.push(mine.next().expect("peeked"));
+            } else {
+                results.push(other.results[j].clone());
+                j += 1;
+            }
+        }
+        results.extend(mine);
+        results.extend_from_slice(&other.results[j..]);
+
+        ExhaustiveReport {
+            best,
+            best_value,
+            enumerated: self.enumerated + other.enumerated,
+            evaluated: self.evaluated + other.evaluated,
+            feasible: self.feasible + other.feasible,
+            results,
+            results_truncated: self.results_truncated || other.results_truncated,
+        }
+    }
+
+    /// `true` when the two reports agree **bit for bit**: same best
+    /// schedule, same objective bit patterns (`f64::to_bits`, so
+    /// `0.0`/`-0.0` and NaN payloads are distinguished), same counters,
+    /// same retained results in the same order, same truncation flag.
+    /// This is the equivalence the sharded/streaming sweep machinery
+    /// guarantees against the sequential sweep, and the single predicate
+    /// every self-check and test asserts.
+    pub fn bit_identical(&self, other: &ExhaustiveReport) -> bool {
+        self.best == other.best
+            && self.best_value.to_bits() == other.best_value.to_bits()
+            && self.enumerated == other.enumerated
+            && self.evaluated == other.evaluated
+            && self.feasible == other.feasible
+            && self.results_truncated == other.results_truncated
+            && self.results.len() == other.results.len()
+            && self
+                .results
+                .iter()
+                .zip(&other.results)
+                .all(|((sa, va), (sb, vb))| {
+                    sa == sb && va.map(f64::to_bits) == vb.map(f64::to_bits)
+                })
+    }
+
+    /// Re-applies a [`SweepConfig::max_results`]-style retention cap
+    /// after merging: keeps the first `cap` results in enumeration order
+    /// and recomputes [`ExhaustiveReport::results_truncated`] the way a
+    /// single capped sweep would have set it (`true` exactly when fewer
+    /// results are retained than schedules were evaluated). `None` leaves
+    /// the results alone but still recomputes the flag.
+    pub fn apply_retention(&mut self, cap: Option<usize>) {
+        if let Some(cap) = cap {
+            self.results.truncate(cap);
+        }
+        self.results_truncated = (self.results.len() as u64) < self.evaluated;
+    }
 }
 
 /// Evaluates every idle-feasible schedule in the space and returns the
@@ -135,12 +282,38 @@ pub fn exhaustive_search_with<E: ScheduleEvaluator + ?Sized>(
     space: &ScheduleSpace,
     config: &SweepConfig,
 ) -> Result<ExhaustiveReport> {
+    exhaustive_search_range(evaluator, space, 0, space.len(), config)
+}
+
+/// Sweeps one **rank range** `[start, end)` of the space's lexicographic
+/// enumeration — the shard primitive behind distributed sweeps: partition
+/// `[0, space.len())` into ranges, sweep each independently (any process,
+/// any host), then fold the partial reports back together with
+/// [`ExhaustiveReport::merge`]. The result over a range is bit-identical
+/// to what a full sweep contributes over those ranks; an empty range
+/// (`start >= end`) yields [`ExhaustiveReport::empty`].
+///
+/// `end` is clamped to `space.len()`.
+///
+/// # Errors
+///
+/// Returns [`SearchError::AppCountMismatch`] if evaluator and space
+/// disagree on the application count.
+pub fn exhaustive_search_range<E: ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &ScheduleSpace,
+    start: u64,
+    end: u64,
+    config: &SweepConfig,
+) -> Result<ExhaustiveReport> {
     if evaluator.app_count() != space.app_count() {
         return Err(SearchError::AppCountMismatch {
             expected: evaluator.app_count(),
             actual: space.app_count(),
         });
     }
+    let end = end.min(space.len());
+    let mut remaining = end.saturating_sub(start);
     let chunk_size = config.chunk_size.max(1);
     let retain = config.max_results.unwrap_or(usize::MAX);
 
@@ -156,16 +329,21 @@ pub fn exhaustive_search_with<E: ScheduleEvaluator + ?Sized>(
     // arithmetic checks), buffering only one chunk of candidates at a
     // time. The box iterator yields each schedule exactly once, so no
     // memo layer is needed — every evaluation is unique by construction.
-    let mut iter = space.iter();
+    let mut iter = space.iter_from(start);
     // Pre-size for the chunk, but never pre-reserve an absurd request
     // (a "whole box" chunk on a huge space still grows incrementally).
     let mut candidates: Vec<Schedule> = Vec::with_capacity(chunk_size.min(65_536));
-    let mut exhausted = false;
+    let mut exhausted = remaining == 0;
     while !exhausted {
         candidates.clear();
         while candidates.len() < chunk_size {
+            if remaining == 0 {
+                exhausted = true;
+                break;
+            }
             match iter.next() {
                 Some(schedule) => {
+                    remaining -= 1;
                     enumerated += 1;
                     if evaluator.idle_feasible(&schedule) {
                         candidates.push(schedule);
@@ -385,5 +563,117 @@ mod tests {
             exhaustive_search(&eval, &space),
             Err(SearchError::AppCountMismatch { .. })
         ));
+    }
+
+    fn assert_identical(a: &ExhaustiveReport, b: &ExhaustiveReport, context: &str) {
+        // Best first for a readable diagnostic; the full bit-for-bit
+        // comparison is centralised in ExhaustiveReport::bit_identical.
+        assert_eq!(a.best, b.best, "{context}: best schedule");
+        assert!(
+            a.bit_identical(b),
+            "{context}: reports differ bitwise:\n{a:?}\nvs\n{b:?}"
+        );
+    }
+
+    /// A tie-heavy evaluator with idle filtering and deadline violations,
+    /// so range splits exercise every report component.
+    fn gnarly(
+    ) -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync, impl Fn(&Schedule) -> bool + Sync>
+    {
+        FnEvaluator::with_idle_check(
+            2,
+            |s: &Schedule| {
+                let c = s.counts();
+                let mix = u64::from(c[0]) * 31 + u64::from(c[1]) * 17;
+                if mix % 13 == 0 {
+                    None
+                } else {
+                    Some((mix % 5) as f64 * 0.25)
+                }
+            },
+            |s: &Schedule| s.counts().iter().sum::<u32>() % 7 != 0,
+        )
+    }
+
+    #[test]
+    fn range_sweeps_merge_to_the_full_sweep() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![6, 7]).unwrap();
+        let full = exhaustive_search(&eval, &space).unwrap();
+        let config = SweepConfig::default();
+        // Every 2-way and a 3-way split of [0, 42).
+        for cut in 0..=space.len() {
+            let lo = exhaustive_search_range(&eval, &space, 0, cut, &config).unwrap();
+            let hi = exhaustive_search_range(&eval, &space, cut, space.len(), &config).unwrap();
+            assert_identical(&lo.merge(&hi, &space), &full, &format!("cut {cut}"));
+            // Merge order must not matter.
+            assert_identical(&hi.merge(&lo, &space), &full, &format!("swapped cut {cut}"));
+        }
+        let a = exhaustive_search_range(&eval, &space, 0, 10, &config).unwrap();
+        let b = exhaustive_search_range(&eval, &space, 10, 29, &config).unwrap();
+        let c = exhaustive_search_range(&eval, &space, 29, space.len(), &config).unwrap();
+        // Out-of-order, re-grouped reduction.
+        let merged = c.merge(&a, &space).merge(&b, &space);
+        assert_identical(&merged, &full, "3-way out of order");
+    }
+
+    #[test]
+    fn empty_range_is_the_merge_identity() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 5]).unwrap();
+        let full = exhaustive_search(&eval, &space).unwrap();
+        let nothing =
+            exhaustive_search_range(&eval, &space, 7, 7, &SweepConfig::default()).unwrap();
+        assert_identical(&nothing, &ExhaustiveReport::empty(), "empty range");
+        assert_identical(&full.merge(&nothing, &space), &full, "right identity");
+        assert_identical(&nothing.merge(&full, &space), &full, "left identity");
+        // Ranges beyond the box are clamped to empty.
+        let beyond = exhaustive_search_range(
+            &eval,
+            &space,
+            space.len() + 3,
+            u64::MAX,
+            &SweepConfig::default(),
+        )
+        .unwrap();
+        assert_identical(&beyond, &ExhaustiveReport::empty(), "beyond the box");
+    }
+
+    #[test]
+    fn merge_breaks_ties_toward_the_lower_rank() {
+        // Constant objective: everything ties, so the merged best must be
+        // the lowest-ranked schedule regardless of merge order.
+        let eval = FnEvaluator::new(2, |_: &Schedule| Some(0.5));
+        let space = ScheduleSpace::new(vec![3, 3]).unwrap();
+        let config = SweepConfig::default();
+        let lo = exhaustive_search_range(&eval, &space, 0, 4, &config).unwrap();
+        let hi = exhaustive_search_range(&eval, &space, 4, 9, &config).unwrap();
+        assert_eq!(lo.merge(&hi, &space).best.unwrap().counts(), &[1, 1]);
+        assert_eq!(hi.merge(&lo, &space).best.unwrap().counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn apply_retention_matches_a_capped_sweep() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![6, 7]).unwrap();
+        for cap in [0usize, 3, 100] {
+            let capped = exhaustive_search_with(
+                &eval,
+                &space,
+                &SweepConfig {
+                    max_results: Some(cap),
+                    ..SweepConfig::default()
+                },
+            )
+            .unwrap();
+            let lo =
+                exhaustive_search_range(&eval, &space, 0, 20, &SweepConfig::default()).unwrap();
+            let hi =
+                exhaustive_search_range(&eval, &space, 20, space.len(), &SweepConfig::default())
+                    .unwrap();
+            let mut merged = lo.merge(&hi, &space);
+            merged.apply_retention(Some(cap));
+            assert_identical(&merged, &capped, &format!("cap {cap}"));
+        }
     }
 }

@@ -25,7 +25,11 @@
 //! * [`exhaustive_search`] / [`exhaustive_search_with`] — the
 //!   brute-force baseline, streamed chunk-by-chunk at constant memory
 //!   with a deterministic lexicographic-order reduction (see
-//!   [`SweepConfig`] for the chunking and result-retention knobs), and
+//!   [`SweepConfig`] for the chunking and result-retention knobs),
+//! * [`exhaustive_search_range`] + [`ExhaustiveReport::merge`] — the
+//!   sharding primitives: sweep one rank range of the enumeration in
+//!   isolation and fold partial reports back together bit-identically
+//!   (the substrate of the `cacs-distrib` multi-process coordinator), and
 //! * [`simulated_annealing`] / [`genetic_search`] / [`tabu_search`] —
 //!   classical metaheuristic baselines for evaluation-count comparisons.
 //!
@@ -74,7 +78,10 @@ pub use evaluator::{
     CacheSession, CountingScheduleEvaluator, FnEvaluator, MemoizedEvaluator, ScheduleEvaluator,
     SharedEvalCache,
 };
-pub use exhaustive::{exhaustive_search, exhaustive_search_with, ExhaustiveReport, SweepConfig};
+pub use exhaustive::{
+    exhaustive_search, exhaustive_search_range, exhaustive_search_with, ExhaustiveReport,
+    SweepConfig,
+};
 pub use genetic::{genetic_search, GeneticConfig};
 pub use hybrid::{hybrid_search, hybrid_search_multistart, HybridConfig, SearchReport};
 pub use space::ScheduleSpace;

@@ -265,6 +265,29 @@ impl ScheduleSpace {
         Some(Schedule::new(counts).expect("in-range counts"))
     }
 
+    /// The position of `schedule` in the lexicographic enumeration — the
+    /// verified inverse of [`ScheduleSpace::unrank`]: `rank(unrank(k)) ==
+    /// Some(k)` for every `k < len()`. Returns `None` when the schedule
+    /// lies outside the box, or when the box is so large that the rank
+    /// does not fit in `u64` (only possible when
+    /// [`ScheduleSpace::checked_len`] is `None`).
+    ///
+    /// Ranks are what sharded sweeps and checkpoints exchange instead of
+    /// schedules: a rank plus the shared space identifies a schedule
+    /// exactly, in a form that is cheap to transmit and trivially ordered.
+    pub fn rank(&self, schedule: &Schedule) -> Option<u64> {
+        if !self.contains(schedule) {
+            return None;
+        }
+        let mut r: u64 = 0;
+        for (&m, &max) in schedule.counts().iter().zip(&self.max_counts) {
+            r = r
+                .checked_mul(u64::from(max))?
+                .checked_add(u64::from(m - 1))?;
+        }
+        Some(r)
+    }
+
     /// Iterates over every schedule in the box, in lexicographic order.
     pub fn iter(&self) -> impl Iterator<Item = Schedule> + '_ {
         self.iter_from(0)
@@ -372,6 +395,30 @@ mod tests {
         }
         assert_eq!(s.unrank(s.len()), None);
         assert_eq!(s.unrank(u64::MAX), None);
+    }
+
+    #[test]
+    fn rank_is_the_inverse_of_unrank() {
+        let s = ScheduleSpace::new(vec![3, 1, 4]).unwrap();
+        for k in 0..s.len() {
+            let schedule = s.unrank(k).unwrap();
+            assert_eq!(s.rank(&schedule), Some(k), "unrank({k}) = {schedule}");
+        }
+        // Outside the box (wrong count, wrong dimensionality).
+        assert_eq!(s.rank(&Schedule::new(vec![4, 1, 1]).unwrap()), None);
+        assert_eq!(s.rank(&Schedule::new(vec![1, 1]).unwrap()), None);
+    }
+
+    #[test]
+    fn rank_handles_overflowing_boxes() {
+        // The box size overflows u64, but small-rank corners still encode.
+        let huge = ScheduleSpace::new(vec![u32::MAX, u32::MAX, u32::MAX]).unwrap();
+        let first = Schedule::new(vec![1, 1, 1]).unwrap();
+        assert_eq!(huge.rank(&first), Some(0));
+        // The last corner's rank exceeds u64: rank reports None instead of
+        // a silently wrapped value.
+        let last = Schedule::new(vec![u32::MAX, u32::MAX, u32::MAX]).unwrap();
+        assert_eq!(huge.rank(&last), None);
     }
 
     #[test]

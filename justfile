@@ -23,3 +23,13 @@ tables FLAGS="--fast":
 # Criterion-style microbenchmarks (vendored harness, wall-clock only).
 microbench:
     cargo bench -p cacs-bench
+
+# Distributed exhaustive sweep: coordinator + WORKERS local worker
+# processes over the wire protocol, self-checked byte-for-byte against
+# the single-process sequential sweep. PROBLEM is paper-fast,
+# paper-full or synthetic:<m1>x<m2>x… (see `cacs-sweep-coord --help`
+# for checkpoints, TCP workers and fault injection).
+sweep-distributed WORKERS="2" PROBLEM="paper-fast" FLAGS="":
+    cargo build --release --bin cacs-sweep-coord --bin cacs-sweep-worker
+    target/release/cacs-sweep-coord --problem {{PROBLEM}} \
+        --workers {{WORKERS}} --shard-size 4096 --selfcheck {{FLAGS}}

@@ -1,0 +1,273 @@
+//! `cacs-sweep-coord`: coordinator of a distributed exhaustive sweep.
+//!
+//! Partitions the schedule box into rank-range leases, farms them to
+//! workers (spawned locally over stdio pipes, or accepted over TCP for
+//! cross-host runs), re-issues leases lost to dead/hung workers,
+//! checkpoints progress after every lease, and prints the merged
+//! report's byte-stable digest (see [`cacs::cli::report_digest`]) on
+//! stdout.
+//!
+//! ```text
+//! cacs-sweep-coord --problem <spec>
+//!     [--workers N] [--worker-cmd PATH]      spawn N local workers (default 2)
+//!     [--listen HOST:PORT --expect N]        …or accept N TCP workers
+//!     [--shard-size R] [--chunk C] [--grain G] [--retain all|K]
+//!     [--checkpoint FILE] [--resume]
+//!     [--lease-timeout SECS] [--halt-after-leases N]
+//!     [--chaos-die-mid-lease N]              fault-inject the first worker
+//!     [--selfcheck]                          compare against the
+//!                                            single-process sweep, byte for byte
+//! ```
+//!
+//! `--selfcheck` exits with status 3 unless the sharded digest is
+//! byte-identical to the single-process sequential sweep's — the
+//! acceptance gate the CI smoke job enforces, including under worker
+//! kills (`--chaos-die-mid-lease`) and checkpoint/resume cycles
+//! (`--halt-after-leases` + `--resume`).
+
+use cacs::cli::{report_digest, ProblemSpec};
+use cacs::distrib::{accept_workers, run_coordinator, CoordinatorConfig, ShardedSweep, WorkerLink};
+use cacs::search::{exhaustive_search_with, SweepConfig};
+use std::error::Error;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+struct Args {
+    problem: String,
+    workers: usize,
+    worker_cmd: Option<PathBuf>,
+    listen: Option<String>,
+    expect: usize,
+    shard_size: u64,
+    chunk: usize,
+    grain: usize,
+    retain: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    lease_timeout: Duration,
+    halt_after_leases: Option<u64>,
+    chaos_die_mid_lease: Option<u64>,
+    selfcheck: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cacs-sweep-coord --problem <paper-fast|paper-full|synthetic:AxBxC> \
+         [--workers N] [--worker-cmd PATH] [--listen HOST:PORT --expect N] \
+         [--shard-size R] [--chunk C] [--grain G] [--retain all|K] \
+         [--checkpoint FILE] [--resume] [--lease-timeout SECS] \
+         [--halt-after-leases N] [--chaos-die-mid-lease N] [--selfcheck]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut args = Args {
+        problem: String::new(),
+        workers: 2,
+        worker_cmd: None,
+        listen: None,
+        expect: 2,
+        shard_size: 65_536,
+        chunk: SweepConfig::default().chunk_size,
+        grain: SweepConfig::default().dispatch_grain,
+        retain: Some(0),
+        checkpoint: None,
+        resume: false,
+        lease_timeout: Duration::from_secs(120),
+        halt_after_leases: None,
+        chaos_die_mid_lease: None,
+        selfcheck: false,
+    };
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        let v = argv.get(*i + 1).cloned().unwrap_or_else(|| usage());
+        *i += 2;
+        v
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--problem" => args.problem = value(&mut i),
+            "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--worker-cmd" => args.worker_cmd = Some(PathBuf::from(value(&mut i))),
+            "--listen" => args.listen = Some(value(&mut i)),
+            "--expect" => args.expect = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--shard-size" => args.shard_size = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--chunk" => args.chunk = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--grain" => args.grain = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--retain" => {
+                let v = value(&mut i);
+                args.retain = if v == "all" {
+                    None
+                } else {
+                    Some(v.parse().unwrap_or_else(|_| usage()))
+                };
+            }
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value(&mut i))),
+            "--resume" => {
+                args.resume = true;
+                i += 1;
+            }
+            "--lease-timeout" => {
+                args.lease_timeout =
+                    Duration::from_secs(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--halt-after-leases" => {
+                args.halt_after_leases = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--chaos-die-mid-lease" => {
+                args.chaos_die_mid_lease = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--selfcheck" => {
+                args.selfcheck = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    if args.problem.is_empty() {
+        usage();
+    }
+    args
+}
+
+/// The worker binary to spawn: explicit `--worker-cmd`, or the
+/// `cacs-sweep-worker` sitting next to this executable.
+fn worker_command(args: &Args) -> Result<PathBuf, Box<dyn Error>> {
+    if let Some(cmd) = &args.worker_cmd {
+        return Ok(cmd.clone());
+    }
+    let mut path = std::env::current_exe()?;
+    path.set_file_name("cacs-sweep-worker");
+    Ok(path)
+}
+
+fn spawn_workers(args: &Args) -> Result<Vec<WorkerLink>, Box<dyn Error>> {
+    let cmd = worker_command(args)?;
+    let mut links = Vec::with_capacity(args.workers);
+    for w in 0..args.workers {
+        let mut command = Command::new(&cmd);
+        command.arg("--problem").arg(&args.problem).arg("--stdio");
+        if w == 0 {
+            if let Some(n) = args.chaos_die_mid_lease {
+                command.arg("--die-mid-lease").arg(n.to_string());
+            }
+        }
+        links.push(WorkerLink::spawn_process(
+            format!("proc-{w}:{}", cmd.display()),
+            &mut command,
+        )?);
+    }
+    Ok(links)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args = parse_args();
+    let spec = ProblemSpec::parse(&args.problem).unwrap_or_else(|e| {
+        eprintln!("cacs-sweep-coord: {e}");
+        std::process::exit(2)
+    });
+    let space = spec.space()?;
+    eprintln!(
+        "cacs-sweep-coord: space {:?} = {} schedules",
+        space.max_counts(),
+        space.len()
+    );
+
+    let config = CoordinatorConfig {
+        shard_size: args.shard_size,
+        sweep: SweepConfig {
+            chunk_size: args.chunk,
+            max_results: args.retain,
+            dispatch_grain: args.grain,
+        },
+        lease_timeout: args.lease_timeout,
+        checkpoint: args.checkpoint.clone(),
+        resume: args.resume,
+        halt_after_leases: args.halt_after_leases,
+    };
+
+    let links = match &args.listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)?;
+            eprintln!(
+                "cacs-sweep-coord: listening on {} for {} workers…",
+                listener.local_addr()?,
+                args.expect
+            );
+            accept_workers(&listener, args.expect, Duration::from_secs(300))?
+        }
+        None => {
+            eprintln!("cacs-sweep-coord: spawning {} local workers…", args.workers);
+            spawn_workers(&args)?
+        }
+    };
+
+    let t = Instant::now();
+    let ShardedSweep { report, stats } = run_coordinator(&space, links, &config)?;
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "cacs-sweep-coord: {} leases completed, {} re-issued, {} workers lost, \
+         {} ranks resumed, {:.1} ms{}",
+        stats.leases_completed,
+        stats.leases_reissued,
+        stats.workers_lost,
+        stats.resumed_ranks,
+        wall_ms,
+        if stats.halted { " (HALTED early)" } else { "" }
+    );
+    match &report.best {
+        Some(best) => eprintln!(
+            "cacs-sweep-coord: best {best} with objective {:.12} over {} evaluated",
+            report.best_value, report.evaluated
+        ),
+        None => eprintln!("cacs-sweep-coord: nothing feasible"),
+    }
+
+    // The byte-stable digest is the machine-readable output.
+    print!("{}", report_digest(&space, &report)?);
+
+    if stats.halted {
+        match &args.checkpoint {
+            Some(path) => eprintln!(
+                "cacs-sweep-coord: halted before completion; resume with \
+                 --checkpoint {} --resume",
+                path.display()
+            ),
+            None => eprintln!(
+                "cacs-sweep-coord: halted before completion; nothing was \
+                 checkpointed (no --checkpoint), a rerun starts from scratch"
+            ),
+        }
+        if args.selfcheck {
+            // The contract of --selfcheck is "exit 0 only after a verified
+            // byte-identical sweep"; a partial report cannot satisfy it.
+            eprintln!("cacs-sweep-coord: SELFCHECK IMPOSSIBLE — run halted early");
+            std::process::exit(4);
+        }
+        return Ok(());
+    }
+    if args.selfcheck {
+        eprintln!("cacs-sweep-coord: selfcheck — single-process sequential sweep…");
+        let evaluator = spec.evaluator()?;
+        let single = cacs::par::sequential(|| {
+            exhaustive_search_with(evaluator.as_ref(), &space, &config.sweep)
+        })?;
+        let sharded_digest = report_digest(&space, &report)?;
+        let single_digest = report_digest(&space, &single)?;
+        if sharded_digest.as_bytes() == single_digest.as_bytes() {
+            eprintln!(
+                "cacs-sweep-coord: selfcheck OK — sharded digest byte-identical \
+                 to the sequential sweep ({} bytes)",
+                sharded_digest.len()
+            );
+        } else {
+            eprintln!("cacs-sweep-coord: SELFCHECK FAILED — digests differ");
+            eprintln!("--- sharded ---\n{sharded_digest}--- sequential ---\n{single_digest}");
+            std::process::exit(3);
+        }
+    }
+    Ok(())
+}

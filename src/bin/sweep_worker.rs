@@ -1,0 +1,82 @@
+//! `cacs-sweep-worker`: one worker of a distributed exhaustive sweep.
+//!
+//! Speaks the versioned line protocol of [`cacs::distrib::wire`] over
+//! stdin/stdout (when spawned by `cacs-sweep-coord`) or a TCP
+//! connection (cross-host deployments):
+//!
+//! ```text
+//! cacs-sweep-worker --problem <spec> [--stdio | --connect HOST:PORT]
+//!                   [--die-mid-lease N]
+//! ```
+//!
+//! `<spec>` is `paper-fast`, `paper-full` or `synthetic:<m1>x<m2>x…` and
+//! must match the coordinator's (see [`cacs::cli::ProblemSpec`]); the
+//! swept space itself arrives from the coordinator at handshake, so the
+//! two can never silently disagree on the box. `--die-mid-lease N` is
+//! deterministic fault injection for the CI chaos smoke job: the worker
+//! exits without replying while handling its `N`-th lease.
+
+use cacs::cli::ProblemSpec;
+use cacs::distrib::{connect_and_serve, worker::serve_stream, FaultPlan};
+use std::error::Error;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cacs-sweep-worker --problem <paper-fast|paper-full|synthetic:AxBxC> \
+         [--stdio | --connect HOST:PORT] [--die-mid-lease N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut problem: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut die_mid_lease: Option<u64> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--problem" => {
+                problem = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--connect" => {
+                connect = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--die-mid-lease" => {
+                die_mid_lease = args.get(i + 1).and_then(|v| v.parse().ok());
+                if die_mid_lease.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--stdio" => i += 1, // the default
+            _ => usage(),
+        }
+    }
+    let Some(problem) = problem else { usage() };
+    let spec = ProblemSpec::parse(&problem).unwrap_or_else(|e| {
+        eprintln!("cacs-sweep-worker: {e}");
+        std::process::exit(2)
+    });
+    let evaluator = spec.evaluator()?;
+    let fault = FaultPlan { die_mid_lease };
+
+    let result = match connect {
+        Some(addr) => connect_and_serve(&addr, evaluator.as_ref(), fault),
+        None => {
+            let stdin = std::io::stdin().lock();
+            let stdout = std::io::stdout().lock();
+            serve_stream(evaluator.as_ref(), stdin, stdout, fault)
+        }
+    };
+    match result {
+        Ok(()) => Ok(()),
+        Err(cacs::distrib::DistribError::InjectedFault) => {
+            eprintln!("cacs-sweep-worker: injected fault — dying mid-lease");
+            std::process::exit(17)
+        }
+        Err(e) => Err(e.into()),
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared plumbing for the `cacs-sweep-coord` / `cacs-sweep-worker`
+//! binaries: problem specifications and the stable report digest.
+//!
+//! Coordinator and workers must agree **exactly** on the objective, so a
+//! sweep is launched against a *problem specification* string that both
+//! sides resolve independently:
+//!
+//! * `paper-fast` / `paper-full` — the paper case study under the
+//!   reduced resp. paper-accuracy synthesis budget,
+//! * `synthetic:<m1>x<m2>x…` — the µs-scale surrogate objective of the
+//!   streaming benchmark ([`cacs_distrib::synthetic::surrogate`]) over
+//!   the given box.
+
+use cacs_core::{CodesignProblem, EvaluationConfig};
+use cacs_search::{ExhaustiveReport, ScheduleEvaluator, ScheduleSpace};
+use std::error::Error;
+
+/// A parsed `--problem` argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProblemSpec {
+    /// Paper case study, reduced synthesis budget.
+    PaperFast,
+    /// Paper case study, paper-accuracy synthesis budget.
+    PaperFull,
+    /// Synthetic surrogate over an explicit box.
+    Synthetic(Vec<u32>),
+}
+
+impl ProblemSpec {
+    /// Parses a `--problem` argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown specs or malformed boxes.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "paper-fast" => Ok(ProblemSpec::PaperFast),
+            "paper-full" => Ok(ProblemSpec::PaperFull),
+            _ => match spec.strip_prefix("synthetic:") {
+                Some(dims) => Ok(ProblemSpec::Synthetic(
+                    cacs_distrib::synthetic::parse_box(dims)?,
+                )),
+                None => Err(format!(
+                    "unknown problem {spec:?}; expected paper-fast, paper-full or synthetic:<m1>x<m2>x…"
+                )),
+            },
+        }
+    }
+
+    /// Builds the evaluator this spec describes (what workers sweep
+    /// with, and what the coordinator self-checks against).
+    ///
+    /// # Errors
+    ///
+    /// Propagates case-study construction failures.
+    pub fn evaluator(&self) -> Result<Box<dyn ScheduleEvaluator>, Box<dyn Error>> {
+        match self {
+            ProblemSpec::PaperFast => Ok(Box::new(paper_problem(EvaluationConfig::fast())?)),
+            ProblemSpec::PaperFull => Ok(Box::new(paper_problem(EvaluationConfig::default())?)),
+            ProblemSpec::Synthetic(dims) => {
+                Ok(Box::new(cacs_distrib::synthetic::surrogate(dims.len())))
+            }
+        }
+    }
+
+    /// Derives the schedule space the coordinator announces to workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space-derivation failures.
+    pub fn space(&self) -> Result<ScheduleSpace, Box<dyn Error>> {
+        match self {
+            ProblemSpec::PaperFast => {
+                Ok(paper_problem(EvaluationConfig::fast())?.schedule_space()?)
+            }
+            ProblemSpec::PaperFull => {
+                Ok(paper_problem(EvaluationConfig::default())?.schedule_space()?)
+            }
+            ProblemSpec::Synthetic(dims) => Ok(ScheduleSpace::new(dims.clone())?),
+        }
+    }
+}
+
+fn paper_problem(config: EvaluationConfig) -> Result<CodesignProblem, Box<dyn Error>> {
+    let study = cacs_apps::paper_case_study()?;
+    Ok(CodesignProblem::from_case_study(&study, config)?)
+}
+
+/// Renders a report in the wire encoding (`REPORT` header, `R` result
+/// lines, `DONE`) — a stable, bit-exact textual digest: two reports are
+/// byte-identical here if and only if they agree on every counter, the
+/// best schedule, and every retained objective's bit pattern. The CI
+/// smoke job and `--selfcheck` compare these bytes.
+///
+/// # Errors
+///
+/// Propagates encoding failures (a report not produced over `space`).
+pub fn report_digest(
+    space: &ScheduleSpace,
+    report: &ExhaustiveReport,
+) -> Result<String, Box<dyn Error>> {
+    let mut digest = cacs_distrib::wire::report_to_lines(space, 0, report)?.join("\n");
+    digest.push('\n');
+    Ok(digest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse() {
+        assert_eq!(ProblemSpec::parse("paper-fast"), Ok(ProblemSpec::PaperFast));
+        assert_eq!(ProblemSpec::parse("paper-full"), Ok(ProblemSpec::PaperFull));
+        assert_eq!(
+            ProblemSpec::parse("synthetic:24x24x24"),
+            Ok(ProblemSpec::Synthetic(vec![24, 24, 24]))
+        );
+        assert!(ProblemSpec::parse("bogus").is_err());
+        assert!(ProblemSpec::parse("synthetic:0x4").is_err());
+    }
+
+    #[test]
+    fn synthetic_spec_builds_consistent_parts() {
+        let spec = ProblemSpec::parse("synthetic:5x6x7").unwrap();
+        let space = spec.space().unwrap();
+        assert_eq!(space.max_counts(), &[5, 6, 7]);
+        let eval = spec.evaluator().unwrap();
+        assert_eq!(eval.app_count(), 3);
+    }
+
+    #[test]
+    fn digest_is_byte_stable() {
+        let spec = ProblemSpec::parse("synthetic:4x4").unwrap();
+        let space = spec.space().unwrap();
+        let eval = spec.evaluator().unwrap();
+        let report = cacs_search::exhaustive_search(eval.as_ref(), &space).unwrap();
+        let a = report_digest(&space, &report).unwrap();
+        let b = report_digest(&space, &report).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("REPORT "));
+        assert!(a.trim_end().ends_with("DONE 0"));
+    }
+}

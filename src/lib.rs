@@ -21,6 +21,7 @@
 //! | [`search`] | hybrid discrete search (Section IV), exhaustive, annealing, genetic and tabu baselines |
 //! | [`apps`] | the automotive case study (Tables I, II; Figure 6 plants) |
 //! | [`core`] | the two-stage co-design framework (Sections III–IV), multicore/interleaved extensions, report generation |
+//! | [`distrib`] | sharded multi-process sweep coordinator: rank-range leases, line-oriented wire protocol, checkpoint/resume, bit-identical merge |
 //!
 //! # Quickstart
 //!
@@ -69,12 +70,25 @@
 //! evaluations across threads while keeping the paper's per-search
 //! evaluation counts exact.
 
+//! # Distributed sweeps
+//!
+//! When a schedule box outgrows one machine, [`distrib`] shards the
+//! exhaustive sweep into rank-range leases served to worker processes
+//! (the `cacs-sweep-coord` / `cacs-sweep-worker` binaries, or
+//! [`core`]'s `optimize_exhaustive_sharded` for the in-process variant)
+//! with lease re-issue on worker death and checkpoint/resume on
+//! coordinator death — and a merged report guaranteed bit-identical to
+//! the single-process sweep.
+
 #![warn(missing_docs)]
+
+pub mod cli;
 
 pub use cacs_apps as apps;
 pub use cacs_cache as cache;
 pub use cacs_control as control;
 pub use cacs_core as core;
+pub use cacs_distrib as distrib;
 pub use cacs_linalg as linalg;
 pub use cacs_par as par;
 pub use cacs_pso as pso;
