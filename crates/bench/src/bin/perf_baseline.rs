@@ -4,8 +4,11 @@
 //!
 //! * `BENCH_schedule_search.json` — wall-clock of the stage-2 searches
 //!   (parallel vs forced-sequential exhaustive sweep, hybrid
-//!   multistart), plus the cross-check that both paths select the same
-//!   best schedule with bit-identical `P_all`;
+//!   multistart), the cross-check that both paths select the same
+//!   best schedule with bit-identical `P_all`, and a store-backed
+//!   resume cycle recording how many evaluations the persistent
+//!   evaluation store saves on resume (must be all of them here, with
+//!   bit-identical results — enforced, not just recorded);
 //! * `BENCH_eval_cost.json` — per-schedule stage-1 evaluation cost (the
 //!   Section-V observation that cost grows with the task counts `m_i`);
 //! * `BENCH_streaming_sweep.json` — the streaming exhaustive engine on a
@@ -34,7 +37,7 @@ use cacs_bench::host_metadata_json;
 use cacs_core::{CodesignProblem, EvaluationConfig};
 use cacs_distrib::{sweep_in_process, CoordinatorConfig};
 use cacs_sched::Schedule;
-use cacs_search::{exhaustive_search_with, HybridConfig, ScheduleSpace, SweepConfig};
+use cacs_search::{exhaustive_search_with, EvalStore, HybridConfig, ScheduleSpace, SweepConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -103,6 +106,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = problem.optimize(&starts, &HybridConfig::default())?;
     let hybrid_ms = t.elapsed().as_secs_f64() * 1e3;
 
+    // Store-backed resume cycle: populate a fresh persistent store with
+    // one multistart run, then resume it. The resumed run must
+    // reproduce the storeless run bit for bit while executing strictly
+    // fewer fresh evaluations — the evaluations-saved-on-resume metric
+    // of the resumable-hybrid subsystem.
+    eprintln!("perf-baseline: hybrid multistart, store-backed resume cycle…");
+    let store_dir = std::env::temp_dir().join(format!("cacs-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&store_dir)?;
+    let store_path = store_dir.join("hybrid.store");
+    let problem_digest = if full { "paper-full" } else { "paper-fast" };
+    let space = problem.schedule_space()?;
+    let store = EvalStore::open(&store_path, problem_digest, &space)?;
+    let first =
+        problem.optimize_hybrid_multistart(&starts, &HybridConfig::default(), Some(&store))?;
+    drop(store);
+    let store = EvalStore::open(&store_path, problem_digest, &space)?;
+    let t = Instant::now();
+    let resumed =
+        problem.optimize_hybrid_multistart(&starts, &HybridConfig::default(), Some(&store))?;
+    let resumed_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(store);
+    std::fs::remove_dir_all(&store_dir)?;
+    let resume_identical = outcome.searches.len() == resumed.searches.len()
+        && outcome
+            .searches
+            .iter()
+            .zip(&resumed.searches)
+            .all(|(a, b)| {
+                a.report.best == b.report.best
+                    && a.report.best_value.to_bits() == b.report.best_value.to_bits()
+                    && a.report.evaluations == b.report.evaluations
+            });
+    let evals_saved = first
+        .stats
+        .fresh_evaluations
+        .saturating_sub(resumed.stats.fresh_evaluations);
+    let resume_strictly_fewer =
+        resumed.stats.fresh_evaluations < first.stats.fresh_evaluations.max(1);
+
     let best = par
         .best
         .clone()
@@ -153,7 +195,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.report.evaluations,
         )?;
     }
-    writeln!(search_json, "    ]")?;
+    writeln!(search_json, "    ],")?;
+    writeln!(search_json, "    \"store_resume\": {{")?;
+    writeln!(
+        search_json,
+        "      \"first_run_fresh_evaluations\": {},",
+        first.stats.fresh_evaluations
+    )?;
+    writeln!(
+        search_json,
+        "      \"resumed_fresh_evaluations\": {},",
+        resumed.stats.fresh_evaluations
+    )?;
+    writeln!(
+        search_json,
+        "      \"evaluations_saved_on_resume\": {evals_saved},"
+    )?;
+    writeln!(
+        search_json,
+        "      \"warm_started\": {},",
+        resumed.stats.warm_started
+    )?;
+    writeln!(search_json, "      \"resumed_wall_ms\": {resumed_ms:.1},")?;
+    writeln!(
+        search_json,
+        "      \"resume_bit_identical\": {resume_identical}"
+    )?;
+    writeln!(search_json, "    }}")?;
     writeln!(search_json, "  }}")?;
     writeln!(search_json, "}}")?;
     let search_path = out_dir.join("BENCH_schedule_search.json");
@@ -351,6 +419,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if !results_identical {
         return Err("parallel exhaustive sweep diverged from sequential".into());
+    }
+    if !resume_identical {
+        return Err("store-resumed hybrid multistart diverged from the storeless run".into());
+    }
+    if !resume_strictly_fewer {
+        return Err(format!(
+            "store resume saved no evaluations ({} fresh on resume vs {} first run)",
+            resumed.stats.fresh_evaluations, first.stats.fresh_evaluations
+        )
+        .into());
     }
     if !stream_identical {
         return Err("streaming parallel sweep diverged from sequential".into());

@@ -5,8 +5,8 @@ use crate::{CodesignProblem, Result};
 use cacs_distrib::{CoordinatorConfig, ShardedSweep};
 use cacs_sched::Schedule;
 use cacs_search::{
-    exhaustive_search_with, hybrid_search_multistart, ExhaustiveReport, HybridConfig,
-    ScheduleSpace, SearchReport, SweepConfig,
+    exhaustive_search_with, hybrid_search_multistart_with_store, EvalStore, ExhaustiveReport,
+    HybridConfig, ScheduleSpace, SearchReport, SweepConfig,
 };
 
 /// One hybrid search run with its start point.
@@ -18,6 +18,30 @@ pub struct SearchSummary {
     pub report: SearchReport,
 }
 
+/// Evaluation accounting of one (possibly store-backed) hybrid
+/// multistart run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HybridRunStats {
+    /// Full schedule evaluations actually executed this run. On a
+    /// resumed run this is strictly smaller than an uninterrupted run's
+    /// count whenever the store held at least one requested schedule.
+    pub fresh_evaluations: usize,
+    /// Distinct schedules requested across all starts — what an
+    /// uninterrupted, storeless run would have evaluated.
+    pub unique_evaluations: usize,
+    /// Evaluations preloaded from the store before the run started.
+    pub warm_started: usize,
+}
+
+impl HybridRunStats {
+    /// Evaluations this run did **not** have to execute because the
+    /// store (or cross-start sharing) already held them.
+    pub fn evaluations_saved(&self) -> usize {
+        self.unique_evaluations
+            .saturating_sub(self.fresh_evaluations)
+    }
+}
+
 /// Outcome of the stage-2 optimisation.
 #[derive(Debug, Clone)]
 pub struct OptimizeOutcome {
@@ -26,6 +50,9 @@ pub struct OptimizeOutcome {
     pub best: Option<(Schedule, f64)>,
     /// Every individual search run.
     pub searches: Vec<SearchSummary>,
+    /// Global evaluation accounting (the per-search Section-V counts
+    /// live in each [`SearchSummary`]'s report).
+    pub stats: HybridRunStats,
 }
 
 impl CodesignProblem {
@@ -73,11 +100,42 @@ impl CodesignProblem {
     ///
     /// Propagates search errors (e.g. a start outside the space).
     pub fn optimize(&self, starts: &[Schedule], config: &HybridConfig) -> Result<OptimizeOutcome> {
+        self.optimize_hybrid_multistart(starts, config, None)
+    }
+
+    /// [`CodesignProblem::optimize`] with an optional persistent
+    /// [`EvalStore`]: the run warm-starts from every evaluation the
+    /// store already holds and writes every fresh evaluation through
+    /// (append + flush) *before* its result is used — so a run killed at
+    /// any point can be resumed with the same store and will reproduce
+    /// the uninterrupted run's best schedule and objective **bit for
+    /// bit** while executing strictly fewer fresh evaluations
+    /// ([`HybridRunStats`] carries the accounting).
+    ///
+    /// The store must have been opened for this problem's digest and
+    /// for [`CodesignProblem::schedule_space`]; opening it for anything
+    /// else fails fast with a typed store error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search and store errors (e.g. a start outside the
+    /// space, a store for a different space, a failed write-through).
+    pub fn optimize_hybrid_multistart(
+        &self,
+        starts: &[Schedule],
+        config: &HybridConfig,
+        store: Option<&EvalStore>,
+    ) -> Result<OptimizeOutcome> {
         let space = self.schedule_space()?;
-        let reports = hybrid_search_multistart(self, &space, starts, config)?;
+        let outcome = hybrid_search_multistart_with_store(self, &space, starts, config, store)?;
+        let stats = HybridRunStats {
+            fresh_evaluations: outcome.fresh_evaluations,
+            unique_evaluations: outcome.unique_evaluations,
+            warm_started: outcome.warm_started,
+        };
         let mut best: Option<(Schedule, f64)> = None;
-        let mut searches = Vec::with_capacity(reports.len());
-        for (start, report) in starts.iter().zip(reports) {
+        let mut searches = Vec::with_capacity(outcome.reports.len());
+        for (start, report) in starts.iter().zip(outcome.reports) {
             if let Some(s) = &report.best {
                 let better = match &best {
                     Some((_, v)) => report.best_value > *v,
@@ -92,7 +150,11 @@ impl CodesignProblem {
                 report,
             });
         }
-        Ok(OptimizeOutcome { best, searches })
+        Ok(OptimizeOutcome {
+            best,
+            searches,
+            stats,
+        })
     }
 
     /// Brute-force verification over the whole space (paper Section V's

@@ -6,7 +6,8 @@
 //! [`crate::wire`] for the stability guarantee) under its own header:
 //!
 //! ```text
-//! CACS-SWEEP-CHECKPOINT 1
+//! CACS-SWEEP-CHECKPOINT 2
+//! PROBLEM <digest>              (v2 only; omitted when no digest is known)
 //! SPACE <n> <m1> … <mn>
 //! RETAIN all|<cap>
 //! DONE <start> <end>            (per coalesced completed range)
@@ -17,6 +18,15 @@
 //! R <rank> <bits|none>          (× k)
 //! END
 //! ```
+//!
+//! Version 2 embeds the **problem digest** (an opaque token naming the
+//! exact objective, e.g. the canonical `--problem` spec) so a resume
+//! against a checkpoint written for a *different* problem over the same
+//! box fails fast with [`DistribError::ProblemMismatch`] instead of
+//! silently merging two sweeps. Version-1 files (no `PROBLEM` line)
+//! remain readable: they simply carry no digest to validate, and a
+//! checkpoint written without a digest stays in the v1 format
+//! byte-for-byte.
 //!
 //! Writes go through a sibling temp file and an atomic rename, and loads
 //! refuse files without the `END` trailer, so a coordinator killed
@@ -32,11 +42,16 @@ use cacs_search::{ExhaustiveReport, ScheduleSpace};
 use std::io::Write as _;
 use std::path::Path;
 
-const HEADER: &str = "CACS-SWEEP-CHECKPOINT 1";
+const HEADER_V1: &str = "CACS-SWEEP-CHECKPOINT 1";
+const HEADER_V2: &str = "CACS-SWEEP-CHECKPOINT 2";
 
 /// The durable state of a partially completed sharded sweep.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
+    /// Opaque digest of the problem being swept (v2 checkpoints; resume
+    /// validates it when both sides carry one). `None` = unknown, e.g. a
+    /// v1 checkpoint or an API caller without a canonical problem name.
+    pub problem: Option<String>,
     /// Per-dimension maxima of the swept space (resume validates these).
     pub space_maxes: Vec<u32>,
     /// The retention cap the sweep runs under (resume validates it —
@@ -53,6 +68,7 @@ impl Checkpoint {
     /// A fresh checkpoint with nothing completed.
     pub fn new(space: &ScheduleSpace, retain: Option<usize>) -> Self {
         Checkpoint {
+            problem: None,
             space_maxes: space.max_counts().to_vec(),
             retain,
             completed: Vec::new(),
@@ -83,8 +99,18 @@ impl Checkpoint {
     /// schedules outside the space (cannot be encoded as ranks).
     pub fn to_text(&self, space: &ScheduleSpace) -> Result<String> {
         let mut out = String::new();
-        out.push_str(HEADER);
-        out.push('\n');
+        match &self.problem {
+            Some(digest) => {
+                out.push_str(HEADER_V2);
+                out.push('\n');
+                out.push_str(&format!("PROBLEM {digest}\n"));
+            }
+            // No digest to embed: stay byte-compatible with v1.
+            None => {
+                out.push_str(HEADER_V1);
+                out.push('\n');
+            }
+        }
         out.push_str(&format!("SPACE {}", self.space_maxes.len()));
         for m in &self.space_maxes {
             out.push_str(&format!(" {m}"));
@@ -127,21 +153,45 @@ impl Checkpoint {
         Ok(out)
     }
 
-    /// Parses a checkpoint and validates it against the space being
-    /// resumed.
+    /// Parses a checkpoint and validates it against the space — and,
+    /// when both sides carry one, the problem digest — being resumed.
     ///
     /// # Errors
     ///
     /// Returns [`DistribError::Checkpoint`] on malformed or truncated
-    /// text, or when the checkpoint's space/retention disagree with the
-    /// resumed sweep's.
-    pub fn from_text(text: &str, space: &ScheduleSpace, retain: Option<usize>) -> Result<Self> {
+    /// text or when the checkpoint's space/retention disagree with the
+    /// resumed sweep's, and [`DistribError::ProblemMismatch`] when a v2
+    /// checkpoint names a different problem than `problem`. A v1
+    /// checkpoint (no `PROBLEM` line) is accepted regardless of
+    /// `problem` — it carries nothing to validate.
+    pub fn from_text(
+        text: &str,
+        space: &ScheduleSpace,
+        retain: Option<usize>,
+        problem: Option<&str>,
+    ) -> Result<Self> {
         let bad = |reason: &str| DistribError::Checkpoint {
             reason: reason.to_string(),
         };
         let mut lines = text.lines();
-        if lines.next() != Some(HEADER) {
-            return Err(bad("missing or unsupported header"));
+        let saved_problem = match lines.next() {
+            Some(HEADER_V1) => None,
+            Some(HEADER_V2) => {
+                let problem_line = lines.next().ok_or_else(|| bad("missing PROBLEM line"))?;
+                let digest = problem_line
+                    .strip_prefix("PROBLEM ")
+                    .ok_or_else(|| bad("missing PROBLEM line"))?;
+                Some(digest.to_string())
+            }
+            _ => return Err(bad("missing or unsupported header")),
+        };
+        if let (Some(expected), Some(found)) = (problem, &saved_problem) {
+            if expected != found {
+                return Err(DistribError::ProblemMismatch {
+                    expected: expected.to_string(),
+                    found: found.clone(),
+                });
+            }
         }
         let space_line = lines.next().ok_or_else(|| bad("missing SPACE line"))?;
         let space_maxes = match crate::wire::CoordMsg::decode(space_line) {
@@ -258,6 +308,7 @@ impl Checkpoint {
             return Err(bad("missing END trailer (truncated write?)"));
         }
         Ok(Checkpoint {
+            problem: saved_problem,
             space_maxes,
             retain,
             completed: coalesce(&completed),
@@ -287,11 +338,16 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors and [`DistribError::Checkpoint`] parse
-    /// failures.
-    pub fn load(path: &Path, space: &ScheduleSpace, retain: Option<usize>) -> Result<Self> {
+    /// Propagates I/O errors, [`DistribError::Checkpoint`] parse
+    /// failures and [`DistribError::ProblemMismatch`].
+    pub fn load(
+        path: &Path,
+        space: &ScheduleSpace,
+        retain: Option<usize>,
+        problem: Option<&str>,
+    ) -> Result<Self> {
         let text = std::fs::read_to_string(path)?;
-        Self::from_text(&text, space, retain)
+        Self::from_text(&text, space, retain, problem)
     }
 }
 
@@ -344,7 +400,7 @@ mod tests {
     fn text_round_trip_is_bit_exact() {
         let (space, ck) = sample();
         let text = ck.to_text(&space).unwrap();
-        let back = Checkpoint::from_text(&text, &space, None).unwrap();
+        let back = Checkpoint::from_text(&text, &space, None, None).unwrap();
         assert_eq!(back.space_maxes, ck.space_maxes);
         assert_eq!(back.completed, ck.completed);
         assert_eq!(back.completed_ranks(), 23);
@@ -358,7 +414,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("sweep.ckpt");
         ck.save(&space, &path).unwrap();
-        let back = Checkpoint::load(&path, &space, None).unwrap();
+        let back = Checkpoint::load(&path, &space, None, None).unwrap();
         assert_reports_identical(&back.report, &ck.report);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -369,14 +425,14 @@ mod tests {
         let text = ck.to_text(&space).unwrap();
         // Drop the END trailer → refused.
         let cut = text.trim_end().strip_suffix("END").unwrap();
-        assert!(Checkpoint::from_text(cut, &space, None).is_err());
+        assert!(Checkpoint::from_text(cut, &space, None, None).is_err());
         // Drop half the lines → refused.
         let half: String = text
             .lines()
             .take(text.lines().count() / 2)
             .map(|l| format!("{l}\n"))
             .collect();
-        assert!(Checkpoint::from_text(&half, &space, None).is_err());
+        assert!(Checkpoint::from_text(&half, &space, None, None).is_err());
     }
 
     #[test]
@@ -384,8 +440,47 @@ mod tests {
         let (space, ck) = sample();
         let text = ck.to_text(&space).unwrap();
         let other = ScheduleSpace::new(vec![6, 8]).unwrap();
-        assert!(Checkpoint::from_text(&text, &other, None).is_err());
-        assert!(Checkpoint::from_text(&text, &space, Some(5)).is_err());
+        assert!(Checkpoint::from_text(&text, &other, None, None).is_err());
+        assert!(Checkpoint::from_text(&text, &space, Some(5), None).is_err());
+    }
+
+    #[test]
+    fn problem_digest_round_trips_and_mismatch_is_typed() {
+        let (space, mut ck) = sample();
+        ck.problem = Some("paper-fast".to_string());
+        let text = ck.to_text(&space).unwrap();
+        assert!(text.starts_with("CACS-SWEEP-CHECKPOINT 2\nPROBLEM paper-fast\n"));
+
+        // Same digest (or no expectation): accepted, digest preserved.
+        let back = Checkpoint::from_text(&text, &space, None, Some("paper-fast")).unwrap();
+        assert_eq!(back.problem.as_deref(), Some("paper-fast"));
+        assert_reports_identical(&back.report, &ck.report);
+        assert!(Checkpoint::from_text(&text, &space, None, None).is_ok());
+
+        // A checkpoint written for a different problem over the *same*
+        // space fails fast with the typed error — the regression this
+        // guards: `--resume` used to accept it silently.
+        let err = Checkpoint::from_text(&text, &space, None, Some("synthetic:6x7")).unwrap_err();
+        assert_eq!(
+            err,
+            DistribError::ProblemMismatch {
+                expected: "synthetic:6x7".to_string(),
+                found: "paper-fast".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn v1_checkpoints_without_digest_stay_readable() {
+        // A digest-less checkpoint serialises in the v1 format…
+        let (space, ck) = sample();
+        assert!(ck.problem.is_none());
+        let text = ck.to_text(&space).unwrap();
+        assert!(text.starts_with("CACS-SWEEP-CHECKPOINT 1\nSPACE "));
+        // …and loads under any expected digest (nothing to validate).
+        let back = Checkpoint::from_text(&text, &space, None, Some("paper-fast")).unwrap();
+        assert!(back.problem.is_none());
+        assert_reports_identical(&back.report, &ck.report);
     }
 
     #[test]
@@ -413,7 +508,7 @@ mod tests {
         );
         let text = ck.to_text(&space).unwrap();
         assert_eq!(text.lines().filter(|l| l.starts_with("DONE")).count(), 2);
-        let back = Checkpoint::from_text(&text, &space, Some(0)).unwrap();
+        let back = Checkpoint::from_text(&text, &space, Some(0), None).unwrap();
         assert_eq!(back.completed, ck.completed);
     }
 }

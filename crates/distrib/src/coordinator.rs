@@ -49,6 +49,18 @@ pub struct CoordinatorConfig {
     /// (in effect: how long one shard may compute) before its lease is
     /// re-issued elsewhere.
     pub lease_timeout: Duration,
+    /// Shorter deadline for the initial `HELLO` line. A spawned worker
+    /// that is alive sends its handshake within milliseconds, so waiting
+    /// the full [`CoordinatorConfig::lease_timeout`] (sized for a whole
+    /// shard's compute) to notice a dead spawn wasted minutes; dead
+    /// workers are now detected within seconds.
+    pub handshake_timeout: Duration,
+    /// Opaque digest naming the problem being swept (e.g. the canonical
+    /// `--problem` spec). Embedded in checkpoints and validated on
+    /// resume so a checkpoint for a different objective over the same
+    /// box fails fast ([`DistribError::ProblemMismatch`]); `None` skips
+    /// both (and keeps the v1 checkpoint format).
+    pub problem_digest: Option<String>,
     /// Checkpoint file, rewritten atomically after every completed
     /// lease; `None` disables checkpointing.
     pub checkpoint: Option<PathBuf>,
@@ -69,6 +81,8 @@ impl Default for CoordinatorConfig {
             shard_size: 65_536,
             sweep: SweepConfig::default(),
             lease_timeout: Duration::from_secs(120),
+            handshake_timeout: Duration::from_secs(10),
+            problem_digest: None,
             checkpoint: None,
             resume: false,
             halt_after_leases: None,
@@ -161,7 +175,9 @@ pub fn run_coordinator(
 ) -> Result<ShardedSweep> {
     let retain = config.sweep.max_results;
     let mut checkpoint = match (&config.checkpoint, config.resume) {
-        (Some(path), true) if path.exists() => Checkpoint::load(path, space, retain)?,
+        (Some(path), true) if path.exists() => {
+            Checkpoint::load(path, space, retain, config.problem_digest.as_deref())?
+        }
         _ => Checkpoint::new(space, retain),
     };
     // Re-validate resumed coverage against this space.
@@ -174,6 +190,12 @@ pub fn run_coordinator(
         });
     }
     checkpoint.retain = retain;
+    // A digest-less config must not strip the digest a resumed v2
+    // checkpoint already carries — that would downgrade it to v1 and
+    // permanently disable the mismatch protection.
+    if config.problem_digest.is_some() {
+        checkpoint.problem = config.problem_digest.clone();
+    }
 
     let shared = Shared {
         state: Mutex::new(CoordState {
@@ -225,9 +247,11 @@ enum WorkerExit {
 }
 
 fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>) -> WorkerExit {
-    let timeout = shared.config.lease_timeout;
-    // Handshake: HELLO, then SPACE.
-    match link.recv_deadline(timeout) {
+    // Handshake: HELLO, then SPACE. A live worker answers within
+    // milliseconds, so the handshake runs under its own (much shorter)
+    // deadline — a dead spawn is detected promptly instead of after a
+    // full lease_timeout sized for shard compute.
+    match link.recv_deadline(shared.config.handshake_timeout) {
         LinkRecv::Line(line) => match WorkerMsg::decode(&line) {
             Ok(WorkerMsg::Hello { version }) if version == PROTOCOL_VERSION => {}
             Ok(WorkerMsg::Hello { version }) => {
@@ -625,6 +649,139 @@ mod tests {
         assert_eq!(sharded.stats.resumed_ranks, 0);
         assert_identical(&sharded.report, &single, "fresh resume");
         std::fs::remove_file(&ckpt).unwrap();
+    }
+
+    #[test]
+    fn silent_worker_fails_handshake_promptly() {
+        // A link that never produces a line (a dead spawn) must be
+        // dropped after handshake_timeout, not after the lease_timeout
+        // sized for shard compute.
+        let space = ScheduleSpace::new(vec![4, 4, 4]).unwrap();
+        let (_tx, rx) = std::sync::mpsc::channel::<String>();
+        let link = WorkerLink::from_parts("silent", |_| Ok(()), rx);
+        let config = CoordinatorConfig {
+            handshake_timeout: Duration::from_millis(50),
+            lease_timeout: Duration::from_secs(120),
+            ..CoordinatorConfig::default()
+        };
+        let t = std::time::Instant::now();
+        let result = run_coordinator(&space, vec![link], &config);
+        assert!(matches!(result, Err(DistribError::WorkersExhausted { .. })));
+        assert!(
+            t.elapsed() < Duration::from_secs(10),
+            "handshake took {:?} — the lease timeout leaked into the handshake",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn resume_with_mismatched_problem_digest_fails_fast() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
+        let dir = std::env::temp_dir().join(format!("cacs-coord-digest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("digest.ckpt");
+
+        // Halted sweep checkpointed under problem "alpha"…
+        let partial = sweep_in_process(
+            &eval,
+            &space,
+            2,
+            &CoordinatorConfig {
+                shard_size: 10,
+                problem_digest: Some("alpha".to_string()),
+                checkpoint: Some(ckpt.clone()),
+                halt_after_leases: Some(2),
+                ..CoordinatorConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(partial.stats.halted);
+
+        // …must refuse to resume as problem "beta" over the same box…
+        let result = sweep_in_process(
+            &eval,
+            &space,
+            2,
+            &CoordinatorConfig {
+                shard_size: 10,
+                problem_digest: Some("beta".to_string()),
+                checkpoint: Some(ckpt.clone()),
+                resume: true,
+                ..CoordinatorConfig::default()
+            },
+        );
+        assert!(matches!(
+            result,
+            Err(DistribError::ProblemMismatch { expected, found })
+                if expected == "beta" && found == "alpha"
+        ));
+
+        // …and still resume cleanly under the right digest.
+        let resumed = sweep_in_process(
+            &eval,
+            &space,
+            2,
+            &CoordinatorConfig {
+                shard_size: 10,
+                problem_digest: Some("alpha".to_string()),
+                checkpoint: Some(ckpt.clone()),
+                resume: true,
+                ..CoordinatorConfig::default()
+            },
+        )
+        .unwrap();
+        let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+        assert_identical(&resumed.report, &single, "resume under matching digest");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn digestless_resume_preserves_the_checkpoint_digest() {
+        // Resuming a v2 checkpoint through a config without a digest
+        // (e.g. the in-process API) must not strip the embedded digest
+        // on the next save — that would silently downgrade the file to
+        // v1 and disable the mismatch protection for good.
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
+        let dir = std::env::temp_dir().join(format!("cacs-coord-keep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("keep.ckpt");
+
+        let base = CoordinatorConfig {
+            shard_size: 10,
+            checkpoint: Some(ckpt.clone()),
+            halt_after_leases: Some(2),
+            ..CoordinatorConfig::default()
+        };
+        sweep_in_process(
+            &eval,
+            &space,
+            2,
+            &CoordinatorConfig {
+                problem_digest: Some("alpha".to_string()),
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        // Digest-less resume that halts again and re-saves.
+        sweep_in_process(
+            &eval,
+            &space,
+            2,
+            &CoordinatorConfig {
+                resume: true,
+                ..base
+            },
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&ckpt).unwrap();
+        assert!(
+            text.starts_with("CACS-SWEEP-CHECKPOINT 2\nPROBLEM alpha\n"),
+            "digest stripped on digest-less resume:\n{}",
+            text.lines().take(2).collect::<Vec<_>>().join("\n")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -30,6 +30,16 @@ pub enum DistribError {
         /// Human-readable description of the defect.
         reason: String,
     },
+    /// A checkpoint was written for a **different problem** than the one
+    /// being resumed — even though the schedule spaces agree, the
+    /// objectives differ, so merging their reports would silently mix
+    /// two sweeps. Fail fast instead.
+    ProblemMismatch {
+        /// Problem digest of the resuming sweep.
+        expected: String,
+        /// Problem digest found in the checkpoint.
+        found: String,
+    },
     /// Every worker died (or timed out) while rank ranges were still
     /// unswept; the sweep cannot complete.
     WorkersExhausted {
@@ -53,6 +63,11 @@ impl fmt::Display for DistribError {
             DistribError::Protocol { context } => write!(f, "wire protocol: {context}"),
             DistribError::Search(e) => write!(f, "shard sweep: {e}"),
             DistribError::Checkpoint { reason } => write!(f, "checkpoint: {reason}"),
+            DistribError::ProblemMismatch { expected, found } => write!(
+                f,
+                "checkpoint problem mismatch: checkpoint was written for {found:?}, \
+                 refusing to resume {expected:?}"
+            ),
             DistribError::WorkersExhausted { remaining_ranks } => write!(
                 f,
                 "all workers lost with {remaining_ranks} ranks still unswept"

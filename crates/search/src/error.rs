@@ -36,6 +36,17 @@ pub enum SearchError {
         /// Applications provided.
         actual: usize,
     },
+    /// The persistent evaluation store failed (digest mismatch,
+    /// corruption, I/O).
+    Store(crate::StoreError),
+    /// One search thread of a multistart run panicked (typically a
+    /// panicking evaluator). The sibling searches complete normally —
+    /// the shared cache recovers poisoned locks — but the run as a
+    /// whole cannot report every start.
+    SearchPanicked {
+        /// Index (into the start list) of the search that panicked.
+        start_index: usize,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -54,11 +65,28 @@ impl fmt::Display for SearchError {
                 f,
                 "application count mismatch: expected {expected}, got {actual}"
             ),
+            SearchError::Store(e) => write!(f, "evaluation store: {e}"),
+            SearchError::SearchPanicked { start_index } => {
+                write!(f, "search thread for start #{start_index} panicked")
+            }
         }
     }
 }
 
-impl Error for SearchError {}
+impl Error for SearchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SearchError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::StoreError> for SearchError {
+    fn from(e: crate::StoreError) -> Self {
+        SearchError::Store(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

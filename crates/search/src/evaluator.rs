@@ -1,8 +1,10 @@
 //! The schedule-evaluation abstraction, its memoising wrapper, and the
 //! shared concurrent evaluation cache used by parallel searches.
 
+use crate::lock_recover;
 use cacs_sched::Schedule;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// The objective of the schedule optimisation: the overall control
@@ -133,8 +135,17 @@ enum Slot {
     /// A thread is evaluating this schedule; waiters block on the shard's
     /// condvar instead of redundantly evaluating.
     InFlight,
-    /// Completed evaluation.
-    Ready(Option<f64>),
+    /// Completed evaluation. `requested` distinguishes entries some
+    /// search actually asked for from entries merely preloaded by a
+    /// warm start — only the former count towards the paper's
+    /// unique-evaluation cost metric.
+    Ready {
+        /// The evaluation result (`None` = infeasible).
+        value: Option<f64>,
+        /// Whether any `evaluate` call has requested this entry (as
+        /// opposed to it arriving via [`SlotCache::preload`]).
+        requested: bool,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -154,7 +165,10 @@ struct InFlightGuard<'a> {
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let mut map = self.shard.map.lock().expect("cache shard poisoned");
+            // This runs during the unwind of a panicked evaluation; the
+            // guard drop below will poison the shard mutex, which every
+            // other lock site recovers from (the map stays consistent).
+            let mut map = lock_recover(&self.shard.map);
             map.remove(self.key);
             self.shard.ready.notify_all();
         }
@@ -164,15 +178,24 @@ impl Drop for InFlightGuard<'_> {
 /// Sharded concurrent map from schedule counts to evaluation results,
 /// with in-flight deduplication: when two threads race on the same key,
 /// exactly one evaluates and the other waits for its result.
+///
+/// Poison-tolerant throughout: a panicking evaluation removes its own
+/// in-flight marker (so waiters retry the key instead of hanging) and
+/// the shard lock it poisons on the way out is recovered by every other
+/// thread — one failed evaluation never takes unrelated searches down.
 #[derive(Debug)]
 struct SlotCache {
     shards: Vec<Shard>,
+    /// Evaluations actually executed through [`SlotCache::get_or_evaluate`]
+    /// (cache misses), excluding preloaded entries — "fresh" work.
+    fresh: AtomicUsize,
 }
 
 impl SlotCache {
     fn new(shard_count: usize) -> Self {
         SlotCache {
             shards: (0..shard_count.max(1)).map(|_| Shard::default()).collect(),
+            fresh: AtomicUsize::new(0),
         }
     }
 
@@ -191,12 +214,19 @@ impl SlotCache {
     fn get_or_evaluate(&self, key: &[u32], eval: impl FnOnce() -> Option<f64>) -> Option<f64> {
         let shard = self.shard_for(key);
         {
-            let mut map = shard.map.lock().expect("cache shard poisoned");
+            let mut map = lock_recover(&shard.map);
             loop {
-                match map.get(key) {
-                    Some(Slot::Ready(v)) => return *v,
+                match map.get_mut(key) {
+                    Some(Slot::Ready { value, requested }) => {
+                        *requested = true;
+                        return *value;
+                    }
                     Some(Slot::InFlight) => {
-                        map = shard.ready.wait(map).expect("cache shard poisoned");
+                        // A panicked owner removes its marker and
+                        // notifies (see InFlightGuard), so this wait
+                        // wakes into the `None` arm and retries rather
+                        // than hanging; its poison is recovered here.
+                        map = shard.ready.wait(map).unwrap_or_else(|e| e.into_inner());
                     }
                     None => break,
                 }
@@ -214,36 +244,77 @@ impl SlotCache {
         // marker keeps racing threads from duplicating the work.
         let value = eval();
         guard.armed = false;
+        self.fresh.fetch_add(1, Ordering::Relaxed);
 
-        let mut map = shard.map.lock().expect("cache shard poisoned");
-        map.insert(key.to_vec(), Slot::Ready(value));
+        let mut map = lock_recover(&shard.map);
+        map.insert(
+            key.to_vec(),
+            Slot::Ready {
+                value,
+                requested: true,
+            },
+        );
         shard.ready.notify_all();
         value
     }
 
-    /// Number of completed evaluations.
+    /// Preloads a completed result (warm start). Existing entries win:
+    /// a preload never overwrites a result some search already produced
+    /// or is producing. Returns `true` if the entry was inserted.
+    fn preload(&self, key: &[u32], value: Option<f64>) -> bool {
+        let shard = self.shard_for(key);
+        let mut map = lock_recover(&shard.map);
+        if map.contains_key(key) {
+            return false;
+        }
+        map.insert(
+            key.to_vec(),
+            Slot::Ready {
+                value,
+                requested: false,
+            },
+        );
+        true
+    }
+
+    /// Evaluations actually executed (cache misses); preloaded entries
+    /// and cache hits are excluded.
+    fn fresh_evaluations(&self) -> usize {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed entries some `evaluate` call requested —
+    /// preloaded-but-never-requested entries are excluded, so the count
+    /// keeps its meaning as "distinct schedules this cache's searches
+    /// would have had to evaluate".
     fn completed(&self) -> usize {
         self.shards
             .iter()
             .map(|s| {
-                s.map
-                    .lock()
-                    .expect("cache shard poisoned")
+                lock_recover(&s.map)
                     .values()
-                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .filter(|slot| {
+                        matches!(
+                            slot,
+                            Slot::Ready {
+                                requested: true,
+                                ..
+                            }
+                        )
+                    })
                     .count()
             })
             .sum()
     }
 
-    /// All completed entries in deterministic (lexicographically sorted)
-    /// order.
+    /// All completed entries (including preloaded ones) in deterministic
+    /// (lexicographically sorted) order.
     fn entries_sorted(&self) -> Vec<(Vec<u32>, Option<f64>)> {
         let mut entries: Vec<(Vec<u32>, Option<f64>)> = Vec::new();
         for shard in &self.shards {
-            let map = shard.map.lock().expect("cache shard poisoned");
+            let map = lock_recover(&shard.map);
             entries.extend(map.iter().filter_map(|(k, slot)| match slot {
-                Slot::Ready(v) => Some((k.clone(), *v)),
+                Slot::Ready { value, .. } => Some((k.clone(), *value)),
                 Slot::InFlight => None,
             }));
         }
@@ -255,6 +326,12 @@ impl SlotCache {
 // ---------------------------------------------------------------------
 // MemoizedEvaluator: per-search cache (public API unchanged).
 // ---------------------------------------------------------------------
+
+/// Persistence hook invoked (outside the cache lock, inside the
+/// evaluation slot) for every *fresh* evaluation — the write-through
+/// half of a persistent store attachment. Cache hits and warm-started
+/// entries never re-fire it.
+type WriteThrough<'a> = Box<dyn Fn(&Schedule, Option<f64>) + Sync + 'a>;
 
 /// Caching wrapper around a [`ScheduleEvaluator`].
 ///
@@ -281,10 +358,19 @@ impl SlotCache {
 /// memo.evaluate(&s); // served from cache
 /// assert_eq!(memo.unique_evaluations(), 1);
 /// ```
-#[derive(Debug)]
 pub struct MemoizedEvaluator<'a, E: ScheduleEvaluator + ?Sized> {
     inner: &'a E,
     cache: SlotCache,
+    write_through: Option<WriteThrough<'a>>,
+}
+
+impl<E: ScheduleEvaluator + ?Sized> std::fmt::Debug for MemoizedEvaluator<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoizedEvaluator")
+            .field("cache", &self.cache)
+            .field("write_through", &self.write_through.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, E: ScheduleEvaluator + ?Sized> MemoizedEvaluator<'a, E> {
@@ -293,11 +379,45 @@ impl<'a, E: ScheduleEvaluator + ?Sized> MemoizedEvaluator<'a, E> {
         MemoizedEvaluator {
             inner,
             cache: SlotCache::new(1),
+            write_through: None,
         }
     }
 
-    /// Snapshot of all cached results, in deterministic (lexicographic)
-    /// order of the schedule counts.
+    /// Preloads completed results (e.g. from a persistent
+    /// [`crate::EvalStore`]) so matching requests are served without a
+    /// fresh evaluation. Existing entries win over preloads. Returns
+    /// the number of entries inserted.
+    ///
+    /// Warm-started entries do **not** count towards
+    /// [`MemoizedEvaluator::unique_evaluations`] until a search
+    /// actually requests them — the paper's cost metric keeps meaning
+    /// "what this search would have cost alone".
+    pub fn warm_start<I>(&mut self, entries: I) -> usize
+    where
+        I: IntoIterator<Item = (Schedule, Option<f64>)>,
+    {
+        entries
+            .into_iter()
+            .filter(|(s, v)| self.cache.preload(s.counts(), *v))
+            .count()
+    }
+
+    /// Attaches a persistence hook fired for every fresh evaluation
+    /// (before the result is published to waiters), e.g.
+    /// [`crate::EvalStore::record`]. Cache hits and warm-started
+    /// entries never re-fire it.
+    pub fn set_write_through(&mut self, hook: impl Fn(&Schedule, Option<f64>) + Sync + 'a) {
+        self.write_through = Some(Box::new(hook));
+    }
+
+    /// Evaluations this wrapper actually executed — requests served
+    /// from warm-started entries are excluded.
+    pub fn fresh_evaluations(&self) -> usize {
+        self.cache.fresh_evaluations()
+    }
+
+    /// Snapshot of all cached results (including warm-started entries),
+    /// in deterministic (lexicographic) order of the schedule counts.
     pub fn snapshot(&self) -> Vec<(Schedule, Option<f64>)> {
         self.cache
             .entries_sorted()
@@ -317,8 +437,13 @@ impl<E: ScheduleEvaluator + ?Sized> ScheduleEvaluator for MemoizedEvaluator<'_, 
     }
 
     fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
-        self.cache
-            .get_or_evaluate(schedule.counts(), || self.inner.evaluate(schedule))
+        self.cache.get_or_evaluate(schedule.counts(), || {
+            let value = self.inner.evaluate(schedule);
+            if let Some(hook) = &self.write_through {
+                hook(schedule, value);
+            }
+            value
+        })
     }
 }
 
@@ -363,10 +488,22 @@ const SHARED_CACHE_SHARDS: usize = 16;
 /// assert_eq!(a.unique_evaluations(), 1);
 /// assert_eq!(b.unique_evaluations(), 1);
 /// ```
-#[derive(Debug)]
 pub struct SharedEvalCache<'a, E: ScheduleEvaluator + ?Sized> {
     inner: &'a E,
     cache: SlotCache,
+    write_through: Option<WriteThrough<'a>>,
+    /// Entries inserted by [`SharedEvalCache::warm_start`].
+    warm_started: usize,
+}
+
+impl<E: ScheduleEvaluator + ?Sized> std::fmt::Debug for SharedEvalCache<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedEvalCache")
+            .field("cache", &self.cache)
+            .field("write_through", &self.write_through.is_some())
+            .field("warm_started", &self.warm_started)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, E: ScheduleEvaluator + ?Sized> SharedEvalCache<'a, E> {
@@ -375,7 +512,52 @@ impl<'a, E: ScheduleEvaluator + ?Sized> SharedEvalCache<'a, E> {
         SharedEvalCache {
             inner,
             cache: SlotCache::new(SHARED_CACHE_SHARDS),
+            write_through: None,
+            warm_started: 0,
         }
+    }
+
+    /// Preloads completed results (e.g. from a persistent
+    /// [`crate::EvalStore`]) so matching requests across every session
+    /// are served without a fresh evaluation — the warm-start half of a
+    /// resumed multistart run. Existing entries win over preloads.
+    /// Returns the number of entries inserted.
+    ///
+    /// Because a stored evaluation is a pure function of `(problem,
+    /// schedule)`, serving it from the preload cannot change any
+    /// search's trajectory or report — only the number of fresh
+    /// evaluations ([`SharedEvalCache::fresh_evaluations`]) drops.
+    pub fn warm_start<I>(&mut self, entries: I) -> usize
+    where
+        I: IntoIterator<Item = (Schedule, Option<f64>)>,
+    {
+        let inserted = entries
+            .into_iter()
+            .filter(|(s, v)| self.cache.preload(s.counts(), *v))
+            .count();
+        self.warm_started += inserted;
+        inserted
+    }
+
+    /// Attaches a persistence hook fired for every fresh evaluation
+    /// (before the result is published to waiters), e.g.
+    /// [`crate::EvalStore::record`]. Cache hits and warm-started
+    /// entries never re-fire it.
+    pub fn set_write_through(&mut self, hook: impl Fn(&Schedule, Option<f64>) + Sync + 'a) {
+        self.write_through = Some(Box::new(hook));
+    }
+
+    /// Entries inserted by [`SharedEvalCache::warm_start`].
+    pub fn warm_started(&self) -> usize {
+        self.warm_started
+    }
+
+    /// Evaluations actually executed through this cache — requests
+    /// served from warm-started entries are excluded. On a resumed run
+    /// this is the cost actually paid; the resume contract is that it
+    /// is strictly smaller than an uninterrupted run's.
+    pub fn fresh_evaluations(&self) -> usize {
+        self.cache.fresh_evaluations()
     }
 
     /// Opens a per-search view with its own unique-evaluation counter.
@@ -386,7 +568,8 @@ impl<'a, E: ScheduleEvaluator + ?Sized> SharedEvalCache<'a, E> {
         }
     }
 
-    /// Total distinct schedules evaluated across all sessions.
+    /// Total distinct schedules *requested* across all sessions
+    /// (warm-started entries count once requested, like any other hit).
     pub fn unique_evaluations(&self) -> usize {
         self.cache.completed()
     }
@@ -412,8 +595,16 @@ impl<E: ScheduleEvaluator + ?Sized> ScheduleEvaluator for SharedEvalCache<'_, E>
     }
 
     fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
-        self.cache
-            .get_or_evaluate(schedule.counts(), || self.inner.evaluate(schedule))
+        self.cache.get_or_evaluate(schedule.counts(), || {
+            let value = self.inner.evaluate(schedule);
+            // Persist before the result is published: a process killed
+            // right after this call can already serve the evaluation
+            // from the store on resume.
+            if let Some(hook) = &self.write_through {
+                hook(schedule, value);
+            }
+            value
+        })
     }
 }
 
@@ -438,17 +629,14 @@ impl<E: ScheduleEvaluator + ?Sized> ScheduleEvaluator for CacheSession<'_, '_, E
     }
 
     fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
-        self.requested
-            .lock()
-            .expect("session set poisoned")
-            .insert(schedule.counts().to_vec());
+        lock_recover(&self.requested).insert(schedule.counts().to_vec());
         self.shared.evaluate(schedule)
     }
 }
 
 impl<E: ScheduleEvaluator + ?Sized> CountingScheduleEvaluator for CacheSession<'_, '_, E> {
     fn unique_evaluations(&self) -> usize {
-        self.requested.lock().expect("session set poisoned").len()
+        lock_recover(&self.requested).len()
     }
 }
 
@@ -601,6 +789,146 @@ mod tests {
             .map(|(s, _)| s.counts().to_vec())
             .collect();
         assert_eq!(keys, vec![vec![1, 1], vec![2, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_for_unrelated_keys() {
+        // Regression: a panicking evaluation poisons its shard mutex
+        // (the in-flight cleanup runs during the unwind). The old
+        // `.expect("cache shard poisoned")` then aborted every later
+        // cache access; recovery must keep unrelated keys usable.
+        struct PanicOn {
+            bad: Vec<u32>,
+        }
+        impl ScheduleEvaluator for PanicOn {
+            fn app_count(&self) -> usize {
+                1
+            }
+            fn evaluate(&self, s: &Schedule) -> Option<f64> {
+                assert_ne!(s.counts(), &self.bad[..], "deliberate evaluator panic");
+                Some(f64::from(s.counts()[0]))
+            }
+        }
+        let inner = PanicOn { bad: vec![3] };
+        // MemoizedEvaluator has a single shard, so the panic poisons the
+        // very shard every other key lives in.
+        let memo = MemoizedEvaluator::new(&inner);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            memo.evaluate(&Schedule::new(vec![3]).unwrap())
+        }));
+        assert!(poisoned.is_err());
+        // Unrelated keys still evaluate, counters and snapshots still
+        // work, on the poisoned shard.
+        assert_eq!(memo.evaluate(&Schedule::new(vec![2]).unwrap()), Some(2.0));
+        assert_eq!(memo.evaluate(&Schedule::new(vec![5]).unwrap()), Some(5.0));
+        assert_eq!(memo.unique_evaluations(), 2);
+        assert_eq!(memo.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn waiters_retry_after_the_in_flight_owner_panics() {
+        // One thread starts evaluating and panics mid-flight while
+        // several waiters block on the same key; the waiters must wake,
+        // retry, and succeed — not hang or die of poison.
+        struct PanicFirst {
+            calls: AtomicUsize,
+        }
+        impl ScheduleEvaluator for PanicFirst {
+            fn app_count(&self) -> usize {
+                1
+            }
+            fn evaluate(&self, s: &Schedule) -> Option<f64> {
+                if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    // Give the waiters time to queue up on the condvar.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("first evaluation fails");
+                }
+                Some(f64::from(s.counts()[0]))
+            }
+        }
+        let inner = PanicFirst {
+            calls: AtomicUsize::new(0),
+        };
+        let shared = SharedEvalCache::new(&inner);
+        let s = Schedule::new(vec![4]).unwrap();
+        let ok = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let session = shared.session();
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        session.evaluate(&s)
+                    }));
+                    if result.is_ok_and(|v| v == Some(4.0)) {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        // Exactly one thread ate the panic; the other three recovered.
+        assert_eq!(ok.load(Ordering::SeqCst), 3);
+        assert_eq!(shared.unique_evaluations(), 1);
+    }
+
+    #[test]
+    fn warm_start_serves_hits_without_fresh_evaluations() {
+        let inner = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let mut shared = SharedEvalCache::new(&inner);
+        let a = Schedule::new(vec![1, 2]).unwrap();
+        let b = Schedule::new(vec![2, 2]).unwrap();
+        let inserted = shared.warm_start([(a.clone(), Some(99.0)), (b.clone(), None)]);
+        assert_eq!(inserted, 2);
+        assert_eq!(shared.warm_started(), 2);
+        // Preloaded entries are not "requested" yet.
+        assert_eq!(shared.unique_evaluations(), 0);
+
+        let session = shared.session();
+        assert_eq!(session.evaluate(&a), Some(99.0)); // stored value, not 3.0
+        assert_eq!(session.evaluate(&b), None);
+        let c = Schedule::new(vec![3, 1]).unwrap();
+        assert_eq!(session.evaluate(&c), Some(4.0)); // fresh
+
+        assert_eq!(inner.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(shared.fresh_evaluations(), 1);
+        // All three were requested; the session's cost metric is exact.
+        assert_eq!(shared.unique_evaluations(), 3);
+        assert_eq!(session.unique_evaluations(), 3);
+    }
+
+    #[test]
+    fn warm_start_never_overwrites_existing_entries() {
+        let inner = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let mut shared = SharedEvalCache::new(&inner);
+        let a = Schedule::new(vec![1, 2]).unwrap();
+        shared.session().evaluate(&a); // fresh: 3.0
+        assert_eq!(shared.warm_start([(a.clone(), Some(-1.0))]), 0);
+        assert_eq!(shared.session().evaluate(&a), Some(3.0));
+    }
+
+    #[test]
+    fn write_through_fires_once_per_fresh_evaluation() {
+        let inner = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let written: Mutex<Vec<(Vec<u32>, Option<f64>)>> = Mutex::new(Vec::new());
+        let mut shared = SharedEvalCache::new(&inner);
+        let a = Schedule::new(vec![1, 2]).unwrap();
+        shared.warm_start([(a.clone(), Some(3.0))]);
+        shared.set_write_through(|s, v| written.lock().unwrap().push((s.counts().to_vec(), v)));
+
+        let session = shared.session();
+        session.evaluate(&a); // warm hit: no write
+        let b = Schedule::new(vec![2, 2]).unwrap();
+        session.evaluate(&b); // fresh: written
+        session.evaluate(&b); // cache hit: no second write
+        drop(session);
+        drop(shared);
+
+        assert_eq!(written.into_inner().unwrap(), vec![(vec![2, 2], Some(4.0))]);
     }
 
     #[test]

@@ -86,6 +86,20 @@ pub struct ExhaustiveReport {
     pub results_truncated: bool,
 }
 
+/// The total order on best values used by [`ExhaustiveReport::merge`]:
+/// non-NaN values numerically (±0.0 compare equal, exactly like the
+/// sequential sweep's strict-`>` improvement rule treats them), every
+/// non-NaN above every NaN, NaN-vs-NaN by raw `f64::to_bits` pattern
+/// (the wire encoding).
+fn merge_value_order(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+        (false, true) => std::cmp::Ordering::Greater,
+        (true, false) => std::cmp::Ordering::Less,
+        (true, true) => a.to_bits().cmp(&b.to_bits()),
+    }
+}
+
 impl ExhaustiveReport {
     /// The identity of [`ExhaustiveReport::merge`]: a report over zero
     /// schedules — no best, zero counters, no results. Also exactly what
@@ -115,6 +129,28 @@ impl ExhaustiveReport {
     /// order, be merged in any grouping (coordinator trees, checkpoint
     /// resume), and still reduce to the exact sequential result.
     ///
+    /// # Ordering of best values (including NaN)
+    ///
+    /// Best selection uses a **total** order so the reduction stays
+    /// commutative/associative on *any* input, including reports that
+    /// arrive off the wire with pathological objectives:
+    ///
+    /// * non-NaN values compare numerically; an exact tie — including
+    ///   `-0.0` vs `+0.0`, which the sequential sweep's strict
+    ///   `>`-improvement also treats as a tie — goes to the lower rank
+    ///   (the schedule a sequential sweep would have seen first);
+    /// * any non-NaN best beats any NaN best (a sequential sweep never
+    ///   selects a NaN best: NaN loses every strict comparison);
+    /// * between two NaN bests, the larger raw bit pattern
+    ///   (`f64::to_bits`, the wire encoding) wins, ties by lower rank —
+    ///   an arbitrary but *defined* and documented order, so merging
+    ///   NaN-bearing shards in any grouping yields one deterministic
+    ///   result instead of undefined behaviour.
+    ///
+    /// For reports actually produced by [`exhaustive_search_range`] the
+    /// NaN clauses are unreachable, and the result is bit-identical to
+    /// the historical partial-order merge.
+    ///
     /// # Panics
     ///
     /// Panics if a best/retained schedule of either report lies outside
@@ -143,20 +179,22 @@ impl ExhaustiveReport {
                 .expect("merged reports must cover ranges of the given space")
         };
         // Best selection replicates the sequential reduction ("first
-        // strict improvement in enumeration order"): the greater value
-        // wins; an exact tie goes to the lower rank. Shard-local sweeps
-        // never select a NaN best (NaN loses every strict comparison), so
-        // the comparison below is total over the values that can occur.
+        // strict improvement in enumeration order") under the total
+        // order documented on `merge`: numeric comparison with exact
+        // ties (incl. ±0.0) to the lower rank, NaN below every number,
+        // NaN-vs-NaN by raw bit pattern. Totality is what keeps the
+        // reduction commutative and associative on *every* input.
         let (best, best_value) = match (self.best, &other.best) {
             (None, None) => (None, f64::NEG_INFINITY),
             (Some(a), None) => (Some(a), self.best_value),
             (None, Some(b)) => (Some(b.clone()), other.best_value),
             (Some(a), Some(b)) => {
-                if self.best_value > other.best_value {
-                    (Some(a), self.best_value)
-                } else if other.best_value > self.best_value {
-                    (Some(b.clone()), other.best_value)
-                } else if rank_of(&a) <= rank_of(b) {
+                let keep_left = match merge_value_order(self.best_value, other.best_value) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => rank_of(&a) <= rank_of(b),
+                };
+                if keep_left {
                     (Some(a), self.best_value)
                 } else {
                     (Some(b.clone()), other.best_value)
@@ -650,6 +688,68 @@ mod tests {
         let hi = exhaustive_search_range(&eval, &space, 4, 9, &config).unwrap();
         assert_eq!(lo.merge(&hi, &space).best.unwrap().counts(), &[1, 1]);
         assert_eq!(hi.merge(&lo, &space).best.unwrap().counts(), &[1, 1]);
+    }
+
+    /// Hand-crafts a shard report with a given best (the NaN cases can
+    /// never come out of `exhaustive_search_range` itself).
+    fn report_with_best(space: &ScheduleSpace, rank: u64, value: f64) -> ExhaustiveReport {
+        let mut r = ExhaustiveReport::empty();
+        r.best = Some(space.unrank(rank).unwrap());
+        r.best_value = value;
+        r.enumerated = 1;
+        r.evaluated = 1;
+        r.feasible = 1;
+        r
+    }
+
+    #[test]
+    fn merge_orders_nan_below_every_number() {
+        let space = ScheduleSpace::new(vec![4, 4]).unwrap();
+        let nan = report_with_best(&space, 9, f64::NAN);
+        let low = report_with_best(&space, 3, -1e300);
+        let neg_inf = report_with_best(&space, 5, f64::NEG_INFINITY);
+        // Any real number — even -inf — beats a NaN best, either way round.
+        assert_eq!(nan.merge(&low, &space).best, low.best);
+        assert_eq!(low.merge(&nan, &space).best, low.best);
+        assert_eq!(nan.merge(&neg_inf, &space).best, neg_inf.best);
+        assert_eq!(neg_inf.merge(&nan, &space).best, neg_inf.best);
+        // +inf wins over every finite value as usual.
+        let pos_inf = report_with_best(&space, 7, f64::INFINITY);
+        assert_eq!(pos_inf.merge(&low, &space).best, pos_inf.best);
+    }
+
+    #[test]
+    fn merge_nan_vs_nan_is_deterministic_by_bit_pattern() {
+        let space = ScheduleSpace::new(vec![4, 4]).unwrap();
+        let quiet = report_with_best(&space, 2, f64::from_bits(0x7ff8_0000_0000_0000));
+        let payload = report_with_best(&space, 11, f64::from_bits(0x7ff8_0000_0000_0001));
+        // Larger bit pattern wins, independent of merge order.
+        let ab = quiet.merge(&payload, &space);
+        let ba = payload.merge(&quiet, &space);
+        assert_eq!(ab.best, payload.best);
+        assert_eq!(ab.best, ba.best);
+        assert_eq!(ab.best_value.to_bits(), ba.best_value.to_bits());
+        // Identical NaN bits tie → lower rank.
+        let same_bits = report_with_best(&space, 1, f64::from_bits(0x7ff8_0000_0000_0000));
+        assert_eq!(quiet.merge(&same_bits, &space).best, same_bits.best);
+        assert_eq!(same_bits.merge(&quiet, &space).best, same_bits.best);
+    }
+
+    #[test]
+    fn merge_signed_zero_ties_break_by_rank() {
+        // The sequential sweep's strict-`>` rule treats -0.0 and +0.0 as
+        // a tie (first seen wins); the merge order must agree — a
+        // bit-pattern comparison here would wrongly prefer +0.0.
+        let space = ScheduleSpace::new(vec![4, 4]).unwrap();
+        let neg = report_with_best(&space, 2, -0.0);
+        let pos = report_with_best(&space, 6, 0.0);
+        assert_eq!(neg.merge(&pos, &space).best, neg.best);
+        assert_eq!(pos.merge(&neg, &space).best, neg.best);
+        // The winning report's own bit pattern is preserved.
+        assert_eq!(
+            neg.merge(&pos, &space).best_value.to_bits(),
+            (-0.0f64).to_bits()
+        );
     }
 
     #[test]

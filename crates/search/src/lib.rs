@@ -13,7 +13,13 @@
 //!   deduplication so racing threads never evaluate a schedule twice,
 //! * [`SharedEvalCache`] — one concurrent evaluation cache shared by
 //!   several searches, with per-search [`CacheSession`] views that keep
-//!   the paper's per-start cost metric exact,
+//!   the paper's per-start cost metric exact, plus warm-start and
+//!   write-through hooks for persistence,
+//! * [`EvalStore`] — a persistent, digest-addressed store of completed
+//!   evaluations (append-only journal + `END`-guarded compacted
+//!   snapshot, wire-compatible rank/bit-pattern encodings) so an
+//!   interrupted multistart search resumes with strictly fewer fresh
+//!   evaluations and bit-identical results,
 //! * [`ScheduleSpace`] — the bounded box of candidate schedules, with
 //!   bounds derived from the idle-time constraint and indexed access
 //!   (`unrank` / `iter_from`) into its lexicographic enumeration,
@@ -70,6 +76,7 @@ mod exhaustive;
 mod genetic;
 mod hybrid;
 mod space;
+pub mod store;
 mod tabu;
 
 pub use anneal::{simulated_annealing, AnnealConfig};
@@ -83,9 +90,26 @@ pub use exhaustive::{
     SweepConfig,
 };
 pub use genetic::{genetic_search, GeneticConfig};
-pub use hybrid::{hybrid_search, hybrid_search_multistart, HybridConfig, SearchReport};
+pub use hybrid::{
+    hybrid_search, hybrid_search_multistart, hybrid_search_multistart_with_store, HybridConfig,
+    MultistartOutcome, SearchReport,
+};
 pub use space::ScheduleSpace;
+pub use store::{EvalStore, StoreError};
 pub use tabu::{tabu_search, TabuConfig};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SearchError>;
+
+/// Recovers a possibly poisoned mutex.
+///
+/// Every critical section in this crate leaves its guarded state
+/// consistent (each mutation completes before the lock drops), so
+/// poisoning carries no information here: it only means *some* thread
+/// panicked while holding the guard — typically cleanup running during
+/// the unwind of a panicked evaluator. Propagating the poison would
+/// abort every unrelated search sharing the structure; recovering keeps
+/// them running while the panicking search alone dies.
+pub(crate) fn lock_recover<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,828 @@
+//! Digest-addressed persistent evaluation store: every completed
+//! schedule evaluation is journalled to disk so an interrupted hybrid
+//! multistart (or any other evaluation-hungry search) can be resumed
+//! without re-paying for a single completed evaluation.
+//!
+//! # Addressing
+//!
+//! A store is bound to one `(problem digest, schedule space)` pair.
+//! The *problem digest* is an opaque caller-supplied token (e.g. the
+//! canonical `--problem` specification of the sweep binaries) that
+//! names the exact objective; the space pins the rank encoding. Both
+//! are embedded in the snapshot header, and [`EvalStore::open`] fails
+//! fast with a typed error ([`StoreError::ProblemMismatch`] /
+//! [`StoreError::SpaceMismatch`]) when an existing store was written
+//! for a different problem or box — a resumed search can therefore
+//! never silently mix evaluations of two different objectives.
+//!
+//! # On-disk layout
+//!
+//! Two sibling files:
+//!
+//! * `<path>` — the **compacted snapshot**, a line-oriented text file
+//!   sharing the distributed-sweep wire protocol's primitive encodings
+//!   (schedules as enumeration ranks, objectives as 16-hex-digit
+//!   `f64::to_bits` patterns — the currency of the repo's bit-identical
+//!   contract):
+//!
+//!   ```text
+//!   CACS-EVAL-STORE 1
+//!   PROBLEM <digest>
+//!   SPACE <n> <m1> … <mn>
+//!   NRECORDS <k>
+//!   E <rank> <bits|none>          (× k, sorted by rank)
+//!   END
+//!   ```
+//!
+//!   Snapshots are written through a sibling temp file and an atomic
+//!   rename, and loads refuse files without the `END` trailer — the
+//!   same pattern as the sweep coordinator's checkpoint, so a process
+//!   killed mid-compaction can never corrupt the store.
+//!
+//! * `<path>.log` — the **append-only journal** of records since the
+//!   last compaction, one `E` line per completed evaluation, flushed
+//!   per record. A torn final line (the process was killed mid-append)
+//!   is tolerated and ignored on replay; everything before it is kept.
+//!
+//! [`EvalStore::open`] replays the journal into the snapshot and
+//! compacts, so steady-state reads are a single sequential parse.
+//!
+//! # Concurrency
+//!
+//! [`EvalStore::record`] is safe to call from many threads (the
+//! multistart searches write through concurrently) and recovers from
+//! poisoned locks — a panicking evaluator on one search thread never
+//! wedges persistence for the others. Write failures are additionally
+//! *latched* ([`EvalStore::take_write_error`]) so fire-and-forget
+//! write-through hooks cannot silently drop durability errors.
+
+use crate::{lock_recover, ScheduleSpace};
+use cacs_sched::Schedule;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const HEADER: &str = "CACS-EVAL-STORE 1";
+
+/// Error returned by [`EvalStore`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A filesystem operation failed. Stored as kind + rendered message
+    /// so the error stays `Clone`/`PartialEq` across crate boundaries.
+    Io {
+        /// The failed operation's [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// The rendered I/O error.
+        message: String,
+    },
+    /// The store on disk was written for a different problem digest —
+    /// resuming would mix evaluations of two different objectives.
+    ProblemMismatch {
+        /// Digest the caller is resuming with.
+        expected: String,
+        /// Digest found in the store.
+        found: String,
+    },
+    /// The store on disk was written over a different schedule space —
+    /// its rank encoding does not address this box.
+    SpaceMismatch {
+        /// Per-dimension maxima the caller is resuming with.
+        expected: Vec<u32>,
+        /// Per-dimension maxima found in the store.
+        found: Vec<u32>,
+    },
+    /// The snapshot file was malformed or truncated (missing `END`
+    /// trailer, bad record line, …).
+    Corrupt {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A problem digest contained whitespace or was empty — it could
+    /// not be embedded in the line-oriented header unambiguously.
+    InvalidDigest {
+        /// The rejected digest.
+        digest: String,
+    },
+    /// A schedule outside the store's space was recorded or looked up —
+    /// it has no rank under the store's encoding.
+    OutOfSpace {
+        /// The rejected schedule's task counts.
+        counts: Vec<u32>,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { message, .. } => write!(f, "evaluation store I/O: {message}"),
+            StoreError::ProblemMismatch { expected, found } => write!(
+                f,
+                "evaluation store problem mismatch: store was written for {found:?}, \
+                 refusing to resume {expected:?}"
+            ),
+            StoreError::SpaceMismatch { expected, found } => write!(
+                f,
+                "evaluation store space mismatch: store was written over box {found:?}, \
+                 refusing to resume over {expected:?}"
+            ),
+            StoreError::Corrupt { reason } => write!(f, "evaluation store corrupt: {reason}"),
+            StoreError::InvalidDigest { digest } => write!(
+                f,
+                "problem digest {digest:?} is empty or contains whitespace"
+            ),
+            StoreError::OutOfSpace { counts } => {
+                write!(f, "schedule {counts:?} lies outside the store's space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Store-operation result alias.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+/// Encodes one evaluation record as its line form: `E <rank>
+/// <bits|none>`, where `<bits>` is the objective's `f64::to_bits` as 16
+/// lower-case hex digits and `none` marks an infeasible evaluation —
+/// byte-compatible with the distributed-sweep wire protocol's `R` line
+/// payload encoding (and under the same stability guarantee: frozen
+/// within a store format version).
+pub fn encode_record(rank: u64, value_bits: Option<u64>) -> String {
+    match value_bits {
+        Some(bits) => format!("E {rank} {bits:016x}"),
+        None => format!("E {rank} none"),
+    }
+}
+
+/// Decodes one `E` record line (inverse of [`encode_record`]).
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] on anything but a well-formed `E`
+/// line.
+pub fn decode_record(line: &str) -> StoreResult<(u64, Option<u64>)> {
+    let bad = || StoreError::Corrupt {
+        reason: format!("malformed record line {line:?}"),
+    };
+    let mut fields = line.split_whitespace();
+    if fields.next() != Some("E") {
+        return Err(bad());
+    }
+    let rank: u64 = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+    let value_bits = match fields.next() {
+        Some("none") => None,
+        Some(hex) if hex.len() == 16 => Some(u64::from_str_radix(hex, 16).map_err(|_| bad())?),
+        _ => return Err(bad()),
+    };
+    if fields.next().is_some() {
+        return Err(bad());
+    }
+    Ok((rank, value_bits))
+}
+
+/// Mutable state behind the store's lock: the in-memory index plus the
+/// open journal handle.
+struct StoreInner {
+    /// rank → objective bits (`None` = infeasible). A `BTreeMap` keeps
+    /// snapshots and compactions sorted by rank for free.
+    records: BTreeMap<u64, Option<u64>>,
+    /// Open append handle on the journal.
+    log: File,
+    /// Records appended since the last compaction.
+    appended: u64,
+    /// First write failure, latched for fire-and-forget callers.
+    write_error: Option<StoreError>,
+}
+
+/// A persistent, digest-addressed store of completed schedule
+/// evaluations. See the [module docs](self) for the format and
+/// durability model.
+///
+/// # Example
+///
+/// ```no_run
+/// use cacs_search::{EvalStore, ScheduleSpace};
+/// use cacs_sched::Schedule;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = ScheduleSpace::new(vec![6, 6])?;
+/// let store = EvalStore::open("run.store".as_ref(), "paper-fast", &space)?;
+/// store.record(&Schedule::new(vec![3, 2])?, Some(0.18))?;
+/// drop(store);
+/// // A later process resumes with every completed evaluation intact.
+/// let resumed = EvalStore::open("run.store".as_ref(), "paper-fast", &space)?;
+/// assert_eq!(resumed.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct EvalStore {
+    path: PathBuf,
+    log_path: PathBuf,
+    problem: String,
+    space: ScheduleSpace,
+    inner: Mutex<StoreInner>,
+}
+
+impl fmt::Debug for EvalStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalStore")
+            .field("path", &self.path)
+            .field("problem", &self.problem)
+            .field("space", &self.space.max_counts())
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EvalStore {
+    /// The journal path belonging to a snapshot path: `<path>.log`.
+    fn log_path_for(path: &Path) -> PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".log");
+        path.with_file_name(name)
+    }
+
+    /// `true` when a store (snapshot or journal) already exists at
+    /// `path` — what a CLI uses to refuse accidental reuse without an
+    /// explicit `--resume`.
+    pub fn exists(path: &Path) -> bool {
+        path.exists() || Self::log_path_for(path).exists()
+    }
+
+    /// Opens (or creates) the store at `path` for the given problem
+    /// digest and space.
+    ///
+    /// A fresh store immediately writes an empty snapshot, pinning the
+    /// digest and space on disk before the first evaluation completes.
+    /// An existing store is validated against both, its journal is
+    /// replayed (a torn final line is ignored), and the result is
+    /// compacted back into the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::InvalidDigest`] — `problem` is empty or contains
+    ///   whitespace,
+    /// * [`StoreError::ProblemMismatch`] / [`StoreError::SpaceMismatch`]
+    ///   — the store on disk belongs to a different problem or box,
+    /// * [`StoreError::Corrupt`] — malformed or truncated snapshot,
+    /// * [`StoreError::Io`] — filesystem failures.
+    pub fn open(path: &Path, problem: &str, space: &ScheduleSpace) -> StoreResult<Self> {
+        if problem.is_empty() || problem.chars().any(char::is_whitespace) {
+            return Err(StoreError::InvalidDigest {
+                digest: problem.to_string(),
+            });
+        }
+        let log_path = Self::log_path_for(path);
+        let mut records = BTreeMap::new();
+        if path.exists() {
+            let text = std::fs::read_to_string(path)?;
+            records = parse_snapshot(&text, problem, space)?;
+        }
+        if log_path.exists() {
+            let text = std::fs::read_to_string(&log_path)?;
+            replay_journal(&text, &mut records, space)?;
+        }
+
+        let store = EvalStore {
+            path: path.to_path_buf(),
+            log_path: log_path.clone(),
+            problem: problem.to_string(),
+            space: space.clone(),
+            inner: Mutex::new(StoreInner {
+                records,
+                // Placeholder handle; compact_locked below re-opens the
+                // journal after truncating it.
+                log: OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&log_path)?,
+                appended: 0,
+                write_error: None,
+            }),
+        };
+        // Fold the journal into the snapshot (also pins digest + space
+        // on disk for a fresh store).
+        let mut inner = lock_recover(&store.inner);
+        store.compact_locked(&mut inner)?;
+        drop(inner);
+        Ok(store)
+    }
+
+    /// The snapshot path this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The problem digest this store is addressed by.
+    pub fn problem(&self) -> &str {
+        &self.problem
+    }
+
+    /// The schedule space pinning the store's rank encoding.
+    pub fn space(&self) -> &ScheduleSpace {
+        &self.space
+    }
+
+    /// Number of distinct evaluations stored.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.inner).records.len()
+    }
+
+    /// `true` when the store holds no evaluations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a stored evaluation: `None` = not stored,
+    /// `Some(None)` = stored as infeasible, `Some(Some(v))` = stored
+    /// objective.
+    pub fn get(&self, schedule: &Schedule) -> Option<Option<f64>> {
+        let rank = self.space.rank(schedule)?;
+        lock_recover(&self.inner)
+            .records
+            .get(&rank)
+            .map(|bits| bits.map(f64::from_bits))
+    }
+
+    /// All stored evaluations in rank (enumeration) order — the
+    /// warm-start payload for
+    /// [`SharedEvalCache::warm_start`](crate::SharedEvalCache::warm_start).
+    pub fn entries(&self) -> Vec<(Schedule, Option<f64>)> {
+        let inner = lock_recover(&self.inner);
+        inner
+            .records
+            .iter()
+            .map(|(&rank, bits)| {
+                let schedule = self
+                    .space
+                    .unrank(rank)
+                    .expect("stored ranks are validated against the space on load");
+                (schedule, bits.map(f64::from_bits))
+            })
+            .collect()
+    }
+
+    /// Journals one completed evaluation (append + flush). Recording a
+    /// schedule that is already stored is a no-op — the store is
+    /// append-only per key, and an evaluation is a pure function of
+    /// `(problem, schedule)` so the first recorded value is as good as
+    /// any.
+    ///
+    /// Safe to call concurrently from many threads; the first write
+    /// failure is also latched for [`EvalStore::take_write_error`].
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::OutOfSpace`] — `schedule` has no rank in the
+    ///   store's space,
+    /// * [`StoreError::Io`] — the append failed.
+    pub fn record(&self, schedule: &Schedule, value: Option<f64>) -> StoreResult<()> {
+        let Some(rank) = self.space.rank(schedule) else {
+            let e = StoreError::OutOfSpace {
+                counts: schedule.counts().to_vec(),
+            };
+            let mut inner = lock_recover(&self.inner);
+            inner.write_error.get_or_insert(e.clone());
+            return Err(e);
+        };
+        let bits = value.map(f64::to_bits);
+        let mut inner = lock_recover(&self.inner);
+        if inner.records.contains_key(&rank) {
+            return Ok(());
+        }
+        let line = format!("{}\n", encode_record(rank, bits));
+        let result = inner
+            .log
+            .write_all(line.as_bytes())
+            .and_then(|()| inner.log.flush());
+        if let Err(e) = result {
+            let e = StoreError::from(e);
+            inner.write_error.get_or_insert(e.clone());
+            return Err(e);
+        }
+        inner.records.insert(rank, bits);
+        inner.appended += 1;
+        Ok(())
+    }
+
+    /// Takes (and clears) the first write failure latched by
+    /// [`EvalStore::record`] — callers using the store through a
+    /// fire-and-forget write-through hook check this once at the end of
+    /// a search instead of after every evaluation.
+    pub fn take_write_error(&self) -> Option<StoreError> {
+        lock_recover(&self.inner).write_error.take()
+    }
+
+    /// Folds the journal into the snapshot: atomically rewrites
+    /// `<path>` (temp file + rename, `END`-trailer guarded) with every
+    /// known record, then truncates the journal. Interrupting the
+    /// process at any point leaves either the old or the new state —
+    /// never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn compact(&self) -> StoreResult<()> {
+        let mut inner = lock_recover(&self.inner);
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut StoreInner) -> StoreResult<()> {
+        let mut text = String::new();
+        text.push_str(HEADER);
+        text.push('\n');
+        text.push_str(&format!("PROBLEM {}\n", self.problem));
+        text.push_str(&format!("SPACE {}", self.space.app_count()));
+        for m in self.space.max_counts() {
+            text.push_str(&format!(" {m}"));
+        }
+        text.push('\n');
+        text.push_str(&format!("NRECORDS {}\n", inner.records.len()));
+        for (&rank, &bits) in &inner.records {
+            text.push_str(&encode_record(rank, bits));
+            text.push('\n');
+        }
+        text.push_str("END\n");
+
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The snapshot now covers everything: restart the journal. A
+        // plain write handle truncated to zero appends sequentially —
+        // all writes go through this one handle under the store's lock.
+        inner.log = File::create(&self.log_path)?;
+        inner.appended = 0;
+        Ok(())
+    }
+}
+
+/// Parses a snapshot and validates digest + space.
+fn parse_snapshot(
+    text: &str,
+    problem: &str,
+    space: &ScheduleSpace,
+) -> StoreResult<BTreeMap<u64, Option<u64>>> {
+    let bad = |reason: &str| StoreError::Corrupt {
+        reason: reason.to_string(),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return Err(bad("missing or unsupported header"));
+    }
+    let problem_line = lines.next().ok_or_else(|| bad("missing PROBLEM line"))?;
+    let found = problem_line
+        .strip_prefix("PROBLEM ")
+        .ok_or_else(|| bad("missing PROBLEM line"))?;
+    if found != problem {
+        return Err(StoreError::ProblemMismatch {
+            expected: problem.to_string(),
+            found: found.to_string(),
+        });
+    }
+    let space_line = lines.next().ok_or_else(|| bad("missing SPACE line"))?;
+    let rest = space_line
+        .strip_prefix("SPACE ")
+        .ok_or_else(|| bad("missing SPACE line"))?;
+    let mut fields = rest.split_whitespace();
+    let n: usize = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| bad("malformed SPACE dimension count"))?;
+    let found_maxes: Vec<u32> = fields
+        .map(|f| f.parse().map_err(|_| bad("malformed SPACE dimension")))
+        .collect::<StoreResult<_>>()?;
+    if found_maxes.len() != n {
+        return Err(bad("SPACE dimension count mismatch"));
+    }
+    if found_maxes != space.max_counts() {
+        return Err(StoreError::SpaceMismatch {
+            expected: space.max_counts().to_vec(),
+            found: found_maxes,
+        });
+    }
+    let nrecords_line = lines.next().ok_or_else(|| bad("missing NRECORDS line"))?;
+    let nrecords: u64 = nrecords_line
+        .strip_prefix("NRECORDS ")
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| bad("malformed NRECORDS line"))?;
+    let mut records = BTreeMap::new();
+    for _ in 0..nrecords {
+        let line = lines
+            .next()
+            .ok_or_else(|| bad("truncated record list (missing END trailer?)"))?;
+        let (rank, bits) = decode_record(line)?;
+        if rank >= space.len() {
+            return Err(bad(&format!("record rank {rank} outside the space")));
+        }
+        records.insert(rank, bits);
+    }
+    if lines.next() != Some("END") {
+        return Err(bad("missing END trailer (truncated write?)"));
+    }
+    Ok(records)
+}
+
+/// Replays journal lines into `records`. A malformed **final** line is
+/// a torn append (the process died mid-write) and is ignored; a
+/// malformed line anywhere else is corruption and refused.
+fn replay_journal(
+    text: &str,
+    records: &mut BTreeMap<u64, Option<u64>>,
+    space: &ScheduleSpace,
+) -> StoreResult<()> {
+    let lines: Vec<&str> = text.split('\n').filter(|l| !l.is_empty()).collect();
+    // A journal whose text does not end in '\n' had its last append torn.
+    let torn_tail = !text.is_empty() && !text.ends_with('\n');
+    for (i, line) in lines.iter().enumerate() {
+        let last = i + 1 == lines.len();
+        match decode_record(line) {
+            Ok((rank, bits)) => {
+                if rank >= space.len() {
+                    return Err(StoreError::Corrupt {
+                        reason: format!("journal rank {rank} outside the space"),
+                    });
+                }
+                // The snapshot-covered value wins ties; journal entries
+                // behind an existing key are redundant re-records.
+                records.entry(rank).or_insert(bits);
+            }
+            Err(e) => {
+                // A torn append can only leave a prefix with no
+                // trailing newline; a complete ('\n'-terminated) final
+                // line that fails to parse is genuine corruption.
+                if last && torn_tail {
+                    break; // torn final append: everything before it is good
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cacs-store-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("evals.store")
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    fn space() -> ScheduleSpace {
+        ScheduleSpace::new(vec![6, 7]).unwrap()
+    }
+
+    #[test]
+    fn record_reopen_round_trip() {
+        let path = temp_store_path("roundtrip");
+        let space = space();
+        let store = EvalStore::open(&path, "test-problem", &space).unwrap();
+        store
+            .record(&Schedule::new(vec![3, 2]).unwrap(), Some(0.5))
+            .unwrap();
+        store
+            .record(&Schedule::new(vec![1, 1]).unwrap(), None)
+            .unwrap();
+        store
+            .record(&Schedule::new(vec![6, 7]).unwrap(), Some(-0.0))
+            .unwrap();
+        assert_eq!(store.len(), 3);
+        drop(store);
+
+        let back = EvalStore::open(&path, "test-problem", &space).unwrap();
+        assert_eq!(back.len(), 3);
+        let entries = back.entries();
+        // Rank order: (1,1) < (3,2) < (6,7).
+        assert_eq!(entries[0].0.counts(), &[1, 1]);
+        assert_eq!(entries[0].1, None);
+        assert_eq!(entries[1].0.counts(), &[3, 2]);
+        assert_eq!(entries[1].1, Some(0.5));
+        // -0.0 survives bit-exactly.
+        assert_eq!(entries[2].1.unwrap().to_bits(), (-0.0f64).to_bits());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn duplicate_records_are_no_ops() {
+        let path = temp_store_path("dup");
+        let space = space();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        let s = Schedule::new(vec![2, 2]).unwrap();
+        store.record(&s, Some(1.0)).unwrap();
+        store.record(&s, Some(2.0)).unwrap(); // ignored: append-only per key
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&s), Some(Some(1.0)));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn problem_mismatch_is_typed_and_fails_fast() {
+        let path = temp_store_path("problem-mismatch");
+        let space = space();
+        drop(EvalStore::open(&path, "problem-a", &space).unwrap());
+        let err = EvalStore::open(&path, "problem-b", &space).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::ProblemMismatch {
+                expected: "problem-b".to_string(),
+                found: "problem-a".to_string(),
+            }
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn space_mismatch_is_typed() {
+        let path = temp_store_path("space-mismatch");
+        drop(EvalStore::open(&path, "p", &space()).unwrap());
+        let other = ScheduleSpace::new(vec![6, 8]).unwrap();
+        assert!(matches!(
+            EvalStore::open(&path, "p", &other),
+            Err(StoreError::SpaceMismatch { .. })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn whitespace_digest_rejected() {
+        let path = temp_store_path("bad-digest");
+        assert!(matches!(
+            EvalStore::open(&path, "two words", &space()),
+            Err(StoreError::InvalidDigest { .. })
+        ));
+        assert!(matches!(
+            EvalStore::open(&path, "", &space()),
+            Err(StoreError::InvalidDigest { .. })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncated_snapshot_refused() {
+        let path = temp_store_path("truncated");
+        let space = space();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        store
+            .record(&Schedule::new(vec![2, 3]).unwrap(), Some(0.25))
+            .unwrap();
+        store.compact().unwrap();
+        drop(store);
+        // Cut the END trailer off the snapshot → refused.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().strip_suffix("END").unwrap();
+        std::fs::write(&path, cut).unwrap();
+        assert!(matches!(
+            EvalStore::open(&path, "p", &space),
+            Err(StoreError::Corrupt { .. })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_tolerated() {
+        let path = temp_store_path("torn");
+        let space = space();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        store
+            .record(&Schedule::new(vec![1, 2]).unwrap(), Some(0.125))
+            .unwrap();
+        drop(store);
+        // Simulate a kill mid-append: a partial record with no newline.
+        let log = EvalStore::log_path_for(&path);
+        let mut f = OpenOptions::new().append(true).open(&log).unwrap();
+        f.write_all(b"E 17 3fc00").unwrap(); // torn halfway through the bits
+        drop(f);
+        let back = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(back.len(), 1); // the torn record is dropped, the good one kept
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_mid_journal_refused() {
+        let path = temp_store_path("mid-corrupt");
+        let space = space();
+        drop(EvalStore::open(&path, "p", &space).unwrap());
+        let log = EvalStore::log_path_for(&path);
+        std::fs::write(&log, "E zz garbage\nE 3 none\n").unwrap();
+        assert!(matches!(
+            EvalStore::open(&path, "p", &space),
+            Err(StoreError::Corrupt { .. })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn complete_corrupt_final_line_refused() {
+        // A '\n'-terminated final line is a *completed* append — if it
+        // does not parse, that is corruption, not a torn write, however
+        // short it is.
+        let path = temp_store_path("short-corrupt");
+        let space = space();
+        drop(EvalStore::open(&path, "p", &space).unwrap());
+        let log = EvalStore::log_path_for(&path);
+        std::fs::write(&log, "E 3 none\nE 5\n").unwrap();
+        assert!(matches!(
+            EvalStore::open(&path, "p", &space),
+            Err(StoreError::Corrupt { .. })
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn compaction_absorbs_the_journal() {
+        let path = temp_store_path("compact");
+        let space = space();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        for m in 1..=5u32 {
+            store
+                .record(&Schedule::new(vec![m, 1]).unwrap(), Some(f64::from(m)))
+                .unwrap();
+        }
+        store.compact().unwrap();
+        // Journal is empty after compaction…
+        let log = EvalStore::log_path_for(&path);
+        assert_eq!(std::fs::read_to_string(&log).unwrap(), "");
+        // …and the snapshot alone reproduces everything.
+        drop(store);
+        let back = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(back.len(), 5);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn out_of_space_schedule_rejected_and_latched() {
+        let path = temp_store_path("oos");
+        let space = space();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        let outside = Schedule::new(vec![7, 1]).unwrap();
+        assert!(matches!(
+            store.record(&outside, Some(1.0)),
+            Err(StoreError::OutOfSpace { .. })
+        ));
+        assert!(matches!(
+            store.take_write_error(),
+            Some(StoreError::OutOfSpace { .. })
+        ));
+        assert!(store.take_write_error().is_none()); // cleared
+        cleanup(&path);
+    }
+
+    #[test]
+    fn concurrent_records_from_many_threads() {
+        let path = temp_store_path("concurrent");
+        let space = ScheduleSpace::new(vec![8, 8]).unwrap();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let store = &store;
+                scope.spawn(move || {
+                    for m in 1..=8u32 {
+                        store
+                            .record(
+                                &Schedule::new(vec![m, t + 1]).unwrap(),
+                                Some(f64::from(m * (t + 1))),
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 32);
+        drop(store);
+        let back = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(back.len(), 32);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn exists_reports_snapshot_or_journal() {
+        let path = temp_store_path("exists");
+        assert!(!EvalStore::exists(&path));
+        drop(EvalStore::open(&path, "p", &space()).unwrap());
+        assert!(EvalStore::exists(&path));
+        cleanup(&path);
+    }
+}

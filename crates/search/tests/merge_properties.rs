@@ -187,3 +187,83 @@ fn tie_breaking_shards_keep_the_sequential_winner() {
         .fold(ExhaustiveReport::empty(), |acc, r| acc.merge(r, &space));
     assert_identical(&merged, &full, "reverse arrival");
 }
+
+/// The special-value palette for the NaN/infinity merge property: every
+/// class the total order distinguishes, with distinct NaN bit patterns.
+const SPECIAL_VALUES: [u64; 8] = [
+    0x7ff8_0000_0000_0000, // quiet NaN
+    0x7ff8_0000_0000_0001, // NaN with payload
+    0xfff8_0000_0000_0000, // negative quiet NaN
+    0x7ff0_0000_0000_0000, // +inf
+    0xfff0_0000_0000_0000, // -inf
+    0x8000_0000_0000_0000, // -0.0
+    0x0000_0000_0000_0000, // +0.0
+    0x3fd0_0000_0000_0000, // 0.25
+];
+
+fn special_report(space: &ScheduleSpace, rank: u64, bits: u64) -> ExhaustiveReport {
+    let mut r = ExhaustiveReport::empty();
+    r.best = Some(space.unrank(rank % space.len()).unwrap());
+    r.best_value = f64::from_bits(bits);
+    r.enumerated = 1;
+    r.evaluated = 1;
+    r.feasible = 1;
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With NaN and infinite bests in the mix — values a real shard sweep
+    /// can never produce but a hand-crafted or corrupted wire report can —
+    /// the merge must stay commutative, associative, and deterministic:
+    /// any grouping and any permutation of the same shard set reduces to
+    /// one bit-identical result, and a NaN best never survives contact
+    /// with a non-NaN one.
+    #[test]
+    fn merge_total_order_survives_nan_and_infinities(
+        picks in prop::collection::vec((0u64..64, 0usize..8), 2..6),
+        rotation in 0usize..6,
+        split in 1usize..5,
+    ) {
+        let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
+        let shards: Vec<ExhaustiveReport> = picks
+            .iter()
+            .map(|&(rank, class)| special_report(&space, rank, SPECIAL_VALUES[class]))
+            .collect();
+
+        // Left fold in arrival order …
+        let folded = shards
+            .iter()
+            .fold(ExhaustiveReport::empty(), |acc, r| acc.merge(r, &space));
+        // … versus a rotated permutation …
+        let mut rotated = shards.clone();
+        let pivot = rotation % rotated.len().max(1);
+        rotated.rotate_left(pivot);
+        let folded_rotated = rotated
+            .iter()
+            .fold(ExhaustiveReport::empty(), |acc, r| acc.merge(r, &space));
+        // … versus an arbitrary re-grouping (merge the two halves first).
+        let cut = split % shards.len().max(1);
+        let (lo, hi) = shards.split_at(cut.max(1).min(shards.len()));
+        let left = lo
+            .iter()
+            .fold(ExhaustiveReport::empty(), |acc, r| acc.merge(r, &space));
+        let right = hi
+            .iter()
+            .fold(ExhaustiveReport::empty(), |acc, r| acc.merge(r, &space));
+        let grouped = left.merge(&right, &space);
+
+        prop_assert_eq!(folded.best.clone(), folded_rotated.best.clone());
+        prop_assert_eq!(
+            folded.best_value.to_bits(),
+            folded_rotated.best_value.to_bits()
+        );
+        prop_assert_eq!(folded.best.clone(), grouped.best.clone());
+        prop_assert_eq!(folded.best_value.to_bits(), grouped.best_value.to_bits());
+
+        // A NaN best survives only if *every* shard's best was NaN.
+        let any_non_nan = shards.iter().any(|r| !r.best_value.is_nan());
+        prop_assert_eq!(folded.best_value.is_nan(), !any_non_nan);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the persistent evaluation store: the record
+//! encoding round-trips arbitrary ranks and `f64` bit patterns exactly
+//! (including NaN payloads and `-0.0`), whole stores survive
+//! journal-replay and compaction cycles bit-for-bit, and truncated
+//! snapshots are refused.
+
+use cacs_search::store::{decode_record, encode_record, EvalStore, StoreError};
+use cacs_search::ScheduleSpace;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Interesting bit patterns mixed into the random draws: signed zeros,
+/// infinities, quiet/signalling/payload NaNs, denormals.
+const SPECIAL_BITS: [u64; 10] = [
+    0x0000_0000_0000_0000, // +0.0
+    0x8000_0000_0000_0000, // -0.0
+    0x7ff0_0000_0000_0000, // +inf
+    0xfff0_0000_0000_0000, // -inf
+    0x7ff8_0000_0000_0000, // quiet NaN
+    0x7ff8_0000_0000_0001, // NaN with payload
+    0xfff8_dead_beef_cafe, // negative NaN with payload
+    0x7ff0_0000_0000_0001, // signalling NaN
+    0x0000_0000_0000_0001, // smallest denormal
+    0x3fd0_0000_0000_0000, // 0.25
+];
+
+fn unique_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cacs-store-prop-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The extreme corners the random ranges (vendored RNG, exclusive
+/// upper bounds) cannot reach.
+#[test]
+fn record_encoding_round_trips_at_the_corners() {
+    for rank in [0u64, u64::MAX] {
+        for value_bits in [None, Some(0u64), Some(u64::MAX)] {
+            let line = encode_record(rank, value_bits);
+            assert_eq!(decode_record(&line).unwrap(), (rank, value_bits));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `decode_record ∘ encode_record = id` for arbitrary ranks and raw
+    /// bit patterns — the invariant that makes the store's journal a
+    /// lossless carrier of the repo's bit-identical contract.
+    #[test]
+    fn record_encoding_round_trips_exactly(
+        rank in 0u64..u64::MAX,
+        bits in 0u64..u64::MAX,
+        special in 0usize..10,
+        use_special in proptest::prelude::prop::bool::ANY,
+        feasible in proptest::prelude::prop::bool::ANY,
+    ) {
+        let bits = if use_special { SPECIAL_BITS[special] } else { bits };
+        let value_bits = feasible.then_some(bits);
+        let line = encode_record(rank, value_bits);
+        let (back_rank, back_bits) = decode_record(&line).unwrap();
+        prop_assert_eq!(back_rank, rank);
+        prop_assert_eq!(back_bits, value_bits);
+        // The encoding is canonical: re-encoding reproduces the bytes.
+        prop_assert_eq!(encode_record(back_rank, back_bits), line);
+    }
+
+    /// A store populated with arbitrary (rank, bits) records survives a
+    /// close → reopen (journal replay) and an explicit compaction with
+    /// every bit pattern intact, while a snapshot whose END trailer was
+    /// cut off is refused.
+    #[test]
+    fn store_round_trips_and_rejects_truncation(
+        picks in prop::collection::vec((0u64..100, 0usize..10, proptest::prelude::prop::bool::ANY), 1..12),
+    ) {
+        let dir = unique_dir();
+        let path = dir.join("evals.store");
+        let space = ScheduleSpace::new(vec![10, 10]).unwrap();
+
+        let store = EvalStore::open(&path, "prop-problem", &space).unwrap();
+        let mut expected: std::collections::BTreeMap<u64, Option<u64>> =
+            std::collections::BTreeMap::new();
+        for &(rank, class, feasible) in &picks {
+            let rank = rank % space.len();
+            let schedule = space.unrank(rank).unwrap();
+            let value = feasible.then_some(f64::from_bits(SPECIAL_BITS[class]));
+            store.record(&schedule, value).unwrap();
+            // First write per rank wins (append-only per key).
+            expected.entry(rank).or_insert_with(|| value.map(f64::to_bits));
+        }
+        drop(store);
+
+        // Reopen: journal replay must reproduce every record bit-exactly.
+        let reopened = EvalStore::open(&path, "prop-problem", &space).unwrap();
+        prop_assert_eq!(reopened.len(), expected.len());
+        for (rank, schedule_value) in reopened
+            .entries()
+            .into_iter()
+            .map(|(s, v)| (space.rank(&s).unwrap(), v.map(f64::to_bits)))
+        {
+            prop_assert_eq!(Some(&schedule_value), expected.get(&rank).map(Some).unwrap_or(None));
+        }
+        // Compaction changes the files, not the contents.
+        reopened.compact().unwrap();
+        drop(reopened);
+        let compacted = EvalStore::open(&path, "prop-problem", &space).unwrap();
+        prop_assert_eq!(compacted.len(), expected.len());
+        drop(compacted);
+
+        // Cutting the END trailer off the snapshot must be refused.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().strip_suffix("END").unwrap();
+        std::fs::write(&path, cut).unwrap();
+        let _ = std::fs::remove_file(dir.join("evals.store.log"));
+        prop_assert!(matches!(
+            EvalStore::open(&path, "prop-problem", &space),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

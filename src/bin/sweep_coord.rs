@@ -13,7 +13,8 @@
 //!     [--listen HOST:PORT --expect N]        …or accept N TCP workers
 //!     [--shard-size R] [--chunk C] [--grain G] [--retain all|K]
 //!     [--checkpoint FILE] [--resume]
-//!     [--lease-timeout SECS] [--halt-after-leases N]
+//!     [--lease-timeout SECS] [--handshake-timeout SECS]
+//!     [--halt-after-leases N]
 //!     [--chaos-die-mid-lease N]              fault-inject the first worker
 //!     [--selfcheck]                          compare against the
 //!                                            single-process sweep, byte for byte
@@ -46,6 +47,7 @@ struct Args {
     checkpoint: Option<PathBuf>,
     resume: bool,
     lease_timeout: Duration,
+    handshake_timeout: Duration,
     halt_after_leases: Option<u64>,
     chaos_die_mid_lease: Option<u64>,
     selfcheck: bool,
@@ -57,7 +59,8 @@ fn usage() -> ! {
          [--workers N] [--worker-cmd PATH] [--listen HOST:PORT --expect N] \
          [--shard-size R] [--chunk C] [--grain G] [--retain all|K] \
          [--checkpoint FILE] [--resume] [--lease-timeout SECS] \
-         [--halt-after-leases N] [--chaos-die-mid-lease N] [--selfcheck]"
+         [--handshake-timeout SECS] [--halt-after-leases N] \
+         [--chaos-die-mid-lease N] [--selfcheck]"
     );
     std::process::exit(2)
 }
@@ -77,6 +80,7 @@ fn parse_args() -> Args {
         checkpoint: None,
         resume: false,
         lease_timeout: Duration::from_secs(120),
+        handshake_timeout: Duration::from_secs(10),
         halt_after_leases: None,
         chaos_die_mid_lease: None,
         selfcheck: false,
@@ -112,6 +116,10 @@ fn parse_args() -> Args {
             }
             "--lease-timeout" => {
                 args.lease_timeout =
+                    Duration::from_secs(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--handshake-timeout" => {
+                args.handshake_timeout =
                     Duration::from_secs(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
             "--halt-after-leases" => {
@@ -184,6 +192,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             dispatch_grain: args.grain,
         },
         lease_timeout: args.lease_timeout,
+        handshake_timeout: args.handshake_timeout,
+        // Embedded in checkpoints and validated on --resume: a
+        // checkpoint written for a different problem over the same box
+        // is refused with a typed error instead of silently merged.
+        problem_digest: Some(spec.digest()),
         checkpoint: args.checkpoint.clone(),
         resume: args.resume,
         halt_after_leases: args.halt_after_leases,

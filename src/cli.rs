@@ -47,6 +47,22 @@ impl ProblemSpec {
         }
     }
 
+    /// The canonical digest naming this problem — the address of
+    /// persistent state (evaluation stores, sweep checkpoints): two
+    /// processes resolve the same digest to the same objective, so
+    /// state written under it can be resumed safely, and state written
+    /// under any other digest is refused with a typed error.
+    pub fn digest(&self) -> String {
+        match self {
+            ProblemSpec::PaperFast => "paper-fast".to_string(),
+            ProblemSpec::PaperFull => "paper-full".to_string(),
+            ProblemSpec::Synthetic(dims) => {
+                let dims: Vec<String> = dims.iter().map(ToString::to_string).collect();
+                format!("synthetic:{}", dims.join("x"))
+            }
+        }
+    }
+
     /// Builds the evaluator this spec describes (what workers sweep
     /// with, and what the coordinator self-checks against).
     ///
@@ -104,6 +120,69 @@ pub fn report_digest(
     Ok(digest)
 }
 
+/// Renders a hybrid multistart's results as a stable, bit-exact textual
+/// digest (ranks + 16-hex `f64` bit patterns, the wire encodings): two
+/// runs are byte-identical here if and only if every search found the
+/// same best schedule with the same objective bits at the same
+/// Section-V evaluation cost. This is the currency of the resume
+/// contract — a resumed run's digest must equal the uninterrupted
+/// run's; `cacs-hybrid --selfcheck` and the CI smoke job compare these
+/// bytes. Fresh-evaluation counts are deliberately **not** part of the
+/// digest (they are exactly what resume changes).
+///
+/// ```text
+/// HYBRID <nstarts>
+/// SEARCH <i> <start-rank> <rank>:<bits>|none <evaluations>
+/// BEST <rank>:<bits>|none
+/// DONE
+/// ```
+///
+/// # Errors
+///
+/// Returns an error when a start or best schedule lies outside `space`
+/// (it has no rank).
+pub fn hybrid_digest(
+    space: &ScheduleSpace,
+    starts: &[cacs_sched::Schedule],
+    reports: &[cacs_search::SearchReport],
+) -> Result<String, Box<dyn Error>> {
+    let rank_of = |s: &cacs_sched::Schedule| -> Result<u64, Box<dyn Error>> {
+        space
+            .rank(s)
+            .ok_or_else(|| format!("schedule {s} outside the space").into())
+    };
+    let mut digest = format!("HYBRID {}\n", reports.len());
+    let mut best: Option<(u64, u64)> = None;
+    for (i, (start, report)) in starts.iter().zip(reports).enumerate() {
+        let found = match &report.best {
+            Some(s) => {
+                let pair = (rank_of(s)?, report.best_value.to_bits());
+                // Replicates the run-level selection: strictly greater
+                // wins, first start wins ties (start order is part of
+                // the run's definition).
+                if report.best_value.is_finite()
+                    && best.is_none_or(|(_, b)| report.best_value > f64::from_bits(b))
+                {
+                    best = Some(pair);
+                }
+                format!("{}:{:016x}", pair.0, pair.1)
+            }
+            None => "none".to_string(),
+        };
+        digest.push_str(&format!(
+            "SEARCH {i} {} {found} {}\n",
+            rank_of(start)?,
+            report.evaluations
+        ));
+    }
+    match best {
+        Some((rank, bits)) => digest.push_str(&format!("BEST {rank}:{bits:016x}\n")),
+        None => digest.push_str("BEST none\n"),
+    }
+    digest.push_str("DONE\n");
+    Ok(digest)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +206,42 @@ mod tests {
         assert_eq!(space.max_counts(), &[5, 6, 7]);
         let eval = spec.evaluator().unwrap();
         assert_eq!(eval.app_count(), 3);
+    }
+
+    #[test]
+    fn problem_digest_is_canonical() {
+        assert_eq!(
+            ProblemSpec::parse("paper-fast").unwrap().digest(),
+            "paper-fast"
+        );
+        let spec = ProblemSpec::parse("synthetic:24x24x24").unwrap();
+        assert_eq!(spec.digest(), "synthetic:24x24x24");
+        // Round-trips through parse: the digest is itself a valid spec.
+        assert_eq!(ProblemSpec::parse(&spec.digest()), Ok(spec));
+    }
+
+    #[test]
+    fn hybrid_digest_is_byte_stable_and_rank_addressed() {
+        let spec = ProblemSpec::parse("synthetic:6x6x6").unwrap();
+        let space = spec.space().unwrap();
+        let eval = spec.evaluator().unwrap();
+        let starts = vec![
+            cacs_sched::Schedule::new(vec![2, 2, 2]).unwrap(),
+            cacs_sched::Schedule::new(vec![5, 1, 3]).unwrap(),
+        ];
+        let reports = cacs_search::hybrid_search_multistart(
+            eval.as_ref(),
+            &space,
+            &starts,
+            &cacs_search::HybridConfig::default(),
+        )
+        .unwrap();
+        let a = hybrid_digest(&space, &starts, &reports).unwrap();
+        let b = hybrid_digest(&space, &starts, &reports).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("HYBRID 2\nSEARCH 0 "));
+        assert!(a.trim_end().ends_with("DONE"));
+        assert!(a.contains("\nBEST "));
     }
 
     #[test]

@@ -80,6 +80,17 @@
 //! coordinator death — and a merged report guaranteed bit-identical to
 //! the single-process sweep.
 
+//! # Resumable hybrid searches
+//!
+//! The evaluation-hungry hybrid multistart persists through
+//! [`search::EvalStore`]: every completed evaluation is journalled
+//! under the problem's digest before its result is used, so a killed
+//! run resumes (`cacs-hybrid --store … --resume`, or
+//! [`core`]'s `optimize_hybrid_multistart`) with the **same best
+//! schedule and objective bits** and strictly fewer fresh evaluations.
+//! Stores and sweep checkpoints are digest-addressed: state written
+//! for a different problem or box is refused with a typed error.
+
 #![warn(missing_docs)]
 
 pub mod cli;
