@@ -9,6 +9,12 @@
 //!   resume cycle recording how many evaluations the persistent
 //!   evaluation store saves on resume (must be all of them here, with
 //!   bit-identical results — enforced, not just recorded);
+//! * `BENCH_strategy_shootout.json` — the paper's Section-V strategy
+//!   comparison on the unified engine: best schedule, objective bit
+//!   pattern and fresh-evaluation count for each of hybrid / anneal /
+//!   genetic / tabu, each run doubling as a store-backed resume
+//!   self-check (bit-identical, strictly fewer fresh evaluations —
+//!   enforced for all four);
 //! * `BENCH_eval_cost.json` — per-schedule stage-1 evaluation cost (the
 //!   Section-V observation that cost grows with the task counts `m_i`);
 //! * `BENCH_streaming_sweep.json` — the streaming exhaustive engine on a
@@ -37,7 +43,10 @@ use cacs_bench::host_metadata_json;
 use cacs_core::{CodesignProblem, EvaluationConfig};
 use cacs_distrib::{sweep_in_process, CoordinatorConfig};
 use cacs_sched::Schedule;
-use cacs_search::{exhaustive_search_with, EvalStore, HybridConfig, ScheduleSpace, SweepConfig};
+use cacs_search::{
+    exhaustive_search_with, AnnealConfig, EvalStore, GeneticConfig, HybridConfig, ScheduleSpace,
+    StrategyConfig, SweepConfig, TabuConfig,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -227,6 +236,135 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let search_path = out_dir.join("BENCH_schedule_search.json");
     std::fs::write(&search_path, &search_json)?;
     eprintln!("perf-baseline: wrote {}", search_path.display());
+
+    // ----- strategy shootout ----------------------------------------
+    // The paper's Section-V comparison as a tracked baseline: every
+    // strategy of the unified engine (hybrid, annealing, genetic, tabu)
+    // runs the same multistart on the paper problem, recording what it
+    // found (best schedule + objective bit pattern) and what it paid
+    // (fresh-evaluation count). Each run doubles as a store-resume
+    // self-check: the run is journalled to a fresh EvalStore, resumed,
+    // and the resumed reports must be bit-identical with strictly fewer
+    // fresh evaluations — the engine's resume contract, enforced for
+    // all four strategies (non-zero exit on any divergence).
+    eprintln!("perf-baseline: strategy shootout (hybrid / anneal / genetic / tabu)…");
+    let strategies: [StrategyConfig; 4] = [
+        StrategyConfig::Hybrid(HybridConfig::default()),
+        StrategyConfig::Anneal(AnnealConfig::default()),
+        StrategyConfig::Genetic(GeneticConfig::default()),
+        StrategyConfig::Tabu(TabuConfig::default()),
+    ];
+    let shootout_dir =
+        std::env::temp_dir().join(format!("cacs-bench-shootout-{}", std::process::id()));
+    // A previous run that errored out mid-shootout (or a recycled pid)
+    // may have left stores behind; a stale warm store would corrupt the
+    // "first run pays everything" accounting below.
+    if shootout_dir.exists() {
+        std::fs::remove_dir_all(&shootout_dir)?;
+    }
+    std::fs::create_dir_all(&shootout_dir)?;
+    struct ShootoutRow {
+        name: &'static str,
+        best: Option<(String, f64)>,
+        fresh: usize,
+        unique: usize,
+        wall_ms: f64,
+        resumed_fresh: usize,
+        resume_identical: bool,
+    }
+    let mut shootout_rows: Vec<ShootoutRow> = Vec::new();
+    for strategy in &strategies {
+        eprintln!("perf-baseline: shootout — {}…", strategy.name());
+        let store_path = shootout_dir.join(format!("{}.store", strategy.name()));
+        let store = EvalStore::open(&store_path, problem_digest, &space)?;
+        let t = Instant::now();
+        let first = problem.optimize_with_strategy(&starts, strategy, Some(&store))?;
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        drop(store);
+        let store = EvalStore::open(&store_path, problem_digest, &space)?;
+        let resumed = problem.optimize_with_strategy(&starts, strategy, Some(&store))?;
+        drop(store);
+        // The first run starts from an empty store, so it must pay at
+        // least one fresh evaluation, and the resumed run — the store
+        // holds the complete request set — must pay exactly zero.
+        let resume_identical = first.searches.len() == resumed.searches.len()
+            && first.searches.iter().zip(&resumed.searches).all(|(a, b)| {
+                a.report.best == b.report.best
+                    && a.report.best_value.to_bits() == b.report.best_value.to_bits()
+                    && a.report.evaluations == b.report.evaluations
+                    && a.report.trajectory == b.report.trajectory
+            })
+            && first.stats.fresh_evaluations > 0
+            && resumed.stats.fresh_evaluations == 0;
+        shootout_rows.push(ShootoutRow {
+            name: strategy.name(),
+            best: first.best.as_ref().map(|(s, v)| (s.to_string(), *v)),
+            fresh: first.stats.fresh_evaluations,
+            unique: first.stats.unique_evaluations,
+            wall_ms,
+            resumed_fresh: resumed.stats.fresh_evaluations,
+            resume_identical,
+        });
+    }
+    std::fs::remove_dir_all(&shootout_dir)?;
+    let shootout_ok = shootout_rows.iter().all(|r| r.resume_identical);
+
+    let mut shootout_json = String::new();
+    writeln!(shootout_json, "{{")?;
+    writeln!(shootout_json, "  \"bench\": \"strategy_shootout\",")?;
+    writeln!(
+        shootout_json,
+        "  \"problem\": \"{}\",",
+        json_escape(problem_digest)
+    )?;
+    writeln!(shootout_json, "  \"budget\": \"{}\",", json_escape(&budget))?;
+    writeln!(shootout_json, "  \"threads\": {threads},")?;
+    writeln!(shootout_json, "  \"host\": {host},")?;
+    writeln!(
+        shootout_json,
+        "  \"starts\": [{}],",
+        starts
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    writeln!(shootout_json, "  \"strategies\": [")?;
+    for (i, r) in shootout_rows.iter().enumerate() {
+        let sep = if i + 1 == shootout_rows.len() {
+            ""
+        } else {
+            ","
+        };
+        let (best, p_all, bits) = match &r.best {
+            Some((s, v)) => (
+                format!("\"{}\"", json_escape(s)),
+                format!("{v:.12}"),
+                format!("\"{:016x}\"", v.to_bits()),
+            ),
+            None => (
+                "null".to_string(),
+                "null".to_string(),
+                "\"none\"".to_string(),
+            ),
+        };
+        writeln!(
+            shootout_json,
+            "    {{ \"strategy\": \"{}\", \"best_schedule\": {best}, \"best_p_all\": {p_all}, \
+             \"best_p_all_bits\": {bits}, \"fresh_evaluations\": {}, \"unique_evaluations\": {}, \
+             \"wall_ms\": {:.1}, \"resumed_fresh_evaluations\": {}, \"resume_bit_identical\": {} }}{sep}",
+            r.name, r.fresh, r.unique, r.wall_ms, r.resumed_fresh, r.resume_identical,
+        )?;
+    }
+    writeln!(shootout_json, "  ],")?;
+    writeln!(
+        shootout_json,
+        "  \"all_strategies_resume_bit_identical\": {shootout_ok}"
+    )?;
+    writeln!(shootout_json, "}}")?;
+    let shootout_path = out_dir.join("BENCH_strategy_shootout.json");
+    std::fs::write(&shootout_path, &shootout_json)?;
+    eprintln!("perf-baseline: wrote {}", shootout_path.display());
 
     // ----- per-schedule evaluation-cost baseline --------------------
     // Section V: evaluating one schedule grows with the task counts.
@@ -427,6 +565,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err(format!(
             "store resume saved no evaluations ({} fresh on resume vs {} first run)",
             resumed.stats.fresh_evaluations, first.stats.fresh_evaluations
+        )
+        .into());
+    }
+    if !shootout_ok {
+        let broken: Vec<&str> = shootout_rows
+            .iter()
+            .filter(|r| !r.resume_identical)
+            .map(|r| r.name)
+            .collect();
+        return Err(format!(
+            "strategy shootout resume contract broken for: {}",
+            broken.join(", ")
         )
         .into());
     }

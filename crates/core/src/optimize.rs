@@ -5,11 +5,11 @@ use crate::{CodesignProblem, Result};
 use cacs_distrib::{CoordinatorConfig, ShardedSweep};
 use cacs_sched::Schedule;
 use cacs_search::{
-    exhaustive_search_with, hybrid_search_multistart_with_store, EvalStore, ExhaustiveReport,
-    HybridConfig, ScheduleSpace, SearchReport, SweepConfig,
+    exhaustive_search_with, run_multistart, EvalStore, ExhaustiveReport, HybridConfig,
+    ScheduleSpace, SearchReport, StrategyConfig, SweepConfig,
 };
 
-/// One hybrid search run with its start point.
+/// One search run with its start point.
 #[derive(Debug, Clone)]
 pub struct SearchSummary {
     /// Where the search started.
@@ -18,10 +18,10 @@ pub struct SearchSummary {
     pub report: SearchReport,
 }
 
-/// Evaluation accounting of one (possibly store-backed) hybrid
-/// multistart run.
+/// Evaluation accounting of one (possibly store-backed) multistart run
+/// of any strategy.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct HybridRunStats {
+pub struct MultistartStats {
     /// Full schedule evaluations actually executed this run. On a
     /// resumed run this is strictly smaller than an uninterrupted run's
     /// count whenever the store held at least one requested schedule.
@@ -33,7 +33,11 @@ pub struct HybridRunStats {
     pub warm_started: usize,
 }
 
-impl HybridRunStats {
+/// Former name of [`MultistartStats`], kept while the hybrid search
+/// was the only strategy with store-backed multistart plumbing.
+pub type HybridRunStats = MultistartStats;
+
+impl MultistartStats {
     /// Evaluations this run did **not** have to execute because the
     /// store (or cross-start sharing) already held them.
     pub fn evaluations_saved(&self) -> usize {
@@ -52,7 +56,7 @@ pub struct OptimizeOutcome {
     pub searches: Vec<SearchSummary>,
     /// Global evaluation accounting (the per-search Section-V counts
     /// live in each [`SearchSummary`]'s report).
-    pub stats: HybridRunStats,
+    pub stats: MultistartStats,
 }
 
 impl CodesignProblem {
@@ -126,9 +130,36 @@ impl CodesignProblem {
         config: &HybridConfig,
         store: Option<&EvalStore>,
     ) -> Result<OptimizeOutcome> {
+        self.optimize_with_strategy(starts, &StrategyConfig::Hybrid(*config), store)
+    }
+
+    /// Runs any search strategy (hybrid, annealing, genetic, tabu) from
+    /// the given start points in parallel through the unified strategy
+    /// engine ([`cacs_search::run_multistart`]) — one shared evaluation
+    /// cache across starts, optional [`EvalStore`]-backed warm-start +
+    /// write-through, deterministic per-start seeding for the
+    /// randomised strategies.
+    ///
+    /// The resume contract of
+    /// [`CodesignProblem::optimize_hybrid_multistart`] holds for every
+    /// strategy: a run killed at any point and resumed with the same
+    /// store reproduces the uninterrupted run's best schedule and
+    /// objective **bit for bit** while executing strictly fewer fresh
+    /// evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search and store errors (e.g. a start outside the
+    /// space, a store for a different space, a failed write-through).
+    pub fn optimize_with_strategy(
+        &self,
+        starts: &[Schedule],
+        strategy: &StrategyConfig,
+        store: Option<&EvalStore>,
+    ) -> Result<OptimizeOutcome> {
         let space = self.schedule_space()?;
-        let outcome = hybrid_search_multistart_with_store(self, &space, starts, config, store)?;
-        let stats = HybridRunStats {
+        let outcome = run_multistart(self, &space, starts, strategy, store)?;
+        let stats = MultistartStats {
             fresh_evaluations: outcome.fresh_evaluations,
             unique_evaluations: outcome.unique_evaluations,
             warm_started: outcome.warm_started,

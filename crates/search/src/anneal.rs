@@ -85,19 +85,34 @@ pub fn simulated_annealing<E: ScheduleEvaluator + ?Sized>(
     start: &Schedule,
     config: &AnnealConfig,
 ) -> Result<SearchReport> {
+    let memo = MemoizedEvaluator::new(evaluator);
+    anneal_core(&memo, space, start, config, config.seed)
+}
+
+/// The annealing walk proper, generic over the caching layer so one
+/// search can run against its own memo ([`simulated_annealing`]) or a
+/// per-search session of a shared cache (via the
+/// [`crate::run_multistart`] engine, which also derives the per-start
+/// `seed`).
+pub(crate) fn anneal_core<E: CountingScheduleEvaluator>(
+    memo: &E,
+    space: &ScheduleSpace,
+    start: &Schedule,
+    config: &AnnealConfig,
+    seed: u64,
+) -> Result<SearchReport> {
     config.validate()?;
-    if evaluator.app_count() != space.app_count() {
+    if memo.app_count() != space.app_count() {
         return Err(SearchError::AppCountMismatch {
-            expected: evaluator.app_count(),
+            expected: memo.app_count(),
             actual: space.app_count(),
         });
     }
-    if !space.contains(start) || !evaluator.idle_feasible(start) {
+    if !space.contains(start) || !memo.idle_feasible(start) {
         return Err(SearchError::StartOutOfSpace);
     }
 
-    let memo = MemoizedEvaluator::new(evaluator);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let n = space.app_count();
 
     let mut current = start.clone();

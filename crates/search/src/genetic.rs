@@ -136,19 +136,44 @@ pub fn genetic_search<E: ScheduleEvaluator + ?Sized>(
     space: &ScheduleSpace,
     config: &GeneticConfig,
 ) -> Result<SearchReport> {
+    let memo = MemoizedEvaluator::new(evaluator);
+    genetic_core(&memo, space, None, config, config.seed)
+}
+
+/// The generational loop proper, generic over the caching layer so one
+/// search can run against its own memo ([`genetic_search`]) or a
+/// per-search session of a shared cache (via the
+/// [`crate::run_multistart`] engine, which also derives the per-start
+/// `seed`).
+///
+/// When `start` is given it joins the initial population as individual
+/// 0 (the rest stay random draws) — the GA's reading of "a search from
+/// this start point", keeping the engine's start-based interface
+/// uniform across strategies.
+pub(crate) fn genetic_core<E: CountingScheduleEvaluator>(
+    memo: &E,
+    space: &ScheduleSpace,
+    start: Option<&Schedule>,
+    config: &GeneticConfig,
+    seed: u64,
+) -> Result<SearchReport> {
     config.validate()?;
-    if evaluator.app_count() != space.app_count() {
+    if memo.app_count() != space.app_count() {
         return Err(SearchError::AppCountMismatch {
-            expected: evaluator.app_count(),
+            expected: memo.app_count(),
             actual: space.app_count(),
         });
     }
+    if let Some(start) = start {
+        if !space.contains(start) || !memo.idle_feasible(start) {
+            return Err(SearchError::StartOutOfSpace);
+        }
+    }
 
-    let memo = MemoizedEvaluator::new(evaluator);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let n = space.app_count();
 
-    let fitness_of = |s: &Schedule, memo: &MemoizedEvaluator<'_, E>| -> f64 {
+    let fitness_of = |s: &Schedule, memo: &E| -> f64 {
         if !memo.idle_feasible(s) {
             return f64::NEG_INFINITY;
         }
@@ -156,9 +181,12 @@ pub fn genetic_search<E: ScheduleEvaluator + ?Sized>(
     };
 
     let mut population: Vec<Individual> = (0..config.population)
-        .map(|_| {
-            let schedule = random_schedule(space, &mut rng);
-            let fitness = fitness_of(&schedule, &memo);
+        .map(|i| {
+            let schedule = match (i, start) {
+                (0, Some(start)) => start.clone(),
+                _ => random_schedule(space, &mut rng),
+            };
+            let fitness = fitness_of(&schedule, memo);
             Individual { schedule, fitness }
         })
         .collect();
@@ -203,7 +231,7 @@ pub fn genetic_search<E: ScheduleEvaluator + ?Sized>(
             }
 
             let schedule = Schedule::new(counts).expect("clamped counts are valid");
-            let fitness = fitness_of(&schedule, &memo);
+            let fitness = fitness_of(&schedule, memo);
             next.push(Individual { schedule, fitness });
         }
 

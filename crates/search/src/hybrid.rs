@@ -26,8 +26,8 @@
 //! to force the exact sequential execution order when debugging.
 
 use crate::{
-    CountingScheduleEvaluator, EvalStore, MemoizedEvaluator, Result, ScheduleEvaluator,
-    ScheduleSpace, SearchError, SharedEvalCache, StoreError,
+    run_multistart, CountingScheduleEvaluator, EvalStore, MemoizedEvaluator, MultistartOutcome,
+    Result, ScheduleEvaluator, ScheduleSpace, SearchError, SearchReport, StrategyConfig,
 };
 use cacs_sched::Schedule;
 use std::collections::HashSet;
@@ -66,21 +66,6 @@ impl HybridConfig {
         }
         Ok(())
     }
-}
-
-/// Outcome of one search run.
-#[derive(Debug, Clone)]
-pub struct SearchReport {
-    /// Best feasible schedule found (`None` when every evaluated schedule
-    /// was infeasible).
-    pub best: Option<Schedule>,
-    /// Objective value at [`SearchReport::best`].
-    pub best_value: f64,
-    /// Distinct schedules fully evaluated by this search — the paper's
-    /// cost metric.
-    pub evaluations: usize,
-    /// The sequence of accepted points, starting with the start schedule.
-    pub trajectory: Vec<Schedule>,
 }
 
 /// Runs one hybrid search from `start`.
@@ -124,8 +109,8 @@ pub fn hybrid_search<E: ScheduleEvaluator + ?Sized>(
 
 /// The search proper, generic over the caching layer so one search can
 /// run against its own memo ([`hybrid_search`]) or a per-search session
-/// of a shared cache ([`hybrid_search_multistart`]).
-fn hybrid_search_core<E: CountingScheduleEvaluator>(
+/// of a shared cache (via the [`crate::run_multistart`] engine).
+pub(crate) fn hybrid_search_core<E: CountingScheduleEvaluator>(
     memo: &E,
     space: &ScheduleSpace,
     start: &Schedule,
@@ -273,46 +258,17 @@ pub fn hybrid_search_multistart<E: ScheduleEvaluator + ?Sized>(
         .map(|outcome| outcome.reports)
 }
 
-/// Outcome of a (possibly store-backed) multistart run: the per-start
-/// reports plus the run's global evaluation accounting.
-#[derive(Debug, Clone)]
-pub struct MultistartOutcome {
-    /// One [`SearchReport`] per start, in start order. Identical —
-    /// including each report's `evaluations` count — whether or not a
-    /// store warmed the run: persistence changes only what the run
-    /// *paid*, never what it *found*.
-    pub reports: Vec<SearchReport>,
-    /// Evaluations actually executed this run (cache misses that were
-    /// not served by the warm start). On a resumed run this is strictly
-    /// smaller than an uninterrupted run's count whenever the store
-    /// held at least one schedule this run requests.
-    pub fresh_evaluations: usize,
-    /// Distinct schedules requested across all starts (what an
-    /// uninterrupted, storeless run would have evaluated).
-    pub unique_evaluations: usize,
-    /// Evaluations preloaded from the store before the run started.
-    pub warm_started: usize,
-}
-
 /// [`hybrid_search_multistart`] with an optional persistent
-/// [`EvalStore`]: the shared cache is warm-started from the store
-/// before any search begins, and every fresh evaluation is written
-/// through (append + flush) before its result is published — so a run
-/// killed at *any* point leaves every completed evaluation durable, and
-/// resuming reproduces the uninterrupted run's reports bit-for-bit
-/// while re-paying only the evaluations that never completed.
+/// [`EvalStore`] — a thin delegation to the unified strategy engine
+/// ([`crate::run_multistart`] with [`StrategyConfig::Hybrid`]), kept
+/// for API stability. See the engine for the warm-start, write-through
+/// and resume contract; the refactor is byte-transparent — reports,
+/// trajectories and every evaluation count are identical to the
+/// pre-engine implementation.
 ///
 /// # Errors
 ///
-/// As [`hybrid_search_multistart`], plus:
-///
-/// * [`SearchError::Store`] — the store belongs to a different space,
-///   or a write-through append failed (checked at the end of the run;
-///   the store latches the first failure),
-/// * [`SearchError::SearchPanicked`] — a search thread panicked
-///   (typically a panicking evaluator). Sibling searches complete and
-///   their evaluations are already persisted; resuming after fixing the
-///   evaluator re-pays only what was lost.
+/// As [`crate::run_multistart`].
 pub fn hybrid_search_multistart_with_store<E: ScheduleEvaluator + ?Sized>(
     evaluator: &E,
     space: &ScheduleSpace,
@@ -320,77 +276,13 @@ pub fn hybrid_search_multistart_with_store<E: ScheduleEvaluator + ?Sized>(
     config: &HybridConfig,
     store: Option<&EvalStore>,
 ) -> Result<MultistartOutcome> {
-    if starts.is_empty() {
-        return Err(SearchError::InvalidConfig {
-            parameter: "multistart needs at least one start point",
-        });
-    }
-    let mut shared = SharedEvalCache::new(evaluator);
-    if let Some(store) = store {
-        if store.space().max_counts() != space.max_counts() {
-            return Err(StoreError::SpaceMismatch {
-                expected: space.max_counts().to_vec(),
-                found: store.space().max_counts().to_vec(),
-            }
-            .into());
-        }
-        shared.warm_start(store.entries());
-        shared.set_write_through(move |schedule, value| {
-            // Failures are latched inside the store and surfaced as one
-            // typed error after the run (see below) — an evaluation
-            // that cannot be persisted must not kill the search that
-            // produced it.
-            let _ = store.record(schedule, value);
-        });
-    }
-    let shared = shared;
-
-    let mut results: Vec<Option<Result<SearchReport>>> = Vec::new();
-    results.resize_with(starts.len(), || None);
-
-    std::thread::scope(|scope| {
-        let shared = &shared;
-        let mut handles = Vec::new();
-        for (i, start) in starts.iter().enumerate() {
-            handles.push((
-                i,
-                scope.spawn(move || {
-                    let session = shared.session();
-                    // Probes stay sequential inside each search thread;
-                    // the start-level fan-out is the parallelism here.
-                    cacs_par::sequential(|| hybrid_search_core(&session, space, start, config))
-                }),
-            ));
-        }
-        for (i, handle) in handles {
-            // A panicked search becomes a typed error instead of
-            // re-panicking here: the sibling searches have already run
-            // to completion (the shared cache recovers poisoned locks),
-            // and with a store attached their work is already durable.
-            results[i] = Some(
-                handle
-                    .join()
-                    .unwrap_or(Err(SearchError::SearchPanicked { start_index: i })),
-            );
-        }
-    });
-
-    if let Some(store) = store {
-        if let Some(e) = store.take_write_error() {
-            return Err(e.into());
-        }
-    }
-
-    let reports = results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect::<Result<Vec<SearchReport>>>()?;
-    Ok(MultistartOutcome {
-        reports,
-        fresh_evaluations: shared.fresh_evaluations(),
-        unique_evaluations: shared.unique_evaluations(),
-        warm_started: shared.warm_started(),
-    })
+    run_multistart(
+        evaluator,
+        space,
+        starts,
+        &StrategyConfig::Hybrid(*config),
+        store,
+    )
 }
 #[cfg(test)]
 mod tests {

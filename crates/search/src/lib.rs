@@ -35,9 +35,17 @@
 //! * [`exhaustive_search_range`] + [`ExhaustiveReport::merge`] — the
 //!   sharding primitives: sweep one rank range of the enumeration in
 //!   isolation and fold partial reports back together bit-identically
-//!   (the substrate of the `cacs-distrib` multi-process coordinator), and
+//!   (the substrate of the `cacs-distrib` multi-process coordinator),
 //! * [`simulated_annealing`] / [`genetic_search`] / [`tabu_search`] —
-//!   classical metaheuristic baselines for evaluation-count comparisons.
+//!   classical metaheuristic baselines for evaluation-count
+//!   comparisons, and
+//! * [`run_multistart`] + [`StrategyConfig`] — the **unified strategy
+//!   engine**: one multistart driver that runs any strategy (hybrid,
+//!   annealing, genetic, tabu) over the shared cache with store-backed
+//!   warm-start/write-through, deterministic per-start seeding
+//!   ([`derive_start_seed`]) and typed panic surfacing — every
+//!   strategy inherits caching, kill→resume and the bit-identical
+//!   determinism contract from the same code path.
 //!
 //! # Parallelism knobs
 //!
@@ -77,6 +85,7 @@ mod genetic;
 mod hybrid;
 mod space;
 pub mod store;
+mod strategy;
 mod tabu;
 
 pub use anneal::{simulated_annealing, AnnealConfig};
@@ -92,10 +101,12 @@ pub use exhaustive::{
 pub use genetic::{genetic_search, GeneticConfig};
 pub use hybrid::{
     hybrid_search, hybrid_search_multistart, hybrid_search_multistart_with_store, HybridConfig,
-    MultistartOutcome, SearchReport,
 };
 pub use space::ScheduleSpace;
-pub use store::{EvalStore, StoreError};
+pub use store::{CompactionPolicy, EvalStore, StoreError};
+pub use strategy::{
+    derive_start_seed, run_multistart, MultistartOutcome, SearchReport, StrategyConfig,
+};
 pub use tabu::{tabu_search, TabuConfig};
 
 /// Crate-wide result alias.

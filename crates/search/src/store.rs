@@ -46,6 +46,11 @@
 //!
 //! [`EvalStore::open`] replays the journal into the snapshot and
 //! compacts, so steady-state reads are a single sequential parse.
+//! During a run, a [`CompactionPolicy`] additionally schedules
+//! compaction from inside [`EvalStore::record`] once the journal
+//! outgrows a configurable multiple of the snapshot (default 4×, with
+//! a 64-KiB floor), bounding the store footprint and the resume replay
+//! cost of multi-million-evaluation runs.
 //!
 //! # Concurrency
 //!
@@ -154,6 +159,59 @@ impl From<std::io::Error> for StoreError {
 /// Store-operation result alias.
 pub type StoreResult<T> = std::result::Result<T, StoreError>;
 
+/// When the store folds its append-only journal back into the compacted
+/// snapshot on its own.
+///
+/// Compaction always happens at [`EvalStore::open`] and on explicit
+/// [`EvalStore::compact`] calls; this policy additionally schedules it
+/// **during** a run, from inside [`EvalStore::record`], once the
+/// journal has grown past a configurable multiple of the snapshot —
+/// without it, a multi-million-evaluation run replays an ever-growing
+/// journal on every resume. Auto-compaction is invisible to readers:
+/// the snapshot rewrite is atomic (temp file + rename, `END`-guarded)
+/// and a process killed mid-compaction replays to the identical record
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Auto-compact once the journal holds more than this many times
+    /// the snapshot's bytes. The default of `4` bounds the total store
+    /// footprint at ~5× the compacted size while keeping compaction
+    /// cost amortised (each record is rewritten at most a constant
+    /// number of times per doubling).
+    pub max_journal_ratio: u64,
+    /// Never auto-compact while the journal is smaller than this many
+    /// bytes — tiny runs stay a single flat journal regardless of the
+    /// ratio.
+    pub min_journal_bytes: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_journal_ratio: 4,
+            min_journal_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Disables in-run auto-compaction entirely (compaction still
+    /// happens at open and on demand) — the pre-policy behaviour.
+    pub fn never() -> Self {
+        CompactionPolicy {
+            max_journal_ratio: u64::MAX,
+            min_journal_bytes: u64::MAX,
+        }
+    }
+
+    /// `true` when a journal of `journal_bytes` behind a snapshot of
+    /// `snapshot_bytes` is due for compaction under this policy.
+    fn due(&self, journal_bytes: u64, snapshot_bytes: u64) -> bool {
+        journal_bytes >= self.min_journal_bytes
+            && journal_bytes / self.max_journal_ratio.max(1) >= snapshot_bytes
+    }
+}
+
 /// Encodes one evaluation record as its line form: `E <rank>
 /// <bits|none>`, where `<bits>` is the objective's `f64::to_bits` as 16
 /// lower-case hex digits and `none` marks an infeasible evaluation —
@@ -201,8 +259,16 @@ struct StoreInner {
     records: BTreeMap<u64, Option<u64>>,
     /// Open append handle on the journal.
     log: File,
-    /// Records appended since the last compaction.
-    appended: u64,
+    /// Journal bytes appended since the last compaction.
+    journal_bytes: u64,
+    /// Size of the compacted snapshot written by the last compaction.
+    snapshot_bytes: u64,
+    /// Compactions performed over this handle's lifetime (including the
+    /// one at open).
+    compactions: u64,
+    /// Scheduled compactions that failed (the records stayed durable in
+    /// the journal; the fold into the snapshot did not happen).
+    failed_compactions: u64,
     /// First write failure, latched for fire-and-forget callers.
     write_error: Option<StoreError>,
 }
@@ -233,6 +299,7 @@ pub struct EvalStore {
     log_path: PathBuf,
     problem: String,
     space: ScheduleSpace,
+    policy: CompactionPolicy,
     inner: Mutex<StoreInner>,
 }
 
@@ -280,6 +347,23 @@ impl EvalStore {
     /// * [`StoreError::Corrupt`] — malformed or truncated snapshot,
     /// * [`StoreError::Io`] — filesystem failures.
     pub fn open(path: &Path, problem: &str, space: &ScheduleSpace) -> StoreResult<Self> {
+        Self::open_with_policy(path, problem, space, CompactionPolicy::default())
+    }
+
+    /// [`EvalStore::open`] with an explicit in-run [`CompactionPolicy`]
+    /// (the default auto-compacts once the journal outgrows 4× the
+    /// snapshot; [`CompactionPolicy::never`] restores journal-only
+    /// appends between opens).
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalStore::open`].
+    pub fn open_with_policy(
+        path: &Path,
+        problem: &str,
+        space: &ScheduleSpace,
+        policy: CompactionPolicy,
+    ) -> StoreResult<Self> {
         if problem.is_empty() || problem.chars().any(char::is_whitespace) {
             return Err(StoreError::InvalidDigest {
                 digest: problem.to_string(),
@@ -301,6 +385,7 @@ impl EvalStore {
             log_path: log_path.clone(),
             problem: problem.to_string(),
             space: space.clone(),
+            policy,
             inner: Mutex::new(StoreInner {
                 records,
                 // Placeholder handle; compact_locked below re-opens the
@@ -309,7 +394,10 @@ impl EvalStore {
                     .create(true)
                     .append(true)
                     .open(&log_path)?,
-                appended: 0,
+                journal_bytes: 0,
+                snapshot_bytes: 0,
+                compactions: 0,
+                failed_compactions: 0,
                 write_error: None,
             }),
         };
@@ -414,8 +502,48 @@ impl EvalStore {
             return Err(e);
         }
         inner.records.insert(rank, bits);
-        inner.appended += 1;
+        inner.journal_bytes += line.len() as u64;
+        // Scheduled compaction: fold the journal into the snapshot once
+        // it outgrows the policy's multiple of the snapshot size. The
+        // rewrite is atomic, so a kill at any point here still resumes
+        // to the identical record set. A *failed* compaction is
+        // best-effort only — the record above is already durable in the
+        // journal, so it must neither fail this call nor latch a write
+        // error and sink an otherwise-successful run. Resetting the
+        // byte counter backs the retry off by a full threshold's worth
+        // of appends (the next open retries too); the lapse stays
+        // observable through [`EvalStore::failed_compactions`] and a
+        // one-time stderr warning.
+        if self.policy.due(inner.journal_bytes, inner.snapshot_bytes)
+            && self.compact_locked(&mut inner).is_err()
+        {
+            inner.journal_bytes = 0;
+            inner.failed_compactions += 1;
+            if inner.failed_compactions == 1 {
+                eprintln!(
+                    "cacs-search: warning — scheduled compaction of evaluation store {} \
+                     failed; records stay durable in the journal, which will keep \
+                     growing until a compaction succeeds",
+                    self.path.display()
+                );
+            }
+        }
         Ok(())
+    }
+
+    /// Compactions performed over this handle's lifetime (including the
+    /// one at open) — observability for the scheduling policy.
+    pub fn compactions(&self) -> u64 {
+        lock_recover(&self.inner).compactions
+    }
+
+    /// Scheduled compactions that failed over this handle's lifetime.
+    /// A non-zero value means the journal is not being folded into the
+    /// snapshot (e.g. the filesystem is full) — every record is still
+    /// durable, but the journal grows unbounded and resume replays it
+    /// in full.
+    pub fn failed_compactions(&self) -> u64 {
+        lock_recover(&self.inner).failed_compactions
     }
 
     /// Takes (and clears) the first write failure latched by
@@ -468,7 +596,9 @@ impl EvalStore {
         // plain write handle truncated to zero appends sequentially —
         // all writes go through this one handle under the store's lock.
         inner.log = File::create(&self.log_path)?;
-        inner.appended = 0;
+        inner.journal_bytes = 0;
+        inner.snapshot_bytes = text.len() as u64;
+        inner.compactions += 1;
         Ok(())
     }
 }
@@ -814,6 +944,140 @@ mod tests {
         drop(store);
         let back = EvalStore::open(&path, "p", &space).unwrap();
         assert_eq!(back.len(), 32);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn long_run_triggers_scheduled_compaction_without_changing_replay() {
+        // An aggressive policy: compact as soon as the journal holds at
+        // least 256 bytes and exceeds 1× the snapshot size. A long run
+        // must then auto-compact (several times), the journal must have
+        // been reset mid-run, and a reopened store must replay exactly
+        // the record set of an identical run with compaction disabled.
+        let tight = CompactionPolicy {
+            max_journal_ratio: 1,
+            min_journal_bytes: 256,
+        };
+        let path = temp_store_path("auto-compact");
+        let space = ScheduleSpace::new(vec![64, 64]).unwrap();
+        let store = EvalStore::open_with_policy(&path, "p", &space, tight).unwrap();
+        let baseline_compactions = store.compactions(); // the one at open
+        for m in 1..=64u32 {
+            for k in 1..=4u32 {
+                store
+                    .record(
+                        &Schedule::new(vec![m, k]).unwrap(),
+                        Some(f64::from(m) * 0.5 - f64::from(k)),
+                    )
+                    .unwrap();
+            }
+        }
+        assert!(
+            store.compactions() > baseline_compactions,
+            "a 256-record run under a 256-byte threshold must auto-compact"
+        );
+        // The journal was folded in: it is much smaller than the full
+        // record set (~25 bytes/record × 256 records ≈ 6.4 KiB).
+        let journal = std::fs::read_to_string(EvalStore::log_path_for(&path)).unwrap();
+        assert!(
+            journal.len() < 2048,
+            "journal still holds {} bytes — never compacted mid-run",
+            journal.len()
+        );
+        drop(store);
+
+        // Reference: the identical run with auto-compaction disabled.
+        let ref_path = temp_store_path("auto-compact-ref");
+        let reference =
+            EvalStore::open_with_policy(&ref_path, "p", &space, CompactionPolicy::never()).unwrap();
+        for m in 1..=64u32 {
+            for k in 1..=4u32 {
+                reference
+                    .record(
+                        &Schedule::new(vec![m, k]).unwrap(),
+                        Some(f64::from(m) * 0.5 - f64::from(k)),
+                    )
+                    .unwrap();
+            }
+        }
+        drop(reference);
+
+        let compacted = EvalStore::open(&path, "p", &space).unwrap();
+        let plain = EvalStore::open(&ref_path, "p", &space).unwrap();
+        assert_eq!(compacted.len(), 256);
+        let a = compacted.entries();
+        let b = plain.entries();
+        assert_eq!(a.len(), b.len());
+        for ((sa, va), (sb, vb)) in a.iter().zip(&b) {
+            assert_eq!(sa, sb);
+            assert_eq!(va.map(f64::to_bits), vb.map(f64::to_bits));
+        }
+        cleanup(&path);
+        cleanup(&ref_path);
+    }
+
+    #[test]
+    fn failed_scheduled_compaction_is_survivable_and_observable() {
+        // A directory squatting on the snapshot's temp path makes every
+        // compaction attempt fail (File::create on a directory). The
+        // records must keep succeeding (they are durable in the
+        // journal), no write error may be latched, and the lapse must
+        // be visible through failed_compactions(); once the blocker is
+        // gone, compaction recovers and folds everything in.
+        let tight = CompactionPolicy {
+            max_journal_ratio: 1,
+            min_journal_bytes: 64,
+        };
+        let path = temp_store_path("compact-fails");
+        let space = ScheduleSpace::new(vec![64, 64]).unwrap();
+        let store = EvalStore::open_with_policy(&path, "p", &space, tight).unwrap();
+        let tmp_blocker = path.with_extension("tmp");
+        std::fs::create_dir(&tmp_blocker).unwrap();
+
+        for m in 1..=32u32 {
+            store
+                .record(&Schedule::new(vec![m, 2]).unwrap(), Some(f64::from(m)))
+                .unwrap(); // records succeed despite the failing compactions
+        }
+        assert!(
+            store.failed_compactions() > 0,
+            "the blocked temp path must have failed at least one scheduled compaction"
+        );
+        assert!(store.take_write_error().is_none());
+        assert_eq!(store.len(), 32);
+
+        // Unblock: the next threshold crossing compacts successfully.
+        std::fs::remove_dir(&tmp_blocker).unwrap();
+        let before = store.compactions();
+        for m in 1..=32u32 {
+            store
+                .record(&Schedule::new(vec![m, 3]).unwrap(), Some(-f64::from(m)))
+                .unwrap();
+        }
+        assert!(store.compactions() > before, "compaction did not recover");
+        drop(store);
+        let back = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(back.len(), 64, "records lost across the failure window");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn default_policy_leaves_small_runs_uncompacted() {
+        // The default 64-KiB floor keeps paper-scale runs journal-only:
+        // no mid-run compaction happens below it.
+        let path = temp_store_path("no-auto-compact");
+        let space = space();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        let at_open = store.compactions();
+        for m in 1..=6u32 {
+            store
+                .record(&Schedule::new(vec![m, 1]).unwrap(), Some(f64::from(m)))
+                .unwrap();
+        }
+        assert_eq!(store.compactions(), at_open);
+        assert!(!std::fs::read_to_string(EvalStore::log_path_for(&path))
+            .unwrap()
+            .is_empty());
         cleanup(&path);
     }
 

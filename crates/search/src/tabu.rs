@@ -92,18 +92,31 @@ pub fn tabu_search<E: ScheduleEvaluator + ?Sized>(
     start: &Schedule,
     config: &TabuConfig,
 ) -> Result<SearchReport> {
+    let memo = MemoizedEvaluator::new(evaluator);
+    tabu_core(&memo, space, start, config)
+}
+
+/// The tabu walk proper, generic over the caching layer so one search
+/// can run against its own memo ([`tabu_search`]) or a per-search
+/// session of a shared cache (via the [`crate::run_multistart`]
+/// engine).
+pub(crate) fn tabu_core<E: CountingScheduleEvaluator>(
+    memo: &E,
+    space: &ScheduleSpace,
+    start: &Schedule,
+    config: &TabuConfig,
+) -> Result<SearchReport> {
     config.validate()?;
-    if evaluator.app_count() != space.app_count() {
+    if memo.app_count() != space.app_count() {
         return Err(SearchError::AppCountMismatch {
-            expected: evaluator.app_count(),
+            expected: memo.app_count(),
             actual: space.app_count(),
         });
     }
-    if !space.contains(start) || !evaluator.idle_feasible(start) {
+    if !space.contains(start) || !memo.idle_feasible(start) {
         return Err(SearchError::StartOutOfSpace);
     }
 
-    let memo = MemoizedEvaluator::new(evaluator);
     let n = space.app_count();
 
     let mut current = start.clone();

@@ -1,0 +1,256 @@
+//! The resume contract for **every** strategy of the unified engine —
+//! what `hybrid_store_resume.rs` pins for the hybrid search, extended
+//! to the annealing / genetic / tabu baselines: a run killed mid-flight
+//! leaves every completed evaluation durable, and resuming reproduces
+//! the uninterrupted run's reports bit for bit with exactly
+//! `uninterrupted − stored` fresh evaluations. Also the Section-V
+//! accounting rule: warm-started store entries count toward **no**
+//! metric until a search requests them.
+
+use cacs_sched::Schedule;
+use cacs_search::{
+    run_multistart, AnnealConfig, EvalStore, FnEvaluator, GeneticConfig, ScheduleEvaluator,
+    ScheduleSpace, SearchError, StrategyConfig, TabuConfig,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deterministic, plateau-rich objective with infeasibility holes —
+/// enough structure that the searches take many steps.
+fn objective(s: &Schedule) -> Option<f64> {
+    let c = s.counts();
+    let mix = u64::from(c[0]) * 31 + u64::from(c[1]) * 17 + u64::from(c[2]) * 3;
+    if mix % 23 == 0 {
+        None
+    } else {
+        let (a, b, d) = (f64::from(c[0]), f64::from(c[1]), f64::from(c[2]));
+        Some(1.0 - 0.01 * ((a - 9.0).powi(2) + (b - 4.0).powi(2) + (d - 11.0).powi(2)))
+    }
+}
+
+fn evaluator() -> FnEvaluator<impl Fn(&Schedule) -> Option<f64> + Sync> {
+    FnEvaluator::new(3, objective)
+}
+
+/// Delegates to [`objective`] but panics on its `panic_at`-th call —
+/// the in-process stand-in for a process killed mid-multistart.
+struct PanicAt {
+    calls: AtomicUsize,
+    panic_at: usize,
+}
+
+impl ScheduleEvaluator for PanicAt {
+    fn app_count(&self) -> usize {
+        3
+    }
+    fn evaluate(&self, s: &Schedule) -> Option<f64> {
+        if self.calls.fetch_add(1, Ordering::SeqCst) + 1 == self.panic_at {
+            panic!("injected mid-multistart death");
+        }
+        objective(s)
+    }
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cacs-strategy-resume-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("evals.store")
+}
+
+fn space() -> ScheduleSpace {
+    ScheduleSpace::new(vec![16, 8, 16]).unwrap()
+}
+
+fn starts() -> Vec<Schedule> {
+    vec![
+        Schedule::new(vec![2, 2, 2]).unwrap(),
+        Schedule::new(vec![14, 3, 1]).unwrap(),
+        Schedule::new(vec![5, 5, 15]).unwrap(),
+    ]
+}
+
+fn baseline_strategies() -> [StrategyConfig; 3] {
+    [
+        StrategyConfig::Anneal(AnnealConfig::default()),
+        StrategyConfig::Genetic(GeneticConfig::default()),
+        StrategyConfig::Tabu(TabuConfig::default()),
+    ]
+}
+
+#[test]
+fn killed_baseline_multistarts_resume_bit_identically_with_fewer_fresh_evaluations() {
+    let space = space();
+    let starts = starts();
+    for strategy in baseline_strategies() {
+        let name = strategy.name();
+
+        // The uninterrupted reference run (no store, fresh cache).
+        let eval = evaluator();
+        let reference = run_multistart(&eval, &space, &starts, &strategy, None).unwrap();
+        let reference_fresh = reference.fresh_evaluations;
+        assert!(
+            reference_fresh > 12,
+            "{name}: objective too easy to exercise resume ({reference_fresh} evals)"
+        );
+
+        // Phase 1: one evaluation panics mid-run. The sibling searches
+        // must finish (poison recovery) and everything completed must
+        // be durable.
+        let path = temp_store(&format!("kill-{name}"));
+        let store = EvalStore::open(&path, "resume-test", &space).unwrap();
+        let dying = PanicAt {
+            calls: AtomicUsize::new(0),
+            panic_at: 9,
+        };
+        let killed = run_multistart(&dying, &space, &starts, &strategy, Some(&store));
+        assert!(
+            matches!(killed, Err(SearchError::SearchPanicked { .. })),
+            "{name}: expected a typed panic surface"
+        );
+        let stored = store.len();
+        assert!(
+            stored >= 8,
+            "{name}: everything evaluated before the panic must be journalled (got {stored})"
+        );
+        drop(store);
+
+        // Phase 2: resume with a healthy evaluator and the same store.
+        let store = EvalStore::open(&path, "resume-test", &space).unwrap();
+        assert_eq!(store.len(), stored, "{name}: journal replay lost records");
+        let eval = evaluator();
+        let resumed = run_multistart(&eval, &space, &starts, &strategy, Some(&store)).unwrap();
+
+        // Bit-identical reports: best schedule, objective bits,
+        // Section-V evaluation counts and full trajectories.
+        assert_eq!(resumed.reports.len(), reference.reports.len());
+        for (i, (r, q)) in resumed.reports.iter().zip(&reference.reports).enumerate() {
+            assert_eq!(r.best, q.best, "{name}: search {i} best schedule");
+            assert_eq!(
+                r.best_value.to_bits(),
+                q.best_value.to_bits(),
+                "{name}: search {i} objective bits"
+            );
+            assert_eq!(r.evaluations, q.evaluations, "{name}: search {i} cost");
+            assert_eq!(r.trajectory, q.trajectory, "{name}: search {i} trajectory");
+        }
+
+        // Exact evaluation accounting: everything the killed run
+        // persisted is work the resumed run does not repeat — no more,
+        // no less (the stored set is a subset of the deterministic
+        // request set, so the saving is exactly the store size).
+        assert_eq!(resumed.warm_started, stored, "{name}");
+        assert_eq!(
+            resumed.fresh_evaluations,
+            reference_fresh - stored,
+            "{name}"
+        );
+        assert!(resumed.fresh_evaluations < reference_fresh, "{name}");
+        assert_eq!(
+            resumed.unique_evaluations, reference.unique_evaluations,
+            "{name}"
+        );
+
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}
+
+#[test]
+fn fully_completed_baseline_runs_resume_with_zero_fresh_evaluations() {
+    let space = space();
+    let starts = starts();
+    for strategy in baseline_strategies() {
+        let name = strategy.name();
+        let path = temp_store(&format!("complete-{name}"));
+
+        let store = EvalStore::open(&path, "resume-test", &space).unwrap();
+        let eval = evaluator();
+        let first = run_multistart(&eval, &space, &starts, &strategy, Some(&store)).unwrap();
+        assert!(first.fresh_evaluations > 0, "{name}");
+        drop(store);
+
+        let store = EvalStore::open(&path, "resume-test", &space).unwrap();
+        let eval = evaluator();
+        let second = run_multistart(&eval, &space, &starts, &strategy, Some(&store)).unwrap();
+        assert_eq!(second.fresh_evaluations, 0, "{name}");
+        assert_eq!(
+            second.unique_evaluations, first.unique_evaluations,
+            "{name}"
+        );
+        for (r, q) in second.reports.iter().zip(&first.reports) {
+            assert_eq!(r.best, q.best, "{name}");
+            assert_eq!(r.best_value.to_bits(), q.best_value.to_bits(), "{name}");
+            assert_eq!(r.evaluations, q.evaluations, "{name}");
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}
+
+/// Section-V accounting regression (the warm-start rule, mirrored from
+/// the hybrid search onto every baseline): store entries preloaded into
+/// the cache count toward **no** metric until a search requests them —
+/// each report's `evaluations` and the run's `unique_evaluations` are
+/// identical with and without the store, only `fresh_evaluations`
+/// drops, and entries no search asks for never surface anywhere.
+#[test]
+fn warm_started_entries_do_not_count_until_requested_in_any_baseline() {
+    let space = space();
+    let starts = starts();
+    for strategy in baseline_strategies() {
+        let name = strategy.name();
+
+        let eval = evaluator();
+        let storeless = run_multistart(&eval, &space, &starts, &strategy, None).unwrap();
+
+        // A store holding the run's own evaluations PLUS a block of
+        // schedules this run never requests (an untouched corner of the
+        // box, pre-recorded as if by some earlier, broader campaign).
+        let path = temp_store(&format!("warm-{name}"));
+        let store = EvalStore::open(&path, "resume-test", &space).unwrap();
+        let eval = evaluator();
+        run_multistart(&eval, &space, &starts, &strategy, Some(&store)).unwrap();
+        let requested_len = store.len();
+        let mut extras = 0;
+        for a in 1..=4u32 {
+            for b in 1..=2u32 {
+                let s = Schedule::new(vec![a, b, 16]).unwrap();
+                if store.get(&s).is_none() {
+                    store.record(&s, objective(&s)).unwrap();
+                    extras += 1;
+                }
+            }
+        }
+        assert!(extras > 0, "{name}: corner block entirely visited?");
+        drop(store);
+
+        let store = EvalStore::open(&path, "resume-test", &space).unwrap();
+        assert_eq!(store.len(), requested_len + extras, "{name}");
+        let eval = evaluator();
+        let warmed = run_multistart(&eval, &space, &starts, &strategy, Some(&store)).unwrap();
+
+        // What the run *found* and what each search *would have cost*
+        // alone are untouched by the warm start …
+        for (i, (w, s)) in warmed.reports.iter().zip(&storeless.reports).enumerate() {
+            assert_eq!(w.best, s.best, "{name}: search {i}");
+            assert_eq!(
+                w.best_value.to_bits(),
+                s.best_value.to_bits(),
+                "{name}: search {i}"
+            );
+            assert_eq!(
+                w.evaluations, s.evaluations,
+                "{name}: search {i} — warm starts must not change the Section-V metric"
+            );
+        }
+        // … the never-requested extras stay out of the unique count …
+        assert_eq!(
+            warmed.unique_evaluations, storeless.unique_evaluations,
+            "{name}: preloaded-but-unrequested entries leaked into unique_evaluations"
+        );
+        // … and the run paid for nothing: every request was warm.
+        assert_eq!(warmed.warm_started, requested_len + extras, "{name}");
+        assert_eq!(warmed.fresh_evaluations, 0, "{name}");
+
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

@@ -34,6 +34,16 @@ sweep-distributed WORKERS="2" PROBLEM="paper-fast" FLAGS="":
     target/release/cacs-sweep-coord --problem {{PROBLEM}} \
         --workers {{WORKERS}} --shard-size 4096 --selfcheck {{FLAGS}}
 
+# Strategy-aware resumable multistart search: STRATEGY is hybrid,
+# anneal, genetic or tabu — all four run on the unified engine with
+# identical store/resume/selfcheck semantics (see `cacs-opt` for the
+# per-strategy knobs and `BENCH_strategy_shootout.json` for the
+# tracked comparison).
+opt STRATEGY="hybrid" PROBLEM="paper-fast" STARTS="4x2x2,1x2x1" FLAGS="":
+    cargo build --release --bin cacs-opt
+    target/release/cacs-opt --problem {{PROBLEM}} --strategy {{STRATEGY}} \
+        --starts {{STARTS}} {{FLAGS}}
+
 # Resumable hybrid search demo: kill a multistart run hard after N
 # fresh evaluations, then resume it from the persistent store and
 # self-check that the resumed run is byte-identical to an uninterrupted

@@ -1,296 +1,11 @@
-//! `cacs-hybrid`: resumable hybrid multistart search over a problem's
-//! schedule space, backed by the persistent digest-addressed
-//! evaluation store.
+//! `cacs-hybrid`: resumable hybrid multistart search — the historical
+//! hybrid-only entry point, now a fixed-strategy alias of the
+//! strategy-aware `cacs-opt` binary (see [`cacs::cli::driver`] for the
+//! shared flag set and the store/resume/selfcheck contract).
 //!
-//! Each full evaluation (cache analysis + holistic controller
-//! synthesis) is journalled to `--store` *before* its result is used,
-//! so a run killed at any point — crash, OOM, pre-emption, or the
-//! deterministic `--kill-after-fresh-evals` fault injection — can be
-//! resumed with `--resume` and will reproduce the uninterrupted run's
-//! best schedule and objective **bit for bit** while re-paying only
-//! the evaluations that never completed.
-//!
-//! ```text
-//! cacs-hybrid --problem <spec>
-//!     [--starts m1xm2x…[,m1xm2x…]]           start points (default: round-robin)
-//!     [--tolerance F] [--max-steps N]        HybridConfig knobs
-//!     [--store FILE] [--resume]              persistent evaluation store
-//!     [--kill-after-fresh-evals N]           exit(9) before fresh evaluation N+1
-//!     [--selfcheck]                          compare against the uninterrupted
-//!                                            in-memory run, byte for byte
-//! ```
-//!
-//! `--selfcheck` exits with status 3 unless the (possibly resumed)
-//! run's digest is byte-identical to an uninterrupted in-memory run's
-//! — and, when the store warmed this run, unless strictly fewer fresh
-//! evaluations were executed. This is the acceptance gate the CI
-//! `hybrid-resume-smoke` job enforces, mirroring `distrib-smoke`.
-//!
-//! The machine-readable output on stdout is the byte-stable digest
-//! (see [`cacs::cli::hybrid_digest`]); diagnostics go to stderr.
+//! The stdout digest is byte-identical to the pre-engine `cacs-hybrid`
+//! output — scripts and checked-in goldens keep working unchanged.
 
-use cacs::cli::{hybrid_digest, ProblemSpec};
-use cacs::sched::Schedule;
-use cacs::search::{
-    hybrid_search_multistart_with_store, EvalStore, HybridConfig, MultistartOutcome,
-    ScheduleEvaluator,
-};
-use std::error::Error;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
-
-/// Exit status of a deliberate `--kill-after-fresh-evals` kill, so
-/// scripts can tell the injected fault from a real failure.
-const EXIT_KILLED: i32 = 9;
-/// Exit status of a failed `--selfcheck`.
-const EXIT_SELFCHECK: i32 = 3;
-
-struct Args {
-    problem: String,
-    starts: Option<String>,
-    tolerance: f64,
-    max_steps: usize,
-    store: Option<PathBuf>,
-    resume: bool,
-    kill_after: Option<usize>,
-    selfcheck: bool,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: cacs-hybrid --problem <paper-fast|paper-full|synthetic:AxBxC> \
-         [--starts m1xm2x…[,m1xm2x…]] [--tolerance F] [--max-steps N] \
-         [--store FILE] [--resume] [--kill-after-fresh-evals N] [--selfcheck]"
-    );
-    std::process::exit(2)
-}
-
-fn parse_args() -> Args {
-    let argv: Vec<String> = std::env::args().collect();
-    let defaults = HybridConfig::default();
-    let mut args = Args {
-        problem: String::new(),
-        starts: None,
-        tolerance: defaults.tolerance,
-        max_steps: defaults.max_steps,
-        store: None,
-        resume: false,
-        kill_after: None,
-        selfcheck: false,
-    };
-    let mut i = 1;
-    let value = |i: &mut usize| -> String {
-        let v = argv.get(*i + 1).cloned().unwrap_or_else(|| usage());
-        *i += 2;
-        v
-    };
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--problem" => args.problem = value(&mut i),
-            "--starts" => args.starts = Some(value(&mut i)),
-            "--tolerance" => args.tolerance = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--max-steps" => args.max_steps = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--store" => args.store = Some(PathBuf::from(value(&mut i))),
-            "--resume" => {
-                args.resume = true;
-                i += 1;
-            }
-            "--kill-after-fresh-evals" => {
-                args.kill_after = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
-            }
-            "--selfcheck" => {
-                args.selfcheck = true;
-                i += 1;
-            }
-            _ => usage(),
-        }
-    }
-    if args.problem.is_empty() {
-        usage();
-    }
-    args
-}
-
-/// Parses `--starts`: comma-separated `m1xm2x…` tuples.
-fn parse_starts(spec: &str) -> Result<Vec<Schedule>, Box<dyn Error>> {
-    spec.split(',')
-        .map(|tuple| {
-            let counts = cacs::distrib::synthetic::parse_box(tuple)?;
-            Ok(Schedule::new(counts)?)
-        })
-        .collect()
-}
-
-/// Deterministic kill injection: delegates every call to the inner
-/// evaluator, but exits the whole process (status 9) at the *entry* of
-/// fresh evaluation `limit + 1` — so exactly `limit` evaluations
-/// completed and, with a store attached, were journalled (the
-/// write-through appends before the result is published). Only fresh
-/// evaluations reach this wrapper; store hits are served above it.
-struct KillAfter<'a> {
-    inner: &'a dyn ScheduleEvaluator,
-    limit: Option<usize>,
-    calls: AtomicUsize,
-}
-
-impl ScheduleEvaluator for KillAfter<'_> {
-    fn app_count(&self) -> usize {
-        self.inner.app_count()
-    }
-
-    fn idle_feasible(&self, schedule: &Schedule) -> bool {
-        self.inner.idle_feasible(schedule)
-    }
-
-    fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
-        if let Some(limit) = self.limit {
-            if self.calls.fetch_add(1, Ordering::SeqCst) >= limit {
-                eprintln!(
-                    "cacs-hybrid: killing the process before fresh evaluation #{} \
-                     (--kill-after-fresh-evals {limit})",
-                    limit + 1
-                );
-                std::process::exit(EXIT_KILLED);
-            }
-        }
-        self.inner.evaluate(schedule)
-    }
-}
-
-fn main() -> Result<(), Box<dyn Error>> {
-    let args = parse_args();
-    let spec = ProblemSpec::parse(&args.problem).unwrap_or_else(|e| {
-        eprintln!("cacs-hybrid: {e}");
-        std::process::exit(2)
-    });
-    let space = spec.space()?;
-    let evaluator = spec.evaluator()?;
-    let starts = match &args.starts {
-        Some(spec) => parse_starts(spec)?,
-        None => vec![Schedule::round_robin(space.app_count())?],
-    };
-    let config = HybridConfig {
-        tolerance: args.tolerance,
-        max_steps: args.max_steps,
-    };
-    eprintln!(
-        "cacs-hybrid: problem {} over space {:?} ({} schedules), {} start(s)",
-        spec.digest(),
-        space.max_counts(),
-        space.len(),
-        starts.len()
-    );
-
-    if args.resume && args.store.is_none() {
-        eprintln!("cacs-hybrid: --resume requires --store (nothing to resume from)");
-        std::process::exit(2);
-    }
-    let store = match &args.store {
-        Some(path) => {
-            if !args.resume && EvalStore::exists(path) {
-                eprintln!(
-                    "cacs-hybrid: store {} already exists; pass --resume to continue \
-                     it or remove it for a fresh run",
-                    path.display()
-                );
-                std::process::exit(2);
-            }
-            if args.resume && !EvalStore::exists(path) {
-                // Mirrors the sweep coordinator's resume semantics
-                // (missing file = fresh start), but loudly: a mistyped
-                // path would otherwise silently re-pay every evaluation.
-                eprintln!(
-                    "cacs-hybrid: warning — store {} does not exist; starting fresh \
-                     (check the path if you expected to resume)",
-                    path.display()
-                );
-            }
-            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                std::fs::create_dir_all(parent)?;
-            }
-            let store = EvalStore::open(path, &spec.digest(), &space)?;
-            eprintln!(
-                "cacs-hybrid: store {} holds {} evaluation(s)",
-                path.display(),
-                store.len()
-            );
-            Some(store)
-        }
-        None => None,
-    };
-
-    let killer = KillAfter {
-        inner: evaluator.as_ref(),
-        limit: args.kill_after,
-        calls: AtomicUsize::new(0),
-    };
-    let t = Instant::now();
-    let outcome =
-        hybrid_search_multistart_with_store(&killer, &space, &starts, &config, store.as_ref())?;
-    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-
-    report_outcome(&outcome, wall_ms);
-    let digest = hybrid_digest(&space, &starts, &outcome.reports)?;
-    print!("{digest}");
-
-    if args.selfcheck {
-        eprintln!("cacs-hybrid: selfcheck — uninterrupted in-memory run…");
-        // Fresh evaluator, no store, no kill wrapper: the reference is
-        // what a single untouched process would have produced.
-        let reference_eval = spec.evaluator()?;
-        let reference = hybrid_search_multistart_with_store(
-            reference_eval.as_ref(),
-            &space,
-            &starts,
-            &config,
-            None,
-        )?;
-        let reference_digest = hybrid_digest(&space, &starts, &reference.reports)?;
-        if digest.as_bytes() != reference_digest.as_bytes() {
-            eprintln!("cacs-hybrid: SELFCHECK FAILED — digests differ");
-            eprintln!("--- this run ---\n{digest}--- uninterrupted ---\n{reference_digest}");
-            std::process::exit(EXIT_SELFCHECK);
-        }
-        if outcome.warm_started > 0 && outcome.fresh_evaluations >= reference.fresh_evaluations {
-            eprintln!(
-                "cacs-hybrid: SELFCHECK FAILED — resumed run executed {} fresh \
-                 evaluations, not strictly fewer than the uninterrupted run's {}",
-                outcome.fresh_evaluations, reference.fresh_evaluations
-            );
-            std::process::exit(EXIT_SELFCHECK);
-        }
-        eprintln!(
-            "cacs-hybrid: selfcheck OK — digest byte-identical ({} bytes), \
-             {} vs {} fresh evaluations ({} saved by the store)",
-            digest.len(),
-            outcome.fresh_evaluations,
-            reference.fresh_evaluations,
-            reference
-                .fresh_evaluations
-                .saturating_sub(outcome.fresh_evaluations)
-        );
-    }
-    Ok(())
-}
-
-fn report_outcome(outcome: &MultistartOutcome, wall_ms: f64) {
-    for (i, report) in outcome.reports.iter().enumerate() {
-        match &report.best {
-            Some(best) => eprintln!(
-                "cacs-hybrid: search {i}: best {best} with objective {:.12} \
-                 ({} evaluations)",
-                report.best_value, report.evaluations
-            ),
-            None => eprintln!(
-                "cacs-hybrid: search {i}: nothing feasible ({} evaluations)",
-                report.evaluations
-            ),
-        }
-    }
-    eprintln!(
-        "cacs-hybrid: {} unique schedule(s) requested, {} fresh evaluation(s) \
-         executed, {} warm-started from the store, {:.1} ms",
-        outcome.unique_evaluations, outcome.fresh_evaluations, outcome.warm_started, wall_ms
-    );
+fn main() {
+    cacs::cli::driver::cli_main("cacs-hybrid", Some(cacs::cli::StrategyKind::Hybrid))
 }

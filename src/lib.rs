@@ -18,7 +18,7 @@
 //! | [`control`] | delayed ZOH discretisation, lifted periodic closed loops, PSO synthesis, settling time, DARE/periodic LQR, Luenberger observers, Kalman filtering, JSR stability certificates, fixed-point quantization |
 //! | [`pso`] | generic bounded particle swarm optimiser |
 //! | [`sched`] | schedules (periodic + interleaved), Section II-C timing derivation, feasibility constraints |
-//! | [`search`] | hybrid discrete search (Section IV), exhaustive, annealing, genetic and tabu baselines |
+//! | [`search`] | unified strategy engine (one store-backed multistart driver for the hybrid search of Section IV and the annealing/genetic/tabu baselines), exhaustive streaming sweeps, persistent evaluation store |
 //! | [`apps`] | the automotive case study (Tables I, II; Figure 6 plants) |
 //! | [`core`] | the two-stage co-design framework (Sections III–IV), multicore/interleaved extensions, report generation |
 //! | [`distrib`] | sharded multi-process sweep coordinator: rank-range leases, line-oriented wire protocol, checkpoint/resume, bit-identical merge |
@@ -80,16 +80,22 @@
 //! coordinator death — and a merged report guaranteed bit-identical to
 //! the single-process sweep.
 
-//! # Resumable hybrid searches
+//! # Resumable searches on the unified strategy engine
 //!
-//! The evaluation-hungry hybrid multistart persists through
-//! [`search::EvalStore`]: every completed evaluation is journalled
-//! under the problem's digest before its result is used, so a killed
-//! run resumes (`cacs-hybrid --store … --resume`, or
-//! [`core`]'s `optimize_hybrid_multistart`) with the **same best
-//! schedule and objective bits** and strictly fewer fresh evaluations.
-//! Stores and sweep checkpoints are digest-addressed: state written
-//! for a different problem or box is refused with a typed error.
+//! Every search strategy — the paper's hybrid plus the annealing,
+//! genetic and tabu baselines — runs on one multistart driver
+//! ([`search::run_multistart`] with a [`search::StrategyConfig`]),
+//! so all of them share the evaluation cache across parallel starts
+//! and persist through [`search::EvalStore`]: every completed
+//! evaluation is journalled under the problem's digest before its
+//! result is used, so a killed run of any strategy resumes
+//! (`cacs-opt --strategy … --store … --resume`, the `cacs-hybrid`
+//! alias, or [`core`]'s `optimize_with_strategy`) with the **same
+//! best schedule and objective bits** and strictly fewer fresh
+//! evaluations. Randomised strategies derive per-start seeds
+//! deterministically, so resume replays the exact walk. Stores and
+//! sweep checkpoints are digest-addressed: state written for a
+//! different problem or box is refused with a typed error.
 
 #![warn(missing_docs)]
 

@@ -107,7 +107,7 @@ fn resume_under_a_different_problem_is_refused() {
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
-        stderr.contains("ProblemMismatch"),
+        stderr.contains("problem mismatch"),
         "expected the typed mismatch error; stderr:\n{stderr}"
     );
     cleanup(&store);
