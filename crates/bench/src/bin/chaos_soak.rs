@@ -1,0 +1,371 @@
+//! `chaos-soak`: the deterministic fault-injection soak for the
+//! sharded sweep fabric.
+//!
+//! Runs a matrix of seeded [`ChaosPlan`] schedules — worker death,
+//! repeated death, hangs, garbage lines, truncated reports, flipped
+//! bytes, scripted disconnects, slow starts, and a mixed cell arming
+//! all of them — against the synthetic 128×128×128 box (2,097,152
+//! schedules) through the full in-process wire protocol with
+//! supervision enabled, and asserts that **every** cell's merged report
+//! is byte-identical to the single-process sequential sweep. A final
+//! cell kills the whole fleet permanently and asserts the sweep fails
+//! with a typed `WorkersExhausted` within twice the configured
+//! timeouts.
+//!
+//! ```text
+//! chaos-soak [--out DIR] [--box AxBxC]
+//! ```
+//!
+//! Writes `BENCH_chaos_soak.json` with one entry per cell and the
+//! grep-able gate booleans CI enforces:
+//! `"all_cells_byte_identical": true` and
+//! `"exhaustion_is_typed_and_bounded": true`.
+
+use cacs_distrib::wire::report_to_lines;
+use cacs_distrib::{
+    sweep_in_process_chaos, synthetic, ChaosPlan, CoordinatorConfig, DistribError, RetryPolicy,
+};
+use cacs_search::{exhaustive_search_with, ScheduleSpace, SweepConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 3;
+const SHARD_SIZE: u64 = 65_536;
+const RETAIN: Option<usize> = Some(64);
+
+/// One soak cell: a named, seeded fault schedule over the worker slots.
+/// `chaos(slot, incarnation)` — incarnation 0 is the initial spawn;
+/// supervision respawns replacements with whatever the function returns
+/// for later incarnations (the cells return inert plans there, mirroring
+/// the CLI's clean respawns, except the repeated-death cell).
+struct Cell {
+    name: &'static str,
+    lease_timeout: Duration,
+    chaos: fn(usize, u32) -> ChaosPlan,
+}
+
+const CELLS: &[Cell] = &[
+    Cell {
+        name: "die_once",
+        lease_timeout: Duration::from_secs(10),
+        chaos: |slot, incarnation| match (slot, incarnation) {
+            (0, 0) => ChaosPlan {
+                seed: 11,
+                die_on_lease: Some(1),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+    Cell {
+        name: "die_repeatedly",
+        lease_timeout: Duration::from_secs(10),
+        chaos: |slot, incarnation| match slot {
+            // The first three incarnations of slot 1 all die; the
+            // supervisor must chain respawns until one survives.
+            1 if incarnation < 3 => ChaosPlan {
+                seed: 13,
+                die_on_lease: Some(1),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+    Cell {
+        name: "hang_mid_lease",
+        // Short lease timeout so the hang is detected quickly; the
+        // hang itself is kept just past it so the scope join stays
+        // bounded.
+        lease_timeout: Duration::from_millis(500),
+        chaos: |slot, incarnation| match (slot, incarnation) {
+            (2, 0) => ChaosPlan {
+                seed: 17,
+                hang_on_lease: Some(2),
+                hang_for: Duration::from_millis(1_500),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+    Cell {
+        name: "garbage_line",
+        lease_timeout: Duration::from_secs(10),
+        chaos: |slot, incarnation| match (slot, incarnation) {
+            (1, 0) => ChaosPlan {
+                seed: 19,
+                garbage_on_lease: Some(1),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+    Cell {
+        name: "truncated_report",
+        lease_timeout: Duration::from_secs(10),
+        chaos: |slot, incarnation| match (slot, incarnation) {
+            (0, 0) => ChaosPlan {
+                seed: 23,
+                truncate_on_lease: Some(2),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+    Cell {
+        name: "flipped_byte",
+        lease_timeout: Duration::from_secs(10),
+        chaos: |slot, incarnation| match (slot, incarnation) {
+            (2, 0) => ChaosPlan {
+                seed: 29,
+                flip_byte_on_lease: Some(1),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+    Cell {
+        name: "scripted_disconnect",
+        lease_timeout: Duration::from_secs(10),
+        chaos: |slot, incarnation| match (slot, incarnation) {
+            (1, 0) => ChaosPlan {
+                seed: 31,
+                reconnect_after: Some(2),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+    Cell {
+        name: "slow_start",
+        lease_timeout: Duration::from_secs(10),
+        chaos: |slot, incarnation| match (slot, incarnation) {
+            (0, 0) => ChaosPlan {
+                seed: 37,
+                slow_start: Some(Duration::from_millis(50)),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+    Cell {
+        name: "mixed_faults",
+        lease_timeout: Duration::from_secs(10),
+        chaos: |slot, incarnation| match (slot, incarnation) {
+            (0, 0) => ChaosPlan {
+                seed: 41,
+                die_on_lease: Some(1),
+                ..ChaosPlan::default()
+            },
+            (1, 0) => ChaosPlan {
+                seed: 43,
+                garbage_on_lease: Some(2),
+                ..ChaosPlan::default()
+            },
+            (2, 0) => ChaosPlan {
+                seed: 47,
+                flip_byte_on_lease: Some(3),
+                ..ChaosPlan::default()
+            },
+            _ => ChaosPlan::default(),
+        },
+    },
+];
+
+struct CellOutcome {
+    name: &'static str,
+    wall_ms: f64,
+    faults: usize,
+    respawns: u64,
+    quarantined: usize,
+    byte_identical: bool,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let box_spec = args
+        .iter()
+        .position(|a| a == "--box")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "128x128x128".to_string());
+    let maxes: Vec<u32> = box_spec
+        .split('x')
+        .map(|f| f.parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("bad --box {box_spec:?}: expected AxBxC"))?;
+
+    let space = ScheduleSpace::new(maxes.clone())?;
+    let eval = synthetic::surrogate(maxes.len());
+    let sweep = SweepConfig {
+        max_results: RETAIN,
+        ..SweepConfig::default()
+    };
+
+    eprintln!(
+        "chaos-soak: reference sequential sweep over {box_spec} ({} schedules)…",
+        space.len()
+    );
+    let t = Instant::now();
+    let reference = exhaustive_search_with(&eval, &space, &sweep)?;
+    let reference_lines = report_to_lines(&space, 0, &reference)?;
+    eprintln!(
+        "chaos-soak: reference done in {:.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    let retry = RetryPolicy {
+        quarantine_after: 4,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        jitter_seed: 0x000C_4A05,
+    };
+
+    let mut outcomes = Vec::with_capacity(CELLS.len());
+    for cell in CELLS {
+        let config = CoordinatorConfig {
+            shard_size: SHARD_SIZE,
+            sweep: sweep.clone(),
+            lease_timeout: cell.lease_timeout,
+            handshake_timeout: Duration::from_secs(5),
+            retry: retry.clone(),
+            ..CoordinatorConfig::default()
+        };
+        let t = Instant::now();
+        let sharded = sweep_in_process_chaos(&eval, &space, WORKERS, &config, cell.chaos)?;
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let lines = report_to_lines(&space, 0, &sharded.report)?;
+        let byte_identical = lines == reference_lines;
+        eprintln!(
+            "chaos-soak: cell {:<20} {:>8.1} ms, {} fault(s), {} respawn(s), {} quarantined — {}",
+            cell.name,
+            wall_ms,
+            sharded.stats.faults.len(),
+            sharded.stats.respawns,
+            sharded.stats.quarantined.len(),
+            if byte_identical {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+        outcomes.push(CellOutcome {
+            name: cell.name,
+            wall_ms,
+            faults: sharded.stats.faults.len(),
+            respawns: sharded.stats.respawns,
+            quarantined: sharded.stats.quarantined.len(),
+            byte_identical,
+        });
+    }
+    let all_identical = outcomes.iter().all(|o| o.byte_identical);
+
+    // ---- exhaustion cell: the whole fleet permanently dead ----------
+    // Every incarnation of every slot dies on its first lease; after
+    // `quarantine_after` consecutive faults per slot the sweep must
+    // fail with a typed WorkersExhausted — within twice the sum of the
+    // per-slot timeout budget, not an unbounded retry loop.
+    let exhaustion_space = ScheduleSpace::new(vec![16, 16, 16])?;
+    let exhaustion_eval = synthetic::surrogate(3);
+    let exhaustion_config = CoordinatorConfig {
+        shard_size: 1_024,
+        sweep: sweep.clone(),
+        lease_timeout: Duration::from_secs(2),
+        handshake_timeout: Duration::from_millis(500),
+        retry: RetryPolicy {
+            quarantine_after: 2,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(25),
+            jitter_seed: 7,
+        },
+        ..CoordinatorConfig::default()
+    };
+    let budget = 2.0
+        * f64::from(exhaustion_config.retry.quarantine_after)
+        * (exhaustion_config.lease_timeout
+            + exhaustion_config.handshake_timeout
+            + exhaustion_config.retry.backoff_cap)
+            .as_secs_f64();
+    let t = Instant::now();
+    let result = sweep_in_process_chaos(
+        &exhaustion_eval,
+        &exhaustion_space,
+        WORKERS,
+        &exhaustion_config,
+        |_, _| ChaosPlan {
+            seed: 53,
+            die_on_lease: Some(1),
+            ..ChaosPlan::default()
+        },
+    );
+    let exhaustion_secs = t.elapsed().as_secs_f64();
+    let exhaustion_typed = matches!(result, Err(DistribError::WorkersExhausted { .. }));
+    let exhaustion_bounded = exhaustion_secs < budget;
+    eprintln!(
+        "chaos-soak: exhaustion cell — {} in {:.2} s (budget {:.2} s)",
+        if exhaustion_typed {
+            "typed WorkersExhausted"
+        } else {
+            "UNEXPECTED OUTCOME"
+        },
+        exhaustion_secs,
+        budget
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{")?;
+    writeln!(json, "  \"bench\": \"chaos_soak\",")?;
+    writeln!(json, "  \"box\": \"{box_spec}\",")?;
+    writeln!(json, "  \"schedules\": {},", space.len())?;
+    writeln!(json, "  \"workers\": {WORKERS},")?;
+    writeln!(json, "  \"shard_size\": {SHARD_SIZE},")?;
+    writeln!(json, "  \"cells\": [")?;
+    for (i, o) in outcomes.iter().enumerate() {
+        writeln!(json, "    {{")?;
+        writeln!(json, "      \"name\": \"{}\",", o.name)?;
+        writeln!(json, "      \"wall_ms\": {:.1},", o.wall_ms)?;
+        writeln!(json, "      \"faults\": {},", o.faults)?;
+        writeln!(json, "      \"respawns\": {},", o.respawns)?;
+        writeln!(json, "      \"quarantined\": {},", o.quarantined)?;
+        writeln!(json, "      \"byte_identical\": {}", o.byte_identical)?;
+        writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < outcomes.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(json, "  ],")?;
+    writeln!(json, "  \"exhaustion\": {{")?;
+    writeln!(json, "    \"wall_s\": {exhaustion_secs:.2},")?;
+    writeln!(json, "    \"budget_s\": {budget:.2}")?;
+    writeln!(json, "  }},")?;
+    writeln!(json, "  \"all_cells_byte_identical\": {all_identical},")?;
+    writeln!(
+        json,
+        "  \"exhaustion_is_typed_and_bounded\": {}",
+        exhaustion_typed && exhaustion_bounded
+    )?;
+    writeln!(json, "}}")?;
+    let path = out_dir.join("BENCH_chaos_soak.json");
+    std::fs::write(&path, &json)?;
+    eprintln!("chaos-soak: wrote {}", path.display());
+
+    if !all_identical {
+        return Err("a chaos cell's merged report diverged from the sequential sweep".into());
+    }
+    if !exhaustion_typed {
+        return Err("a permanently dead fleet did not surface WorkersExhausted".into());
+    }
+    if !exhaustion_bounded {
+        return Err(format!(
+            "exhaustion took {exhaustion_secs:.2} s, over the {budget:.2} s budget"
+        )
+        .into());
+    }
+    Ok(())
+}

@@ -6,8 +6,8 @@
 //! [`crate::wire`] for the stability guarantee) under its own header:
 //!
 //! ```text
-//! CACS-SWEEP-CHECKPOINT 2
-//! PROBLEM <digest>              (v2 only; omitted when no digest is known)
+//! CACS-SWEEP-CHECKPOINT 3
+//! PROBLEM <digest>              (omitted when no digest is known)
 //! SPACE <n> <m1> … <mn>
 //! RETAIN all|<cap>
 //! DONE <start> <end>            (per coalesced completed range)
@@ -19,14 +19,20 @@
 //! END
 //! ```
 //!
-//! Version 2 embeds the **problem digest** (an opaque token naming the
-//! exact objective, e.g. the canonical `--problem` spec) so a resume
-//! against a checkpoint written for a *different* problem over the same
-//! box fails fast with [`DistribError::ProblemMismatch`] instead of
-//! silently merging two sweeps. Version-1 files (no `PROBLEM` line)
-//! remain readable: they simply carry no digest to validate, and a
-//! checkpoint written without a digest stays in the v1 format
-//! byte-for-byte.
+//! Version 3 frames every line after the header with the CRC-32 suffix
+//! of [`cacs_search::integrity`] (`<payload> *<8 hex>`): bit rot in a
+//! checkpoint — a flipped hex digit inside a bit pattern would
+//! otherwise parse fine and silently poison every resumed sweep — is
+//! the typed [`DistribError::Corrupt`] and the resume is **refused**
+//! (unlike store records, a checkpoint line cannot be skipped: the
+//! merged report is one indivisible value). Version-1 (no `PROBLEM`
+//! line) and version-2 files, both unframed, remain readable.
+//!
+//! The **problem digest** (an opaque token naming the exact objective,
+//! e.g. the canonical `--problem` spec, introduced in v2) makes a
+//! resume against a checkpoint written for a *different* problem over
+//! the same box fail fast with [`DistribError::ProblemMismatch`]
+//! instead of silently merging two sweeps.
 //!
 //! Writes go through a sibling temp file and an atomic rename, and loads
 //! refuse files without the `END` trailer, so a coordinator killed
@@ -38,12 +44,14 @@
 use crate::shard::{coalesce, RankRange};
 use crate::wire::{ReportAssembler, WorkerMsg};
 use crate::{DistribError, Result};
+use cacs_search::integrity::{append_crc, verify_line};
 use cacs_search::{ExhaustiveReport, ScheduleSpace};
 use std::io::Write as _;
 use std::path::Path;
 
 const HEADER_V1: &str = "CACS-SWEEP-CHECKPOINT 1";
 const HEADER_V2: &str = "CACS-SWEEP-CHECKPOINT 2";
+const HEADER_V3: &str = "CACS-SWEEP-CHECKPOINT 3";
 
 /// The durable state of a partially completed sharded sweep.
 #[derive(Debug, Clone)]
@@ -99,29 +107,27 @@ impl Checkpoint {
     /// schedules outside the space (cannot be encoded as ranks).
     pub fn to_text(&self, space: &ScheduleSpace) -> Result<String> {
         let mut out = String::new();
-        match &self.problem {
-            Some(digest) => {
-                out.push_str(HEADER_V2);
-                out.push('\n');
-                out.push_str(&format!("PROBLEM {digest}\n"));
-            }
-            // No digest to embed: stay byte-compatible with v1.
-            None => {
-                out.push_str(HEADER_V1);
-                out.push('\n');
-            }
-        }
-        out.push_str(&format!("SPACE {}", self.space_maxes.len()));
-        for m in &self.space_maxes {
-            out.push_str(&format!(" {m}"));
-        }
+        out.push_str(HEADER_V3);
         out.push('\n');
+        // Every line below the header is CRC-framed.
+        let mut push = |line: &str| {
+            out.push_str(&append_crc(line));
+            out.push('\n');
+        };
+        if let Some(digest) = &self.problem {
+            push(&format!("PROBLEM {digest}"));
+        }
+        let mut space_line = format!("SPACE {}", self.space_maxes.len());
+        for m in &self.space_maxes {
+            space_line.push_str(&format!(" {m}"));
+        }
+        push(&space_line);
         match self.retain {
-            Some(k) => out.push_str(&format!("RETAIN {k}\n")),
-            None => out.push_str("RETAIN all\n"),
+            Some(k) => push(&format!("RETAIN {k}")),
+            None => push("RETAIN all"),
         }
         for r in &self.completed {
-            out.push_str(&format!("DONE {} {}\n", r.start, r.end));
+            push(&format!("DONE {} {}", r.start, r.end));
         }
         // The report body reuses the wire encoding: REPORT header fields
         // split over named lines, then the R lines verbatim.
@@ -138,18 +144,17 @@ impl Checkpoint {
         else {
             unreachable!("report_to_lines starts with a REPORT header");
         };
-        out.push_str(&format!("COUNTERS {enumerated} {evaluated} {feasible}\n"));
+        push(&format!("COUNTERS {enumerated} {evaluated} {feasible}"));
         match best {
-            Some((rank, bits)) => out.push_str(&format!("BEST {rank}:{bits:016x}\n")),
-            None => out.push_str("BEST none\n"),
+            Some((rank, bits)) => push(&format!("BEST {rank}:{bits:016x}")),
+            None => push("BEST none"),
         }
-        out.push_str(&format!("TRUNCATED {}\n", u8::from(truncated)));
-        out.push_str(&format!("NRESULTS {nresults}\n"));
+        push(&format!("TRUNCATED {}", u8::from(truncated)));
+        push(&format!("NRESULTS {nresults}"));
         for line in &lines[1..lines.len() - 1] {
-            out.push_str(line);
-            out.push('\n');
+            push(line);
         }
-        out.push_str("END\n");
+        push("END");
         Ok(out)
     }
 
@@ -160,10 +165,13 @@ impl Checkpoint {
     ///
     /// Returns [`DistribError::Checkpoint`] on malformed or truncated
     /// text or when the checkpoint's space/retention disagree with the
-    /// resumed sweep's, and [`DistribError::ProblemMismatch`] when a v2
-    /// checkpoint names a different problem than `problem`. A v1
-    /// checkpoint (no `PROBLEM` line) is accepted regardless of
-    /// `problem` — it carries nothing to validate.
+    /// resumed sweep's, [`DistribError::Corrupt`] when a v3 line fails
+    /// (or is missing) its CRC — the resume is refused rather than
+    /// continued from poisoned state — and
+    /// [`DistribError::ProblemMismatch`] when the checkpoint names a
+    /// different problem than `problem`. A checkpoint without a
+    /// `PROBLEM` line is accepted regardless of `problem` — it carries
+    /// nothing to validate.
     pub fn from_text(
         text: &str,
         space: &ScheduleSpace,
@@ -173,17 +181,47 @@ impl Checkpoint {
         let bad = |reason: &str| DistribError::Checkpoint {
             reason: reason.to_string(),
         };
-        let mut lines = text.lines();
-        let saved_problem = match lines.next() {
-            Some(HEADER_V1) => None,
-            Some(HEADER_V2) => {
+        let mut raw = text.lines();
+        let version = match raw.next() {
+            Some(HEADER_V1) => 1,
+            Some(HEADER_V2) => 2,
+            Some(HEADER_V3) => 3,
+            _ => return Err(bad("missing or unsupported header")),
+        };
+        // v3: verify and strip the CRC frame of every line up front;
+        // older versions pass through unframed.
+        let body: Vec<&str> = if version == 3 {
+            raw.map(|line| match verify_line(line) {
+                Ok((payload, true)) => Ok(payload),
+                Ok((_, false)) => Err(DistribError::Corrupt {
+                    context: format!("checkpoint line {line:?} is missing its CRC suffix"),
+                }),
+                Err(reason) => Err(DistribError::Corrupt {
+                    context: format!("{reason} in checkpoint line {line:?}"),
+                }),
+            })
+            .collect::<Result<_>>()?
+        } else {
+            raw.collect()
+        };
+        let mut lines = body.into_iter().peekable();
+        let saved_problem = match version {
+            1 => None,
+            2 => {
                 let problem_line = lines.next().ok_or_else(|| bad("missing PROBLEM line"))?;
                 let digest = problem_line
                     .strip_prefix("PROBLEM ")
                     .ok_or_else(|| bad("missing PROBLEM line"))?;
                 Some(digest.to_string())
             }
-            _ => return Err(bad("missing or unsupported header")),
+            _ => match lines.peek().and_then(|l| l.strip_prefix("PROBLEM ")) {
+                Some(digest) => {
+                    let digest = digest.to_string();
+                    lines.next();
+                    Some(digest)
+                }
+                None => None,
+            },
         };
         if let (Some(expected), Some(found)) = (problem, &saved_problem) {
             if expected != found {
@@ -423,9 +461,13 @@ mod tests {
     fn truncated_file_refused() {
         let (space, ck) = sample();
         let text = ck.to_text(&space).unwrap();
-        // Drop the END trailer → refused.
-        let cut = text.trim_end().strip_suffix("END").unwrap();
-        assert!(Checkpoint::from_text(cut, &space, None, None).is_err());
+        // Drop the (framed) END trailer line → refused.
+        let cut: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(Checkpoint::from_text(&cut, &space, None, None).is_err());
         // Drop half the lines → refused.
         let half: String = text
             .lines()
@@ -444,12 +486,34 @@ mod tests {
         assert!(Checkpoint::from_text(&text, &space, Some(5), None).is_err());
     }
 
+    /// Renders `text` the way an older (unframed) writer would have:
+    /// legacy header, CRC suffixes stripped, `PROBLEM` dropped for v1.
+    fn downgrade(text: &str, version: u32) -> String {
+        text.lines()
+            .map(|l| {
+                if l == super::HEADER_V3 {
+                    if version == 1 {
+                        super::HEADER_V1
+                    } else {
+                        super::HEADER_V2
+                    }
+                } else {
+                    cacs_search::integrity::verify_line(l).unwrap().0
+                }
+            })
+            .filter(|l| !(version == 1 && l.starts_with("PROBLEM ")))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    }
+
     #[test]
     fn problem_digest_round_trips_and_mismatch_is_typed() {
         let (space, mut ck) = sample();
         ck.problem = Some("paper-fast".to_string());
         let text = ck.to_text(&space).unwrap();
-        assert!(text.starts_with("CACS-SWEEP-CHECKPOINT 2\nPROBLEM paper-fast\n"));
+        assert!(text.starts_with("CACS-SWEEP-CHECKPOINT 3\n"));
+        let second = text.lines().nth(1).unwrap();
+        assert!(second.starts_with("PROBLEM paper-fast *"));
 
         // Same digest (or no expectation): accepted, digest preserved.
         let back = Checkpoint::from_text(&text, &space, None, Some("paper-fast")).unwrap();
@@ -471,16 +535,90 @@ mod tests {
     }
 
     #[test]
-    fn v1_checkpoints_without_digest_stay_readable() {
-        // A digest-less checkpoint serialises in the v1 format…
+    fn v1_and_v2_checkpoints_stay_readable() {
+        let (space, mut ck) = sample();
+        ck.problem = Some("paper-fast".to_string());
+        let text = ck.to_text(&space).unwrap();
+
+        // v1: no PROBLEM line, unframed. Loads under any expected digest
+        // (nothing to validate).
+        let v1 = downgrade(&text, 1);
+        assert!(v1.starts_with("CACS-SWEEP-CHECKPOINT 1\nSPACE "));
+        let back = Checkpoint::from_text(&v1, &space, None, Some("paper-fast")).unwrap();
+        assert!(back.problem.is_none());
+        assert_reports_identical(&back.report, &ck.report);
+
+        // v2: PROBLEM line, unframed.
+        let v2 = downgrade(&text, 2);
+        assert!(v2.starts_with("CACS-SWEEP-CHECKPOINT 2\nPROBLEM paper-fast\n"));
+        let back = Checkpoint::from_text(&v2, &space, None, Some("paper-fast")).unwrap();
+        assert_eq!(back.problem.as_deref(), Some("paper-fast"));
+        assert_reports_identical(&back.report, &ck.report);
+    }
+
+    #[test]
+    fn v3_digestless_checkpoint_loads_without_a_problem_line() {
         let (space, ck) = sample();
         assert!(ck.problem.is_none());
         let text = ck.to_text(&space).unwrap();
-        assert!(text.starts_with("CACS-SWEEP-CHECKPOINT 1\nSPACE "));
-        // …and loads under any expected digest (nothing to validate).
-        let back = Checkpoint::from_text(&text, &space, None, Some("paper-fast")).unwrap();
+        assert!(!text.contains("PROBLEM"));
+        let back = Checkpoint::from_text(&text, &space, None, Some("anything")).unwrap();
         assert!(back.problem.is_none());
         assert_reports_identical(&back.report, &ck.report);
+    }
+
+    #[test]
+    fn corrupted_v3_line_refuses_the_resume() {
+        let (space, ck) = sample();
+        let text = ck.to_text(&space).unwrap();
+        // Flip one digit inside the COUNTERS payload, keeping the (now
+        // stale) CRC suffix: this used to parse fine and silently poison
+        // the resumed merge.
+        let corrupted: String = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("COUNTERS ") {
+                    let tampered = rest.replacen(
+                        rest.chars().next().unwrap(),
+                        if rest.starts_with('1') { "2" } else { "1" },
+                        1,
+                    );
+                    format!("COUNTERS {tampered}\n")
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert_ne!(corrupted, text);
+        let err = Checkpoint::from_text(&corrupted, &space, None, None).unwrap_err();
+        assert!(
+            matches!(err, DistribError::Corrupt { .. }),
+            "expected Corrupt, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn v3_line_stripped_of_its_crc_refuses_the_resume() {
+        let (space, ck) = sample();
+        let text = ck.to_text(&space).unwrap();
+        // Remove the CRC suffix from one line: a v3 file must not accept
+        // unframed lines (that would let truncation-by-suffix pass).
+        let stripped: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 2 {
+                    format!("{}\n", cacs_search::integrity::verify_line(l).unwrap().0)
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let err = Checkpoint::from_text(&stripped, &space, None, None).unwrap_err();
+        assert!(
+            matches!(err, DistribError::Corrupt { .. }),
+            "expected Corrupt, got {err:?}"
+        );
     }
 
     #[test]

@@ -6,30 +6,122 @@
 //!
 //! A worker is trusted only while it keeps producing protocol lines. A
 //! connection that hangs up, times out ([`CoordinatorConfig::lease_timeout`]
-//! between lines), or sends a malformed line is dropped and its
-//! outstanding range goes back to the lease queue for another worker —
-//! evaluations are pure functions of `(schedule, evaluator)`, so
-//! re-running a range on a different worker reproduces the same bits.
-//! The sweep fails with [`DistribError::WorkersExhausted`] only when
-//! every worker is gone while coverage is incomplete.
+//! between lines), or sends a malformed or CRC-failing line is dropped
+//! and its outstanding range goes back to the lease queue for another
+//! worker — evaluations are pure functions of `(schedule, evaluator)`,
+//! so re-running a range on a different worker reproduces the same bits.
+//!
+//! # Supervision
+//!
+//! A [`SupervisedWorker`] pairs a connection with an optional **respawn
+//! factory**: when the connection faults, the coordinator waits out a
+//! capped exponential backoff (deterministically jittered from
+//! [`RetryPolicy::jitter_seed`] — never wall-clock-seeded) and asks the
+//! factory for a replacement, re-running the handshake from scratch. A
+//! per-slot scoreboard counts *consecutive* faults (any completed lease
+//! resets it); after [`RetryPolicy::quarantine_after`] consecutive
+//! faults the slot is quarantined — listed in
+//! [`SweepStats::quarantined`] and never retried — so one bad host
+//! cannot starve the sweep with an unbounded retry loop. Every fault is
+//! recorded as a structured [`FaultEvent`]. The sweep fails with
+//! [`DistribError::WorkersExhausted`] only when every slot is finished
+//! or quarantined while coverage is incomplete, which the quarantine cap
+//! bounds to at most `quarantine_after × (backoff_cap +
+//! handshake_timeout + lease_timeout)` per slot.
 //!
 //! Because shard merges are commutative/associative
 //! ([`ExhaustiveReport::merge`]) and tie-breaking is rank-based, none of
 //! this scheduling nondeterminism — which worker got which range, in
-//! what order reports arrived, how often leases were re-issued — can
-//! change a single bit of the final report.
+//! what order reports arrived, how often leases were re-issued or
+//! workers respawned — can change a single bit of the final report.
 
 use crate::checkpoint::Checkpoint;
 use crate::link::{LinkRecv, WorkerLink};
 use crate::shard::{Lease, RankRange, ShardPlan};
-use crate::wire::{CoordMsg, ReportAssembler, WorkerMsg, PROTOCOL_VERSION};
+use crate::wire::{CoordMsg, ReportAssembler, WorkerMsg, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use crate::worker::{splitmix64, ChaosPlan};
 use crate::{DistribError, Result};
 use cacs_search::{ExhaustiveReport, ScheduleSpace, SweepConfig};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Retry/backoff/quarantine policy for supervised workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Quarantine a slot after this many **consecutive** faults (a
+    /// completed lease resets the count). Must be at least 1; also
+    /// bounds how long a fleet of permanently dead workers can delay
+    /// [`DistribError::WorkersExhausted`].
+    pub quarantine_after: u32,
+    /// Backoff before the first respawn attempt; doubles per consecutive
+    /// fault.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay (jitter included).
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter. Two slots with the
+    /// same seed still jitter differently (the slot index is mixed in);
+    /// the same seed always reproduces the same delays.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            quarantine_after: 3,
+            backoff_base: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(5),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// What kind of fault a worker exhibited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Never completed the `HELLO`/`SPACE` handshake (silent, hung up,
+    /// wrong magic, or unsupported protocol version).
+    Handshake,
+    /// The connection closed or a write failed.
+    Died,
+    /// No protocol line within [`CoordinatorConfig::lease_timeout`].
+    Timeout,
+    /// A structurally malformed or out-of-sequence protocol line.
+    Garbage,
+    /// A line whose CRC-32 integrity suffix did not match its payload.
+    Corrupt,
+    /// The respawn factory itself failed to produce a replacement.
+    Spawn,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::Handshake => "handshake",
+            FaultKind::Died => "died",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Garbage => "garbage",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Spawn => "spawn",
+        })
+    }
+}
+
+/// One structured fault record: who failed, on what lease, how, and how
+/// many consecutive faults that slot has now accumulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Label of the faulting worker connection.
+    pub worker: String,
+    /// The lease range that was outstanding (and re-queued), if any.
+    pub lease: Option<RankRange>,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Consecutive-fault count for the slot *after* this fault.
+    pub retry: u32,
+}
 
 /// Tuning and durability knobs for a sharded sweep.
 #[derive(Debug, Clone)]
@@ -55,11 +147,14 @@ pub struct CoordinatorConfig {
     /// shard's compute) to notice a dead spawn wasted minutes; dead
     /// workers are now detected within seconds.
     pub handshake_timeout: Duration,
+    /// Retry/backoff/quarantine policy for supervised slots (ignored
+    /// for workers without a respawn factory).
+    pub retry: RetryPolicy,
     /// Opaque digest naming the problem being swept (e.g. the canonical
     /// `--problem` spec). Embedded in checkpoints and validated on
     /// resume so a checkpoint for a different objective over the same
     /// box fails fast ([`DistribError::ProblemMismatch`]); `None` skips
-    /// both (and keeps the v1 checkpoint format).
+    /// the validation.
     pub problem_digest: Option<String>,
     /// Checkpoint file, rewritten atomically after every completed
     /// lease; `None` disables checkpointing.
@@ -82,6 +177,7 @@ impl Default for CoordinatorConfig {
             sweep: SweepConfig::default(),
             lease_timeout: Duration::from_secs(120),
             handshake_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
             problem_digest: None,
             checkpoint: None,
             resume: false,
@@ -107,6 +203,27 @@ pub struct SweepStats {
     /// `true` when [`CoordinatorConfig::halt_after_leases`] stopped the
     /// run early — the report covers only the completed ranges.
     pub halted: bool,
+    /// Every fault observed, in the order the coordinator recorded them.
+    pub faults: Vec<FaultEvent>,
+    /// Replacement workers successfully brought up by supervision.
+    pub respawns: u64,
+    /// Labels of slots quarantined after
+    /// [`RetryPolicy::quarantine_after`] consecutive faults.
+    pub quarantined: Vec<String>,
+}
+
+impl SweepStats {
+    /// Fault totals by kind, for operator summaries.
+    pub fn fault_totals(&self) -> Vec<(FaultKind, usize)> {
+        let mut totals: Vec<(FaultKind, usize)> = Vec::new();
+        for event in &self.faults {
+            match totals.iter_mut().find(|(k, _)| *k == event.kind) {
+                Some((_, n)) => *n += 1,
+                None => totals.push((event.kind, 1)),
+            }
+        }
+        totals
+    }
 }
 
 /// A finished (or deliberately halted) sharded sweep.
@@ -118,6 +235,53 @@ pub struct ShardedSweep {
     pub report: ExhaustiveReport,
     /// What it took to produce.
     pub stats: SweepStats,
+}
+
+/// Produces a replacement [`WorkerLink`] for a faulted slot; the `u32`
+/// is the incarnation number (1 for the first replacement).
+pub type RespawnFn<'a> = Box<dyn FnMut(u32) -> Result<WorkerLink> + Send + 'a>;
+
+/// One supervision slot: a live connection plus the recipe to replace it.
+///
+/// `respawn: None` reproduces the unsupervised behaviour — the slot's
+/// first fault is terminal (its lease is still re-queued for other
+/// slots).
+pub struct SupervisedWorker<'a> {
+    /// The initial connection.
+    pub link: WorkerLink,
+    /// Factory for replacement connections — respawn the child process,
+    /// re-accept a TCP peer, spawn a fresh in-process serve thread.
+    pub respawn: Option<RespawnFn<'a>>,
+}
+
+impl std::fmt::Debug for SupervisedWorker<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedWorker")
+            .field("link", &self.link)
+            .field("supervised", &self.respawn.is_some())
+            .finish()
+    }
+}
+
+impl<'a> SupervisedWorker<'a> {
+    /// Wraps a bare link with no respawn factory (legacy behaviour).
+    pub fn unsupervised(link: WorkerLink) -> Self {
+        SupervisedWorker {
+            link,
+            respawn: None,
+        }
+    }
+
+    /// Wraps a link with a respawn factory.
+    pub fn with_respawn(
+        link: WorkerLink,
+        respawn: impl FnMut(u32) -> Result<WorkerLink> + Send + 'a,
+    ) -> Self {
+        SupervisedWorker {
+            link,
+            respawn: Some(Box::new(respawn)),
+        }
+    }
 }
 
 struct CoordState {
@@ -140,39 +304,94 @@ struct Shared<'a> {
 }
 
 impl Shared<'_> {
-    fn requeue(&self, range: RankRange, why: &str, label: &str) {
+    /// Records a fault event; re-queues the outstanding range, if any.
+    fn fault(&self, label: &str, lease: Option<RankRange>, kind: FaultKind, retry: u32, why: &str) {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        eprintln!("cacs-sweep-coord: worker {label} lost ({why}); re-issuing range {range}");
-        st.pending.push_back(range);
-        st.stats.leases_reissued += 1;
+        match lease {
+            Some(range) => {
+                eprintln!(
+                    "cacs-sweep-coord: worker {label} fault #{retry} ({kind}: {why}); \
+                     re-issuing range {range}"
+                );
+                st.pending.push_back(range);
+                st.stats.leases_reissued += 1;
+            }
+            None => eprintln!("cacs-sweep-coord: worker {label} fault #{retry} ({kind}: {why})"),
+        }
         st.stats.workers_lost += 1;
+        st.stats.faults.push(FaultEvent {
+            worker: label.to_string(),
+            lease,
+            kind,
+            retry,
+        });
         self.wake.notify_all();
     }
 
-    fn drop_worker(&self, why: &str, label: &str) {
+    fn note_respawn(&self, label: &str, incarnation: u32) {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        eprintln!("cacs-sweep-coord: worker {label} lost ({why})");
-        st.stats.workers_lost += 1;
+        eprintln!("cacs-sweep-coord: worker {label} respawned (incarnation {incarnation})");
+        st.stats.respawns += 1;
+    }
+
+    fn quarantine(&self, label: &str) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        eprintln!(
+            "cacs-sweep-coord: worker {label} quarantined after {} consecutive faults",
+            self.config.retry.quarantine_after
+        );
+        st.stats.quarantined.push(label.to_string());
         self.wake.notify_all();
     }
 }
 
 /// Runs a sharded sweep over the given worker connections and returns
-/// the merged report. See the module docs for the fault model; see
-/// [`sweep_in_process`] for the zero-setup entry point.
+/// the merged report — the unsupervised entry point: every fault is
+/// terminal for its worker. See [`run_supervised`] for respawning
+/// slots, [`sweep_in_process`] for the zero-setup entry point.
 ///
 /// # Errors
 ///
-/// * [`DistribError::Config`] on an empty worker set or zero shard size,
-/// * [`DistribError::Checkpoint`] / [`DistribError::Io`] on resume or
-///   checkpoint-write failures,
-/// * [`DistribError::WorkersExhausted`] when every worker died with
-///   coverage incomplete.
+/// As [`run_supervised`].
 pub fn run_coordinator(
     space: &ScheduleSpace,
     workers: Vec<WorkerLink>,
     config: &CoordinatorConfig,
 ) -> Result<ShardedSweep> {
+    run_supervised(
+        space,
+        workers
+            .into_iter()
+            .map(SupervisedWorker::unsupervised)
+            .collect(),
+        config,
+    )
+}
+
+/// Runs a sharded sweep over supervised worker slots: each slot's
+/// connection is respawned on fault (backoff, scoreboard and quarantine
+/// per the [`RetryPolicy`]) until the sweep completes, the slot
+/// exhausts its respawn factory, or it is quarantined. See the module
+/// docs for the full model.
+///
+/// # Errors
+///
+/// * [`DistribError::Config`] on an empty worker set, zero shard size,
+///   or a zero `quarantine_after`,
+/// * [`DistribError::Checkpoint`] / [`DistribError::Io`] on resume or
+///   checkpoint-write failures,
+/// * [`DistribError::WorkersExhausted`] when every slot is gone with
+///   coverage incomplete.
+pub fn run_supervised(
+    space: &ScheduleSpace,
+    workers: Vec<SupervisedWorker<'_>>,
+    config: &CoordinatorConfig,
+) -> Result<ShardedSweep> {
+    if config.retry.quarantine_after == 0 {
+        return Err(DistribError::Config {
+            parameter: "quarantine_after must be at least 1",
+        });
+    }
     let retain = config.sweep.max_results;
     let mut checkpoint = match (&config.checkpoint, config.resume) {
         (Some(path), true) if path.exists() => {
@@ -191,8 +410,8 @@ pub fn run_coordinator(
     }
     checkpoint.retain = retain;
     // A digest-less config must not strip the digest a resumed v2
-    // checkpoint already carries — that would downgrade it to v1 and
-    // permanently disable the mismatch protection.
+    // checkpoint already carries — that would silently disable the
+    // mismatch protection for good.
     if config.problem_digest.is_some() {
         checkpoint.problem = config.problem_digest.clone();
     }
@@ -215,9 +434,9 @@ pub fn run_coordinator(
     };
 
     std::thread::scope(|s| {
-        for link in workers {
+        for (slot, worker) in workers.into_iter().enumerate() {
             let shared = &shared;
-            s.spawn(move || drive_worker(link, shared));
+            s.spawn(move || drive_slot(slot as u64, worker, shared));
         }
     });
 
@@ -238,48 +457,144 @@ pub fn run_coordinator(
     Ok(ShardedSweep { report, stats })
 }
 
-/// Why a worker thread stopped driving its connection.
+/// Deterministic capped exponential backoff: `base × 2^(attempt-1)`,
+/// scaled by a seeded jitter in `[1, 2)`, clamped to `cap`.
+fn backoff_delay(retry: &RetryPolicy, slot: u64, attempt: u32) -> Duration {
+    let attempt = attempt.max(1);
+    let base = u64::try_from(retry.backoff_base.as_nanos()).unwrap_or(u64::MAX);
+    let cap = u64::try_from(retry.backoff_cap.as_nanos()).unwrap_or(u64::MAX);
+    let exp = base.saturating_mul(1u64 << u64::from(attempt - 1).min(20));
+    let jitter = splitmix64(retry.jitter_seed ^ (slot << 32) ^ u64::from(attempt));
+    let frac = (jitter % 1000) as f64 / 1000.0;
+    let scaled = (exp as f64 * (1.0 + frac)) as u64;
+    Duration::from_nanos(scaled.min(cap))
+}
+
+/// Sleeps up to `delay`, waking early (and returning `true`) if the
+/// sweep finishes, halts or goes fatal in the meantime — a backing-off
+/// slot must not delay the scope join of a sweep that no longer needs
+/// it.
+fn sleep_unless_done(shared: &Shared<'_>, delay: Duration) -> bool {
+    let deadline = Instant::now() + delay;
+    let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if st.fatal.is_some() || st.stats.halted || st.remaining_ranks == 0 {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        let (guard, _) = shared
+            .wake
+            .wait_timeout(st, deadline - now)
+            .unwrap_or_else(|e| e.into_inner());
+        st = guard;
+    }
+}
+
+/// Drives one supervision slot: runs the current connection to
+/// completion or fault, then (when a respawn factory is present)
+/// backs off, respawns and goes again until the sweep ends, the slot is
+/// quarantined, or the factory fails terminally.
+fn drive_slot(slot: u64, worker: SupervisedWorker<'_>, shared: &Shared<'_>) {
+    let mut respawn = worker.respawn;
+    let mut consecutive: u32 = 0;
+    let mut incarnation: u32 = 0;
+    let mut last_label = worker.link.label().to_string();
+    let mut next_link = Some(worker.link);
+    loop {
+        if let Some(link) = next_link.take() {
+            last_label = link.label().to_string();
+            if matches!(
+                drive_worker(link, shared, &mut consecutive),
+                WorkerExit::Finished
+            ) {
+                return;
+            }
+        }
+        // Fault path: quarantine, back off, respawn.
+        if respawn.is_none() {
+            return; // unsupervised: the first fault is terminal
+        }
+        if consecutive >= shared.config.retry.quarantine_after {
+            shared.quarantine(&last_label);
+            return;
+        }
+        if sleep_unless_done(
+            shared,
+            backoff_delay(&shared.config.retry, slot, consecutive),
+        ) {
+            return;
+        }
+        incarnation += 1;
+        match respawn.as_mut().expect("checked above")(incarnation) {
+            Ok(link) => {
+                shared.note_respawn(link.label(), incarnation);
+                next_link = Some(link);
+            }
+            Err(e) => {
+                consecutive += 1;
+                shared.fault(
+                    &last_label,
+                    None,
+                    FaultKind::Spawn,
+                    consecutive,
+                    &e.to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Why a worker connection stopped being driven.
 enum WorkerExit {
     /// Clean shutdown (sweep done or halted).
     Finished,
-    /// The connection failed; the given range (if any) was re-queued.
+    /// The connection faulted; the fault was recorded and any
+    /// outstanding range re-queued.
     Lost,
 }
 
-fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>) -> WorkerExit {
+fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>, consecutive: &mut u32) -> WorkerExit {
+    let label = link.label().to_string();
     // Handshake: HELLO, then SPACE. A live worker answers within
     // milliseconds, so the handshake runs under its own (much shorter)
     // deadline — a dead spawn is detected promptly instead of after a
     // full lease_timeout sized for shard compute.
-    match link.recv_deadline(shared.config.handshake_timeout) {
+    let handshake_why: Option<String> = match link.recv_deadline(shared.config.handshake_timeout) {
         LinkRecv::Line(line) => match WorkerMsg::decode(&line) {
-            Ok(WorkerMsg::Hello { version }) if version == PROTOCOL_VERSION => {}
-            Ok(WorkerMsg::Hello { version }) => {
-                shared.drop_worker(
-                    &format!("protocol version {version}, expected {PROTOCOL_VERSION}"),
-                    link.label(),
-                );
-                return WorkerExit::Lost;
+            Ok(WorkerMsg::Hello { version })
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+            {
+                None
             }
-            _ => {
-                shared.drop_worker("bad handshake", link.label());
-                return WorkerExit::Lost;
-            }
+            Ok(WorkerMsg::Hello { version }) => Some(format!(
+                "protocol version {version}, supported \
+                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
+            )),
+            _ => Some("bad handshake".to_string()),
         },
-        LinkRecv::Closed => {
-            shared.drop_worker("hung up before handshake", link.label());
-            return WorkerExit::Lost;
-        }
-        LinkRecv::TimedOut => {
-            shared.drop_worker("handshake timeout", link.label());
-            return WorkerExit::Lost;
-        }
+        LinkRecv::Closed => Some("hung up before handshake".to_string()),
+        LinkRecv::TimedOut => Some("handshake timeout".to_string()),
+    };
+    if let Some(why) = handshake_why {
+        *consecutive += 1;
+        shared.fault(&label, None, FaultKind::Handshake, *consecutive, &why);
+        return WorkerExit::Lost;
     }
     if link
-        .send(&CoordMsg::Space(shared.space.max_counts().to_vec()).encode())
+        .send(&CoordMsg::Space(shared.space.max_counts().to_vec()).encode_framed())
         .is_err()
     {
-        shared.drop_worker("failed to send SPACE", link.label());
+        *consecutive += 1;
+        shared.fault(
+            &label,
+            None,
+            FaultKind::Died,
+            *consecutive,
+            "failed to send SPACE",
+        );
         return WorkerExit::Lost;
     }
 
@@ -290,7 +605,7 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>) -> WorkerExit {
             loop {
                 if st.fatal.is_some() || st.stats.halted || st.remaining_ranks == 0 {
                     drop(st);
-                    let _ = link.send(&CoordMsg::Exit.encode());
+                    let _ = link.send(&CoordMsg::Exit.encode_framed());
                     return WorkerExit::Finished;
                 }
                 if let Some(range) = st.pending.pop_front() {
@@ -313,13 +628,21 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>) -> WorkerExit {
             grain: sweep.dispatch_grain,
             retain: sweep.max_results,
         };
-        if link.send(&msg.encode()).is_err() {
-            shared.requeue(range, "failed to send SWEEP", link.label());
+        if link.send(&msg.encode_framed()).is_err() {
+            *consecutive += 1;
+            shared.fault(
+                link.label(),
+                Some(range),
+                FaultKind::Died,
+                *consecutive,
+                "failed to send SWEEP",
+            );
             return WorkerExit::Lost;
         }
 
         match collect_report(&mut link, shared, &lease) {
             Ok(report) => {
+                *consecutive = 0;
                 let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
                 let space = shared.space;
                 st.checkpoint.record(space, range, &report);
@@ -340,8 +663,9 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>) -> WorkerExit {
                 }
                 shared.wake.notify_all();
             }
-            Err(why) => {
-                shared.requeue(range, &why, link.label());
+            Err((kind, why)) => {
+                *consecutive += 1;
+                shared.fault(link.label(), Some(range), kind, *consecutive, &why);
                 return WorkerExit::Lost;
             }
         }
@@ -349,40 +673,55 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>) -> WorkerExit {
 }
 
 /// Reads one full shard report (`REPORT`, `R`…, `DONE`) off the link,
-/// enforcing the per-line deadline. Any failure is described as a string
-/// so the caller can requeue the lease.
+/// enforcing the per-line deadline. Any failure comes back as a typed
+/// fault kind plus a description so the caller can record the event and
+/// requeue the lease.
 fn collect_report(
     link: &mut WorkerLink,
     shared: &Shared<'_>,
     lease: &Lease,
-) -> std::result::Result<ExhaustiveReport, String> {
+) -> std::result::Result<ExhaustiveReport, (FaultKind, String)> {
     let timeout = shared.config.lease_timeout;
     let mut assembler: Option<ReportAssembler> = None;
+    let decode_fault = |e: &DistribError| {
+        let kind = match e {
+            DistribError::Corrupt { .. } => FaultKind::Corrupt,
+            _ => FaultKind::Garbage,
+        };
+        (kind, e.to_string())
+    };
     loop {
         match link.recv_deadline(timeout) {
             LinkRecv::Line(line) => {
-                let msg = WorkerMsg::decode(&line).map_err(|e| e.to_string())?;
+                let msg = WorkerMsg::decode(&line).map_err(|e| decode_fault(&e))?;
                 match assembler.as_mut() {
                     None => {
-                        let a =
-                            ReportAssembler::new(shared.space, &msg).map_err(|e| e.to_string())?;
+                        let a = ReportAssembler::new(shared.space, &msg)
+                            .map_err(|e| decode_fault(&e))?;
                         if a.lease() != lease.id {
-                            return Err(format!(
-                                "report for lease {}, expected {lease}",
-                                a.lease()
+                            return Err((
+                                FaultKind::Garbage,
+                                format!("report for lease {}, expected {lease}", a.lease()),
                             ));
                         }
                         assembler = Some(a);
                     }
                     Some(a) => {
-                        if let Some((_, report)) = a.push(msg).map_err(|e| e.to_string())? {
+                        if let Some((_, report)) = a.push(msg).map_err(|e| decode_fault(&e))? {
                             return Ok(report);
                         }
                     }
                 }
             }
-            LinkRecv::Closed => return Err("connection closed mid-lease".to_string()),
-            LinkRecv::TimedOut => return Err(format!("no line within {}s", timeout.as_secs_f64())),
+            LinkRecv::Closed => {
+                return Err((FaultKind::Died, "connection closed mid-lease".to_string()))
+            }
+            LinkRecv::TimedOut => {
+                return Err((
+                    FaultKind::Timeout,
+                    format!("no line within {}s", timeout.as_secs_f64()),
+                ))
+            }
         }
     }
 }
@@ -395,37 +734,69 @@ fn collect_report(
 ///
 /// # Errors
 ///
-/// As [`run_coordinator`].
+/// As [`run_supervised`].
 pub fn sweep_in_process<E: cacs_search::ScheduleEvaluator + ?Sized>(
     evaluator: &E,
     space: &ScheduleSpace,
     workers: usize,
     config: &CoordinatorConfig,
 ) -> Result<ShardedSweep> {
+    sweep_in_process_chaos(evaluator, space, workers, config, |_, _| {
+        ChaosPlan::default()
+    })
+}
+
+/// [`sweep_in_process`] with per-worker chaos injection and full
+/// supervision: `chaos(slot, incarnation)` decides the fault plan of
+/// each worker incarnation (incarnation 0 is the initial spawn), and
+/// faulted workers are respawned as fresh serve threads per the
+/// config's [`RetryPolicy`]. The chaos-soak harness drives its whole
+/// fault matrix through this entry point and asserts the merged report
+/// stays bit-identical.
+///
+/// # Errors
+///
+/// As [`run_supervised`].
+pub fn sweep_in_process_chaos<E: cacs_search::ScheduleEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &ScheduleSpace,
+    workers: usize,
+    config: &CoordinatorConfig,
+    chaos: impl Fn(usize, u32) -> ChaosPlan + Sync,
+) -> Result<ShardedSweep> {
     if workers == 0 {
         return Err(DistribError::Config {
             parameter: "at least one worker is required",
         });
     }
+    let chaos = &chaos;
     std::thread::scope(|s| {
-        let mut links = Vec::with_capacity(workers);
+        let mut slots = Vec::with_capacity(workers);
         for i in 0..workers {
-            let (link, endpoint) = WorkerLink::channel_pair(format!("in-process-{i}"));
-            s.spawn(move || {
-                // Serve errors surface on the coordinator side as a lost
-                // worker; a clean EXIT returns Ok.
-                let _ = endpoint.serve(evaluator, crate::worker::FaultPlan::default());
+            let spawn_serve = move |incarnation: u32| -> Result<WorkerLink> {
+                let (link, endpoint) =
+                    WorkerLink::channel_pair(format!("in-process-{i}.{incarnation}"));
+                let plan = chaos(i, incarnation);
+                s.spawn(move || {
+                    // Serve errors surface on the coordinator side as a
+                    // lost worker; a clean EXIT returns Ok.
+                    let _ = endpoint.serve(evaluator, plan);
+                });
+                Ok(link)
+            };
+            let link = spawn_serve(0)?;
+            slots.push(SupervisedWorker {
+                link,
+                respawn: Some(Box::new(spawn_serve)),
             });
-            links.push(link);
         }
-        run_coordinator(space, links, config)
+        run_supervised(space, slots, config)
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::worker::FaultPlan;
     use cacs_sched::Schedule;
     use cacs_search::{exhaustive_search_with, FnEvaluator};
 
@@ -457,6 +828,16 @@ mod tests {
         );
     }
 
+    /// A retry policy with test-scale delays.
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            quarantine_after: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(40),
+            jitter_seed: 7,
+        }
+    }
+
     #[test]
     fn in_process_sweep_matches_single_process_bitwise() {
         let eval = gnarly();
@@ -475,6 +856,7 @@ mod tests {
             .unwrap();
             assert!(!sharded.stats.halted);
             assert_eq!(sharded.stats.leases_reissued, 0);
+            assert!(sharded.stats.faults.is_empty());
             assert_identical(
                 &sharded.report,
                 &single,
@@ -529,8 +911,9 @@ mod tests {
             s.spawn(move || {
                 let _ = endpoint.serve(
                     eval,
-                    FaultPlan {
-                        die_mid_lease: Some(1),
+                    ChaosPlan {
+                        die_on_lease: Some(1),
+                        ..ChaosPlan::default()
                     },
                 );
                 let _ = died_tx.send(());
@@ -539,7 +922,7 @@ mod tests {
             let (link, endpoint) = WorkerLink::channel_pair("steady");
             s.spawn(move || {
                 died_rx.recv().expect("flaky worker reports its death");
-                let _ = endpoint.serve(eval, FaultPlan::default());
+                let _ = endpoint.serve(eval, ChaosPlan::default());
             });
             links.push(link);
             run_coordinator(&space, links, &config)
@@ -547,6 +930,13 @@ mod tests {
         .unwrap();
         assert_eq!(sharded.stats.leases_reissued, 1);
         assert_eq!(sharded.stats.workers_lost, 1);
+        // The fault is recorded as a structured event with its lease.
+        assert_eq!(sharded.stats.faults.len(), 1);
+        let event = &sharded.stats.faults[0];
+        assert_eq!(event.worker, "flaky");
+        assert_eq!(event.kind, FaultKind::Died);
+        assert!(event.lease.is_some());
+        assert_eq!(event.retry, 1);
         assert_identical(&sharded.report, &single, "after worker death");
     }
 
@@ -566,8 +956,9 @@ mod tests {
                 s.spawn(move || {
                     let _ = endpoint.serve(
                         eval,
-                        FaultPlan {
-                            die_mid_lease: Some(1),
+                        ChaosPlan {
+                            die_on_lease: Some(1),
+                            ..ChaosPlan::default()
                         },
                     );
                 });
@@ -576,6 +967,182 @@ mod tests {
             run_coordinator(&space, links, &config)
         });
         assert!(matches!(result, Err(DistribError::WorkersExhausted { .. })));
+    }
+
+    #[test]
+    fn supervised_sweep_survives_every_worker_dying_repeatedly() {
+        // Every slot dies on its first lease of every incarnation except
+        // the third — without respawn this sweep is unfinishable.
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 6, 5]).unwrap();
+        let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+        let config = CoordinatorConfig {
+            shard_size: 25,
+            retry: fast_retry(),
+            ..CoordinatorConfig::default()
+        };
+        let sharded = sweep_in_process_chaos(&eval, &space, 2, &config, |_, incarnation| {
+            if incarnation < 2 {
+                ChaosPlan {
+                    die_on_lease: Some(1),
+                    ..ChaosPlan::default()
+                }
+            } else {
+                ChaosPlan::default()
+            }
+        })
+        .unwrap();
+        assert!(sharded.stats.respawns >= 2);
+        assert!(!sharded.stats.faults.is_empty());
+        assert!(sharded.stats.quarantined.is_empty());
+        assert_identical(&sharded.report, &single, "after repeated deaths");
+    }
+
+    #[test]
+    fn consecutive_faults_quarantine_a_slot() {
+        // Slot 0 dies on every incarnation: it must be quarantined after
+        // exactly quarantine_after consecutive faults while slot 1
+        // finishes the sweep; the result is still bit-identical.
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
+        let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+        let config = CoordinatorConfig {
+            shard_size: 20,
+            retry: RetryPolicy {
+                quarantine_after: 3,
+                backoff_base: Duration::from_millis(2),
+                backoff_cap: Duration::from_millis(10),
+                jitter_seed: 7,
+            },
+            ..CoordinatorConfig::default()
+        };
+        // Slot 1 starts slow so slot 0 deterministically burns through
+        // its quarantine budget before the sweep can finish without it.
+        let sharded = sweep_in_process_chaos(&eval, &space, 2, &config, |slot, _| {
+            if slot == 0 {
+                ChaosPlan {
+                    die_on_lease: Some(1),
+                    ..ChaosPlan::default()
+                }
+            } else {
+                ChaosPlan {
+                    slow_start: Some(Duration::from_secs(1)),
+                    ..ChaosPlan::default()
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(sharded.stats.quarantined.len(), 1);
+        assert!(sharded.stats.quarantined[0].starts_with("in-process-0"));
+        let slot0_faults = sharded
+            .stats
+            .faults
+            .iter()
+            .filter(|f| f.worker.starts_with("in-process-0"))
+            .count() as u32;
+        assert_eq!(slot0_faults, config.retry.quarantine_after);
+        assert_identical(&sharded.report, &single, "with one slot quarantined");
+    }
+
+    #[test]
+    fn permanently_dead_fleet_exhausts_in_bounded_time() {
+        // All slots die on every lease of every incarnation. The sweep
+        // must fail with WorkersExhausted within the quarantine bound —
+        // no unbounded retry loop.
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
+        let retry = RetryPolicy {
+            quarantine_after: 2,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(25),
+            jitter_seed: 3,
+        };
+        let config = CoordinatorConfig {
+            shard_size: 20,
+            lease_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_millis(500),
+            retry: retry.clone(),
+            ..CoordinatorConfig::default()
+        };
+        let t = Instant::now();
+        let result = sweep_in_process_chaos(&eval, &space, 2, &config, |_, _| ChaosPlan {
+            die_on_lease: Some(1),
+            ..ChaosPlan::default()
+        });
+        let bound = (config.lease_timeout + config.handshake_timeout + retry.backoff_cap)
+            * retry.quarantine_after;
+        assert!(matches!(result, Err(DistribError::WorkersExhausted { .. })));
+        assert!(
+            t.elapsed() < 2 * bound,
+            "exhaustion took {:?}, bound was 2×{bound:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn failing_respawn_factory_counts_as_spawn_faults() {
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![4, 4, 4]).unwrap();
+        let config = CoordinatorConfig {
+            shard_size: 100,
+            retry: RetryPolicy {
+                quarantine_after: 2,
+                ..fast_retry()
+            },
+            ..CoordinatorConfig::default()
+        };
+        let result = std::thread::scope(|s| {
+            let eval = &eval;
+            // The one worker dies on its first lease; every respawn
+            // attempt fails.
+            let (link, endpoint) = WorkerLink::channel_pair("doomed");
+            s.spawn(move || {
+                let _ = endpoint.serve(
+                    eval,
+                    ChaosPlan {
+                        die_on_lease: Some(1),
+                        ..ChaosPlan::default()
+                    },
+                );
+            });
+            let slot = SupervisedWorker::with_respawn(link, |_| {
+                Err(DistribError::Config {
+                    parameter: "no more workers",
+                })
+            });
+            run_supervised(&space, vec![slot], &config)
+        });
+        assert!(matches!(result, Err(DistribError::WorkersExhausted { .. })));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let retry = RetryPolicy::default();
+        let a = backoff_delay(&retry, 0, 1);
+        let b = backoff_delay(&retry, 0, 1);
+        assert_eq!(a, b, "same seed, slot and attempt must reproduce");
+        assert_ne!(
+            backoff_delay(&retry, 0, 1),
+            backoff_delay(&retry, 1, 1),
+            "slots jitter independently"
+        );
+        // Base delay with jitter stays within [base, 2*base].
+        assert!(a >= retry.backoff_base && a <= retry.backoff_base * 2);
+        // High attempts clamp to the cap.
+        assert_eq!(backoff_delay(&retry, 0, 30), retry.backoff_cap);
+        // Zero-quarantine configs are rejected up front.
+        let space = ScheduleSpace::new(vec![3, 3, 3]).unwrap();
+        let config = CoordinatorConfig {
+            retry: RetryPolicy {
+                quarantine_after: 0,
+                ..RetryPolicy::default()
+            },
+            ..CoordinatorConfig::default()
+        };
+        assert!(matches!(
+            run_supervised(&space, Vec::new(), &config),
+            Err(DistribError::Config { .. })
+        ));
     }
 
     #[test]
@@ -675,6 +1242,70 @@ mod tests {
     }
 
     #[test]
+    fn version_1_workers_are_still_admitted() {
+        // A v1 peer sends an unframed HELLO with version 1; the range
+        // check must admit it for one version of overlap.
+        let eval = gnarly();
+        let space = ScheduleSpace::new(vec![4, 4, 4]).unwrap();
+        let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+        let sharded = std::thread::scope(|s| {
+            let eval = &eval;
+            let (link, endpoint) = WorkerLink::channel_pair("v1-peer");
+            s.spawn(move || {
+                // Hand-rolled v1 worker: unframed lines, version 1.
+                let incoming = endpoint.incoming;
+                let outgoing = endpoint.outgoing;
+                outgoing.send("HELLO cacs-sweep 1".to_string()).unwrap();
+                let space_line = incoming.recv().unwrap();
+                let CoordMsg::Space(maxes) = CoordMsg::decode(&space_line).unwrap() else {
+                    panic!("expected SPACE");
+                };
+                let space = ScheduleSpace::new(maxes).unwrap();
+                while let Ok(line) = incoming.recv() {
+                    match CoordMsg::decode(&line).unwrap() {
+                        CoordMsg::Sweep {
+                            lease,
+                            start,
+                            end,
+                            chunk,
+                            grain,
+                            retain,
+                        } => {
+                            let report = cacs_search::exhaustive_search_range(
+                                eval,
+                                &space,
+                                start,
+                                end,
+                                &SweepConfig {
+                                    chunk_size: chunk,
+                                    max_results: retain,
+                                    dispatch_grain: grain,
+                                },
+                            )
+                            .unwrap();
+                            for l in crate::wire::report_to_lines(&space, lease, &report).unwrap() {
+                                outgoing.send(l).unwrap(); // unframed, v1 style
+                            }
+                        }
+                        CoordMsg::Exit => break,
+                        CoordMsg::Space(_) => panic!("SPACE twice"),
+                    }
+                }
+            });
+            run_coordinator(
+                &space,
+                vec![link],
+                &CoordinatorConfig {
+                    shard_size: 30,
+                    ..CoordinatorConfig::default()
+                },
+            )
+        })
+        .unwrap();
+        assert_identical(&sharded.report, &single, "v1 worker interop");
+    }
+
+    #[test]
     fn resume_with_mismatched_problem_digest_fails_fast() {
         let eval = gnarly();
         let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
@@ -738,10 +1369,10 @@ mod tests {
 
     #[test]
     fn digestless_resume_preserves_the_checkpoint_digest() {
-        // Resuming a v2 checkpoint through a config without a digest
+        // Resuming a checkpoint through a config without a digest
         // (e.g. the in-process API) must not strip the embedded digest
-        // on the next save — that would silently downgrade the file to
-        // v1 and disable the mismatch protection for good.
+        // on the next save — that would silently disable the mismatch
+        // protection for good.
         let eval = gnarly();
         let space = ScheduleSpace::new(vec![5, 5, 5]).unwrap();
         let dir = std::env::temp_dir().join(format!("cacs-coord-keep-{}", std::process::id()));
@@ -776,8 +1407,9 @@ mod tests {
         )
         .unwrap();
         let text = std::fs::read_to_string(&ckpt).unwrap();
+        let second = text.lines().nth(1).unwrap_or_default();
         assert!(
-            text.starts_with("CACS-SWEEP-CHECKPOINT 2\nPROBLEM alpha\n"),
+            text.starts_with("CACS-SWEEP-CHECKPOINT 3\n") && second.starts_with("PROBLEM alpha"),
             "digest stripped on digest-less resume:\n{}",
             text.lines().take(2).collect::<Vec<_>>().join("\n")
         );

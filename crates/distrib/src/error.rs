@@ -22,6 +22,15 @@ pub enum DistribError {
         /// What was being parsed and why it was rejected.
         context: String,
     },
+    /// A line carried a CRC-32 integrity suffix that does not match its
+    /// payload — bit rot on disk or a mangled transport, as opposed to
+    /// [`DistribError::Protocol`]'s structurally malformed lines. The
+    /// offending record is quarantined (a wire line re-issues its lease,
+    /// a checkpoint refuses to resume) instead of being merged.
+    Corrupt {
+        /// Where the mismatch was detected and the stated/actual CRCs.
+        context: String,
+    },
     /// The underlying sweep failed.
     Search(cacs_search::SearchError),
     /// A checkpoint file was malformed, truncated, or inconsistent with
@@ -51,8 +60,9 @@ pub enum DistribError {
         /// Which parameter was rejected.
         parameter: &'static str,
     },
-    /// Fault injection (`FaultPlan::die_mid_lease`) triggered — test-only
-    /// by construction, never produced by a production configuration.
+    /// Fault injection (a [`crate::worker::ChaosPlan`] trigger) fired —
+    /// test-only by construction, never produced by a production
+    /// configuration.
     InjectedFault,
 }
 
@@ -61,6 +71,7 @@ impl fmt::Display for DistribError {
         match self {
             DistribError::Io { message, .. } => write!(f, "distributed sweep I/O: {message}"),
             DistribError::Protocol { context } => write!(f, "wire protocol: {context}"),
+            DistribError::Corrupt { context } => write!(f, "integrity: {context}"),
             DistribError::Search(e) => write!(f, "shard sweep: {e}"),
             DistribError::Checkpoint { reason } => write!(f, "checkpoint: {reason}"),
             DistribError::ProblemMismatch { expected, found } => write!(

@@ -28,21 +28,51 @@
 //!
 //! Workers hold *leases*, not assignments: a worker that dies, hangs
 //! past [`CoordinatorConfig::lease_timeout`], or speaks garbage is
-//! dropped and its range re-queued for the survivors
-//! ([`coordinator`] module docs describe the model). The coordinator
-//! checkpoints completed coverage plus the running merged report after
-//! every lease ([`checkpoint`]), atomically, so a killed coordinator
-//! resumes where it left off — even under a different shard size.
+//! dropped and its range re-queued — partial shard output is discarded
+//! whole, so re-issues are invisible in the merged bytes
+//! ([`coordinator`] module docs describe the model). On top of that
+//! sits **supervision**: each worker slot may carry a respawn hook
+//! ([`SupervisedWorker`]), so the coordinator *replaces* lost workers —
+//! respawning dead child processes, re-admitting reconnecting TCP
+//! workers via [`accept_one`] — under capped exponential backoff with
+//! deterministic seeded jitter ([`RetryPolicy`]). A slot that faults
+//! [`RetryPolicy::quarantine_after`] times consecutively is
+//! quarantined; when every slot is dead or quarantined with ranges
+//! still uncovered, the sweep fails in bounded time with
+//! [`DistribError::WorkersExhausted`]. Every fault is recorded as a
+//! structured [`FaultEvent`] in [`SweepStats`].
+//!
+//! Integrity is end to end: every wire line is CRC-32 framed
+//! (protocol v2 — see [`wire`]; v-less peers are still accepted), as
+//! is every checkpoint body line, so corruption anywhere between a
+//! worker's encoder and the coordinator's decoder is a typed `Corrupt`
+//! fault (worker replaced, lease re-issued), never a silently wrong
+//! merge. A corrupt checkpoint refuses to resume instead — the merged
+//! report is indivisible. The coordinator checkpoints completed
+//! coverage plus the running merged report after every lease
+//! ([`checkpoint`]), atomically, so a killed coordinator resumes where
+//! it left off — even under a different shard size.
+//!
+//! Faults are injected deterministically via [`ChaosPlan`] (die, hang,
+//! garbage, truncation, byte-flip, slow start, scripted reconnect),
+//! seeded and reproducible through all three transports; the
+//! `chaos-soak` bench binary drives the full matrix and asserts
+//! byte-identical merges.
 //!
 //! # Entry points
 //!
 //! * [`sweep_in_process`] — the full protocol over in-process channel
 //!   transports; what `CodesignProblem::optimize_exhaustive_sharded`
-//!   uses.
-//! * [`run_coordinator`] + [`WorkerLink::spawn_process`] /
-//!   [`accept_workers`] — multi-process and cross-host deployments (the
-//!   `cacs-sweep-coord` / `cacs-sweep-worker` binaries).
-//! * [`worker::serve_stream`] / [`connect_and_serve`] — the worker side.
+//!   uses. [`sweep_in_process_chaos`] is the same with a per-spawn
+//!   [`ChaosPlan`], faults exercised over real supervision.
+//! * [`run_supervised`] — coordinator over arbitrary
+//!   [`SupervisedWorker`]s (respawn hooks optional);
+//!   [`run_coordinator`] is the unsupervised wrapper. Links come from
+//!   [`WorkerLink::spawn_process`] / [`accept_workers`] /
+//!   [`accept_one`] (the `cacs-sweep-coord` / `cacs-sweep-worker`
+//!   binaries).
+//! * [`worker::serve_stream`] / [`connect_and_serve`] — the worker
+//!   side; [`ServeOutcome`] tells a TCP worker whether to re-dial.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -58,12 +88,15 @@ pub mod worker;
 
 pub use checkpoint::Checkpoint;
 pub use coordinator::{
-    run_coordinator, sweep_in_process, CoordinatorConfig, ShardedSweep, SweepStats,
+    run_coordinator, run_supervised, sweep_in_process, sweep_in_process_chaos, CoordinatorConfig,
+    FaultEvent, FaultKind, RespawnFn, RetryPolicy, ShardedSweep, SupervisedWorker, SweepStats,
 };
 pub use error::DistribError;
-pub use link::{accept_workers, connect_and_serve, ChannelEndpoint, LinkRecv, WorkerLink};
+pub use link::{
+    accept_one, accept_workers, connect_and_serve, ChannelEndpoint, LinkRecv, WorkerLink,
+};
 pub use shard::{coalesce, Lease, RankRange, ShardPlan};
-pub use worker::FaultPlan;
+pub use worker::{ChaosPlan, ServeOutcome};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DistribError>;

@@ -203,8 +203,8 @@ impl ChannelEndpoint {
     pub fn serve<E: cacs_search::ScheduleEvaluator + ?Sized>(
         self,
         evaluator: &E,
-        fault: crate::worker::FaultPlan,
-    ) -> Result<()> {
+        chaos: crate::worker::ChaosPlan,
+    ) -> Result<crate::worker::ServeOutcome> {
         let incoming = self.incoming;
         let outgoing = self.outgoing;
         crate::worker::serve_lines(
@@ -215,7 +215,7 @@ impl ChannelEndpoint {
                     .send(line.to_string())
                     .map_err(|_| std::io::Error::from(std::io::ErrorKind::BrokenPipe))
             },
-            fault,
+            chaos,
         )
     }
 }
@@ -239,7 +239,43 @@ fn spawn_reader(stream: impl std::io::Read + Send + 'static) -> Receiver<String>
     rx
 }
 
-/// Accepts exactly `n` workers on `listener`, each bounded by
+/// Accepts one worker connection on `listener`, bounded by `timeout`,
+/// and wraps it as a link.
+///
+/// The listener is switched to (and left in) non-blocking mode so the
+/// call polls rather than blocks — safe to invoke concurrently from
+/// several supervision slots sharing one listener: the kernel hands each
+/// pending connection to exactly one `accept` call. This is the re-
+/// admission primitive for reconnecting TCP workers.
+///
+/// # Errors
+///
+/// Returns an I/O timeout error if no worker connects in time.
+pub fn accept_one(listener: &TcpListener, timeout: Duration) -> Result<WorkerLink> {
+    let deadline = std::time::Instant::now() + timeout;
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nodelay(true).ok();
+                return WorkerLink::from_tcp(format!("tcp:{peer}"), stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "no worker connected in time",
+                    )
+                    .into());
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Accepts exactly `n` workers on `listener`, all bounded by one shared
 /// `accept_timeout`, and wraps them as links.
 ///
 /// # Errors
@@ -251,33 +287,32 @@ pub fn accept_workers(
     accept_timeout: Duration,
 ) -> Result<Vec<WorkerLink>> {
     let deadline = std::time::Instant::now() + accept_timeout;
-    listener.set_nonblocking(true)?;
     let mut links = Vec::with_capacity(n);
     while links.len() < n {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                stream.set_nodelay(true).ok();
-                links.push(WorkerLink::from_tcp(format!("tcp:{peer}"), stream)?);
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        match accept_one(listener, remaining) {
+            Ok(link) => links.push(link),
+            Err(crate::DistribError::Io {
+                kind: std::io::ErrorKind::TimedOut,
+                ..
+            }) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("only {} of {n} workers connected", links.len()),
+                )
+                .into());
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if std::time::Instant::now() >= deadline {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::TimedOut,
-                        format!("only {} of {n} workers connected", links.len()),
-                    )
-                    .into());
-                }
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(e),
         }
     }
-    listener.set_nonblocking(false)?;
     Ok(links)
 }
 
 /// Connects to a coordinator at `addr` and serves the sweep protocol
-/// over the socket (the TCP worker side).
+/// over the socket (the TCP worker side). A
+/// [`ServeOutcome::ReconnectRequested`](crate::worker::ServeOutcome)
+/// return means the chaos plan dropped the connection on purpose; the
+/// worker binary dials again.
 ///
 /// # Errors
 ///
@@ -286,12 +321,12 @@ pub fn accept_workers(
 pub fn connect_and_serve<E: cacs_search::ScheduleEvaluator + ?Sized>(
     addr: &str,
     evaluator: &E,
-    fault: crate::worker::FaultPlan,
-) -> Result<()> {
+    chaos: crate::worker::ChaosPlan,
+) -> Result<crate::worker::ServeOutcome> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
     let reader = BufReader::new(stream.try_clone()?);
-    crate::worker::serve_stream(evaluator, reader, stream, fault)
+    crate::worker::serve_stream(evaluator, reader, stream, chaos)
 }
 
 #[cfg(test)]

@@ -24,23 +24,49 @@
 //! objective's `f64::to_bits` as 16 lower-case hex digits, and
 //! `<retain>` is `all` or a result-count cap.
 //!
+//! # Integrity (protocol version 2)
+//!
+//! Since version 2 every line a peer emits is **framed** with a CRC-32
+//! suffix (see [`cacs_search::integrity`]): `<payload> *<8 hex>`. The
+//! decoder verifies and strips the suffix before parsing; a mismatch is
+//! the typed [`DistribError::Corrupt`] — distinct from a structurally
+//! malformed line — and the coordinator treats it like any other fault:
+//! the worker is dropped and its lease re-issued, so a transport that
+//! flips a bit inside an objective's hex pattern can no longer smuggle
+//! wrong bits into the merged report. Unframed (version-1) lines are
+//! still accepted for one version, so a v1 peer interoperates with a v2
+//! one; the `HELLO` version check accepts [`MIN_PROTOCOL_VERSION`]
+//! through [`PROTOCOL_VERSION`].
+//!
 //! # Stability guarantee
 //!
 //! The protocol is versioned by [`PROTOCOL_VERSION`], exchanged in the
-//! `HELLO` line; a coordinator refuses workers speaking another version.
-//! Within one version the format is **frozen**: fields are only ever
-//! appended behind a version bump, never reordered or re-encoded, so a
-//! coordinator and workers built from the same major protocol version
-//! interoperate across hosts and binary builds. The checkpoint file
-//! reuses the same primitive encodings (ranks + hex bit patterns) under
-//! its own header, with the same guarantee.
+//! `HELLO` line; a coordinator refuses workers speaking a version it
+//! does not support. Within one version the format is **frozen**:
+//! fields are only ever appended behind a version bump, never reordered
+//! or re-encoded, so a coordinator and workers built from the same
+//! major protocol version interoperate across hosts and binary builds.
+//! The checkpoint file reuses the same primitive encodings (ranks + hex
+//! bit patterns) under its own header, with the same guarantee.
+//! Decoding is deliberately strict — unknown *trailing* fields are
+//! rejected rather than ignored — so a framed line whose CRC suffix was
+//! damaged (and therefore no longer recognised as a suffix) fails to
+//! parse instead of being accepted with stale checksum text glued on.
 
 use crate::{DistribError, Result};
+use cacs_search::integrity::{append_crc, verify_line};
 use cacs_search::{ExhaustiveReport, ScheduleSpace};
 
 /// Version tag exchanged in the `HELLO` handshake. Bump on any breaking
 /// change to the line formats documented in this module.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Version 2 added the per-line CRC-32 framing.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version the coordinator still admits: version-1
+/// workers emit unframed lines, which the decoder accepts for one
+/// version of overlap.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Magic token of the `HELLO` line, so a coordinator fails fast when
 /// pointed at something that is not a sweep worker at all.
@@ -122,6 +148,24 @@ fn protocol_err(line: &str, why: &str) -> DistribError {
     }
 }
 
+/// Verifies and strips an optional CRC frame before parsing.
+fn unframe(line: &str) -> Result<&str> {
+    match verify_line(line) {
+        Ok((payload, _)) => Ok(payload),
+        Err(reason) => Err(DistribError::Corrupt {
+            context: format!("{reason} in line {line:?}"),
+        }),
+    }
+}
+
+/// Rejects unknown trailing fields — see the module docs on strictness.
+fn expect_end(fields: &mut std::str::SplitWhitespace<'_>, line: &str) -> Result<()> {
+    if fields.next().is_some() {
+        return Err(protocol_err(line, "unexpected trailing fields"));
+    }
+    Ok(())
+}
+
 fn parse_field<T: std::str::FromStr>(field: Option<&str>, line: &str, what: &str) -> Result<T> {
     field
         .ok_or_else(|| protocol_err(line, &format!("missing {what}")))?
@@ -169,12 +213,21 @@ impl CoordMsg {
         }
     }
 
-    /// Parses one coordinator line.
+    /// Renders the message CRC-framed, as a version-2 peer puts it on
+    /// the wire: [`CoordMsg::encode`] plus the integrity suffix.
+    pub fn encode_framed(&self) -> String {
+        append_crc(&self.encode())
+    }
+
+    /// Parses one coordinator line, verifying and stripping the CRC
+    /// frame when present.
     ///
     /// # Errors
     ///
-    /// Returns [`DistribError::Protocol`] on unknown or malformed lines.
+    /// Returns [`DistribError::Protocol`] on unknown or malformed lines
+    /// and [`DistribError::Corrupt`] on a CRC mismatch.
     pub fn decode(line: &str) -> Result<Self> {
+        let line = unframe(line)?;
         let mut fields = line.split_whitespace();
         match fields.next() {
             Some("SPACE") => {
@@ -200,6 +253,7 @@ impl CoordMsg {
                     Some("all") => None,
                     other => Some(parse_field(other, line, "retention cap")?),
                 };
+                expect_end(&mut fields, line)?;
                 Ok(CoordMsg::Sweep {
                     lease,
                     start,
@@ -209,7 +263,10 @@ impl CoordMsg {
                     retain,
                 })
             }
-            Some("EXIT") => Ok(CoordMsg::Exit),
+            Some("EXIT") => {
+                expect_end(&mut fields, line)?;
+                Ok(CoordMsg::Exit)
+            }
             _ => Err(protocol_err(line, "unknown coordinator message")),
         }
     }
@@ -249,12 +306,21 @@ impl WorkerMsg {
         }
     }
 
-    /// Parses one worker line.
+    /// Renders the message CRC-framed, as a version-2 peer puts it on
+    /// the wire: [`WorkerMsg::encode`] plus the integrity suffix.
+    pub fn encode_framed(&self) -> String {
+        append_crc(&self.encode())
+    }
+
+    /// Parses one worker line, verifying and stripping the CRC frame
+    /// when present.
     ///
     /// # Errors
     ///
-    /// Returns [`DistribError::Protocol`] on unknown or malformed lines.
+    /// Returns [`DistribError::Protocol`] on unknown or malformed lines
+    /// and [`DistribError::Corrupt`] on a CRC mismatch.
     pub fn decode(line: &str) -> Result<Self> {
+        let line = unframe(line)?;
         let mut fields = line.split_whitespace();
         match fields.next() {
             Some("HELLO") => {
@@ -262,6 +328,7 @@ impl WorkerMsg {
                     return Err(protocol_err(line, "wrong hello magic"));
                 }
                 let version = parse_field(fields.next(), line, "protocol version")?;
+                expect_end(&mut fields, line)?;
                 Ok(WorkerMsg::Hello { version })
             }
             Some("REPORT") => {
@@ -286,6 +353,7 @@ impl WorkerMsg {
                 };
                 let truncated: u8 = parse_field(fields.next(), line, "truncated flag")?;
                 let nresults = parse_field(fields.next(), line, "result count")?;
+                expect_end(&mut fields, line)?;
                 Ok(WorkerMsg::Report {
                     lease,
                     enumerated,
@@ -299,10 +367,12 @@ impl WorkerMsg {
             Some("R") => {
                 let rank = parse_field(fields.next(), line, "result rank")?;
                 let value_bits = parse_opt_bits(fields.next(), line)?;
+                expect_end(&mut fields, line)?;
                 Ok(WorkerMsg::Result { rank, value_bits })
             }
             Some("DONE") => {
                 let lease = parse_field(fields.next(), line, "lease id")?;
+                expect_end(&mut fields, line)?;
                 Ok(WorkerMsg::Done { lease })
             }
             _ => Err(protocol_err(line, "unknown worker message")),
@@ -564,12 +634,60 @@ mod tests {
             "R 5",                     // missing value
             "R x none",                // bad rank
             "DONE",                    // missing lease
+            "EXIT now",                // trailing junk
+            "DONE 3 x",                // trailing junk
+            "R 5 none extra",          // trailing junk
+            "HELLO cacs-sweep 2 !",    // trailing junk
+            "SWEEP 1 2 3 4 5 all 6",   // trailing junk
         ] {
             assert!(
                 CoordMsg::decode(line).is_err() && WorkerMsg::decode(line).is_err(),
                 "line {line:?} should not parse"
             );
         }
+    }
+
+    #[test]
+    fn framed_messages_round_trip() {
+        let coord = CoordMsg::Sweep {
+            lease: 3,
+            start: 100,
+            end: 260,
+            chunk: 4096,
+            grain: 64,
+            retain: Some(12),
+        };
+        assert_eq!(CoordMsg::decode(&coord.encode_framed()).unwrap(), coord);
+        let worker = WorkerMsg::Result {
+            rank: 7,
+            value_bits: Some(0.125f64.to_bits()),
+        };
+        assert_eq!(WorkerMsg::decode(&worker.encode_framed()).unwrap(), worker);
+    }
+
+    #[test]
+    fn corrupted_frames_are_typed_corrupt_errors() {
+        let framed = WorkerMsg::Done { lease: 3 }.encode_framed();
+        // Flip one payload byte, keep the (now stale) checksum.
+        let corrupted = framed.replacen("DONE 3", "DONE 7", 1);
+        match WorkerMsg::decode(&corrupted) {
+            Err(DistribError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        match CoordMsg::decode(&CoordMsg::Exit.encode_framed().replacen("EXIT", "EXIX", 1)) {
+            Err(DistribError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn damaged_crc_suffix_degrades_to_a_parse_error_not_acceptance() {
+        // Mutating the `*` marker makes the suffix unrecognisable; the
+        // stale checksum text must then be rejected as trailing junk
+        // rather than silently ignored.
+        let framed = WorkerMsg::Done { lease: 3 }.encode_framed();
+        let damaged = framed.replacen(" *", " x", 1);
+        assert!(WorkerMsg::decode(&damaged).is_err());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The TCP transport end-to-end on loopback: a coordinator accepting
 //! real sockets, workers connecting via `connect_and_serve` /
 //! `serve_stream`, and the merged report bit-identical to the
-//! single-process sweep — including a worker that dies mid-lease.
+//! single-process sweep — including a worker that dies mid-lease and a
+//! flaky worker that drops its connection and is re-admitted.
 
 use cacs_distrib::worker::serve_stream;
 use cacs_distrib::{
-    accept_workers, connect_and_serve, run_coordinator, synthetic, CoordinatorConfig, FaultPlan,
+    accept_one, accept_workers, connect_and_serve, run_coordinator, run_supervised, synthetic,
+    ChaosPlan, CoordinatorConfig, RetryPolicy, ServeOutcome, SupervisedWorker,
 };
 use cacs_search::{exhaustive_search_with, ExhaustiveReport, ScheduleSpace, SweepConfig};
 use std::io::BufReader;
@@ -23,20 +25,26 @@ fn assert_identical(a: &ExhaustiveReport, b: &ExhaustiveReport) {
     );
 }
 
+/// Binds a loopback listener, or `None` in sandboxes without sockets —
+/// the channel and process transports cover the protocol there.
+fn loopback_listener() -> Option<TcpListener> {
+    match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => Some(l),
+        Err(e) => {
+            eprintln!("skipping TCP loopback test: bind failed ({e})");
+            None
+        }
+    }
+}
+
 #[test]
 fn tcp_workers_reassemble_the_sweep_bitwise() {
     let space = ScheduleSpace::new(vec![9, 9, 9]).unwrap();
     let eval = synthetic::surrogate(3);
     let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
 
-    let listener = match TcpListener::bind("127.0.0.1:0") {
-        Ok(l) => l,
-        // Sandboxed environments without loopback sockets: the channel
-        // and process transports cover the protocol; nothing to do here.
-        Err(e) => {
-            eprintln!("skipping TCP loopback test: bind failed ({e})");
-            return;
-        }
+    let Some(listener) = loopback_listener() else {
+        return;
     };
     let addr = listener.local_addr().unwrap().to_string();
 
@@ -53,8 +61,9 @@ fn tcp_workers_reassemble_the_sweep_bitwise() {
             let result = connect_and_serve(
                 &w0_addr,
                 eval,
-                FaultPlan {
-                    die_mid_lease: Some(1),
+                ChaosPlan {
+                    die_on_lease: Some(1),
+                    ..ChaosPlan::default()
                 },
             );
             assert!(result.is_err(), "worker 0 must die mid-lease");
@@ -68,7 +77,7 @@ fn tcp_workers_reassemble_the_sweep_bitwise() {
                 let stream = TcpStream::connect(&addr).expect("connect to coordinator");
                 rx.recv().expect("death relay");
                 let reader = BufReader::new(stream.try_clone().expect("clone socket"));
-                let _ = serve_stream(eval, reader, stream, FaultPlan::default());
+                let _ = serve_stream(eval, reader, stream, ChaosPlan::default());
             });
         }
         // Relay worker 0's death to both steady workers.
@@ -93,5 +102,77 @@ fn tcp_workers_reassemble_the_sweep_bitwise() {
         assert_identical(&sharded.report, &single);
         assert_eq!(sharded.stats.leases_reissued, 1);
         assert_eq!(sharded.stats.workers_lost, 1);
+    });
+}
+
+#[test]
+fn reconnecting_tcp_worker_is_readmitted_mid_sweep() {
+    // A single flaky worker: it answers two leases, drops the
+    // connection (ChaosPlan::reconnect_after), and dials back in. The
+    // supervised coordinator must re-admit it through the still-open
+    // listener — it is the only worker, so without re-admission the
+    // sweep cannot finish — and the merged report must stay
+    // bit-identical to the sequential sweep.
+    let space = ScheduleSpace::new(vec![8, 8, 8]).unwrap();
+    let eval = synthetic::surrogate(3);
+    let single = exhaustive_search_with(&eval, &space, &SweepConfig::default()).unwrap();
+
+    let Some(listener) = loopback_listener() else {
+        return;
+    };
+    let addr = listener.local_addr().unwrap().to_string();
+
+    std::thread::scope(|s| {
+        let eval = &eval;
+        let w_addr = addr.clone();
+        s.spawn(move || {
+            let out = connect_and_serve(
+                &w_addr,
+                eval,
+                ChaosPlan {
+                    reconnect_after: Some(2),
+                    ..ChaosPlan::default()
+                },
+            )
+            .expect("first serve session");
+            assert_eq!(out, ServeOutcome::ReconnectRequested);
+            // Dial back in clean, exactly as the worker binary does.
+            let out = connect_and_serve(&w_addr, eval, ChaosPlan::default())
+                .expect("second serve session");
+            assert_eq!(out, ServeOutcome::Done);
+        });
+
+        let links = accept_workers(&listener, 1, Duration::from_secs(20)).unwrap();
+        let listener = &listener;
+        let workers = links
+            .into_iter()
+            .map(|link| {
+                SupervisedWorker::with_respawn(link, move |_incarnation| {
+                    accept_one(listener, Duration::from_secs(10))
+                })
+            })
+            .collect();
+        let sharded = run_supervised(
+            &space,
+            workers,
+            &CoordinatorConfig {
+                shard_size: 97,
+                lease_timeout: Duration::from_secs(30),
+                retry: RetryPolicy {
+                    backoff_base: Duration::from_millis(5),
+                    backoff_cap: Duration::from_millis(40),
+                    ..RetryPolicy::default()
+                },
+                ..CoordinatorConfig::default()
+            },
+        )
+        .unwrap();
+        assert_identical(&sharded.report, &single);
+        assert_eq!(sharded.stats.respawns, 1, "one re-admission");
+        assert!(
+            !sharded.stats.faults.is_empty(),
+            "the dropped connection must be recorded as a fault"
+        );
+        assert!(sharded.stats.quarantined.is_empty());
     });
 }

@@ -1,0 +1,179 @@
+//! End-to-end integrity primitives shared by every durable or
+//! wire-crossing line format in the workspace: the evaluation store's
+//! snapshot/journal records, the distributed sweep's wire protocol, and
+//! the coordinator checkpoint.
+//!
+//! All three are line-oriented ASCII formats whose corruption used to be
+//! detected only by accident of parse failure — a flipped hex digit in
+//! an objective's bit pattern still parses and would have been silently
+//! merged. A per-line CRC-32 suffix closes that hole: bit rot, partial
+//! writes and transport-mangled lines become *typed* errors at the exact
+//! record, which the caller can then quarantine (skip and count) or
+//! refuse, instead of folding wrong bits into a result that is supposed
+//! to be bit-identical to a sequential computation.
+//!
+//! # Framed line format
+//!
+//! ```text
+//! <payload> *<crc32 as exactly 8 lower-case hex digits>
+//! ```
+//!
+//! The checksum is CRC-32 (IEEE 802.3, reflected polynomial
+//! `0xEDB88320`) over the raw payload bytes — everything before the
+//! ` *` marker. Payload fields in the covered formats never contain
+//! `*`, so the suffix is unambiguous. [`verify_line`] accepts unframed
+//! lines unchanged (one version of backward compatibility for every
+//! consumer), and is deliberately strict about the suffix itself: the
+//! checksum must be exactly 8 lower-case hex digits, so no single-byte
+//! mutation of a framed line (payload, marker, or checksum — including
+//! case changes) can pass verification.
+
+/// CRC-32 lookup table (IEEE 802.3 reflected polynomial), built at
+/// compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Frames a payload line with its CRC-32 suffix: `<line> *<8 hex>`.
+pub fn append_crc(line: &str) -> String {
+    format!("{line} *{:08x}", crc32(line.as_bytes()))
+}
+
+/// `true` when `line` ends in a well-formed CRC suffix (` *` + exactly
+/// 8 lower-case hex digits). Says nothing about whether it verifies.
+fn has_crc_suffix(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    bytes.len() >= 10
+        && bytes[bytes.len() - 10] == b' '
+        && bytes[bytes.len() - 9] == b'*'
+        && bytes[bytes.len() - 8..]
+            .iter()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(b))
+}
+
+/// Splits and verifies an optionally CRC-framed line.
+///
+/// Returns `(payload, had_crc)`: a line carrying a well-formed CRC
+/// suffix is verified and stripped; a line without one passes through
+/// unchanged with `had_crc == false` (v-less compatibility).
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the suffix is well-formed but
+/// the checksum does not match the payload — the caller wraps it in its
+/// own typed `Corrupt` error.
+pub fn verify_line(line: &str) -> Result<(&str, bool), String> {
+    if !has_crc_suffix(line) {
+        return Ok((line, false));
+    }
+    let payload = &line[..line.len() - 10];
+    let stated = u32::from_str_radix(&line[line.len() - 8..], 16)
+        .expect("has_crc_suffix guarantees 8 hex digits");
+    let actual = crc32(payload.as_bytes());
+    if stated != actual {
+        return Err(format!(
+            "CRC mismatch: line states {stated:08x}, payload hashes to {actual:08x}"
+        ));
+    }
+    Ok((payload, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn framed_lines_round_trip() {
+        for payload in ["R 17 3fc0000000000000", "E 0 none", "EXIT", ""] {
+            let framed = append_crc(payload);
+            let (back, had) = verify_line(&framed).unwrap();
+            assert_eq!(back, payload);
+            assert!(had);
+        }
+    }
+
+    #[test]
+    fn unframed_lines_pass_through() {
+        for line in ["R 17 3fc0000000000000", "DONE 3", "", "ends with *short"] {
+            let (back, had) = verify_line(line).unwrap();
+            assert_eq!(back, line);
+            assert!(!had);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_mutation_of_a_framed_line_is_rejected() {
+        let payload = "REPORT 9 160 150 140 42:3fc0000000000000 1 2";
+        let framed = append_crc(payload);
+        let bytes = framed.as_bytes();
+        for i in 0..bytes.len() {
+            for replacement in [b'0', b'9', b'a', b'f', b'A', b'x', b' ', b'*', b'~'] {
+                if bytes[i] == replacement {
+                    continue;
+                }
+                let mut mutated = bytes.to_vec();
+                mutated[i] = replacement;
+                let mutated = String::from_utf8(mutated).unwrap();
+                // Either the CRC fails outright, or the suffix is no
+                // longer recognised — in which case the stale checksum
+                // text stays glued to the payload and the caller's
+                // parser rejects the trailing junk. What can never
+                // happen is the original payload emerging verified.
+                match verify_line(&mutated) {
+                    Err(_) => {}
+                    Ok((back, _)) => assert_ne!(
+                        back, payload,
+                        "mutation at {i} to {replacement:?} slipped through"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uppercase_checksums_are_not_a_valid_suffix() {
+        // Hex parsing is case-insensitive, so an upper-case suffix would
+        // let `a`→`A` mutations through; the suffix grammar forbids it.
+        let framed = append_crc("DONE 3");
+        let upper = framed.to_uppercase();
+        let (payload, had) = verify_line(&upper).unwrap();
+        assert!(!had);
+        assert_eq!(payload, upper);
+    }
+}

@@ -83,6 +83,7 @@ mod evaluator;
 mod exhaustive;
 mod genetic;
 mod hybrid;
+pub mod integrity;
 mod space;
 pub mod store;
 mod strategy;

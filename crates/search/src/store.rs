@@ -26,11 +26,11 @@
 //!   contract):
 //!
 //!   ```text
-//!   CACS-EVAL-STORE 1
+//!   CACS-EVAL-STORE 2
 //!   PROBLEM <digest>
 //!   SPACE <n> <m1> … <mn>
 //!   NRECORDS <k>
-//!   E <rank> <bits|none>          (× k, sorted by rank)
+//!   E <rank> <bits|none> *<crc>   (× k, sorted by rank)
 //!   END
 //!   ```
 //!
@@ -43,6 +43,23 @@
 //!   last compaction, one `E` line per completed evaluation, flushed
 //!   per record. A torn final line (the process was killed mid-append)
 //!   is tolerated and ignored on replay; everything before it is kept.
+//!
+//! # Integrity (format version 2)
+//!
+//! Every `E` record — in the snapshot and in the journal — carries a
+//! [CRC-32 suffix](crate::integrity) covering its payload. Unlike the
+//! sweep checkpoint (where one damaged line invalidates the indivisible
+//! merged report, so resume is refused), store records are independent
+//! facts: a record whose CRC fails, whose payload does not parse, or
+//! whose rank lies outside the space is **quarantined** — skipped with
+//! a count surfaced through [`EvalStore::quarantined_records`] — and
+//! every other record is kept. The affected evaluations are simply
+//! re-computed by the resumed search. Structural damage (bad header,
+//! missing `END` trailer, mismatched digest or space) still refuses the
+//! open, and a torn *final* journal line remains silently tolerated as
+//! before — it is an interrupted append, not corruption. Version-1
+//! stores (no CRC suffixes) stay readable; the first compaction
+//! rewrites them in version-2 form.
 //!
 //! [`EvalStore::open`] replays the journal into the snapshot and
 //! compacts, so steady-state reads are a single sequential parse.
@@ -61,6 +78,7 @@
 //! *latched* ([`EvalStore::take_write_error`]) so fire-and-forget
 //! write-through hooks cannot silently drop durability errors.
 
+use crate::integrity::{append_crc, verify_line};
 use crate::{lock_recover, ScheduleSpace};
 use cacs_sched::Schedule;
 use std::collections::BTreeMap;
@@ -70,7 +88,8 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-const HEADER: &str = "CACS-EVAL-STORE 1";
+const HEADER: &str = "CACS-EVAL-STORE 2";
+const HEADER_V1: &str = "CACS-EVAL-STORE 1";
 
 /// Error returned by [`EvalStore`] operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -251,6 +270,38 @@ pub fn decode_record(line: &str) -> StoreResult<(u64, Option<u64>)> {
     Ok((rank, value_bits))
 }
 
+/// Verifies and decodes one stored record line: strips and checks an
+/// optional CRC-32 frame (see [`crate::integrity`]), then decodes the
+/// payload and validates its rank against `space`. `require_crc`
+/// additionally rejects unframed lines — set for version-2 snapshots,
+/// whose writer always frames; the version-less journal accepts both so
+/// a version-1 journal replays unchanged.
+///
+/// Any `Err` from this function is *record-level* damage: the callers
+/// quarantine the line (skip it and count it) rather than refusing the
+/// store, because each record is an independent fact.
+fn decode_stored_record(
+    line: &str,
+    space: &ScheduleSpace,
+    require_crc: bool,
+) -> StoreResult<(u64, Option<u64>)> {
+    let (payload, had_crc) = verify_line(line).map_err(|why| StoreError::Corrupt {
+        reason: format!("record {why}"),
+    })?;
+    if require_crc && !had_crc {
+        return Err(StoreError::Corrupt {
+            reason: format!("record line {line:?} is missing its CRC suffix"),
+        });
+    }
+    let (rank, bits) = decode_record(payload)?;
+    if rank >= space.len() {
+        return Err(StoreError::Corrupt {
+            reason: format!("record rank {rank} outside the space"),
+        });
+    }
+    Ok((rank, bits))
+}
+
 /// Mutable state behind the store's lock: the in-memory index plus the
 /// open journal handle.
 struct StoreInner {
@@ -271,6 +322,9 @@ struct StoreInner {
     failed_compactions: u64,
     /// First write failure, latched for fire-and-forget callers.
     write_error: Option<StoreError>,
+    /// Damaged record lines quarantined (skipped) while loading this
+    /// handle — CRC failures, unparseable payloads, out-of-space ranks.
+    quarantined: u64,
 }
 
 /// A persistent, digest-addressed store of completed schedule
@@ -371,13 +425,22 @@ impl EvalStore {
         }
         let log_path = Self::log_path_for(path);
         let mut records = BTreeMap::new();
+        let mut quarantined = 0u64;
         if path.exists() {
             let text = std::fs::read_to_string(path)?;
-            records = parse_snapshot(&text, problem, space)?;
+            records = parse_snapshot(&text, problem, space, &mut quarantined)?;
         }
         if log_path.exists() {
             let text = std::fs::read_to_string(&log_path)?;
-            replay_journal(&text, &mut records, space)?;
+            replay_journal(&text, &mut records, space, &mut quarantined)?;
+        }
+        if quarantined > 0 {
+            eprintln!(
+                "cacs-search: warning — quarantined {quarantined} damaged record line(s) \
+                 while loading evaluation store {}; the affected evaluations will be \
+                 re-computed",
+                path.display()
+            );
         }
 
         let store = EvalStore {
@@ -399,6 +462,7 @@ impl EvalStore {
                 compactions: 0,
                 failed_compactions: 0,
                 write_error: None,
+                quarantined,
             }),
         };
         // Fold the journal into the snapshot (also pins digest + space
@@ -491,7 +555,7 @@ impl EvalStore {
         if inner.records.contains_key(&rank) {
             return Ok(());
         }
-        let line = format!("{}\n", encode_record(rank, bits));
+        let line = format!("{}\n", append_crc(&encode_record(rank, bits)));
         let result = inner
             .log
             .write_all(line.as_bytes())
@@ -546,6 +610,17 @@ impl EvalStore {
         lock_recover(&self.inner).failed_compactions
     }
 
+    /// Damaged record lines quarantined (skipped) while this handle was
+    /// opened: CRC failures, unparseable payloads, and out-of-space
+    /// ranks — each an independent record, so the rest of the store
+    /// loaded normally and the affected evaluations will simply be
+    /// re-computed. A non-zero value means the store file was damaged
+    /// at rest (disk fault, partial overwrite, external edit); the
+    /// first successful compaction rewrites a clean file.
+    pub fn quarantined_records(&self) -> u64 {
+        lock_recover(&self.inner).quarantined
+    }
+
     /// Takes (and clears) the first write failure latched by
     /// [`EvalStore::record`] — callers using the store through a
     /// fire-and-forget write-through hook check this once at the end of
@@ -580,7 +655,7 @@ impl EvalStore {
         text.push('\n');
         text.push_str(&format!("NRECORDS {}\n", inner.records.len()));
         for (&rank, &bits) in &inner.records {
-            text.push_str(&encode_record(rank, bits));
+            text.push_str(&append_crc(&encode_record(rank, bits)));
             text.push('\n');
         }
         text.push_str("END\n");
@@ -603,19 +678,27 @@ impl EvalStore {
     }
 }
 
-/// Parses a snapshot and validates digest + space.
+/// Parses a snapshot and validates digest + space. Structural damage
+/// (header, digest, space, `NRECORDS`, `END`) refuses the load;
+/// damaged *record* lines are quarantined — skipped and counted into
+/// `quarantined` — because each record is independent.
 fn parse_snapshot(
     text: &str,
     problem: &str,
     space: &ScheduleSpace,
+    quarantined: &mut u64,
 ) -> StoreResult<BTreeMap<u64, Option<u64>>> {
     let bad = |reason: &str| StoreError::Corrupt {
         reason: reason.to_string(),
     };
     let mut lines = text.lines();
-    if lines.next() != Some(HEADER) {
-        return Err(bad("missing or unsupported header"));
-    }
+    // Version-2 snapshots CRC-frame every record line; version-1 files
+    // (pre-integrity) carry bare records and stay readable.
+    let require_crc = match lines.next() {
+        Some(h) if h == HEADER => true,
+        Some(h) if h == HEADER_V1 => false,
+        _ => return Err(bad("missing or unsupported header")),
+    };
     let problem_line = lines.next().ok_or_else(|| bad("missing PROBLEM line"))?;
     let found = problem_line
         .strip_prefix("PROBLEM ")
@@ -657,11 +740,12 @@ fn parse_snapshot(
         let line = lines
             .next()
             .ok_or_else(|| bad("truncated record list (missing END trailer?)"))?;
-        let (rank, bits) = decode_record(line)?;
-        if rank >= space.len() {
-            return Err(bad(&format!("record rank {rank} outside the space")));
+        match decode_stored_record(line, space, require_crc) {
+            Ok((rank, bits)) => {
+                records.insert(rank, bits);
+            }
+            Err(_) => *quarantined += 1,
         }
-        records.insert(rank, bits);
     }
     if lines.next() != Some("END") {
         return Err(bad("missing END trailer (truncated write?)"));
@@ -669,38 +753,39 @@ fn parse_snapshot(
     Ok(records)
 }
 
-/// Replays journal lines into `records`. A malformed **final** line is
-/// a torn append (the process died mid-write) and is ignored; a
-/// malformed line anywhere else is corruption and refused.
+/// Replays journal lines into `records`. A malformed **final** line
+/// with no trailing newline is a torn append (the process died
+/// mid-write) and is silently ignored; a damaged line anywhere else is
+/// at-rest corruption of one independent record and is quarantined —
+/// skipped and counted into `quarantined` — so everything else replays.
 fn replay_journal(
     text: &str,
     records: &mut BTreeMap<u64, Option<u64>>,
     space: &ScheduleSpace,
+    quarantined: &mut u64,
 ) -> StoreResult<()> {
     let lines: Vec<&str> = text.split('\n').filter(|l| !l.is_empty()).collect();
     // A journal whose text does not end in '\n' had its last append torn.
     let torn_tail = !text.is_empty() && !text.ends_with('\n');
     for (i, line) in lines.iter().enumerate() {
         let last = i + 1 == lines.len();
-        match decode_record(line) {
+        // The journal carries no version header, so the CRC frame stays
+        // optional here — a version-1 journal replays unchanged.
+        match decode_stored_record(line, space, false) {
             Ok((rank, bits)) => {
-                if rank >= space.len() {
-                    return Err(StoreError::Corrupt {
-                        reason: format!("journal rank {rank} outside the space"),
-                    });
-                }
                 // The snapshot-covered value wins ties; journal entries
                 // behind an existing key are redundant re-records.
                 records.entry(rank).or_insert(bits);
             }
-            Err(e) => {
+            Err(_) => {
                 // A torn append can only leave a prefix with no
-                // trailing newline; a complete ('\n'-terminated) final
-                // line that fails to parse is genuine corruption.
+                // trailing newline; a complete ('\n'-terminated) line
+                // that fails to verify or parse is genuine damage to
+                // one record — quarantine it and keep the rest.
                 if last && torn_tail {
                     break; // torn final append: everything before it is good
                 }
-                return Err(e);
+                *quarantined += 1;
             }
         }
     }
@@ -851,33 +936,129 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_mid_journal_refused() {
+    fn corrupt_mid_journal_is_quarantined_not_refused() {
+        // One unparseable interior record quarantines that record only:
+        // the store still opens and the healthy record behind it
+        // replays — records are independent facts, unlike checkpoint
+        // lines, whose merged report is indivisible.
         let path = temp_store_path("mid-corrupt");
         let space = space();
         drop(EvalStore::open(&path, "p", &space).unwrap());
         let log = EvalStore::log_path_for(&path);
         std::fs::write(&log, "E zz garbage\nE 3 none\n").unwrap();
-        assert!(matches!(
-            EvalStore::open(&path, "p", &space),
-            Err(StoreError::Corrupt { .. })
-        ));
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.quarantined_records(), 1);
         cleanup(&path);
     }
 
     #[test]
-    fn complete_corrupt_final_line_refused() {
+    fn complete_corrupt_final_line_is_quarantined() {
         // A '\n'-terminated final line is a *completed* append — if it
-        // does not parse, that is corruption, not a torn write, however
-        // short it is.
+        // does not parse, that is damage to one record (not a torn
+        // write), so it is quarantined and counted, however short.
         let path = temp_store_path("short-corrupt");
         let space = space();
         drop(EvalStore::open(&path, "p", &space).unwrap());
         let log = EvalStore::log_path_for(&path);
         std::fs::write(&log, "E 3 none\nE 5\n").unwrap();
-        assert!(matches!(
-            EvalStore::open(&path, "p", &space),
-            Err(StoreError::Corrupt { .. })
-        ));
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.quarantined_records(), 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn byte_flip_mid_journal_quarantines_only_that_record() {
+        // The satellite regression test: flip one byte inside an
+        // interior journal record. Its CRC must catch the damage, the
+        // record must be quarantined, and every other record must
+        // replay intact.
+        let path = temp_store_path("byte-flip");
+        let space = space();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        for m in 1..=4u32 {
+            store
+                .record(&Schedule::new(vec![m, 1]).unwrap(), Some(f64::from(m)))
+                .unwrap();
+        }
+        drop(store);
+
+        let log = EvalStore::log_path_for(&path);
+        let mut bytes = std::fs::read(&log).unwrap();
+        // Flip a digit inside the second record's objective bits — the
+        // payload stays syntactically plausible, only the CRC knows.
+        let second_line_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let target = second_line_start + 6; // inside "E <rank> <bits…"
+        bytes[target] = if bytes[target] == b'7' { b'8' } else { b'7' };
+        std::fs::write(&log, &bytes).unwrap();
+
+        let back = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(back.quarantined_records(), 1);
+        assert_eq!(back.len(), 3);
+        // The three survivors carry their exact original values.
+        for (schedule, value) in back.entries() {
+            let m = schedule.counts()[0];
+            assert_eq!(value.unwrap().to_bits(), f64::from(m).to_bits());
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn version_1_store_files_stay_readable() {
+        // A pre-integrity store: version-1 header, bare (unframed)
+        // records in both snapshot and journal. It must load cleanly
+        // with nothing quarantined, and the first compaction (at open)
+        // must rewrite the snapshot in framed version-2 form.
+        let path = temp_store_path("v1-compat");
+        let space = space();
+        std::fs::write(
+            &path,
+            "CACS-EVAL-STORE 1\nPROBLEM p\nSPACE 2 6 7\nNRECORDS 2\nE 0 none\nE 9 3ff0000000000000\nEND\n",
+        )
+        .unwrap();
+        std::fs::write(EvalStore::log_path_for(&path), "E 11 none\n").unwrap();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.quarantined_records(), 0);
+        drop(store);
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        assert!(rewritten.starts_with("CACS-EVAL-STORE 2\n"));
+        assert!(rewritten.contains("E 9 3ff0000000000000 *"));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v2_snapshot_record_stripped_of_its_crc_is_quarantined() {
+        // Version-2 snapshots are written fully framed, so a record
+        // line *without* a CRC suffix in one is itself damage (e.g. a
+        // partial overwrite pasted older content in) — quarantined.
+        let path = temp_store_path("v2-stripped");
+        let space = space();
+        let store = EvalStore::open(&path, "p", &space).unwrap();
+        store
+            .record(&Schedule::new(vec![2, 2]).unwrap(), Some(0.5))
+            .unwrap();
+        store
+            .record(&Schedule::new(vec![3, 3]).unwrap(), Some(1.5))
+            .unwrap();
+        store.compact().unwrap();
+        drop(store);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped: String = text
+            .lines()
+            .map(|l| match verify_line(l) {
+                Ok((payload, true)) if payload.starts_with("E 1") => format!("{payload}\n"),
+                _ => format!("{l}\n"),
+            })
+            .collect();
+        assert_ne!(stripped, text, "no record line was stripped");
+        std::fs::write(&path, stripped).unwrap();
+
+        let back = EvalStore::open(&path, "p", &space).unwrap();
+        assert_eq!(back.quarantined_records(), 1);
+        assert_eq!(back.len(), 1);
         cleanup(&path);
     }
 
@@ -977,10 +1158,10 @@ mod tests {
             "a 256-record run under a 256-byte threshold must auto-compact"
         );
         // The journal was folded in: it is much smaller than the full
-        // record set (~25 bytes/record × 256 records ≈ 6.4 KiB).
+        // record set (~35 bytes/record × 256 records ≈ 9 KiB).
         let journal = std::fs::read_to_string(EvalStore::log_path_for(&path)).unwrap();
         assert!(
-            journal.len() < 2048,
+            journal.len() < 4096,
             "journal still holds {} bytes — never compacted mid-run",
             journal.len()
         );

@@ -34,6 +34,16 @@ sweep-distributed WORKERS="2" PROBLEM="paper-fast" FLAGS="":
     target/release/cacs-sweep-coord --problem {{PROBLEM}} \
         --workers {{WORKERS}} --shard-size 4096 --selfcheck {{FLAGS}}
 
+# Chaos soak: run the seeded fault matrix (worker death, hang, wire
+# garbage/truncation/byte-flip, scripted disconnect, slow start) over a
+# 2M-schedule sharded sweep and fail unless every cell's merged report
+# is byte-identical to the sequential sweep and the all-workers-dead
+# cell errors with a typed WorkersExhausted inside its budget. Writes
+# BENCH_chaos_soak.json under OUT (the CI chaos-soak gate).
+chaos-soak OUT="/tmp/chaos-soak":
+    mkdir -p {{OUT}}
+    cargo run --release -p cacs-bench --bin chaos-soak -- --out {{OUT}}
+
 # Strategy-aware resumable multistart search: STRATEGY is hybrid,
 # anneal, genetic or tabu — all four run on the unified engine with
 # identical store/resume/selfcheck semantics (see `cacs-opt` for the

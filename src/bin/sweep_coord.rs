@@ -15,19 +15,41 @@
 //!     [--checkpoint FILE] [--resume]
 //!     [--lease-timeout SECS] [--handshake-timeout SECS]
 //!     [--halt-after-leases N]
-//!     [--chaos-die-mid-lease N]              fault-inject the first worker
+//!     [--quarantine-after K] [--backoff-ms MS] [--backoff-cap-ms MS]
+//!     [--jitter-seed S] [--no-respawn]       supervision policy
+//!     [--chaos-die-mid-lease N] [--chaos-hang-mid-lease N]
+//!     [--chaos-hang-secs S] [--chaos-garbage-mid-lease N]
+//!     [--chaos-truncate-mid-lease N] [--chaos-flip-byte-mid-lease N]
+//!     [--chaos-reconnect-after N] [--chaos-seed S]
+//!                                            fault-inject the first worker
 //!     [--selfcheck]                          compare against the
 //!                                            single-process sweep, byte for byte
 //! ```
 //!
+//! # Supervision
+//!
+//! Spawned workers are **supervised** by default: a worker that dies,
+//! hangs past the lease timeout, or speaks garbage is replaced — the
+//! coordinator re-spawns the child (without any chaos flags, so an
+//! injected fault triggers exactly once) after a capped, deterministic
+//! exponential backoff, and quarantines the slot after
+//! `--quarantine-after` consecutive faults. TCP workers are re-admitted
+//! the same way: the listener stays open and a reconnecting worker is
+//! accepted back into the faulted slot. `--no-respawn` restores the
+//! pre-supervision behaviour (a lost worker is lost for good; losing
+//! all of them aborts the sweep with `WorkersExhausted`).
+//!
 //! `--selfcheck` exits with status 3 unless the sharded digest is
 //! byte-identical to the single-process sequential sweep's — the
-//! acceptance gate the CI smoke job enforces, including under worker
-//! kills (`--chaos-die-mid-lease`) and checkpoint/resume cycles
+//! acceptance gate the CI chaos jobs enforce, including under worker
+//! kills, disconnects and checkpoint/resume cycles
 //! (`--halt-after-leases` + `--resume`).
 
 use cacs::cli::{report_digest, ProblemSpec};
-use cacs::distrib::{accept_workers, run_coordinator, CoordinatorConfig, ShardedSweep, WorkerLink};
+use cacs::distrib::{
+    accept_one, accept_workers, run_supervised, CoordinatorConfig, RetryPolicy, ShardedSweep,
+    SupervisedWorker, WorkerLink,
+};
 use cacs::search::{exhaustive_search_with, SweepConfig};
 use std::error::Error;
 use std::path::PathBuf;
@@ -49,7 +71,11 @@ struct Args {
     lease_timeout: Duration,
     handshake_timeout: Duration,
     halt_after_leases: Option<u64>,
-    chaos_die_mid_lease: Option<u64>,
+    retry: RetryPolicy,
+    no_respawn: bool,
+    /// Chaos flags forwarded to the first spawned worker, already in
+    /// `cacs-sweep-worker` flag form (`--die-mid-lease 1 …`).
+    chaos_args: Vec<String>,
     selfcheck: bool,
 }
 
@@ -60,7 +86,12 @@ fn usage() -> ! {
          [--shard-size R] [--chunk C] [--grain G] [--retain all|K] \
          [--checkpoint FILE] [--resume] [--lease-timeout SECS] \
          [--handshake-timeout SECS] [--halt-after-leases N] \
-         [--chaos-die-mid-lease N] [--selfcheck]"
+         [--quarantine-after K] [--backoff-ms MS] [--backoff-cap-ms MS] \
+         [--jitter-seed S] [--no-respawn] \
+         [--chaos-die-mid-lease N] [--chaos-hang-mid-lease N] [--chaos-hang-secs S] \
+         [--chaos-garbage-mid-lease N] [--chaos-truncate-mid-lease N] \
+         [--chaos-flip-byte-mid-lease N] [--chaos-reconnect-after N] \
+         [--chaos-seed S] [--selfcheck]"
     );
     std::process::exit(2)
 }
@@ -82,7 +113,9 @@ fn parse_args() -> Args {
         lease_timeout: Duration::from_secs(120),
         handshake_timeout: Duration::from_secs(10),
         halt_after_leases: None,
-        chaos_die_mid_lease: None,
+        retry: RetryPolicy::default(),
+        no_respawn: false,
+        chaos_args: Vec::new(),
         selfcheck: false,
     };
     let mut i = 1;
@@ -92,7 +125,22 @@ fn parse_args() -> Args {
         v
     };
     while i < argv.len() {
-        match argv[i].as_str() {
+        let flag = argv[i].clone();
+        // `--chaos-X V` forwards to the first spawned worker as `--X V`
+        // (validated as a number here so a typo fails fast). The seed
+        // flag is named `--chaos-seed` on both sides.
+        if let Some(worker_flag) = flag.strip_prefix("--chaos-") {
+            let v = value(&mut i);
+            let _: u64 = v.parse().unwrap_or_else(|_| usage());
+            if worker_flag == "seed" {
+                args.chaos_args.push("--chaos-seed".to_string());
+            } else {
+                args.chaos_args.push(format!("--{worker_flag}"));
+            }
+            args.chaos_args.push(v);
+            continue;
+        }
+        match flag.as_str() {
             "--problem" => args.problem = value(&mut i),
             "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--worker-cmd" => args.worker_cmd = Some(PathBuf::from(value(&mut i))),
@@ -125,8 +173,23 @@ fn parse_args() -> Args {
             "--halt-after-leases" => {
                 args.halt_after_leases = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
-            "--chaos-die-mid-lease" => {
-                args.chaos_die_mid_lease = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            "--quarantine-after" => {
+                args.retry.quarantine_after = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--backoff-ms" => {
+                args.retry.backoff_base =
+                    Duration::from_millis(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--backoff-cap-ms" => {
+                args.retry.backoff_cap =
+                    Duration::from_millis(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--jitter-seed" => {
+                args.retry.jitter_seed = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--no-respawn" => {
+                args.no_respawn = true;
+                i += 1;
             }
             "--selfcheck" => {
                 args.selfcheck = true;
@@ -152,23 +215,21 @@ fn worker_command(args: &Args) -> Result<PathBuf, Box<dyn Error>> {
     Ok(path)
 }
 
-fn spawn_workers(args: &Args) -> Result<Vec<WorkerLink>, Box<dyn Error>> {
-    let cmd = worker_command(args)?;
-    let mut links = Vec::with_capacity(args.workers);
-    for w in 0..args.workers {
-        let mut command = Command::new(&cmd);
-        command.arg("--problem").arg(&args.problem).arg("--stdio");
-        if w == 0 {
-            if let Some(n) = args.chaos_die_mid_lease {
-                command.arg("--die-mid-lease").arg(n.to_string());
-            }
-        }
-        links.push(WorkerLink::spawn_process(
-            format!("proc-{w}:{}", cmd.display()),
-            &mut command,
-        )?);
+/// Spawns one local worker child. Chaos flags apply only when `chaos`
+/// is set (the initial spawn of worker 0); supervised replacements are
+/// always spawned clean, so an injected fault triggers exactly once.
+fn spawn_one(
+    cmd: &PathBuf,
+    problem: &str,
+    label: String,
+    chaos: &[String],
+) -> cacs::distrib::Result<WorkerLink> {
+    let mut command = Command::new(cmd);
+    command.arg("--problem").arg(problem).arg("--stdio");
+    for arg in chaos {
+        command.arg(arg);
     }
-    Ok(links)
+    WorkerLink::spawn_process(label, &mut command)
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -193,6 +254,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         },
         lease_timeout: args.lease_timeout,
         handshake_timeout: args.handshake_timeout,
+        retry: args.retry.clone(),
         // Embedded in checkpoints and validated on --resume: a
         // checkpoint written for a different problem over the same box
         // is refused with a typed error instead of silently merged.
@@ -202,24 +264,70 @@ fn main() -> Result<(), Box<dyn Error>> {
         halt_after_leases: args.halt_after_leases,
     };
 
-    let links = match &args.listen {
-        Some(addr) => {
-            let listener = std::net::TcpListener::bind(addr)?;
+    // Kept alive for the whole run in TCP mode so faulted slots can
+    // re-admit reconnecting workers through the same listener.
+    let listener = match &args.listen {
+        Some(addr) => Some(std::net::TcpListener::bind(addr)?),
+        None => None,
+    };
+
+    let workers: Vec<SupervisedWorker<'_>> = match &listener {
+        Some(listener) => {
             eprintln!(
                 "cacs-sweep-coord: listening on {} for {} workers…",
                 listener.local_addr()?,
                 args.expect
             );
-            accept_workers(&listener, args.expect, Duration::from_secs(300))?
+            let links = accept_workers(listener, args.expect, Duration::from_secs(300))?;
+            links
+                .into_iter()
+                .map(|link| {
+                    if args.no_respawn {
+                        SupervisedWorker::unsupervised(link)
+                    } else {
+                        // Re-admission: the next connection to dial the
+                        // still-open listener takes over the slot.
+                        let window = args.handshake_timeout;
+                        SupervisedWorker::with_respawn(link, move |_incarnation| {
+                            accept_one(listener, window)
+                        })
+                    }
+                })
+                .collect()
         }
         None => {
+            let cmd = worker_command(&args)?;
             eprintln!("cacs-sweep-coord: spawning {} local workers…", args.workers);
-            spawn_workers(&args)?
+            let mut workers = Vec::with_capacity(args.workers);
+            for w in 0..args.workers {
+                let chaos: &[String] = if w == 0 { &args.chaos_args } else { &[] };
+                let link = spawn_one(
+                    &cmd,
+                    &args.problem,
+                    format!("proc-{w}:{}", cmd.display()),
+                    chaos,
+                )?;
+                if args.no_respawn {
+                    workers.push(SupervisedWorker::unsupervised(link));
+                } else {
+                    let cmd = cmd.clone();
+                    let problem = args.problem.clone();
+                    workers.push(SupervisedWorker::with_respawn(link, move |incarnation| {
+                        spawn_one(
+                            &cmd,
+                            &problem,
+                            format!("proc-{w}.{incarnation}:{}", cmd.display()),
+                            &[],
+                        )
+                    }));
+                }
+            }
+            workers
         }
     };
 
     let t = Instant::now();
-    let ShardedSweep { report, stats } = run_coordinator(&space, links, &config)?;
+    let ShardedSweep { report, stats } = run_supervised(&space, workers, &config)?;
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
     eprintln!(
         "cacs-sweep-coord: {} leases completed, {} re-issued, {} workers lost, \
@@ -231,6 +339,25 @@ fn main() -> Result<(), Box<dyn Error>> {
         wall_ms,
         if stats.halted { " (HALTED early)" } else { "" }
     );
+    if !stats.faults.is_empty() || stats.respawns > 0 || !stats.quarantined.is_empty() {
+        let totals = stats
+            .fault_totals()
+            .into_iter()
+            .map(|(kind, n)| format!("{kind}×{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "cacs-sweep-coord: faults: {} ({totals}), {} respawn(s), {} slot(s) quarantined{}",
+            stats.faults.len(),
+            stats.respawns,
+            stats.quarantined.len(),
+            if stats.quarantined.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", stats.quarantined.join(", "))
+            }
+        );
+    }
     match &report.best {
         Some(best) => eprintln!(
             "cacs-sweep-coord: best {best} with objective {:.12} over {} evaluated",

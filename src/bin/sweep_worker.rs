@@ -6,24 +6,47 @@
 //!
 //! ```text
 //! cacs-sweep-worker --problem <spec> [--stdio | --connect HOST:PORT]
-//!                   [--die-mid-lease N]
+//!                   [chaos flags…]
 //! ```
 //!
 //! `<spec>` is `paper-fast`, `paper-full` or `synthetic:<m1>x<m2>x…` and
 //! must match the coordinator's (see [`cacs::cli::ProblemSpec`]); the
 //! swept space itself arrives from the coordinator at handshake, so the
-//! two can never silently disagree on the box. `--die-mid-lease N` is
-//! deterministic fault injection for the CI chaos smoke job: the worker
-//! exits without replying while handling its `N`-th lease.
+//! two can never silently disagree on the box.
+//!
+//! # Chaos flags
+//!
+//! Deterministic fault injection (see [`cacs::distrib::ChaosPlan`]) for
+//! the CI chaos jobs — each triggers at most one scripted fault:
+//!
+//! * `--die-mid-lease N` — exit without replying on the `N`-th lease
+//!   (status 17, so a supervisor can tell the injected death apart),
+//! * `--hang-mid-lease N` / `--hang-secs S` — go silent on the `N`-th
+//!   lease for `S` seconds (default 600), then die,
+//! * `--garbage-mid-lease N` — answer the `N`-th lease with one
+//!   undecodable line, then keep serving,
+//! * `--truncate-mid-lease N` — send only half the `N`-th report
+//!   header, then keep serving,
+//! * `--flip-byte-mid-lease N` — corrupt one seed-chosen byte of the
+//!   `N`-th report (the CRC frame must catch it),
+//! * `--slow-start-ms MS` — sleep before the handshake,
+//! * `--reconnect-after N` — with `--connect`: drop the connection
+//!   after `N` completed leases and dial back in once (the coordinator
+//!   must re-admit the returning worker),
+//! * `--chaos-seed S` — seed for the corruption choices.
 
 use cacs::cli::ProblemSpec;
-use cacs::distrib::{connect_and_serve, worker::serve_stream, FaultPlan};
+use cacs::distrib::{connect_and_serve, worker::serve_stream, ChaosPlan, ServeOutcome};
 use std::error::Error;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: cacs-sweep-worker --problem <paper-fast|paper-full|synthetic:AxBxC> \
-         [--stdio | --connect HOST:PORT] [--die-mid-lease N]"
+         [--stdio | --connect HOST:PORT] [--die-mid-lease N] [--hang-mid-lease N] \
+         [--hang-secs S] [--garbage-mid-lease N] [--truncate-mid-lease N] \
+         [--flip-byte-mid-lease N] [--slow-start-ms MS] [--reconnect-after N] \
+         [--chaos-seed S]"
     );
     std::process::exit(2)
 }
@@ -32,8 +55,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().collect();
     let mut problem: Option<String> = None;
     let mut connect: Option<String> = None;
-    let mut die_mid_lease: Option<u64> = None;
+    let mut chaos = ChaosPlan::default();
     let mut i = 1;
+    let lease_count = |v: Option<&String>| -> Option<u64> { v.and_then(|v| v.parse().ok()) };
     while i < args.len() {
         match args[i].as_str() {
             "--problem" => {
@@ -45,10 +69,46 @@ fn main() -> Result<(), Box<dyn Error>> {
                 i += 2;
             }
             "--die-mid-lease" => {
-                die_mid_lease = args.get(i + 1).and_then(|v| v.parse().ok());
-                if die_mid_lease.is_none() {
-                    usage();
-                }
+                chaos.die_on_lease = Some(lease_count(args.get(i + 1)).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--hang-mid-lease" => {
+                chaos.hang_on_lease = Some(lease_count(args.get(i + 1)).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--hang-secs" => {
+                chaos.hang_for =
+                    Duration::from_secs(lease_count(args.get(i + 1)).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--garbage-mid-lease" => {
+                chaos.garbage_on_lease =
+                    Some(lease_count(args.get(i + 1)).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--truncate-mid-lease" => {
+                chaos.truncate_on_lease =
+                    Some(lease_count(args.get(i + 1)).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--flip-byte-mid-lease" => {
+                chaos.flip_byte_on_lease =
+                    Some(lease_count(args.get(i + 1)).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--slow-start-ms" => {
+                chaos.slow_start = Some(Duration::from_millis(
+                    lease_count(args.get(i + 1)).unwrap_or_else(|| usage()),
+                ));
+                i += 2;
+            }
+            "--reconnect-after" => {
+                chaos.reconnect_after =
+                    Some(lease_count(args.get(i + 1)).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--chaos-seed" => {
+                chaos.seed = lease_count(args.get(i + 1)).unwrap_or_else(|| usage());
                 i += 2;
             }
             "--stdio" => i += 1, // the default
@@ -61,18 +121,34 @@ fn main() -> Result<(), Box<dyn Error>> {
         std::process::exit(2)
     });
     let evaluator = spec.evaluator()?;
-    let fault = FaultPlan { die_mid_lease };
 
     let result = match connect {
-        Some(addr) => connect_and_serve(&addr, evaluator.as_ref(), fault),
+        Some(addr) => loop {
+            match connect_and_serve(&addr, evaluator.as_ref(), chaos) {
+                Ok(ServeOutcome::ReconnectRequested) => {
+                    // Scripted flap: drop the connection, dial back in
+                    // with the chaos disarmed so the worker flaps
+                    // exactly once and then serves to completion.
+                    eprintln!("cacs-sweep-worker: injected disconnect — reconnecting to {addr}");
+                    chaos = ChaosPlan {
+                        seed: chaos.seed,
+                        ..ChaosPlan::default()
+                    };
+                }
+                other => break other,
+            }
+        },
         None => {
             let stdin = std::io::stdin().lock();
             let stdout = std::io::stdout().lock();
-            serve_stream(evaluator.as_ref(), stdin, stdout, fault)
+            // Over stdio there is no address to dial back; a requested
+            // reconnect simply ends the process and the coordinator's
+            // supervisor spawns a replacement.
+            serve_stream(evaluator.as_ref(), stdin, stdout, chaos)
         }
     };
     match result {
-        Ok(()) => Ok(()),
+        Ok(_) => Ok(()),
         Err(cacs::distrib::DistribError::InjectedFault) => {
             eprintln!("cacs-sweep-worker: injected fault — dying mid-lease");
             std::process::exit(17)

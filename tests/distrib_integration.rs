@@ -104,6 +104,77 @@ fn process_workers_survive_a_killed_worker() {
     assert_eq!(stdout, expected_digest(), "digest after worker kill");
 }
 
+/// Corrupting wire bytes (a garbage line, then a flipped byte in a
+/// framed report) must be caught by the protocol's CRC layer, the
+/// worker replaced, and the digest still byte-identical — end to end
+/// through real child processes.
+#[test]
+fn process_workers_survive_corrupted_wire_bytes() {
+    for chaos in [
+        ["--chaos-garbage-mid-lease", "1"],
+        ["--chaos-flip-byte-mid-lease", "2"],
+    ] {
+        let (ok, stdout) = run_coord(&[chaos[0], chaos[1], "--selfcheck"]);
+        assert!(ok, "coordinator failed under {chaos:?}; stdout:\n{stdout}");
+        assert_eq!(stdout, expected_digest(), "digest under {chaos:?}");
+    }
+}
+
+/// A stdio worker that stops serving after one lease (the scripted
+/// disconnect) simply exits; the supervisor must spawn a replacement
+/// child and the sweep must still complete byte-identically.
+#[test]
+fn process_worker_disconnect_is_respawned() {
+    let (ok, stdout) = run_coord(&["--chaos-reconnect-after", "1", "--selfcheck"]);
+    assert!(ok, "coordinator failed; stdout:\n{stdout}");
+    assert_eq!(stdout, expected_digest(), "digest after disconnect+respawn");
+}
+
+/// With supervision disabled, a killed worker stays dead — but the
+/// survivor still finishes the sweep with the identical digest (the
+/// pre-supervision recovery path).
+#[test]
+fn process_workers_survive_a_kill_without_respawn() {
+    let (ok, stdout) = run_coord(&["--chaos-die-mid-lease", "1", "--no-respawn", "--selfcheck"]);
+    assert!(ok, "coordinator failed; stdout:\n{stdout}");
+    assert_eq!(stdout, expected_digest(), "digest without respawn");
+}
+
+/// A checkpoint with one flipped byte must refuse the resume: the
+/// merged report is indivisible, so a damaged line cannot be skipped
+/// the way a store record can.
+#[test]
+fn process_coordinator_refuses_a_corrupt_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("cacs-distrib-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("sweep.ckpt");
+    let ckpt_arg = ckpt.to_str().unwrap();
+
+    let (ok, _) = run_coord(&["--checkpoint", ckpt_arg, "--halt-after-leases", "3"]);
+    assert!(ok, "halted phase failed");
+
+    // Flip one digit inside a CRC-framed body line, leaving its stale
+    // CRC suffix in place.
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let body = lines
+        .iter_mut()
+        .skip(1) // the version header is unframed
+        .find(|l| l.contains(|c: char| c.is_ascii_digit()))
+        .expect("checkpoint body line with a digit");
+    let pos = body.find(|c: char| c.is_ascii_digit()).unwrap();
+    let digit = body.as_bytes()[pos];
+    body.replace_range(pos..=pos, if digit == b'7' { "8" } else { "7" });
+    std::fs::write(&ckpt, lines.join("\n") + "\n").unwrap();
+
+    let (ok, stdout) = run_coord(&["--checkpoint", ckpt_arg, "--resume"]);
+    assert!(
+        !ok,
+        "resume from a corrupted checkpoint must fail; stdout:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Checkpoint → halt → resume across two coordinator *processes*: the
 /// resumed run must complete the sweep and reproduce the sequential
 /// digest byte for byte.
