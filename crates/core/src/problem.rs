@@ -154,6 +154,7 @@ impl CodesignProblem {
         let params: Vec<AppParams> = apps.iter().map(|a| a.params.clone()).collect();
         validate_weights(&params)?;
         for app in &apps {
+            // cacs-lint: allow(float-eq, reason = "exact-zero validation of user input; rejects a degenerate reference, never breaks a tie")
             if !app.reference.is_finite() || app.reference == 0.0 {
                 return Err(CoreError::InvalidProblem {
                     reason: format!("{}: reference must be finite non-zero", app.params.name),

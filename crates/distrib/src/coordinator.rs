@@ -41,6 +41,7 @@ use crate::shard::{Lease, RankRange, ShardPlan};
 use crate::wire::{CoordMsg, ReportAssembler, WorkerMsg, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::worker::{splitmix64, ChaosPlan};
 use crate::{DistribError, Result};
+use cacs_par::sync::lock_recover;
 use cacs_search::{ExhaustiveReport, ScheduleSpace, SweepConfig};
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -306,7 +307,7 @@ struct Shared<'a> {
 impl Shared<'_> {
     /// Records a fault event; re-queues the outstanding range, if any.
     fn fault(&self, label: &str, lease: Option<RankRange>, kind: FaultKind, retry: u32, why: &str) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = lock_recover(&self.state);
         match lease {
             Some(range) => {
                 eprintln!(
@@ -329,13 +330,13 @@ impl Shared<'_> {
     }
 
     fn note_respawn(&self, label: &str, incarnation: u32) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = lock_recover(&self.state);
         eprintln!("cacs-sweep-coord: worker {label} respawned (incarnation {incarnation})");
         st.stats.respawns += 1;
     }
 
     fn quarantine(&self, label: &str) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = lock_recover(&self.state);
         eprintln!(
             "cacs-sweep-coord: worker {label} quarantined after {} consecutive faults",
             self.config.retry.quarantine_after
@@ -475,12 +476,14 @@ fn backoff_delay(retry: &RetryPolicy, slot: u64, attempt: u32) -> Duration {
 /// slot must not delay the scope join of a sweep that no longer needs
 /// it.
 fn sleep_unless_done(shared: &Shared<'_>, delay: Duration) -> bool {
+    // cacs-lint: allow(wall-clock, reason = "respawn-backoff deadline: supervision timing never reaches the merged report")
     let deadline = Instant::now() + delay;
-    let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    let mut st = lock_recover(&shared.state);
     loop {
         if st.fatal.is_some() || st.stats.halted || st.remaining_ranks == 0 {
             return true;
         }
+        // cacs-lint: allow(wall-clock, reason = "respawn-backoff deadline: supervision timing never reaches the merged report")
         let now = Instant::now();
         if now >= deadline {
             return false;
@@ -601,7 +604,7 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>, consecutive: &mut u32
     loop {
         // Claim the next range, or wait for one to be re-queued.
         let range = {
-            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut st = lock_recover(&shared.state);
             loop {
                 if st.fatal.is_some() || st.stats.halted || st.remaining_ranks == 0 {
                     drop(st);
@@ -643,7 +646,7 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>, consecutive: &mut u32
         match collect_report(&mut link, shared, &lease) {
             Ok(report) => {
                 *consecutive = 0;
-                let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                let mut st = lock_recover(&shared.state);
                 let space = shared.space;
                 st.checkpoint.record(space, range, &report);
                 st.remaining_ranks -= range.len();
@@ -1064,6 +1067,7 @@ mod tests {
             retry: retry.clone(),
             ..CoordinatorConfig::default()
         };
+        // cacs-lint: allow(wall-clock, reason = "test clocks the bounded-time exhaustion guarantee, not a sweep decision")
         let t = Instant::now();
         let result = sweep_in_process_chaos(&eval, &space, 2, &config, |_, _| ChaosPlan {
             die_on_lease: Some(1),
@@ -1231,6 +1235,7 @@ mod tests {
             lease_timeout: Duration::from_secs(120),
             ..CoordinatorConfig::default()
         };
+        // cacs-lint: allow(wall-clock, reason = "test clocks the bounded-time WorkersExhausted guarantee, not a sweep decision")
         let t = std::time::Instant::now();
         let result = run_coordinator(&space, vec![link], &config);
         assert!(matches!(result, Err(DistribError::WorkersExhausted { .. })));
@@ -1255,6 +1260,7 @@ mod tests {
                 // Hand-rolled v1 worker: unframed lines, version 1.
                 let incoming = endpoint.incoming;
                 let outgoing = endpoint.outgoing;
+                // cacs-lint: allow(unframed-wire-write, reason = "v1-compat test: a version-1 peer speaks unframed lines by design")
                 outgoing.send("HELLO cacs-sweep 1".to_string()).unwrap();
                 let space_line = incoming.recv().unwrap();
                 let CoordMsg::Space(maxes) = CoordMsg::decode(&space_line).unwrap() else {

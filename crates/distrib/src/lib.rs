@@ -74,6 +74,9 @@
 //! * [`worker::serve_stream`] / [`connect_and_serve`] — the worker
 //!   side; [`ServeOutcome`] tells a TCP worker whether to re-dial.
 
+// Unit tests unwrap freely; the shipped library is held to
+// `clippy::unwrap_used` (see [workspace.lints]).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -8,6 +8,7 @@
 //! a hung worker simply stops producing lines and the lease times out.
 
 use crate::Result;
+use cacs_par::sync::lock_recover;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::{Command, Stdio};
@@ -144,7 +145,7 @@ impl WorkerLink {
             receiver,
         )
         .with_reaper(move || {
-            let mut child = reaper_child.lock().unwrap_or_else(|e| e.into_inner());
+            let mut child = lock_recover(&reaper_child);
             // A worker that honoured EXIT is already gone; the kill then
             // fails harmlessly and wait() only reaps.
             let _ = child.kill();
@@ -336,8 +337,10 @@ mod tests {
     #[test]
     fn channel_pair_carries_lines_both_ways() {
         let (mut link, endpoint) = WorkerLink::channel_pair("test");
+        // cacs-lint: allow(unframed-wire-write, reason = "transport-level echo test; not protocol traffic")
         link.send("ping").unwrap();
         assert_eq!(endpoint.incoming.recv().unwrap(), "ping");
+        // cacs-lint: allow(unframed-wire-write, reason = "transport-level echo test; not protocol traffic")
         endpoint.outgoing.send("pong".to_string()).unwrap();
         assert_eq!(
             link.recv_deadline(Duration::from_millis(100)),
@@ -353,6 +356,7 @@ mod tests {
             link.recv_deadline(Duration::from_millis(50)),
             LinkRecv::Closed
         );
+        // cacs-lint: allow(unframed-wire-write, reason = "transport-level echo test; not protocol traffic")
         assert!(link.send("ping").is_err());
     }
 

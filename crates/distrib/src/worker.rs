@@ -188,6 +188,7 @@ pub fn serve_lines<E: ScheduleEvaluator + ?Sized>(
                 }
                 if chaos.garbage_on_lease == Some(sweeps_handled) {
                     let noise = splitmix64(chaos.seed ^ lease);
+                    // cacs-lint: allow(unframed-wire-write, reason = "chaos injection: the garbage line must be corrupt to exercise rejection")
                     send_line(&format!("?garbage {noise:016x}"))?;
                     continue;
                 }

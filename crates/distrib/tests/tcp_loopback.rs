@@ -4,6 +4,8 @@
 //! single-process sweep — including a worker that dies mid-lease and a
 //! flaky worker that drops its connection and is re-admitted.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_distrib::worker::serve_stream;
 use cacs_distrib::{
     accept_one, accept_workers, connect_and_serve, run_coordinator, run_supervised, synthetic,

@@ -4,6 +4,8 @@
 //! reject **every** single-byte substitution of a framed line, which is
 //! the end-to-end integrity guarantee the chaos soak leans on.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_distrib::wire::{CoordMsg, WorkerMsg};
 use proptest::prelude::*;
 

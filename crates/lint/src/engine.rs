@@ -1,0 +1,260 @@
+//! Ties lexer, rules and suppressions together over one file or a
+//! whole workspace walk.
+
+use crate::lexer::lex;
+use crate::rules::{check_file, is_known_rule, META_BAD_SUPPRESSION, META_UNUSED_SUPPRESSION};
+use crate::suppress::{parse_comment, ParsedComment, Suppression};
+use std::path::{Path, PathBuf};
+
+/// One reportable violation, after suppression processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id, or a meta id (`bad-suppression`, `unused-suppression`).
+    pub rule: String,
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+/// One suppression that actually fired, recorded for the report — the
+/// running inventory of intentional contract exceptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsedSuppression {
+    pub rules: Vec<String>,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    pub violations: Vec<Diagnostic>,
+    pub suppressions: Vec<UsedSuppression>,
+}
+
+/// Lints one file's source under its workspace-relative `path` (the
+/// path decides rule scope, so tests can lint fixture text *as if* it
+/// lived in a scoped directory).
+pub fn lint_source(path: &str, source: &str) -> FileOutcome {
+    let lexed = lex(source);
+    let mut out = FileOutcome::default();
+
+    // Collect suppressions; malformed ones are diagnostics themselves.
+    let mut suppressions: Vec<(Suppression, bool /* used */)> = Vec::new();
+    for comment in &lexed.comments {
+        match parse_comment(comment) {
+            ParsedComment::NotASuppression => {}
+            ParsedComment::Bad { line, message } => out.violations.push(Diagnostic {
+                rule: META_BAD_SUPPRESSION.to_string(),
+                path: path.to_string(),
+                line,
+                message,
+            }),
+            ParsedComment::Ok(s) => {
+                let unknown: Vec<&String> = s.rules.iter().filter(|r| !is_known_rule(r)).collect();
+                if let Some(bad) = unknown.first() {
+                    out.violations.push(Diagnostic {
+                        rule: META_BAD_SUPPRESSION.to_string(),
+                        path: path.to_string(),
+                        line: s.line,
+                        message: format!("unknown rule `{bad}` in allow(...)"),
+                    });
+                } else {
+                    suppressions.push((s, false));
+                }
+            }
+        }
+    }
+
+    // A suppression on its own line covers the next token-bearing line;
+    // a trailing one covers its own line.
+    let token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let target_line = |s: &Suppression| -> u32 {
+        if s.own_line {
+            token_lines
+                .iter()
+                .copied()
+                .find(|&l| l > s.line)
+                .unwrap_or(s.line)
+        } else {
+            s.line
+        }
+    };
+    let targets: Vec<u32> = suppressions.iter().map(|(s, _)| target_line(s)).collect();
+
+    for raw in check_file(path, &lexed) {
+        let suppressed = suppressions
+            .iter_mut()
+            .zip(&targets)
+            .find(|((s, _), &target)| target == raw.line && s.rules.iter().any(|r| r == raw.rule));
+        if let Some(((_, used), _)) = suppressed {
+            *used = true;
+        } else {
+            out.violations.push(Diagnostic {
+                rule: raw.rule.to_string(),
+                path: path.to_string(),
+                line: raw.line,
+                message: raw.message,
+            });
+        }
+    }
+
+    for (s, used) in suppressions {
+        if used {
+            out.suppressions.push(UsedSuppression {
+                rules: s.rules,
+                path: path.to_string(),
+                line: s.line,
+                reason: s.reason,
+            });
+        } else {
+            out.violations.push(Diagnostic {
+                rule: META_UNUSED_SUPPRESSION.to_string(),
+                path: path.to_string(),
+                line: s.line,
+                message: format!(
+                    "allow({}) matched no violation — stale suppressions hide contract drift; \
+                     delete it or move it next to the violating line",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    out.violations.sort_by(|a, b| {
+        (a.line, a.rule.as_str(), a.message.as_str()).cmp(&(
+            b.line,
+            b.rule.as_str(),
+            b.message.as_str(),
+        ))
+    });
+    out
+}
+
+/// Whether a workspace-relative path is lintable source: Rust files
+/// outside vendored code, build artifacts and the linter's own
+/// deliberately-violating fixture corpus.
+pub fn is_lintable(rel: &str) -> bool {
+    rel.ends_with(".rs")
+        && !rel.starts_with("crates/vendor/")
+        && !rel.starts_with("crates/lint/tests/fixtures/")
+        && !rel.starts_with("target/")
+        && !rel.contains("/target/")
+}
+
+/// Walks `root` and returns every lintable `.rs` file, sorted by
+/// workspace-relative path so reports are byte-stable.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == ".git" || name == "target" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = relative_path(root, &path);
+                if is_lintable(&rel) {
+                    files.push((rel, path));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `/`-separated path of `path` relative to `root`.
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BAD: &str = "fn f() { let t = Instant::now(); }\n";
+
+    #[test]
+    fn violation_surfaces_with_rule_path_line() {
+        let out = lint_source("crates/search/src/hybrid.rs", BAD);
+        assert_eq!(out.violations.len(), 1);
+        let d = &out.violations[0];
+        assert_eq!(
+            (d.rule.as_str(), d.path.as_str(), d.line),
+            ("wall-clock", "crates/search/src/hybrid.rs", 1)
+        );
+    }
+
+    #[test]
+    fn own_line_suppression_covers_next_line() {
+        let src = "// cacs-lint: allow(wall-clock, reason = \"test\")\nlet t = Instant::now();\n";
+        let out = lint_source("crates/search/src/hybrid.rs", src);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.suppressions.len(), 1);
+        assert_eq!(out.suppressions[0].reason, "test");
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let src = "let t = Instant::now(); // cacs-lint: allow(wall-clock, reason = \"test\")\n";
+        let out = lint_source("crates/search/src/hybrid.rs", src);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.suppressions.len(), 1);
+    }
+
+    #[test]
+    fn missing_reason_is_a_violation_and_does_not_suppress() {
+        let src = "// cacs-lint: allow(wall-clock)\nlet t = Instant::now();\n";
+        let out = lint_source("crates/search/src/hybrid.rs", src);
+        let rules: Vec<&str> = out.violations.iter().map(|d| d.rule.as_str()).collect();
+        assert_eq!(rules, vec!["bad-suppression", "wall-clock"]);
+    }
+
+    #[test]
+    fn unknown_rule_is_a_violation() {
+        let src = "// cacs-lint: allow(no-such-rule, reason = \"x\")\nlet a = 1;\n";
+        let out = lint_source("crates/search/src/hybrid.rs", src);
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn unused_suppression_is_a_violation() {
+        let src = "// cacs-lint: allow(wall-clock, reason = \"nothing here\")\nlet a = 1;\n";
+        let out = lint_source("crates/search/src/hybrid.rs", src);
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].rule, "unused-suppression");
+    }
+
+    #[test]
+    fn wrong_rule_suppression_leaves_violation_and_reports_unused() {
+        let src =
+            "// cacs-lint: allow(float-eq, reason = \"wrong rule\")\nlet t = Instant::now();\n";
+        let out = lint_source("crates/search/src/hybrid.rs", src);
+        let rules: Vec<&str> = out.violations.iter().map(|d| d.rule.as_str()).collect();
+        assert!(rules.contains(&"wall-clock"));
+        assert!(rules.contains(&"unused-suppression"));
+    }
+
+    #[test]
+    fn fixture_corpus_and_vendor_are_not_lintable() {
+        assert!(!is_lintable("crates/vendor/rand/src/lib.rs"));
+        assert!(!is_lintable("crates/lint/tests/fixtures/bad/wall_clock.rs"));
+        assert!(!is_lintable("target/debug/build/x.rs"));
+        assert!(is_lintable("crates/search/src/lib.rs"));
+    }
+}

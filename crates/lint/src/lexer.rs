@@ -1,0 +1,534 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The build environment is offline, so the linter cannot lean on `syn`
+//! or `proc-macro2`; instead this module tokenises Rust source by hand.
+//! The token model is deliberately coarse — identifiers, literals,
+//! (multi-char) punctuation — because every rule in
+//! [`crate::rules`] matches short token sequences, not grammar. What the
+//! lexer *must* get right is what would otherwise cause false
+//! positives: comments (including nested block comments), string
+//! literals in all their forms (cooked, raw `r#"…"#`, byte `b"…"`,
+//! `br#"…"#`), char literals vs lifetimes, and float vs integer vs
+//! range-expression (`1..2`) disambiguation. Pattern text that appears
+//! inside a string or a comment never reaches a rule.
+//!
+//! Line numbers are 1-based; every token and comment carries the line
+//! it *starts* on, which is where diagnostics anchor and where
+//! suppression comments attach.
+
+/// The coarse classification a rule can dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`rank`, `fn`, `HashMap`, …).
+    Ident,
+    /// An integer literal (`42`, `0xff_u64`).
+    Int,
+    /// A floating-point literal (`1.0`, `1e-3`, `2f64`).
+    Float,
+    /// Any string literal form (cooked, raw, byte). Text is the raw
+    /// source slice including quotes.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-char operators the rules care about
+    /// (`::`, `==`, `!=`, `+=`, `*=`, `..`, …) arrive as one token.
+    Punct,
+}
+
+/// One source token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, kept out of the token stream but retained so the
+/// suppression parser can see `// cacs-lint: allow(...)` markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Doc comments (`///`, `//!`, `/**`, `/*!`) never carry
+    /// suppressions — examples of the syntax in docs must not act.
+    pub doc: bool,
+    /// True when no token precedes the comment on its own line: such a
+    /// comment suppresses the *next* token-bearing line, a trailing
+    /// comment suppresses its own line.
+    pub own_line: bool,
+}
+
+/// The lexed view of one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenises `source`. Unterminated constructs (string, block comment)
+/// are tolerated by consuming to end-of-file — the linter must degrade
+/// gracefully on mid-edit files rather than panic.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        last_token_line: 0,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Line of the most recent token, to classify `own_line` comments.
+    last_token_line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.last_token_line = line;
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.cooked_string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = self.last_token_line != line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `///` and `//!` are doc comments; `////…` dividers are not.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.out.comments.push(Comment {
+            text,
+            line,
+            doc,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let own_line = self.last_token_line != line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let doc = (text.starts_with("/**") && !text.starts_with("/***")) || text.starts_with("/*!");
+        self.out.comments.push(Comment {
+            text,
+            line,
+            doc,
+            own_line,
+        });
+    }
+
+    fn cooked_string(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        text.push(self.bump().expect("opening quote")); // `"`
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string bodies: after `r`/`br` and the `#` run, consume until
+    /// `"` followed by the same number of `#`.
+    fn raw_string(&mut self, mut text: String, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: what we consumed as hashes
+            // belongs to an identifier. Emit punct hashes + ident.
+            self.push(TokKind::Punct, text, line);
+            return;
+        }
+        text.push('"');
+        self.bump();
+        'outer: while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if self.peek(0) == Some('#') {
+                        text.push('#');
+                        self.bump();
+                        seen += 1;
+                    } else {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        text.push(self.bump().expect("opening tick")); // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing tick.
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(esc) = self.bump() {
+                            text.push(esc);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                // Plain one-char literal `'x'`.
+                text.push(c);
+                self.bump();
+                text.push('\'');
+                self.bump();
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // Lifetime: `'a`, `'static`.
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            _ => self.push(TokKind::Punct, text, line),
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O'))
+        {
+            text.push(self.bump().expect("0"));
+            text.push(self.bump().expect("radix"));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Fraction — but `1..2` is a range and `x.0` tuple access
+            // never starts at a digit, so only a digit after `.` counts.
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.peek(0) == Some('.')
+                && !self
+                    .peek(1)
+                    .is_some_and(|c| c == '.' || c == '_' || c.is_alphabetic())
+            {
+                // Trailing-dot float `1.` (not `1..`, not `1.method()`).
+                float = true;
+                text.push('.');
+                self.bump();
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let sign = matches!(self.peek(1), Some('+' | '-'));
+                let digit_at = if sign { 2 } else { 1 };
+                if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                    float = true;
+                    text.push(self.bump().expect("e"));
+                    if sign {
+                        text.push(self.bump().expect("sign"));
+                    }
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Suffix (`u64`, `f64`, …) — an `f` suffix makes it a float.
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String/char-literal prefixes.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"' | '#')) => self.raw_string(text, line),
+            ("b", Some('"')) => {
+                // Byte string: reuse the cooked scanner, then re-label.
+                self.cooked_string();
+                let tok = self.out.tokens.last_mut().expect("string token");
+                tok.text.insert(0, 'b');
+                tok.line = line;
+            }
+            ("b", Some('\'')) => {
+                self.char_or_lifetime();
+                let tok = self.out.tokens.last_mut().expect("char token");
+                tok.text.insert(0, 'b');
+                tok.kind = TokKind::Char;
+                tok.line = line;
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let c0 = self.peek(0).expect("punct char");
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let three = [Some(c0), c1, c2];
+        if three == [Some('.'), Some('.'), Some('=')] {
+            self.bump();
+            self.bump();
+            self.bump();
+            self.push(TokKind::Punct, "..=".to_string(), line);
+            return;
+        }
+        const TWO: &[&str] = &[
+            "::", "==", "!=", "<=", ">=", "->", "=>", "+=", "-=", "*=", "/=", "%=", "&&", "||",
+            "..",
+        ];
+        if let Some(c1) = c1 {
+            let pair: String = [c0, c1].iter().collect();
+            if TWO.contains(&pair.as_str()) {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Punct, pair, line);
+                return;
+            }
+        }
+        self.bump();
+        self.push(TokKind::Punct, c0.to_string(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_pattern_text() {
+        let src = r#"
+            // Instant::now() in a comment
+            let s = "Instant::now()";
+            /* nested /* SystemTime::now */ still comment */
+        "#;
+        let lexed = lex(src);
+        assert!(!lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "Instant"));
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let x = r#"quote " inside"# + 1;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quote")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "1"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(c: char) { let x = 'x'; let e = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == "'\\n'"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("a(1.0, 2, 1..4, 1e-3, 7f64, x.0, 0xff)");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e-3", "7f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "0xff"));
+    }
+
+    #[test]
+    fn multichar_puncts_are_single_tokens() {
+        let toks = kinds("a == b != c :: d += e");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "+="]);
+    }
+
+    #[test]
+    fn own_line_vs_trailing_comments() {
+        let src = "let a = 1; // trailing\n// own line\nlet b = 2;";
+        let lexed = lex(src);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let lexed = lex("/// doc\n//! inner\n// plain\n//// divider\n");
+        let docs: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn lines_are_one_based_and_accurate() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,142 @@
+//! The `cacs-lint` binary. See the crate docs in `lib.rs` for what the
+//! rules enforce; this file is argument handling and exit codes.
+//!
+//! Exit codes: `0` clean (or advisory mode), `1` violations under
+//! `--deny-all`, `2` usage or I/O error.
+
+use cacs_lint::engine::{collect_workspace_files, lint_source};
+use cacs_lint::report::{render_json, RunSummary};
+use cacs_lint::rules::RULES;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cacs-lint — workspace determinism-and-robustness linter
+
+USAGE:
+    cacs-lint [OPTIONS] [FILES...]
+
+OPTIONS:
+    --deny-all        Exit non-zero on any violation (the CI gate).
+                      Without it the run is advisory: diagnostics are
+                      printed but the exit code stays 0.
+    --root <DIR>      Workspace root to walk (default: current dir).
+                      Rule scopes are matched against paths relative to
+                      this root.
+    --json <PATH>     Write the machine-readable report (BENCH_lint.json
+                      format) to PATH.
+    --list-rules      Print every rule id and the contract it protects.
+    -h, --help        This text.
+
+FILES, when given, are linted instead of walking the workspace; their
+paths are taken relative to --root for rule scoping.
+
+Suppression syntax (reason mandatory, checked):
+    // cacs-lint: allow(<rule>[, <rule>…], reason = \"why this is sound\")
+";
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage_error("--json needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<22} {}", r.id, r.contract);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option `{other}`"));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+
+    let targets: Vec<(String, PathBuf)> = if files.is_empty() {
+        match collect_workspace_files(&root) {
+            Ok(t) => t,
+            Err(e) => return io_error(&format!("walking {}: {e}", root.display())),
+        }
+    } else {
+        files
+            .into_iter()
+            .map(|f| {
+                let rel = cacs_lint::engine::relative_path(&root, &f);
+                (rel, f)
+            })
+            .collect()
+    };
+
+    let mut summary = RunSummary {
+        files_scanned: 0,
+        violations: Vec::new(),
+        suppressions: Vec::new(),
+    };
+    for (rel, path) in &targets {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => return io_error(&format!("reading {}: {e}", path.display())),
+        };
+        summary.files_scanned += 1;
+        let outcome = lint_source(rel, &source);
+        summary.violations.extend(outcome.violations);
+        summary.suppressions.extend(outcome.suppressions);
+    }
+    summary
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    summary
+        .suppressions
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    for v in &summary.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+    println!(
+        "cacs-lint: {} file(s), {} rule(s), {} violation(s), {} suppression(s)",
+        summary.files_scanned,
+        RULES.len(),
+        summary.violations.len(),
+        summary.suppressions.len()
+    );
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, render_json(&summary)) {
+            return io_error(&format!("writing {}: {e}", path.display()));
+        }
+    }
+
+    if deny_all && !summary.violations.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("cacs-lint: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn io_error(message: &str) -> ExitCode {
+    eprintln!("cacs-lint: {message}");
+    ExitCode::from(2)
+}

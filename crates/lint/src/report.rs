@@ -1,0 +1,167 @@
+//! Machine-readable JSON report, hand-rolled (std-only crate) and
+//! byte-stable for a given tree: files sorted, violations and
+//! suppressions in (path, line) order, no timestamps.
+//!
+//! The `host` block mirrors the other `BENCH_*.json` files so the
+//! committed `BENCH_lint.json` slots into the existing trajectory
+//! format.
+
+use crate::engine::{Diagnostic, UsedSuppression};
+use crate::rules::RULES;
+
+/// Everything one run produced, ready to serialise.
+pub struct RunSummary {
+    pub files_scanned: usize,
+    pub violations: Vec<Diagnostic>,
+    pub suppressions: Vec<UsedSuppression>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .map(|s| s.trim().to_string())
+        .ok()
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders the full JSON document.
+pub fn render_json(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"lint\",\n");
+    out.push_str("  \"tool\": \"cacs-lint\",\n");
+
+    out.push_str("  \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        let comma = if i + 1 < RULES.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"contract\": \"{}\" }}{comma}\n",
+            esc(r.id),
+            esc(r.contract)
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"violation_count\": {},\n  \"suppression_count\": {},\n",
+        summary.files_scanned,
+        summary.violations.len(),
+        summary.suppressions.len()
+    ));
+
+    out.push_str("  \"violations\": [");
+    for (i, v) in summary.violations.iter().enumerate() {
+        let comma = if i + 1 < summary.violations.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "\n    {{ \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\" }}{comma}",
+            esc(&v.rule),
+            esc(&v.path),
+            v.line,
+            esc(&v.message)
+        ));
+    }
+    out.push_str(if summary.violations.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    out.push_str("  \"suppressions\": [");
+    for (i, s) in summary.suppressions.iter().enumerate() {
+        let comma = if i + 1 < summary.suppressions.len() {
+            ","
+        } else {
+            ""
+        };
+        let rules: Vec<String> = s.rules.iter().map(|r| format!("\"{}\"", esc(r))).collect();
+        out.push_str(&format!(
+            "\n    {{ \"rules\": [{}], \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\" }}{comma}",
+            rules.join(", "),
+            esc(&s.path),
+            s.line,
+            esc(&s.reason)
+        ));
+    }
+    out.push_str(if summary.suppressions.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    let logical_cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+    let cacs_threads = match std::env::var("CACS_THREADS") {
+        Ok(v) => format!("\"{}\"", esc(&v)),
+        Err(_) => "null".to_string(),
+    };
+    out.push_str(&format!(
+        "  \"host\": {{ \"hostname\": \"{}\", \"logical_cores\": {logical_cores}, \"cacs_threads_env\": {cacs_threads} }}\n",
+        esc(&hostname())
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_valid_shaped_json_with_escapes() {
+        let summary = RunSummary {
+            files_scanned: 2,
+            violations: vec![Diagnostic {
+                rule: "wall-clock".to_string(),
+                path: "a/b.rs".to_string(),
+                line: 3,
+                message: "a \"quoted\" message\nwith newline".to_string(),
+            }],
+            suppressions: vec![UsedSuppression {
+                rules: vec!["float-eq".to_string()],
+                path: "c/d.rs".to_string(),
+                line: 7,
+                reason: "back\\slash".to_string(),
+            }],
+        };
+        let json = render_json(&summary);
+        assert!(json.contains("\"violation_count\": 1"));
+        assert!(json.contains("a \\\"quoted\\\" message\\nwith newline"));
+        assert!(json.contains("back\\\\slash"));
+        assert!(json.contains("\"files_scanned\": 2"));
+        // Every rule is described.
+        for r in RULES {
+            assert!(json.contains(r.id));
+        }
+    }
+
+    #[test]
+    fn empty_run_renders_empty_arrays() {
+        let summary = RunSummary {
+            files_scanned: 0,
+            violations: vec![],
+            suppressions: vec![],
+        };
+        let json = render_json(&summary);
+        assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"suppressions\": []"));
+    }
+}

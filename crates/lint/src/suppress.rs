@@ -1,0 +1,216 @@
+//! In-source suppression comments.
+//!
+//! A violation that is *intentional* must say so where it happens:
+//!
+//! ```text
+//! // cacs-lint: allow(wall-clock, reason = "lease timeout, not a search decision")
+//! let deadline = Instant::now() + timeout;
+//! ```
+//!
+//! The grammar is `cacs-lint: allow(<rule>[, <rule>…], reason = "…")`.
+//! The reason is **mandatory** — an allow without one is itself a
+//! diagnostic (`bad-suppression`), as is an unknown rule id or a
+//! suppression that matched nothing (`unused-suppression`). A
+//! suppression on its own line covers the next token-bearing line; a
+//! trailing suppression covers its own line. Doc comments never carry
+//! suppressions, so the syntax can be quoted in documentation.
+
+use crate::lexer::Comment;
+
+/// A successfully parsed suppression, not yet matched to a diagnostic.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Whether the comment stood alone on its line (covers the next
+    /// token-bearing line) or trailed code (covers its own line).
+    pub own_line: bool,
+    /// Rule ids this suppression covers.
+    pub rules: Vec<String>,
+    /// The mandatory human reason.
+    pub reason: String,
+}
+
+/// Outcome of looking at one comment.
+#[derive(Debug)]
+pub enum ParsedComment {
+    /// Not a suppression marker at all.
+    NotASuppression,
+    /// A well-formed suppression.
+    Ok(Suppression),
+    /// Carried the `cacs-lint:` marker but was malformed; the message
+    /// becomes a `bad-suppression` diagnostic.
+    Bad { line: u32, message: String },
+}
+
+/// The marker that turns a comment into machine-read syntax.
+const MARKER: &str = "cacs-lint:";
+
+/// Parses one comment. Only plain (non-doc) comments participate.
+pub fn parse_comment(comment: &Comment) -> ParsedComment {
+    if comment.doc {
+        return ParsedComment::NotASuppression;
+    }
+    let body = comment
+        .text
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim();
+    let Some(rest) = body.strip_prefix(MARKER) else {
+        return ParsedComment::NotASuppression;
+    };
+    let bad = |message: &str| ParsedComment::Bad {
+        line: comment.line,
+        message: message.to_string(),
+    };
+    let rest = rest.trim();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return bad("expected `allow(<rule>, reason = \"…\")` after `cacs-lint:`");
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return bad("expected `(` after `allow`");
+    };
+    let Some(inner) = rest.strip_suffix(')').map(str::trim).or_else(|| {
+        // Tolerate trailing text after `)` only if it's empty; find the
+        // matching close paren conservatively (no parens in reasons
+        // would need escaping — keep it simple: last `)`).
+        rest.rfind(')').map(|i| rest[..i].trim())
+    }) else {
+        return bad("unclosed `allow(...)`");
+    };
+
+    let mut rules = Vec::new();
+    let mut reason: Option<String> = None;
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(rest) = part.strip_prefix("reason") {
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix('=') else {
+                return bad("expected `=` after `reason`");
+            };
+            let rest = rest.trim();
+            let Some(quoted) = rest.strip_prefix('"').and_then(|r| r.strip_suffix('"')) else {
+                return bad("reason must be a double-quoted string");
+            };
+            if quoted.trim().is_empty() {
+                return bad("reason must not be empty");
+            }
+            reason = Some(quoted.to_string());
+        } else if part
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            rules.push(part.to_string());
+        } else {
+            return bad(&format!(
+                "`{part}` is not a rule id (lowercase-hyphen) or `reason = \"…\"`"
+            ));
+        }
+    }
+    if rules.is_empty() {
+        return bad("allow() must name at least one rule");
+    }
+    let Some(reason) = reason else {
+        return bad("suppression is missing its mandatory `reason = \"…\"`");
+    };
+    ParsedComment::Ok(Suppression {
+        line: comment.line,
+        own_line: comment.own_line,
+        rules,
+        reason,
+    })
+}
+
+/// Splits on commas that are not inside the quoted reason string.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_one(src: &str) -> ParsedComment {
+        let lexed = lex(src);
+        parse_comment(&lexed.comments[0])
+    }
+
+    #[test]
+    fn well_formed_single_rule() {
+        let p = parse_one("// cacs-lint: allow(wall-clock, reason = \"timeout path\")\n");
+        let ParsedComment::Ok(s) = p else {
+            panic!("expected Ok, got {p:?}")
+        };
+        assert_eq!(s.rules, vec!["wall-clock"]);
+        assert_eq!(s.reason, "timeout path");
+        assert!(s.own_line);
+    }
+
+    #[test]
+    fn multiple_rules_and_commas_in_reason() {
+        let p = parse_one(
+            "// cacs-lint: allow(wall-clock, float-eq, reason = \"a, quoted, reason\")\n",
+        );
+        let ParsedComment::Ok(s) = p else {
+            panic!("expected Ok, got {p:?}")
+        };
+        assert_eq!(s.rules, vec!["wall-clock", "float-eq"]);
+        assert_eq!(s.reason, "a, quoted, reason");
+    }
+
+    #[test]
+    fn missing_reason_is_bad() {
+        let p = parse_one("// cacs-lint: allow(wall-clock)\n");
+        let ParsedComment::Bad { message, .. } = p else {
+            panic!("expected Bad, got {p:?}")
+        };
+        assert!(message.contains("mandatory"));
+    }
+
+    #[test]
+    fn empty_reason_is_bad() {
+        let p = parse_one("// cacs-lint: allow(wall-clock, reason = \"  \")\n");
+        assert!(matches!(p, ParsedComment::Bad { .. }));
+    }
+
+    #[test]
+    fn doc_comments_never_suppress() {
+        let p = parse_one("/// // cacs-lint: allow(wall-clock, reason = \"docs\")\n");
+        assert!(matches!(p, ParsedComment::NotASuppression));
+    }
+
+    #[test]
+    fn unrelated_comments_pass_through() {
+        let p = parse_one("// just a comment about cacs things\n");
+        assert!(matches!(p, ParsedComment::NotASuppression));
+    }
+
+    #[test]
+    fn trailing_suppression_is_not_own_line() {
+        let src = "let x = 1; // cacs-lint: allow(float-eq, reason = \"r\")\n";
+        let lexed = lex(src);
+        let ParsedComment::Ok(s) = parse_comment(&lexed.comments[0]) else {
+            panic!("expected Ok")
+        };
+        assert!(!s.own_line);
+    }
+}

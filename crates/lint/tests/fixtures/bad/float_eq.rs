@@ -1,0 +1,5 @@
+// Fixture: f64 equality in a decision path.
+// The violation is on line 4 exactly.
+pub fn is_better(objective: f64) -> bool {
+    objective == 0.5
+}

@@ -1,0 +1,6 @@
+// Fixture: unordered container in digest-emitting code.
+// The violation is on line 4 exactly.
+pub fn digest_lines() -> Vec<String> {
+    let m = std::collections::HashMap::<u64, u64>::new();
+    m.iter().map(|(k, v)| format!("{k} {v}")).collect()
+}

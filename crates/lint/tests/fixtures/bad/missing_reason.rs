@@ -1,0 +1,6 @@
+// Fixture: an allow without its mandatory reason is itself an error.
+// The bad suppression is on line 3; the wall-clock hit is on line 5.
+// cacs-lint: allow(wall-clock)
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

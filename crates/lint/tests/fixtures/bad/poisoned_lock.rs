@@ -1,0 +1,5 @@
+// Fixture: ad-hoc poison propagation.
+// The violation is on line 4 exactly.
+pub fn read(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}

@@ -1,0 +1,5 @@
+// Fixture: ad-hoc thread outside the sanctioned spawners.
+// The violation is on line 4 exactly.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

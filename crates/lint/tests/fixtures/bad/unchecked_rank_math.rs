@@ -1,0 +1,5 @@
+// Fixture: raw arithmetic on rank values (the PR-2 overflow class).
+// The violation is on line 4 exactly.
+pub fn next(rank: u64, stride: u64) -> u64 {
+    rank + stride
+}

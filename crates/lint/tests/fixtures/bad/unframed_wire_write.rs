@@ -1,0 +1,5 @@
+// Fixture: hand-built wire line sent without CRC framing.
+// The violation is on line 4 exactly.
+pub fn greet(link: &mut WorkerLink) -> std::io::Result<()> {
+    link.send("HELLO cacs-sweep 2")
+}

@@ -1,0 +1,4 @@
+// Fixture: an allow naming a rule that does not exist.
+// The bad suppression is on line 3.
+// cacs-lint: allow(no-such-rule, reason = "this rule id is not real")
+pub fn f() {}

@@ -1,0 +1,6 @@
+// Fixture: wall-clock read in a decision path.
+// The violation is on line 4 exactly.
+pub fn decide() -> bool {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() % 2 == 0
+}

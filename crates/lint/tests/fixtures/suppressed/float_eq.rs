@@ -1,0 +1,5 @@
+// Fixture: justified float equality.
+pub fn is_sentinel(objective: f64) -> bool {
+    // cacs-lint: allow(float-eq, reason = "fixture: comparing against an exact sentinel constant, not a computed value")
+    objective == 0.5
+}

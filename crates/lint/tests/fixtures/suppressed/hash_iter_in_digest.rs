@@ -1,0 +1,7 @@
+// Fixture: justified HashMap in digest code.
+pub fn digest_lines() -> Vec<String> {
+    // cacs-lint: allow(hash-iter-in-digest, reason = "fixture: drained into a BTreeMap before any byte is emitted")
+    let m = std::collections::HashMap::<u64, u64>::new();
+    let sorted: std::collections::BTreeMap<_, _> = m.into_iter().collect();
+    sorted.iter().map(|(k, v)| format!("{k} {v}")).collect()
+}

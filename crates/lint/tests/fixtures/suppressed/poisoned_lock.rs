@@ -1,0 +1,5 @@
+// Fixture: a justified direct lock.
+pub fn read(m: &std::sync::Mutex<u32>) -> u32 {
+    // cacs-lint: allow(poisoned-lock, reason = "fixture: single-threaded accessor, poison is unreachable")
+    *m.lock().unwrap()
+}

@@ -1,0 +1,5 @@
+// Fixture: a justified raw spawn.
+pub fn fire_and_forget() {
+    // cacs-lint: allow(raw-spawn, reason = "fixture: detached logger thread, outside CACS_THREADS budget by design")
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,5 @@
+// Fixture: justified raw rank arithmetic.
+pub fn next(rank: u64) -> u64 {
+    // cacs-lint: allow(unchecked-rank-math, reason = "fixture: rank < 8 by construction, cannot wrap")
+    rank + 1
+}

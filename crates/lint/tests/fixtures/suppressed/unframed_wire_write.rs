@@ -1,0 +1,5 @@
+// Fixture: justified unframed write.
+pub fn corrupt(link: &mut WorkerLink) -> std::io::Result<()> {
+    // cacs-lint: allow(unframed-wire-write, reason = "fixture: chaos injection must emit a deliberately corrupt line")
+    link.send("?garbage")
+}

@@ -1,0 +1,6 @@
+// Fixture: the same wall-clock read, justified in source.
+pub fn report_elapsed() -> std::time::Duration {
+    // cacs-lint: allow(wall-clock, reason = "fixture: elapsed display only, never a decision")
+    let t = std::time::Instant::now();
+    t.elapsed()
+}

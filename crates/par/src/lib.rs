@@ -77,6 +77,64 @@ thread_local! {
     static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Poison-tolerant synchronisation shared by the whole workspace.
+pub mod sync {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Recovers a possibly poisoned mutex.
+    ///
+    /// Every critical section in this workspace leaves its guarded
+    /// state consistent (each mutation completes before the lock
+    /// drops), so poisoning carries no information here: it only means
+    /// *some* thread panicked while holding the guard — typically
+    /// cleanup running during the unwind of a panicked evaluator.
+    /// Propagating the poison would abort every unrelated search
+    /// sharing the structure; recovering keeps them running while the
+    /// panicking search alone dies.
+    ///
+    /// This is the one blessed way to take a lock in determinism-
+    /// bearing code; `cacs-lint`'s `poisoned-lock` rule rejects ad-hoc
+    /// `.lock().unwrap()` / `.expect()` / inline `into_inner` recovery
+    /// everywhere else.
+    pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+        // cacs-lint: allow(poisoned-lock, reason = "this is the lock_recover definition itself")
+        mutex.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::lock_recover;
+        use std::sync::{Arc, Mutex};
+
+        #[test]
+        fn recovers_a_poisoned_mutex_with_state_intact() {
+            let m = Arc::new(Mutex::new(7u32));
+            let poisoner = Arc::clone(&m);
+            std::thread::scope(|s| {
+                // The join error is the panic we injected on purpose.
+                let _ = s
+                    .spawn(move || {
+                        // cacs-lint: allow(poisoned-lock, reason = "test takes the clean lock it is about to poison")
+                        let _guard = poisoner.lock().expect("first lock is clean");
+                        panic!("poison the mutex");
+                    })
+                    .join();
+            });
+            assert!(m.lock().is_err(), "mutex should be poisoned");
+            assert_eq!(*lock_recover(&m), 7);
+            *lock_recover(&m) = 8;
+            assert_eq!(*lock_recover(&m), 8);
+        }
+
+        #[test]
+        fn plain_locks_pass_through() {
+            let m = Mutex::new(1u32);
+            *lock_recover(&m) += 1;
+            assert_eq!(*lock_recover(&m), 2);
+        }
+    }
+}
+
 /// The worker-thread budget for parallel regions.
 ///
 /// Reads `CACS_THREADS` (`0` is treated as 1; a non-numeric value is

@@ -918,7 +918,7 @@ mod tests {
         let mut shared = SharedEvalCache::new(&inner);
         let a = Schedule::new(vec![1, 2]).unwrap();
         shared.warm_start([(a.clone(), Some(3.0))]);
-        shared.set_write_through(|s, v| written.lock().unwrap().push((s.counts().to_vec(), v)));
+        shared.set_write_through(|s, v| lock_recover(&written).push((s.counts().to_vec(), v)));
 
         let session = shared.session();
         session.evaluate(&a); // warm hit: no write

@@ -669,7 +669,7 @@ mod tests {
         let beyond = exhaustive_search_range(
             &eval,
             &space,
-            space.len() + 3,
+            space.len().saturating_add(3),
             u64::MAX,
             &SweepConfig::default(),
         )

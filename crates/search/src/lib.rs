@@ -74,6 +74,9 @@
 //! # }
 //! ```
 
+// Unit tests unwrap freely; the shipped library is held to
+// `clippy::unwrap_used` (see [workspace.lints]).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -113,15 +116,8 @@ pub use tabu::{tabu_search, TabuConfig};
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SearchError>;
 
-/// Recovers a possibly poisoned mutex.
-///
-/// Every critical section in this crate leaves its guarded state
-/// consistent (each mutation completes before the lock drops), so
-/// poisoning carries no information here: it only means *some* thread
-/// panicked while holding the guard — typically cleanup running during
-/// the unwind of a panicked evaluator. Propagating the poison would
-/// abort every unrelated search sharing the structure; recovering keeps
-/// them running while the panicking search alone dies.
-pub(crate) fn lock_recover<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|e| e.into_inner())
-}
+/// The workspace's poison-tolerant locking idiom, re-exported from
+/// [`cacs_par::sync`] (the shared definition) for this crate's
+/// internal call sites. See `cacs_par::sync::lock_recover` for the
+/// rationale; `cacs-lint`'s `poisoned-lock` rule enforces its use.
+pub use cacs_par::sync::lock_recover;

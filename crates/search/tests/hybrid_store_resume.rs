@@ -5,6 +5,8 @@
 //! store reproduces the uninterrupted run's reports **bit for bit**
 //! while executing exactly `uninterrupted − stored` fresh evaluations.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_sched::Schedule;
 use cacs_search::{
     hybrid_search_multistart_with_store, EvalStore, FnEvaluator, HybridConfig, ScheduleEvaluator,

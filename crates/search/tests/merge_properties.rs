@@ -5,6 +5,8 @@
 //! reports in any arrival order and still match the sequential sweep
 //! bit-for-bit.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_sched::Schedule;
 use cacs_search::{
     exhaustive_search, exhaustive_search_range, ExhaustiveReport, FnEvaluator, ScheduleSpace,

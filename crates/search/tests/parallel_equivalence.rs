@@ -2,6 +2,8 @@
 //! search crate must produce bit-identical results to the forced
 //! sequential execution (`cacs_par::sequential`), at any thread count.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_sched::Schedule;
 use cacs_search::{
     exhaustive_search, hybrid_search, hybrid_search_multistart, FnEvaluator, HybridConfig,

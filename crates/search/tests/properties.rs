@@ -1,6 +1,8 @@
 //! Property-based tests for the search algorithms: optimality relations,
 //! evaluation-count economy and memo consistency on random objectives.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_sched::Schedule;
 use cacs_search::{
     exhaustive_search, genetic_search, hybrid_search, simulated_annealing, tabu_search,

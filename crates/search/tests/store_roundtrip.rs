@@ -4,6 +4,8 @@
 //! journal-replay and compaction cycles bit-for-bit, and truncated
 //! snapshots are refused.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_search::store::{decode_record, encode_record, EvalStore, StoreError};
 use cacs_search::ScheduleSpace;
 use proptest::prelude::*;

@@ -6,6 +6,8 @@
 //! additionally runs across this whole suite), and seeded runs
 //! reproduce exactly.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_sched::Schedule;
 use cacs_search::{
     run_multistart, tabu_search, AnnealConfig, FnEvaluator, GeneticConfig, HybridConfig,

@@ -7,6 +7,8 @@
 //! accounting rule: warm-started store entries count toward **no**
 //! metric until a search requests them.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_sched::Schedule;
 use cacs_search::{
     run_multistart, AnnealConfig, EvalStore, FnEvaluator, GeneticConfig, ScheduleEvaluator,

@@ -9,6 +9,8 @@
 //! harmless to concurrent tests because every parallel region in the
 //! workspace is deterministic at any thread count.
 
+#![allow(clippy::unwrap_used)] // tests unwrap freely
+
 use cacs_sched::Schedule;
 use cacs_search::{
     exhaustive_search_with, ExhaustiveReport, FnEvaluator, ScheduleEvaluator, ScheduleSpace,
@@ -22,7 +24,7 @@ static ENV_LOCK: Mutex<()> = Mutex::new(());
 /// Runs `f` with `CACS_THREADS` pinned to `threads`, restoring the
 /// previous value afterwards.
 fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
-    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = cacs_par::sync::lock_recover(&ENV_LOCK);
     let saved = std::env::var("CACS_THREADS").ok();
     std::env::set_var("CACS_THREADS", threads);
     let result = f();

@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Hybrid search from round-robin plus one dense start.
     println!("\n== hybrid search on the 4-app problem (fast budget) ==");
     let starts = [Schedule::round_robin(4)?, Schedule::new(vec![3, 2, 3, 2])?];
+    // cacs-lint: allow(wall-clock, reason = "example prints elapsed wall time; results never depend on it")
     let t0 = Instant::now();
     let outcome = problem.optimize(&starts, &HybridConfig::default())?;
     for s in &outcome.searches {
@@ -78,6 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if run_exhaustive {
         println!("\n== exhaustive verification (4-D space) ==");
+        // cacs-lint: allow(wall-clock, reason = "example prints elapsed wall time; results never depend on it")
         let t0 = Instant::now();
         let exhaustive = problem.optimize_exhaustive()?;
         println!(

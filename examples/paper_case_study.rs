@@ -68,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== Hybrid search (paper: starts (4,2,2) and (1,2,1)) ==");
     let starts = [Schedule::new(vec![4, 2, 2])?, Schedule::new(vec![1, 2, 1])?];
+    // cacs-lint: allow(wall-clock, reason = "example prints elapsed wall time; results never depend on it")
     let t0 = Instant::now();
     let outcome = problem.optimize(&starts, &HybridConfig::default())?;
     for s in &outcome.searches {
@@ -91,6 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n== Exhaustive verification (paper: 76 schedules, optimum (3,2,3), P_all = 0.195) =="
     );
+    // cacs-lint: allow(wall-clock, reason = "example prints elapsed wall time; results never depend on it")
     let t0 = Instant::now();
     let exhaustive = problem.optimize_exhaustive()?;
     println!(

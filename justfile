@@ -5,10 +5,13 @@ verify:
     cargo build --release
     cargo test -q
 
-# Lint exactly like CI does.
+# Lint exactly like CI does: format, clippy, then the workspace
+# determinism-and-robustness linter (see README "Determinism
+# invariants" and crates/lint).
 lint:
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
+    cargo run --release -p cacs-lint -- --deny-all --json BENCH_lint.json
 
 # Regenerate the perf-trajectory baselines (BENCH_*.json at the repo
 # root). Uses the reduced synthesis budget; pass FLAGS="--full" for the

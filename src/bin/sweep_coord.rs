@@ -326,6 +326,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     };
 
+    // cacs-lint: allow(wall-clock, reason = "CLI reports elapsed wall time on stderr; the report bytes never depend on it")
     let t = Instant::now();
     let ShardedSweep { report, stats } = run_supervised(&space, workers, &config)?;
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;

@@ -381,6 +381,7 @@ fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Err
         limit: args.kill_after,
         calls: AtomicUsize::new(0),
     };
+    // cacs-lint: allow(wall-clock, reason = "CLI reports elapsed wall time; digests and search decisions never depend on it")
     let t = Instant::now();
     let outcome = run_multistart(&killer, &space, &starts, &strategy, store.as_ref())?;
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
