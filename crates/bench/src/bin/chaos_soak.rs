@@ -28,7 +28,7 @@ use cacs_distrib::{
 use cacs_search::{exhaustive_search_with, ScheduleSpace, SweepConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const WORKERS: usize = 3;
 const SHARD_SIZE: u64 = 65_536;
@@ -211,7 +211,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "chaos-soak: reference sequential sweep over {box_spec} ({} schedules)…",
         space.len()
     );
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let reference = exhaustive_search_with(&eval, &space, &sweep)?;
     let reference_lines = report_to_lines(&space, 0, &reference)?;
     eprintln!(
@@ -236,7 +236,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             retry: retry.clone(),
             ..CoordinatorConfig::default()
         };
-        let t = Instant::now();
+        let t = cacs_obs::now();
         let sharded = sweep_in_process_chaos(&eval, &space, WORKERS, &config, cell.chaos)?;
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         let lines = report_to_lines(&space, 0, &sharded.report)?;
@@ -291,7 +291,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             + exhaustion_config.handshake_timeout
             + exhaustion_config.retry.backoff_cap)
             .as_secs_f64();
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let result = sweep_in_process_chaos(
         &exhaustion_eval,
         &exhaustion_space,

@@ -49,7 +49,6 @@ use cacs_search::{
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -77,6 +76,14 @@ const STREAMING_BOX: [u32; 3] = [128, 128, 128];
 const SHARDED_WORKERS: usize = 2;
 const SHARDED_SHARD_SIZE: u64 = 65_536;
 
+/// Repetitions per recorder state in the obs-overhead measurement; the
+/// minimum of each side is compared, so one noisy rep cannot fail the
+/// gate.
+const OBS_OVERHEAD_REPS: usize = 5;
+
+/// Ceiling on the recorder-enabled slowdown of one full evaluation.
+const OBS_OVERHEAD_LIMIT_PCT: f64 = 3.0;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
@@ -98,12 +105,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ----- schedule-search baseline ---------------------------------
     eprintln!("perf-baseline: exhaustive sweep (parallel, {threads} threads)…");
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let par = problem.optimize_exhaustive()?;
     let par_ms = t.elapsed().as_secs_f64() * 1e3;
 
     eprintln!("perf-baseline: exhaustive sweep (forced sequential)…");
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let seq = cacs_par::sequential(|| problem.optimize_exhaustive())?;
     let seq_ms = t.elapsed().as_secs_f64() * 1e3;
 
@@ -111,7 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     eprintln!("perf-baseline: hybrid multistart…");
     let starts = [Schedule::new(vec![4, 2, 2])?, Schedule::new(vec![1, 2, 1])?];
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let outcome = problem.optimize(&starts, &HybridConfig::default())?;
     let hybrid_ms = t.elapsed().as_secs_f64() * 1e3;
 
@@ -131,7 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         problem.optimize_hybrid_multistart(&starts, &HybridConfig::default(), Some(&store))?;
     drop(store);
     let store = EvalStore::open(&store_path, problem_digest, &space)?;
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let resumed =
         problem.optimize_hybrid_multistart(&starts, &HybridConfig::default(), Some(&store))?;
     let resumed_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -277,7 +284,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("perf-baseline: shootout — {}…", strategy.name());
         let store_path = shootout_dir.join(format!("{}.store", strategy.name()));
         let store = EvalStore::open(&store_path, problem_digest, &space)?;
-        let t = Instant::now();
+        let t = cacs_obs::now();
         let first = problem.optimize_with_strategy(&starts, strategy, Some(&store))?;
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         drop(store);
@@ -383,7 +390,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         eprintln!("perf-baseline: evaluating {schedule}…");
-        let t = Instant::now();
+        let t = cacs_obs::now();
         let eval = problem.evaluate_schedule(&schedule)?;
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         let pso_evals: usize = eval.apps.iter().map(|a| a.controller.evaluations).sum();
@@ -418,6 +425,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&cost_path, &cost_json)?;
     eprintln!("perf-baseline: wrote {}", cost_path.display());
 
+    // ----- observability-overhead baseline --------------------------
+    // The cacs-obs contract measured: a full stage-1 evaluation with the
+    // recorder enabled must cost < OBS_OVERHEAD_LIMIT_PCT more than with
+    // it disabled, and must produce bit-identical scientific results.
+    // Min-of-N on both sides cancels scheduler noise; the warmup rep
+    // keeps cold caches out of the disabled (first-measured) side.
+    let obs_schedule = Schedule::new(vec![4, 2, 2])?;
+    eprintln!(
+        "perf-baseline: obs overhead — {OBS_OVERHEAD_REPS}× {obs_schedule} with the recorder \
+         disabled, then enabled…"
+    );
+    let time_eval = |reps: usize| -> Result<(f64, Option<u64>), Box<dyn std::error::Error>> {
+        let _ = problem.evaluate_schedule(&obs_schedule)?; // warmup
+        let mut min_ms = f64::INFINITY;
+        let mut bits = None;
+        for _ in 0..reps {
+            let t = cacs_obs::now();
+            let eval = problem.evaluate_schedule(&obs_schedule)?;
+            min_ms = min_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            bits = eval.overall_performance.map(f64::to_bits);
+        }
+        Ok((min_ms, bits))
+    };
+    cacs_obs::reset();
+    let (disabled_ms, disabled_bits) = time_eval(OBS_OVERHEAD_REPS)?;
+    cacs_obs::enable();
+    let (enabled_ms, enabled_bits) = time_eval(OBS_OVERHEAD_REPS)?;
+    cacs_obs::disable();
+    let recorded_evals = cacs_obs::metrics::EVAL_SCHEDULES.get();
+    let overhead_pct = (enabled_ms - disabled_ms) / disabled_ms.max(1e-9) * 100.0;
+    let digest_unchanged = disabled_bits.is_some() && disabled_bits == enabled_bits;
+    // The recorder only saw the enabled reps (plus their warmup).
+    let recorder_saw_all = recorded_evals == (OBS_OVERHEAD_REPS as u64) + 1;
+    let obs_overhead_ok = overhead_pct < OBS_OVERHEAD_LIMIT_PCT;
+
+    let mut obs_json = String::new();
+    writeln!(obs_json, "{{")?;
+    writeln!(obs_json, "  \"bench\": \"obs_overhead\",")?;
+    writeln!(obs_json, "  \"budget\": \"{}\",", json_escape(&budget))?;
+    writeln!(obs_json, "  \"threads\": {threads},")?;
+    writeln!(obs_json, "  \"host\": {host},")?;
+    writeln!(obs_json, "  \"schedule\": \"{obs_schedule}\",")?;
+    writeln!(obs_json, "  \"reps\": {OBS_OVERHEAD_REPS},")?;
+    writeln!(obs_json, "  \"wall_ms_disabled\": {disabled_ms:.3},")?;
+    writeln!(obs_json, "  \"wall_ms_enabled\": {enabled_ms:.3},")?;
+    writeln!(obs_json, "  \"overhead_pct\": {overhead_pct:.3},")?;
+    writeln!(
+        obs_json,
+        "  \"overhead_limit_pct\": {OBS_OVERHEAD_LIMIT_PCT:.1},"
+    )?;
+    writeln!(obs_json, "  \"overhead_ok\": {obs_overhead_ok},")?;
+    writeln!(
+        obs_json,
+        "  \"p_all_bits\": \"{:016x}\",",
+        enabled_bits.unwrap_or(0)
+    )?;
+    writeln!(
+        obs_json,
+        "  \"recorder_saw_all_evals\": {recorder_saw_all},"
+    )?;
+    writeln!(obs_json, "  \"digest_unchanged\": {digest_unchanged}")?;
+    writeln!(obs_json, "}}")?;
+    let obs_path = out_dir.join("BENCH_obs_overhead.json");
+    std::fs::write(&obs_path, &obs_json)?;
+    eprintln!(
+        "perf-baseline: wrote {} (overhead {overhead_pct:+.2}%)",
+        obs_path.display()
+    );
+
     // ----- streaming-sweep baseline ---------------------------------
     // The multi-million-schedule engine: a 128³ synthetic box streamed
     // at constant memory, cross-checked bitwise against the forced
@@ -436,13 +512,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         space.len()
     );
     let rss_before_kib = peak_rss_kib();
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let stream_par = exhaustive_search_with(&eval, &space, &sweep)?;
     let stream_par_ms = t.elapsed().as_secs_f64() * 1e3;
     let rss_after_kib = peak_rss_kib();
 
     eprintln!("perf-baseline: streaming sweep (forced sequential)…");
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let stream_seq = cacs_par::sequential(|| exhaustive_search_with(&eval, &space, &sweep))?;
     let stream_seq_ms = t.elapsed().as_secs_f64() * 1e3;
 
@@ -460,7 +536,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sweep: sweep.clone(),
         ..CoordinatorConfig::default()
     };
-    let t = Instant::now();
+    let t = cacs_obs::now();
     let sharded = sweep_in_process(&eval, &space, SHARDED_WORKERS, &coord)?;
     let sharded_ms = t.elapsed().as_secs_f64() * 1e3;
     let sharded_digest = cacs_distrib::wire::report_to_lines(&space, 0, &sharded.report)?;
@@ -591,6 +667,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "streaming sweep peak RSS grew by {} KiB (limit {} KiB) — not constant-memory",
             rss_delta_kib.unwrap_or(0),
             STREAMING_RSS_LIMIT_KIB
+        )
+        .into());
+    }
+    if !digest_unchanged {
+        return Err(format!(
+            "recorder-enabled evaluation changed the result bits: {disabled_bits:?} vs {enabled_bits:?}"
+        )
+        .into());
+    }
+    if !recorder_saw_all {
+        return Err(format!(
+            "recorder missed evaluations: saw {recorded_evals}, expected {}",
+            OBS_OVERHEAD_REPS + 1
+        )
+        .into());
+    }
+    if !obs_overhead_ok {
+        return Err(format!(
+            "obs recording overhead {overhead_pct:.2}% exceeds the {OBS_OVERHEAD_LIMIT_PCT}% budget \
+             ({disabled_ms:.3} ms disabled vs {enabled_ms:.3} ms enabled)"
         )
         .into());
     }

@@ -184,6 +184,10 @@ impl LiftedPlant {
     ///
     /// Same conditions as [`LiftedPlant::step_matrix`].
     pub fn period_map(&self, gains: &[Matrix]) -> Result<Matrix> {
+        // Fires once per PSO objective call — sampled so an enabled
+        // recorder stays within the perf-baseline overhead budget.
+        let _t =
+            cacs_obs::time_sampled(&cacs_obs::metrics::PERIOD_MAP_NS, cacs_obs::HOT_PATH_SAMPLE);
         self.check_gains(gains)?;
         let m = self.tasks();
         let l = self.state_dim();

@@ -91,6 +91,12 @@ pub fn simulate_worst_case(
     reference: f64,
     horizon: f64,
 ) -> Result<Response> {
+    // Fires once per surviving PSO candidate — sampled so an enabled
+    // recorder stays within the perf-baseline overhead budget.
+    let _t = cacs_obs::time_sampled(
+        &cacs_obs::metrics::SIMULATE_WORST_CASE_NS,
+        cacs_obs::HOT_PATH_SAMPLE,
+    );
     let m = lifted.tasks();
     let l = lifted.state_dim();
     if gains.len() != m || feedforwards.len() != m {

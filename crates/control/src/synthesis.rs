@@ -298,8 +298,12 @@ fn params_to_gains(params: &[f64], m: usize, l: usize) -> Vec<Matrix> {
 /// ```
 pub fn synthesize(lifted: &LiftedPlant, config: &SynthesisConfig) -> Result<DesignedController> {
     config.validate()?;
+    let _t = cacs_obs::time(&cacs_obs::metrics::SYNTHESIS_NS);
     let mut last_err = None;
     for attempt in 0..MAX_SYNTHESIS_ATTEMPTS {
+        if attempt > 0 {
+            cacs_obs::metrics::SYNTHESIS_RETRIES.incr();
+        }
         let mut attempt_config = config.clone();
         attempt_config.pso.seed = config
             .pso
@@ -373,12 +377,15 @@ fn synthesize_direct(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptR
         // The objective is a pure function of the candidate gains, so
         // the particle batch evaluates in parallel (bit-identical to the
         // sequential path; see cacs-pso's crate docs).
-        let shared = Pso::new(config.pso)
-            .minimize_parallel(&shared_bounds, |params| {
-                let gains = vec![Matrix::row(params); m];
-                evaluate_gains(lifted, &gains, config).score
-            })
-            .map_err(map_err)?;
+        let shared = {
+            let _t = cacs_obs::time(&cacs_obs::metrics::PHASE_A_NS);
+            Pso::new(config.pso)
+                .minimize_parallel(&shared_bounds, |params| {
+                    let gains = vec![Matrix::row(params); m];
+                    evaluate_gains(lifted, &gains, config).score
+                })
+                .map_err(map_err)?
+        };
         evaluations += shared.evaluations;
         let mut replicated = Vec::with_capacity(m * l);
         for _ in 0..m {
@@ -398,11 +405,14 @@ fn synthesize_direct(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptR
     })?;
     let mut pso_b = config.pso;
     pso_b.iterations = pso_b.iterations.saturating_mul(m.max(1));
-    let result = Pso::new(pso_b)
-        .minimize_with_guesses_parallel(&bounds, &guesses, |params| {
-            evaluate_gains(lifted, &params_to_gains(params, m, l), config).score
-        })
-        .map_err(map_err)?;
+    let result = {
+        let _t = cacs_obs::time(&cacs_obs::metrics::PHASE_B_NS);
+        Pso::new(pso_b)
+            .minimize_with_guesses_parallel(&bounds, &guesses, |params| {
+                evaluate_gains(lifted, &params_to_gains(params, m, l), config).score
+            })
+            .map_err(map_err)?
+    };
     evaluations += result.evaluations;
 
     finish(

@@ -60,6 +60,8 @@ impl CodesignProblem {
     ///   that finds no stabilising design is reported as an error rather
     ///   than silently treated as infeasible.
     pub fn evaluate_schedule(&self, schedule: &Schedule) -> Result<ScheduleEvaluation> {
+        let _t = cacs_obs::time(&cacs_obs::metrics::EVAL_SCHEDULE_NS);
+        cacs_obs::metrics::EVAL_SCHEDULES.incr();
         if schedule.app_count() != self.app_count() {
             return Err(CoreError::InvalidProblem {
                 reason: format!(

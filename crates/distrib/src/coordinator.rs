@@ -47,7 +47,7 @@ use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Retry/backoff/quarantine policy for supervised workers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -304,9 +304,23 @@ struct Shared<'a> {
     lease_ids: AtomicU64,
 }
 
+/// The metrics counter tracking `kind` (the structured side channel of
+/// the stderr fault log; totals also live in [`SweepStats::faults`]).
+fn fault_counter(kind: FaultKind) -> &'static cacs_obs::Counter {
+    match kind {
+        FaultKind::Handshake => &cacs_obs::metrics::FAULTS_HANDSHAKE,
+        FaultKind::Died => &cacs_obs::metrics::FAULTS_DIED,
+        FaultKind::Timeout => &cacs_obs::metrics::FAULTS_TIMEOUT,
+        FaultKind::Garbage => &cacs_obs::metrics::FAULTS_GARBAGE,
+        FaultKind::Corrupt => &cacs_obs::metrics::FAULTS_CORRUPT,
+        FaultKind::Spawn => &cacs_obs::metrics::FAULTS_SPAWN,
+    }
+}
+
 impl Shared<'_> {
     /// Records a fault event; re-queues the outstanding range, if any.
     fn fault(&self, label: &str, lease: Option<RankRange>, kind: FaultKind, retry: u32, why: &str) {
+        fault_counter(kind).incr();
         let mut st = lock_recover(&self.state);
         match lease {
             Some(range) => {
@@ -316,6 +330,7 @@ impl Shared<'_> {
                 );
                 st.pending.push_back(range);
                 st.stats.leases_reissued += 1;
+                cacs_obs::metrics::LEASES_REISSUED.incr();
             }
             None => eprintln!("cacs-sweep-coord: worker {label} fault #{retry} ({kind}: {why})"),
         }
@@ -330,12 +345,14 @@ impl Shared<'_> {
     }
 
     fn note_respawn(&self, label: &str, incarnation: u32) {
+        cacs_obs::metrics::RESPAWNS.incr();
         let mut st = lock_recover(&self.state);
         eprintln!("cacs-sweep-coord: worker {label} respawned (incarnation {incarnation})");
         st.stats.respawns += 1;
     }
 
     fn quarantine(&self, label: &str) {
+        cacs_obs::metrics::QUARANTINED_WORKERS.incr();
         let mut st = lock_recover(&self.state);
         eprintln!(
             "cacs-sweep-coord: worker {label} quarantined after {} consecutive faults",
@@ -476,15 +493,15 @@ fn backoff_delay(retry: &RetryPolicy, slot: u64, attempt: u32) -> Duration {
 /// slot must not delay the scope join of a sweep that no longer needs
 /// it.
 fn sleep_unless_done(shared: &Shared<'_>, delay: Duration) -> bool {
-    // cacs-lint: allow(wall-clock, reason = "respawn-backoff deadline: supervision timing never reaches the merged report")
-    let deadline = Instant::now() + delay;
+    // Supervision deadlines read the sanctioned clock; backoff timing
+    // never reaches the merged report.
+    let deadline = cacs_obs::now() + delay;
     let mut st = lock_recover(&shared.state);
     loop {
         if st.fatal.is_some() || st.stats.halted || st.remaining_ranks == 0 {
             return true;
         }
-        // cacs-lint: allow(wall-clock, reason = "respawn-backoff deadline: supervision timing never reaches the merged report")
-        let now = Instant::now();
+        let now = cacs_obs::now();
         if now >= deadline {
             return false;
         }
@@ -565,6 +582,7 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>, consecutive: &mut u32
     // milliseconds, so the handshake runs under its own (much shorter)
     // deadline — a dead spawn is detected promptly instead of after a
     // full lease_timeout sized for shard compute.
+    let handshake_start = cacs_obs::stamp();
     let handshake_why: Option<String> = match link.recv_deadline(shared.config.handshake_timeout) {
         LinkRecv::Line(line) => match WorkerMsg::decode(&line) {
             Ok(WorkerMsg::Hello { version })
@@ -586,6 +604,7 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>, consecutive: &mut u32
         shared.fault(&label, None, FaultKind::Handshake, *consecutive, &why);
         return WorkerExit::Lost;
     }
+    cacs_obs::metrics::HANDSHAKE_NS.observe_since(&handshake_start);
     if link
         .send(&CoordMsg::Space(shared.space.max_counts().to_vec()).encode_framed())
         .is_err()
@@ -631,6 +650,7 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>, consecutive: &mut u32
             grain: sweep.dispatch_grain,
             retain: sweep.max_results,
         };
+        let lease_start = cacs_obs::stamp();
         if link.send(&msg.encode_framed()).is_err() {
             *consecutive += 1;
             shared.fault(
@@ -645,6 +665,8 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>, consecutive: &mut u32
 
         match collect_report(&mut link, shared, &lease) {
             Ok(report) => {
+                cacs_obs::metrics::LEASE_NS.observe_since(&lease_start);
+                cacs_obs::metrics::LEASES_COMPLETED.incr();
                 *consecutive = 0;
                 let mut st = lock_recover(&shared.state);
                 let space = shared.space;
@@ -652,7 +674,11 @@ fn drive_worker(mut link: WorkerLink, shared: &Shared<'_>, consecutive: &mut u32
                 st.remaining_ranks -= range.len();
                 st.stats.leases_completed += 1;
                 if let Some(path) = &shared.config.checkpoint {
-                    if let Err(e) = st.checkpoint.save(space, path) {
+                    let saved = {
+                        let _t = cacs_obs::time(&cacs_obs::metrics::CHECKPOINT_WRITE_NS);
+                        st.checkpoint.save(space, path)
+                    };
+                    if let Err(e) = saved {
                         st.fatal = Some(format!(
                             "failed to write checkpoint {}: {e}",
                             path.display()
@@ -1067,8 +1093,7 @@ mod tests {
             retry: retry.clone(),
             ..CoordinatorConfig::default()
         };
-        // cacs-lint: allow(wall-clock, reason = "test clocks the bounded-time exhaustion guarantee, not a sweep decision")
-        let t = Instant::now();
+        let t = cacs_obs::now();
         let result = sweep_in_process_chaos(&eval, &space, 2, &config, |_, _| ChaosPlan {
             die_on_lease: Some(1),
             ..ChaosPlan::default()
@@ -1235,8 +1260,7 @@ mod tests {
             lease_timeout: Duration::from_secs(120),
             ..CoordinatorConfig::default()
         };
-        // cacs-lint: allow(wall-clock, reason = "test clocks the bounded-time WorkersExhausted guarantee, not a sweep decision")
-        let t = std::time::Instant::now();
+        let t = cacs_obs::now();
         let result = run_coordinator(&space, vec![link], &config);
         assert!(matches!(result, Err(DistribError::WorkersExhausted { .. })));
         assert!(

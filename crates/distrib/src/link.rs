@@ -253,7 +253,7 @@ fn spawn_reader(stream: impl std::io::Read + Send + 'static) -> Receiver<String>
 ///
 /// Returns an I/O timeout error if no worker connects in time.
 pub fn accept_one(listener: &TcpListener, timeout: Duration) -> Result<WorkerLink> {
-    let deadline = std::time::Instant::now() + timeout;
+    let deadline = cacs_obs::now() + timeout;
     listener.set_nonblocking(true)?;
     loop {
         match listener.accept() {
@@ -262,7 +262,7 @@ pub fn accept_one(listener: &TcpListener, timeout: Duration) -> Result<WorkerLin
                 return WorkerLink::from_tcp(format!("tcp:{peer}"), stream);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if std::time::Instant::now() >= deadline {
+                if cacs_obs::now() >= deadline {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::TimedOut,
                         "no worker connected in time",
@@ -287,10 +287,10 @@ pub fn accept_workers(
     n: usize,
     accept_timeout: Duration,
 ) -> Result<Vec<WorkerLink>> {
-    let deadline = std::time::Instant::now() + accept_timeout;
+    let deadline = cacs_obs::now() + accept_timeout;
     let mut links = Vec::with_capacity(n);
     while links.len() < n {
-        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        let remaining = deadline.saturating_duration_since(cacs_obs::now());
         match accept_one(listener, remaining) {
             Ok(link) => links.push(link),
             Err(crate::DistribError::Io {

@@ -48,6 +48,7 @@ const PADE13: [f64; 14] = [
 /// # }
 /// ```
 pub fn expm(a: &Matrix) -> Result<Matrix> {
+    let _t = cacs_obs::time(&cacs_obs::metrics::EXPM_NS);
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape() });
     }

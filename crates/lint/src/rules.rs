@@ -25,7 +25,8 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "wall-clock",
         contract: "search decisions are keyed on eval counts + objective bits, never on time: \
-                   Instant::now/SystemTime::now live only in timeout/bench modules",
+                   Instant::now/SystemTime::now live only in crates/obs — everything else \
+                   reads the sanctioned cacs_obs::now()",
     },
     RuleInfo {
         id: "poisoned-lock",
@@ -56,6 +57,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "unframed-wire-write",
         contract: "every hand-built wire line reaches a WorkerLink through append_crc/\
                    encode_framed — unframed writes defeat end-to-end CRC integrity",
+    },
+    RuleInfo {
+        id: "metrics-in-digest",
+        contract: "digest/merge/report-emission code never touches cacs_obs: metrics are \
+                   reporting-only and must be unable to feed a digest or a search decision",
     },
 ];
 
@@ -95,6 +101,7 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<RawDiag> {
     }
     if applies_digest(path) {
         hash_iter_in_digest(toks, &mut diags);
+        metrics_in_digest(toks, &mut diags);
     }
     if applies_float_eq(path) {
         float_eq(toks, &mut diags);
@@ -112,12 +119,11 @@ fn in_dir(path: &str, dir: &str) -> bool {
     path.starts_with(dir) && path.as_bytes().get(dir.len()) == Some(&b'/')
 }
 
-/// Wall-clock reads are the *purpose* of the bench crate, and the link
-/// module is the workspace's documented deadline/timeout primitive
-/// (`recv_deadline`, `accept_one`). Everywhere else a clock read needs
-/// a reason.
+/// The obs crate is the one sanctioned home of the monotonic clock:
+/// benches, deadlines and timeouts all read `cacs_obs::now()`. A raw
+/// `Instant::now`/`SystemTime::now` anywhere else needs a reason.
 fn applies_wall_clock(path: &str) -> bool {
-    !in_dir(path, "crates/bench") && path != "crates/distrib/src/link.rs"
+    !in_dir(path, "crates/obs")
 }
 
 /// cacs-par owns the worker pool, the strategy engine owns per-start
@@ -133,19 +139,22 @@ fn applies_rank_math(path: &str) -> bool {
 }
 
 /// The files whose output is a digest, a merge or emitted bytes: any
-/// unordered container here is a latent cross-host divergence.
+/// unordered container here is a latent cross-host divergence, and any
+/// metrics read here is a latent determinism leak (metrics route
+/// through non-digest helpers like `src/cli/metrics.rs` instead).
+const DIGEST_FILES: &[&str] = &[
+    "crates/search/src/exhaustive.rs",
+    "crates/search/src/integrity.rs",
+    "crates/search/src/store.rs",
+    "crates/distrib/src/wire.rs",
+    "crates/distrib/src/checkpoint.rs",
+    "crates/distrib/src/worker.rs",
+    "crates/core/src/report.rs",
+    "src/cli.rs",
+    "src/cli/driver.rs",
+];
+
 fn applies_digest(path: &str) -> bool {
-    const DIGEST_FILES: &[&str] = &[
-        "crates/search/src/exhaustive.rs",
-        "crates/search/src/integrity.rs",
-        "crates/search/src/store.rs",
-        "crates/distrib/src/wire.rs",
-        "crates/distrib/src/checkpoint.rs",
-        "crates/distrib/src/worker.rs",
-        "crates/core/src/report.rs",
-        "src/cli.rs",
-        "src/cli/driver.rs",
-    ];
     DIGEST_FILES.contains(&path)
 }
 
@@ -333,6 +342,25 @@ fn hash_iter_in_digest(toks: &[Tok], out: &mut Vec<RawDiag>) {
     }
 }
 
+fn metrics_in_digest(toks: &[Tok], out: &mut Vec<RawDiag>) {
+    for i in 0..toks.len() {
+        // Direct crate use (`cacs_obs::…`) and the facade re-export
+        // (`cacs::obs::…`) both count — either one lets wall-clock or
+        // counter state reach bytes that must be identical everywhere.
+        let hit = ident(toks, i, "cacs_obs")
+            || (ident(toks, i, "cacs") && punct(toks, i + 1, "::") && ident(toks, i + 2, "obs"));
+        if hit {
+            out.push(RawDiag {
+                rule: "metrics-in-digest",
+                line: toks[i].line,
+                message: "cacs_obs in digest/merge/emission code — metrics are reporting-only; \
+                          route them through a non-digest module (e.g. src/cli/metrics.rs)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Float-typed operand heuristic: a float literal, or an `f64::`/
 /// `f32::` associated constant, immediately beside the comparison.
 fn floaty_before(toks: &[Tok], i: usize) -> bool {
@@ -444,8 +472,11 @@ mod tests {
     fn wall_clock_fires_and_respects_allowlist() {
         let src = "fn f() { let t = Instant::now(); }\n";
         assert_eq!(run("crates/search/src/hybrid.rs", src).len(), 1);
-        assert_eq!(run("crates/bench/src/lib.rs", src).len(), 0);
-        assert_eq!(run("crates/distrib/src/link.rs", src).len(), 0);
+        // Since the obs crate became the one sanctioned clock, the old
+        // bench/link exemptions are gone: they read cacs_obs::now().
+        assert_eq!(run("crates/bench/src/lib.rs", src).len(), 1);
+        assert_eq!(run("crates/distrib/src/link.rs", src).len(), 1);
+        assert_eq!(run("crates/obs/src/lib.rs", src).len(), 0);
     }
 
     #[test]
@@ -489,6 +520,23 @@ mod tests {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(run("crates/distrib/src/wire.rs", src).len(), 1);
         assert!(run("crates/distrib/src/shard.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metrics_in_digest_files_only() {
+        let direct = "fn f() { cacs_obs::metrics::CACHE_HITS.incr(); }\n";
+        let facade = "fn f() { let t = cacs::obs::now(); }\n";
+        assert_eq!(run("src/cli/driver.rs", direct).len(), 1);
+        assert_eq!(run("crates/core/src/report.rs", facade).len(), 1);
+        // Outside the digest scope metrics are the whole point.
+        assert!(run("src/cli/metrics.rs", direct).is_empty());
+        assert!(run("crates/search/src/strategy.rs", direct).is_empty());
+        // `cacs::search::…` does not smell like the obs re-export.
+        assert!(run(
+            "src/cli.rs",
+            "use cacs_search::ExhaustiveReport;\nfn f() { let x = cacs::search::noop(); }\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,0 +1,6 @@
+// Fixture: metrics state read in digest-emitting code.
+// The violation is on line 4 exactly.
+pub fn digest_lines(n: u64) -> String {
+    let hits = cacs_obs::metrics::CACHE_HITS.get();
+    format!("{n} {hits}")
+}

@@ -1,0 +1,6 @@
+// Fixture: the same metrics read, justified in source.
+pub fn stderr_line(n: u64) -> String {
+    // cacs-lint: allow(metrics-in-digest, reason = "fixture: reaches stderr only, never the digest")
+    let hits = cacs_obs::metrics::CACHE_HITS.get();
+    format!("{n} {hits}")
+}

@@ -42,6 +42,12 @@ const CASES: &[(&str, &str, &str, u32)] = &[
         "crates/distrib/src/worker.rs",
         4,
     ),
+    (
+        "metrics-in-digest",
+        "metrics_in_digest",
+        "crates/core/src/report.rs",
+        4,
+    ),
 ];
 
 fn fixture(kind: &str, stem: &str) -> String {

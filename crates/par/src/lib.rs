@@ -201,6 +201,9 @@ struct JobState {
 /// `retired` without touching freed memory.
 struct Job {
     task: TaskPtr,
+    /// Enqueue time (empty while the recorder is off) — the start of
+    /// the queue-wait interval observed when a worker claims the job.
+    submitted: cacs_obs::Stamp,
     state: Mutex<JobState>,
     progress: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
@@ -272,14 +275,21 @@ fn worker_loop(rx: &Mutex<Receiver<Arc<Job>>>) {
         if !claimed {
             continue;
         }
+        cacs_obs::metrics::PAR_QUEUE_WAIT_NS.observe_since(&job.submitted);
+        cacs_obs::metrics::PAR_POOL_TASKS.incr();
         // SAFETY: `running` was incremented above, and the submitting
         // caller blocks until `running` returns to zero before the
         // stack frame `task` borrows from can unwind, so the pointee is
         // alive for the whole call.
         let task = unsafe { &*job.task.0 };
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-            let mut slot = relock(job.panic.lock());
-            slot.get_or_insert(payload);
+        {
+            // Per-task busy time — the utilisation half of the pool
+            // telemetry (queue wait above is the latency half).
+            let _t = cacs_obs::time(&cacs_obs::metrics::PAR_TASK_NS);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                let mut slot = relock(job.panic.lock());
+                slot.get_or_insert(payload);
+            }
         }
         let mut state = relock(job.state.lock());
         state.running -= 1;
@@ -313,6 +323,7 @@ fn run_on_pool(extra: usize, task: &(dyn Fn() + Sync)) -> Option<Box<dyn std::an
     let erased: *const (dyn Fn() + Sync + 'static) = unsafe { std::mem::transmute(erased) };
     let job = Arc::new(Job {
         task: TaskPtr(erased),
+        submitted: cacs_obs::stamp(),
         state: Mutex::new(JobState {
             running: 0,
             retired: false,
@@ -360,8 +371,11 @@ fn par_map_impl<T: Sync, R: Send>(
     let chunks = items.len().div_ceil(grain);
     let workers = thread_budget().min(chunks);
     if workers <= 1 || in_parallel_region() {
+        cacs_obs::metrics::PAR_INLINE_BATCHES.incr();
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
+    cacs_obs::metrics::PAR_POOL_BATCHES.incr();
+    cacs_obs::metrics::PAR_BATCH_ITEMS.record(items.len() as u64);
 
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));

@@ -261,10 +261,12 @@ impl Pso {
         // across iterations.
         let mut batch_values: Vec<f64> = Vec::with_capacity(n);
 
+        cacs_obs::metrics::PSO_RUNS.incr();
         let mut evaluations = 0usize;
         let mut personal_best = positions.clone();
         evaluate_batch(&positions, &mut batch_values);
         evaluations += n;
+        cacs_obs::metrics::PSO_OBJECTIVE_CALLS.add(n as u64);
         let mut personal_value: Vec<f64> = batch_values.iter().map(|&v| sanitize(v)).collect();
 
         let (mut g_idx, mut g_val) = personal_value
@@ -301,6 +303,7 @@ impl Pso {
             batch_values.clear();
             evaluate_batch(&positions, &mut batch_values);
             evaluations += n;
+            cacs_obs::metrics::PSO_OBJECTIVE_CALLS.add(n as u64);
 
             // Phase 3: personal/global-best updates in fixed order.
             for i in 0..n {

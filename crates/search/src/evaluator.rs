@@ -219,6 +219,7 @@ impl SlotCache {
                 match map.get_mut(key) {
                     Some(Slot::Ready { value, requested }) => {
                         *requested = true;
+                        cacs_obs::metrics::CACHE_HITS.incr();
                         return *value;
                     }
                     Some(Slot::InFlight) => {
@@ -245,6 +246,7 @@ impl SlotCache {
         let value = eval();
         guard.armed = false;
         self.fresh.fetch_add(1, Ordering::Relaxed);
+        cacs_obs::metrics::CACHE_MISSES.incr();
 
         let mut map = lock_recover(&shard.map);
         map.insert(

@@ -222,6 +222,7 @@ pub fn run_multistart<E: ScheduleEvaluator + ?Sized>(
             // typed error after the run (see below) — an evaluation
             // that cannot be persisted must not kill the search that
             // produced it.
+            let _t = cacs_obs::time(&cacs_obs::metrics::STORE_WRITE_THROUGH_NS);
             let _ = store.record(schedule, value);
         });
     }
@@ -262,7 +263,17 @@ pub fn run_multistart<E: ScheduleEvaluator + ?Sized>(
         if let Some(e) = store.take_write_error() {
             return Err(e.into());
         }
+        // Store health, exported here so the store itself (a digest
+        // file) stays free of metrics tokens.
+        cacs_obs::metrics::STORE_COMPACTIONS.add(store.compactions());
+        cacs_obs::metrics::STORE_QUARANTINED_RECORDS.add(store.quarantined_records());
     }
+
+    // Section-V accounting as a metrics side channel (the authoritative
+    // counts stay in the reports/outcome — metrics never feed either).
+    cacs_obs::metrics::SEARCH_FRESH_EVALUATIONS.add(shared.fresh_evaluations() as u64);
+    cacs_obs::metrics::SEARCH_UNIQUE_EVALUATIONS.add(shared.unique_evaluations() as u64);
+    cacs_obs::metrics::SEARCH_WARM_STARTED.add(shared.warm_started() as u64);
 
     let reports = results
         .into_iter()

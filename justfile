@@ -27,6 +27,16 @@ tables FLAGS="--fast":
 microbench:
     cargo bench -p cacs-bench
 
+# Profile a search with the cacs-obs recorder on: per-phase timing
+# histograms (synthesis phases, expm, full evaluations), cache
+# hit/miss and PSO call counts on stderr, plus the byte-stable metrics
+# JSON at OUT. Digests are unchanged by profiling — the recorder is
+# reporting-only (see BENCH_obs_overhead.json for the <3% proof).
+profile PROBLEM="paper-fast" STRATEGY="hybrid" OUT="/tmp/cacs-profile.json" FLAGS="":
+    cargo build --release --bin cacs-opt
+    target/release/cacs-opt --problem {{PROBLEM}} --strategy {{STRATEGY}} \
+        --metrics {{OUT}} {{FLAGS}}
+
 # Distributed exhaustive sweep: coordinator + WORKERS local worker
 # processes over the wire protocol, self-checked byte-for-byte against
 # the single-process sequential sweep. PROBLEM is paper-fast,

@@ -54,7 +54,7 @@ use cacs::search::{exhaustive_search_with, SweepConfig};
 use std::error::Error;
 use std::path::PathBuf;
 use std::process::Command;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 struct Args {
     problem: String,
@@ -77,6 +77,7 @@ struct Args {
     /// `cacs-sweep-worker` flag form (`--die-mid-lease 1 …`).
     chaos_args: Vec<String>,
     selfcheck: bool,
+    metrics: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -91,7 +92,7 @@ fn usage() -> ! {
          [--chaos-die-mid-lease N] [--chaos-hang-mid-lease N] [--chaos-hang-secs S] \
          [--chaos-garbage-mid-lease N] [--chaos-truncate-mid-lease N] \
          [--chaos-flip-byte-mid-lease N] [--chaos-reconnect-after N] \
-         [--chaos-seed S] [--selfcheck]"
+         [--chaos-seed S] [--selfcheck] [--metrics FILE]"
     );
     std::process::exit(2)
 }
@@ -117,6 +118,7 @@ fn parse_args() -> Args {
         no_respawn: false,
         chaos_args: Vec::new(),
         selfcheck: false,
+        metrics: None,
     };
     let mut i = 1;
     let value = |i: &mut usize| -> String {
@@ -195,6 +197,7 @@ fn parse_args() -> Args {
                 args.selfcheck = true;
                 i += 1;
             }
+            "--metrics" => args.metrics = Some(PathBuf::from(value(&mut i))),
             _ => usage(),
         }
     }
@@ -234,6 +237,11 @@ fn spawn_one(
 
 fn main() -> Result<(), Box<dyn Error>> {
     let args = parse_args();
+    if args.metrics.is_some() {
+        // Reporting-only: the recorder feeds the --metrics JSON and the
+        // stderr summary, never the report digest printed on stdout.
+        cacs::cli::metrics::enable_recording();
+    }
     let spec = ProblemSpec::parse(&args.problem).unwrap_or_else(|e| {
         eprintln!("cacs-sweep-coord: {e}");
         std::process::exit(2)
@@ -326,8 +334,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     };
 
-    // cacs-lint: allow(wall-clock, reason = "CLI reports elapsed wall time on stderr; the report bytes never depend on it")
-    let t = Instant::now();
+    // Elapsed wall time reaches stderr only; the report bytes never
+    // depend on it, and the clock is the sanctioned `cacs::obs` one.
+    let t = cacs::obs::now();
     let ShardedSweep { report, stats } = run_supervised(&space, workers, &config)?;
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
     eprintln!(
@@ -369,6 +378,13 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The byte-stable digest is the machine-readable output.
     print!("{}", report_digest(&space, &report)?);
+
+    // The fault summary printed above is also in the JSON: the
+    // supervision layer counts every fault kind, respawn, quarantine
+    // and lease into the same registry the snapshot serialises.
+    if let Some(path) = &args.metrics {
+        cacs::cli::metrics::emit("cacs-sweep-coord", path)?;
+    }
 
     if stats.halted {
         match &args.checkpoint {

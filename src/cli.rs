@@ -16,6 +16,7 @@ use cacs_search::{ExhaustiveReport, ScheduleEvaluator, ScheduleSpace};
 use std::error::Error;
 
 pub mod driver;
+pub mod metrics;
 
 /// A parsed `--problem` argument.
 #[derive(Debug, Clone, PartialEq, Eq)]

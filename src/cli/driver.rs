@@ -29,7 +29,6 @@ use cacs_search::{
 use std::error::Error;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Exit status of a deliberate `--kill-after-fresh-evals` kill, so
 /// scripts can tell the injected fault from a real failure.
@@ -45,6 +44,7 @@ struct Args {
     resume: bool,
     kill_after: Option<usize>,
     selfcheck: bool,
+    metrics: Option<PathBuf>,
     // Strategy knobs; `None` keeps the strategy's default.
     tolerance: Option<f64>,
     max_steps: Option<usize>,
@@ -94,7 +94,7 @@ fn usage(bin: &str, fixed: Option<StrategyKind>) -> ! {
     eprintln!(
         "usage: {bin} --problem <paper-fast|paper-full|synthetic:AxBxC>{strategy_flag} \
          [--starts m1xm2x…[,m1xm2x…]] [--store FILE] [--resume] \
-         [--kill-after-fresh-evals N] [--selfcheck] {knobs}"
+         [--kill-after-fresh-evals N] [--selfcheck] [--metrics FILE] {knobs}"
     );
     std::process::exit(2)
 }
@@ -109,6 +109,7 @@ fn parse_args(bin: &str, fixed: Option<StrategyKind>) -> Args {
         resume: false,
         kill_after: None,
         selfcheck: false,
+        metrics: None,
         tolerance: None,
         max_steps: None,
         seed: None,
@@ -155,6 +156,7 @@ fn parse_args(bin: &str, fixed: Option<StrategyKind>) -> Args {
                 args.selfcheck = true;
                 i += 1;
             }
+            "--metrics" => args.metrics = Some(PathBuf::from(value(&mut i))),
             "--tolerance" => args.tolerance = Some(parsed!(&mut i)),
             "--max-steps" => args.max_steps = Some(parsed!(&mut i)),
             "--seed" => args.seed = Some(parsed!(&mut i)),
@@ -317,6 +319,11 @@ pub fn cli_main(bin: &'static str, fixed: Option<StrategyKind>) -> ! {
 
 fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Error>> {
     let args = parse_args(bin, fixed);
+    if args.metrics.is_some() {
+        // Recording stays off unless explicitly requested; metrics are
+        // reporting-only and never reach the digest printed below.
+        crate::cli::metrics::enable_recording();
+    }
     let spec = ProblemSpec::parse(&args.problem).unwrap_or_else(|e| {
         eprintln!("{bin}: {e}");
         std::process::exit(2)
@@ -381,14 +388,19 @@ fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Err
         limit: args.kill_after,
         calls: AtomicUsize::new(0),
     };
-    // cacs-lint: allow(wall-clock, reason = "CLI reports elapsed wall time; digests and search decisions never depend on it")
-    let t = Instant::now();
+    let t = crate::cli::metrics::RunTimer::start();
     let outcome = run_multistart(&killer, &space, &starts, &strategy, store.as_ref())?;
-    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = t.elapsed_ms();
 
     report_outcome(bin, &outcome, wall_ms);
     let digest = multistart_digest(args.strategy, &space, &starts, &outcome.reports)?;
     print!("{digest}");
+
+    // Snapshot before --selfcheck so the JSON reflects only the run
+    // whose digest was just printed, not the in-memory reference rerun.
+    if let Some(path) = &args.metrics {
+        crate::cli::metrics::emit(bin, path)?;
+    }
 
     if args.selfcheck {
         eprintln!("{bin}: selfcheck — uninterrupted in-memory run…");

@@ -1,0 +1,90 @@
+//! The CLI-facing face of [`cacs_obs`]: recorder enablement, run
+//! timing, and metrics emission — kept out of
+//! [`driver`](crate::cli::driver) so the digest-producing modules stay
+//! free of observability tokens (the `metrics-in-digest` lint rule
+//! enforces exactly that).
+//!
+//! Metrics are **reporting only**: the recorder is off unless the user
+//! passes `--metrics <path>`, and nothing read here ever feeds a
+//! digest, a report, or a search decision. The JSON document written at
+//! exit has a byte-stable schema — every registered metric is always
+//! present, keys sorted — so downstream diffing works across runs that
+//! exercised different code paths.
+
+use std::error::Error;
+use std::path::Path;
+
+/// Turns the global recorder on. Called once, before any work, and only
+/// when the user asked for metrics; everything else in the process then
+/// starts paying the (measured, <3%) recording cost.
+pub fn enable_recording() {
+    cacs_obs::enable();
+}
+
+/// Elapsed-wall-time handle for the CLI's stderr summary line.
+///
+/// Reads the sanctioned monotonic clock unconditionally — the elapsed
+/// time is printed whether or not the recorder is on — but the value
+/// only ever reaches stderr, never a digest.
+pub struct RunTimer(std::time::Instant);
+
+impl RunTimer {
+    /// Starts the timer.
+    pub fn start() -> Self {
+        RunTimer(cacs_obs::now())
+    }
+
+    /// Milliseconds since [`RunTimer::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+/// Writes the metrics snapshot JSON to `path` and prints the human
+/// summary to stderr, prefixed with the binary name.
+pub fn emit(bin: &str, path: &Path) -> Result<(), Box<dyn Error>> {
+    let doc = cacs_obs::snapshot_json();
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, &doc)?;
+    eprint!("{}", prefixed_summary(bin));
+    eprintln!("{bin}: metrics written to {}", path.display());
+    Ok(())
+}
+
+/// The [`cacs_obs::summary`] text with every line prefixed `bin: `, so
+/// interleaved stderr stays attributable.
+fn prefixed_summary(bin: &str) -> String {
+    cacs_obs::summary()
+        .lines()
+        .map(|l| format!("{bin}: {l}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_timer_measures_forward_time() {
+        let t = RunTimer::start();
+        assert!(t.elapsed_ms() >= 0.0);
+    }
+
+    #[test]
+    fn emit_writes_schema_stable_json() {
+        let dir = std::env::temp_dir().join(format!("cacs-metrics-{}", std::process::id()));
+        let path = dir.join("metrics.json");
+        emit("test", &path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"schema\": \"cacs-obs-v1\""));
+        // The schema is fixed: an idle snapshot lists every registered
+        // metric, so the key sequence matches a fresh snapshot's.
+        assert_eq!(
+            cacs_obs::json_keys(&doc),
+            cacs_obs::json_keys(&cacs_obs::snapshot_json())
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`apps`] | the automotive case study (Tables I, II; Figure 6 plants) |
 //! | [`core`] | the two-stage co-design framework (Sections III–IV), multicore/interleaved extensions, report generation |
 //! | [`distrib`] | sharded multi-process sweep coordinator: rank-range leases, line-oriented wire protocol, checkpoint/resume, bit-identical merge |
+//! | [`obs`] | determinism-safe observability: counters, log-spaced histograms, RAII timers behind a zero-cost-when-disabled global recorder; the one sanctioned home of the monotonic clock |
 //!
 //! # Quickstart
 //!
@@ -107,6 +108,7 @@ pub use cacs_control as control;
 pub use cacs_core as core;
 pub use cacs_distrib as distrib;
 pub use cacs_linalg as linalg;
+pub use cacs_obs as obs;
 pub use cacs_par as par;
 pub use cacs_pso as pso;
 pub use cacs_sched as sched;
