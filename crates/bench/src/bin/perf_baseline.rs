@@ -16,7 +16,13 @@
 //!   self-check (bit-identical, strictly fewer fresh evaluations —
 //!   enforced for all four);
 //! * `BENCH_eval_cost.json` — per-schedule stage-1 evaluation cost (the
-//!   Section-V observation that cost grows with the task counts `m_i`);
+//!   Section-V observation that cost grows with the task counts `m_i`),
+//!   measured cache-off (the reference path), cache-cold and cache-warm
+//!   on a fresh `EvalCtx`; the file records the measured
+//!   `speedup_vs_cache_off` (gated ≥ 1.5×), the app-synthesis
+//!   `cache_hit_rate`, and `bit_identical_with_cache_off` (every
+//!   schedule's `P_all` bit pattern must agree across all three runs —
+//!   enforced, non-zero exit);
 //! * `BENCH_streaming_sweep.json` — the streaming exhaustive engine on a
 //!   synthetic 2,097,152-schedule box: wall-clock, throughput, the
 //!   peak-RSS delta proving constant-memory operation, and a sharded
@@ -83,6 +89,13 @@ const OBS_OVERHEAD_REPS: usize = 5;
 
 /// Ceiling on the recorder-enabled slowdown of one full evaluation.
 const OBS_OVERHEAD_LIMIT_PCT: f64 = 3.0;
+
+/// Floor on the EvalCtx caching speed-up over the cache-disabled
+/// reference path (mean over the eval-cost schedules, cold/warm mean
+/// vs cache-off). A warm re-evaluation skips the whole PSO run, so the
+/// cold+warm mean sits near 2×; 1.5 leaves headroom for noise while
+/// still failing loudly if the caches stop hitting.
+const EVAL_CACHE_SPEEDUP_FLOOR: f64 = 1.5;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -375,6 +388,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ----- per-schedule evaluation-cost baseline --------------------
     // Section V: evaluating one schedule grows with the task counts.
+    // Each schedule is evaluated three times: on a cache-disabled
+    // problem (the reference path), then cold and warm on a problem
+    // with a fresh EvalCtx — fresh so hits from the earlier sections
+    // cannot leak in. The warm pass models what searches actually pay
+    // on re-probed schedules (selfcheck reruns, repeated strategy
+    // probes); `wall_ms` is the cold/warm mean, and every P_all bit
+    // pattern must agree across all three runs.
     let cost_schedules = [
         vec![1u32, 1, 1],
         vec![2, 1, 1],
@@ -383,25 +403,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![3, 2, 3],
         vec![4, 2, 2],
     ];
-    let mut rows = Vec::new();
+    let cost_problem = CodesignProblem::from_case_study(&study, config)?;
+    let mut uncached_problem = CodesignProblem::from_case_study(&study, config)?;
+    uncached_problem.set_eval_cache(false);
+    struct CostRow {
+        name: String,
+        total_m: u32,
+        off_ms: f64,
+        cold_ms: f64,
+        warm_ms: f64,
+        pso_evals: usize,
+        p_all: Option<f64>,
+        bits_agree: bool,
+    }
+    let mut rows: Vec<CostRow> = Vec::new();
     for counts in &cost_schedules {
         let schedule = Schedule::new(counts.clone())?;
-        if !problem.idle_feasible_schedule(&schedule) {
+        if !cost_problem.idle_feasible_schedule(&schedule) {
             continue;
         }
-        eprintln!("perf-baseline: evaluating {schedule}…");
+        eprintln!("perf-baseline: evaluating {schedule} (cache off / cold / warm)…");
         let t = cacs_obs::now();
-        let eval = problem.evaluate_schedule(&schedule)?;
-        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        let pso_evals: usize = eval.apps.iter().map(|a| a.controller.evaluations).sum();
-        rows.push((
-            schedule.to_string(),
-            counts.iter().sum::<u32>(),
-            wall_ms,
+        let off = uncached_problem.evaluate_schedule(&schedule)?;
+        let off_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = cacs_obs::now();
+        let cold = cost_problem.evaluate_schedule(&schedule)?;
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = cacs_obs::now();
+        let warm = cost_problem.evaluate_schedule(&schedule)?;
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+        let bits = |p: Option<f64>| p.map(f64::to_bits);
+        let bits_agree = bits(off.overall_performance) == bits(cold.overall_performance)
+            && bits(cold.overall_performance) == bits(warm.overall_performance);
+        let pso_evals: usize = cold.apps.iter().map(|a| a.controller.evaluations).sum();
+        rows.push(CostRow {
+            name: schedule.to_string(),
+            total_m: counts.iter().sum::<u32>(),
+            off_ms,
+            cold_ms,
+            warm_ms,
             pso_evals,
-            eval.overall_performance,
-        ));
+            p_all: cold.overall_performance,
+            bits_agree,
+        });
     }
+    let app_hits = cost_problem.eval_ctx().app_cache_hits();
+    let app_misses = cost_problem.eval_ctx().app_cache_misses();
+    let cache_hit_rate = app_hits as f64 / ((app_hits + app_misses) as f64).max(1.0);
+    let mean = |f: &dyn Fn(&CostRow) -> f64| -> f64 {
+        rows.iter().map(f).sum::<f64>() / (rows.len() as f64).max(1.0)
+    };
+    let mean_off = mean(&|r| r.off_ms);
+    let mean_on = mean(&|r| (r.cold_ms + r.warm_ms) / 2.0);
+    let eval_cache_speedup = mean_off / mean_on.max(1e-9);
+    let eval_cache_identical = !rows.is_empty() && rows.iter().all(|r| r.bits_agree);
+    let eval_cache_fast_enough = eval_cache_speedup >= EVAL_CACHE_SPEEDUP_FLOOR;
 
     let mut cost_json = String::new();
     writeln!(cost_json, "{{")?;
@@ -410,20 +466,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(cost_json, "  \"threads\": {threads},")?;
     writeln!(cost_json, "  \"host\": {host},")?;
     writeln!(cost_json, "  \"schedules\": [")?;
-    for (i, (name, total_m, wall_ms, pso_evals, p_all)) in rows.iter().enumerate() {
+    for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
-        let p = p_all.map_or("null".to_string(), |v| format!("{v:.12}"));
+        let p = r.p_all.map_or("null".to_string(), |v| format!("{v:.12}"));
+        let wall_ms = (r.cold_ms + r.warm_ms) / 2.0;
         writeln!(
             cost_json,
-            "    {{ \"schedule\": \"{}\", \"total_tasks\": {total_m}, \"wall_ms\": {wall_ms:.1}, \"pso_evaluations\": {pso_evals}, \"p_all\": {p} }}{sep}",
-            json_escape(name),
+            "    {{ \"schedule\": \"{}\", \"total_tasks\": {}, \"wall_ms\": {wall_ms:.1}, \
+             \"wall_ms_cache_off\": {:.1}, \"wall_ms_cold\": {:.1}, \"wall_ms_warm\": {:.1}, \
+             \"pso_evaluations\": {}, \"p_all\": {p} }}{sep}",
+            json_escape(&r.name),
+            r.total_m,
+            r.off_ms,
+            r.cold_ms,
+            r.warm_ms,
+            r.pso_evals,
         )?;
     }
-    writeln!(cost_json, "  ]")?;
+    writeln!(cost_json, "  ],")?;
+    writeln!(cost_json, "  \"mean_wall_ms_cache_off\": {mean_off:.1},")?;
+    writeln!(cost_json, "  \"mean_wall_ms_cache_on\": {mean_on:.1},")?;
+    writeln!(
+        cost_json,
+        "  \"speedup_vs_cache_off\": {eval_cache_speedup:.3},"
+    )?;
+    writeln!(
+        cost_json,
+        "  \"speedup_floor\": {EVAL_CACHE_SPEEDUP_FLOOR:.1},"
+    )?;
+    writeln!(cost_json, "  \"cache_hit_rate\": {cache_hit_rate:.3},")?;
+    writeln!(
+        cost_json,
+        "  \"bit_identical_with_cache_off\": {eval_cache_identical}"
+    )?;
     writeln!(cost_json, "}}")?;
     let cost_path = out_dir.join("BENCH_eval_cost.json");
     std::fs::write(&cost_path, &cost_json)?;
-    eprintln!("perf-baseline: wrote {}", cost_path.display());
+    eprintln!(
+        "perf-baseline: wrote {} (cache speedup {eval_cache_speedup:.2}x, hit rate {cache_hit_rate:.2})",
+        cost_path.display()
+    );
 
     // ----- observability-overhead baseline --------------------------
     // The cacs-obs contract measured: a full stage-1 evaluation with the
@@ -653,6 +735,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err(format!(
             "strategy shootout resume contract broken for: {}",
             broken.join(", ")
+        )
+        .into());
+    }
+    if !eval_cache_identical {
+        return Err("cached evaluation diverged bitwise from the cache-off reference path".into());
+    }
+    if !eval_cache_fast_enough {
+        return Err(format!(
+            "EvalCtx caching speedup {eval_cache_speedup:.2}x is below the \
+             {EVAL_CACHE_SPEEDUP_FLOOR}x floor ({mean_off:.1} ms cache-off vs {mean_on:.1} ms \
+             cache-on mean)"
         )
         .into());
     }

@@ -1,0 +1,106 @@
+//! Synthesis-side evaluation context: a pool of reusable scratch
+//! buffers for the PSO objective hot path.
+//!
+//! One controller synthesis evaluates its objective thousands of times;
+//! every call needs candidate gain matrices, the period-map product
+//! buffers, the worst-case simulation trace and a feedforward vector.
+//! [`SynthCtx`] keeps finished [`SynthScratch`] sets in a pool behind a
+//! poison-tolerant mutex ([`cacs_par::sync::lock_recover`]): each
+//! objective call pops one (or builds a fresh one on first use /
+//! under peak parallelism), works on it, and pushes it back.
+//!
+//! Scratch reuse is *not* a cache — no computation is skipped and every
+//! buffer is fully overwritten before use — so results are
+//! bit-identical whether a buffer is fresh or reused, and the pool
+//! order (which does depend on thread timing) is unobservable.
+
+use crate::lifted::PeriodMapWorkspace;
+use crate::simulate::SimWorkspace;
+use crate::Response;
+use cacs_linalg::Matrix;
+use cacs_par::sync::lock_recover;
+use std::sync::Mutex;
+
+/// Every per-objective-call buffer a synthesis evaluation needs.
+///
+/// Buffers adapt to the plant dimensions on first use and are reused
+/// verbatim afterwards; a scratch set can serve apps of different
+/// shapes back to back (each user re-ensures its sizes).
+#[derive(Debug)]
+pub struct SynthScratch {
+    /// Candidate per-task gain rows (`m` × `1×l`).
+    pub(crate) gains: Vec<Matrix>,
+    /// Period-map product buffers.
+    pub(crate) pm: PeriodMapWorkspace,
+    /// Worst-case simulation trace (vectors reused, capacity kept).
+    pub(crate) response: Response,
+    /// Simulation state-column buffers.
+    pub(crate) sim: SimWorkspace,
+    /// Per-task feedforward gains.
+    pub(crate) feedforwards: Vec<f64>,
+}
+
+impl SynthScratch {
+    fn new() -> Self {
+        SynthScratch {
+            gains: Vec::new(),
+            pm: PeriodMapWorkspace::new(),
+            response: Response {
+                times: Vec::new(),
+                outputs: Vec::new(),
+                inputs: Vec::new(),
+                reference: 0.0,
+            },
+            sim: SimWorkspace::new(),
+            feedforwards: Vec::new(),
+        }
+    }
+}
+
+/// A shared pool of [`SynthScratch`] sets, safe to use from the
+/// parallel PSO objective (`cacs-par` workers or inline execution).
+#[derive(Debug, Default)]
+pub struct SynthCtx {
+    pool: Mutex<Vec<SynthScratch>>,
+}
+
+impl SynthCtx {
+    /// An empty context (buffers are built on demand).
+    #[must_use]
+    pub fn new() -> Self {
+        SynthCtx::default()
+    }
+
+    /// Pops a scratch set from the pool, or builds a fresh one when the
+    /// pool is empty (first calls, or more workers than returned sets).
+    pub(crate) fn take(&self) -> SynthScratch {
+        let pooled = lock_recover(&self.pool).pop();
+        match pooled {
+            Some(s) => {
+                cacs_obs::metrics::EVAL_SCRATCH_REUSES.incr();
+                s
+            }
+            None => SynthScratch::new(),
+        }
+    }
+
+    /// Returns a scratch set to the pool for the next objective call.
+    pub(crate) fn put(&self, scratch: SynthScratch) {
+        lock_recover(&self.pool).push(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_round_trips_and_reuses() {
+        let ctx = SynthCtx::new();
+        let a = ctx.take(); // fresh
+        ctx.put(a);
+        let b = ctx.take(); // reused
+        ctx.put(b);
+        assert_eq!(lock_recover(&ctx.pool).len(), 1);
+    }
+}

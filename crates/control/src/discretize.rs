@@ -18,7 +18,7 @@
 //! exactly the structure of the paper's eq. (12).
 
 use crate::{ContinuousLti, ControlError, Result};
-use cacs_linalg::{expm_with_integral, Matrix};
+use cacs_linalg::{expm_with_integral_ws, ExpmCache, ExpmWorkspace, Matrix};
 
 /// The exact discretisation of one sampling interval with input delay.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +79,29 @@ impl DelayedStep {
 /// # }
 /// ```
 pub fn discretize_delayed(plant: &ContinuousLti, h: f64, tau: f64) -> Result<DelayedStep> {
+    discretize_delayed_cached(plant, h, tau, None, &mut ExpmWorkspace::new())
+}
+
+/// [`discretize_delayed`] with an explicit exponential workspace and an
+/// optional shared `(A, t) → (Φ, Ψ)` memo.
+///
+/// With `cache: None` this is the plain allocation-lean path; with
+/// `Some(cache)` repeated `(A, t)` pairs (consecutive tasks of the same
+/// application share `h − τ = 0` and `τ = h` triples, and re-evaluated
+/// schedules repeat everything) are served from the memo. Both paths are
+/// bit-identical to each other and to [`discretize_delayed`] — the cache
+/// key covers every input of the computation.
+///
+/// # Errors
+///
+/// Same conditions as [`discretize_delayed`].
+pub fn discretize_delayed_cached(
+    plant: &ContinuousLti,
+    h: f64,
+    tau: f64,
+    cache: Option<&ExpmCache>,
+    ws: &mut ExpmWorkspace,
+) -> Result<DelayedStep> {
     if !h.is_finite() || h <= 0.0 {
         return Err(ControlError::InvalidTiming {
             reason: format!("sampling period must be positive, got {h}"),
@@ -93,10 +116,15 @@ pub fn discretize_delayed(plant: &ContinuousLti, h: f64, tau: f64) -> Result<Del
     let a = plant.a();
     let b = plant.b();
 
+    let phi_psi = |t: f64, ws: &mut ExpmWorkspace| match cache {
+        Some(c) => c.with_integral(a, t, ws),
+        None => expm_with_integral_ws(a, t, ws),
+    };
+
     // Φ(h), and the two partial integrals.
-    let (a_d, _) = expm_with_integral(a, h)?;
-    let (phi_rest, psi_rest) = expm_with_integral(a, h - tau)?;
-    let (_, psi_tau) = expm_with_integral(a, tau)?;
+    let (a_d, _) = phi_psi(h, ws)?;
+    let (phi_rest, psi_rest) = phi_psi(h - tau, ws)?;
+    let (_, psi_tau) = phi_psi(tau, ws)?;
 
     let b_prev = phi_rest.matmul(&psi_tau)?.matmul(b)?;
     let b_new = psi_rest.matmul(b)?;
@@ -223,6 +251,22 @@ mod tests {
         assert!(discretize_delayed(&p, 1.0, -0.1).is_err());
         assert!(discretize_delayed(&p, 1.0, 1.5).is_err());
         assert!(discretize_delayed(&p, f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn cached_path_is_bit_identical_to_plain() {
+        let p = first_order(-3.5);
+        let cache = ExpmCache::default();
+        let mut ws = ExpmWorkspace::new();
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        for tau in [0.0, 0.05, 0.2, 0.2, 0.0] {
+            let plain = discretize_delayed(&p, 0.2, tau).unwrap();
+            let cached = discretize_delayed_cached(&p, 0.2, tau, Some(&cache), &mut ws).unwrap();
+            assert_eq!(bits(&plain.a_d), bits(&cached.a_d), "tau = {tau}");
+            assert_eq!(bits(&plain.b_prev), bits(&cached.b_prev), "tau = {tau}");
+            assert_eq!(bits(&plain.b_new), bits(&cached.b_new), "tau = {tau}");
+        }
+        assert!(cache.hits() > 0, "repeated (A, t) pairs must hit the memo");
     }
 
     #[test]

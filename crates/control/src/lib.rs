@@ -22,7 +22,12 @@
 //!   arrives right after the application's last consecutive task), and
 //! * [`synthesize`] — PSO-based gain synthesis with stability and input-
 //!   saturation constraints, with two strategies: direct gain search and
-//!   pole-placement search (Section III's PSO + extended Ackermann).
+//!   pole-placement search (Section III's PSO + extended Ackermann), and
+//! * [`SynthCtx`] — a pool of reusable scratch buffers
+//!   ([`PeriodMapWorkspace`], [`SimWorkspace`], gain/feedforward vectors)
+//!   behind [`synthesize_with`], plus [`LiftedPlant::new_cached`] for
+//!   memoised discretisation via [`cacs_linalg::ExpmCache`]. Every reuse
+//!   and cache path is bit-identical to the allocating, cache-free one.
 //!
 //! # Example
 //!
@@ -48,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cost;
+mod ctx;
 mod dare;
 mod discretize;
 mod error;
@@ -64,12 +70,13 @@ mod switched;
 mod synthesis;
 
 pub use cost::{quadratic_cost, QuadraticCostSpec};
+pub use ctx::{SynthCtx, SynthScratch};
 pub use dare::{dlqr, periodic_dlqr, solve_dare};
-pub use discretize::{discretize_delayed, discretize_zoh, DelayedStep};
+pub use discretize::{discretize_delayed, discretize_delayed_cached, discretize_zoh, DelayedStep};
 pub use error::ControlError;
 pub use feedback::{ackermann, feedforward_gain, verify_pole_placement};
 pub use kalman::{design_periodic_kalman, kalman_gain, simulate_with_kalman, KalmanResponse};
-pub use lifted::LiftedPlant;
+pub use lifted::{LiftedPlant, PeriodMapWorkspace};
 pub use lqr::{synthesize_lqr, LqrConfig};
 pub use lti::ContinuousLti;
 pub use observer::{
@@ -78,9 +85,11 @@ pub use observer::{
 };
 pub use quantize::{quantization_impact, FixedPointFormat, QuantizationImpact};
 pub use settle::{settling_time, SettlingSpec};
-pub use simulate::{simulate_worst_case, Response};
+pub use simulate::{simulate_worst_case, simulate_worst_case_into, Response, SimWorkspace};
 pub use switched::{jsr_bounds, JsrBounds};
-pub use synthesis::{synthesize, DesignedController, SynthesisConfig, SynthesisStrategy};
+pub use synthesis::{
+    synthesize, synthesize_with, DesignedController, SynthesisConfig, SynthesisStrategy,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ControlError>;

@@ -23,8 +23,59 @@
 //! full term; the tests verify the period map against brute-force
 //! step-by-step simulation, which is unambiguous.
 
-use crate::{discretize_delayed, ContinuousLti, ControlError, DelayedStep, Result};
-use cacs_linalg::{spectral_radius, Matrix};
+use crate::{discretize_delayed_cached, ContinuousLti, ControlError, DelayedStep, Result};
+use cacs_linalg::{spectral_radius, ExpmCache, ExpmWorkspace, Matrix};
+
+/// Reusable buffers for [`LiftedPlant::period_map_into`] — the four
+/// fixed matrices of the product chain, sized lazily to the plant and
+/// kept across objective evaluations so the innermost PSO kernel
+/// allocates nothing.
+#[derive(Debug)]
+pub struct PeriodMapWorkspace {
+    /// Current state dimension `l` the buffers are sized for (0 = unsized).
+    dim: usize,
+    scratch: Matrix, // l × l
+    step: Matrix,    // 2l × 2l
+    phi: Matrix,     // 2l × 2l — holds the result after `period_map_into`
+    next: Matrix,    // 2l × 2l
+}
+
+impl Default for PeriodMapWorkspace {
+    fn default() -> Self {
+        PeriodMapWorkspace::new()
+    }
+}
+
+impl PeriodMapWorkspace {
+    /// An empty workspace; buffers are built on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        PeriodMapWorkspace {
+            dim: 0,
+            scratch: Matrix::zeros(1, 1),
+            step: Matrix::zeros(1, 1),
+            phi: Matrix::zeros(1, 1),
+            next: Matrix::zeros(1, 1),
+        }
+    }
+
+    /// (Re)sizes the buffers for state dimension `l`. Contents are
+    /// stale afterwards; every user overwrites them fully.
+    fn ensure(&mut self, l: usize) {
+        if self.dim != l {
+            self.scratch = Matrix::zeros(l, l);
+            self.step = Matrix::zeros(2 * l, 2 * l);
+            self.phi = Matrix::zeros(2 * l, 2 * l);
+            self.next = Matrix::zeros(2 * l, 2 * l);
+            self.dim = l;
+        }
+    }
+
+    /// The period map produced by the last [`LiftedPlant::period_map_into`].
+    pub fn phi(&self) -> &Matrix {
+        &self.phi
+    }
+}
 
 /// The per-application lifted plant: the cyclic chain of delayed-input
 /// discretisations induced by a schedule.
@@ -52,6 +103,9 @@ use cacs_linalg::{spectral_radius, Matrix};
 pub struct LiftedPlant {
     plant: ContinuousLti,
     intervals: Vec<DelayedStep>,
+    /// Precomputed `B_prev + B_new` per interval (feedforward path) so
+    /// objective evaluations don't re-add them on every call.
+    b_totals: Vec<Matrix>,
 }
 
 impl LiftedPlant {
@@ -65,6 +119,25 @@ impl LiftedPlant {
     ///   different lengths, or any `delay > period`.
     /// * Discretisation errors from [`discretize_delayed`].
     pub fn new(plant: ContinuousLti, periods: &[f64], delays: &[f64]) -> Result<Self> {
+        LiftedPlant::new_cached(plant, periods, delays, None)
+    }
+
+    /// [`LiftedPlant::new`] with an optional shared exponential memo.
+    ///
+    /// One [`ExpmWorkspace`] is reused across all `m` discretisations;
+    /// with a cache the repeated `(A, t)` pairs of a schedule (equal
+    /// periods, the ubiquitous `t = 0` from full-delay intervals) are
+    /// computed once. Bit-identical to [`LiftedPlant::new`] either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LiftedPlant::new`].
+    pub fn new_cached(
+        plant: ContinuousLti,
+        periods: &[f64],
+        delays: &[f64],
+        cache: Option<&ExpmCache>,
+    ) -> Result<Self> {
         if periods.is_empty() || periods.len() != delays.len() {
             return Err(ControlError::InvalidTiming {
                 reason: format!(
@@ -74,12 +147,21 @@ impl LiftedPlant {
                 ),
             });
         }
+        let mut ws = ExpmWorkspace::new();
         let intervals = periods
             .iter()
             .zip(delays)
-            .map(|(&h, &tau)| discretize_delayed(&plant, h, tau))
+            .map(|(&h, &tau)| discretize_delayed_cached(&plant, h, tau, cache, &mut ws))
             .collect::<Result<Vec<_>>>()?;
-        Ok(LiftedPlant { plant, intervals })
+        let b_totals = intervals
+            .iter()
+            .map(DelayedStep::b_total)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(LiftedPlant {
+            plant,
+            intervals,
+            b_totals,
+        })
     }
 
     /// The continuous plant.
@@ -100,6 +182,13 @@ impl LiftedPlant {
     /// The discretised intervals, in task order.
     pub fn intervals(&self) -> &[DelayedStep] {
         &self.intervals
+    }
+
+    /// Precomputed steady-state input matrices `B_prev + B_new`, in task
+    /// order (what [`DelayedStep::b_total`] returns, computed once at
+    /// construction).
+    pub fn b_totals(&self) -> &[Matrix] {
+        &self.b_totals
     }
 
     /// Validates a per-task gain set: `m` row vectors of width `l`.
@@ -184,27 +273,34 @@ impl LiftedPlant {
     ///
     /// Same conditions as [`LiftedPlant::step_matrix`].
     pub fn period_map(&self, gains: &[Matrix]) -> Result<Matrix> {
+        let mut ws = PeriodMapWorkspace::new();
+        self.period_map_into(gains, &mut ws)?;
+        Ok(ws.phi)
+    }
+
+    /// Allocation-free variant of [`LiftedPlant::period_map`]: the
+    /// result lands in `ws.phi()` and the four product buffers are
+    /// reused across calls. Bit-identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LiftedPlant::step_matrix`].
+    pub fn period_map_into(&self, gains: &[Matrix], ws: &mut PeriodMapWorkspace) -> Result<()> {
         // Fires once per PSO objective call — sampled so an enabled
         // recorder stays within the perf-baseline overhead budget.
         let _t =
             cacs_obs::time_sampled(&cacs_obs::metrics::PERIOD_MAP_NS, cacs_obs::HOT_PATH_SAMPLE);
         self.check_gains(gains)?;
         let m = self.tasks();
-        let l = self.state_dim();
-        let mut scratch = Matrix::zeros(l, l);
-        let mut step = Matrix::zeros(2 * l, 2 * l);
-        self.step_matrix_into(0, gains, &mut step, &mut scratch)?;
-        if m == 1 {
-            return Ok(step);
-        }
-        let mut phi = step.clone();
-        let mut next = Matrix::zeros(2 * l, 2 * l);
+        ws.ensure(self.state_dim());
+        self.step_matrix_into(0, gains, &mut ws.step, &mut ws.scratch)?;
+        ws.phi.copy_from(&ws.step)?;
         for j in 1..m {
-            self.step_matrix_into(j, gains, &mut step, &mut scratch)?;
-            step.matmul_into(&phi, &mut next)?;
-            std::mem::swap(&mut phi, &mut next);
+            self.step_matrix_into(j, gains, &mut ws.step, &mut ws.scratch)?;
+            ws.step.matmul_into(&ws.phi, &mut ws.next)?;
+            std::mem::swap(&mut ws.phi, &mut ws.next);
         }
-        Ok(phi)
+        Ok(())
     }
 
     /// Spectral radius of the period map: the design is asymptotically
@@ -215,7 +311,21 @@ impl LiftedPlant {
     /// Same conditions as [`LiftedPlant::period_map`], plus eigenvalue
     /// computation failures.
     pub fn closed_loop_spectral_radius(&self, gains: &[Matrix]) -> Result<f64> {
-        Ok(spectral_radius(&self.period_map(gains)?)?)
+        self.closed_loop_spectral_radius_ws(gains, &mut PeriodMapWorkspace::new())
+    }
+
+    /// [`LiftedPlant::closed_loop_spectral_radius`] on reusable buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LiftedPlant::closed_loop_spectral_radius`].
+    pub fn closed_loop_spectral_radius_ws(
+        &self,
+        gains: &[Matrix],
+        ws: &mut PeriodMapWorkspace,
+    ) -> Result<f64> {
+        self.period_map_into(gains, ws)?;
+        Ok(spectral_radius(&ws.phi)?)
     }
 
     /// The paper's explicit two-task `A_hol` (eq. (16), with the missing

@@ -26,6 +26,45 @@ pub struct Response {
     pub reference: f64,
 }
 
+/// Reusable state-column buffers for [`simulate_worst_case_into`], sized
+/// lazily to the plant's state dimension.
+#[derive(Debug)]
+pub struct SimWorkspace {
+    dim: usize, // l (0 = unsized)
+    x: Matrix,
+    x_next: Matrix,
+}
+
+impl Default for SimWorkspace {
+    fn default() -> Self {
+        SimWorkspace::new()
+    }
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers are built on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SimWorkspace {
+            dim: 0,
+            x: Matrix::zeros(1, 1),
+            x_next: Matrix::zeros(1, 1),
+        }
+    }
+
+    /// (Re)sizes for state dimension `l` and zeroes the initial state
+    /// exactly like a fresh `Matrix::zeros(l, 1)`.
+    fn ensure(&mut self, l: usize) {
+        if self.dim != l {
+            self.x = Matrix::zeros(l, 1);
+            self.x_next = Matrix::zeros(l, 1);
+            self.dim = l;
+        } else {
+            self.x.fill(0.0);
+        }
+    }
+}
+
 impl Response {
     /// Largest input magnitude over the simulation (for the `u ≤ U_max`
     /// constraint, paper Section II-A).
@@ -91,12 +130,53 @@ pub fn simulate_worst_case(
     reference: f64,
     horizon: f64,
 ) -> Result<Response> {
+    let mut out = Response {
+        times: Vec::new(),
+        outputs: Vec::new(),
+        inputs: Vec::new(),
+        reference: 0.0,
+    };
+    simulate_worst_case_into(
+        lifted,
+        gains,
+        feedforwards,
+        reference,
+        horizon,
+        &mut out,
+        &mut SimWorkspace::new(),
+    )?;
+    Ok(out)
+}
+
+/// [`simulate_worst_case`] writing into a caller-owned [`Response`] and
+/// [`SimWorkspace`], so a synthesis loop's thousands of simulations reuse
+/// the trace vectors and state columns instead of reallocating.
+/// Bit-identical to the allocating path.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_worst_case`]; on error `out` is left
+/// cleared.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_worst_case_into(
+    lifted: &LiftedPlant,
+    gains: &[Matrix],
+    feedforwards: &[f64],
+    reference: f64,
+    horizon: f64,
+    out: &mut Response,
+    ws: &mut SimWorkspace,
+) -> Result<()> {
     // Fires once per surviving PSO candidate — sampled so an enabled
     // recorder stays within the perf-baseline overhead budget.
     let _t = cacs_obs::time_sampled(
         &cacs_obs::metrics::SIMULATE_WORST_CASE_NS,
         cacs_obs::HOT_PATH_SAMPLE,
     );
+    out.times.clear();
+    out.outputs.clear();
+    out.inputs.clear();
+    out.reference = reference;
     let m = lifted.tasks();
     let l = lifted.state_dim();
     if gains.len() != m || feedforwards.len() != m {
@@ -119,14 +199,15 @@ pub fn simulate_worst_case(
         });
     }
 
-    let mut x = Matrix::zeros(l, 1);
+    ws.ensure(l); // x starts at rest, exactly like Matrix::zeros(l, 1)
     let mut u_prev = 0.0;
     let mut t = 0.0;
 
     // Rough sample-count estimate so the recording vectors allocate
-    // once; the state update runs entirely on two reused column buffers
-    // and scalar dot products (this loop is the innermost cost of every
-    // PSO objective evaluation).
+    // once (reused calls usually already have the capacity); the state
+    // update runs entirely on two reused column buffers and scalar dot
+    // products (this loop is the innermost cost of every PSO objective
+    // evaluation).
     let min_period = lifted
         .intervals()
         .iter()
@@ -139,51 +220,45 @@ pub fn simulate_worst_case(
     } else {
         16
     };
-    let mut times = Vec::with_capacity(estimated);
-    let mut outputs = Vec::with_capacity(estimated);
-    let mut inputs = Vec::with_capacity(estimated);
-    let mut x_next = Matrix::zeros(l, 1);
+    out.times.reserve(estimated);
+    out.outputs.reserve(estimated);
+    out.inputs.reserve(estimated);
 
     // Start at the application's LAST consecutive task (interval m−1): the
     // reference steps right after this task's sensing, so it still tracks
     // the old reference 0.
     let mut first_sample = true;
     let mut j = m - 1;
-    while t < horizon || times.len() < 2 {
+    while t < horizon || out.times.len() < 2 {
         let r_visible = if first_sample { 0.0 } else { reference };
         first_sample = false;
 
-        let u = gains[j].row_dot(0, &x)? + feedforwards[j] * r_visible;
+        let u = gains[j].row_dot(0, &ws.x)? + feedforwards[j] * r_visible;
 
-        times.push(t);
-        outputs.push(lifted.plant().output(&x)?);
-        inputs.push(u);
+        out.times.push(t);
+        out.outputs.push(lifted.plant().output(&ws.x)?);
+        out.inputs.push(u);
 
         let iv = &lifted.intervals()[j];
-        iv.a_d.matmul_into(&x, &mut x_next)?;
-        x_next.add_scaled_assign(&iv.b_prev, u_prev)?;
-        x_next.add_scaled_assign(&iv.b_new, u)?;
-        std::mem::swap(&mut x, &mut x_next);
+        iv.a_d.matmul_into(&ws.x, &mut ws.x_next)?;
+        ws.x_next.add_scaled_assign(&iv.b_prev, u_prev)?;
+        ws.x_next.add_scaled_assign(&iv.b_new, u)?;
+        std::mem::swap(&mut ws.x, &mut ws.x_next);
         u_prev = u;
         t += iv.h;
         j = (j + 1) % m;
 
-        if !x.is_finite() {
+        if !ws.x.is_finite() {
             // Unstable loop: record one diverged sample and stop early so
             // callers can penalise without waiting out the horizon.
-            times.push(t);
-            outputs.push(f64::INFINITY);
-            inputs.push(u);
+            out.times.push(t);
+            out.outputs.push(f64::INFINITY);
+            out.inputs.push(u);
             break;
         }
     }
 
-    Ok(Response {
-        times,
-        outputs,
-        inputs,
-        reference,
-    })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -269,6 +344,28 @@ mod tests {
         assert!(simulate_worst_case(&lifted, &gains, &[1.0, 1.0], 1.0, -0.1).is_err());
         let wide = vec![Matrix::row(&[-0.3, 0.0]), Matrix::row(&[-0.3, 0.0])];
         assert!(simulate_worst_case(&lifted, &wide, &[1.0, 1.0], 1.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let lifted = fast_first_order();
+        let gains = vec![Matrix::row(&[-0.3]), Matrix::row(&[-0.3])];
+        let fresh = simulate_worst_case(&lifted, &gains, &[1.3, 1.3], 2.0, 0.08).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let mut ws = SimWorkspace::new();
+        let mut out = Response {
+            times: Vec::new(),
+            outputs: Vec::new(),
+            inputs: Vec::new(),
+            reference: 0.0,
+        };
+        for round in 0..3 {
+            simulate_worst_case_into(&lifted, &gains, &[1.3, 1.3], 2.0, 0.08, &mut out, &mut ws)
+                .unwrap();
+            assert_eq!(bits(&fresh.times), bits(&out.times), "round {round}");
+            assert_eq!(bits(&fresh.outputs), bits(&out.outputs), "round {round}");
+            assert_eq!(bits(&fresh.inputs), bits(&out.inputs), "round {round}");
+        }
     }
 
     #[test]

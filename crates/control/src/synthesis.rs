@@ -20,11 +20,12 @@
 //! Feedforward gains `F_j` always come from the paper's eq. (17) applied
 //! per interval with its total input matrix.
 
+use crate::ctx::{SynthCtx, SynthScratch};
 use crate::{
-    feedforward_gain, settling_time, simulate_worst_case, ControlError, LiftedPlant, Response,
-    Result, SettlingSpec,
+    feedforward_gain, settling_time, simulate_worst_case, simulate_worst_case_into, ControlError,
+    LiftedPlant, Response, Result, SettlingSpec,
 };
-use cacs_linalg::{characteristic_polynomial, LuDecomposition, Matrix};
+use cacs_linalg::{characteristic_polynomial, BitKey, LuDecomposition, Matrix};
 use cacs_pso::{Bounds, Pso, PsoConfig};
 
 /// Penalty scale for unstable / infeasible candidate designs. Settling
@@ -90,6 +91,33 @@ impl SynthesisConfig {
         }
     }
 
+    /// Appends every field that influences the synthesis trajectory to a
+    /// bit-pattern cache key: two configurations push equal bytes iff
+    /// [`synthesize`] is guaranteed to walk the identical trajectory for
+    /// the same plant. Floats enter as raw bit patterns (no rounding, no
+    /// float `==`), option presence is encoded explicitly.
+    pub fn push_key(&self, key: &mut BitKey) {
+        key.push_u64(match self.strategy {
+            SynthesisStrategy::DirectGain => 0,
+            SynthesisStrategy::PolePlacement => 1,
+        });
+        for word in self.pso.key_words() {
+            key.push_u64(word);
+        }
+        key.push_f64(self.gain_bound);
+        match self.max_input {
+            Some(umax) => {
+                key.push_u64(1);
+                key.push_f64(umax);
+            }
+            None => key.push_u64(0),
+        }
+        key.push_f64(self.reference);
+        key.push_f64(self.settling.band);
+        key.push_f64(self.horizon);
+        key.push_f64(self.stability_margin);
+    }
+
     fn validate(&self) -> Result<()> {
         if !self.reference.is_finite() || self.reference == 0.0 {
             return Err(ControlError::SynthesisFailed {
@@ -151,27 +179,35 @@ impl DesignedController {
     }
 }
 
-/// Details of one candidate evaluation.
+/// Details of one candidate evaluation. The feedforward gains live in
+/// the [`SynthScratch`] the evaluation ran on.
 struct Evaluation {
     score: f64,
     settling: f64,
     max_input: f64,
     rho: f64,
-    feedforwards: Vec<f64>,
 }
 
-/// Scores one gain set. Always returns a finite score (penalty-based).
-fn evaluate_gains(lifted: &LiftedPlant, gains: &[Matrix], config: &SynthesisConfig) -> Evaluation {
+/// Scores one gain set on reusable buffers. Always returns a finite
+/// score (penalty-based). On return `scratch.feedforwards` holds the
+/// per-task feedforward gains (empty for infeasible designs); the
+/// period-map, simulation and response buffers are evaluation scratch.
+fn evaluate_gains_ws(
+    lifted: &LiftedPlant,
+    gains: &[Matrix],
+    config: &SynthesisConfig,
+    scratch: &mut SynthScratch,
+) -> Evaluation {
     let infeasible = |score: f64| Evaluation {
         score,
         settling: f64::INFINITY,
         max_input: f64::INFINITY,
         rho: f64::INFINITY,
-        feedforwards: Vec::new(),
     };
+    scratch.feedforwards.clear();
 
     // Stability first — cheap rejection of divergent designs.
-    let rho = match lifted.closed_loop_spectral_radius(gains) {
+    let rho = match lifted.closed_loop_spectral_radius_ws(gains, &mut scratch.pm) {
         Ok(r) => r,
         Err(_) => return infeasible(10.0 * PENALTY),
     };
@@ -179,30 +215,34 @@ fn evaluate_gains(lifted: &LiftedPlant, gains: &[Matrix], config: &SynthesisConf
         return infeasible(PENALTY * (1.0 + rho.min(1e6)));
     }
 
-    // Feedforward gains per task (paper eq. (17)).
+    // Feedforward gains per task (paper eq. (17)), with the precomputed
+    // per-interval total input matrices.
     let c = lifted.plant().c();
-    let mut feedforwards = Vec::with_capacity(lifted.tasks());
-    for (j, iv) in lifted.intervals().iter().enumerate() {
-        let b_total = match iv.b_total() {
-            Ok(b) => b,
-            Err(_) => return infeasible(10.0 * PENALTY),
-        };
-        match feedforward_gain(&iv.a_d, &b_total, c, &gains[j]) {
-            Ok(f) => feedforwards.push(f),
-            Err(_) => return infeasible(2.0 * PENALTY),
+    for ((iv, b_total), gain) in lifted.intervals().iter().zip(lifted.b_totals()).zip(gains) {
+        match feedforward_gain(&iv.a_d, b_total, c, gain) {
+            Ok(f) => scratch.feedforwards.push(f),
+            Err(_) => {
+                scratch.feedforwards.clear();
+                return infeasible(2.0 * PENALTY);
+            }
         }
     }
 
-    let response = match simulate_worst_case(
+    if simulate_worst_case_into(
         lifted,
         gains,
-        &feedforwards,
+        &scratch.feedforwards,
         config.reference,
         config.horizon,
-    ) {
-        Ok(r) => r,
-        Err(_) => return infeasible(10.0 * PENALTY),
-    };
+        &mut scratch.response,
+        &mut scratch.sim,
+    )
+    .is_err()
+    {
+        scratch.feedforwards.clear();
+        return infeasible(10.0 * PENALTY);
+    }
+    let response = &scratch.response;
 
     let max_input = response.max_input_magnitude();
     let mut score = 0.0;
@@ -229,7 +269,7 @@ fn evaluate_gains(lifted: &LiftedPlant, gains: &[Matrix], config: &SynthesisConf
     };
     let plateau_term = 1e-3 * config.horizon * mean_rel_err.min(10.0);
 
-    let settling = match settling_time(&response, config.settling) {
+    let settling = match settling_time(response, config.settling) {
         Some(t) => t,
         None => {
             // Not settled within the horizon: penalise by the remaining
@@ -240,7 +280,6 @@ fn evaluate_gains(lifted: &LiftedPlant, gains: &[Matrix], config: &SynthesisConf
                 settling: f64::INFINITY,
                 max_input,
                 rho,
-                feedforwards,
             };
         }
     };
@@ -250,8 +289,50 @@ fn evaluate_gains(lifted: &LiftedPlant, gains: &[Matrix], config: &SynthesisConf
         settling,
         max_input,
         rho,
-        feedforwards,
     }
+}
+
+/// Writes gain rows into `gains`, reusing the matrices when the shape
+/// already matches (the steady state inside a PSO run) and rebuilding
+/// them otherwise. `params` is either the flat `m·l` per-task layout or
+/// a single shared row of width `l` replicated across all tasks.
+fn write_gain_rows(gains: &mut Vec<Matrix>, params: &[f64], m: usize, l: usize) {
+    if gains.len() != m || gains.iter().any(|g| g.shape() != (1, l)) {
+        gains.clear();
+        gains.resize_with(m, || Matrix::zeros(1, l));
+    }
+    for (j, gain) in gains.iter_mut().enumerate() {
+        let src = if params.len() == m * l {
+            &params[j * l..(j + 1) * l]
+        } else {
+            params
+        };
+        for (i, &v) in src.iter().enumerate() {
+            gain.set(0, i, v);
+        }
+    }
+}
+
+/// Pool-backed scoring of a parameter vector: takes a scratch set from
+/// the context, materialises the gains into its reusable matrices, and
+/// returns both to the pool. This is the closure body of every PSO
+/// objective; it is a pure function of `params` (the scratch contents
+/// are fully overwritten), so parallel batches stay bit-identical.
+fn score_params(
+    ctx: &SynthCtx,
+    lifted: &LiftedPlant,
+    config: &SynthesisConfig,
+    params: &[f64],
+    m: usize,
+    l: usize,
+) -> f64 {
+    let mut scratch = ctx.take();
+    let mut gains = std::mem::take(&mut scratch.gains);
+    write_gain_rows(&mut gains, params, m, l);
+    let score = evaluate_gains_ws(lifted, &gains, config, &mut scratch).score;
+    scratch.gains = gains;
+    ctx.put(scratch);
+    score
 }
 
 fn params_to_gains(params: &[f64], m: usize, l: usize) -> Vec<Matrix> {
@@ -297,6 +378,25 @@ fn params_to_gains(params: &[f64], m: usize, l: usize) -> Vec<Matrix> {
 /// # }
 /// ```
 pub fn synthesize(lifted: &LiftedPlant, config: &SynthesisConfig) -> Result<DesignedController> {
+    synthesize_with(lifted, config, &SynthCtx::new())
+}
+
+/// [`synthesize`] with an explicit scratch-buffer context.
+///
+/// The context's pool feeds every PSO objective call, so a long-lived
+/// [`SynthCtx`] (e.g. one per evaluation worker) amortises the per-call
+/// gain/period-map/simulation allocations across an entire schedule
+/// sweep. Results are bit-identical to [`synthesize`] — scratch reuse
+/// skips no computation.
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize`].
+pub fn synthesize_with(
+    lifted: &LiftedPlant,
+    config: &SynthesisConfig,
+    ctx: &SynthCtx,
+) -> Result<DesignedController> {
     config.validate()?;
     let _t = cacs_obs::time(&cacs_obs::metrics::SYNTHESIS_NS);
     let mut last_err = None;
@@ -310,8 +410,8 @@ pub fn synthesize(lifted: &LiftedPlant, config: &SynthesisConfig) -> Result<Desi
             .seed
             .wrapping_add(attempt.wrapping_mul(ATTEMPT_SEED_STRIDE));
         let result = match attempt_config.strategy {
-            SynthesisStrategy::DirectGain => synthesize_direct(lifted, &attempt_config),
-            SynthesisStrategy::PolePlacement => synthesize_poles(lifted, &attempt_config),
+            SynthesisStrategy::DirectGain => synthesize_direct(lifted, &attempt_config, ctx),
+            SynthesisStrategy::PolePlacement => synthesize_poles(lifted, &attempt_config, ctx),
         };
         match result {
             Ok(design) => return Ok(design),
@@ -353,7 +453,11 @@ impl AttemptError {
 
 type AttemptResult = std::result::Result<DesignedController, AttemptError>;
 
-fn synthesize_direct(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptResult {
+fn synthesize_direct(
+    lifted: &LiftedPlant,
+    config: &SynthesisConfig,
+    ctx: &SynthCtx,
+) -> AttemptResult {
     let (m, l) = (lifted.tasks(), lifted.state_dim());
     let map_err = |e: cacs_pso::PsoError| {
         AttemptError::fatal(ControlError::SynthesisFailed {
@@ -381,8 +485,7 @@ fn synthesize_direct(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptR
             let _t = cacs_obs::time(&cacs_obs::metrics::PHASE_A_NS);
             Pso::new(config.pso)
                 .minimize_parallel(&shared_bounds, |params| {
-                    let gains = vec![Matrix::row(params); m];
-                    evaluate_gains(lifted, &gains, config).score
+                    score_params(ctx, lifted, config, params, m, l)
                 })
                 .map_err(map_err)?
         };
@@ -409,7 +512,7 @@ fn synthesize_direct(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptR
         let _t = cacs_obs::time(&cacs_obs::metrics::PHASE_B_NS);
         Pso::new(pso_b)
             .minimize_with_guesses_parallel(&bounds, &guesses, |params| {
-                evaluate_gains(lifted, &params_to_gains(params, m, l), config).score
+                score_params(ctx, lifted, config, params, m, l)
             })
             .map_err(map_err)?
     };
@@ -418,6 +521,7 @@ fn synthesize_direct(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptR
     finish(
         lifted,
         config,
+        ctx,
         &params_to_gains(&result.best_position, m, l),
         evaluations,
     )
@@ -429,10 +533,14 @@ fn synthesize_direct(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptR
 fn finish(
     lifted: &LiftedPlant,
     config: &SynthesisConfig,
+    ctx: &SynthCtx,
     gains: &[Matrix],
     evaluations: usize,
 ) -> AttemptResult {
-    let eval = evaluate_gains(lifted, gains, config);
+    let mut scratch = ctx.take();
+    let eval = evaluate_gains_ws(lifted, gains, config, &mut scratch);
+    let feedforwards = scratch.feedforwards.clone();
+    ctx.put(scratch);
     if !eval.rho.is_finite() || eval.rho >= config.stability_margin {
         return Err(AttemptError::seed_dependent(
             ControlError::SynthesisFailed {
@@ -464,7 +572,7 @@ fn finish(
     }
     Ok(DesignedController {
         gains: gains.to_vec(),
-        feedforwards: eval.feedforwards,
+        feedforwards,
         settling_time: eval.settling,
         max_input: eval.max_input,
         spectral_radius: eval.rho,
@@ -524,15 +632,21 @@ fn newton_match_gains(
     let mut res = residual(&k)?;
     let mut res_norm: f64 = res.iter().map(|r| r * r).sum::<f64>().sqrt();
 
+    // Jacobian buffer and perturbed-gain vector hoisted out of the
+    // iteration: both are fully overwritten every pass, so reusing them
+    // only removes the per-iteration (and per-column, for `kp`)
+    // allocations — 60 × dim clones in the worst case.
+    let mut jac = Matrix::zeros(n_eq, dim);
+    let mut kp = k.clone();
+    let eps = 1e-6;
+
     for _ in 0..60 {
         if res_norm < 1e-10 * scale {
             return Some(k);
         }
         // Forward-difference Jacobian (n_eq × dim).
-        let mut jac = Matrix::zeros(n_eq, dim);
-        let eps = 1e-6;
         for d in 0..dim {
-            let mut kp = k.clone();
+            kp.copy_from_slice(&k);
             kp[d] += eps;
             let rp = residual(&kp)?;
             for (row, (rpv, rv)) in rp.iter().zip(&res).enumerate() {
@@ -589,7 +703,11 @@ fn newton_match_gains(
     }
 }
 
-fn synthesize_poles(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptResult {
+fn synthesize_poles(
+    lifted: &LiftedPlant,
+    config: &SynthesisConfig,
+    ctx: &SynthCtx,
+) -> AttemptResult {
     let (m, l) = (lifted.tasks(), lifted.state_dim());
     // l pole pairs: (radius, angle) each, radius below the margin.
     let mut lower = Vec::with_capacity(2 * l);
@@ -616,7 +734,7 @@ fn synthesize_poles(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptRe
                     if k.iter().any(|g| g.abs() > config.gain_bound) {
                         return PENALTY * 0.5;
                     }
-                    evaluate_gains(lifted, &params_to_gains(&k, m, l), config).score
+                    score_params(ctx, lifted, config, &k, m, l)
                 }
                 None => PENALTY * 3.0,
             }
@@ -636,6 +754,7 @@ fn synthesize_poles(lifted: &LiftedPlant, config: &SynthesisConfig) -> AttemptRe
     finish(
         lifted,
         config,
+        ctx,
         &params_to_gains(&k, m, l),
         result.evaluations,
     )
@@ -810,6 +929,90 @@ mod tests {
         assert_eq!(a.gains.len(), b.gains.len());
         for (ka, kb) in a.gains.iter().zip(&b.gains) {
             assert!(ka.approx_eq(kb, 0.0));
+        }
+    }
+
+    #[test]
+    fn shared_ctx_is_bit_identical_to_fresh() {
+        // One SynthCtx serving several syntheses (the per-worker setup in
+        // cacs-core) must reproduce the context-free path bit for bit,
+        // including on its second run when every buffer is pool-reused.
+        let lifted = first_order_lifted();
+        let fresh = synthesize(&lifted, &quick_config(1.0)).unwrap();
+        let ctx = SynthCtx::new();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for round in 0..2 {
+            let shared = synthesize_with(&lifted, &quick_config(1.0), &ctx).unwrap();
+            assert_eq!(
+                fresh.settling_time.to_bits(),
+                shared.settling_time.to_bits(),
+                "round {round}"
+            );
+            assert_eq!(
+                bits(&fresh.feedforwards),
+                bits(&shared.feedforwards),
+                "round {round}"
+            );
+            for (a, b) in fresh.gains.iter().zip(&shared.gains) {
+                assert_eq!(bits(a.as_slice()), bits(b.as_slice()), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_key_tracks_every_field() {
+        let base = quick_config(1.0);
+        let key_of = |c: &SynthesisConfig| {
+            let mut k = BitKey::new();
+            c.push_key(&mut k);
+            k
+        };
+        let same = key_of(&base);
+        assert_eq!(key_of(&base), same);
+        let variants: Vec<SynthesisConfig> = vec![
+            {
+                let mut c = base.clone();
+                c.strategy = SynthesisStrategy::PolePlacement;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.pso = c.pso.with_seed(base.pso.seed ^ 1);
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.gain_bound += 1.0;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.max_input = Some(2.0);
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.reference = -base.reference;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.settling.band = 0.05;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.horizon *= 2.0;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.stability_margin = 0.95;
+                c
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(key_of(v), same, "variant {i} must change the key");
         }
     }
 

@@ -1,9 +1,10 @@
 //! Stage 1: full evaluation of one schedule (timing derivation + holistic
 //! controller design + overall performance).
 
-use crate::{CodesignProblem, CoreError, Result};
-use cacs_control::{synthesize, DesignedController, LiftedPlant, SynthesisConfig};
-use cacs_sched::{check_idle_times, derive_timing, AppParams, Schedule, ScheduleTiming};
+use crate::{AppSpec, CodesignProblem, CoreError, EvalCtx, Result};
+use cacs_control::{synthesize_with, DesignedController, LiftedPlant, SynthesisConfig};
+use cacs_linalg::BitKey;
+use cacs_sched::{check_idle_times, derive_timing, AppParams, AppTiming, Schedule, ScheduleTiming};
 use cacs_search::ScheduleEvaluator;
 
 /// Per-application outcome of a schedule evaluation.
@@ -60,6 +61,24 @@ impl CodesignProblem {
     ///   that finds no stabilising design is reported as an error rather
     ///   than silently treated as infeasible.
     pub fn evaluate_schedule(&self, schedule: &Schedule) -> Result<ScheduleEvaluation> {
+        self.evaluate_schedule_ctx(schedule, self.eval_ctx())
+    }
+
+    /// [`CodesignProblem::evaluate_schedule`] on an explicit context.
+    ///
+    /// The context supplies the synthesis scratch pool and, when
+    /// enabled, the discretisation and app-synthesis memo caches. All
+    /// cache keys cover the complete input set of the computation they
+    /// guard, so results are bit-identical whichever context is used.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CodesignProblem::evaluate_schedule`].
+    pub fn evaluate_schedule_ctx(
+        &self,
+        schedule: &Schedule,
+        ctx: &EvalCtx,
+    ) -> Result<ScheduleEvaluation> {
         let _t = cacs_obs::time(&cacs_obs::metrics::EVAL_SCHEDULE_NS);
         cacs_obs::metrics::EVAL_SCHEDULES.incr();
         if schedule.app_count() != self.app_count() {
@@ -88,16 +107,33 @@ impl CodesignProblem {
         // error in application order, exactly like the sequential loop.
         let apps = cacs_par::try_par_map(self.apps(), |i, app| {
             let at = &timing.apps[i];
-            let lifted = LiftedPlant::new(app.plant.clone(), &at.periods, &at.delays)?;
             let config = self.synthesis_config_for(i, schedule);
-            let controller = synthesize(&lifted, &config)?;
+            let key = ctx
+                .caches_enabled()
+                .then(|| app_synthesis_key(i, app, at, &config));
+            if let Some(k) = &key {
+                if let Some(hit) = ctx.lookup_app(k) {
+                    return Ok(hit);
+                }
+            }
+            let lifted = LiftedPlant::new_cached(
+                app.plant.clone(),
+                &at.periods,
+                &at.delays,
+                ctx.expm_cache(),
+            )?;
+            let controller = synthesize_with(&lifted, &config, ctx.synth())?;
             let performance = app.params.performance(controller.settling_time);
-            Ok::<AppOutcome, CoreError>(AppOutcome {
+            let outcome = AppOutcome {
                 settling_time: controller.settling_time,
                 performance,
                 controller,
                 lifted,
-            })
+            };
+            if let Some(k) = key {
+                ctx.store_app(k, &outcome);
+            }
+            Ok::<AppOutcome, CoreError>(outcome)
         })?;
 
         // Constraint (3): P_i >= 0 for every application.
@@ -149,6 +185,33 @@ impl CodesignProblem {
         let params: Vec<AppParams> = self.apps().iter().map(|a| a.params.clone()).collect();
         matches!(check_idle_times(&timing, &params), Ok(v) if v.is_empty())
     }
+}
+
+/// Cache key for one application's holistic synthesis: every input that
+/// influences the stored [`AppOutcome`], as raw bit patterns (slices are
+/// length-prefixed, matrices shape-prefixed — no aliasing between
+/// fields). The synthesis configuration contributes through
+/// [`SynthesisConfig::push_key`], which includes the schedule-derived
+/// PSO seed, so equal keys imply an identical synthesis trajectory.
+fn app_synthesis_key(
+    app: usize,
+    spec: &AppSpec,
+    timing: &AppTiming,
+    config: &SynthesisConfig,
+) -> BitKey {
+    let mut key = BitKey::new();
+    key.push_usize(app);
+    key.push_slice(&timing.periods);
+    key.push_slice(&timing.delays);
+    key.push_matrix(spec.plant.a());
+    key.push_matrix(spec.plant.b());
+    key.push_matrix(spec.plant.c());
+    key.push_f64(spec.reference);
+    key.push_f64(spec.umax);
+    key.push_f64(spec.params.weight);
+    key.push_f64(spec.params.settling_deadline);
+    config.push_key(&mut key);
+    key
 }
 
 /// The search-facing adapter: full evaluations mapped to `Option<f64>`.
@@ -255,6 +318,61 @@ mod tests {
                 assert!(ka.approx_eq(kb, 0.0), "gains must match exactly");
             }
         }
+    }
+
+    #[test]
+    fn cached_and_uncached_contexts_are_bit_identical() {
+        let problem = fast_problem();
+        let s = Schedule::new(vec![2, 1, 2]).unwrap();
+        let cached = problem
+            .evaluate_schedule_ctx(&s, &EvalCtx::cached())
+            .unwrap();
+        let uncached = problem
+            .evaluate_schedule_ctx(&s, &EvalCtx::uncached())
+            .unwrap();
+        assert_eq!(
+            cached.overall_performance.map(f64::to_bits),
+            uncached.overall_performance.map(f64::to_bits)
+        );
+        for (a, b) in cached.apps.iter().zip(&uncached.apps) {
+            assert_eq!(a.settling_time.to_bits(), b.settling_time.to_bits());
+            assert_eq!(a.performance.to_bits(), b.performance.to_bits());
+        }
+    }
+
+    #[test]
+    fn repeat_evaluation_hits_the_app_cache() {
+        let problem = fast_problem();
+        let ctx = EvalCtx::cached();
+        let s = Schedule::round_robin(3).unwrap();
+        let first = problem.evaluate_schedule_ctx(&s, &ctx).unwrap();
+        assert_eq!(ctx.app_cache_hits(), 0);
+        assert_eq!(ctx.app_cache_misses(), 3);
+        let second = problem.evaluate_schedule_ctx(&s, &ctx).unwrap();
+        assert_eq!(ctx.app_cache_hits(), 3, "every app outcome memoised");
+        assert_eq!(
+            first.overall_performance.map(f64::to_bits),
+            second.overall_performance.map(f64::to_bits)
+        );
+        // A different schedule changes the PSO seed for every app, so
+        // nothing is falsely shared.
+        let other = Schedule::new(vec![2, 2, 2]).unwrap();
+        problem.evaluate_schedule_ctx(&other, &ctx).unwrap();
+        assert_eq!(ctx.app_cache_misses(), 6);
+    }
+
+    #[test]
+    fn disabling_the_cache_installs_a_fresh_context() {
+        let mut problem = fast_problem();
+        assert!(problem.eval_ctx().caches_enabled());
+        problem.set_eval_cache(false);
+        assert!(!problem.eval_ctx().caches_enabled());
+        let s = Schedule::round_robin(3).unwrap();
+        problem.evaluate_schedule(&s).unwrap();
+        problem.evaluate_schedule(&s).unwrap();
+        assert_eq!(problem.eval_ctx().app_cache_hits(), 0);
+        problem.set_eval_cache(true);
+        assert!(problem.eval_ctx().caches_enabled());
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! space for the performance-maximising schedule with the hybrid
 //! algorithm, verified by [`CodesignProblem::optimize_exhaustive`].
 //!
+//! Every evaluation runs on an [`EvalCtx`] — a scratch-buffer pool plus
+//! bit-pattern-keyed memo caches (matrix exponentials, whole app
+//! syntheses) shared across parallel workers. Caches are bit-identical
+//! by construction and can be disabled per problem with
+//! [`CodesignProblem::set_eval_cache`] (the reference path).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -31,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod ctx;
 mod error;
 mod evaluate;
 mod interleaved;
@@ -39,6 +46,7 @@ mod optimize;
 mod problem;
 mod report;
 
+pub use ctx::EvalCtx;
 pub use error::CoreError;
 pub use evaluate::{AppOutcome, ScheduleEvaluation};
 pub use interleaved::{one_split_interleavings, InterleavedEvaluation};

@@ -1,11 +1,12 @@
 //! Problem definition: platform, applications, and evaluation budget.
 
-use crate::{CoreError, Result};
+use crate::{CoreError, EvalCtx, Result};
 use cacs_apps::CaseStudy;
 use cacs_cache::{analyze_consecutive, CacheConfig, Program};
 use cacs_control::{ContinuousLti, SettlingSpec, SynthesisStrategy};
 use cacs_pso::PsoConfig;
 use cacs_sched::{validate_weights, AppParams, ExecTimes};
+use std::sync::Arc;
 
 /// One application in a co-design problem.
 #[derive(Debug, Clone)]
@@ -128,6 +129,10 @@ pub struct CodesignProblem {
     apps: Vec<AppSpec>,
     exec_times: Vec<ExecTimes>,
     config: EvaluationConfig,
+    /// Shared evaluation context (scratch pools + memo caches). Clones
+    /// of the problem share it — safe, because every cached value is
+    /// bit-identical to what a fresh compute would produce.
+    ctx: Arc<EvalCtx>,
 }
 
 impl CodesignProblem {
@@ -183,6 +188,7 @@ impl CodesignProblem {
             apps,
             exec_times,
             config,
+            ctx: Arc::new(EvalCtx::cached()),
         })
     }
 
@@ -229,6 +235,25 @@ impl CodesignProblem {
     /// Number of applications.
     pub fn app_count(&self) -> usize {
         self.apps.len()
+    }
+
+    /// The evaluation context backing [`CodesignProblem::evaluate_schedule`]
+    /// (for cache statistics and explicit-context evaluation).
+    pub fn eval_ctx(&self) -> &EvalCtx {
+        &self.ctx
+    }
+
+    /// Enables or disables the memo caches by installing a fresh context
+    /// (the scratch pool stays either way). Disabling gives the
+    /// reference cache-free path; results are bit-identical in both
+    /// modes. Note this replaces the context only for this instance —
+    /// prior clones keep the one they share.
+    pub fn set_eval_cache(&mut self, enabled: bool) {
+        self.ctx = Arc::new(if enabled {
+            EvalCtx::cached()
+        } else {
+            EvalCtx::uncached()
+        });
     }
 }
 

@@ -34,6 +34,86 @@ const PADE13: [f64; 14] = [
 /// * [`LinalgError::NotSquare`] if `a` is rectangular.
 /// * [`LinalgError::InvalidArgument`] if `a` contains non-finite entries.
 ///
+/// Reusable buffers for [`expm_into`] / [`expm_with_integral_ws`].
+///
+/// One workspace holds every n×n Padé buffer plus the 2n×2n augmented
+/// matrix of the integral variant; buffers are (re)allocated only when
+/// the operand size changes, so a hot loop that repeatedly exponentiates
+/// same-sized matrices allocates nothing but the LU factorisation and
+/// the returned result. The workspace carries no numerical state between
+/// calls — results are bit-identical to the allocating entry points.
+#[derive(Debug)]
+pub struct ExpmWorkspace {
+    pade: PadeBuffers,
+    /// Size the integral buffers are currently allocated for (0 = none).
+    aug_n: usize,
+    /// Augmented `[[A t, I t], [0, 0]]` operand. Only the two upper
+    /// blocks are ever written, so after the first use at a given size
+    /// the lower half stays zero and no per-call clearing is needed.
+    aug: Matrix,
+    /// `e^{aug}` landing buffer.
+    e: Matrix,
+}
+
+#[derive(Debug)]
+struct PadeBuffers {
+    /// Size the Padé buffers are currently allocated for (0 = none).
+    n: usize,
+    a_scaled: Matrix,
+    a2: Matrix,
+    a4: Matrix,
+    a6: Matrix,
+    inner: Matrix,
+    acc: Matrix,
+    u: Matrix,
+    v: Matrix,
+}
+
+impl PadeBuffers {
+    fn ensure(&mut self, n: usize) {
+        if self.n != n {
+            self.a_scaled = Matrix::zeros(n, n);
+            self.a2 = Matrix::zeros(n, n);
+            self.a4 = Matrix::zeros(n, n);
+            self.a6 = Matrix::zeros(n, n);
+            self.inner = Matrix::zeros(n, n);
+            self.acc = Matrix::zeros(n, n);
+            self.u = Matrix::zeros(n, n);
+            self.v = Matrix::zeros(n, n);
+            self.n = n;
+        }
+    }
+}
+
+impl ExpmWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        ExpmWorkspace {
+            pade: PadeBuffers {
+                n: 0,
+                a_scaled: Matrix::zeros(1, 1),
+                a2: Matrix::zeros(1, 1),
+                a4: Matrix::zeros(1, 1),
+                a6: Matrix::zeros(1, 1),
+                inner: Matrix::zeros(1, 1),
+                acc: Matrix::zeros(1, 1),
+                u: Matrix::zeros(1, 1),
+                v: Matrix::zeros(1, 1),
+            },
+            aug_n: 0,
+            aug: Matrix::zeros(1, 1),
+            e: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl Default for ExpmWorkspace {
+    fn default() -> Self {
+        ExpmWorkspace::new()
+    }
+}
+
 /// # Example
 ///
 /// ```
@@ -48,6 +128,24 @@ const PADE13: [f64; 14] = [
 /// # }
 /// ```
 pub fn expm(a: &Matrix) -> Result<Matrix> {
+    let mut ws = ExpmWorkspace::new();
+    let mut out = Matrix::zeros(1, 1);
+    expm_into(a, &mut out, &mut ws)?;
+    Ok(out)
+}
+
+/// [`expm`] into a caller-owned result, reusing `ws` for every Padé
+/// buffer. `out` is fully overwritten (its incoming shape is
+/// irrelevant); results are bit-identical to [`expm`].
+///
+/// # Errors
+///
+/// Same conditions as [`expm`].
+pub fn expm_into(a: &Matrix, out: &mut Matrix, ws: &mut ExpmWorkspace) -> Result<()> {
+    expm_pade(a, out, &mut ws.pade)
+}
+
+fn expm_pade(a: &Matrix, out: &mut Matrix, ws: &mut PadeBuffers) -> Result<()> {
     let _t = cacs_obs::time(&cacs_obs::metrics::EXPM_NS);
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape() });
@@ -58,6 +156,7 @@ pub fn expm(a: &Matrix) -> Result<Matrix> {
         });
     }
     let n = a.rows();
+    ws.ensure(n);
     // Scaling: bring ‖A/2^s‖∞ under the Padé(13) threshold θ₁₃ ≈ 5.37.
     let norm = a.norm_inf();
     let theta13 = 5.371920351148152;
@@ -66,58 +165,60 @@ pub fn expm(a: &Matrix) -> Result<Matrix> {
     } else {
         0
     };
-    let a_scaled = a.scale(0.5_f64.powi(s as i32));
+    ws.a_scaled.copy_from(a)?;
+    ws.a_scaled.scale_in_place(0.5_f64.powi(s as i32));
 
     // Padé(13): split into even/odd powers. Everything below works on a
     // fixed set of n×n buffers — accumulation happens in place (axpy)
     // and the identity terms land directly on the diagonals, so no
     // temporary matrices are allocated per term.
-    let a2 = a_scaled.matmul(&a_scaled)?;
-    let a4 = a2.matmul(&a2)?;
-    let a6 = a2.matmul(&a4)?;
+    ws.a_scaled.matmul_into(&ws.a_scaled, &mut ws.a2)?;
+    ws.a2.matmul_into(&ws.a2, &mut ws.a4)?;
+    ws.a2.matmul_into(&ws.a4, &mut ws.a6)?;
 
     // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
-    let mut inner = a6.scale(PADE13[13]);
-    inner.add_scaled_assign(&a4, PADE13[11])?;
-    inner.add_scaled_assign(&a2, PADE13[9])?;
-    let mut u = a6.matmul(&inner)?;
-    u.add_scaled_assign(&a6, PADE13[7])?;
-    u.add_scaled_assign(&a4, PADE13[5])?;
-    u.add_scaled_assign(&a2, PADE13[3])?;
+    ws.inner.copy_from(&ws.a6)?;
+    ws.inner.scale_in_place(PADE13[13]);
+    ws.inner.add_scaled_assign(&ws.a4, PADE13[11])?;
+    ws.inner.add_scaled_assign(&ws.a2, PADE13[9])?;
+    ws.a6.matmul_into(&ws.inner, &mut ws.acc)?;
+    ws.acc.add_scaled_assign(&ws.a6, PADE13[7])?;
+    ws.acc.add_scaled_assign(&ws.a4, PADE13[5])?;
+    ws.acc.add_scaled_assign(&ws.a2, PADE13[3])?;
     for i in 0..n {
-        u[(i, i)] += PADE13[1];
+        ws.acc[(i, i)] += PADE13[1];
     }
-    let u = a_scaled.matmul(&u)?;
+    ws.a_scaled.matmul_into(&ws.acc, &mut ws.u)?;
 
     // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
     // (`inner` is reused as the accumulator).
-    inner.copy_from(&a6)?;
-    inner.scale_in_place(PADE13[12]);
-    inner.add_scaled_assign(&a4, PADE13[10])?;
-    inner.add_scaled_assign(&a2, PADE13[8])?;
-    let mut v = a6.matmul(&inner)?;
-    v.add_scaled_assign(&a6, PADE13[6])?;
-    v.add_scaled_assign(&a4, PADE13[4])?;
-    v.add_scaled_assign(&a2, PADE13[2])?;
+    ws.inner.copy_from(&ws.a6)?;
+    ws.inner.scale_in_place(PADE13[12]);
+    ws.inner.add_scaled_assign(&ws.a4, PADE13[10])?;
+    ws.inner.add_scaled_assign(&ws.a2, PADE13[8])?;
+    ws.a6.matmul_into(&ws.inner, &mut ws.v)?;
+    ws.v.add_scaled_assign(&ws.a6, PADE13[6])?;
+    ws.v.add_scaled_assign(&ws.a4, PADE13[4])?;
+    ws.v.add_scaled_assign(&ws.a2, PADE13[2])?;
     for i in 0..n {
-        v[(i, i)] += PADE13[0];
+        ws.v[(i, i)] += PADE13[0];
     }
 
     // (V - U) X = (V + U)  →  X ≈ e^{A/2^s}
     // `inner` becomes V − U; `v` becomes V + U.
-    inner.copy_from(&v)?;
-    inner.add_scaled_assign(&u, -1.0)?;
-    v.add_assign_matrix(&u)?;
-    let mut x = LuDecomposition::new(&inner)?.solve(&v)?;
+    ws.inner.copy_from(&ws.v)?;
+    ws.inner.add_scaled_assign(&ws.u, -1.0)?;
+    ws.v.add_assign_matrix(&ws.u)?;
+    let mut x = LuDecomposition::new(&ws.inner)?.solve(&ws.v)?;
 
-    // Undo the scaling by repeated squaring (ping-pong through one
-    // scratch buffer; `inner` is recycled once more).
-    let mut scratch = inner;
+    // Undo the scaling by repeated squaring (ping-pong through the
+    // recycled `inner` buffer).
     for _ in 0..s {
-        x.matmul_into(&x, &mut scratch)?;
-        std::mem::swap(&mut x, &mut scratch);
+        x.matmul_into(&x, &mut ws.inner)?;
+        std::mem::swap(&mut x, &mut ws.inner);
     }
-    Ok(x)
+    *out = x;
+    Ok(())
 }
 
 /// Computes the pair `(Φ, Ψ)` with `Φ = e^{A t}` and
@@ -154,6 +255,22 @@ pub fn expm(a: &Matrix) -> Result<Matrix> {
 /// # }
 /// ```
 pub fn expm_with_integral(a: &Matrix, t: f64) -> Result<(Matrix, Matrix)> {
+    let mut ws = ExpmWorkspace::new();
+    expm_with_integral_ws(a, t, &mut ws)
+}
+
+/// [`expm_with_integral`] reusing `ws` for the augmented operand and
+/// every Padé buffer; only the returned `(Φ, Ψ)` pair is allocated.
+/// Results are bit-identical to [`expm_with_integral`].
+///
+/// # Errors
+///
+/// Same conditions as [`expm`].
+pub fn expm_with_integral_ws(
+    a: &Matrix,
+    t: f64,
+    ws: &mut ExpmWorkspace,
+) -> Result<(Matrix, Matrix)> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare { shape: a.shape() });
     }
@@ -163,12 +280,27 @@ pub fn expm_with_integral(a: &Matrix, t: f64) -> Result<(Matrix, Matrix)> {
         });
     }
     let n = a.rows();
-    let mut aug = Matrix::zeros(2 * n, 2 * n);
-    aug.set_block(0, 0, &a.scale(t))?;
-    aug.set_block(0, n, &Matrix::identity(n).scale(t))?;
-    let e = expm(&aug)?;
-    let phi = e.block(0, 0, n, n)?;
-    let psi = e.block(0, n, n, n)?;
+    if ws.aug_n != n {
+        ws.aug = Matrix::zeros(2 * n, 2 * n);
+        ws.e = Matrix::zeros(2 * n, 2 * n);
+        ws.aug_n = n;
+    }
+    // exp([[A t, I t],[0, 0]]) = [[e^{A t}, Ψ(t)],[0, I]]. Only the two
+    // upper blocks of `aug` depend on the call; the lower half is zero
+    // from allocation and never written, so no clearing pass is needed.
+    // Every entry is the exact product the allocating path computes via
+    // `scale` (including `0.0 · t`, whose sign matters for negative
+    // `t`), keeping the bit-identity guarantee unconditional.
+    for i in 0..n {
+        for j in 0..n {
+            ws.aug[(i, j)] = a.get(i, j) * t;
+            ws.aug[(i, n + j)] = 0.0 * t;
+        }
+        ws.aug[(i, n + i)] = t;
+    }
+    expm_pade(&ws.aug, &mut ws.e, &mut ws.pade)?;
+    let phi = ws.e.block(0, 0, n, n)?;
+    let psi = ws.e.block(0, n, n, n)?;
     Ok((phi, psi))
 }
 

@@ -1,0 +1,145 @@
+//! A deterministic, bit-pattern-keyed memo for [`expm_with_integral`].
+//!
+//! One schedule evaluation discretises the same plant at the same
+//! handful of `(A, t)` operands over and over — consecutive same-app
+//! tasks share identical period/delay pairs, and resume/selfcheck
+//! workloads re-evaluate whole schedules verbatim. The pair `(Φ, Ψ)`
+//! is a pure function of the operand bits, so memoising on a
+//! [`BitKey`] of `(A, t)` is bit-identical by construction: a hit
+//! returns exactly what a fresh computation would, independent of
+//! thread interleaving. Only the hit/miss *counters* may vary across
+//! runs (two workers can race to compute the same key); counters feed
+//! metrics, never digests.
+//!
+//! [`expm_with_integral`]: crate::expm_with_integral
+
+use crate::{expm_with_integral_ws, BitKey, ExpmWorkspace, Matrix, Result};
+use cacs_par::sync::lock_recover;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Entry cap: past this the cache stops inserting (it never evicts, so
+/// which keys are resident can not depend on thread timing). The
+/// matrices in this domain are ≤ 12×12 — the cap bounds worst-case
+/// memory at a few hundred megabytes and is far above what any sweep
+/// reaches in practice.
+const MAX_ENTRIES: usize = 1 << 14;
+
+/// Shared `(A, t) → (Φ, Ψ)` memo behind a poison-tolerant mutex.
+///
+/// Cheap to probe (one key build + one map lookup versus three dense
+/// Padé passes on a 2n×2n augmented matrix) and safe to share across
+/// `cacs-par` workers.
+#[derive(Debug, Default)]
+pub struct ExpmCache {
+    entries: Mutex<HashMap<BitKey, (Matrix, Matrix)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ExpmCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ExpmCache::default()
+    }
+
+    /// [`expm_with_integral_ws`] memoised on the bit patterns of
+    /// `(a, t)`. Misses compute through `ws` and publish the result;
+    /// errors are returned without being cached (the same operand
+    /// deterministically errors again).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::expm`].
+    pub fn with_integral(
+        &self,
+        a: &Matrix,
+        t: f64,
+        ws: &mut ExpmWorkspace,
+    ) -> Result<(Matrix, Matrix)> {
+        let mut key = BitKey::with_capacity(a.rows() * a.cols() + 3);
+        key.push_matrix(a);
+        key.push_f64(t);
+        let cached = lock_recover(&self.entries).get(&key).cloned();
+        if let Some(pair) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            cacs_obs::metrics::EXPM_CACHE_HITS.incr();
+            return Ok(pair);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        cacs_obs::metrics::EXPM_CACHE_MISSES.incr();
+        let pair = expm_with_integral_ws(a, t, ws)?;
+        let mut entries = lock_recover(&self.entries);
+        if entries.len() < MAX_ENTRIES {
+            entries.insert(key, pair.clone());
+        }
+        Ok(pair)
+    }
+
+    /// Lookups answered from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.entries).len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expm_with_integral;
+
+    fn plant() -> Matrix {
+        Matrix::from_rows(&[&[0.0, 1.0], &[-2.0, -0.5]]).unwrap()
+    }
+
+    #[test]
+    fn hit_is_bit_identical_to_fresh_compute() {
+        let cache = ExpmCache::new();
+        let mut ws = ExpmWorkspace::new();
+        let a = plant();
+        let fresh = expm_with_integral(&a, 0.37).unwrap();
+        let miss = cache.with_integral(&a, 0.37, &mut ws).unwrap();
+        let hit = cache.with_integral(&a, 0.37, &mut ws).unwrap();
+        for (got, want) in [(&miss, &fresh), (&hit, &fresh)] {
+            assert_eq!(got.0.as_slice(), want.0.as_slice());
+            assert_eq!(got.1.as_slice(), want.1.as_slice());
+        }
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_times_are_distinct_entries() {
+        let cache = ExpmCache::new();
+        let mut ws = ExpmWorkspace::new();
+        let a = plant();
+        cache.with_integral(&a, 0.1, &mut ws).unwrap();
+        cache.with_integral(&a, 0.2, &mut ws).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ExpmCache::new();
+        let mut ws = ExpmWorkspace::new();
+        assert!(cache.with_integral(&plant(), f64::NAN, &mut ws).is_err());
+        assert!(cache.is_empty());
+    }
+}

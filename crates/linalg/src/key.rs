@@ -1,0 +1,179 @@
+//! Bit-pattern cache keys — the sanctioned way to key a map on floats.
+//!
+//! Floating-point values must never key a cache directly: `NaN != NaN`
+//! makes a float-keyed entry unfindable, and `-0.0 == 0.0` merges two
+//! distinct bit patterns into one slot. Both silently violate the
+//! workspace determinism contract (a lookup that behaves differently
+//! from the computation it memoises). [`BitKey`] canonicalises every
+//! ingredient to its exact bit pattern instead — `f64`s via
+//! [`f64::to_bits`], integers verbatim — so two keys compare equal
+//! **iff** every ingredient is bit-identical, with total-equality
+//! semantics: distinct `NaN` payloads distinguish, and `-0.0 ≠ 0.0`.
+//!
+//! A cache keyed by `BitKey` is bit-identical by construction: a hit
+//! returns exactly the value a fresh computation of the same bit-equal
+//! inputs would produce, independent of evaluation order. The
+//! `cacs-lint` `float-key` rule rejects float-keyed maps and sets
+//! anywhere in the workspace; this helper is the sanctioned
+//! alternative.
+
+use crate::Matrix;
+
+/// An accumulated sequence of bit patterns, usable as a `HashMap` /
+/// `BTreeMap` key.
+///
+/// Push every input that affects the cached computation's output; the
+/// dimensions pushed by [`BitKey::push_matrix`] make keys
+/// prefix-unambiguous (two different shapes can never alias to the
+/// same word sequence).
+///
+/// # Example
+///
+/// ```
+/// use cacs_linalg::BitKey;
+///
+/// let mut a = BitKey::new();
+/// a.push_f64(0.0);
+/// let mut b = BitKey::new();
+/// b.push_f64(-0.0);
+/// assert_ne!(a, b); // -0.0 and 0.0 are different cache keys
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitKey {
+    words: Vec<u64>,
+}
+
+impl BitKey {
+    /// An empty key.
+    #[must_use]
+    pub fn new() -> Self {
+        BitKey { words: Vec::new() }
+    }
+
+    /// An empty key with room for `words` ingredients.
+    #[must_use]
+    pub fn with_capacity(words: usize) -> Self {
+        BitKey {
+            words: Vec::with_capacity(words),
+        }
+    }
+
+    /// Appends an `f64` by exact bit pattern (total equality: `NaN`
+    /// payloads and the sign of zero are preserved).
+    pub fn push_f64(&mut self, v: f64) {
+        self.words.push(v.to_bits());
+    }
+
+    /// Appends a `u64` verbatim.
+    pub fn push_u64(&mut self, v: u64) {
+        self.words.push(v);
+    }
+
+    /// Appends a `usize` (widened to `u64`).
+    pub fn push_usize(&mut self, v: usize) {
+        self.words.push(v as u64);
+    }
+
+    /// Appends every element of a slice, preceded by its length (so
+    /// adjacent slices cannot alias across their boundary).
+    pub fn push_slice(&mut self, vs: &[f64]) {
+        self.push_usize(vs.len());
+        for &v in vs {
+            self.push_f64(v);
+        }
+    }
+
+    /// Appends a matrix: shape first, then the row-major entries.
+    pub fn push_matrix(&mut self, m: &Matrix) {
+        self.push_usize(m.rows());
+        self.push_usize(m.cols());
+        for &v in m.as_slice() {
+            self.push_f64(v);
+        }
+    }
+
+    /// Number of 64-bit words accumulated so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn key_of(vs: &[f64]) -> BitKey {
+        let mut k = BitKey::new();
+        for &v in vs {
+            k.push_f64(v);
+        }
+        k
+    }
+
+    #[test]
+    fn negative_zero_and_zero_differ() {
+        assert_ne!(key_of(&[0.0]), key_of(&[-0.0]));
+    }
+
+    #[test]
+    fn nan_keys_are_self_equal_and_lookupable() {
+        // The whole point: a float-keyed map can never find a NaN key
+        // again, a BitKey map can.
+        let nan = f64::NAN;
+        let mut map = HashMap::new();
+        map.insert(key_of(&[nan]), 7);
+        assert_eq!(map.get(&key_of(&[nan])), Some(&7));
+    }
+
+    #[test]
+    fn nan_payloads_distinguish() {
+        let quiet = f64::NAN;
+        let other = f64::from_bits(quiet.to_bits() ^ 1);
+        assert!(other.is_nan());
+        assert_ne!(key_of(&[quiet]), key_of(&[other]));
+    }
+
+    #[test]
+    fn matrix_shape_disambiguates() {
+        let row = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let col = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let mut a = BitKey::new();
+        a.push_matrix(&row);
+        let mut b = BitKey::new();
+        b.push_matrix(&col);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn slice_length_prefix_prevents_aliasing() {
+        let mut a = BitKey::new();
+        a.push_slice(&[1.0, 2.0]);
+        a.push_slice(&[]);
+        let mut b = BitKey::new();
+        b.push_slice(&[1.0]);
+        b.push_slice(&[2.0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equal_ingredients_make_equal_keys() {
+        let m = Matrix::from_rows(&[&[0.5, -1.0], &[3.25, 0.0]]).unwrap();
+        let mut a = BitKey::new();
+        a.push_matrix(&m);
+        a.push_f64(0.125);
+        a.push_u64(9);
+        let mut b = BitKey::new();
+        b.push_matrix(&m.clone());
+        b.push_f64(0.125);
+        b.push_u64(9);
+        assert_eq!(a, b);
+    }
+}

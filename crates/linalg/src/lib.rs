@@ -11,7 +11,12 @@
 //! * [`QrDecomposition`] — Householder QR (least squares / rank),
 //! * [`expm`] / [`expm_with_integral`] — matrix exponential by scaling and
 //!   squaring with a Padé(13) approximant, plus the zero-order-hold
-//!   integral `Ψ(t) = ∫₀ᵗ e^{As} ds` needed for discretisation,
+//!   integral `Ψ(t) = ∫₀ᵗ e^{As} ds` needed for discretisation, with
+//!   [`ExpmWorkspace`] `_into`/`_ws` variants for allocation-free reuse,
+//! * [`BitKey`] — the sanctioned bit-pattern cache-key helper (total
+//!   `f64` equality: `NaN` payloads and `-0.0`/`0.0` distinguish),
+//! * [`ExpmCache`] — a `BitKey`-keyed `(A, t) → (Φ, Ψ)` memo shared
+//!   across `cacs-par` workers (bit-identical by construction),
 //! * [`Polynomial`] and Durand–Kerner [`Polynomial::roots`] —
 //!   characteristic polynomials and pole computations,
 //! * [`eigenvalues`] / [`spectral_radius`] — via Faddeev–LeVerrier and the
@@ -39,6 +44,8 @@ mod ctrb;
 mod eig;
 mod error;
 mod expm;
+mod expm_cache;
+mod key;
 mod lu;
 mod matrix;
 mod norm;
@@ -49,7 +56,9 @@ pub use complex::Complex;
 pub use ctrb::{controllability_matrix, is_controllable};
 pub use eig::{characteristic_polynomial, eigenvalues, spectral_radius};
 pub use error::LinalgError;
-pub use expm::{expm, expm_with_integral};
+pub use expm::{expm, expm_into, expm_with_integral, expm_with_integral_ws, ExpmWorkspace};
+pub use expm_cache::ExpmCache;
+pub use key::BitKey;
 pub use lu::{inverse, solve, LuDecomposition};
 pub use matrix::Matrix;
 pub use norm::spectral_norm;

@@ -1,8 +1,8 @@
 //! Property-based tests for algebraic invariants of the linalg kernels.
 
 use cacs_linalg::{
-    characteristic_polynomial, expm, expm_with_integral, spectral_radius, Complex, LuDecomposition,
-    Matrix, Polynomial, QrDecomposition,
+    characteristic_polynomial, expm, expm_with_integral, spectral_radius, BitKey, Complex,
+    LuDecomposition, Matrix, Polynomial, QrDecomposition,
 };
 use proptest::prelude::*;
 
@@ -160,5 +160,53 @@ proptest! {
         let p = a.powi(n).unwrap();
         prop_assert!((p.get(0, 0) - 0.5f64.powi(n as i32)).abs() < 1e-12);
         prop_assert!((p.get(1, 1) - (-0.25f64).powi(n as i32)).abs() < 1e-12);
+    }
+}
+
+/// Strategy: an `f64` bit pattern biased toward the classes float `==`
+/// gets wrong (signed zeros, NaN payloads, infinities) plus uniform
+/// random patterns.
+fn f64_bits() -> impl Strategy<Value = u64> {
+    (0u64..8, 0u64..u64::MAX).prop_map(|(class, raw)| match class {
+        0 => 0.0f64.to_bits(),
+        1 => (-0.0f64).to_bits(),
+        2 => f64::NAN.to_bits(),
+        3 => f64::NAN.to_bits() ^ 1, // distinct NaN payload
+        4 => f64::INFINITY.to_bits(),
+        5 => f64::NEG_INFINITY.to_bits(),
+        _ => raw,
+    })
+}
+
+// Bit-pattern cache keys: two keys are equal iff every pushed word is
+// bit-identical — the property the whole EvalCtx caching story rests on.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bitkey_equality_is_bit_pattern_equality(a in f64_bits(), b in f64_bits()) {
+        let mut ka = BitKey::new();
+        ka.push_f64(f64::from_bits(a));
+        let mut kb = BitKey::new();
+        kb.push_f64(f64::from_bits(b));
+        // -0.0 ≠ 0.0 as keys, NaN payloads distinguish, and every key
+        // is self-equal (even NaN, which float == denies).
+        prop_assert_eq!(ka == kb, a == b);
+        let mut again = BitKey::new();
+        again.push_f64(f64::from_bits(a));
+        prop_assert_eq!(ka, again);
+    }
+
+    #[test]
+    fn bitkey_map_lookups_always_find_their_entry(bits in f64_bits(),
+                                                  tail in prop::collection::vec(0u64..u64::MAX, 0..4)) {
+        let mut key = BitKey::new();
+        key.push_f64(f64::from_bits(bits));
+        for &w in &tail {
+            key.push_u64(w);
+        }
+        let mut map = std::collections::HashMap::new();
+        map.insert(key.clone(), 42u8);
+        prop_assert_eq!(map.get(&key), Some(&42u8));
     }
 }

@@ -54,6 +54,11 @@ pub const RULES: &[RuleInfo] = &[
                    tie-breaking: compare to_bits() or use the exhaustive.rs total order",
     },
     RuleInfo {
+        id: "float-key",
+        contract: "no f64/f32 in the key type of a map or set: NaN keys are unfindable and \
+                   -0.0/0.0 alias under float ==; key on cacs_linalg::BitKey bit patterns",
+    },
+    RuleInfo {
         id: "unframed-wire-write",
         contract: "every hand-built wire line reaches a WorkerLink through append_crc/\
                    encode_framed — unframed writes defeat end-to-end CRC integrity",
@@ -106,6 +111,7 @@ pub fn check_file(path: &str, lexed: &Lexed) -> Vec<RawDiag> {
     if applies_float_eq(path) {
         float_eq(toks, &mut diags);
     }
+    float_key(toks, &mut diags);
     if applies_wire(path) {
         unframed_wire_write(toks, &mut diags);
     }
@@ -408,6 +414,71 @@ fn float_eq(toks: &[Tok], out: &mut Vec<RawDiag>) {
     }
 }
 
+/// The keyed std containers whose key type position the `float-key`
+/// rule inspects. Maps key on their first generic argument, sets on the
+/// whole argument list.
+const KEYED_CONTAINERS: &[&str] = &["HashMap", "BTreeMap", "HashSet", "BTreeSet"];
+
+/// A raw float anywhere in a container's key type — `HashMap<f64, _>`,
+/// `BTreeSet<(u32, f64)>`, `HashMap<Vec<f64>, _>` — makes lookups
+/// diverge from the computation they memoise: `NaN != NaN` strands the
+/// entry, `-0.0 == 0.0` merges two bit patterns into one slot. The
+/// sanctioned alternative is `cacs_linalg::BitKey`. The scan tracks
+/// angle-bracket depth from the container's `<` (turbofish included)
+/// and, for maps, stops at the top-level `,` that ends the key type.
+fn float_key(toks: &[Tok], out: &mut Vec<RawDiag>) {
+    for i in 0..toks.len() {
+        let Some(container) = toks.get(i) else {
+            continue;
+        };
+        if container.kind != TokKind::Ident || !KEYED_CONTAINERS.contains(&container.text.as_str())
+        {
+            continue;
+        }
+        let open = if punct(toks, i + 1, "<") {
+            i + 1
+        } else if punct(toks, i + 1, "::") && punct(toks, i + 2, "<") {
+            i + 2
+        } else {
+            continue;
+        };
+        let key_region_only = container.text.ends_with("Map");
+        let mut depth = 1usize;
+        // Tuple/array keys nest commas inside (…)/[…]; only a comma at
+        // the top level of the angle brackets ends the key type.
+        let mut grouping = 0usize;
+        for t in &toks[open + 1..] {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "(" | "[" => grouping += 1,
+                    ")" | "]" => grouping = grouping.saturating_sub(1),
+                    "," if depth == 1 && grouping == 0 && key_region_only => break,
+                    _ => {}
+                }
+            }
+            if t.kind == TokKind::Ident && (t.text == "f64" || t.text == "f32") {
+                out.push(RawDiag {
+                    rule: "float-key",
+                    line: container.line,
+                    message: format!(
+                        "{} keyed on {} — NaN keys are unfindable and -0.0/0.0 alias under \
+                         float ==; key on cacs_linalg::BitKey bit patterns instead",
+                        container.text, t.text
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
 /// Framing helpers whose presence in the argument list proves the line
 /// went through CRC framing.
 const FRAMING_IDENTS: &[&str] = &["append_crc", "encode_framed", "crc32", "verify_line"];
@@ -550,6 +621,30 @@ mod tests {
             "fn f(n: u64) { let b = n == 3; }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn float_key_catches_key_positions_everywhere() {
+        // Maps: only the key type (first top-level argument) counts.
+        let bad_map = "fn f() { let m: HashMap<f64, u64> = HashMap::new(); }\n";
+        assert_eq!(run("crates/cache/src/config.rs", bad_map).len(), 1);
+        // Nested floats in the key region count (tuple and Vec keys).
+        let tuple_key = "fn f() { let m: BTreeMap<(u32, f64), u64> = BTreeMap::new(); }\n";
+        assert_eq!(run("crates/apps/src/lib.rs", tuple_key).len(), 1);
+        let vec_key = "fn f() { let m = HashMap::<Vec<f64>, u64>::new(); }\n";
+        assert_eq!(run("src/cli/metrics.rs", vec_key).len(), 1);
+        // Sets: the whole argument list is the key.
+        let bad_set = "fn f() { let s: BTreeSet<f32> = BTreeSet::new(); }\n";
+        assert_eq!(run("crates/control/src/lifted.rs", bad_set).len(), 1);
+        // A float in the *value* type is fine.
+        let value = "fn f() { let m: HashMap<u64, f64> = HashMap::new(); }\n";
+        assert!(run("crates/cache/src/config.rs", value).is_empty());
+        // Value types with their own generics don't leak into the scan.
+        let nested_value = "fn f() { let m: BTreeMap<u64, Vec<f64>> = BTreeMap::new(); }\n";
+        assert!(run("crates/cache/src/config.rs", nested_value).is_empty());
+        // BitKey-keyed maps are the sanctioned pattern.
+        let bitkey = "fn f() { let m: HashMap<BitKey, Outcome> = HashMap::new(); }\n";
+        assert!(run("crates/core/src/ctx.rs", bitkey).is_empty());
     }
 
     #[test]

@@ -1,0 +1,9 @@
+// Fixture: a float-keyed container in dedup code.
+// The violation is on line 4 exactly.
+pub fn distinct_objectives(samples: &[f64]) -> usize {
+    let mut seen = std::collections::HashSet::<f64>::new();
+    for &s in samples {
+        seen.insert(s);
+    }
+    seen.len()
+}

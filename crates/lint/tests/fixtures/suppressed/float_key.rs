@@ -1,0 +1,9 @@
+// Fixture: justified float-keyed container.
+pub fn distinct_objectives(samples: &[f64]) -> usize {
+    // cacs-lint: allow(float-key, reason = "fixture: display-only dedup of finite literals, never a cache lookup")
+    let mut seen = std::collections::HashSet::<f64>::new();
+    for &s in samples {
+        seen.insert(s);
+    }
+    seen.len()
+}

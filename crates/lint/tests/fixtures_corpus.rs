@@ -36,6 +36,7 @@ const CASES: &[(&str, &str, &str, u32)] = &[
         4,
     ),
     ("float-eq", "float_eq", "crates/search/src/strategy.rs", 4),
+    ("float-key", "float_key", "crates/core/src/ctx.rs", 4),
     (
         "unframed-wire-write",
         "unframed_wire_write",

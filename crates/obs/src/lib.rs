@@ -428,8 +428,18 @@ registry! {
         LEASES_REISSUED => "distrib.leases_reissued",
         QUARANTINED_WORKERS => "distrib.quarantined_workers",
         RESPAWNS => "distrib.respawns",
+        // EvalCtx app-level synthesis cache: per-app results served
+        // from the memo vs synthesised fresh.
+        EVAL_APP_SYNTH_CACHE_HITS => "eval.app_synth_cache_hits",
+        EVAL_APP_SYNTH_CACHE_MISSES => "eval.app_synth_cache_misses",
         // Whole-schedule evaluations through CodesignProblem.
         EVAL_SCHEDULES => "eval.schedules",
+        // Objective-call scratch buffers served from the EvalCtx pool
+        // instead of freshly allocated.
+        EVAL_SCRATCH_REUSES => "eval.scratch_reuses",
+        // Bit-pattern-keyed (A, t) → (Φ, Ψ) discretisation memo.
+        EXPM_CACHE_HITS => "linalg.expm_cache_hits",
+        EXPM_CACHE_MISSES => "linalg.expm_cache_misses",
         // Batches the parallel engine ran inline (sequential fallback).
         PAR_INLINE_BATCHES => "par.inline_batches",
         // Batches dispatched onto the persistent pool.

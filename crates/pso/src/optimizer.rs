@@ -56,6 +56,28 @@ impl PsoConfig {
         self
     }
 
+    /// Canonical bit-pattern words identifying this configuration for
+    /// cache keys: every field that shapes the search trajectory,
+    /// floats by exact bit pattern ([`f64::to_bits`] — never float
+    /// equality). Two configurations yield the same words iff a PSO
+    /// run under them is bit-identical, so the words are safe
+    /// ingredients for the deterministic evaluation caches.
+    #[must_use]
+    pub fn key_words(&self) -> [u64; 8] {
+        [
+            self.particles as u64,
+            self.iterations as u64,
+            self.inertia.to_bits(),
+            self.cognitive.to_bits(),
+            self.social.to_bits(),
+            // A separate presence word keeps `None` distinct from
+            // `Some(0)`.
+            u64::from(self.stall_iterations.is_some()),
+            self.stall_iterations.unwrap_or(0) as u64,
+            self.seed,
+        ]
+    }
+
     fn validate(&self) -> Result<()> {
         if self.particles < 2 {
             return Err(PsoError::InvalidConfig {
@@ -494,6 +516,44 @@ mod tests {
         let r = Pso::new(cfg).minimize(&bounds, sphere).unwrap();
         // Initial sweep + one evaluation per particle per iteration.
         assert_eq!(r.evaluations, 10 + 10 * 20);
+    }
+
+    #[test]
+    fn key_words_track_every_trajectory_field() {
+        let base = PsoConfig::default();
+        assert_eq!(base.key_words(), base.key_words());
+        let variants = [
+            PsoConfig {
+                particles: base.particles + 1,
+                ..base
+            },
+            PsoConfig {
+                iterations: base.iterations + 1,
+                ..base
+            },
+            PsoConfig {
+                inertia: -base.inertia,
+                ..base
+            },
+            PsoConfig {
+                stall_iterations: Some(0),
+                ..base
+            },
+            base.with_seed(base.seed ^ 1),
+        ];
+        for v in variants {
+            assert_ne!(v.key_words(), base.key_words(), "{v:?}");
+        }
+        // Bit-pattern semantics: -0.0 and 0.0 are different words.
+        let pos = PsoConfig {
+            inertia: 0.0,
+            ..base
+        };
+        let neg = PsoConfig {
+            inertia: -0.0,
+            ..base
+        };
+        assert_ne!(pos.key_words(), neg.key_words());
     }
 
     #[test]

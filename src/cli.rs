@@ -73,13 +73,35 @@ impl ProblemSpec {
     ///
     /// Propagates case-study construction failures.
     pub fn evaluator(&self) -> Result<Box<dyn ScheduleEvaluator>, Box<dyn Error>> {
-        match self {
-            ProblemSpec::PaperFast => Ok(Box::new(paper_problem(EvaluationConfig::fast())?)),
-            ProblemSpec::PaperFull => Ok(Box::new(paper_problem(EvaluationConfig::default())?)),
+        self.evaluator_with_cache(true)
+    }
+
+    /// [`ProblemSpec::evaluator`] with the evaluation memo caches
+    /// toggled explicitly (`--no-eval-cache` passes `false`). Disabling
+    /// gives the reference cache-free path; results are bit-identical
+    /// either way — `tests/eval_cache_neutrality.rs` enforces it on the
+    /// digest bytes. The synthetic surrogate has no caches, so the flag
+    /// is a no-op there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates case-study construction failures.
+    pub fn evaluator_with_cache(
+        &self,
+        eval_cache: bool,
+    ) -> Result<Box<dyn ScheduleEvaluator>, Box<dyn Error>> {
+        let config = match self {
+            ProblemSpec::PaperFast => EvaluationConfig::fast(),
+            ProblemSpec::PaperFull => EvaluationConfig::default(),
             ProblemSpec::Synthetic(dims) => {
-                Ok(Box::new(cacs_distrib::synthetic::surrogate(dims.len())))
+                return Ok(Box::new(cacs_distrib::synthetic::surrogate(dims.len())));
             }
+        };
+        let mut problem = paper_problem(config)?;
+        if !eval_cache {
+            problem.set_eval_cache(false);
         }
+        Ok(Box::new(problem))
     }
 
     /// Derives the schedule space the coordinator announces to workers.

@@ -45,6 +45,7 @@ struct Args {
     kill_after: Option<usize>,
     selfcheck: bool,
     metrics: Option<PathBuf>,
+    no_eval_cache: bool,
     // Strategy knobs; `None` keeps the strategy's default.
     tolerance: Option<f64>,
     max_steps: Option<usize>,
@@ -94,7 +95,8 @@ fn usage(bin: &str, fixed: Option<StrategyKind>) -> ! {
     eprintln!(
         "usage: {bin} --problem <paper-fast|paper-full|synthetic:AxBxC>{strategy_flag} \
          [--starts m1xm2x…[,m1xm2x…]] [--store FILE] [--resume] \
-         [--kill-after-fresh-evals N] [--selfcheck] [--metrics FILE] {knobs}"
+         [--kill-after-fresh-evals N] [--selfcheck] [--metrics FILE] \
+         [--no-eval-cache] {knobs}"
     );
     std::process::exit(2)
 }
@@ -110,6 +112,7 @@ fn parse_args(bin: &str, fixed: Option<StrategyKind>) -> Args {
         kill_after: None,
         selfcheck: false,
         metrics: None,
+        no_eval_cache: false,
         tolerance: None,
         max_steps: None,
         seed: None,
@@ -157,6 +160,10 @@ fn parse_args(bin: &str, fixed: Option<StrategyKind>) -> Args {
                 i += 1;
             }
             "--metrics" => args.metrics = Some(PathBuf::from(value(&mut i))),
+            "--no-eval-cache" => {
+                args.no_eval_cache = true;
+                i += 1;
+            }
             "--tolerance" => args.tolerance = Some(parsed!(&mut i)),
             "--max-steps" => args.max_steps = Some(parsed!(&mut i)),
             "--seed" => args.seed = Some(parsed!(&mut i)),
@@ -330,7 +337,10 @@ fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Err
     });
     let strategy = build_strategy(&args);
     let space = spec.space()?;
-    let evaluator = spec.evaluator()?;
+    // `--no-eval-cache` runs the reference cache-free evaluation path;
+    // the digest printed below is bit-identical either way (the CI
+    // eval-cache smoke job compares the bytes).
+    let evaluator = spec.evaluator_with_cache(!args.no_eval_cache)?;
     let starts = match &args.starts {
         Some(spec) => parse_starts(spec)?,
         None => vec![Schedule::round_robin(space.app_count())?],
@@ -406,7 +416,7 @@ fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Err
         eprintln!("{bin}: selfcheck — uninterrupted in-memory run…");
         // Fresh evaluator, no store, no kill wrapper: the reference is
         // what a single untouched process would have produced.
-        let reference_eval = spec.evaluator()?;
+        let reference_eval = spec.evaluator_with_cache(!args.no_eval_cache)?;
         let reference = run_multistart(reference_eval.as_ref(), &space, &starts, &strategy, None)?;
         let reference_digest =
             multistart_digest(args.strategy, &space, &starts, &reference.reports)?;

@@ -20,7 +20,7 @@
 //! | [`sched`] | schedules (periodic + interleaved), Section II-C timing derivation, feasibility constraints |
 //! | [`search`] | unified strategy engine (one store-backed multistart driver for the hybrid search of Section IV and the annealing/genetic/tabu baselines), exhaustive streaming sweeps, persistent evaluation store |
 //! | [`apps`] | the automotive case study (Tables I, II; Figure 6 plants) |
-//! | [`core`] | the two-stage co-design framework (Sections III–IV), multicore/interleaved extensions, report generation |
+//! | [`core`] | the two-stage co-design framework (Sections III–IV), the reusable [`core::EvalCtx`] evaluation context (scratch pools + bit-identical caches), multicore/interleaved extensions, report generation |
 //! | [`distrib`] | sharded multi-process sweep coordinator: rank-range leases, line-oriented wire protocol, checkpoint/resume, bit-identical merge |
 //! | [`obs`] | determinism-safe observability: counters, log-spaced histograms, RAII timers behind a zero-cost-when-disabled global recorder; the one sanctioned home of the monotonic clock |
 //!
@@ -70,6 +70,19 @@
 //! [`search::SharedEvalCache`], which deduplicates in-flight
 //! evaluations across threads while keeping the paper's per-search
 //! evaluation counts exact.
+
+//! # The evaluation context
+//!
+//! Every schedule evaluation runs on a reusable [`core::EvalCtx`]:
+//! scratch-buffer pools (always on — allocation, not computation, is
+//! skipped) plus two bit-identical memo layers, a matrix-exponential
+//! cache in [`linalg`] and an app-level synthesis cache, both keyed on
+//! [`linalg::BitKey`] f64 bit patterns so a hit returns exactly the
+//! bytes a fresh computation would produce. The context is shared
+//! across worker threads and never feeds timing into results, so every
+//! digest, resume and thread-count contract holds with the caches on
+//! or off (`--no-eval-cache` / `CodesignProblem::set_eval_cache` give
+//! the reference path; CI compares the two byte-for-byte).
 
 //! # Distributed sweeps
 //!
