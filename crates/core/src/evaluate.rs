@@ -107,14 +107,31 @@ impl CodesignProblem {
         // error in application order, exactly like the sequential loop.
         let apps = cacs_par::try_par_map(self.apps(), |i, app| {
             let at = &timing.apps[i];
-            let config = self.synthesis_config_for(i, schedule);
+            let l = app.plant.a().rows();
+            let mut config = self.synthesis_config_for(i, schedule);
+            if ctx.warm_start_enabled() {
+                // Seed this app's PSO from the previously evaluated
+                // (neighbouring) schedule's converged gains. Set BEFORE
+                // the memo key is computed: the guess changes the PSO
+                // trajectory, so it must be part of the key.
+                config.warm_guess = ctx.warm_guess(i, at.periods.len(), l);
+            }
             let key = ctx
                 .caches_enabled()
                 .then(|| app_synthesis_key(i, app, at, &config));
             if let Some(k) = &key {
                 if let Some(hit) = ctx.lookup_app(k) {
+                    // Update the warm slot on hits too, so the slot
+                    // sequence depends only on the evaluated outcomes —
+                    // warm+cache stays bit-identical to warm+no-cache.
+                    if ctx.warm_start_enabled() {
+                        ctx.store_warm(i, l, flat_gains(&hit));
+                    }
                     return Ok(hit);
                 }
+            }
+            if config.warm_guess.is_some() {
+                cacs_obs::metrics::PSO_WARM_STARTED_SWARMS.incr();
             }
             let lifted = LiftedPlant::new_cached(
                 app.plant.clone(),
@@ -130,6 +147,9 @@ impl CodesignProblem {
                 controller,
                 lifted,
             };
+            if ctx.warm_start_enabled() {
+                ctx.store_warm(i, l, flat_gains(&outcome));
+            }
             if let Some(k) = key {
                 ctx.store_app(k, &outcome);
             }
@@ -193,6 +213,17 @@ impl CodesignProblem {
 /// fields). The synthesis configuration contributes through
 /// [`SynthesisConfig::push_key`], which includes the schedule-derived
 /// PSO seed, so equal keys imply an identical synthesis trajectory.
+/// An outcome's gain matrices flattened row-by-row into the `m·l`
+/// vector shape [`cacs_control::SynthesisConfig::warm_guess`] expects.
+fn flat_gains(outcome: &AppOutcome) -> Vec<f64> {
+    outcome
+        .controller
+        .gains
+        .iter()
+        .flat_map(|g| g.as_slice().iter().copied())
+        .collect()
+}
+
 fn app_synthesis_key(
     app: usize,
     spec: &AppSpec,
@@ -233,6 +264,62 @@ impl ScheduleEvaluator for CodesignProblem {
     fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
         match self.evaluate_schedule(schedule) {
             Ok(eval) => eval.overall_performance,
+            Err(_) => None,
+        }
+    }
+}
+
+/// Offset separating relaxed-infeasible screening values from feasible
+/// ones. `P_all ∈ [0, Σ wᵢ]` for feasible schedules and the raw
+/// weighted sum is bounded above by `Σ wᵢ = 1`, so subtracting 1000
+/// keeps every deadline-missing value strictly below every feasible
+/// value while preserving the ordering among the misses themselves.
+const SCREEN_PENALTY: f64 = 1e3;
+
+/// Ranking-only screening adapter around a (reduced-budget)
+/// [`CodesignProblem`]: same evaluations, relaxed objective.
+///
+/// The exact adapter maps a settling-deadline violation to `None`,
+/// which a reduced swarm hits often — at tight screening budgets
+/// every start can screen to `-inf` and the two-stage ranking
+/// degenerates to index order. This adapter instead maps a violation
+/// to the finite value [`ScheduleEvaluation::raw_overall`]` −
+/// `[`SCREEN_PENALTY`], so near-misses degrade smoothly: a schedule
+/// whose cheap synthesis barely overruns outranks one that overruns
+/// badly, and any feasible schedule outranks both. The values are
+/// ranking-only by construction — the two-stage engine re-evaluates
+/// survivors exactly and drops every screening number.
+#[derive(Debug)]
+pub struct ScreeningProblem {
+    problem: CodesignProblem,
+    params: Vec<AppParams>,
+}
+
+impl ScreeningProblem {
+    /// Wraps `problem` (typically built with
+    /// [`crate::EvaluationConfig::screened`]) as a relaxed-objective
+    /// screening evaluator.
+    pub fn new(problem: CodesignProblem) -> Self {
+        let params = problem.apps().iter().map(|a| a.params.clone()).collect();
+        ScreeningProblem { problem, params }
+    }
+}
+
+impl ScheduleEvaluator for ScreeningProblem {
+    fn app_count(&self) -> usize {
+        self.problem.app_count()
+    }
+
+    fn idle_feasible(&self, schedule: &Schedule) -> bool {
+        self.problem.idle_feasible_schedule(schedule)
+    }
+
+    fn evaluate(&self, schedule: &Schedule) -> Option<f64> {
+        match self.problem.evaluate_schedule(schedule) {
+            Ok(eval) => Some(
+                eval.overall_performance
+                    .unwrap_or_else(|| eval.raw_overall(&self.params) - SCREEN_PENALTY),
+            ),
             Err(_) => None,
         }
     }
@@ -280,6 +367,47 @@ mod tests {
         assert!(!problem.idle_feasible_schedule(&Schedule::new(vec![1, 1, 9]).unwrap()));
         // Wrong app count.
         assert!(!problem.idle_feasible_schedule(&Schedule::new(vec![1, 1]).unwrap()));
+    }
+
+    #[test]
+    fn screening_adapter_relaxes_deadline_misses_and_keeps_feasible_values() {
+        // Feasible under the wrapped budget: the adapter must return the
+        // exact adapter's value bit for bit.
+        let exact = fast_problem();
+        let s = Schedule::round_robin(3).unwrap();
+        let expected = ScheduleEvaluator::evaluate(&exact, &s).unwrap();
+        let wrapped = ScreeningProblem::new(fast_problem());
+        assert_eq!(wrapped.evaluate(&s).unwrap().to_bits(), expected.to_bits());
+        assert!(wrapped.idle_feasible(&s));
+        assert_eq!(wrapped.app_count(), 3);
+
+        // At a tight screening budget the reduced swarm misses deadlines:
+        // the exact adapter collapses to None, the screening adapter must
+        // keep a finite, strictly-below-feasible ranking value.
+        let study = paper_case_study().unwrap();
+        let screened = EvaluationConfig::fast().screened(0.3);
+        let reduced = CodesignProblem::from_case_study(&study, screened).unwrap();
+        let miss = Schedule::new(vec![3, 2, 3]).unwrap();
+        let raw = reduced.evaluate_schedule(&miss);
+        let adapter = ScreeningProblem::new(reduced);
+        match raw {
+            Ok(eval) if eval.overall_performance.is_none() => {
+                let v = adapter.evaluate(&miss).expect("relaxed value");
+                assert!(
+                    v.is_finite() && v < 0.0,
+                    "relaxed value {v} must rank below feasible"
+                );
+            }
+            Ok(_) => {
+                // Budget scaling made it feasible on this host: the
+                // adapter then returns the feasible value unchanged.
+                assert!(adapter.evaluate(&miss).unwrap() >= 0.0);
+            }
+            Err(_) => {
+                // No stabilising design at all: both adapters agree.
+                assert!(adapter.evaluate(&miss).is_none());
+            }
+        }
     }
 
     #[test]
@@ -373,6 +501,75 @@ mod tests {
         assert_eq!(problem.eval_ctx().app_cache_hits(), 0);
         problem.set_eval_cache(true);
         assert!(problem.eval_ctx().caches_enabled());
+    }
+
+    /// The per-app settling times of a sequence of evaluations, as bit
+    /// patterns, evaluated strictly in order on one thread (warm slots
+    /// depend on evaluation order).
+    fn warm_trace(problem: &CodesignProblem, schedules: &[Schedule]) -> Vec<Vec<u64>> {
+        cacs_par::sequential(|| {
+            schedules
+                .iter()
+                .map(|s| {
+                    problem
+                        .evaluate_schedule(s)
+                        .unwrap()
+                        .apps
+                        .iter()
+                        .map(|o| o.settling_time.to_bits())
+                        .collect()
+                })
+                .collect()
+        })
+    }
+
+    #[test]
+    fn warm_started_evaluation_is_deterministic_and_cache_neutral() {
+        let schedules = vec![
+            Schedule::round_robin(3).unwrap(),
+            Schedule::new(vec![2, 1, 2]).unwrap(),
+            Schedule::new(vec![2, 2, 2]).unwrap(),
+        ];
+        let run = |cache: bool| {
+            let mut p = fast_problem();
+            p.set_eval_cache(cache);
+            p.set_warm_start(true);
+            assert_eq!(p.eval_ctx().caches_enabled(), cache);
+            assert!(p.eval_ctx().warm_start_enabled());
+            warm_trace(&p, &schedules)
+        };
+        let a = run(true);
+        let b = run(true);
+        assert_eq!(a, b, "warm-started runs must be bit-identical");
+        // The warm slots are fed on memo hits and misses alike, so the
+        // trajectory is independent of the app-memo layer.
+        let uncached = run(false);
+        assert_eq!(a, uncached, "warm trajectory must not depend on the memo");
+        // And set_eval_cache preserves the warm enablement.
+        let mut p = fast_problem();
+        p.set_warm_start(true);
+        p.set_eval_cache(false);
+        assert!(p.eval_ctx().warm_start_enabled());
+        p.set_warm_start(false);
+        assert!(!p.eval_ctx().warm_start_enabled());
+        assert!(!p.eval_ctx().caches_enabled());
+    }
+
+    #[test]
+    fn warm_start_off_is_the_default_and_leaves_results_unchanged() {
+        let problem = fast_problem();
+        assert!(!problem.eval_ctx().warm_start_enabled());
+        // A cold problem and a warm-toggled-off problem agree bitwise.
+        let mut toggled = fast_problem();
+        toggled.set_warm_start(true);
+        toggled.set_warm_start(false);
+        let s = Schedule::new(vec![1, 2, 2]).unwrap();
+        let a = problem.evaluate_schedule(&s).unwrap();
+        let b = toggled.evaluate_schedule(&s).unwrap();
+        assert_eq!(
+            a.overall_performance.map(f64::to_bits),
+            b.overall_performance.map(f64::to_bits)
+        );
     }
 
     #[test]

@@ -432,11 +432,17 @@ registry! {
         // from the memo vs synthesised fresh.
         EVAL_APP_SYNTH_CACHE_HITS => "eval.app_synth_cache_hits",
         EVAL_APP_SYNTH_CACHE_MISSES => "eval.app_synth_cache_misses",
+        // Two-stage evaluation: exact (stage-2 / no-screen) schedule
+        // evaluations vs reduced-fidelity screening evaluations, and
+        // how many screened candidates survived into the exact stage.
+        EVAL_EXACT_EVALS => "eval.exact_evals",
         // Whole-schedule evaluations through CodesignProblem.
         EVAL_SCHEDULES => "eval.schedules",
         // Objective-call scratch buffers served from the EvalCtx pool
         // instead of freshly allocated.
         EVAL_SCRATCH_REUSES => "eval.scratch_reuses",
+        EVAL_SCREEN_EVALS => "eval.screen_evals",
+        EVAL_SCREEN_SURVIVORS => "eval.screen_survivors",
         // Bit-pattern-keyed (A, t) → (Φ, Ψ) discretisation memo.
         EXPM_CACHE_HITS => "linalg.expm_cache_hits",
         EXPM_CACHE_MISSES => "linalg.expm_cache_misses",
@@ -449,6 +455,9 @@ registry! {
         // PSO objective closure invocations (the eval-cost driver).
         PSO_OBJECTIVE_CALLS => "pso.objective_calls",
         PSO_RUNS => "pso.runs",
+        // Swarms seeded from a neighbouring schedule's converged state
+        // (the opt-in `--warm-start` incremental path).
+        PSO_WARM_STARTED_SWARMS => "pso.warm_started_swarms",
         // Shared evaluation cache: requests served from cache vs fresh.
         CACHE_HITS => "search.cache_hits",
         CACHE_MISSES => "search.cache_misses",
@@ -473,6 +482,8 @@ registry! {
         LEASE_NS => "distrib.lease_ns",
         EVAL_SCHEDULE_NS => "eval.schedule_ns",
         EXPM_NS => "linalg.expm_ns",
+        // Dense blocked matmul micro-kernel (1-in-64 sampled).
+        MATMUL_NS => "linalg.matmul_ns",
         // Pool telemetry: items per parallel batch, enqueue→claim
         // latency, and per-task busy time (worker utilisation).
         PAR_BATCH_ITEMS => "par.batch_items",

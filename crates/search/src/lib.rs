@@ -109,7 +109,8 @@ pub use hybrid::{
 pub use space::ScheduleSpace;
 pub use store::{CompactionPolicy, EvalStore, StoreError};
 pub use strategy::{
-    derive_start_seed, run_multistart, MultistartOutcome, SearchReport, StrategyConfig,
+    derive_start_seed, run_multistart, run_multistart_screened, run_multistart_sequential,
+    MultistartOutcome, ScreenConfig, SearchReport, StrategyConfig, TwoStageOutcome,
 };
 pub use tabu::{tabu_search, TabuConfig};
 

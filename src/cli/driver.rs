@@ -20,11 +20,12 @@
 //! The machine-readable output on stdout is the byte-stable digest
 //! (see [`crate::cli::multistart_digest`]); diagnostics go to stderr.
 
-use crate::cli::{multistart_digest, ProblemSpec, StrategyKind};
+use crate::cli::{multistart_digest, screened_digest, ProblemSpec, StrategyKind};
 use cacs_sched::Schedule;
 use cacs_search::{
-    run_multistart, AnnealConfig, EvalStore, GeneticConfig, HybridConfig, MultistartOutcome,
-    ScheduleEvaluator, StrategyConfig, TabuConfig,
+    run_multistart, run_multistart_screened, run_multistart_sequential, AnnealConfig, EvalStore,
+    GeneticConfig, HybridConfig, MultistartOutcome, ScheduleEvaluator, ScreenConfig,
+    StrategyConfig, TabuConfig,
 };
 use std::error::Error;
 use std::path::PathBuf;
@@ -35,6 +36,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 const EXIT_KILLED: i32 = 9;
 /// Exit status of a failed `--selfcheck`.
 const EXIT_SELFCHECK: i32 = 3;
+/// Screening budget fraction used when `--survivor-frac` alone turns
+/// the two-stage pipeline on.
+const DEFAULT_SCREEN_BUDGET: f64 = 0.3;
+/// Survivor fraction used when `--screen-budget` alone turns the
+/// two-stage pipeline on.
+const DEFAULT_SURVIVOR_FRAC: f64 = 0.5;
+
+/// One engine dispatch's result: the exact outcome, its digest, and —
+/// when the two-stage pipeline ran — `(screen_evals, survivors)`.
+type DispatchResult = Result<(MultistartOutcome, String, Option<(usize, usize)>), Box<dyn Error>>;
 
 struct Args {
     problem: String,
@@ -46,6 +57,12 @@ struct Args {
     selfcheck: bool,
     metrics: Option<PathBuf>,
     no_eval_cache: bool,
+    // Two-stage screening knobs: either enables screening; `--no-screen`
+    // spells the reference single-stage path explicitly.
+    screen_budget: Option<f64>,
+    survivor_frac: Option<f64>,
+    no_screen: bool,
+    warm_start: bool,
     // Strategy knobs; `None` keeps the strategy's default.
     tolerance: Option<f64>,
     max_steps: Option<usize>,
@@ -96,7 +113,8 @@ fn usage(bin: &str, fixed: Option<StrategyKind>) -> ! {
         "usage: {bin} --problem <paper-fast|paper-full|synthetic:AxBxC>{strategy_flag} \
          [--starts m1xm2x…[,m1xm2x…]] [--store FILE] [--resume] \
          [--kill-after-fresh-evals N] [--selfcheck] [--metrics FILE] \
-         [--no-eval-cache] {knobs}"
+         [--no-eval-cache] [--screen-budget F] [--survivor-frac F] \
+         [--no-screen] [--warm-start] {knobs}"
     );
     std::process::exit(2)
 }
@@ -113,6 +131,10 @@ fn parse_args(bin: &str, fixed: Option<StrategyKind>) -> Args {
         selfcheck: false,
         metrics: None,
         no_eval_cache: false,
+        screen_budget: None,
+        survivor_frac: None,
+        no_screen: false,
+        warm_start: false,
         tolerance: None,
         max_steps: None,
         seed: None,
@@ -162,6 +184,16 @@ fn parse_args(bin: &str, fixed: Option<StrategyKind>) -> Args {
             "--metrics" => args.metrics = Some(PathBuf::from(value(&mut i))),
             "--no-eval-cache" => {
                 args.no_eval_cache = true;
+                i += 1;
+            }
+            "--screen-budget" => args.screen_budget = Some(parsed!(&mut i)),
+            "--survivor-frac" => args.survivor_frac = Some(parsed!(&mut i)),
+            "--no-screen" => {
+                args.no_screen = true;
+                i += 1;
+            }
+            "--warm-start" => {
+                args.warm_start = true;
                 i += 1;
             }
             "--tolerance" => args.tolerance = Some(parsed!(&mut i)),
@@ -260,6 +292,29 @@ fn build_strategy(args: &Args) -> StrategyConfig {
     }
 }
 
+/// Resolves the two-stage screening knobs: `None` is the single-stage
+/// reference path (the default, also spelled `--no-screen`); either
+/// screening flag enables the pipeline, with the other knob defaulted.
+/// Exits 2 on contradictions and out-of-range fractions.
+fn screening_config(bin: &str, args: &Args) -> Option<(f64, f64)> {
+    if args.screen_budget.is_none() && args.survivor_frac.is_none() {
+        return None;
+    }
+    if args.no_screen {
+        eprintln!("{bin}: --no-screen conflicts with --screen-budget/--survivor-frac");
+        std::process::exit(2);
+    }
+    let budget = args.screen_budget.unwrap_or(DEFAULT_SCREEN_BUDGET);
+    let frac = args.survivor_frac.unwrap_or(DEFAULT_SURVIVOR_FRAC);
+    for (flag, v) in [("--screen-budget", budget), ("--survivor-frac", frac)] {
+        if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+            eprintln!("{bin}: {flag} must be in (0, 1], got {v}");
+            std::process::exit(2);
+        }
+    }
+    Some((budget, frac))
+}
+
 /// Parses `--starts`: comma-separated `m1xm2x…` tuples.
 fn parse_starts(spec: &str) -> Result<Vec<Schedule>, Box<dyn Error>> {
     spec.split(',')
@@ -336,11 +391,30 @@ fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Err
         std::process::exit(2)
     });
     let strategy = build_strategy(&args);
+    let screening = screening_config(bin, &args);
+    if args.warm_start {
+        if args.store.is_some() {
+            eprintln!(
+                "{bin}: --warm-start cannot be combined with --store: store hits \
+                 skip the evaluator, so the warm slots would not be replayed on \
+                 resume and a resumed digest would diverge"
+            );
+            std::process::exit(2);
+        }
+        if screening.is_some() {
+            eprintln!(
+                "{bin}: --warm-start cannot be combined with \
+                 --screen-budget/--survivor-frac: the two-stage engine runs \
+                 starts in parallel, which races the order-sensitive warm slots"
+            );
+            std::process::exit(2);
+        }
+    }
     let space = spec.space()?;
     // `--no-eval-cache` runs the reference cache-free evaluation path;
     // the digest printed below is bit-identical either way (the CI
     // eval-cache smoke job compares the bytes).
-    let evaluator = spec.evaluator_with_cache(!args.no_eval_cache)?;
+    let evaluator = spec.evaluator_with_options(!args.no_eval_cache, args.warm_start)?;
     let starts = match &args.starts {
         Some(spec) => parse_starts(spec)?,
         None => vec![Schedule::round_robin(space.app_count())?],
@@ -392,6 +466,48 @@ fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Err
         None => None,
     };
 
+    // One engine dispatch shared by the measured run and the selfcheck
+    // reference: screened two-stage, warm-started sequential, or the
+    // plain parallel multistart. The kill wrapper (and the store) sit on
+    // the **exact** evaluator only — screening results are never
+    // journalled, a resumed run simply re-screens deterministically.
+    let execute = |exact: &dyn ScheduleEvaluator, store: Option<&EvalStore>| -> DispatchResult {
+        match screening {
+            Some((budget, frac)) => {
+                let screen_eval = spec.screening_evaluator(budget, !args.no_eval_cache)?;
+                let two = run_multistart_screened(
+                    screen_eval.as_ref(),
+                    exact,
+                    &space,
+                    &starts,
+                    &strategy,
+                    &ScreenConfig {
+                        survivor_frac: frac,
+                    },
+                    store,
+                )?;
+                let digest = screened_digest(
+                    args.strategy,
+                    &space,
+                    &starts,
+                    &two.survivors,
+                    &two.exact.reports,
+                )?;
+                let stats = (two.screen_evaluations, two.survivors.len());
+                Ok((two.exact, digest, Some(stats)))
+            }
+            None => {
+                let outcome = if args.warm_start {
+                    run_multistart_sequential(exact, &space, &starts, &strategy, store)?
+                } else {
+                    run_multistart(exact, &space, &starts, &strategy, store)?
+                };
+                let digest = multistart_digest(args.strategy, &space, &starts, &outcome.reports)?;
+                Ok((outcome, digest, None))
+            }
+        }
+    };
+
     let killer = KillAfter {
         bin,
         inner: evaluator.as_ref(),
@@ -399,11 +515,17 @@ fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Err
         calls: AtomicUsize::new(0),
     };
     let t = crate::cli::metrics::RunTimer::start();
-    let outcome = run_multistart(&killer, &space, &starts, &strategy, store.as_ref())?;
+    let (outcome, digest, screen_stats) = execute(&killer, store.as_ref())?;
     let wall_ms = t.elapsed_ms();
 
+    if let Some((screen_evals, survivors)) = screen_stats {
+        eprintln!(
+            "{bin}: screening: {screen_evals} reduced-fidelity evaluation(s) \
+             ranked {} start(s); {survivors} survivor(s) re-evaluated exactly",
+            starts.len()
+        );
+    }
     report_outcome(bin, &outcome, wall_ms);
-    let digest = multistart_digest(args.strategy, &space, &starts, &outcome.reports)?;
     print!("{digest}");
 
     // Snapshot before --selfcheck so the JSON reflects only the run
@@ -415,11 +537,10 @@ fn run(bin: &'static str, fixed: Option<StrategyKind>) -> Result<(), Box<dyn Err
     if args.selfcheck {
         eprintln!("{bin}: selfcheck — uninterrupted in-memory run…");
         // Fresh evaluator, no store, no kill wrapper: the reference is
-        // what a single untouched process would have produced.
-        let reference_eval = spec.evaluator_with_cache(!args.no_eval_cache)?;
-        let reference = run_multistart(reference_eval.as_ref(), &space, &starts, &strategy, None)?;
-        let reference_digest =
-            multistart_digest(args.strategy, &space, &starts, &reference.reports)?;
+        // what a single untouched process would have produced (under
+        // the same screening / warm-start mode).
+        let reference_eval = spec.evaluator_with_options(!args.no_eval_cache, args.warm_start)?;
+        let (reference, reference_digest, _) = execute(reference_eval.as_ref(), None)?;
         if digest.as_bytes() != reference_digest.as_bytes() {
             eprintln!("{bin}: SELFCHECK FAILED — digests differ");
             eprintln!("--- this run ---\n{digest}--- uninterrupted ---\n{reference_digest}");
